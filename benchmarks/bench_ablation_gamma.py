@@ -1,0 +1,79 @@
+"""Ablation A1: the candidate-set width gamma.
+
+The paper fixes gamma = 0.5 ("we experimentally determined that it ensures
+performance at least as good as early and late fusion while enabling
+energy optimization") and notes gamma is tunable.  This ablation sweeps
+gamma and shows the loss/energy trade-off it controls — the experiment
+behind that one-line justification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import evaluate_ecofusion
+from repro.evaluation.reports import format_table
+
+GAMMAS = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def gamma_sweep(system):
+    rows = []
+    for gamma in GAMMAS:
+        result = evaluate_ecofusion(
+            system.model, system.gates["attention"], system.test_split,
+            lambda_e=0.5, gamma=gamma, cache=system.cache,
+        )
+        rows.append((gamma, result.map_percent, result.avg_loss,
+                     result.avg_energy_joules))
+    return rows
+
+
+def test_generate_gamma_table(gamma_sweep, report):
+    headers = ["gamma", "mAP %", "avg loss", "energy J"]
+    report(format_table(
+        headers, [list(r) for r in gamma_sweep],
+        title="Ablation A1 — gamma sweep (attention gate, lambda=0.5)",
+    ))
+
+
+class TestGammaShape:
+    def test_gamma_zero_ignores_energy(self, system, gamma_sweep):
+        """gamma=0 leaves a single candidate, so lambda cannot act."""
+        from repro.evaluation import evaluate_ecofusion
+
+        a = evaluate_ecofusion(
+            system.model, system.gates["attention"], system.test_split,
+            lambda_e=0.0, gamma=0.0, cache=system.cache,
+        )
+        b = evaluate_ecofusion(
+            system.model, system.gates["attention"], system.test_split,
+            lambda_e=1.0, gamma=0.0, cache=system.cache,
+        )
+        assert a.avg_energy_joules == pytest.approx(b.avg_energy_joules)
+
+    def test_wider_gamma_saves_energy(self, gamma_sweep):
+        """More candidates -> more freedom to pick cheap configs."""
+        energies = [r[3] for r in gamma_sweep]
+        assert energies[-1] <= energies[0] + 1e-9
+
+    def test_energy_monotone_in_gamma(self, gamma_sweep):
+        energies = [r[3] for r in gamma_sweep]
+        for a, b in zip(energies, energies[1:]):
+            assert b <= a + 1e-6
+
+    def test_moderate_gamma_keeps_loss_controlled(self, gamma_sweep):
+        """At the paper's gamma=0.5 the loss stays within the allowed band
+        of the gamma=0 (pure-performance) configuration."""
+        loss_at_0 = gamma_sweep[0][2]
+        loss_at_half = gamma_sweep[2][2]
+        assert loss_at_half <= loss_at_0 + 0.5
+
+
+def test_benchmark_candidate_set(system, benchmark):
+    from repro.core import candidate_set
+
+    losses = system.test_loss_table[0]
+    mask = benchmark(lambda: candidate_set(losses, 0.5))
+    assert mask.any()

@@ -1,0 +1,77 @@
+"""Ablation A2: serial vs parallel branch scheduling on the PX2.
+
+The paper's measured latencies imply serial branch execution (late fusion
+~= 4x one branch).  The PX2 physically has two discrete GPUs; this
+ablation asks what the latency picture would be if branches were spread
+across both engines (LPT assignment), holding energy fixed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.reports import format_table
+from repro.hardware import schedule_parallel, schedule_serial
+
+
+def _branch_times(system, config_name):
+    """Per-branch compute+launch time for a configuration."""
+    costs = system.model.costs
+    config = system.model.config_named(config_name)
+    latency = costs.px2.latency
+    times = []
+    for branch in config.branches:
+        flops = costs.branch_flops[branch]
+        times.append(latency.launch_ms + latency.compute_ms(flops))
+    return times, config
+
+
+@pytest.fixture(scope="module")
+def schedule_rows(system):
+    rows = []
+    costs = system.model.costs
+    latency = costs.px2.latency
+    for name in ("CR", "EF_CLCRL", "LF_CLCR", "MIX_NIGHT", "LF_ALL", "MIX_HEAVY"):
+        times, config = _branch_times(system, name)
+        stems_prep = (
+            latency.platform_ms
+            + sum(latency.prep_ms[s] for s in config.sensors)
+            + latency.compute_ms(sum(costs.stem_flops[s] for s in config.sensors))
+        )
+        serial = schedule_serial(times, stems_prep)
+        parallel = schedule_parallel(times, stems_prep, num_engines=2)
+        speedup = serial.total_ms / parallel.total_ms
+        rows.append((name, len(times), serial.total_ms, parallel.total_ms, speedup))
+    return rows
+
+
+def test_generate_schedule_table(schedule_rows, report):
+    headers = ["config", "branches", "serial ms", "parallel ms", "speedup"]
+    report(format_table(
+        headers, [list(r) for r in schedule_rows],
+        title="Ablation A2 — serial vs 2-engine parallel scheduling",
+    ))
+
+
+class TestSchedulerShape:
+    def test_single_branch_unaffected(self, schedule_rows):
+        row = next(r for r in schedule_rows if r[0] == "CR")
+        assert row[4] == pytest.approx(1.0, abs=1e-6)
+
+    def test_parallel_never_slower(self, schedule_rows):
+        for _, _, serial, parallel, _ in schedule_rows:
+            assert parallel <= serial + 1e-9
+
+    def test_four_branch_configs_near_2x(self, schedule_rows):
+        row = next(r for r in schedule_rows if r[0] == "LF_ALL")
+        assert row[4] > 1.6
+
+    def test_speedup_bounded_by_engine_count(self, schedule_rows):
+        for _, _, _, _, speedup in schedule_rows:
+            assert speedup <= 2.0 + 1e-9
+
+
+def test_benchmark_lpt_scheduling(benchmark):
+    times = [11.0, 9.5, 10.2, 9.8]
+    result = benchmark(lambda: schedule_parallel(times, 1.0, num_engines=2))
+    assert result.total_ms > 0

@@ -1,0 +1,85 @@
+"""Ablation A3: temporal context gating (the paper's Sec. 5.5.2 extension).
+
+Compares memoryless per-frame gating against temporal smoothing +
+hysteresis + sensor duty-cycling on driving sequences that cross a
+weather boundary (city -> fog): configuration switch rate, sensor duty
+cycles, and combined platform+sensor energy per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TemporalGate, run_sequence
+from repro.datasets import generate_sequence
+from repro.evaluation.reports import format_table
+
+
+@pytest.fixture(scope="module")
+def temporal_rows(system):
+    rng = np.random.default_rng(123)
+    sequences = [
+        generate_sequence("city", 16, rng, transition_to="fog", transition_at=8),
+        generate_sequence("motorway", 16, rng),
+        generate_sequence("city", 16, rng, transition_to="night", transition_at=8),
+    ]
+    base = system.gates["attention"]
+    rows = []
+    for label, gate_factory, margin, hold in (
+        ("memoryless", lambda: base, 0.0, 1),
+        ("temporal(a=0.3,m=0.1,h=4)", lambda: TemporalGate(base, alpha=0.3), 0.1, 4),
+    ):
+        switches = 0.0
+        energy = 0.0
+        radar_duty = 0.0
+        for seq in sequences:
+            result = run_sequence(
+                system.model, gate_factory(), seq,
+                lambda_e=0.05, gamma=0.5,
+                hysteresis_margin=margin, hold_frames=hold,
+            )
+            switches += result.switch_count
+            energy += result.avg_energy_joules
+            radar_duty += result.power_timeline.duty_cycle("radar")
+        n = len(sequences)
+        rows.append((label, switches / n, energy / n, radar_duty / n))
+    return rows
+
+
+def test_generate_temporal_table(temporal_rows, report):
+    headers = ["policy", "switches/seq", "avg E J/frame", "radar duty"]
+    report(format_table(
+        headers, [list(r) for r in temporal_rows],
+        title="Ablation A3 — temporal gating over city->fog/night sequences",
+    ))
+
+
+class TestTemporalShape:
+    def test_smoothing_reduces_switching(self, temporal_rows):
+        memoryless, temporal = temporal_rows
+        assert temporal[1] <= memoryless[1]
+
+    def test_energy_comparable(self, temporal_rows):
+        """Stability must not cost much energy (hold keeps sensors alive
+        slightly longer, smoothing avoids expensive flicker configs)."""
+        memoryless, temporal = temporal_rows
+        assert temporal[2] <= memoryless[2] * 1.3
+
+    def test_duty_cycles_are_fractions(self, temporal_rows):
+        for row in temporal_rows:
+            assert 0.0 <= row[3] <= 1.0
+
+
+def test_benchmark_sequence_step(system, benchmark):
+    """Wall-clock of one temporally-gated frame."""
+    rng = np.random.default_rng(5)
+    seq = generate_sequence("city", 2, rng)
+    gate = TemporalGate(system.gates["attention"], alpha=0.5)
+
+    def run():
+        gate.reset()
+        return run_sequence(system.model, gate, seq, hold_frames=2)
+
+    result = benchmark(run)
+    assert len(result.config_names) == 2

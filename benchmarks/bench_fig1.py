@@ -1,0 +1,96 @@
+"""Figure 1: performance & energy comparison in city vs rainy driving.
+
+The paper's motivating figure — average loss and energy for None / Early /
+Late / EcoFusion in the city and rain contexts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import Subset
+from repro.evaluation import evaluate_ecofusion, evaluate_static_config
+from repro.evaluation.reports import format_table
+
+METHODS = {
+    "none": ("static", "R"),
+    "early": ("static", "EF_CLCRL"),
+    "late": ("static", "LF_ALL"),
+    "ecofusion": ("adaptive", "attention"),
+}
+
+
+@pytest.fixture(scope="module")
+def fig1_data(system, scenario_pool):
+    data = {}
+    for context in ("city", "rain"):
+        positions = scenario_pool.indices_for_context(context)
+        sub = Subset(scenario_pool.dataset,
+                     [scenario_pool.indices[p] for p in positions])
+        for method, (kind, target) in METHODS.items():
+            if kind == "static":
+                result = evaluate_static_config(
+                    system.model, target, sub, cache=system.cache
+                )
+            else:
+                result = evaluate_ecofusion(
+                    system.model, system.gates[target], sub,
+                    lambda_e=0.01, gamma=0.5, cache=system.cache,
+                )
+            data[(context, method)] = (result.avg_loss, result.avg_energy_joules)
+    return data
+
+
+def test_generate_fig1(fig1_data, report):
+    headers = ["method", "city loss", "city E(J)", "rain loss", "rain E(J)"]
+    body = []
+    for method in METHODS:
+        city = fig1_data[("city", method)]
+        rain = fig1_data[("rain", method)]
+        body.append([method, city[0], city[1], rain[0], rain[1]])
+    report(format_table(
+        headers, body,
+        title="Figure 1 — city vs rain (loss / energy per method)",
+    ))
+
+
+class TestFig1Shape:
+    def test_no_fusion_highest_loss(self, fig1_data):
+        """'None misses vehicles': worst loss in both contexts."""
+        for context in ("city", "rain"):
+            none_loss = fig1_data[(context, "none")][0]
+            assert none_loss > fig1_data[(context, "late")][0]
+            assert none_loss > fig1_data[(context, "ecofusion")][0]
+
+    def test_no_fusion_cheapest(self, fig1_data):
+        for context in ("city", "rain"):
+            energies = {m: fig1_data[(context, m)][1] for m in METHODS}
+            assert energies["none"] == min(energies.values())
+
+    def test_late_fusion_about_3x_early_energy(self, fig1_data):
+        """Paper: late fusion uses almost 3x more energy than early."""
+        ratio = fig1_data[("city", "late")][1] / fig1_data[("city", "early")][1]
+        assert 2.0 < ratio < 4.0
+
+    def test_ecofusion_loss_competitive_with_late(self, fig1_data):
+        for context in ("city", "rain"):
+            eco = fig1_data[(context, "ecofusion")][0]
+            late = fig1_data[(context, "late")][0]
+            assert eco <= late * 1.35
+
+    def test_ecofusion_much_cheaper_than_late(self, fig1_data):
+        """Paper highlights ~85% lower energy in city driving."""
+        for context in ("city", "rain"):
+            eco_e = fig1_data[(context, "ecofusion")][1]
+            late_e = fig1_data[(context, "late")][1]
+            assert eco_e < 0.65 * late_e
+
+
+def test_benchmark_single_frame_city(system, benchmark):
+    samples = [system.dataset[system.dataset.indices_for_context("city")[0]]]
+    gate = system.gates["attention"]
+
+    result = benchmark(
+        lambda: system.model.infer(samples, gate, 0.01, 0.5, cache=system.cache)
+    )
+    assert len(result) == 1

@@ -1,0 +1,104 @@
+"""Figure 4: energy-loss trade-off of the joint optimization.
+
+Sweeps lambda_E over [0, 1] for the Deep / Attention / Loss-Based gates
+(Knowledge appears as a single point — it is not tunable) and prints the
+(energy, loss) series; the paper's scatter is exactly these points,
+color-coded by lambda.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_ecofusion
+from repro.evaluation.reports import format_table
+
+from .paper_reference import FIG4_ATTENTION_LAMBDA0, FIG4_ATTENTION_LAMBDA1
+
+LAMBDAS = tuple(np.round(np.linspace(0.0, 1.0, 11), 2))
+GATES = ("deep", "attention", "loss_based")
+
+
+@pytest.fixture(scope="module")
+def fig4_series(system):
+    series = {}
+    for gate_name in GATES:
+        points = []
+        for lam in LAMBDAS:
+            result = evaluate_ecofusion(
+                system.model, system.gates[gate_name], system.test_split,
+                lambda_e=float(lam), gamma=0.5, cache=system.cache,
+            )
+            points.append((float(lam), result.avg_loss, result.avg_energy_joules))
+        series[gate_name] = points
+    knowledge = evaluate_ecofusion(
+        system.model, system.gates["knowledge"], system.test_split,
+        lambda_e=0.0, gamma=0.5, cache=system.cache,
+    )
+    series["knowledge"] = [(0.0, knowledge.avg_loss, knowledge.avg_energy_joules)]
+    return series
+
+
+def test_generate_fig4(fig4_series, report):
+    headers = ["gate", "lambda", "avg loss", "energy J"]
+    body = []
+    for gate_name, points in fig4_series.items():
+        for lam, loss, energy in points:
+            body.append([gate_name, lam, loss, energy])
+    title = (
+        "Figure 4 — energy-loss trade-off (paper endpoints for attention: "
+        f"lambda=0 -> loss {FIG4_ATTENTION_LAMBDA0['loss']}, "
+        f"E {FIG4_ATTENTION_LAMBDA0['energy']} J; "
+        f"lambda=1 -> loss {FIG4_ATTENTION_LAMBDA1['loss']}, "
+        f"E {FIG4_ATTENTION_LAMBDA1['energy']} J)"
+    )
+    report(format_table(headers, body, title=title))
+
+
+class TestFig4Shape:
+    def test_energy_monotone_nonincreasing_in_lambda(self, fig4_series):
+        for gate_name in GATES:
+            energies = [p[2] for p in fig4_series[gate_name]]
+            for a, b in zip(energies, energies[1:]):
+                assert b <= a + 1e-6
+
+    def test_lambda_one_reaches_cheapest_region(self, fig4_series):
+        """Most energy-efficient point sits near single-branch cost."""
+        for gate_name in GATES:
+            final_energy = fig4_series[gate_name][-1][2]
+            assert final_energy < 1.6
+
+    def test_loss_rises_as_energy_falls(self, fig4_series):
+        """The trade-off is real: lambda=1 loss >= lambda=0 loss."""
+        for gate_name in GATES:
+            first_loss = fig4_series[gate_name][0][1]
+            last_loss = fig4_series[gate_name][-1][1]
+            assert last_loss >= first_loss - 0.05
+
+    def test_oracle_pareto_dominates_learned_gates(self, fig4_series):
+        """Loss-Based achieves the lowest loss at comparable energy."""
+        oracle_best_loss = min(p[1] for p in fig4_series["loss_based"])
+        for gate_name in ("deep", "attention"):
+            assert oracle_best_loss <= min(p[1] for p in fig4_series[gate_name]) + 1e-9
+
+    def test_nearly_flat_right_side(self, fig4_series):
+        """Paper: 'Deep and Attention can reduce energy significantly with
+        little effect on loss' — small lambda already saves energy."""
+        for gate_name in ("deep", "attention"):
+            points = fig4_series[gate_name]
+            loss0, energy0 = points[0][1], points[0][2]
+            loss1, energy1 = points[1][1], points[1][2]  # lambda = 0.1
+            assert energy1 <= energy0
+            assert loss1 <= loss0 + 0.30
+
+
+def test_benchmark_selection_step(system, benchmark):
+    """Wall-clock of the Eq. 7-9 selection for one loss vector."""
+    from repro.core import select_configuration
+
+    losses = system.test_loss_table[0]
+    energies = system.model.energies()
+
+    sel = benchmark(lambda: select_configuration(losses, energies, 0.01, 0.5))
+    assert 0 <= sel.index < len(losses)

@@ -1,0 +1,85 @@
+"""Table 2: gating method evaluation.
+
+mAP / average loss / energy for the four gating strategies at lambda_E in
+{0, 0.01, 0.1} (gamma = 0.5), matching the paper's Table 2 grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_ecofusion
+from repro.evaluation.reports import format_table
+
+from .paper_reference import TABLE2
+
+LAMBDAS = (0.0, 0.01, 0.1)
+GATES = ("knowledge", "deep", "attention", "loss_based")
+
+
+@pytest.fixture(scope="module")
+def table2_rows(system):
+    rows = {}
+    for lam in LAMBDAS:
+        for gate_name in GATES:
+            result = evaluate_ecofusion(
+                system.model, system.gates[gate_name], system.test_split,
+                lambda_e=lam, gamma=0.5, cache=system.cache,
+            )
+            rows[(lam, gate_name)] = (
+                result.map_percent, result.avg_loss, result.avg_energy_joules,
+            )
+    return rows
+
+
+def test_generate_table2(table2_rows, report):
+    headers = ["lambda", "gate", "mAP%(paper)", "mAP%(ours)",
+               "loss(paper)", "loss(ours)", "E J(paper)", "E J(ours)"]
+    body = []
+    for (lam, gate), (p_map, p_loss, p_e) in TABLE2.items():
+        ours = table2_rows[(lam, gate)]
+        body.append([lam, gate, p_map, ours[0], p_loss, ours[1], p_e, ours[2]])
+    report(format_table(headers, body, title="Table 2 — gating method evaluation"))
+
+
+class TestTable2Shape:
+    def test_knowledge_not_tunable(self, table2_rows):
+        """Knowledge achieves the same loss/energy for all lambda_E."""
+        reference = table2_rows[(0.0, "knowledge")]
+        for lam in LAMBDAS[1:]:
+            assert table2_rows[(lam, "knowledge")] == pytest.approx(reference)
+
+    def test_loss_based_lowest_loss(self, table2_rows):
+        """The oracle achieves the lowest average loss at every lambda."""
+        for lam in LAMBDAS:
+            oracle = table2_rows[(lam, "loss_based")][1]
+            for gate in ("knowledge", "deep", "attention"):
+                assert oracle <= table2_rows[(lam, gate)][1] + 1e-9
+
+    def test_energy_decreases_with_lambda_for_learned_gates(self, table2_rows):
+        for gate in ("deep", "attention", "loss_based"):
+            energies = [table2_rows[(lam, gate)][2] for lam in LAMBDAS]
+            assert energies[-1] <= energies[0] + 1e-9
+
+    def test_learned_gates_cheaper_than_knowledge_at_high_lambda(self, table2_rows):
+        """With energy pressure the tunable gates undercut the static table."""
+        knowledge_e = table2_rows[(0.1, "knowledge")][2]
+        for gate in ("deep", "attention"):
+            assert table2_rows[(0.1, gate)][2] < knowledge_e
+
+    def test_all_gates_functional_map(self, table2_rows):
+        for key, (map_pct, loss, energy) in table2_rows.items():
+            assert np.isfinite(map_pct) and map_pct > 30.0
+            assert energy > 0
+
+
+def test_benchmark_gate_prediction(system, benchmark):
+    """Wall-clock of one gate forward pass (the per-frame decision cost)."""
+    samples = [system.test_split[i] for i in range(8)]
+    features = system.model.stem_features(samples)
+    gate_input = system.model.gate_features(features)
+    gate = system.gates["attention"]
+
+    out = benchmark(lambda: gate.predict_losses(gate_input))
+    assert out.shape == (8, len(system.model.library))

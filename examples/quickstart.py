@@ -1,0 +1,72 @@
+"""Quickstart: train a small EcoFusion system and run adaptive inference.
+
+Walks the full paper pipeline end to end on a reduced dataset (a couple
+of minutes on first run; cached afterwards):
+
+1. synthesize the RADIATE-like multi-sensor dataset;
+2. train stems + branches, profile the Drive PX2 cost table, train gates;
+3. run Algorithm 1 on a few test frames and show what the gate chose;
+4. compare against the static early/late-fusion baselines.
+
+Run:  python examples/quickstart.py [--full]
+
+``--full`` uses the full-scale system the benchmarks use (slower to train
+the first time, identical API).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import evaluate_ecofusion, get_or_build_system
+from repro.baselines import run_baseline
+from repro.evaluation import SystemSpec
+
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+
+
+def main(full: bool = False) -> None:
+    spec = None if full else QUICK_SPEC
+    print("loading / training the EcoFusion system (cached after first run)...")
+    system = get_or_build_system(spec, verbose=True)
+    model, gate = system.model, system.gates["attention"]
+
+    print(f"\ndataset: {len(system.dataset)} frames, "
+          f"train {len(system.train_split)} / test {len(system.test_split)}")
+    print(f"configuration library Phi ({len(model.library)} entries):")
+    for config in model.library:
+        cost = model.costs.config_costs[config.name]
+        print(f"  {config.name:10s} kind={config.fusion_kind:5s} "
+              f"branches={','.join(config.branches):30s} "
+              f"E={cost.energy_joules:5.2f} J  t={cost.latency_ms:6.2f} ms")
+
+    print("\nAlgorithm 1 on five test frames (attention gate, "
+          "lambda_E=0.01, gamma=0.5):")
+    frames = [system.test_split[i] for i in range(5)]
+    for result in model.infer(frames, gate, lambda_e=0.01, gamma=0.5):
+        n_candidates = result.selection.num_candidates if result.selection else "-"
+        print(f"  frame {result.sample_id:4d} [{result.context:9s}] -> "
+              f"{result.config_name:10s} ({n_candidates} candidates, "
+              f"{len(result.detections)} detections, "
+              f"{result.energy_joules:.2f} J, {result.latency_ms:.1f} ms)")
+
+    print("\ntest-split comparison:")
+    for name in ("none_camera_right", "early", "late"):
+        r = run_baseline(model, name, system.test_split, cache=system.cache)
+        print(f"  {name:18s} mAP={r.map_percent:5.1f}%  loss={r.avg_loss:5.2f}  "
+              f"E={r.avg_energy_joules:5.2f} J  t={r.avg_latency_ms:6.2f} ms")
+    eco = evaluate_ecofusion(model, gate, system.test_split,
+                             lambda_e=0.01, gamma=0.5, cache=system.cache)
+    print(f"  {'ecofusion':18s} mAP={eco.map_percent:5.1f}%  loss={eco.avg_loss:5.2f}  "
+          f"E={eco.avg_energy_joules:5.2f} J  t={eco.avg_latency_ms:6.2f} ms")
+    late = run_baseline(model, "late", system.test_split, cache=system.cache)
+    saving = 100 * (1 - eco.avg_energy_joules / late.avg_energy_joules)
+    print(f"\nEcoFusion uses {saving:.0f}% less energy than late fusion "
+          f"on this split.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full-scale benchmark system")
+    main(parser.parse_args().full)

@@ -1,0 +1,75 @@
+"""Per-scenario modality analysis (the study behind paper Sec. 5.4).
+
+For each driving context, evaluates every sensing modality on its own and
+the fusion baselines, then prints which modality wins where — the domain
+knowledge that the paper's Knowledge gate encodes and its learned gates
+rediscover (cameras rule clear daytime scenes, radar+lidar rule fog/snow,
+cameras are useless at night).
+
+Run:  python examples/scenario_analysis.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import get_or_build_system
+from repro.datasets import CONTEXT_NAMES, Subset
+from repro.evaluation import SystemSpec, evaluate_static_config
+
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+
+MODALITIES = {
+    "camera_L": "CL",
+    "camera_R": "CR",
+    "radar": "R",
+    "lidar": "L",
+    "early": "EF_CLCRL",
+    "late": "LF_ALL",
+}
+
+
+def main(full: bool = False) -> None:
+    system = get_or_build_system(None if full else QUICK_SPEC, verbose=True)
+
+    print("\nper-context average fusion loss (lower is better):\n")
+    header = f"{'context':10s}" + "".join(f"{m:>10s}" for m in MODALITIES)
+    print(header)
+    print("-" * len(header))
+    winners = {}
+    for context in CONTEXT_NAMES:
+        positions = system.test_split.indices_for_context(context)
+        sub = Subset(system.dataset,
+                     [system.test_split.indices[p] for p in positions])
+        row_losses = {}
+        for label, config in MODALITIES.items():
+            result = evaluate_static_config(system.model, config, sub,
+                                            cache=system.cache)
+            row_losses[label] = result.avg_loss
+        winners[context] = min(row_losses, key=row_losses.get)
+        print(f"{context:10s}"
+              + "".join(f"{row_losses[m]:10.2f}" for m in MODALITIES))
+
+    print("\nbest method per context:")
+    for context, winner in winners.items():
+        print(f"  {context:10s} -> {winner}")
+
+    print("\nexpected physics (what the simulator encodes):")
+    print("  * night blinds the (passive) cameras; lidar/radar are active")
+    print("  * fog & snow wash out cameras AND create phantom obstacles;")
+    print("    lidar loses returns to backscatter; radar barely notices")
+    print("  * clear scenes favour the high-resolution camera(s)")
+
+    camera_like = {"camera_L", "camera_R", "early"}
+    for context in ("fog", "snow", "night"):
+        if winners[context] in camera_like:
+            print(f"\nWARNING: {context} was won by {winners[context]} — "
+                  "with a quick-trained system this can happen; rerun with "
+                  "--full for the converged picture.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full-scale benchmark system")
+    main(parser.parse_args().full)

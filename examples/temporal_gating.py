@@ -1,0 +1,76 @@
+"""Temporal gating: driving into a fog bank.
+
+Demonstrates the paper's Sec. 5.5.2 extension on a coherent driving
+sequence: the car starts in clear city traffic and enters fog halfway.
+A memoryless gate flickers between configurations frame to frame; the
+temporal gate (EMA smoothing + hysteresis + sensor hold times) keeps a
+stable configuration, reacts to the fog boundary within a few frames,
+and power-manages the sensors cleanly.
+
+Run:  python examples/temporal_gating.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import get_or_build_system
+from repro.core import TemporalGate, run_sequence
+from repro.datasets import generate_sequence
+from repro.evaluation import SystemSpec
+
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+
+
+def timeline_string(config_names: list[str], contexts: list[str]) -> str:
+    lines = []
+    for t, (config, context) in enumerate(zip(config_names, contexts)):
+        marker = " <-- fog begins" if t > 0 and contexts[t - 1] != context else ""
+        lines.append(f"  t={t:2d} [{context:9s}] {config}{marker}")
+    return "\n".join(lines)
+
+
+def main(full: bool = False) -> None:
+    system = get_or_build_system(None if full else QUICK_SPEC, verbose=True)
+
+    rng = np.random.default_rng(7)
+    sequence = generate_sequence(
+        "city", length=14, rng=rng, transition_to="fog", transition_at=7,
+    )
+    print(f"\nsequence: {len(sequence)} frames, city -> fog at t=7\n")
+
+    base = system.gates["attention"]
+    memoryless = run_sequence(
+        system.model, base, sequence,
+        lambda_e=0.05, gamma=0.5, hysteresis_margin=0.0, hold_frames=1,
+    )
+    temporal = run_sequence(
+        system.model, TemporalGate(base, alpha=0.3), sequence,
+        lambda_e=0.05, gamma=0.5, hysteresis_margin=0.1, hold_frames=4,
+    )
+
+    print("memoryless gate (per-frame argmin):")
+    print(timeline_string(memoryless.config_names, sequence.contexts))
+    print(f"  -> {memoryless.switch_count} switches, "
+          f"{memoryless.avg_energy_joules:.2f} J/frame, "
+          f"radar duty {memoryless.power_timeline.duty_cycle('radar'):.0%}\n")
+
+    print("temporal gate (EMA alpha=0.3, hysteresis 0.1, hold 4):")
+    print(timeline_string(temporal.config_names, sequence.contexts))
+    print(f"  -> {temporal.switch_count} switches, "
+          f"{temporal.avg_energy_joules:.2f} J/frame, "
+          f"radar duty {temporal.power_timeline.duty_cycle('radar'):.0%}\n")
+
+    saved = memoryless.switch_count - temporal.switch_count
+    print(f"temporal smoothing removed {saved} configuration switches while "
+          "reacting to the fog boundary within a few frames — the stability "
+          "that makes per-period sensor clock gating (Table 3) deployable.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full-scale benchmark system")
+    main(parser.parse_args().full)

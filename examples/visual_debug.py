@@ -1,0 +1,52 @@
+"""Visual debugging: what each sensor sees in each weather.
+
+Renders the same scene through all four sensors in clear city driving and
+in fog, straight to the terminal — the fastest way to see why the gate
+switches configurations: the fog camera is washed-out mush (with phantom
+obstacles!), while the radar view barely changes.
+
+Run:  python examples/visual_debug.py [context] (default: fog)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.datasets import CONTEXTS, generate_scene, render_all_sensors
+from repro.datasets.radiate import Sample
+from repro.evaluation.visualize import render_sample
+
+
+def main(context: str = "fog") -> None:
+    if context not in CONTEXTS:
+        raise SystemExit(f"unknown context '{context}'; pick one of {sorted(CONTEXTS)}")
+    rng = np.random.default_rng(11)
+    scene = generate_scene(CONTEXTS["city"], rng, image_size=64)
+
+    for shown_context in ("city", context):
+        profile = CONTEXTS[shown_context]
+        render_rng = np.random.default_rng(99)
+        scene_for_context = type(scene)(
+            context=shown_context, image_size=scene.image_size,
+            objects=scene.objects,
+        )
+        sensors = render_all_sensors(scene_for_context, profile, render_rng)
+        sample = Sample(
+            sensors=sensors, boxes=scene.boxes, labels=scene.labels,
+            context=shown_context, sample_id=0, scene=scene_for_context,
+        )
+        print("=" * 70)
+        print(f"SAME SCENE rendered in context: {shown_context.upper()}")
+        print("=" * 70)
+        for sensor in ("camera_right", "lidar", "radar"):
+            print()
+            print(render_sample(sample, sensor=sensor, width=64))
+    print("\nNote how the fog camera loses the objects (and gains phantom")
+    print("patches) while lidar thins out and radar is nearly unchanged —")
+    print("this is the signal EcoFusion's gate exploits.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "fog")

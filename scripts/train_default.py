@@ -1,0 +1,60 @@
+"""Train (or re-train) the default full-scale system and print the
+paper-style evaluation summary.  Used by the maintainers to refresh the
+cached artifact after simulator changes; benches/examples pick the
+artifact up automatically.
+
+Run:  python scripts/train_default.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.evaluation.cache import (
+    DEFAULT_ARTIFACT_ROOT,
+    SystemSpec,
+    _save_system,
+    build_system,
+)
+from repro.evaluation.runner import evaluate_ecofusion, evaluate_static_config
+
+
+def main() -> None:
+    spec = SystemSpec()
+    t0 = time.time()
+    system = build_system(spec, verbose=False)
+    _save_system(system, DEFAULT_ARTIFACT_ROOT / spec.cache_key())
+    print(
+        f"build+save: {time.time() - t0:.1f}s  "
+        f"train={len(system.train_split)} test={len(system.test_split)}"
+    )
+    for cfg in ["CL", "CR", "R", "L", "EF_CLCR", "EF_CLCRL", "LF_ALL",
+                "EF_LR", "MIX_NIGHT", "MIX_HEAVY"]:
+        r = evaluate_static_config(system.model, cfg, system.test_split,
+                                   cache=system.cache)
+        print(f"{cfg:10s} mAP={r.map_percent:5.1f}% loss={r.avg_loss:5.2f} "
+              f"E={r.avg_energy_joules:.3f} t={r.avg_latency_ms:.2f}")
+    for gate in ["knowledge", "deep", "attention", "loss_based"]:
+        for lam in [0.0, 0.01, 0.05, 0.1]:
+            r = evaluate_ecofusion(system.model, system.gates[gate],
+                                   system.test_split, lam, 0.5,
+                                   cache=system.cache)
+            print(f"eco {gate:10s} lam={lam:<5} mAP={r.map_percent:5.1f}% "
+                  f"loss={r.avg_loss:5.2f} E={r.avg_energy_joules:.3f} "
+                  f"t={r.avg_latency_ms:.2f}")
+    names = [c.name for c in system.model.library]
+    ctxs = system.test_split.contexts
+    table = system.test_loss_table
+    print(f"{'ctx':10s} " + " ".join(f"{n:>9s}" for n in names))
+    for ctx in sorted(set(ctxs)):
+        mask = np.array([c == ctx for c in ctxs])
+        means = table[mask].mean(axis=0)
+        print(f"{ctx:10s} " + " ".join(f"{m:9.2f}" for m in means)
+              + f"  best={names[means.argmin()]}")
+    print("DONE")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""EcoFusion reproduction: energy-aware adaptive sensor fusion (DAC 2022).
+
+Reproduces Malawade, Mortlock & Al Faruque, "EcoFusion: Energy-Aware
+Adaptive Sensor Fusion for Efficient Autonomous Vehicle Perception"
+(DAC 2022, arXiv:2202.11330) — model, substrates and every experiment.
+
+Quick tour of the public API::
+
+    from repro import get_or_build_system, evaluate_ecofusion
+
+    system = get_or_build_system()           # trains (or loads) everything
+    result = evaluate_ecofusion(
+        system.model, system.gates["attention"], system.test_split,
+        lambda_e=0.01, gamma=0.5,
+    )
+    print(result.map_percent, result.avg_energy_joules)
+
+Subpackages: ``repro.nn`` (autograd substrate), ``repro.datasets``
+(RADIATE-like simulator), ``repro.perception`` (Faster R-CNN style
+detector), ``repro.fusion`` (early/late/WBF), ``repro.hardware`` (Drive
+PX2 energy model), ``repro.core`` (EcoFusion), ``repro.baselines``,
+``repro.evaluation``.
+"""
+
+from . import baselines, core, datasets, evaluation, fusion, hardware, nn, perception
+from .core import (
+    AttentionGate,
+    BranchOutputCache,
+    DeepGate,
+    EcoFusionModel,
+    EcoFusionResult,
+    KnowledgeGate,
+    LossBasedGate,
+    ModelConfiguration,
+    build_config_library,
+    candidate_set,
+    joint_loss,
+    select_configuration,
+)
+from .datasets import RadiateSim, Sample, Subset, stratified_split
+from .evaluation import (
+    EvalResult,
+    SystemSpec,
+    TrainedSystem,
+    evaluate_ecofusion,
+    evaluate_map,
+    evaluate_static_config,
+    fusion_loss,
+    get_or_build_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "datasets",
+    "perception",
+    "fusion",
+    "hardware",
+    "core",
+    "baselines",
+    "evaluation",
+    "AttentionGate",
+    "BranchOutputCache",
+    "DeepGate",
+    "EcoFusionModel",
+    "EcoFusionResult",
+    "KnowledgeGate",
+    "LossBasedGate",
+    "ModelConfiguration",
+    "build_config_library",
+    "candidate_set",
+    "joint_loss",
+    "select_configuration",
+    "RadiateSim",
+    "Sample",
+    "Subset",
+    "stratified_split",
+    "EvalResult",
+    "SystemSpec",
+    "TrainedSystem",
+    "evaluate_ecofusion",
+    "evaluate_map",
+    "evaluate_static_config",
+    "fusion_loss",
+    "get_or_build_system",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""``repro.baselines`` — the paper's static fusion comparison points."""
+
+from .static import BASELINE_NAMES, run_all_baselines, run_baseline
+
+__all__ = ["BASELINE_NAMES", "run_all_baselines", "run_baseline"]

@@ -1,0 +1,49 @@
+"""Static fusion baselines (paper Table 1 / Fig. 5).
+
+The paper's comparison points are fixed pipelines:
+
+* **None** — a single sensor, no fusion (Eq. 1-2);
+* **Early** — raw-level fusion of both cameras and lidar through one
+  detector (Eq. 3);
+* **Late** — per-sensor detectors over all four sensors, outputs fused
+  (Eq. 4-5).
+
+Each baseline is simply one fixed configuration from the library executed
+as a static pipeline — the same substrate EcoFusion adapts over, which is
+what makes the comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from ..core.config import BASELINE_CONFIGS
+from ..core.ecofusion import BranchOutputCache, EcoFusionModel
+from ..datasets.splits import Subset
+from ..evaluation.runner import EvalResult, evaluate_static_config
+
+__all__ = ["BASELINE_NAMES", "run_baseline", "run_all_baselines"]
+
+BASELINE_NAMES: tuple[str, ...] = tuple(BASELINE_CONFIGS)
+
+
+def run_baseline(
+    model: EcoFusionModel,
+    baseline: str,
+    split: Subset,
+    cache: BranchOutputCache | None = None,
+) -> EvalResult:
+    """Evaluate one named baseline ('none_camera_right', 'early', ...)."""
+    if baseline not in BASELINE_CONFIGS:
+        raise KeyError(f"unknown baseline '{baseline}'; valid: {sorted(BASELINE_CONFIGS)}")
+    config_name = BASELINE_CONFIGS[baseline]
+    return evaluate_static_config(
+        model, config_name, split, cache=cache, display_name=baseline
+    )
+
+
+def run_all_baselines(
+    model: EcoFusionModel,
+    split: Subset,
+    cache: BranchOutputCache | None = None,
+) -> dict[str, EvalResult]:
+    """All six baseline rows of Table 1 (4 single sensors, early, late)."""
+    return {name: run_baseline(model, name, split, cache) for name in BASELINE_CONFIGS}

@@ -1,0 +1,78 @@
+"""``repro.core`` — EcoFusion itself: the paper's primary contribution."""
+
+from .config import (
+    BASELINE_CONFIGS,
+    BRANCH_NAMES,
+    BRANCHES,
+    BranchSpec,
+    ModelConfiguration,
+    build_config_library,
+    config_by_name,
+)
+from .ecofusion import BranchOutputCache, EcoFusionModel, EcoFusionResult
+from .gating import (
+    KNOWLEDGE_TABLE,
+    AttentionGate,
+    DeepGate,
+    Gate,
+    GateNetwork,
+    KnowledgeGate,
+    LossBasedGate,
+)
+from .optimization import (
+    SelectionResult,
+    candidate_set,
+    joint_loss,
+    select_configuration,
+)
+from .stems import GATE_INPUT_CHANNELS, build_stems
+from .temporal import (
+    HysteresisPolicy,
+    SensorDutyCycle,
+    TemporalGate,
+    TemporalResult,
+    run_sequence,
+)
+from .training import (
+    TrainingConfig,
+    compute_loss_table,
+    gate_feature_matrix,
+    train_gate,
+    train_perception,
+)
+
+__all__ = [
+    "BASELINE_CONFIGS",
+    "BRANCH_NAMES",
+    "BRANCHES",
+    "BranchSpec",
+    "ModelConfiguration",
+    "build_config_library",
+    "config_by_name",
+    "BranchOutputCache",
+    "EcoFusionModel",
+    "EcoFusionResult",
+    "Gate",
+    "GateNetwork",
+    "DeepGate",
+    "AttentionGate",
+    "KnowledgeGate",
+    "KNOWLEDGE_TABLE",
+    "LossBasedGate",
+    "SelectionResult",
+    "candidate_set",
+    "joint_loss",
+    "select_configuration",
+    "GATE_INPUT_CHANNELS",
+    "build_stems",
+    "HysteresisPolicy",
+    "SensorDutyCycle",
+    "TemporalGate",
+    "TemporalResult",
+    "run_sequence",
+    "TrainingConfig",
+    "compute_loss_table",
+    "gate_feature_matrix",
+    "train_gate",
+    "train_perception",
+]

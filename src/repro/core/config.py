@@ -1,0 +1,156 @@
+"""Branch specifications and the model-configuration library Phi.
+
+Sec. 4.3: "we implement one branch for each input sensor and three early
+fusion branches that fuse both homogeneous and heterogeneous sets of
+sensors.  Using the gate to select the branches, our model can dynamically
+choose between no fusion, early fusion, late fusion, and combinations of
+the three."
+
+A **branch** is one Faster R-CNN detector (single-sensor or early-fusion).
+A **configuration** ``phi`` is a non-empty set of branches whose outputs
+are late-fused.  ``Phi`` — the library the gate scores — is the curated
+list built by :func:`build_config_library`; it contains every baseline the
+paper reports (single sensors, early fusion, late fusion) plus the mixed
+early/late combinations EcoFusion may select.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BranchSpec",
+    "BRANCHES",
+    "BRANCH_NAMES",
+    "ModelConfiguration",
+    "build_config_library",
+    "config_by_name",
+    "BASELINE_CONFIGS",
+]
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """One detector branch: its name and the stems it consumes."""
+
+    name: str
+    sensors: tuple[str, ...]
+
+    @property
+    def is_early_fusion(self) -> bool:
+        return len(self.sensors) > 1
+
+    @property
+    def frame_sensor(self) -> str:
+        """Coordinate frame of the branch's detections.
+
+        Single-sensor branches detect in their sensor's frame; early-fusion
+        branches are trained against canonical-frame labels (the fused
+        feature map has no single native frame), i.e. the right camera.
+        """
+        return self.sensors[0] if len(self.sensors) == 1 else "camera_right"
+
+
+# The seven branches of Sec. 4.3: four single-sensor + three early-fusion
+# (homogeneous stereo pair, heterogeneous camera+lidar, heterogeneous
+# lidar+radar).
+BRANCHES: dict[str, BranchSpec] = {
+    "B_CL": BranchSpec("B_CL", ("camera_left",)),
+    "B_CR": BranchSpec("B_CR", ("camera_right",)),
+    "B_R": BranchSpec("B_R", ("radar",)),
+    "B_L": BranchSpec("B_L", ("lidar",)),
+    "B_CLCR": BranchSpec("B_CLCR", ("camera_left", "camera_right")),
+    "B_CLCRL": BranchSpec("B_CLCRL", ("camera_left", "camera_right", "lidar")),
+    "B_LR": BranchSpec("B_LR", ("lidar", "radar")),
+}
+BRANCH_NAMES: tuple[str, ...] = tuple(BRANCHES)
+
+
+@dataclass(frozen=True)
+class ModelConfiguration:
+    """A configuration phi: an ensemble of branches, late-fused."""
+
+    name: str
+    branches: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.branches:
+            raise ValueError(f"configuration '{self.name}' has no branches")
+        unknown = [b for b in self.branches if b not in BRANCHES]
+        if unknown:
+            raise ValueError(f"configuration '{self.name}' references unknown branches {unknown}")
+
+    @property
+    def sensors(self) -> tuple[str, ...]:
+        """All sensors any branch of this configuration consumes (sorted)."""
+        used: set[str] = set()
+        for b in self.branches:
+            used.update(BRANCHES[b].sensors)
+        return tuple(sorted(used))
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    @property
+    def fusion_kind(self) -> str:
+        """'none' | 'early' | 'late' | 'mixed' — for reporting."""
+        multi = len(self.branches) > 1
+        early = any(BRANCHES[b].is_early_fusion for b in self.branches)
+        if multi and early:
+            return "mixed"
+        if multi:
+            return "late"
+        if early:
+            return "early"
+        return "none"
+
+
+def build_config_library() -> list[ModelConfiguration]:
+    """The configuration library Phi (13 entries).
+
+    Ordered cheap-to-expensive-ish; the order is part of the public
+    contract (gate outputs index into it).
+    """
+    return [
+        # --- no fusion: one single-sensor branch -----------------------
+        ModelConfiguration("CL", ("B_CL",)),
+        ModelConfiguration("CR", ("B_CR",)),
+        ModelConfiguration("R", ("B_R",)),
+        ModelConfiguration("L", ("B_L",)),
+        # --- early fusion: one multi-sensor branch ---------------------
+        ModelConfiguration("EF_CLCR", ("B_CLCR",)),
+        ModelConfiguration("EF_LR", ("B_LR",)),
+        ModelConfiguration("EF_CLCRL", ("B_CLCRL",)),  # paper's early baseline
+        # --- late fusion: several single-sensor branches ---------------
+        ModelConfiguration("LF_CLCR", ("B_CL", "B_CR")),
+        ModelConfiguration("LF_CR_L", ("B_CR", "B_L")),
+        ModelConfiguration("LF_LR", ("B_L", "B_R")),
+        ModelConfiguration("LF_ALL", ("B_CL", "B_CR", "B_R", "B_L")),  # late baseline
+        # --- mixed early + late ----------------------------------------
+        ModelConfiguration("MIX_NIGHT", ("B_L", "B_R", "B_LR")),
+        # Maximum-redundancy configuration for the hardest weather: both
+        # heterogeneous early-fusion branches plus late lidar and radar.
+        # Costs more than plain late fusion — the source of Table 3's
+        # negative clock-gating savings in fog/snow.
+        ModelConfiguration("MIX_HEAVY", ("B_CLCRL", "B_LR", "B_L", "B_R")),
+    ]
+
+
+# Names of the paper's three baseline rows in Table 1.
+BASELINE_CONFIGS: dict[str, str] = {
+    "none_camera_left": "CL",
+    "none_camera_right": "CR",
+    "none_radar": "R",
+    "none_lidar": "L",
+    "early": "EF_CLCRL",
+    "late": "LF_ALL",
+}
+
+
+def config_by_name(library: list[ModelConfiguration], name: str) -> ModelConfiguration:
+    """Find a configuration in ``library`` by name (KeyError if absent)."""
+    for config in library:
+        if config.name == name:
+            return config
+    raise KeyError(f"no configuration named '{name}' in library: {[c.name for c in library]}")

@@ -1,0 +1,256 @@
+"""The EcoFusion model: Algorithm 1 of the paper.
+
+Per input frame:
+
+1. every modality stem runs (lines 2-3), producing features ``F``;
+2. the gate estimates ``L_f(phi)`` for all configurations (line 4);
+3. ``rho`` selects candidates within ``gamma`` of the best (line 5);
+4. the joint optimization picks ``phi*`` (lines 6-8);
+5. only the branches of ``phi*`` execute (lines 9-10);
+6. the fusion block late-fuses their detections (line 11).
+
+The model also exposes :meth:`run_config` for executing any fixed
+configuration — that is exactly what the paper's None / Early / Late
+baselines are (see ``repro.baselines``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.radiate import Sample
+from ..datasets.sensors import SENSORS
+from ..datasets.transforms import normalize_sample
+from ..fusion.late import BranchOutput, FusionBlock
+from ..nn import Tensor, no_grad
+from ..perception.detections import Detections
+from ..perception.detector import BranchDetector
+from ..perception.backbone import StemBlock
+from .config import BRANCHES, ModelConfiguration
+from .gating.base import Gate
+from .optimization import SelectionResult, select_configuration
+
+__all__ = ["EcoFusionModel", "EcoFusionResult", "BranchOutputCache"]
+
+
+@dataclass
+class EcoFusionResult:
+    """Outcome of one adaptive inference."""
+
+    sample_id: int
+    context: str
+    detections: Detections
+    config_name: str
+    selection: SelectionResult | None
+    latency_ms: float
+    energy_joules: float
+    static_energy_joules: float
+
+
+class BranchOutputCache:
+    """Memoized per-(sample, branch) detections.
+
+    Evaluating many configurations / gates / lambda values over the same
+    split re-executes identical branch inferences; this cache makes every
+    evaluation after the first nearly free, without changing any result
+    (branches are deterministic in eval mode).  Keys use the sample's
+    globally-unique ``uid``, so samples from different datasets (e.g. a
+    held-out scenario pool) can never alias each other.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, str], Detections] = {}
+
+    def get(self, sample: Sample, branch: str) -> Detections | None:
+        return self._store.get((sample.uid, branch))
+
+    def put(self, sample: Sample, branch: str, detections: Detections) -> None:
+        self._store[(sample.uid, branch)] = detections
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+@dataclass
+class EcoFusionModel:
+    """Stems + branches + fusion block + cost model (gate supplied per call)."""
+
+    stems: dict[str, StemBlock]
+    branches: dict[str, BranchDetector]
+    library: list[ModelConfiguration]
+    costs: "SystemCosts"
+    fusion_block: FusionBlock = field(default_factory=FusionBlock)
+    image_size: int = 64
+
+    def __post_init__(self) -> None:
+        missing = [b for c in self.library for b in c.branches if b not in self.branches]
+        if missing:
+            raise ValueError(f"library references branches without models: {sorted(set(missing))}")
+        self._energy_vector = np.array(
+            [self.costs.config_costs[c.name].energy_joules for c in self.library]
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def config_names(self) -> list[str]:
+        return [c.name for c in self.library]
+
+    def config_named(self, name: str) -> ModelConfiguration:
+        from .config import config_by_name
+
+        return config_by_name(self.library, name)
+
+    def energies(self) -> np.ndarray:
+        """E(phi) aligned with the library order (Joules)."""
+        return self._energy_vector.copy()
+
+    def set_eval(self) -> None:
+        for stem in self.stems.values():
+            stem.eval()
+        for branch in self.branches.values():
+            branch.eval()
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def stem_features(
+        self, samples: list[Sample], sensors: tuple[str, ...] | None = None
+    ) -> dict[str, Tensor]:
+        """Stem outputs per sensor for a batch of samples (eval mode)."""
+        sensors = sensors or SENSORS
+        self.set_eval()
+        normalized = [normalize_sample(s) for s in samples]
+        features: dict[str, Tensor] = {}
+        with no_grad():
+            for sensor in sensors:
+                batch = np.stack([n[sensor] for n in normalized]).astype(np.float32)
+                features[sensor] = self.stems[sensor](Tensor(batch))
+        return features
+
+    def gate_features(self, features: dict[str, Tensor]) -> Tensor:
+        """Channel-concatenation of all stem outputs, in SENSORS order."""
+        return Tensor.concatenate([features[s] for s in SENSORS], axis=1)
+
+    # ------------------------------------------------------------------
+    # Branch / configuration execution
+    # ------------------------------------------------------------------
+    def run_branch(
+        self, branch_name: str, features: dict[str, Tensor]
+    ) -> list[Detections]:
+        """Execute one branch on precomputed stem features."""
+        from ..fusion.early import concat_stem_features
+
+        spec = BRANCHES[branch_name]
+        stem_input = concat_stem_features(features, spec.sensors)
+        return self.branches[branch_name].detect(stem_input)
+
+    def branch_outputs(
+        self,
+        samples: list[Sample],
+        branch_names: tuple[str, ...],
+        features: dict[str, Tensor] | None = None,
+        cache: BranchOutputCache | None = None,
+    ) -> dict[str, list[Detections]]:
+        """Detections of each requested branch for every sample."""
+        results: dict[str, list[Detections]] = {}
+        pending = list(branch_names)
+        if cache is not None:
+            for name in list(pending):
+                hits = [cache.get(s, name) for s in samples]
+                if all(h is not None for h in hits):
+                    results[name] = hits  # type: ignore[assignment]
+                    pending.remove(name)
+        if pending:
+            if features is None:
+                needed = tuple(
+                    sorted({s for b in pending for s in BRANCHES[b].sensors})
+                )
+                features = self.stem_features(samples, needed)
+            for name in pending:
+                dets = self.run_branch(name, features)
+                results[name] = dets
+                if cache is not None:
+                    for sample, det in zip(samples, dets):
+                        cache.put(sample, name, det)
+        return results
+
+    def fuse_config(
+        self, config: ModelConfiguration, per_branch: dict[str, list[Detections]], index: int
+    ) -> Detections:
+        """Late-fuse one sample's branch outputs for ``config``."""
+        outputs = [
+            BranchOutput(
+                branch_name=b,
+                detections=per_branch[b][index],
+                frame_sensor=BRANCHES[b].frame_sensor,
+            )
+            for b in config.branches
+        ]
+        return self.fusion_block.fuse(outputs)
+
+    def run_config(
+        self,
+        config: ModelConfiguration,
+        samples: list[Sample],
+        cache: BranchOutputCache | None = None,
+    ) -> list[Detections]:
+        """Execute a fixed configuration as a static pipeline."""
+        per_branch = self.branch_outputs(samples, config.branches, cache=cache)
+        return [self.fuse_config(config, per_branch, i) for i in range(len(samples))]
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def infer(
+        self,
+        samples: list[Sample],
+        gate: Gate,
+        lambda_e: float = 0.01,
+        gamma: float = 0.5,
+        cache: BranchOutputCache | None = None,
+        interpretation: str = "intended",
+    ) -> list[EcoFusionResult]:
+        """Adaptive inference over a batch of samples (Algorithm 1)."""
+        features = self.stem_features(samples)  # lines 2-3: all stems run
+        contexts = [s.context for s in samples]
+        sample_ids = [s.sample_id for s in samples]
+
+        chosen_configs: list[ModelConfiguration] = []
+        selections: list[SelectionResult | None] = []
+        if gate.bypasses_optimization:
+            names = gate.select_direct(contexts)
+            chosen_configs = [self.config_named(n) for n in names]
+            selections = [None] * len(samples)
+        else:
+            gate_input = self.gate_features(features)
+            predicted = gate.predict_losses(gate_input, contexts, sample_ids)  # line 4
+            for i in range(len(samples)):
+                selection = select_configuration(  # lines 5-8
+                    predicted[i], self._energy_vector, lambda_e, gamma, interpretation
+                )
+                selections.append(selection)
+                chosen_configs.append(self.library[selection.index])
+
+        # Lines 9-10: execute each selected branch once per needing sample.
+        needed_branches = tuple(sorted({b for c in chosen_configs for b in c.branches}))
+        per_branch = self.branch_outputs(samples, needed_branches, features, cache)
+
+        results: list[EcoFusionResult] = []
+        for i, (sample, config) in enumerate(zip(samples, chosen_configs)):
+            fused = self.fuse_config(config, per_branch, i)  # line 11
+            latency, energy = self.costs.ecofusion_runtime(config)
+            results.append(
+                EcoFusionResult(
+                    sample_id=sample.sample_id,
+                    context=sample.context,
+                    detections=fused,
+                    config_name=config.name,
+                    selection=selections[i],
+                    latency_ms=latency,
+                    energy_joules=energy,
+                    static_energy_joules=self.costs.config_costs[config.name].energy_joules,
+                )
+            )
+        return results

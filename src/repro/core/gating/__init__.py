@@ -1,0 +1,17 @@
+"""``repro.core.gating`` — the four context-identification strategies."""
+
+from .attention import AttentionGate
+from .base import Gate
+from .deep import DeepGate, GateNetwork
+from .knowledge import KNOWLEDGE_TABLE, KnowledgeGate
+from .loss_based import LossBasedGate
+
+__all__ = [
+    "Gate",
+    "GateNetwork",
+    "DeepGate",
+    "AttentionGate",
+    "KnowledgeGate",
+    "KNOWLEDGE_TABLE",
+    "LossBasedGate",
+]

@@ -1,0 +1,38 @@
+"""Attention gating (paper Sec. 4.2.3).
+
+"Identical to the Deep Gating model, except for the addition of a
+self-attention layer to enable the gate to identify important areas of
+the input feature map."  The attention layer sits after the second conv
+block, where the 8x8 map gives 64 spatial tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import SpatialSelfAttention
+from .deep import DeepGate
+
+__all__ = ["AttentionGate"]
+
+
+def _attention_factory(channels: int, rng: np.random.Generator) -> SpatialSelfAttention:
+    return SpatialSelfAttention(channels, rng=rng)
+
+
+class AttentionGate(DeepGate):
+    """Deep gate + spatial self-attention."""
+
+    name = "attention"
+
+    def __init__(self, num_configs: int, rng: np.random.Generator,
+                 image_size: int = 64) -> None:
+        super().__init__(
+            num_configs, rng=rng, image_size=image_size,
+            attention_factory=_attention_factory,
+        )
+
+    @property
+    def last_attention_map(self) -> np.ndarray | None:
+        """Attention weights from the most recent forward (for analysis)."""
+        return self.network.extra.last_attention

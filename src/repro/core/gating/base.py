@@ -1,0 +1,65 @@
+"""Gate interface (paper Sec. 4.2).
+
+A gate's job: "(i) identify the context based on the input features,
+(ii) estimate the performance of each model configuration in the context,
+and (iii) compute the optimization result and use it to select phi*".
+Steps (i)-(ii) differ per strategy and live here; step (iii) is the
+shared joint optimization in :mod:`repro.core.optimization`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ...nn import Tensor
+
+__all__ = ["Gate"]
+
+
+class Gate(ABC):
+    """Strategy that predicts the fusion loss of every configuration.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in result tables ("knowledge", "deep",
+        "attention", "loss_based").
+    bypasses_optimization:
+        True for gates that select a configuration directly instead of
+        emitting tunable loss estimates (Knowledge gating is statically
+        programmed and "not tunable with our optimization", Sec. 5.1).
+    """
+
+    name: str = "gate"
+    bypasses_optimization: bool = False
+
+    @abstractmethod
+    def predict_losses(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        """Estimate ``L_f`` for each configuration.
+
+        Parameters
+        ----------
+        gate_features:
+            ``(N, C, H, W)`` channel-concatenated stem features.
+        contexts:
+            Per-sample context labels; only the Knowledge gate (which
+            assumes externally-identified context) may consume them.
+        sample_ids:
+            Per-sample dataset ids; only the Loss-Based oracle consumes
+            them.
+
+        Returns
+        -------
+        ``(N, |Phi|)`` predicted losses.
+        """
+
+    def select_direct(self, contexts: list[str]) -> list[str] | None:
+        """For ``bypasses_optimization`` gates: chosen config names."""
+        return None

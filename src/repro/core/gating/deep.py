@@ -1,0 +1,131 @@
+"""Deep gating (paper Sec. 4.2.2).
+
+"This approach uses a deep-learning model with three CNN layers and one
+MLP layer to predict the loss for each model configuration for a given
+set of inputs."  The gate consumes the channel-concatenation of all stem
+outputs and regresses one loss per configuration; it is trained after the
+stems/branches are frozen (Sec. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    no_grad,
+)
+from ...nn.layers import MaxPool2d
+from ..stems import GATE_INPUT_CHANNELS
+from .base import Gate
+
+__all__ = ["DeepGate", "GateNetwork"]
+
+
+class GateNetwork(Module):
+    """Three stride-2 conv blocks + one MLP head -> |Phi| loss estimates.
+
+    ``attention_factory`` optionally inserts an extra layer after the
+    second conv block (used by :class:`~.attention.AttentionGate`).
+    Input: (N, 32, 32, 32) stem features; conv trunk reduces to (N, 16,
+    4, 4) before the head.
+    """
+
+    def __init__(
+        self,
+        num_configs: int,
+        rng: np.random.Generator,
+        image_size: int = 64,
+        attention_factory=None,
+    ) -> None:
+        super().__init__()
+        self.num_configs = num_configs
+        stem_hw = image_size // 2
+        # Pooling first keeps the gate's compute a small fraction of a
+        # branch's, preserving the paper's "negligible gate cost" property
+        # (Sec. 5) at this repo's miniaturized scale.
+        self.pool = MaxPool2d(2)
+        self.conv1 = Sequential(
+            Conv2d(GATE_INPUT_CHANNELS, 16, 3, stride=2, padding=1, bias=False, rng=rng),
+            BatchNorm2d(16),
+            ReLU(),
+        )
+        self.conv2 = Sequential(
+            Conv2d(16, 16, 3, stride=2, padding=1, bias=False, rng=rng),
+            BatchNorm2d(16),
+            ReLU(),
+        )
+        # Assignment auto-registers the submodule when not None.
+        self.extra = attention_factory(16, rng) if attention_factory else None
+        self.conv3 = Sequential(
+            Conv2d(16, 16, 3, stride=2, padding=1, bias=False, rng=rng),
+            BatchNorm2d(16),
+            ReLU(),
+        )
+        flat = 16 * (stem_hw // 16) * (stem_hw // 16)
+        self.head = Sequential(Flatten(), Linear(flat, num_configs, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv2(self.conv1(self.pool(x)))
+        if self.extra is not None:
+            out = self.extra(out)
+        return self.head(self.conv3(out))
+
+
+class DeepGate(Gate):
+    """Learned loss-regression gate.
+
+    Predictions are optionally *shrunk toward the training-set prior*
+    (the per-configuration mean loss): with a small gate trained on a
+    small split, raw per-sample regressions are noisy and the argmin
+    selection suffers a winner's-curse bias toward whichever
+    configuration is most underestimated.  Shrinkage
+    ``L_hat = prior + shrink * (raw - prior)`` is a standard
+    variance-reduction calibration; ``shrink=1`` recovers the raw
+    regressor.  Install the prior with :meth:`set_prior` (done by
+    ``repro.core.training.train_gate``).
+    """
+
+    name = "deep"
+
+    def __init__(self, num_configs: int, rng: np.random.Generator,
+                 image_size: int = 64, attention_factory=None) -> None:
+        self.network = GateNetwork(
+            num_configs, rng=rng, image_size=image_size,
+            attention_factory=attention_factory,
+        )
+        self.prior: np.ndarray | None = None
+        self.shrink: float = 1.0
+
+    def set_prior(self, prior: np.ndarray, shrink: float = 0.5) -> None:
+        """Install the per-config mean-loss prior and shrink factor."""
+        prior = np.asarray(prior, dtype=np.float64).reshape(-1)
+        if prior.shape[0] != self.network.num_configs:
+            raise ValueError(
+                f"prior length {prior.shape[0]} != num configs {self.network.num_configs}"
+            )
+        if not 0.0 <= shrink <= 1.0:
+            raise ValueError("shrink must be in [0, 1]")
+        self.prior = prior
+        self.shrink = float(shrink)
+
+    def predict_losses(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        self.network.eval()
+        with no_grad():
+            out = self.network(gate_features)
+        raw = out.data.astype(np.float64)
+        if self.prior is None:
+            return raw
+        return self.prior[None, :] + self.shrink * (raw - self.prior[None, :])

@@ -1,0 +1,86 @@
+"""Knowledge gating (paper Sec. 4.2.1).
+
+Uses domain knowledge about per-modality performance in each driving
+condition to statically map an externally-identified context (weather
+feed, GPS, time of day) to a configuration.  Not tunable by lambda_E, and
+limited to the finite set of encoded contexts — both limitations the
+paper calls out and Table 2 demonstrates.
+
+The table below encodes the modality knowledge the simulator (and the
+real world) obey:
+
+* clear urban scenes: cameras + lidar early fusion, radar adds little;
+* junctions/motorways (clear, structured): the stereo pair suffices;
+* night: cameras are blind, lean on lidar + radar;
+* rain: everything degrades somewhat -> full late fusion for robustness;
+* fog/snow: cameras and lidar both suffer -> heavy mixed config that
+  keeps radar plus redundant lidar/camera paths;
+* rural (clear, sparse): late-fused stereo pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import Tensor
+from ..config import ModelConfiguration, config_by_name
+from .base import Gate
+
+__all__ = ["KnowledgeGate", "KNOWLEDGE_TABLE"]
+
+KNOWLEDGE_TABLE: dict[str, str] = {
+    "city": "EF_CLCRL",
+    "fog": "MIX_HEAVY",
+    "junction": "EF_CLCR",
+    "motorway": "EF_CLCR",
+    "night": "MIX_NIGHT",
+    "rain": "LF_ALL",
+    "rural": "LF_CLCR",
+    "snow": "MIX_HEAVY",
+}
+
+# Loss placeholder for non-selected configurations (the knowledge gate
+# asserts its choice rather than scoring alternatives).
+_REJECTED_LOSS = 1.0e3
+
+
+class KnowledgeGate(Gate):
+    """Static context -> configuration lookup."""
+
+    name = "knowledge"
+    bypasses_optimization = True
+
+    def __init__(
+        self,
+        library: list[ModelConfiguration],
+        table: dict[str, str] | None = None,
+    ) -> None:
+        self.library = library
+        self.table = dict(table or KNOWLEDGE_TABLE)
+        for context, config_name in self.table.items():
+            config_by_name(library, config_name)  # validate at construction
+
+    def select_direct(self, contexts: list[str]) -> list[str]:
+        missing = [c for c in contexts if c not in self.table]
+        if missing:
+            raise KeyError(
+                f"knowledge gate has no rule for contexts {sorted(set(missing))}; "
+                "static tables cannot generalize (Sec. 4.2.1)"
+            )
+        return [self.table[c] for c in contexts]
+
+    def predict_losses(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        """Loss vector surrogate: 0 at the chosen config, large elsewhere."""
+        if contexts is None:
+            raise ValueError("knowledge gating requires externally-identified contexts")
+        chosen = self.select_direct(contexts)
+        names = [c.name for c in self.library]
+        out = np.full((len(contexts), len(names)), _REJECTED_LOSS, dtype=np.float64)
+        for i, name in enumerate(chosen):
+            out[i, names.index(name)] = 0.0
+        return out

@@ -1,0 +1,49 @@
+"""Loss-based gating (paper Sec. 4.2.4).
+
+"The a posteriori ground-truth loss from each configuration for a given
+input is used to select phi*.  Thus, this implementation is not
+deployable in the real world but represents the theoretical best-case
+performance for a gate model that can perfectly predict the fusion loss
+of every configuration for every input."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import Tensor
+from .base import Gate
+
+__all__ = ["LossBasedGate"]
+
+
+class LossBasedGate(Gate):
+    """Oracle gate backed by a precomputed true-loss lookup."""
+
+    name = "loss_based"
+
+    def __init__(self, true_losses: dict[int, np.ndarray] | None = None) -> None:
+        self._table: dict[int, np.ndarray] = {}
+        if true_losses:
+            self.set_true_losses(true_losses)
+
+    def set_true_losses(self, true_losses: dict[int, np.ndarray]) -> None:
+        """Install the sample-id -> (|Phi|,) ground-truth loss mapping."""
+        for sample_id, vector in true_losses.items():
+            self._table[int(sample_id)] = np.asarray(vector, dtype=np.float64).reshape(-1)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def predict_losses(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        if sample_ids is None:
+            raise ValueError("loss-based gating requires sample ids (a-posteriori oracle)")
+        missing = [s for s in sample_ids if int(s) not in self._table]
+        if missing:
+            raise KeyError(f"no ground-truth losses recorded for samples {missing[:5]}")
+        return np.stack([self._table[int(s)] for s in sample_ids])

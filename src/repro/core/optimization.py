@@ -1,0 +1,121 @@
+"""Joint energy-performance optimization (paper Sec. 3.3, Eq. 7-9).
+
+Given per-configuration predicted fusion losses ``L_f(phi)`` and the
+offline energy table ``E(phi)``:
+
+1. :func:`candidate_set` implements ``rho`` (Eq. 7): configurations whose
+   predicted loss is within ``gamma`` of the best configuration ``phi'``.
+2. :func:`joint_loss` implements Eq. 8:
+   ``L_joint(phi) = (1 - lambda_E) * L_f(phi) + lambda_E * E(phi)``.
+3. :func:`select_configuration` implements Eq. 9: the ``argmin`` of
+   ``L_joint`` over the candidate set.
+
+Note on Eq. 7: as printed the predicate is
+``L_f(phi) - L_f(phi') <= L_f(phi') + gamma``.  Read literally the margin
+would widen with the best loss itself; the evident intent (and the
+behaviour described in the surrounding text — "maximum allowable
+difference in loss") is ``L_f(phi) <= L_f(phi') + gamma``.  Both
+interpretations are implemented; ``"intended"`` is the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["candidate_set", "joint_loss", "select_configuration", "SelectionResult"]
+
+
+def candidate_set(
+    losses: np.ndarray,
+    gamma: float,
+    interpretation: str = "intended",
+) -> np.ndarray:
+    """Boolean mask of configurations in ``Phi*`` (Eq. 7).
+
+    Parameters
+    ----------
+    losses:
+        ``(|Phi|,)`` predicted fusion losses.
+    gamma:
+        Maximum allowed loss excess over the best configuration; ``0``
+        keeps only the (tied) best.
+    interpretation:
+        ``"intended"`` -> ``L_f(phi) <= L_f(phi') + gamma`` or
+        ``"literal"`` -> ``L_f(phi) - L_f(phi') <= L_f(phi') + gamma``.
+    """
+    losses = np.asarray(losses, dtype=np.float64).reshape(-1)
+    if losses.size == 0:
+        raise ValueError("empty loss vector")
+    if gamma < 0:
+        raise ValueError("gamma must be non-negative")
+    best = float(losses.min())
+    if interpretation == "intended":
+        mask = losses <= best + gamma
+    elif interpretation == "literal":
+        mask = (losses - best) <= best + gamma
+    else:
+        raise ValueError(f"unknown interpretation '{interpretation}'")
+    mask = np.asarray(mask)
+    mask[losses.argmin()] = True  # phi' is always a candidate
+    return mask
+
+
+def joint_loss(
+    losses: np.ndarray, energies: np.ndarray, lambda_e: float
+) -> np.ndarray:
+    """Eq. 8: ``(1 - lambda_E) * L_f + lambda_E * E`` elementwise."""
+    if not 0.0 <= lambda_e <= 1.0:
+        raise ValueError(f"lambda_E must be in [0, 1], got {lambda_e}")
+    losses = np.asarray(losses, dtype=np.float64).reshape(-1)
+    energies = np.asarray(energies, dtype=np.float64).reshape(-1)
+    if losses.shape != energies.shape:
+        raise ValueError(
+            f"losses {losses.shape} and energies {energies.shape} must align"
+        )
+    return (1.0 - lambda_e) * losses + lambda_e * energies
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of the joint optimization for one input."""
+
+    index: int
+    candidate_mask: np.ndarray
+    joint_values: np.ndarray
+    predicted_losses: np.ndarray
+    energies: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.candidate_mask.sum())
+
+
+def select_configuration(
+    losses: np.ndarray,
+    energies: np.ndarray,
+    lambda_e: float,
+    gamma: float,
+    interpretation: str = "intended",
+) -> SelectionResult:
+    """Eq. 9: argmin of the joint loss over the candidate set.
+
+    Ties break toward lower energy (then lower index) — deterministic and
+    aligned with the optimization's purpose.
+    """
+    losses = np.asarray(losses, dtype=np.float64).reshape(-1)
+    energies = np.asarray(energies, dtype=np.float64).reshape(-1)
+    mask = candidate_set(losses, gamma, interpretation)
+    joint = joint_loss(losses, energies, lambda_e)
+    masked = np.where(mask, joint, np.inf)
+    best_value = masked.min()
+    tied = np.flatnonzero(np.isclose(masked, best_value))
+    index = int(tied[np.argmin(energies[tied])])
+    return SelectionResult(
+        index=index,
+        candidate_mask=mask,
+        joint_values=joint,
+        predicted_losses=losses,
+        energies=energies,
+    )

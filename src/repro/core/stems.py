@@ -1,0 +1,26 @@
+"""Modality-specific stem construction (paper Sec. 4.1).
+
+One stem per sensor; all stems run on every input so the gate can see all
+modalities (Algorithm 1, lines 2-3).  Stem features are shared between
+the gate and every branch that consumes the sensor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.sensors import SENSOR_CHANNELS, SENSORS
+from ..perception.backbone import STEM_CHANNELS, StemBlock
+
+__all__ = ["build_stems", "GATE_INPUT_CHANNELS"]
+
+# The gate consumes the channel-concatenation of all stem outputs.
+GATE_INPUT_CHANNELS = STEM_CHANNELS * len(SENSORS)
+
+
+def build_stems(rng: np.random.Generator) -> dict[str, StemBlock]:
+    """One :class:`StemBlock` per sensor, keyed by sensor name."""
+    return {
+        sensor: StemBlock(SENSOR_CHANNELS[sensor], rng=rng)
+        for sensor in SENSORS
+    }

@@ -1,0 +1,237 @@
+"""Temporal context gating and sensor duty-cycle planning.
+
+Implements the paper's proposed extension (Sec. 5.5.2): "Temporal
+modeling can enable the context to be estimated across time instead of
+for a single input, allowing clock gating for specific periods."
+
+Three cooperating pieces:
+
+* :class:`TemporalGate` — wraps any base gate and exponentially smooths
+  its per-configuration loss predictions over time.  Smoothing removes
+  single-frame prediction noise (the winner's-curse flicker of a
+  memoryless argmin) at the cost of a bounded reaction delay when the
+  context genuinely changes.
+* :class:`HysteresisPolicy` — switches configurations only when the new
+  candidate's joint loss undercuts the incumbent's by a margin, bounding
+  config-thrash (every switch re-engages different TensorRT engines).
+* :class:`SensorDutyCycle` — turns the config timeline into per-sensor
+  power states with a hold time: a sensor stays measurement-on for
+  ``hold_frames`` after its last use, so brief config flickers never
+  bounce sensor clock gates (spinning sensors must not be power-cycled,
+  Sec. 5.5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.sensors import SENSORS
+from ..nn import Tensor
+from .config import ModelConfiguration
+from .gating.base import Gate
+from .optimization import select_configuration
+
+__all__ = ["TemporalGate", "HysteresisPolicy", "SensorDutyCycle", "TemporalResult"]
+
+
+class TemporalGate(Gate):
+    """Exponential smoothing over a base gate's loss predictions.
+
+    ``smoothed_t = alpha * raw_t + (1 - alpha) * smoothed_{t-1}``;
+    ``alpha = 1`` recovers the memoryless base gate.  Designed for
+    single-stream (batch of one) sequential inference; call
+    :meth:`reset` between sequences.
+    """
+
+    bypasses_optimization = False
+
+    def __init__(self, base: Gate, alpha: float = 0.4) -> None:
+        if base.bypasses_optimization:
+            raise ValueError(
+                "temporal smoothing needs loss estimates; the knowledge gate "
+                "selects directly and has none"
+            )
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.base = base
+        self.alpha = float(alpha)
+        self.name = f"temporal[{base.name}]"
+        self._state: np.ndarray | None = None
+
+    def reset(self) -> None:
+        """Forget history (call at sequence boundaries)."""
+        self._state = None
+
+    def predict_losses(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        raw = self.base.predict_losses(gate_features, contexts, sample_ids)
+        out = np.empty_like(raw)
+        for i in range(raw.shape[0]):  # frames arrive in order
+            if self._state is None:
+                self._state = raw[i].copy()
+            else:
+                self._state = self.alpha * raw[i] + (1 - self.alpha) * self._state
+            out[i] = self._state
+        return out
+
+
+class HysteresisPolicy:
+    """Keep the incumbent configuration unless a challenger clearly wins.
+
+    A switch happens only when ``joint(challenger) + margin <
+    joint(incumbent)``; equal-quality alternatives never cause thrash.
+    """
+
+    def __init__(self, margin: float = 0.05) -> None:
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        self.margin = float(margin)
+        self._incumbent: int | None = None
+        self.switch_count = 0
+
+    def reset(self) -> None:
+        self._incumbent = None
+        self.switch_count = 0
+
+    def choose(self, losses: np.ndarray, energies: np.ndarray,
+               lambda_e: float, gamma: float) -> int:
+        """Index of the configuration to execute this frame."""
+        selection = select_configuration(losses, energies, lambda_e, gamma)
+        challenger = selection.index
+        if self._incumbent is None:
+            self._incumbent = challenger
+            return challenger
+        if challenger == self._incumbent:
+            return self._incumbent
+        joint = selection.joint_values
+        incumbent_value = joint[self._incumbent]
+        # The incumbent may have fallen out of the candidate set (its
+        # predicted loss drifted); force a switch in that case.
+        incumbent_valid = bool(selection.candidate_mask[self._incumbent])
+        if not incumbent_valid or joint[challenger] + self.margin < incumbent_value:
+            self._incumbent = challenger
+            self.switch_count += 1
+        return self._incumbent
+
+
+@dataclass
+class SensorPowerTimeline:
+    """Per-frame power state of every sensor (True = measuring)."""
+
+    states: list[dict[str, bool]] = field(default_factory=list)
+
+    def duty_cycle(self, sensor: str) -> float:
+        """Fraction of frames the sensor spent measurement-on."""
+        if not self.states:
+            return 0.0
+        on = sum(1 for s in self.states if s[sensor])
+        return on / len(self.states)
+
+
+class SensorDutyCycle:
+    """Hold-time clock-gating planner over a configuration timeline.
+
+    A sensor is measurement-on while any recent configuration (within
+    ``hold_frames``) needed it.  The hold prevents rapid power cycling
+    when the gate briefly flickers between configurations.
+    """
+
+    def __init__(self, hold_frames: int = 4) -> None:
+        if hold_frames < 1:
+            raise ValueError("hold_frames must be >= 1")
+        self.hold_frames = int(hold_frames)
+        self._last_used: dict[str, int] = {s: -(10**9) for s in SENSORS}
+        self._clock = -1
+
+    def reset(self) -> None:
+        self._last_used = {s: -(10**9) for s in SENSORS}
+        self._clock = -1
+
+    def step(self, config: ModelConfiguration) -> dict[str, bool]:
+        """Advance one frame; returns sensor -> measuring."""
+        self._clock += 1
+        for sensor in config.sensors:
+            self._last_used[sensor] = self._clock
+        return {
+            sensor: (self._clock - self._last_used[sensor]) < self.hold_frames
+            for sensor in SENSORS
+        }
+
+
+@dataclass
+class TemporalResult:
+    """Outcome of a temporally-gated sequence run."""
+
+    config_names: list[str]
+    switch_count: int
+    power_timeline: SensorPowerTimeline
+    energies: list[float]
+
+    @property
+    def avg_energy_joules(self) -> float:
+        return float(np.mean(self.energies)) if self.energies else 0.0
+
+    @property
+    def switches_per_frame(self) -> float:
+        return self.switch_count / max(len(self.config_names), 1)
+
+
+def run_sequence(
+    model,
+    gate: Gate,
+    sequence,
+    lambda_e: float = 0.05,
+    gamma: float = 0.5,
+    hysteresis_margin: float = 0.05,
+    hold_frames: int = 4,
+) -> TemporalResult:
+    """Temporally-gated inference over a :class:`DrivingSequence`.
+
+    Per frame: stems -> (smoothed) gate -> hysteresis selection -> sensor
+    duty-cycle update -> combined platform + sensor energy (Eq. 10-11
+    with per-frame gating states).  ``gate`` is typically a
+    :class:`TemporalGate`; a memoryless gate gives the no-smoothing
+    baseline for the A3 ablation.
+    """
+    from ..hardware.sensors_power import sensor_energy
+
+    if isinstance(gate, TemporalGate):
+        gate.reset()
+    policy = HysteresisPolicy(margin=hysteresis_margin)
+    duty = SensorDutyCycle(hold_frames=hold_frames)
+    timeline = SensorPowerTimeline()
+    energies: list[float] = []
+    config_names: list[str] = []
+    energy_vector = model.energies()
+
+    for frame in sequence:
+        sample = frame.sample
+        features = model.stem_features([sample])
+        gate_input = model.gate_features(features)
+        losses = gate.predict_losses(
+            gate_input, [sample.context], [sample.sample_id]
+        )[0]
+        index = policy.choose(losses, energy_vector, lambda_e, gamma)
+        config = model.library[index]
+        config_names.append(config.name)
+        power_state = duty.step(config)
+        timeline.states.append(power_state)
+        _, platform_energy = model.costs.ecofusion_runtime(config)
+        sensors_energy = sum(
+            sensor_energy(sensor, gated=not measuring)
+            for sensor, measuring in power_state.items()
+        )
+        energies.append(platform_energy + sensors_energy)
+
+    return TemporalResult(
+        config_names=config_names,
+        switch_count=policy.switch_count,
+        power_timeline=timeline,
+        energies=energies,
+    )

@@ -1,0 +1,229 @@
+"""Two-phase training (paper Sec. 5).
+
+Phase 1 — perception: "we train our model with all of the stems and
+branches enabled using supervised learning."  Every iteration runs all
+stems and all seven branches on a minibatch; gradients from every branch
+flow into the shared stems.
+
+Phase 2 — gate: "we take the trained stem and branch outputs and use them
+to separately train the gate model to select the branches that produce
+the lowest loss for a given stem output."  Concretely: the per-sample
+fusion loss of every configuration is computed offline (the loss table),
+then the Deep/Attention gate networks regress that table from frozen stem
+features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.radiate import Sample
+from ..datasets.splits import Subset
+from ..datasets.transforms import horizontal_flip, normalize_sensor
+from ..fusion.coordinates import from_canonical
+from ..fusion.early import concat_stem_features
+from ..nn import Adam, CosineLR, Tensor, clip_grad_norm, smooth_l1
+from ..perception.detector import BranchDetector
+from ..perception.backbone import StemBlock
+from .config import BRANCHES, ModelConfiguration
+from .ecofusion import BranchOutputCache, EcoFusionModel
+from .gating.deep import DeepGate
+
+__all__ = [
+    "TrainingConfig",
+    "train_perception",
+    "compute_loss_table",
+    "gate_feature_matrix",
+    "train_gate",
+]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyperparameters for both training phases."""
+
+    iterations: int = 220
+    batch_size: int = 6
+    learning_rate: float = 2.0e-3
+    weight_decay: float = 1.0e-4
+    grad_clip: float = 5.0
+    augment: bool = True
+    gate_iterations: int = 600
+    gate_batch_size: int = 16
+    gate_learning_rate: float = 1.0e-3
+    gate_weight_decay: float = 1.0e-2
+    gate_shrink: float = 0.5
+    seed: int = 0
+    log_every: int = 50
+    verbose: bool = False
+
+
+def _branch_ground_truth(
+    sample_boxes: np.ndarray, frame_sensor: str
+) -> np.ndarray:
+    """Canonical ground truth expressed in a branch's detection frame."""
+    if len(sample_boxes) == 0:
+        return sample_boxes
+    return from_canonical(sample_boxes, frame_sensor)
+
+
+def train_perception(
+    stems: dict[str, StemBlock],
+    branches: dict[str, BranchDetector],
+    train_split: Subset,
+    config: TrainingConfig,
+) -> list[float]:
+    """Phase 1: joint supervised training of all stems and branches.
+
+    Returns the per-iteration total-loss history (useful for convergence
+    tests and the quickstart example's learning curve).
+    """
+    rng = np.random.default_rng(config.seed)
+    params = []
+    for stem in stems.values():
+        stem.train()
+        params.extend(stem.parameters())
+    for branch in branches.values():
+        branch.train()
+        params.extend(branch.parameters())
+    optimizer = Adam(params, lr=config.learning_rate, weight_decay=config.weight_decay)
+    # Cosine decay to 10% of base lr sharpens classification late in training.
+    scheduler = CosineLR(optimizer, total=config.iterations,
+                         min_lr=0.1 * config.learning_rate)
+
+    image_size = train_split.dataset.image_size
+    history: list[float] = []
+    n = len(train_split)
+    for iteration in range(config.iterations):
+        idxs = rng.choice(n, size=min(config.batch_size, n), replace=False)
+        batch: list[Sample] = [train_split[int(i)] for i in idxs]
+        # Normalize (and maybe flip) every sensor of every sample.
+        sensors_batch: list[dict[str, np.ndarray]] = []
+        boxes_batch: list[np.ndarray] = []
+        labels_batch: list[np.ndarray] = []
+        for sample in batch:
+            tensors = {
+                name: normalize_sensor(name, arr)
+                for name, arr in sample.sensors.items()
+            }
+            boxes = sample.boxes
+            if config.augment and rng.random() < 0.5:
+                tensors, boxes = horizontal_flip(tensors, boxes, image_size)
+            sensors_batch.append(tensors)
+            boxes_batch.append(boxes)
+            labels_batch.append(sample.labels)
+
+        stem_out: dict[str, Tensor] = {}
+        for sensor, stem in stems.items():
+            stacked = np.stack([s[sensor] for s in sensors_batch]).astype(np.float32)
+            stem_out[sensor] = stem(Tensor(stacked))
+
+        total = None
+        for name, branch in branches.items():
+            spec = BRANCHES[name]
+            stem_input = concat_stem_features(stem_out, spec.sensors)
+            gt_boxes = [_branch_ground_truth(b, spec.frame_sensor) for b in boxes_batch]
+            losses = branch.compute_loss(stem_input, gt_boxes, labels_batch, rng)
+            total = losses.total if total is None else total + losses.total
+        total = total * (1.0 / len(branches))
+
+        optimizer.zero_grad()
+        total.backward()
+        clip_grad_norm(params, config.grad_clip)
+        optimizer.step()
+        scheduler.step()
+        history.append(total.item())
+        if config.verbose and (iteration + 1) % config.log_every == 0:
+            recent = float(np.mean(history[-config.log_every :]))
+            print(f"[perception] iter {iteration + 1}/{config.iterations} loss {recent:.3f}")
+    return history
+
+
+def compute_loss_table(
+    model: EcoFusionModel,
+    split: Subset,
+    fusion_loss_fn,
+    cache: BranchOutputCache | None = None,
+    batch_size: int = 16,
+) -> np.ndarray:
+    """Per-sample, per-configuration fusion loss: the gate's target table.
+
+    ``fusion_loss_fn(detections, gt_boxes, gt_labels) -> float`` is the
+    loss metric (see ``repro.evaluation.loss_metrics.fusion_loss``).
+    Every branch runs once per sample; each configuration then reuses the
+    cached branch outputs through the fusion block.
+    """
+    cache = cache if cache is not None else BranchOutputCache()
+    all_branches = tuple(BRANCHES)
+    table = np.zeros((len(split), len(model.library)), dtype=np.float64)
+    samples = list(split)
+    for start in range(0, len(samples), batch_size):
+        chunk = samples[start : start + batch_size]
+        per_branch = model.branch_outputs(chunk, all_branches, cache=cache)
+        for j, config in enumerate(model.library):
+            for i, sample in enumerate(chunk):
+                fused = model.fuse_config(config, per_branch, i)
+                table[start + i, j] = fusion_loss_fn(fused, sample.boxes, sample.labels)
+    return table
+
+
+def gate_feature_matrix(model: EcoFusionModel, split: Subset,
+                        batch_size: int = 16) -> np.ndarray:
+    """Frozen-stem gate inputs for every sample: (N, 32, S/2, S/2)."""
+    samples = list(split)
+    chunks = []
+    for start in range(0, len(samples), batch_size):
+        batch = samples[start : start + batch_size]
+        features = model.stem_features(batch)
+        chunks.append(model.gate_features(features).data)
+    return np.concatenate(chunks, axis=0)
+
+
+def train_gate(
+    gate: DeepGate,
+    features: np.ndarray,
+    loss_table: np.ndarray,
+    config: TrainingConfig,
+) -> list[float]:
+    """Phase 2: regress the loss table from frozen stem features.
+
+    Smooth-L1 regression keeps the occasional catastrophic configuration
+    loss (a config that misses everything in fog) from dominating the
+    gradient while still ranking configurations correctly.
+    """
+    if features.shape[0] != loss_table.shape[0]:
+        raise ValueError(
+            f"features ({features.shape[0]}) and loss table ({loss_table.shape[0]}) disagree"
+        )
+    rng = np.random.default_rng(config.seed + 1)
+    network = gate.network
+    network.train()
+    optimizer = Adam(
+        list(network.parameters()),
+        lr=config.gate_learning_rate,
+        weight_decay=config.gate_weight_decay,
+    )
+    n = features.shape[0]
+    history: list[float] = []
+    for iteration in range(config.gate_iterations):
+        idx = rng.choice(n, size=min(config.gate_batch_size, n), replace=False)
+        x = Tensor(features[idx])
+        target = loss_table[idx].astype(np.float32)
+        predicted = network(x)
+        loss = smooth_l1(predicted, target, beta=0.5)
+        optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(list(network.parameters()), config.grad_clip)
+        optimizer.step()
+        history.append(loss.item())
+        if config.verbose and (iteration + 1) % config.log_every == 0:
+            recent = float(np.mean(history[-config.log_every :]))
+            print(f"[gate:{gate.name}] iter {iteration + 1}/{config.gate_iterations} "
+                  f"loss {recent:.3f}")
+    network.eval()
+    # Calibrate: shrink per-sample predictions toward the train-mean prior
+    # (see DeepGate docstring for the variance-reduction rationale).
+    gate.set_prior(loss_table.mean(axis=0), shrink=config.gate_shrink)
+    return history

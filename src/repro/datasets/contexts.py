@@ -1,0 +1,246 @@
+"""Driving-context taxonomy and per-modality degradation profiles.
+
+The RADIATE dataset [22] groups recordings into difficult driving contexts;
+the paper evaluates on eight of them: *city, fog, junction, motorway, night,
+rain, rural, snow* (Fig. 5).  This module defines the simulator's
+counterpart: each context carries
+
+* an object-class mix and count range (what the scene contains), and
+* physically-motivated degradation parameters for each sensing modality.
+
+The degradation tables encode the domain knowledge the paper's analysis
+relies on (Sec. 1, Sec. 5.4):
+
+* cameras fail progressively in night / fog / rain / snow;
+* lidar is lighting-independent but suffers backscatter dropout in rain and
+  snow and attenuation in fog;
+* radar is weather-robust but spatially coarse and nearly blind to
+  low-radar-cross-section objects (pedestrians, bicycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CLASS_NAMES",
+    "CLASS_IDS",
+    "CONTEXTS",
+    "CONTEXT_NAMES",
+    "CameraDegradation",
+    "LidarDegradation",
+    "RadarDegradation",
+    "ContextProfile",
+    "get_context",
+]
+
+# Object classes annotated in RADIATE (Sec. 5).  Detector label 0 is
+# reserved for background; object labels are 1-based.
+CLASS_NAMES: tuple[str, ...] = (
+    "car",
+    "van",
+    "truck",
+    "bus",
+    "motorbike",
+    "bicycle",
+    "pedestrian",
+    "group_of_pedestrians",
+)
+CLASS_IDS: dict[str, int] = {name: i + 1 for i, name in enumerate(CLASS_NAMES)}
+
+
+@dataclass(frozen=True)
+class CameraDegradation:
+    """Optical degradation applied to both stereo cameras.
+
+    Attributes
+    ----------
+    brightness:
+        Multiplicative luminance scale (night ~0.25).
+    contrast:
+        Multiplicative contrast about the mean (fog reduces it).
+    blur_sigma:
+        Gaussian blur radius in pixels (fog, heavy rain).
+    noise:
+        Additive Gaussian sensor-noise sigma.
+    streak_density:
+        Fraction of columns hit by rain streaks.
+    speckle_density:
+        Fraction of pixels hit by snowflake speckles.
+    washout:
+        Mix factor toward uniform gray (fog airlight).
+    motion_blur:
+        Horizontal blur kernel width in pixels (high speed).
+    phantom_rate:
+        Expected number of phantom obstacles per frame: fog banks, snow
+        clumps and wiper smears that *look like* objects to a camera but
+        return nothing to lidar/radar.  These actively mislead
+        camera-dependent branches (false positives) — the physical reason
+        early fusion collapses in fog/snow while cross-sensor late fusion
+        votes the phantoms away (paper Fig. 5).
+    """
+
+    brightness: float = 1.0
+    contrast: float = 1.0
+    blur_sigma: float = 0.0
+    noise: float = 0.03
+    streak_density: float = 0.0
+    speckle_density: float = 0.0
+    washout: float = 0.0
+    motion_blur: int = 0
+    phantom_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class LidarDegradation:
+    """Point-cloud degradation (rendered as a 2-channel BEV-like map).
+
+    ``dropout`` removes returns (rain/snow backscatter), ``spurious`` adds
+    phantom returns, ``attenuation`` scales the range/intensity channel
+    (fog), ``noise`` is additive on the intensity channel.
+    """
+
+    dropout: float = 0.05
+    spurious: float = 0.005
+    attenuation: float = 1.0
+    noise: float = 0.02
+
+
+@dataclass(frozen=True)
+class RadarDegradation:
+    """Radar degradation.  Radar is deliberately near-invariant across
+    contexts (its robustness is the paper's motivation for keeping it)."""
+
+    clutter: float = 0.07
+    ghost_prob: float = 0.10
+    noise: float = 0.035
+
+
+@dataclass(frozen=True)
+class ContextProfile:
+    """Everything the simulator needs to synthesize one driving context."""
+
+    name: str
+    camera: CameraDegradation
+    lidar: LidarDegradation
+    radar: RadarDegradation
+    # class-name -> sampling weight for object spawning
+    object_mix: dict[str, float] = field(default_factory=dict)
+    n_objects: tuple[int, int] = (2, 5)
+    # background appearance knobs for the camera renderer
+    sky_level: float = 0.55
+    road_level: float = 0.35
+
+
+_URBAN_MIX = {
+    "car": 5.0, "van": 2.0, "truck": 0.8, "bus": 0.8,
+    "motorbike": 0.7, "bicycle": 1.0, "pedestrian": 2.5,
+    "group_of_pedestrians": 1.0,
+}
+_HIGHWAY_MIX = {
+    "car": 6.0, "van": 2.0, "truck": 2.5, "bus": 1.0,
+    "motorbike": 0.5, "bicycle": 0.05, "pedestrian": 0.05,
+    "group_of_pedestrians": 0.02,
+}
+_RURAL_MIX = {
+    "car": 4.0, "van": 1.5, "truck": 1.5, "bus": 0.3,
+    "motorbike": 0.5, "bicycle": 0.4, "pedestrian": 0.5,
+    "group_of_pedestrians": 0.2,
+}
+
+CONTEXTS: dict[str, ContextProfile] = {
+    "city": ContextProfile(
+        name="city",
+        camera=CameraDegradation(noise=0.03),
+        lidar=LidarDegradation(),
+        radar=RadarDegradation(),
+        object_mix=_URBAN_MIX,
+        n_objects=(2, 6),
+    ),
+    "fog": ContextProfile(
+        name="fog",
+        camera=CameraDegradation(
+            brightness=0.92, contrast=0.25, blur_sigma=2.8, noise=0.06, washout=0.80,
+            phantom_rate=2.0,
+        ),
+        lidar=LidarDegradation(dropout=0.40, spurious=0.03, attenuation=0.40, noise=0.06),
+        radar=RadarDegradation(),
+        object_mix=_RURAL_MIX,
+        n_objects=(1, 4),
+        sky_level=0.7,
+        road_level=0.6,
+    ),
+    "junction": ContextProfile(
+        name="junction",
+        camera=CameraDegradation(noise=0.035),
+        lidar=LidarDegradation(),
+        radar=RadarDegradation(),
+        object_mix=_URBAN_MIX,
+        n_objects=(2, 6),
+    ),
+    "motorway": ContextProfile(
+        name="motorway",
+        camera=CameraDegradation(noise=0.03, motion_blur=3),
+        lidar=LidarDegradation(dropout=0.08),
+        radar=RadarDegradation(),
+        object_mix=_HIGHWAY_MIX,
+        n_objects=(1, 4),
+    ),
+    "night": ContextProfile(
+        name="night",
+        camera=CameraDegradation(brightness=0.22, contrast=0.8, noise=0.10),
+        lidar=LidarDegradation(),  # active sensor: lighting-independent
+        radar=RadarDegradation(),
+        object_mix=_URBAN_MIX,
+        n_objects=(1, 5),
+        sky_level=0.08,
+        road_level=0.10,
+    ),
+    "rain": ContextProfile(
+        name="rain",
+        camera=CameraDegradation(
+            brightness=0.8, contrast=0.75, blur_sigma=0.7, noise=0.07,
+            streak_density=0.18, phantom_rate=0.3,
+        ),
+        lidar=LidarDegradation(dropout=0.32, spurious=0.05, noise=0.06),
+        radar=RadarDegradation(clutter=0.10),
+        object_mix=_URBAN_MIX,
+        n_objects=(2, 5),
+        sky_level=0.4,
+        road_level=0.28,
+    ),
+    "rural": ContextProfile(
+        name="rural",
+        camera=CameraDegradation(noise=0.03),
+        lidar=LidarDegradation(),
+        radar=RadarDegradation(),
+        object_mix=_RURAL_MIX,
+        n_objects=(1, 4),
+        sky_level=0.6,
+        road_level=0.4,
+    ),
+    "snow": ContextProfile(
+        name="snow",
+        camera=CameraDegradation(
+            brightness=1.0, contrast=0.30, blur_sigma=1.5, noise=0.07,
+            speckle_density=0.16, washout=0.65, phantom_rate=2.5,
+        ),
+        lidar=LidarDegradation(dropout=0.62, spurious=0.12, attenuation=0.55, noise=0.08),
+        radar=RadarDegradation(),
+        object_mix=_RURAL_MIX,
+        n_objects=(1, 4),
+        sky_level=0.8,
+        road_level=0.7,
+    ),
+}
+
+CONTEXT_NAMES: tuple[str, ...] = tuple(CONTEXTS)
+
+
+def get_context(name: str) -> ContextProfile:
+    """Look up a context profile by name (raises ``KeyError`` with the
+    valid options listed, which makes config typos obvious)."""
+    try:
+        return CONTEXTS[name]
+    except KeyError:
+        raise KeyError(f"unknown context '{name}'; valid: {sorted(CONTEXTS)}") from None

@@ -1,0 +1,207 @@
+"""Procedural scene generation: object layouts with ground-truth boxes.
+
+A :class:`Scene` is sensor-agnostic — it describes *what is where* (object
+classes, bounding boxes, a depth proxy) in a canonical image frame.  The
+sensor simulators in :mod:`repro.datasets.sensors` then render the same
+scene through each modality's physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .contexts import CLASS_IDS, CLASS_NAMES, ContextProfile
+
+__all__ = ["SceneObject", "Scene", "generate_scene", "CLASS_SIZE_RANGES"]
+
+# Per-class (width, height) ranges in pixels at the default 64x64 frame,
+# loosely proportional to real-world footprints seen from a front camera.
+CLASS_SIZE_RANGES: dict[str, tuple[tuple[int, int], tuple[int, int]]] = {
+    "car": ((17, 26), (12, 18)),
+    "van": ((18, 28), (14, 20)),
+    "truck": ((23, 35), (15, 22)),
+    "bus": ((26, 38), (15, 22)),
+    "motorbike": ((10, 14), (10, 14)),
+    "bicycle": ((10, 14), (10, 14)),
+    "pedestrian": ((8, 11), (13, 18)),
+    "group_of_pedestrians": ((14, 23), (13, 18)),
+}
+
+# Radar cross-section proxy per class: large metal objects reflect strongly,
+# pedestrians weakly (drives the paper's radar-vs-pedestrian gap).
+CLASS_RCS: dict[str, float] = {
+    "car": 0.95,
+    "van": 0.78,
+    "truck": 1.00,
+    "bus": 0.88,
+    "motorbike": 0.60,
+    "bicycle": 0.45,
+    "pedestrian": 0.35,
+    "group_of_pedestrians": 0.55,
+}
+
+# Radar return texture per class: (stripe angle in radians, stripe period
+# in coarse-grid pixels).  Physical analogue: surface structure and
+# micro-doppler signatures modulate the return pattern of real radar;
+# this is the texture cue that lets a radar detector tell a van from a
+# car despite similar extent.  Pedestrians return an unmodulated blob.
+CLASS_RADAR_TEXTURE: dict[str, tuple[float, float]] = {
+    "car": (0.0, 3.0),
+    "van": (0.0, 5.0),
+    "truck": (1.5708, 3.0),
+    "bus": (1.5708, 5.0),
+    "motorbike": (0.7854, 2.5),
+    "bicycle": (0.7854, 4.0),
+    "pedestrian": (0.0, 1.0e9),  # uniform
+    "group_of_pedestrians": (2.3562, 3.0),
+}
+
+# Lidar return density per class (point count proxy; close-range spinning
+# lidar covers vehicle surfaces near-completely).
+CLASS_LIDAR_DENSITY: dict[str, float] = {
+    "car": 0.95,
+    "van": 0.95,
+    "truck": 0.97,
+    "bus": 0.97,
+    "motorbike": 0.80,
+    "bicycle": 0.75,
+    "pedestrian": 0.80,
+    "group_of_pedestrians": 0.85,
+}
+
+
+@dataclass
+class SceneObject:
+    """One annotated object in the canonical frame.
+
+    ``box`` is ``(x1, y1, x2, y2)`` in pixels; ``depth`` is a 0-1 proxy
+    (0 = close, 1 = far) used for disparity, lidar range and fog
+    attenuation; ``appearance_seed`` makes the per-object texture
+    deterministic across sensors and re-renders.
+    """
+
+    class_name: str
+    box: np.ndarray
+    depth: float
+    appearance_seed: int
+
+    @property
+    def label(self) -> int:
+        return CLASS_IDS[self.class_name]
+
+    @property
+    def width(self) -> float:
+        return float(self.box[2] - self.box[0])
+
+    @property
+    def height(self) -> float:
+        return float(self.box[3] - self.box[1])
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (
+            float(self.box[0] + self.box[2]) / 2.0,
+            float(self.box[1] + self.box[3]) / 2.0,
+        )
+
+
+@dataclass
+class Scene:
+    """A full scene: context plus object list in the canonical frame."""
+
+    context: str
+    image_size: int
+    objects: list[SceneObject] = field(default_factory=list)
+
+    @property
+    def boxes(self) -> np.ndarray:
+        """(d, 4) float32 ground-truth boxes."""
+        if not self.objects:
+            return np.zeros((0, 4), dtype=np.float32)
+        return np.stack([o.box for o in self.objects]).astype(np.float32)
+
+    @property
+    def labels(self) -> np.ndarray:
+        """(d,) int64 one-based class labels."""
+        return np.array([o.label for o in self.objects], dtype=np.int64)
+
+
+def _sample_class(profile: ContextProfile, rng: np.random.Generator) -> str:
+    names = list(profile.object_mix)
+    weights = np.array([profile.object_mix[n] for n in names], dtype=np.float64)
+    weights /= weights.sum()
+    return names[int(rng.choice(len(names), p=weights))]
+
+
+def _boxes_overlap(box: np.ndarray, others: list[np.ndarray], max_iou: float = 0.25) -> bool:
+    for other in others:
+        x1 = max(box[0], other[0])
+        y1 = max(box[1], other[1])
+        x2 = min(box[2], other[2])
+        y2 = min(box[3], other[3])
+        inter = max(0.0, x2 - x1) * max(0.0, y2 - y1)
+        if inter <= 0:
+            continue
+        a = (box[2] - box[0]) * (box[3] - box[1])
+        b = (other[2] - other[0]) * (other[3] - other[1])
+        if inter / (a + b - inter) > max_iou:
+            return True
+    return False
+
+
+def generate_scene(
+    profile: ContextProfile,
+    rng: np.random.Generator,
+    image_size: int = 64,
+) -> Scene:
+    """Generate one scene for ``profile`` with non-pathological layouts.
+
+    Objects are placed with rejection sampling so boxes overlap at most
+    IoU 0.25 (heavily-stacked ground truth would make the detection metric
+    ill-posed at this resolution).  Object vertical position correlates
+    with the depth proxy: distant objects sit near the horizon and are
+    scaled down, as in a forward-facing camera.
+    """
+    scale = image_size / 64.0
+    n_min, n_max = profile.n_objects
+    count = int(rng.integers(n_min, n_max + 1))
+    horizon = 0.35 * image_size
+
+    scene = Scene(context=profile.name, image_size=image_size)
+    placed: list[np.ndarray] = []
+    attempts = 0
+    while len(scene.objects) < count and attempts < count * 30:
+        attempts += 1
+        cls = _sample_class(profile, rng)
+        (w_lo, w_hi), (h_lo, h_hi) = CLASS_SIZE_RANGES[cls]
+        depth = float(rng.uniform(0.0, 1.0))
+        # Far objects shrink toward 55% of their near size.
+        shrink = 1.0 - 0.45 * depth
+        w = max(4.0, rng.uniform(w_lo, w_hi) * shrink * scale)
+        h = max(4.0, rng.uniform(h_lo, h_hi) * shrink * scale)
+        # Depth places the object's baseline between horizon and bottom.
+        base_y = horizon + (image_size - 2 - horizon) * (1.0 - depth)
+        cy = base_y - h / 2.0
+        cx = rng.uniform(w / 2.0 + 1, image_size - w / 2.0 - 1)
+        box = np.array(
+            [cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0],
+            dtype=np.float32,
+        )
+        box[0::2] = np.clip(box[0::2], 0, image_size - 1)
+        box[1::2] = np.clip(box[1::2], 0, image_size - 1)
+        if box[2] - box[0] < 3 or box[3] - box[1] < 3:
+            continue
+        if _boxes_overlap(box, placed):
+            continue
+        placed.append(box)
+        scene.objects.append(
+            SceneObject(
+                class_name=cls,
+                box=box,
+                depth=depth,
+                appearance_seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return scene

@@ -1,0 +1,69 @@
+"""Train/test splitting.
+
+The paper uses a 70:30 train-test split across the dataset (Sec. 5).  We
+stratify by context so that every driving scenario appears in both splits
+(required for the per-scenario evaluation of Fig. 5 / Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .radiate import RadiateSim
+
+__all__ = ["stratified_split", "Subset"]
+
+
+def stratified_split(
+    dataset: RadiateSim,
+    train_fraction: float = 0.7,
+    seed: int = 0,
+) -> tuple[list[int], list[int]]:
+    """Split sample indices into (train, test), stratified by context.
+
+    Each context contributes ``round(train_fraction * n)`` samples to the
+    train split (at least one sample to each side when the context has two
+    or more samples).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    train: list[int] = []
+    test: list[int] = []
+    contexts = dataset.contexts
+    for context in sorted(set(contexts)):
+        idxs = [i for i, c in enumerate(contexts) if c == context]
+        perm = rng.permutation(len(idxs))
+        n_train = int(round(train_fraction * len(idxs)))
+        if len(idxs) >= 2:
+            n_train = min(max(n_train, 1), len(idxs) - 1)
+        for j, p in enumerate(perm):
+            (train if j < n_train else test).append(idxs[p])
+    return sorted(train), sorted(test)
+
+
+class Subset:
+    """A view of a dataset restricted to a list of indices."""
+
+    def __init__(self, dataset: RadiateSim, indices: list[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, i: int):
+        return self.dataset[self.indices[i]]
+
+    def __iter__(self):
+        for i in self.indices:
+            yield self.dataset[i]
+
+    @property
+    def contexts(self) -> list[str]:
+        all_contexts = self.dataset.contexts
+        return [all_contexts[i] for i in self.indices]
+
+    def indices_for_context(self, context: str) -> list[int]:
+        """Positions *within this subset* whose sample has ``context``."""
+        return [j for j, c in enumerate(self.contexts) if c == context]

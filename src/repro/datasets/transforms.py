@@ -1,0 +1,55 @@
+"""Input normalization and augmentation for sensor tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .radiate import Sample
+
+__all__ = [
+    "SENSOR_NORMALIZATION",
+    "normalize_sensor",
+    "normalize_sample",
+    "horizontal_flip",
+    "batch_sensors",
+]
+
+# Per-modality (mean, std) chosen from the simulator's output statistics;
+# fixed constants (like ImageNet normalization) rather than per-sample
+# whitening, so the stems see absolute context cues such as darkness.
+SENSOR_NORMALIZATION: dict[str, tuple[float, float]] = {
+    "camera_left": (0.45, 0.25),
+    "camera_right": (0.45, 0.25),
+    "lidar": (0.10, 0.20),
+    "radar": (0.10, 0.15),
+}
+
+
+def normalize_sensor(name: str, array: np.ndarray) -> np.ndarray:
+    """Standardize one sensor tensor with its modality constants."""
+    mean, std = SENSOR_NORMALIZATION[name]
+    return ((array - mean) / std).astype(np.float32)
+
+
+def normalize_sample(sample: Sample) -> dict[str, np.ndarray]:
+    """Normalized copies of every sensor tensor in ``sample``."""
+    return {name: normalize_sensor(name, arr) for name, arr in sample.sensors.items()}
+
+
+def horizontal_flip(
+    sensors: dict[str, np.ndarray], boxes: np.ndarray, image_size: int
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Mirror all sensors and boxes about the vertical axis (augmentation)."""
+    flipped = {name: arr[:, :, ::-1].copy() for name, arr in sensors.items()}
+    out = boxes.copy()
+    if len(out):
+        out[:, 0] = image_size - 1 - boxes[:, 2]
+        out[:, 2] = image_size - 1 - boxes[:, 0]
+    return flipped, out
+
+
+def batch_sensors(
+    samples: list[dict[str, np.ndarray]], sensor: str
+) -> np.ndarray:
+    """Stack one sensor across normalized samples into an (N,C,H,W) batch."""
+    return np.stack([s[sensor] for s in samples]).astype(np.float32)

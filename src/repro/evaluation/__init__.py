@@ -1,0 +1,31 @@
+"""``repro.evaluation`` — metrics, experiment runner and artifact cache."""
+
+from .cache import SystemSpec, TrainedSystem, build_system, get_or_build_system
+from .loss_metrics import FusionLossConfig, fusion_loss, fusion_loss_breakdown
+from .map import MapResult, average_precision, evaluate_map
+from .reports import format_paper_comparison, format_series, format_table
+from .runner import EvalResult, evaluate_ecofusion, evaluate_static_config
+from .visualize import ascii_boxes, ascii_image, render_detections, render_sample
+
+__all__ = [
+    "SystemSpec",
+    "TrainedSystem",
+    "build_system",
+    "get_or_build_system",
+    "FusionLossConfig",
+    "fusion_loss",
+    "fusion_loss_breakdown",
+    "MapResult",
+    "average_precision",
+    "evaluate_map",
+    "format_paper_comparison",
+    "format_series",
+    "format_table",
+    "EvalResult",
+    "evaluate_ecofusion",
+    "evaluate_static_config",
+    "ascii_boxes",
+    "ascii_image",
+    "render_detections",
+    "render_sample",
+]

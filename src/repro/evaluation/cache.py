@@ -1,0 +1,303 @@
+"""Trained-system construction and on-disk artifact caching.
+
+Training the full system (7 branches + stems + 2 learned gates) in pure
+numpy takes minutes; examples, tests and every benchmark share one
+deterministic training run through :func:`get_or_build_system`, which
+persists weights and loss tables under ``.artifacts/`` keyed by the
+system spec.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import BRANCHES, build_config_library
+from ..core.ecofusion import BranchOutputCache, EcoFusionModel
+from ..core.gating import AttentionGate, DeepGate, KnowledgeGate, LossBasedGate
+from ..core.stems import build_stems
+from ..core.training import (
+    TrainingConfig,
+    compute_loss_table,
+    gate_feature_matrix,
+    train_gate,
+    train_perception,
+)
+from ..datasets.contexts import CLASS_NAMES
+from ..datasets.radiate import RadiateSim, default_counts, realistic_counts
+from ..datasets.splits import Subset, stratified_split
+from ..hardware.profiler import build_system_costs
+from ..nn.serialization import load_state, save_state
+from ..perception.detector import BranchDetector
+from .loss_metrics import fusion_loss
+
+__all__ = ["SystemSpec", "TrainedSystem", "build_system", "get_or_build_system"]
+
+DEFAULT_ARTIFACT_ROOT = Path(__file__).resolve().parents[3] / ".artifacts"
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Everything that determines a trained system (and its cache key)."""
+
+    seed: int = 0
+    per_context: int = 40
+    # "realistic" weights contexts by real-world frequency (clear driving
+    # dominates, fog/snow are rare); "uniform" gives per_context each.
+    context_mix: str = "realistic"
+    image_size: int = 64
+    train_fraction: float = 0.7
+    iterations: int = 800
+    batch_size: int = 6
+    learning_rate: float = 2.0e-3
+    gate_iterations: int = 600
+    gate_shrink: float = 0.35
+    augment: bool = True
+    # Bump when the simulator or architecture changes incompatibly, so
+    # stale on-disk artifacts are never silently reused.
+    version: int = 6
+
+    def counts(self) -> dict[str, int]:
+        if self.context_mix == "realistic":
+            return realistic_counts(self.per_context)
+        if self.context_mix == "uniform":
+            return default_counts(self.per_context)
+        raise ValueError(f"unknown context_mix '{self.context_mix}'")
+
+    def cache_key(self) -> str:
+        fields = asdict(self)
+        parts = [f"{k}={fields[k]}" for k in sorted(fields)]
+        return "ecofusion_" + "_".join(parts).replace(".", "p")
+
+
+@dataclass
+class TrainedSystem:
+    """A fully-trained EcoFusion system ready for evaluation."""
+
+    spec: SystemSpec
+    dataset: RadiateSim
+    train_split: Subset
+    test_split: Subset
+    model: EcoFusionModel
+    gates: dict[str, object]
+    train_loss_table: np.ndarray
+    test_loss_table: np.ndarray
+    perception_history: list[float] = field(default_factory=list)
+    cache: BranchOutputCache = field(default_factory=BranchOutputCache)
+
+    @property
+    def library(self):
+        return self.model.library
+
+
+def _build_untrained(spec: SystemSpec):
+    """Deterministic construction of dataset, splits and raw modules."""
+    dataset = RadiateSim(
+        spec.counts(), seed=spec.seed, image_size=spec.image_size
+    )
+    train_idx, test_idx = stratified_split(dataset, spec.train_fraction, seed=spec.seed)
+    train_split = Subset(dataset, train_idx)
+    test_split = Subset(dataset, test_idx)
+    rng = np.random.default_rng(spec.seed)
+    stems = build_stems(rng)
+    branches = {
+        name: BranchDetector(
+            num_sensors=len(braspec.sensors),
+            num_classes=len(CLASS_NAMES),
+            image_size=spec.image_size,
+            rng=rng,
+        )
+        for name, braspec in BRANCHES.items()
+    }
+    gate_rng = np.random.default_rng(spec.seed + 7)
+    library = build_config_library()
+    deep = DeepGate(len(library), rng=gate_rng, image_size=spec.image_size)
+    attention = AttentionGate(len(library), rng=gate_rng, image_size=spec.image_size)
+    return dataset, train_split, test_split, stems, branches, library, deep, attention
+
+
+def _assemble(
+    spec: SystemSpec, dataset, train_split, test_split, stems, branches,
+    library, deep, attention,
+) -> tuple[EcoFusionModel, dict[str, object]]:
+    costs = build_system_costs(
+        library, stems, branches, attention.network, spec.image_size
+    )
+    model = EcoFusionModel(
+        stems=stems, branches=branches, library=library, costs=costs,
+        image_size=spec.image_size,
+    )
+    gates: dict[str, object] = {
+        "knowledge": KnowledgeGate(library),
+        "deep": deep,
+        "attention": attention,
+        "loss_based": LossBasedGate(),
+    }
+    return model, gates
+
+
+def _install_oracle(
+    gates: dict[str, object],
+    splits: list[Subset],
+    tables: list[np.ndarray],
+) -> None:
+    oracle: LossBasedGate = gates["loss_based"]  # type: ignore[assignment]
+    mapping: dict[int, np.ndarray] = {}
+    for split, table in zip(splits, tables):
+        for i, sample in enumerate(split):
+            mapping[sample.sample_id] = table[i]
+    oracle.set_true_losses(mapping)
+
+
+def build_system(spec: SystemSpec | None = None, verbose: bool = False) -> TrainedSystem:
+    """Train the full system from scratch (several minutes in numpy)."""
+    spec = spec or SystemSpec()
+    (dataset, train_split, test_split, stems, branches,
+     library, deep, attention) = _build_untrained(spec)
+
+    train_cfg = TrainingConfig(
+        iterations=spec.iterations,
+        batch_size=spec.batch_size,
+        learning_rate=spec.learning_rate,
+        gate_iterations=spec.gate_iterations,
+        gate_shrink=spec.gate_shrink,
+        augment=spec.augment,
+        seed=spec.seed,
+        verbose=verbose,
+    )
+    history = train_perception(stems, branches, train_split, train_cfg)
+
+    model, gates = _assemble(
+        spec, dataset, train_split, test_split, stems, branches, library, deep, attention
+    )
+    cache = BranchOutputCache()
+    train_table = compute_loss_table(model, train_split, fusion_loss, cache=cache)
+    test_table = compute_loss_table(model, test_split, fusion_loss, cache=cache)
+
+    features = gate_feature_matrix(model, train_split)
+    train_gate(deep, features, train_table, train_cfg)
+    train_gate(attention, features, train_table, train_cfg)
+    _install_oracle(gates, [train_split, test_split], [train_table, test_table])
+
+    return TrainedSystem(
+        spec=spec,
+        dataset=dataset,
+        train_split=train_split,
+        test_split=test_split,
+        model=model,
+        gates=gates,
+        train_loss_table=train_table,
+        test_loss_table=test_table,
+        perception_history=history,
+        cache=cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def _save_system(system: TrainedSystem, directory: Path) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    state: dict[str, np.ndarray] = {}
+    for sensor, stem in system.model.stems.items():
+        for key, value in stem.state_dict().items():
+            state[f"stem.{sensor}.{key}"] = value
+    for name, branch in system.model.branches.items():
+        for key, value in branch.state_dict().items():
+            state[f"branch.{name}.{key}"] = value
+    for gate_name in ("deep", "attention"):
+        network = system.gates[gate_name].network  # type: ignore[union-attr]
+        for key, value in network.state_dict().items():
+            state[f"gate.{gate_name}.{key}"] = value
+    save_state(state, directory / "weights.npz")
+    np.savez_compressed(
+        directory / "tables.npz",
+        train_loss_table=system.train_loss_table,
+        test_loss_table=system.test_loss_table,
+        history=np.asarray(system.perception_history, dtype=np.float64),
+    )
+    meta = {"spec": asdict(system.spec), "format": 1}
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+
+
+def _split_state(state: dict[str, np.ndarray], prefix: str) -> dict[str, np.ndarray]:
+    plen = len(prefix)
+    return {k[plen:]: v for k, v in state.items() if k.startswith(prefix)}
+
+
+def _load_system(spec: SystemSpec, directory: Path) -> TrainedSystem:
+    meta = json.loads((directory / "meta.json").read_text())
+    if meta.get("spec") != asdict(spec):
+        raise ValueError("cached artifact spec mismatch")
+    (dataset, train_split, test_split, stems, branches,
+     library, deep, attention) = _build_untrained(spec)
+    state = load_state(directory / "weights.npz")
+    for sensor, stem in stems.items():
+        stem.load_state_dict(_split_state(state, f"stem.{sensor}."))
+    for name, branch in branches.items():
+        branch.load_state_dict(_split_state(state, f"branch.{name}."))
+    deep.network.load_state_dict(_split_state(state, "gate.deep."))
+    attention.network.load_state_dict(_split_state(state, "gate.attention."))
+    deep.network.eval()
+    attention.network.eval()
+
+    model, gates = _assemble(
+        spec, dataset, train_split, test_split, stems, branches, library, deep, attention
+    )
+    with np.load(directory / "tables.npz") as archive:
+        train_table = archive["train_loss_table"]
+        test_table = archive["test_loss_table"]
+        history = [float(v) for v in archive["history"]]
+    # Restore the shrinkage calibration train_gate installed (the prior is
+    # a deterministic function of the persisted train loss table).
+    deep.set_prior(train_table.mean(axis=0), shrink=spec.gate_shrink)
+    attention.set_prior(train_table.mean(axis=0), shrink=spec.gate_shrink)
+    _install_oracle(gates, [train_split, test_split], [train_table, test_table])
+    return TrainedSystem(
+        spec=spec,
+        dataset=dataset,
+        train_split=train_split,
+        test_split=test_split,
+        model=model,
+        gates=gates,
+        train_loss_table=train_table,
+        test_loss_table=test_table,
+        perception_history=history,
+    )
+
+
+_MEMORY_CACHE: dict[str, TrainedSystem] = {}
+
+
+def get_or_build_system(
+    spec: SystemSpec | None = None,
+    root: str | Path | None = None,
+    force_rebuild: bool = False,
+    verbose: bool = False,
+) -> TrainedSystem:
+    """Return the trained system for ``spec``, building it at most once.
+
+    Lookup order: in-process memo -> on-disk artifacts -> full training
+    run (which is then persisted).
+    """
+    spec = spec or SystemSpec()
+    key = spec.cache_key()
+    if not force_rebuild and key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    root = Path(root) if root is not None else DEFAULT_ARTIFACT_ROOT
+    directory = root / key
+    system: TrainedSystem | None = None
+    if not force_rebuild and (directory / "meta.json").exists():
+        try:
+            system = _load_system(spec, directory)
+        except Exception as error:  # corrupt cache: rebuild
+            print(f"[cache] discarding unreadable artifact ({error}); retraining")
+            system = None
+    if system is None:
+        system = build_system(spec, verbose=verbose)
+        _save_system(system, directory)
+    _MEMORY_CACHE[key] = system
+    return system

@@ -1,0 +1,130 @@
+"""Mean average precision (PASCAL VOC, IoU >= 0.5).
+
+Matches the paper's protocol (Sec. 5): "We compute the mAP for bounding
+boxes with an intersection-over-union (IoU) >= 0.5, aligning with the
+PASCAL Visual Object Classes (VOC) Challenge."  AP uses the all-points
+interpolated precision-recall area (VOC 2010+), averaged over classes
+that appear in the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.contexts import CLASS_NAMES
+from ..perception.boxes import iou_matrix
+from ..perception.detections import Detections
+
+__all__ = ["MapResult", "average_precision", "evaluate_map"]
+
+
+@dataclass
+class MapResult:
+    """mAP plus the per-class breakdown."""
+
+    mean_ap: float
+    per_class: dict[str, float] = field(default_factory=dict)
+    num_images: int = 0
+    num_ground_truth: int = 0
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.mean_ap
+
+
+def average_precision(
+    scores: np.ndarray, is_true_positive: np.ndarray, num_ground_truth: int
+) -> float:
+    """All-points interpolated AP from per-detection outcomes.
+
+    Parameters
+    ----------
+    scores:
+        Confidence of each detection (any order).
+    is_true_positive:
+        Boolean flag per detection.
+    num_ground_truth:
+        Total ground-truth instances of this class.
+    """
+    if num_ground_truth == 0:
+        return float("nan")
+    if scores.size == 0:
+        return 0.0
+    order = np.argsort(-scores)
+    tp = is_true_positive[order].astype(np.float64)
+    fp = 1.0 - tp
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(fp)
+    recall = cum_tp / num_ground_truth
+    precision = cum_tp / np.maximum(cum_tp + cum_fp, 1e-12)
+    # Envelope the precision curve (monotone non-increasing from the right).
+    precision = np.maximum.accumulate(precision[::-1])[::-1]
+    # Integrate over recall steps.
+    recall = np.concatenate([[0.0], recall])
+    precision = np.concatenate([[precision[0] if precision.size else 0.0], precision])
+    return float(np.sum((recall[1:] - recall[:-1]) * precision[1:]))
+
+
+def evaluate_map(
+    detections: list[Detections],
+    gt_boxes: list[np.ndarray],
+    gt_labels: list[np.ndarray],
+    iou_threshold: float = 0.5,
+    class_names: tuple[str, ...] = CLASS_NAMES,
+) -> MapResult:
+    """VOC mAP over a list of images.
+
+    Each ground-truth box may match at most one detection (greedy, in
+    confidence order).  Classes absent from the ground truth are skipped
+    (their AP is undefined), matching the VOC convention.
+    """
+    if not (len(detections) == len(gt_boxes) == len(gt_labels)):
+        raise ValueError("detections / gt_boxes / gt_labels must align")
+    num_classes = len(class_names)
+    per_class_scores: list[list[float]] = [[] for _ in range(num_classes + 1)]
+    per_class_tp: list[list[bool]] = [[] for _ in range(num_classes + 1)]
+    gt_count = np.zeros(num_classes + 1, dtype=np.int64)
+
+    for dets, boxes, labels in zip(detections, gt_boxes, gt_labels):
+        boxes = np.asarray(boxes).reshape(-1, 4)
+        labels = np.asarray(labels).reshape(-1)
+        for cls in range(1, num_classes + 1):
+            gt_count[cls] += int((labels == cls).sum())
+        matched = np.zeros(len(boxes), dtype=bool)
+        order = np.argsort(-dets.scores)
+        for j in order:
+            cls = int(dets.labels[j])
+            if not 1 <= cls <= num_classes:
+                continue
+            candidates = np.flatnonzero((labels == cls) & ~matched)
+            hit = False
+            if candidates.size:
+                ious = iou_matrix(dets.boxes[j][None], boxes[candidates])[0]
+                best = int(np.argmax(ious))
+                if ious[best] >= iou_threshold:
+                    matched[candidates[best]] = True
+                    hit = True
+            per_class_scores[cls].append(float(dets.scores[j]))
+            per_class_tp[cls].append(hit)
+
+    per_class_ap: dict[str, float] = {}
+    valid: list[float] = []
+    for cls in range(1, num_classes + 1):
+        if gt_count[cls] == 0:
+            continue
+        ap = average_precision(
+            np.asarray(per_class_scores[cls]),
+            np.asarray(per_class_tp[cls], dtype=bool),
+            int(gt_count[cls]),
+        )
+        per_class_ap[class_names[cls - 1]] = ap
+        valid.append(ap)
+    mean_ap = float(np.mean(valid)) if valid else 0.0
+    return MapResult(
+        mean_ap=mean_ap,
+        per_class=per_class_ap,
+        num_images=len(detections),
+        num_ground_truth=int(gt_count.sum()),
+    )

@@ -1,0 +1,54 @@
+"""ASCII table/series formatting for benchmark output.
+
+Benchmarks print the same rows the paper's tables report; these helpers
+keep the formatting uniform and provide the paper-vs-measured layout used
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_paper_comparison", "format_series"]
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_paper_comparison(
+    headers: list[str],
+    paper_rows: list[list[object]],
+    measured_rows: list[list[object]],
+    title: str,
+) -> str:
+    """Interleave paper-reported and measured rows for easy eyeballing."""
+    rows: list[list[object]] = []
+    for paper, measured in zip(paper_rows, measured_rows):
+        rows.append(["paper"] + list(paper))
+        rows.append(["ours"] + list(measured))
+    return format_table(["source"] + headers, rows, title=title)
+
+
+def format_series(name: str, xs: list[object], ys: list[object]) -> str:
+    """One figure series as aligned x/y columns."""
+    return format_table(["x", name], [[x, y] for x, y in zip(xs, ys)])
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

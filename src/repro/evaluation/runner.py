@@ -1,0 +1,134 @@
+"""Experiment runner: evaluate pipelines over dataset splits.
+
+Produces the quantities the paper's tables and figures report — mAP,
+average fusion loss, average energy (J) and latency (ms) — overall and
+broken down by driving context.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.ecofusion import BranchOutputCache, EcoFusionModel, EcoFusionResult
+from ..core.gating.base import Gate
+from ..datasets.splits import Subset
+from ..perception.detections import Detections
+from .loss_metrics import fusion_loss
+from .map import MapResult, evaluate_map
+
+__all__ = ["EvalResult", "evaluate_static_config", "evaluate_ecofusion"]
+
+
+@dataclass
+class EvalResult:
+    """Aggregate metrics of one pipeline over one split."""
+
+    name: str
+    map_result: MapResult
+    avg_loss: float
+    avg_energy_joules: float
+    avg_latency_ms: float
+    num_samples: int
+    per_context_loss: dict[str, float] = field(default_factory=dict)
+    per_context_energy: dict[str, float] = field(default_factory=dict)
+    config_histogram: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def map_percent(self) -> float:
+        return self.map_result.percent
+
+
+def _aggregate(
+    name: str,
+    detections: list[Detections],
+    split: Subset,
+    energies: list[float],
+    latencies: list[float],
+    config_names: list[str] | None = None,
+) -> EvalResult:
+    samples = list(split)
+    gt_boxes = [s.boxes for s in samples]
+    gt_labels = [s.labels for s in samples]
+    losses = np.array(
+        [fusion_loss(d, b, l) for d, b, l in zip(detections, gt_boxes, gt_labels)]
+    )
+    contexts = [s.context for s in samples]
+    per_ctx_loss: dict[str, float] = {}
+    per_ctx_energy: dict[str, float] = {}
+    energy_arr = np.asarray(energies, dtype=np.float64)
+    for ctx in sorted(set(contexts)):
+        mask = np.array([c == ctx for c in contexts])
+        per_ctx_loss[ctx] = float(losses[mask].mean())
+        per_ctx_energy[ctx] = float(energy_arr[mask].mean())
+    return EvalResult(
+        name=name,
+        map_result=evaluate_map(detections, gt_boxes, gt_labels),
+        avg_loss=float(losses.mean()),
+        avg_energy_joules=float(energy_arr.mean()),
+        avg_latency_ms=float(np.mean(latencies)),
+        num_samples=len(samples),
+        per_context_loss=per_ctx_loss,
+        per_context_energy=per_ctx_energy,
+        config_histogram=dict(Counter(config_names)) if config_names else {},
+    )
+
+
+def evaluate_static_config(
+    model: EcoFusionModel,
+    config_name: str,
+    split: Subset,
+    cache: BranchOutputCache | None = None,
+    batch_size: int = 16,
+    display_name: str | None = None,
+) -> EvalResult:
+    """Evaluate one fixed configuration as a static pipeline.
+
+    This is how the paper's None / Early / Late baseline rows are
+    produced; energy and latency come from the offline cost table (the
+    static pipeline runs neither the unused stems nor the gate).
+    """
+    config = model.config_named(config_name)
+    cost = model.costs.config_costs[config_name]
+    samples = list(split)
+    detections: list[Detections] = []
+    for start in range(0, len(samples), batch_size):
+        chunk = samples[start : start + batch_size]
+        detections.extend(model.run_config(config, chunk, cache=cache))
+    energies = [cost.energy_joules] * len(samples)
+    latencies = [cost.latency_ms] * len(samples)
+    return _aggregate(
+        display_name or config_name, detections, split, energies, latencies,
+        config_names=[config_name] * len(samples),
+    )
+
+
+def evaluate_ecofusion(
+    model: EcoFusionModel,
+    gate: Gate,
+    split: Subset,
+    lambda_e: float = 0.01,
+    gamma: float = 0.5,
+    cache: BranchOutputCache | None = None,
+    batch_size: int = 16,
+    display_name: str | None = None,
+) -> EvalResult:
+    """Evaluate adaptive EcoFusion inference with a given gate."""
+    samples = list(split)
+    results: list[EcoFusionResult] = []
+    for start in range(0, len(samples), batch_size):
+        chunk = samples[start : start + batch_size]
+        results.extend(
+            model.infer(chunk, gate, lambda_e=lambda_e, gamma=gamma, cache=cache)
+        )
+    name = display_name or f"ecofusion[{gate.name}, lambda={lambda_e}]"
+    return _aggregate(
+        name,
+        [r.detections for r in results],
+        split,
+        [r.energy_joules for r in results],
+        [r.latency_ms for r in results],
+        config_names=[r.config_name for r in results],
+    )

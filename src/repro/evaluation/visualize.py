@@ -1,0 +1,105 @@
+"""Terminal visualization of sensor frames and detections.
+
+Pure-text rendering (no plotting dependencies): sensor tensors become
+ASCII intensity maps and detections/ground truth are drawn as labelled
+box outlines.  Used by the examples for eyeballing the simulator and the
+detector — and handy when debugging a context's degradation profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.contexts import CLASS_NAMES
+from ..datasets.radiate import Sample
+from ..perception.detections import Detections
+
+__all__ = ["ascii_image", "ascii_boxes", "render_sample", "render_detections"]
+
+# Dark -> bright ramp; chosen for monotone perceived intensity.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(array: np.ndarray, width: int = 64) -> str:
+    """Render a (C, H, W) or (H, W) tensor as an ASCII intensity map.
+
+    Multi-channel inputs are averaged; values are min-max scaled over the
+    frame; output is subsampled to at most ``width`` columns (rows are
+    halved again because terminal cells are ~2:1 tall).
+    """
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim == 3:
+        arr = arr.mean(axis=0)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (C,H,W) or (H,W), got shape {arr.shape}")
+    h, w = arr.shape
+    step = max(int(np.ceil(w / width)), 1)
+    sub = arr[:: 2 * step, ::step]
+    lo, hi = float(sub.min()), float(sub.max())
+    if hi - lo < 1e-9:
+        hi = lo + 1e-9
+    levels = ((sub - lo) / (hi - lo) * (len(_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_RAMP[v] for v in row) for row in levels)
+
+
+def ascii_boxes(
+    boxes: np.ndarray,
+    labels: np.ndarray,
+    image_size: int,
+    width: int = 64,
+    fill: str | None = None,
+) -> str:
+    """Draw labelled box outlines on an empty canvas.
+
+    Each box is outlined with ``+-|`` and tagged with the class's first
+    letter (or ``fill`` if given).  Canvas geometry matches
+    :func:`ascii_image` so the two can be eyeballed side by side.
+    """
+    step = max(int(np.ceil(image_size / width)), 1)
+    cols = int(np.ceil(image_size / step))
+    rows = int(np.ceil(image_size / (2 * step)))
+    canvas = [[" "] * cols for _ in range(rows)]
+    boxes = np.asarray(boxes).reshape(-1, 4)
+    labels = np.asarray(labels).reshape(-1)
+    for box, label in zip(boxes, labels):
+        x1 = int(np.clip(box[0] / step, 0, cols - 1))
+        x2 = int(np.clip(box[2] / step, 0, cols - 1))
+        y1 = int(np.clip(box[1] / (2 * step), 0, rows - 1))
+        y2 = int(np.clip(box[3] / (2 * step), 0, rows - 1))
+        for x in range(x1, x2 + 1):
+            canvas[y1][x] = "-"
+            canvas[y2][x] = "-"
+        for y in range(y1, y2 + 1):
+            canvas[y][x1] = "|"
+            canvas[y][x2] = "|"
+        for y, x in ((y1, x1), (y1, x2), (y2, x1), (y2, x2)):
+            canvas[y][x] = "+"
+        tag = fill or (
+            CLASS_NAMES[int(label) - 1][0].upper()
+            if 1 <= int(label) <= len(CLASS_NAMES)
+            else "?"
+        )
+        ty, tx = min(y1 + 1, rows - 1), min(x1 + 1, cols - 1)
+        canvas[ty][tx] = tag
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_sample(sample: Sample, sensor: str = "camera_right",
+                  width: int = 64) -> str:
+    """One sensor frame plus its ground-truth boxes, stacked vertically."""
+    image = ascii_image(sample.sensors[sensor], width=width)
+    size = sample.sensors[sensor].shape[-1]
+    boxes = ascii_boxes(sample.boxes, sample.labels, size, width=width)
+    header = f"[{sensor} | context={sample.context} | {sample.num_objects} objects]"
+    return "\n".join([header, image, "ground truth:", boxes])
+
+
+def render_detections(
+    detections: Detections, image_size: int, width: int = 64,
+    min_score: float = 0.3,
+) -> str:
+    """Detection boxes above ``min_score`` as an ASCII overlay."""
+    kept = detections.above_score(min_score)
+    header = f"[{len(kept)} detections >= {min_score:.2f}]"
+    boxes = ascii_boxes(kept.boxes, kept.labels, image_size, width=width)
+    return "\n".join([header, boxes])

@@ -1,0 +1,17 @@
+"""``repro.fusion`` — early fusion, late fusion and weighted boxes fusion."""
+
+from .coordinates import SENSOR_FRAMES, SensorFrame, from_canonical, to_canonical
+from .early import concat_stem_features
+from .late import BranchOutput, FusionBlock
+from .wbf import weighted_boxes_fusion
+
+__all__ = [
+    "SENSOR_FRAMES",
+    "SensorFrame",
+    "from_canonical",
+    "to_canonical",
+    "concat_stem_features",
+    "BranchOutput",
+    "FusionBlock",
+    "weighted_boxes_fusion",
+]

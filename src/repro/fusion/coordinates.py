@@ -1,0 +1,73 @@
+"""Sensor coordinate frames and unification to the canonical frame.
+
+The paper's fusion block first converts detections "to a uniform
+coordinate system before being statistically processed and fused"
+(Sec. 4.4).  In this reproduction the canonical frame is the right
+camera's image plane; other sensors differ by small, calibratable affine
+offsets (the left camera by the mean stereo disparity, lidar/radar by
+mounting offsets).  Residual, depth-dependent misalignment remains after
+correction — exactly the error source that weighted-box fusion then
+averages away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.sensors import MAX_DISPARITY
+from ..perception.detections import Detections
+
+__all__ = ["SensorFrame", "SENSOR_FRAMES", "to_canonical", "from_canonical"]
+
+
+@dataclass(frozen=True)
+class SensorFrame:
+    """Affine frame: canonical = sensor * scale + (dx, dy)."""
+
+    name: str
+    dx: float = 0.0
+    dy: float = 0.0
+    scale: float = 1.0
+
+    def boxes_to_canonical(self, boxes: np.ndarray) -> np.ndarray:
+        out = np.asarray(boxes, dtype=np.float32).reshape(-1, 4) * self.scale
+        out[:, 0::2] += self.dx
+        out[:, 1::2] += self.dy
+        return out
+
+    def boxes_from_canonical(self, boxes: np.ndarray) -> np.ndarray:
+        out = np.asarray(boxes, dtype=np.float32).reshape(-1, 4).copy()
+        out[:, 0::2] -= self.dx
+        out[:, 1::2] -= self.dy
+        return out / self.scale
+
+
+# The left camera's detections sit at +disparity; correcting by the mean
+# disparity (objects uniform in depth -> mean = MAX_DISPARITY / 2) leaves a
+# +-MAX_DISPARITY/2 residual.  Lidar and radar share the camera geometry in
+# the simulator (their projection step is folded into rendering).
+SENSOR_FRAMES: dict[str, SensorFrame] = {
+    "camera_left": SensorFrame("camera_left", dx=-MAX_DISPARITY / 2.0),
+    "camera_right": SensorFrame("camera_right"),
+    "lidar": SensorFrame("lidar"),
+    "radar": SensorFrame("radar"),
+}
+
+
+def to_canonical(detections: Detections, sensor: str) -> Detections:
+    """Map a detector's output boxes from its sensor frame to canonical."""
+    frame = SENSOR_FRAMES[sensor]
+    if not len(detections):
+        return detections
+    return Detections(
+        frame.boxes_to_canonical(detections.boxes),
+        detections.scores,
+        detections.labels,
+    )
+
+
+def from_canonical(boxes: np.ndarray, sensor: str) -> np.ndarray:
+    """Map canonical-frame boxes into a sensor frame (for training labels)."""
+    return SENSOR_FRAMES[sensor].boxes_from_canonical(boxes)

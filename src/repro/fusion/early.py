@@ -1,0 +1,29 @@
+"""Early fusion: combining sensors before detection.
+
+In the paper's design (Sec. 4.3), an early-fusion branch consumes the
+channel-concatenation of several modality stems' features — fusing "raw"
+sensor information before the shared detection trunk, in contrast to late
+fusion which combines finished detections.
+"""
+
+from __future__ import annotations
+
+from ..nn import Tensor
+
+__all__ = ["concat_stem_features"]
+
+
+def concat_stem_features(features: dict[str, Tensor], sensors: tuple[str, ...]) -> Tensor:
+    """Concatenate stem feature maps along channels, in ``sensors`` order.
+
+    Raises ``KeyError`` if a required stem output is missing — an
+    early-fusion branch must never silently run with fewer inputs than it
+    was trained on.
+    """
+    missing = [s for s in sensors if s not in features]
+    if missing:
+        raise KeyError(f"missing stem features for sensors: {missing}")
+    parts = [features[s] for s in sensors]
+    if len(parts) == 1:
+        return parts[0]
+    return Tensor.concatenate(parts, axis=1)

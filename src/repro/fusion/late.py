@@ -1,0 +1,66 @@
+"""Late-fusion block (paper Sec. 4.4).
+
+Takes the detections produced by each executed branch, converts them to
+the canonical coordinate frame and fuses them with weighted boxes fusion.
+A configuration with a single branch passes through the same block (WBF of
+one model is a near-identity, minus sub-threshold boxes), so *every*
+configuration shares one output path — as in Algorithm 1 line 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perception.detections import Detections
+from .coordinates import to_canonical
+from .wbf import weighted_boxes_fusion
+
+__all__ = ["FusionBlock", "BranchOutput"]
+
+
+@dataclass
+class BranchOutput:
+    """Detections from one branch plus the frame they live in.
+
+    ``frame_sensor`` names the sensor whose coordinate frame the branch's
+    boxes use: single-sensor branches inherit their sensor's frame, while
+    early-fusion branches are trained against canonical-frame labels and
+    therefore use ``"camera_right"`` (the canonical frame).
+    """
+
+    branch_name: str
+    detections: Detections
+    frame_sensor: str
+
+
+class FusionBlock:
+    """WBF-based late fusion over any number of branch outputs."""
+
+    def __init__(
+        self,
+        iou_threshold: float = 0.55,
+        skip_threshold: float = 0.05,
+        final_score_threshold: float = 0.10,
+    ) -> None:
+        self.iou_threshold = iou_threshold
+        self.skip_threshold = skip_threshold
+        self.final_score_threshold = final_score_threshold
+
+    def fuse(self, outputs: list[BranchOutput]) -> Detections:
+        """Unify frames, run WBF, and apply the final confidence floor."""
+        if not outputs:
+            return Detections()
+        aligned = [
+            to_canonical(out.detections, out.frame_sensor) for out in outputs
+        ]
+        if len(aligned) == 1:
+            # Single-branch configuration: no cross-model evidence exists,
+            # so skip the support-based confidence rescaling.
+            fused = aligned[0]
+        else:
+            fused = weighted_boxes_fusion(
+                aligned,
+                iou_threshold=self.iou_threshold,
+                skip_threshold=self.skip_threshold,
+            )
+        return fused.above_score(self.final_score_threshold)

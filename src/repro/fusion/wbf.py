@@ -1,0 +1,112 @@
+"""Weighted Boxes Fusion (Solovyev et al. [23]).
+
+WBF clusters overlapping same-class boxes from multiple models and
+replaces each cluster with the confidence-weighted average box.  Unlike
+NMS it *uses* all boxes instead of discarding the non-maximal ones, which
+"helps refine the accuracy of the bounding box predictions by reinforcing
+predictions with high confidence and overlap" (paper Sec. 4.4).
+
+Implementation follows Algorithm 1 of the WBF paper, including the final
+confidence rescaling ``score *= min(T, N) / N`` where ``T`` is the number
+of boxes in a cluster and ``N`` the number of contributing models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perception.boxes import iou_matrix
+from ..perception.detections import Detections
+
+__all__ = ["weighted_boxes_fusion"]
+
+
+class _Cluster:
+    """Accumulates boxes belonging to one fused object."""
+
+    __slots__ = ("label", "boxes", "scores", "fused_box", "fused_score")
+
+    def __init__(self, box: np.ndarray, score: float, label: int) -> None:
+        self.label = label
+        self.boxes = [box]
+        self.scores = [score]
+        self.fused_box = box.copy()
+        self.fused_score = score
+
+    def add(self, box: np.ndarray, score: float) -> None:
+        self.boxes.append(box)
+        self.scores.append(score)
+        weights = np.asarray(self.scores, dtype=np.float64)
+        stacked = np.stack(self.boxes).astype(np.float64)
+        self.fused_box = (stacked * weights[:, None]).sum(axis=0) / weights.sum()
+        self.fused_score = float(weights.mean())
+
+
+def weighted_boxes_fusion(
+    detections_per_model: list[Detections],
+    iou_threshold: float = 0.55,
+    skip_threshold: float = 0.0,
+    model_weights: list[float] | None = None,
+    conf_type: str = "avg",
+) -> Detections:
+    """Fuse detections from multiple models into one set.
+
+    Parameters
+    ----------
+    detections_per_model:
+        One :class:`Detections` per contributing model/branch, already in
+        a common coordinate frame.
+    iou_threshold:
+        Minimum IoU for a box to join an existing cluster of its class.
+    skip_threshold:
+        Boxes scored below this are dropped before fusion.
+    model_weights:
+        Optional per-model confidence multipliers.
+    conf_type:
+        ``"avg"`` (paper default) or ``"max"`` cluster confidence.
+    """
+    n_models = len(detections_per_model)
+    if n_models == 0:
+        return Detections()
+    if model_weights is not None and len(model_weights) != n_models:
+        raise ValueError("model_weights length must match detections_per_model")
+
+    entries: list[tuple[np.ndarray, float, int]] = []
+    for m, dets in enumerate(detections_per_model):
+        weight = 1.0 if model_weights is None else float(model_weights[m])
+        for j in range(len(dets)):
+            score = float(dets.scores[j]) * weight
+            if score < skip_threshold:
+                continue
+            entries.append((dets.boxes[j].astype(np.float64), score, int(dets.labels[j])))
+    if not entries:
+        return Detections()
+
+    entries.sort(key=lambda e: -e[1])
+    clusters: list[_Cluster] = []
+    for box, score, label in entries:
+        best: _Cluster | None = None
+        best_iou = iou_threshold
+        for cluster in clusters:
+            if cluster.label != label:
+                continue
+            iou = float(iou_matrix(box[None], cluster.fused_box[None])[0, 0])
+            if iou >= best_iou:
+                best, best_iou = cluster, iou
+        if best is None:
+            clusters.append(_Cluster(box, score, label))
+        else:
+            best.add(box, score)
+
+    boxes = np.stack([c.fused_box for c in clusters]).astype(np.float32)
+    labels = np.array([c.label for c in clusters], dtype=np.int64)
+    if conf_type == "max":
+        scores = np.array([max(c.scores) for c in clusters], dtype=np.float32)
+    else:
+        scores = np.array([c.fused_score for c in clusters], dtype=np.float32)
+    # Rescale by cluster support: boxes confirmed by fewer models than
+    # contributed predictions lose confidence (WBF paper, Eq. 6).
+    support = np.array([len(c.scores) for c in clusters], dtype=np.float32)
+    scores = scores * np.minimum(support, n_models) / n_models
+    order = np.argsort(-scores)
+    return Detections(boxes[order], scores[order], labels[order])

@@ -1,0 +1,64 @@
+"""``repro.hardware`` — the Drive PX2 energy/latency substrate.
+
+Simulates the paper's hardware profiling step: per-configuration latency
+from counted FLOPs through a model calibrated to the paper's published
+PX2 measurements, platform power, sensor power and clock gating.
+"""
+
+from .battery import NOMINAL_EV, ElectricVehicle, range_impact_fraction
+from .profiler import (
+    ConfigCost,
+    SystemCosts,
+    branch_flops,
+    build_calibrated_px2,
+    build_system_costs,
+    fusion_flops,
+    profile_configurations,
+    stem_flops,
+)
+from .px2 import (
+    PAPER_TABLE1_ANCHORS,
+    PX2_LOAD_WATTS,
+    SENSOR_PREP_MS,
+    CalibrationAnchor,
+    DrivePX2,
+    LatencyModel,
+    PowerModel,
+)
+from .scheduler import ScheduledLatency, schedule_parallel, schedule_serial
+from .sensors_power import (
+    FUSION_CYCLE_HZ,
+    SENSOR_POWER,
+    SensorPower,
+    sensor_energy,
+    total_energy_with_gating,
+)
+
+__all__ = [
+    "NOMINAL_EV",
+    "ElectricVehicle",
+    "range_impact_fraction",
+    "ConfigCost",
+    "SystemCosts",
+    "branch_flops",
+    "build_calibrated_px2",
+    "build_system_costs",
+    "fusion_flops",
+    "profile_configurations",
+    "stem_flops",
+    "PAPER_TABLE1_ANCHORS",
+    "PX2_LOAD_WATTS",
+    "SENSOR_PREP_MS",
+    "CalibrationAnchor",
+    "DrivePX2",
+    "LatencyModel",
+    "PowerModel",
+    "ScheduledLatency",
+    "schedule_parallel",
+    "schedule_serial",
+    "FUSION_CYCLE_HZ",
+    "SENSOR_POWER",
+    "SensorPower",
+    "sensor_energy",
+    "total_energy_with_gating",
+]

@@ -1,0 +1,215 @@
+"""Offline profiling: FLOP counts and the per-configuration cost table.
+
+Mirrors the paper's offline step (Sec. 3.2): "Assuming X has a fixed size,
+we calculate E(phi) for all phi in Phi offline."  The profiler counts the
+FLOPs of this repo's actual modules (stems, adapters, trunks, RPN, ROI
+head, gate) and runs them through the calibrated PX2 model to produce a
+:class:`ConfigCost` for every configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn import Module, count_model_flops
+from ..nn.flops import linear_flops
+from ..perception.backbone import FEATURE_STRIDE
+from ..perception.detector import BranchDetector
+from ..core.config import BRANCHES, ModelConfiguration
+from .px2 import PAPER_TABLE1_ANCHORS, DrivePX2, LatencyModel, PowerModel
+
+__all__ = [
+    "ConfigCost",
+    "SystemCosts",
+    "branch_flops",
+    "stem_flops",
+    "fusion_flops",
+    "profile_configurations",
+    "build_calibrated_px2",
+    "build_system_costs",
+]
+
+# Average number of ROI-head invocations per image (post-NMS proposals);
+# fixed for profiling, as the paper profiles with fixed-size inputs.
+TYPICAL_PROPOSALS = 12
+# WBF cost is tiny; modelled as a fixed per-branch-output term.
+FUSION_FLOPS_PER_BRANCH = 50_000.0
+
+
+def stem_flops(stem: Module, image_size: int) -> float:
+    """FLOPs of one modality stem at full input resolution."""
+    return float(count_model_flops(stem, (image_size, image_size)))
+
+
+def branch_flops(branch: BranchDetector, image_size: int) -> float:
+    """FLOPs of one branch: adapter + trunk + RPN + ROI head.
+
+    The trunk runs at stem resolution (stride 2); the RPN at stride 8;
+    the ROI head once per proposal.
+    """
+    stem_hw = (image_size // 2, image_size // 2)
+    total = float(count_model_flops(branch.adapter, stem_hw))
+    total += float(count_model_flops(branch.backbone, stem_hw))
+    feat_hw = (image_size // FEATURE_STRIDE, image_size // FEATURE_STRIDE)
+    total += float(count_model_flops(branch.rpn.conv, feat_hw))
+    total += float(count_model_flops(branch.rpn.objectness_head, feat_hw))
+    total += float(count_model_flops(branch.rpn.delta_head, feat_hw))
+    roi_once = (
+        linear_flops(branch.roi.fc)
+        + linear_flops(branch.roi.cls_head)
+        + linear_flops(branch.roi.reg_head)
+        # bilinear pooling: 4 taps * 3 ops per output element
+        + branch.roi.config.pool_size**2 * branch.backbone.stage3.conv2.out_channels * 12
+    )
+    total += float(roi_once) * TYPICAL_PROPOSALS
+    return total
+
+
+def fusion_flops(num_branches: int) -> float:
+    """Late-fusion (coordinate unification + WBF) FLOPs estimate."""
+    return FUSION_FLOPS_PER_BRANCH * num_branches
+
+
+@dataclass(frozen=True)
+class ConfigCost:
+    """Profiled cost of one configuration executed as a static pipeline."""
+
+    name: str
+    flops: float
+    num_branches: int
+    sensors: tuple[str, ...]
+    latency_ms: float
+    power_watts: float
+    energy_joules: float
+
+
+def _config_flops(
+    config: ModelConfiguration,
+    stems: dict[str, Module],
+    branches: dict[str, BranchDetector],
+    image_size: int,
+) -> float:
+    total = 0.0
+    for sensor in config.sensors:
+        total += stem_flops(stems[sensor], image_size)
+    for branch_name in config.branches:
+        total += branch_flops(branches[branch_name], image_size)
+    total += fusion_flops(config.num_branches)
+    return total
+
+
+def build_calibrated_px2(
+    stems: dict[str, Module],
+    branches: dict[str, BranchDetector],
+    image_size: int,
+) -> DrivePX2:
+    """Calibrate the PX2 latency model against the paper's Table 1 anchors,
+    using the FLOP counts of *these* modules for the anchor configurations."""
+    anchor_configs = {
+        "CR": ModelConfiguration("CR", ("B_CR",)),
+        "EF_CLCRL": ModelConfiguration("EF_CLCRL", ("B_CLCRL",)),
+        "LF_ALL": ModelConfiguration("LF_ALL", ("B_CL", "B_CR", "B_R", "B_L")),
+    }
+    flops_of = {
+        name: _config_flops(cfg, stems, branches, image_size)
+        for name, cfg in anchor_configs.items()
+    }
+    latency = LatencyModel.calibrate(PAPER_TABLE1_ANCHORS, flops_of)
+    return DrivePX2(latency=latency, power=PowerModel())
+
+
+@dataclass
+class SystemCosts:
+    """Complete cost model for one trained EcoFusion system.
+
+    Holds per-component FLOPs, the calibrated platform, and the offline
+    per-configuration cost table (the ``E(phi)`` consumed by Eq. 8).
+    ``gate_flops`` covers the most expensive gate (attention); the paper
+    verifies gate cost is negligible (< 0.005 J) and ignores it — we
+    include it in runtime accounting because it is honest and changes
+    nothing measurable (see tests/hardware/test_energy.py).
+    """
+
+    px2: DrivePX2
+    stem_flops: dict[str, float]
+    branch_flops: dict[str, float]
+    gate_flops: float
+    config_costs: dict[str, "ConfigCost"]
+
+    def ecofusion_runtime(
+        self, config: ModelConfiguration, include_gate: bool = False
+    ) -> tuple[float, float]:
+        """(latency_ms, energy_J) of one adaptive inference that selects
+        ``config``: all stems + selected branches + fusion.
+
+        All four sensors stay active (every stem must run for the gate),
+        so sensor preprocessing covers the full suite.  Gate compute is
+        excluded by default, following the paper ("We ignore the energy
+        consumed by the gate models as we measured that they have
+        negligible energy consumption"); pass ``include_gate=True`` to
+        account for it.
+        """
+        flops = sum(self.stem_flops.values())
+        if include_gate:
+            flops += self.gate_flops
+        flops += sum(self.branch_flops[b] for b in config.branches)
+        flops += fusion_flops(config.num_branches)
+        sensors = tuple(self.stem_flops)
+        latency = self.px2.pipeline_latency_ms(flops, config.num_branches, sensors)
+        energy = self.px2.energy_joules(latency, config.num_branches)
+        return latency, energy
+
+    def gate_energy_joules(self) -> float:
+        """Marginal energy of the gate alone (compute term only)."""
+        gate_ms = self.px2.latency.compute_ms(self.gate_flops)
+        return self.px2.power.watts(1) * gate_ms / 1000.0
+
+
+def build_system_costs(
+    configs: list[ModelConfiguration],
+    stems: dict[str, Module],
+    branches: dict[str, BranchDetector],
+    gate_network: Module | None,
+    image_size: int,
+) -> SystemCosts:
+    """Calibrate the platform and profile every component + configuration."""
+    px2 = build_calibrated_px2(stems, branches, image_size)
+    stem_table = {s: stem_flops(m, image_size) for s, m in stems.items()}
+    branch_table = {b: branch_flops(m, image_size) for b, m in branches.items()}
+    gate = 0.0
+    if gate_network is not None:
+        stem_hw = image_size // 2
+        gate = float(count_model_flops(gate_network, (stem_hw, stem_hw)))
+    return SystemCosts(
+        px2=px2,
+        stem_flops=stem_table,
+        branch_flops=branch_table,
+        gate_flops=gate,
+        config_costs=profile_configurations(configs, stems, branches, px2, image_size),
+    )
+
+
+def profile_configurations(
+    configs: list[ModelConfiguration],
+    stems: dict[str, Module],
+    branches: dict[str, BranchDetector],
+    px2: DrivePX2,
+    image_size: int,
+) -> dict[str, ConfigCost]:
+    """Offline cost table for every configuration (the E(phi) of Eq. 8)."""
+    table: dict[str, ConfigCost] = {}
+    for config in configs:
+        flops = _config_flops(config, stems, branches, image_size)
+        latency = px2.pipeline_latency_ms(flops, config.num_branches, config.sensors)
+        power = px2.power.watts(config.num_branches)
+        energy = px2.energy_joules(latency, config.num_branches)
+        table[config.name] = ConfigCost(
+            name=config.name,
+            flops=flops,
+            num_branches=config.num_branches,
+            sensors=config.sensors,
+            latency_ms=latency,
+            power_watts=power,
+            energy_joules=energy,
+        )
+    return table

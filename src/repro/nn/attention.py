@@ -1,0 +1,78 @@
+"""Self-attention over spatial feature maps.
+
+Used by the paper's *Attention Gating* strategy (Sec. 4.2.3): "identical to
+the Deep Gating model, except for the addition of a self-attention layer to
+enable the gate to identify important areas of the input feature map."
+
+The layer follows the non-local / SAGAN formulation: 1x1 projections to
+query/key/value, scaled dot-product attention across the ``H*W`` positions,
+an output projection and a residual connection with a learned scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import init
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["SpatialSelfAttention", "scaled_dot_product_attention"]
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> tuple[Tensor, Tensor]:
+    """Batched attention: softmax(q k^T / sqrt(d)) v.
+
+    Parameters
+    ----------
+    q, k, v:
+        Tensors of shape ``(N, L, D)``.
+
+    Returns
+    -------
+    (output, weights):
+        ``output`` is ``(N, L, D)``; ``weights`` the ``(N, L, L)`` attention
+        map (returned for interpretability tests).
+    """
+    d = q.shape[-1]
+    scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d))
+    weights = scores.softmax(axis=-1)
+    return weights @ v, weights
+
+
+class SpatialSelfAttention(Module):
+    """Single-head self-attention over the positions of an NCHW map.
+
+    ``out = x + scale * proj(attention(q(x), k(x), v(x)))`` where q/k/v are
+    1x1 convolutions implemented as position-wise linear maps.
+    """
+
+    def __init__(self, channels: int, head_dim: int | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        self.head_dim = head_dim or max(channels // 2, 4)
+        d = self.head_dim
+        self.w_q = Parameter(init.xavier_uniform((d, channels), rng))
+        self.w_k = Parameter(init.xavier_uniform((d, channels), rng))
+        self.w_v = Parameter(init.xavier_uniform((channels, channels), rng))
+        self.w_o = Parameter(init.xavier_uniform((channels, channels), rng))
+        # Residual scale initialized to zero: the layer starts as identity,
+        # which keeps gate training stable (SAGAN trick).
+        self.scale = Parameter(np.zeros((1,), dtype=np.float32))
+        self.last_attention: np.ndarray | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        tokens = x.reshape(n, c, h * w).swapaxes(1, 2)  # (N, L, C)
+        q = tokens @ self.w_q.T
+        k = tokens @ self.w_k.T
+        v = tokens @ self.w_v.T
+        attended, weights = scaled_dot_product_attention(q, k, v)
+        self.last_attention = weights.data
+        out_tokens = attended @ self.w_o.T
+        out = out_tokens.swapaxes(1, 2).reshape(n, c, h, w)
+        return x + out * self.scale

@@ -1,0 +1,100 @@
+"""FLOP accounting for ``repro.nn`` modules.
+
+The hardware model (``repro.hardware``) converts counted FLOPs into Drive
+PX2 latency through a calibrated linear map, mirroring how the paper
+profiles each configuration offline (Sec. 3.2).  Counts follow the common
+convention of 2 FLOPs per multiply-accumulate.
+"""
+
+from __future__ import annotations
+
+from .attention import SpatialSelfAttention
+from .layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    Module,
+    Sequential,
+)
+
+__all__ = ["conv2d_flops", "linear_flops", "module_flops", "count_model_flops"]
+
+
+def conv2d_flops(layer: Conv2d, in_hw: tuple[int, int]) -> tuple[int, tuple[int, int]]:
+    """FLOPs of a conv layer for a given input spatial size.
+
+    Returns ``(flops, (out_h, out_w))`` so callers can chain layers.
+    """
+    h, w = in_hw
+    k, s, p = layer.kernel_size, layer.stride, layer.padding
+    out_h = (h + 2 * p - k) // s + 1
+    out_w = (w + 2 * p - k) // s + 1
+    macs = out_h * out_w * layer.out_channels * layer.in_channels * k * k
+    flops = 2 * macs
+    if layer.bias is not None:
+        flops += out_h * out_w * layer.out_channels
+    return flops, (out_h, out_w)
+
+
+def linear_flops(layer: Linear) -> int:
+    flops = 2 * layer.in_features * layer.out_features
+    if layer.bias is not None:
+        flops += layer.out_features
+    return flops
+
+
+def _attention_flops(layer: SpatialSelfAttention, in_hw: tuple[int, int]) -> int:
+    h, w = in_hw
+    length = h * w
+    c, d = layer.channels, layer.head_dim
+    proj = 2 * length * (2 * c * d + 2 * c * c)  # q, k, v, o projections
+    scores = 2 * length * length * d  # q @ k^T
+    apply = 2 * length * length * c  # weights @ v
+    return proj + scores + apply
+
+
+def module_flops(module: Module, in_hw: tuple[int, int]) -> tuple[int, tuple[int, int]]:
+    """Recursively count FLOPs for ``module`` given an input spatial size.
+
+    Handles the layer types used in this repo; activation/pool layers are
+    counted as one FLOP per element (negligible but nonzero).  Returns
+    ``(flops, out_hw)``.
+    """
+    from .layers import Flatten, GlobalAvgPool2d, MaxPool2d  # local: avoid cycle noise
+
+    total = 0
+    hw = in_hw
+    if isinstance(module, Conv2d):
+        return conv2d_flops(module, hw)
+    if isinstance(module, Linear):
+        return linear_flops(module), hw
+    if isinstance(module, (BatchNorm2d, BatchNorm1d)):
+        return 4 * module.num_features * hw[0] * hw[1], hw
+    if isinstance(module, SpatialSelfAttention):
+        return _attention_flops(module, hw), hw
+    if isinstance(module, MaxPool2d):
+        s = module.stride or module.kernel
+        return hw[0] * hw[1], (hw[0] // s, hw[1] // s)
+    if isinstance(module, (GlobalAvgPool2d, Flatten)):
+        return hw[0] * hw[1], (1, 1)
+    if isinstance(module, Sequential):
+        for child in module:
+            f, hw = module_flops(child, hw)
+            total += f
+        return total, hw
+    # Generic containers: recurse over registered children in order.
+    children = list(module._modules.values())
+    if children:
+        for child in children:
+            f, hw = module_flops(child, hw)
+            total += f
+        return total, hw
+    # Parameter-free leaf (activations, identity): ~1 FLOP / element.
+    return hw[0] * hw[1], hw
+
+
+def count_model_flops(module: Module, in_hw: tuple[int, int]) -> int:
+    """Total FLOPs for one forward pass at the given spatial input size."""
+    flops, _ = module_flops(module, in_hw)
+    return flops

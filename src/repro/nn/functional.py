@@ -1,0 +1,375 @@
+"""Structured neural-network operations on :class:`~repro.nn.tensor.Tensor`.
+
+Implements the convolution / pooling / resampling primitives the detector
+needs, each with a hand-derived backward pass:
+
+* :func:`conv2d` — im2col + GEMM convolution (NCHW layout).
+* :func:`max_pool2d` / :func:`avg_pool2d` / :func:`global_avg_pool2d`.
+* :func:`roi_align` — bilinear region-of-interest pooling for the detection
+  head (differentiable w.r.t. the feature map).
+* :func:`upsample_nearest` — integer-factor upsampling (radar tensors).
+* :func:`batch_norm` — train/eval batch normalization core.
+
+All functions accept and return :class:`Tensor` and participate in the
+autograd graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "roi_align",
+    "upsample_nearest",
+    "batch_norm",
+    "linear",
+    "dropout",
+]
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    return (value, value) if isinstance(value, int) else (int(value[0]), int(value[1]))
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Extract sliding patches: (N,C,H,W) -> (N, Ho, Wo, C, kh, kw)."""
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))  # (N,C,Ho',Wo',kh,kw)
+    windows = windows[:, :, ::sh, ::sw]
+    return windows.transpose(0, 2, 3, 1, 4, 5)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, ...],
+    kh: int,
+    kw: int,
+    sh: int,
+    sw: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add patches back into an image.
+
+    ``cols`` has shape (N, Ho, Wo, C, kh, kw); returns (N, C, H, W).
+    The loop runs kh*kw times (9 for a 3x3 kernel), each iteration a strided
+    vectorized add — fast enough for this repo's model sizes.
+    """
+    n, c, h, w = x_shape
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    ho, wo = cols.shape[1], cols.shape[2]
+    for i in range(kh):
+        for j in range(kw):
+            out[:, :, i : i + sh * ho : sh, j : j + sw * wo : sw] += cols[
+                :, :, :, :, i, j
+            ].transpose(0, 3, 1, 2)
+    return out
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int | tuple[int, int] = 1,
+    padding: int | tuple[int, int] = 0,
+) -> Tensor:
+    """2-D cross-correlation in NCHW layout.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional per-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Integer or ``(h, w)`` pairs.
+    """
+    x = as_tensor(x)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    xp = x.pad2d((ph, pw)) if (ph or pw) else x
+
+    xd = xp.data
+    wd = weight.data
+    f, c_in, kh, kw = wd.shape
+    n, c, h, w = xd.shape
+    if c != c_in:
+        raise ValueError(f"conv2d channel mismatch: input {c} vs weight {c_in}")
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+
+    cols = _im2col(xd, kh, kw, sh, sw)  # (N,Ho,Wo,C,kh,kw)
+    cols_mat = cols.reshape(n * ho * wo, c * kh * kw)
+    w_mat = wd.reshape(f, c * kh * kw)
+    out = cols_mat @ w_mat.T  # (N*Ho*Wo, F)
+    out = out.reshape(n, ho, wo, f).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    parents = (xp, weight) if bias is None else (xp, weight, bias)
+
+    def backward(g: np.ndarray):
+        g_mat = g.transpose(0, 2, 3, 1).reshape(n * ho * wo, f)
+        gw = (g_mat.T @ cols_mat).reshape(wd.shape)
+        gcols = (g_mat @ w_mat).reshape(n, ho, wo, c, kh, kw)
+        gx = _col2im(gcols, xd.shape, kh, kw, sh, sw)
+        if bias is None:
+            return gx, gw
+        gb = g.sum(axis=(0, 2, 3))
+        return gx, gw, gb
+
+    return Tensor._make(out.astype(xd.dtype, copy=False), parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling.  Spatial dims must be divisible by ``stride`` when
+    ``kernel == stride`` (the fast reshape path used throughout this repo)."""
+    x = as_tensor(x)
+    stride = kernel if stride is None else stride
+    xd = x.data
+    n, c, h, w = xd.shape
+    if kernel == stride and h % kernel == 0 and w % kernel == 0:
+        k = kernel
+        view = xd.reshape(n, c, h // k, k, w // k, k)
+        out = view.max(axis=(3, 5))
+        expanded = out[:, :, :, None, :, None]
+        mask = view == expanded
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+
+        def backward(g: np.ndarray):
+            gexp = g[:, :, :, None, :, None]
+            gview = np.where(mask, gexp / counts, 0.0)
+            return (gview.reshape(n, c, h, w).astype(xd.dtype),)
+
+        return Tensor._make(out, (x,), backward)
+
+    # General (rare) path via sliding windows.
+    windows = sliding_window_view(xd, (kernel, kernel), axis=(2, 3))[:, :, ::stride, ::stride]
+    out = windows.max(axis=(4, 5))
+    ho, wo = out.shape[2], out.shape[3]
+
+    def backward_general(g: np.ndarray):
+        gx = np.zeros_like(xd)
+        for i in range(ho):
+            for j in range(wo):
+                patch = xd[:, :, i * stride : i * stride + kernel, j * stride : j * stride + kernel]
+                m = patch == out[:, :, i : i + 1, j : j + 1]
+                cnt = m.sum(axis=(2, 3), keepdims=True)
+                gx[:, :, i * stride : i * stride + kernel, j * stride : j * stride + kernel] += (
+                    m * g[:, :, i : i + 1, j : j + 1] / cnt
+                )
+        return (gx,)
+
+    return Tensor._make(out, (x,), backward_general)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Average pooling with ``stride == kernel`` (divisible dims required)."""
+    x = as_tensor(x)
+    xd = x.data
+    n, c, h, w = xd.shape
+    k = kernel
+    if h % k or w % k:
+        raise ValueError(f"avg_pool2d requires divisible dims, got {h}x{w} pool {k}")
+    out = xd.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(g: np.ndarray):
+        gx = np.repeat(np.repeat(g, k, axis=2), k, axis=3) / (k * k)
+        return (gx.astype(xd.dtype),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dims: (N,C,H,W) -> (N,C)."""
+    return as_tensor(x).mean(axis=(2, 3))
+
+
+def upsample_nearest(x: Tensor, factor: int) -> Tensor:
+    """Nearest-neighbour upsampling by an integer factor (NCHW)."""
+    x = as_tensor(x)
+    xd = x.data
+    out = np.repeat(np.repeat(xd, factor, axis=2), factor, axis=3)
+    n, c, h, w = xd.shape
+
+    def backward(g: np.ndarray):
+        gx = g.reshape(n, c, h, factor, w, factor).sum(axis=(3, 5))
+        return (gx.astype(xd.dtype),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def roi_align(
+    features: Tensor,
+    rois: np.ndarray,
+    output_size: int,
+    spatial_scale: float,
+) -> Tensor:
+    """Bilinear ROI pooling (simplified ROIAlign, one sample per bin).
+
+    Parameters
+    ----------
+    features:
+        Feature map ``(N, C, H, W)``.
+    rois:
+        ``(R, 5)`` array of ``(batch_index, x1, y1, x2, y2)`` in *image*
+        coordinates.  Not differentiated (boxes come from a decoded RPN
+        proposal set, detached as in standard Faster R-CNN training).
+    output_size:
+        Side length of the pooled grid (e.g. 4 -> 4x4 bins).
+    spatial_scale:
+        Feature-map stride reciprocal (1/8 for stride-8 features).
+
+    Returns
+    -------
+    Tensor of shape ``(R, C, output_size, output_size)``.
+    """
+    features = as_tensor(features)
+    fd = features.data
+    n, c, h, w = fd.shape
+    rois = np.asarray(rois, dtype=np.float64)
+    r = rois.shape[0]
+    s = output_size
+
+    if r == 0:
+        empty = np.zeros((0, c, s, s), dtype=fd.dtype)
+        return Tensor._make(empty, (features,), lambda g: (np.zeros_like(fd),))
+
+    batch_idx = rois[:, 0].astype(np.int64)
+    x1 = rois[:, 1] * spatial_scale
+    y1 = rois[:, 2] * spatial_scale
+    x2 = rois[:, 3] * spatial_scale
+    y2 = rois[:, 4] * spatial_scale
+    bin_w = np.maximum(x2 - x1, 1e-3) / s
+    bin_h = np.maximum(y2 - y1, 1e-3) / s
+
+    # Sample point at the centre of each bin: shape (R, S)
+    grid = np.arange(s, dtype=np.float64) + 0.5
+    sample_x = x1[:, None] + grid[None, :] * bin_w[:, None]  # (R,S)
+    sample_y = y1[:, None] + grid[None, :] * bin_h[:, None]  # (R,S)
+
+    sx = np.clip(sample_x, 0, w - 1)
+    sy = np.clip(sample_y, 0, h - 1)
+    x0 = np.floor(sx).astype(np.int64)
+    y0 = np.floor(sy).astype(np.int64)
+    x1i = np.minimum(x0 + 1, w - 1)
+    y1i = np.minimum(y0 + 1, h - 1)
+    wx = (sx - x0).astype(fd.dtype)  # (R,S)
+    wy = (sy - y0).astype(fd.dtype)
+
+    # Broadcast to (R, S, S): rows index y bins, cols index x bins.
+    bi = batch_idx[:, None, None]
+    y0b, y1b = y0[:, :, None], y1i[:, :, None]
+    x0b, x1b = x0[:, None, :], x1i[:, None, :]
+    wyb, wxb = wy[:, :, None], wx[:, None, :]
+
+    f = fd.transpose(0, 2, 3, 1)  # (N,H,W,C) for gather convenience
+    v00 = f[bi, y0b, x0b]  # (R,S,S,C)
+    v01 = f[bi, y0b, x1b]
+    v10 = f[bi, y1b, x0b]
+    v11 = f[bi, y1b, x1b]
+    w00 = ((1 - wyb) * (1 - wxb))[..., None]
+    w01 = ((1 - wyb) * wxb)[..., None]
+    w10 = (wyb * (1 - wxb))[..., None]
+    w11 = (wyb * wxb)[..., None]
+    pooled = v00 * w00 + v01 * w01 + v10 * w10 + v11 * w11  # (R,S,S,C)
+    out = pooled.transpose(0, 3, 1, 2).astype(fd.dtype, copy=False)
+
+    def backward(g: np.ndarray):
+        gf = np.zeros_like(f)
+        gp = g.transpose(0, 2, 3, 1)  # (R,S,S,C)
+        bidx = np.broadcast_to(bi, gp.shape[:3])
+        np.add.at(gf, (bidx, np.broadcast_to(y0b, gp.shape[:3]), np.broadcast_to(x0b, gp.shape[:3])), gp * w00)
+        np.add.at(gf, (bidx, np.broadcast_to(y0b, gp.shape[:3]), np.broadcast_to(x1b, gp.shape[:3])), gp * w01)
+        np.add.at(gf, (bidx, np.broadcast_to(y1b, gp.shape[:3]), np.broadcast_to(x0b, gp.shape[:3])), gp * w10)
+        np.add.at(gf, (bidx, np.broadcast_to(y1b, gp.shape[:3]), np.broadcast_to(x1b, gp.shape[:3])), gp * w11)
+        return (gf.transpose(0, 3, 1, 2),)
+
+    return Tensor._make(out, (features,), backward)
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis of an NCHW (or NC) tensor.
+
+    Running statistics are updated *in place* when ``training`` is True,
+    mirroring the PyTorch convention.
+    """
+    x = as_tensor(x)
+    xd = x.data
+    if xd.ndim == 4:
+        axes = (0, 2, 3)
+        view = (1, -1, 1, 1)
+    elif xd.ndim == 2:
+        axes = (0,)
+        view = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2-D or 4-D input, got {xd.ndim}-D")
+
+    if training:
+        mean = xd.mean(axis=axes)
+        var = xd.var(axis=axes)
+        count = xd.size // xd.shape[1]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1 - momentum
+        running_mean += momentum * mean
+        running_var *= 1 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mean.reshape(view)) * inv_std.reshape(view)
+    out = gamma.data.reshape(view) * x_hat + beta.data.reshape(view)
+
+    def backward(g: np.ndarray):
+        m = xd.size // xd.shape[1]
+        g_gamma = (g * x_hat).sum(axis=axes)
+        g_beta = g.sum(axis=axes)
+        if training:
+            gxh = g * gamma.data.reshape(view)
+            gx = (
+                gxh
+                - gxh.mean(axis=axes, keepdims=True)
+                - x_hat * (gxh * x_hat).mean(axis=axes, keepdims=True)
+            ) * inv_std.reshape(view)
+            del m
+        else:
+            gx = g * gamma.data.reshape(view) * inv_std.reshape(view)
+        return gx.astype(xd.dtype), g_gamma, g_beta
+
+    return Tensor._make(out.astype(xd.dtype, copy=False), (x, gamma, beta), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` of shape (out, in)."""
+    out = as_tensor(x) @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: identity in eval mode."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    data = x.data * mask
+    return Tensor._make(data, (x,), lambda g: (g * mask,))

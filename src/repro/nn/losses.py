@@ -1,0 +1,100 @@
+"""Loss functions used by the detector and the gate.
+
+The paper (Sec. 3.3) defines model loss as "the combined regression and
+classification loss (using smooth L1 loss and cross-entropy loss,
+respectively)" following Faster R-CNN [19]; both are implemented here along
+with the binary objectness loss for the RPN and the smooth-L1 regression
+loss the Deep/Attention gates are trained with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "smooth_l1",
+    "mse",
+    "huber_vector",
+]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, weight: np.ndarray | None = None) -> Tensor:
+    """Mean cross-entropy over a batch of integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, K)`` unnormalized scores.
+    targets:
+        ``(N,)`` integer labels in ``[0, K)``.
+    weight:
+        Optional per-sample weights ``(N,)``; the mean is weight-normalized.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    n = logits.shape[0]
+    if n == 0:
+        return Tensor(np.zeros((), dtype=np.float32))
+    log_probs = logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(n), targets]
+    if weight is not None:
+        w = as_tensor(weight.astype(np.float32))
+        total = float(weight.sum()) or 1.0
+        return -(picked * w).sum() / total
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable sigmoid + BCE, mean-reduced.
+
+    Uses the log-sum-exp identity
+    ``bce = max(x, 0) - x*t + log(1 + exp(-|x|))``.
+    """
+    logits = as_tensor(logits)
+    t = np.asarray(targets, dtype=logits.data.dtype)
+    if logits.size == 0:
+        return Tensor(np.zeros((), dtype=np.float32))
+    x = logits
+    relu_x = x.relu()
+    loss = relu_x - x * t + ((-x.abs()).exp() + 1.0).log()
+    return loss.mean()
+
+
+def smooth_l1(pred: Tensor, target: np.ndarray, beta: float = 1.0) -> Tensor:
+    """Smooth-L1 (Huber) loss, mean-reduced over all elements.
+
+    ``0.5 d^2 / beta`` for ``|d| < beta``, else ``|d| - 0.5 beta``.
+    """
+    pred = as_tensor(pred)
+    if pred.size == 0:
+        return Tensor(np.zeros((), dtype=np.float32))
+    t = np.asarray(target, dtype=pred.data.dtype)
+    diff = pred - t
+    ad = diff.abs()
+    # Branchless form: quadratic inside the beta tube, linear outside.
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear = ad - 0.5 * beta
+    mask = (ad.data < beta).astype(pred.data.dtype)
+    combined = quadratic * mask + linear * (1.0 - mask)
+    return combined.mean()
+
+
+def mse(pred: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error."""
+    pred = as_tensor(pred)
+    t = np.asarray(target, dtype=pred.data.dtype)
+    diff = pred - t
+    return (diff * diff).mean()
+
+
+def huber_vector(pred: Tensor, target: np.ndarray, beta: float = 1.0) -> Tensor:
+    """Smooth-L1 reduced per-row then averaged — the gate regression loss.
+
+    Keeping the per-configuration dimension un-averaged before the final
+    mean treats each configuration's loss prediction with equal weight.
+    """
+    return smooth_l1(pred, target, beta=beta)

@@ -1,0 +1,43 @@
+"""Weight persistence: save/load module state to ``.npz`` archives.
+
+Keys containing ``/`` are not allowed by ``numpy.savez``-loaded mappings on
+all platforms, so state-dict keys (which use ``.``) are stored verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state", "load_state"]
+
+
+def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
+    """Write a flat name->array mapping to ``path`` (.npz, compressed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **state)
+    os.replace(tmp, path)
+
+
+def load_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a mapping written by :func:`save_state`."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Persist ``module.state_dict()`` to ``path``."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load weights into ``module`` in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

@@ -1,0 +1,518 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the heart of the ``repro.nn`` substrate: a small but complete
+autograd engine in the style of PyTorch's eager mode.  A :class:`Tensor`
+wraps a ``numpy.ndarray`` and records the operations applied to it; calling
+:meth:`Tensor.backward` walks the recorded graph in reverse topological
+order and accumulates gradients into every tensor created with
+``requires_grad=True``.
+
+Design notes
+------------
+* Gradients are plain ``numpy.ndarray`` objects stored on ``Tensor.grad``.
+* Broadcasting follows numpy semantics; :func:`unbroadcast` folds a
+  broadcast gradient back onto the original operand shape.
+* The graph is built from closures (micrograd style) rather than Function
+  subclasses: every op stores a ``_backward`` callback plus its parents.
+* dtype is preserved: float32 everywhere by default for speed, float64 in
+  the numerical gradient checks (see ``repro.nn.gradcheck``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (inference mode)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast axes so it matches ``shape``.
+
+    numpy broadcasting may (a) prepend axes and (b) stretch length-1 axes.
+    The adjoint of broadcasting is summation over exactly those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Collapse stretched axes.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value: "Tensor | np.ndarray | float | int | Sequence", dtype=None) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy when possible)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Stored as ``numpy.ndarray``; python scalars
+        become 0-d float32 arrays.
+    requires_grad:
+        When True, ``backward()`` accumulates a gradient into ``self.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100.0  # numpy defers binary ops to Tensor
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):  # defensive: unwrap nested tensors
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind not in "fc":
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = _backward
+        self._parents = _parents if is_grad_enabled() else ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared memory, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction / backward pass
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: tuple,
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a graph node whose grad flows to ``parents`` via ``backward``."""
+        requires = is_grad_enabled() and any(
+            p.requires_grad for p in parents if isinstance(p, Tensor)
+        )
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if isinstance(p, Tensor))
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first touch)."""
+        if not self.requires_grad:
+            return
+        grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to ones (only valid for scalar output,
+            mirroring PyTorch's convention).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a seed requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order via iterative DFS (recursion-free for deep nets).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._accumulate_into(grads, node_grad)
+
+    def _accumulate_into(self, grads: dict[int, np.ndarray], node_grad: np.ndarray) -> None:
+        """Invoke the stored backward closure, routing grads to parents."""
+        # The closure signature is backward(grad) -> sequence of parent grads,
+        # ordered to match self._parents.
+        parent_grads = self._backward(node_grad)
+        if parent_grads is None:
+            return
+        if not isinstance(parent_grads, (tuple, list)):
+            parent_grads = (parent_grads,)
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            pgrad = unbroadcast(np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape)
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data + other.data
+        return Tensor._make(data, (self, other), lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        data = self.data - other.data
+        return Tensor._make(data, (self, other), lambda g: (g, -g))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        data = a * b
+        return Tensor._make(data, (self, other), lambda g: (g * b, g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        data = a / b
+        return Tensor._make(data, (self, other), lambda g: (g / b, -g * a / (b * b)))
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        a = self.data
+        data = a**exponent
+        return Tensor._make(data, (self,), lambda g: (g * exponent * a ** (exponent - 1),))
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        data = a @ b
+
+        def backward(g: np.ndarray):
+            if a.ndim == 1 and b.ndim == 1:  # dot product
+                return g * b, g * a
+            if a.ndim == 1:  # (k,) @ (..., k, n)
+                ga = (g[..., None, :] * b).sum(axis=-1)
+                gb = a[:, None] * g[..., None, :]
+                return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+            if b.ndim == 1:  # (..., m, k) @ (k,)
+                ga = g[..., :, None] * b
+                gb = (a * g[..., :, None]).sum(axis=tuple(range(a.ndim - 1)))
+                return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+            ga = g @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ g
+            return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data,))
+
+    def log(self) -> "Tensor":
+        a = self.data
+        return Tensor._make(np.log(a), (self,), lambda g: (g / a,))
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,))
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0).astype(self.data.dtype)
+        return Tensor._make(data, (self,), lambda g: (g * mask,))
+
+    def leaky_relu(self, slope: float = 0.1) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, slope * self.data).astype(self.data.dtype)
+        return Tensor._make(data, (self,), lambda g: (np.where(mask, g, slope * g),))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        data = np.clip(self.data, low, high)
+        return Tensor._make(data, (self,), lambda g: (g * mask,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                return (np.broadcast_to(g, shape).astype(self.data.dtype),)
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                g = np.expand_dims(g, axes)
+            return (np.broadcast_to(g, shape).astype(self.data.dtype),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                expanded = data
+                gexp = g
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                expanded = data if keepdims else np.expand_dims(data, axes)
+                gexp = g if keepdims else np.expand_dims(g, axes)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split ties evenly so gradcheck passes on plateaus.
+            if axis is None:
+                mask /= mask.sum()
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                mask /= mask.sum(axis=axes, keepdims=True)
+            return (np.broadcast_to(gexp, shape) * mask,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+        return Tensor._make(data, (self,), lambda g: (g.reshape(original),))
+
+    def flatten(self, start_axis: int = 1) -> "Tensor":
+        lead = self.data.shape[:start_axis]
+        return self.reshape(lead + (-1,))
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = tuple(int(i) for i in np.argsort(axes))
+        data = self.data.transpose(axes)
+        return Tensor._make(data, (self,), lambda g: (g.transpose(inverse),))
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.data.shape
+        dtype = self.data.dtype
+
+        def backward(g: np.ndarray):
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, index, g)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad2d(self, padding: int | tuple[int, int]) -> "Tensor":
+        """Zero-pad the trailing two (spatial) axes of an NCHW tensor."""
+        ph, pw = (padding, padding) if isinstance(padding, int) else padding
+        if ph == 0 and pw == 0:
+            return self
+        pads = [(0, 0)] * (self.data.ndim - 2) + [(ph, ph), (pw, pw)]
+        data = np.pad(self.data, pads)
+        slices = tuple(
+            [slice(None)] * (self.data.ndim - 2)
+            + [slice(ph, data.shape[-2] - ph), slice(pw, data.shape[-1] - pw)]
+        )
+        return Tensor._make(data, (self,), lambda g: (g[slices],))
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g: np.ndarray):
+            grads = []
+            for i in range(len(sizes)):
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+                grads.append(g[tuple(sl)])
+            return tuple(grads)
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [as_tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(g: np.ndarray):
+            return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+        return Tensor._make(data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------
+    # Softmax family (stable, composite-free backward)
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        probs = e / e.sum(axis=axis, keepdims=True)
+
+        def backward(g: np.ndarray):
+            dot = (g * probs).sum(axis=axis, keepdims=True)
+            return (probs * (g - dot),)
+
+        return Tensor._make(probs, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_z
+        probs = np.exp(out)
+
+        def backward(g: np.ndarray):
+            return (g - probs * g.sum(axis=axis, keepdims=True),)
+
+        return Tensor._make(out, (self,), backward)

@@ -1,0 +1,63 @@
+"""``repro.perception`` — the two-stage object-detection substrate.
+
+A miniaturized Faster R-CNN [19]: residual backbone split into stem +
+branch (Sec. 4.1/4.3 of the paper), anchor-based RPN, ROI-align head.
+"""
+
+from .anchors import DEFAULT_RATIOS, DEFAULT_SCALES, AnchorGenerator
+from .backbone import (
+    FEATURE_CHANNELS,
+    FEATURE_STRIDE,
+    STEM_CHANNELS,
+    BasicBlock,
+    BranchBackbone,
+    FusionAdapter,
+    StemBlock,
+)
+from .boxes import (
+    BBOX_XFORM_CLIP,
+    box_area,
+    clip_boxes,
+    decode_boxes,
+    encode_boxes,
+    iou_matrix,
+    nms,
+    remove_degenerate,
+)
+from .detections import Detections
+from .detector import BranchDetector, DetectorLosses
+from .matching import MatchResult, match_anchors, sample_matches
+from .roi import ROIConfig, ROIHead
+from .rpn import RPNConfig, RPNHead, RPNOutput
+
+__all__ = [
+    "AnchorGenerator",
+    "DEFAULT_SCALES",
+    "DEFAULT_RATIOS",
+    "STEM_CHANNELS",
+    "FEATURE_CHANNELS",
+    "FEATURE_STRIDE",
+    "StemBlock",
+    "FusionAdapter",
+    "BasicBlock",
+    "BranchBackbone",
+    "box_area",
+    "iou_matrix",
+    "encode_boxes",
+    "decode_boxes",
+    "clip_boxes",
+    "nms",
+    "remove_degenerate",
+    "BBOX_XFORM_CLIP",
+    "Detections",
+    "BranchDetector",
+    "DetectorLosses",
+    "MatchResult",
+    "match_anchors",
+    "sample_matches",
+    "ROIHead",
+    "ROIConfig",
+    "RPNHead",
+    "RPNConfig",
+    "RPNOutput",
+]

@@ -1,0 +1,80 @@
+"""Anchor generation for the Region Proposal Network.
+
+Anchors are laid out on the stride-8 feature-map grid with scales and
+aspect ratios matched to the simulator's object-size distribution (see
+``repro.datasets.scenes.CLASS_SIZE_RANGES``): pedestrians and bikes around
+6-10 px, cars around 12-16 px, trucks/buses up to ~25 px.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AnchorGenerator", "DEFAULT_SCALES", "DEFAULT_RATIOS"]
+
+DEFAULT_SCALES: tuple[float, ...] = (11.0, 19.0, 30.0)
+# h/w aspect ratios: wide (vehicles seen side-on), square, tall (pedestrians)
+DEFAULT_RATIOS: tuple[float, ...] = (0.6, 1.0, 1.8)
+
+
+class AnchorGenerator:
+    """Generates (and caches) the anchor set for a given image size.
+
+    Parameters
+    ----------
+    stride:
+        Feature-map stride relative to the input image (8 in this repo:
+        stem /2, branch stages /2 twice more).
+    scales:
+        Anchor side lengths (sqrt of area) in input pixels.
+    ratios:
+        Height/width aspect ratios.
+    """
+
+    def __init__(
+        self,
+        stride: int = 8,
+        scales: tuple[float, ...] = DEFAULT_SCALES,
+        ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    ) -> None:
+        self.stride = stride
+        self.scales = tuple(scales)
+        self.ratios = tuple(ratios)
+        self._cache: dict[int, np.ndarray] = {}
+
+    @property
+    def num_anchors_per_cell(self) -> int:
+        return len(self.scales) * len(self.ratios)
+
+    def base_anchors(self) -> np.ndarray:
+        """(A, 4) anchor templates centred at the origin."""
+        templates = []
+        for scale in self.scales:
+            for ratio in self.ratios:
+                w = scale / np.sqrt(ratio)
+                h = scale * np.sqrt(ratio)
+                templates.append([-w / 2, -h / 2, w / 2, h / 2])
+        return np.array(templates, dtype=np.float32)
+
+    def grid(self, image_size: int) -> np.ndarray:
+        """All anchors for a square image: (H/stride * W/stride * A, 4).
+
+        Ordering is row-major over cells, then anchor template — the same
+        ordering the RPN head's output is reshaped to.
+        """
+        if image_size in self._cache:
+            return self._cache[image_size]
+        if image_size % self.stride:
+            raise ValueError(f"image_size {image_size} not divisible by stride {self.stride}")
+        cells = image_size // self.stride
+        centers = (np.arange(cells, dtype=np.float32) + 0.5) * self.stride
+        cy, cx = np.meshgrid(centers, centers, indexing="ij")
+        shifts = np.stack([cx, cy, cx, cy], axis=-1).reshape(-1, 1, 4)  # (cells^2,1,4)
+        base = self.base_anchors().reshape(1, -1, 4)
+        anchors = (shifts + base).reshape(-1, 4).astype(np.float32)
+        self._cache[image_size] = anchors
+        return anchors
+
+    def num_anchors(self, image_size: int) -> int:
+        cells = image_size // self.stride
+        return cells * cells * self.num_anchors_per_cell

@@ -1,0 +1,135 @@
+"""Axis-aligned bounding-box operations (pure numpy, fully vectorized).
+
+Boxes use the ``(x1, y1, x2, y2)`` corner convention in pixel coordinates
+throughout the repo.  Box regression uses the standard Faster R-CNN [19]
+parameterization: ``(dx, dy, dw, dh)`` deltas relative to an anchor or
+proposal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "box_area",
+    "iou_matrix",
+    "encode_boxes",
+    "decode_boxes",
+    "clip_boxes",
+    "nms",
+    "remove_degenerate",
+    "BBOX_XFORM_CLIP",
+]
+
+# Cap on predicted log-scale deltas; prevents exp() overflow from a wild
+# regression output (same safeguard as Detectron's BBOX_XFORM_CLIP).
+BBOX_XFORM_CLIP = float(np.log(1000.0 / 16.0))
+
+
+def box_area(boxes: np.ndarray) -> np.ndarray:
+    """Areas of an (N, 4) box array (zero for degenerate boxes)."""
+    boxes = np.asarray(boxes, dtype=np.float64)
+    w = np.maximum(boxes[:, 2] - boxes[:, 0], 0.0)
+    h = np.maximum(boxes[:, 3] - boxes[:, 1], 0.0)
+    return w * h
+
+
+def iou_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between (N, 4) and (M, 4) boxes -> (N, M) float64."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1, 4)
+    b = np.asarray(b, dtype=np.float64).reshape(-1, 4)
+    if a.shape[0] == 0 or b.shape[0] == 0:
+        return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+    union = box_area(a)[:, None] + box_area(b)[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iou = np.where(union > 0, inter / union, 0.0)
+    return iou
+
+
+def encode_boxes(reference: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Regression targets that map ``reference`` boxes onto ``target`` boxes.
+
+    Returns ``(N, 4)`` deltas ``(dx, dy, dw, dh)`` in the Faster R-CNN
+    parameterization:  ``dx = (tx - rx) / rw``, ``dw = log(tw / rw)``.
+    """
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1, 4)
+    target = np.asarray(target, dtype=np.float64).reshape(-1, 4)
+    rw = np.maximum(reference[:, 2] - reference[:, 0], 1e-3)
+    rh = np.maximum(reference[:, 3] - reference[:, 1], 1e-3)
+    rx = reference[:, 0] + rw / 2
+    ry = reference[:, 1] + rh / 2
+    tw = np.maximum(target[:, 2] - target[:, 0], 1e-3)
+    th = np.maximum(target[:, 3] - target[:, 1], 1e-3)
+    tx = target[:, 0] + tw / 2
+    ty = target[:, 1] + th / 2
+    deltas = np.stack(
+        [(tx - rx) / rw, (ty - ry) / rh, np.log(tw / rw), np.log(th / rh)], axis=1
+    )
+    return deltas.astype(np.float32)
+
+
+def decode_boxes(reference: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`encode_boxes`: apply deltas to reference boxes."""
+    reference = np.asarray(reference, dtype=np.float64).reshape(-1, 4)
+    deltas = np.asarray(deltas, dtype=np.float64).reshape(-1, 4)
+    rw = np.maximum(reference[:, 2] - reference[:, 0], 1e-3)
+    rh = np.maximum(reference[:, 3] - reference[:, 1], 1e-3)
+    rx = reference[:, 0] + rw / 2
+    ry = reference[:, 1] + rh / 2
+    dx, dy = deltas[:, 0], deltas[:, 1]
+    dw = np.clip(deltas[:, 2], -BBOX_XFORM_CLIP, BBOX_XFORM_CLIP)
+    dh = np.clip(deltas[:, 3], -BBOX_XFORM_CLIP, BBOX_XFORM_CLIP)
+    cx = rx + dx * rw
+    cy = ry + dy * rh
+    w = rw * np.exp(dw)
+    h = rh * np.exp(dh)
+    boxes = np.stack([cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2], axis=1)
+    return boxes.astype(np.float32)
+
+
+def clip_boxes(boxes: np.ndarray, image_size: int) -> np.ndarray:
+    """Clamp boxes to the image extent ``[0, image_size - 1]``."""
+    out = np.asarray(boxes, dtype=np.float32).reshape(-1, 4).copy()
+    out[:, 0::2] = np.clip(out[:, 0::2], 0, image_size - 1)
+    out[:, 1::2] = np.clip(out[:, 1::2], 0, image_size - 1)
+    return out
+
+
+def remove_degenerate(boxes: np.ndarray, min_size: float = 1.0) -> np.ndarray:
+    """Indices of boxes at least ``min_size`` wide and tall."""
+    boxes = np.asarray(boxes).reshape(-1, 4)
+    keep = (boxes[:, 2] - boxes[:, 0] >= min_size) & (boxes[:, 3] - boxes[:, 1] >= min_size)
+    return np.flatnonzero(keep)
+
+
+def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5) -> np.ndarray:
+    """Greedy non-maximum suppression; returns kept indices, score-ordered."""
+    boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if boxes.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(-scores)
+    keep: list[int] = []
+    suppressed = np.zeros(len(order), dtype=bool)
+    areas = box_area(boxes)
+    for pos, i in enumerate(order):
+        if suppressed[pos]:
+            continue
+        keep.append(int(i))
+        rest = order[pos + 1 :]
+        if rest.size == 0:
+            break
+        x1 = np.maximum(boxes[i, 0], boxes[rest, 0])
+        y1 = np.maximum(boxes[i, 1], boxes[rest, 1])
+        x2 = np.minimum(boxes[i, 2], boxes[rest, 2])
+        y2 = np.minimum(boxes[i, 3], boxes[rest, 3])
+        inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+        union = areas[i] + areas[rest] - inter
+        iou = np.where(union > 0, inter / union, 0.0)
+        suppressed[pos + 1 :] |= iou > iou_threshold
+    return np.array(keep, dtype=np.int64)

@@ -1,0 +1,59 @@
+"""Detection containers shared by the detector, fusion and evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Detections"]
+
+
+@dataclass
+class Detections:
+    """A set of scored, labelled boxes for one image.
+
+    ``boxes`` is ``(n, 4)`` float32 ``(x1, y1, x2, y2)``; ``scores`` is
+    ``(n,)`` in [0, 1]; ``labels`` is ``(n,)`` one-based class ids.
+    """
+
+    boxes: np.ndarray = field(default_factory=lambda: np.zeros((0, 4), dtype=np.float32))
+    scores: np.ndarray = field(default_factory=lambda: np.zeros((0,), dtype=np.float32))
+    labels: np.ndarray = field(default_factory=lambda: np.zeros((0,), dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.boxes = np.asarray(self.boxes, dtype=np.float32).reshape(-1, 4)
+        self.scores = np.asarray(self.scores, dtype=np.float32).reshape(-1)
+        self.labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if not (len(self.boxes) == len(self.scores) == len(self.labels)):
+            raise ValueError(
+                f"inconsistent detection lengths: boxes {len(self.boxes)}, "
+                f"scores {len(self.scores)}, labels {len(self.labels)}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.boxes.shape[0])
+
+    def select(self, indices: np.ndarray) -> "Detections":
+        """Subset by integer or boolean index array."""
+        return Detections(self.boxes[indices], self.scores[indices], self.labels[indices])
+
+    def above_score(self, threshold: float) -> "Detections":
+        return self.select(self.scores >= threshold)
+
+    def sorted_by_score(self) -> "Detections":
+        return self.select(np.argsort(-self.scores))
+
+    def for_label(self, label: int) -> "Detections":
+        return self.select(self.labels == label)
+
+    @staticmethod
+    def concatenate(parts: list["Detections"]) -> "Detections":
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return Detections()
+        return Detections(
+            np.concatenate([p.boxes for p in parts]),
+            np.concatenate([p.scores for p in parts]),
+            np.concatenate([p.labels for p in parts]),
+        )

@@ -1,0 +1,123 @@
+"""BranchDetector: a complete Faster R-CNN-style detector over stem features.
+
+Each EcoFusion *branch* (Sec. 4.3) is one of these: a residual trunk, an
+RPN and an ROI head.  The branch consumes stem features — either a single
+modality's stem output or the channel-concatenation of several stems for
+an early-fusion branch — and emits scored detections in its sensor frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Identity, Module, Tensor, no_grad
+from .anchors import AnchorGenerator
+from .backbone import BranchBackbone, FusionAdapter, STEM_CHANNELS
+from .detections import Detections
+from .roi import ROIConfig, ROIHead
+from .rpn import RPNConfig, RPNHead
+
+__all__ = ["BranchDetector", "DetectorLosses"]
+
+
+@dataclass
+class DetectorLosses:
+    """The four Faster R-CNN loss components plus their weighted total."""
+
+    rpn_objectness: Tensor
+    rpn_regression: Tensor
+    roi_classification: Tensor
+    roi_regression: Tensor
+    weights: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 1.0)
+    total: Tensor = field(init=False)
+
+    def __post_init__(self) -> None:
+        w = self.weights
+        self.total = (
+            self.rpn_objectness * w[0]
+            + self.rpn_regression * w[1]
+            + self.roi_classification * w[2]
+            + self.roi_regression * w[3]
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "rpn_objectness": self.rpn_objectness.item(),
+            "rpn_regression": self.rpn_regression.item(),
+            "roi_classification": self.roi_classification.item(),
+            "roi_regression": self.roi_regression.item(),
+            "total": self.total.item(),
+        }
+
+
+class BranchDetector(Module):
+    """Trunk + RPN + ROI head operating on stem features.
+
+    Parameters
+    ----------
+    num_sensors:
+        How many stems feed this branch (1 for single-sensor branches,
+        k for early-fusion branches); input channels = 8 * num_sensors.
+    num_classes:
+        Foreground classes (8 for RADIATE).
+    image_size:
+        Input image side length (stem features are at stride 2).
+    """
+
+    def __init__(
+        self,
+        num_sensors: int,
+        num_classes: int,
+        image_size: int,
+        rng: np.random.Generator,
+        rpn_config: RPNConfig | None = None,
+        roi_config: ROIConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.num_sensors = num_sensors
+        self.num_classes = num_classes
+        self.image_size = image_size
+        in_channels = STEM_CHANNELS * num_sensors
+        if num_sensors > 1:
+            # Early-fusion branches mix modalities at stem resolution first.
+            self.adapter = FusionAdapter(in_channels, rng=rng)
+            trunk_channels = self.adapter.out_channels
+        else:
+            self.adapter = Identity()
+            trunk_channels = in_channels
+        self.backbone = BranchBackbone(trunk_channels, rng=rng)
+        self.anchor_generator = AnchorGenerator()
+        self.rpn = RPNHead(self.anchor_generator, image_size, rng=rng, config=rpn_config)
+        self.roi = ROIHead(num_classes, image_size, rng=rng, config=roi_config)
+
+    # ------------------------------------------------------------------
+    def forward(self, stem_features: Tensor) -> Tensor:
+        """Branch feature map (N, FEATURE_CHANNELS, S/8, S/8)."""
+        return self.backbone(self.adapter(stem_features))
+
+    # ------------------------------------------------------------------
+    def compute_loss(
+        self,
+        stem_features: Tensor,
+        gt_boxes: list[np.ndarray],
+        gt_labels: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> DetectorLosses:
+        """Joint RPN + ROI training loss for a batch."""
+        features = self.forward(stem_features)
+        rpn_out = self.rpn(features)
+        rpn_cls, rpn_reg = self.rpn.compute_loss(rpn_out, gt_boxes, rng)
+        roi_cls, roi_reg = self.roi.compute_loss(
+            features, rpn_out.proposals, gt_boxes, gt_labels, rng
+        )
+        return DetectorLosses(rpn_cls, rpn_reg, roi_cls, roi_reg)
+
+    # ------------------------------------------------------------------
+    def detect(self, stem_features: Tensor) -> list[Detections]:
+        """Inference: per-image detections (no autograd graph)."""
+        with no_grad():
+            features = self.forward(stem_features)
+            rpn_out = self.rpn(features)
+            return self.roi.predict(features, rpn_out.proposals)

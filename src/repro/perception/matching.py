@@ -1,0 +1,105 @@
+"""Target assignment: matching anchors/proposals to ground-truth boxes.
+
+Implements the Faster R-CNN [19] assignment rules with thresholds adapted
+to the coarse 8x8 anchor grid:
+
+* an anchor is **positive** if its IoU with some ground-truth box exceeds
+  ``positive_iou``, or if it is the best anchor for a ground-truth box
+  (guaranteeing every object gets at least one positive);
+* **negative** if its best IoU is below ``negative_iou``;
+* anchors in between are ignored.
+
+Sampling keeps the positive:negative ratio bounded so the objectness loss
+is not swamped by easy background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import iou_matrix
+
+__all__ = ["MatchResult", "match_anchors", "sample_matches"]
+
+
+@dataclass
+class MatchResult:
+    """Assignment of references (anchors or proposals) to ground truth.
+
+    ``gt_index[i]`` is the matched ground-truth index for reference ``i``
+    (valid only where ``labels[i] == 1``); ``labels`` is +1 positive,
+    0 negative, -1 ignore; ``max_iou`` the best overlap per reference.
+    """
+
+    gt_index: np.ndarray
+    labels: np.ndarray
+    max_iou: np.ndarray
+
+    @property
+    def positive(self) -> np.ndarray:
+        return np.flatnonzero(self.labels == 1)
+
+    @property
+    def negative(self) -> np.ndarray:
+        return np.flatnonzero(self.labels == 0)
+
+
+def match_anchors(
+    references: np.ndarray,
+    gt_boxes: np.ndarray,
+    positive_iou: float = 0.45,
+    negative_iou: float = 0.25,
+    force_best_for_gt: bool = True,
+) -> MatchResult:
+    """Assign each reference box a positive/negative/ignore label."""
+    references = np.asarray(references).reshape(-1, 4)
+    gt_boxes = np.asarray(gt_boxes).reshape(-1, 4)
+    n = references.shape[0]
+    if gt_boxes.shape[0] == 0:
+        return MatchResult(
+            gt_index=np.zeros(n, dtype=np.int64),
+            labels=np.zeros(n, dtype=np.int64),
+            max_iou=np.zeros(n, dtype=np.float64),
+        )
+    iou = iou_matrix(references, gt_boxes)
+    gt_index = iou.argmax(axis=1)
+    max_iou = iou[np.arange(n), gt_index]
+
+    labels = -np.ones(n, dtype=np.int64)
+    labels[max_iou < negative_iou] = 0
+    labels[max_iou >= positive_iou] = 1
+    if force_best_for_gt:
+        # The highest-IoU anchor for each gt is positive even under the
+        # threshold (with ties included), so no object is unmatchable.
+        best_per_gt = iou.max(axis=0)
+        for g in range(gt_boxes.shape[0]):
+            if best_per_gt[g] <= 0:
+                continue
+            winners = np.flatnonzero(np.isclose(iou[:, g], best_per_gt[g]))
+            labels[winners] = 1
+            gt_index[winners] = g
+    return MatchResult(gt_index=gt_index, labels=labels, max_iou=max_iou)
+
+
+def sample_matches(
+    match: MatchResult,
+    rng: np.random.Generator,
+    num_samples: int = 48,
+    positive_fraction: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Subsample matched references for loss computation.
+
+    Returns ``(positive_indices, negative_indices)`` with at most
+    ``num_samples`` total and at most ``positive_fraction`` positives.
+    """
+    positives = match.positive
+    negatives = match.negative
+    max_pos = int(num_samples * positive_fraction)
+    if len(positives) > max_pos:
+        positives = rng.choice(positives, size=max_pos, replace=False)
+    max_neg = num_samples - len(positives)
+    if len(negatives) > max_neg:
+        negatives = rng.choice(negatives, size=max_neg, replace=False)
+    return np.sort(positives), np.sort(negatives)

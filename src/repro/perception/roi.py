@@ -1,0 +1,174 @@
+"""Region-of-interest head: classification + box refinement.
+
+Pools a fixed-size feature grid for each RPN proposal (bilinear ROI align)
+and predicts the object class (including background) and class-agnostic
+box-regression deltas, as in the paper's branch design (Sec. 4.3): "The
+RPN proposals are then fed through a region-of-interest layer that
+predicts Y_class, Y_reg for each box, as well as the confidence scores".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, cross_entropy, no_grad, smooth_l1
+from ..nn import functional as F
+from .backbone import FEATURE_CHANNELS, FEATURE_STRIDE
+from .boxes import clip_boxes, decode_boxes, encode_boxes, nms
+from .detections import Detections
+from .matching import match_anchors, sample_matches
+
+__all__ = ["ROIHead", "ROIConfig"]
+
+
+@dataclass(frozen=True)
+class ROIConfig:
+    """ROI head hyperparameters."""
+
+    pool_size: int = 4
+    hidden_dim: int = 128
+    # training-time proposal sampling
+    positive_iou: float = 0.5
+    negative_iou: float = 0.5  # below this = background candidate
+    batch_per_image: int = 32
+    positive_fraction: float = 0.5
+    reg_beta: float = 0.3
+    # inference
+    score_threshold: float = 0.05
+    nms_threshold: float = 0.45
+    max_detections: int = 16
+
+
+class ROIHead(Module):
+    """ROI-align pooling + 2-layer MLP -> (class logits, box deltas)."""
+
+    def __init__(self, num_classes: int, image_size: int, rng: np.random.Generator,
+                 config: ROIConfig | None = None,
+                 in_channels: int = FEATURE_CHANNELS) -> None:
+        super().__init__()
+        self.num_classes = num_classes  # foreground classes; logits have +1 for bg
+        self.image_size = image_size
+        self.config = config or ROIConfig()
+        cfg = self.config
+        flat = in_channels * cfg.pool_size * cfg.pool_size
+        self.fc = Linear(flat, cfg.hidden_dim, rng=rng)
+        self.cls_head = Linear(cfg.hidden_dim, num_classes + 1, rng=rng)
+        self.reg_head = Linear(cfg.hidden_dim, 4, rng=rng)
+        self.reg_head.weight.data *= 0.1
+
+    # ------------------------------------------------------------------
+    def _pool_and_embed(self, features: Tensor, rois: np.ndarray) -> Tensor:
+        pooled = F.roi_align(
+            features, rois, self.config.pool_size, 1.0 / FEATURE_STRIDE
+        )
+        return self.fc(pooled.flatten(1)).relu()
+
+    def forward(self, features: Tensor, rois: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Class logits ``(R, K+1)`` and deltas ``(R, 4)`` for given rois."""
+        hidden = self._pool_and_embed(features, rois)
+        return self.cls_head(hidden), self.reg_head(hidden)
+
+    # ------------------------------------------------------------------
+    def compute_loss(
+        self,
+        features: Tensor,
+        proposals: list[np.ndarray],
+        gt_boxes: list[np.ndarray],
+        gt_labels: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> tuple[Tensor, Tensor]:
+        """Sampled classification (CE) and regression (smooth-L1) losses.
+
+        Ground-truth boxes are appended to the proposal set (standard
+        Faster R-CNN trick) so the head sees positives from step one.
+        """
+        cfg = self.config
+        all_rois: list[np.ndarray] = []
+        cls_targets: list[np.ndarray] = []
+        reg_targets: list[np.ndarray] = []
+        reg_mask: list[np.ndarray] = []
+        for i, (props, boxes, labels) in enumerate(zip(proposals, gt_boxes, gt_labels)):
+            candidates = np.concatenate([props, boxes]) if len(boxes) else props
+            if candidates.shape[0] == 0:
+                continue
+            match = match_anchors(
+                candidates, boxes,
+                positive_iou=cfg.positive_iou, negative_iou=cfg.negative_iou,
+                force_best_for_gt=False,
+            )
+            pos, neg = sample_matches(
+                match, rng, num_samples=cfg.batch_per_image,
+                positive_fraction=cfg.positive_fraction,
+            )
+            sel = np.concatenate([pos, neg]).astype(np.int64)
+            if sel.size == 0:
+                continue
+            rois = np.zeros((len(sel), 5), dtype=np.float32)
+            rois[:, 0] = i
+            rois[:, 1:] = candidates[sel]
+            all_rois.append(rois)
+            target = np.zeros(len(sel), dtype=np.int64)
+            target[: len(pos)] = labels[match.gt_index[pos]]
+            cls_targets.append(target)
+            regs = np.zeros((len(sel), 4), dtype=np.float32)
+            if len(pos):
+                regs[: len(pos)] = encode_boxes(
+                    candidates[pos], boxes[match.gt_index[pos]]
+                )
+            reg_targets.append(regs)
+            mask = np.zeros(len(sel), dtype=bool)
+            mask[: len(pos)] = True
+            reg_mask.append(mask)
+
+        from ..nn.tensor import Tensor as T
+
+        if not all_rois:
+            zero = T(np.zeros((), dtype=np.float32))
+            return zero, zero
+        rois = np.concatenate(all_rois)
+        targets = np.concatenate(cls_targets)
+        regs = np.concatenate(reg_targets)
+        mask = np.concatenate(reg_mask)
+        logits, deltas = self.forward(features, rois)
+        cls_loss = cross_entropy(logits, targets)
+        if mask.any():
+            reg_loss = smooth_l1(deltas[np.flatnonzero(mask)], regs[mask], beta=cfg.reg_beta)
+        else:
+            reg_loss = T(np.zeros((), dtype=np.float32))
+        return cls_loss, reg_loss
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, features: Tensor, proposals: list[np.ndarray]
+    ) -> list[Detections]:
+        """Final per-image detections from proposals (inference path)."""
+        cfg = self.config
+        results: list[Detections] = []
+        with no_grad():
+            for i, props in enumerate(proposals):
+                if props.shape[0] == 0:
+                    results.append(Detections())
+                    continue
+                rois = np.zeros((props.shape[0], 5), dtype=np.float32)
+                rois[:, 0] = i
+                rois[:, 1:] = props
+                logits, deltas = self.forward(features, rois)
+                probs = logits.softmax(axis=-1).data
+                labels = probs[:, 1:].argmax(axis=1) + 1  # best foreground class
+                scores = probs[np.arange(len(labels)), labels]
+                boxes = decode_boxes(props, deltas.data)
+                boxes = clip_boxes(boxes, self.image_size)
+                keep = scores >= cfg.score_threshold
+                boxes, scores, labels = boxes[keep], scores[keep], labels[keep]
+                # Class-wise NMS.
+                final = []
+                for cls in np.unique(labels):
+                    sel = np.flatnonzero(labels == cls)
+                    kept = nms(boxes[sel], scores[sel], cfg.nms_threshold)
+                    final.extend(sel[kept])
+                final = np.array(sorted(final, key=lambda j: -scores[j]), dtype=np.int64)
+                final = final[: cfg.max_detections]
+                results.append(Detections(boxes[final], scores[final], labels[final]))
+        return results

@@ -1,0 +1,160 @@
+"""Region Proposal Network (Faster R-CNN [19], Sec. 4.3 of the paper).
+
+The RPN slides a small conv head over the branch feature map and emits,
+for every anchor, an objectness logit and four box-regression deltas.
+Proposals are decoded, clipped, filtered by NMS and handed to the ROI
+head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    Module,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    smooth_l1,
+)
+from .anchors import AnchorGenerator
+from .backbone import FEATURE_CHANNELS
+from .boxes import clip_boxes, decode_boxes, nms, remove_degenerate
+from .matching import match_anchors, sample_matches
+
+__all__ = ["RPNHead", "RPNOutput", "RPNConfig"]
+
+
+@dataclass(frozen=True)
+class RPNConfig:
+    """Proposal-generation hyperparameters (tuned for the 8x8 grid)."""
+
+    pre_nms_top_n: int = 128
+    post_nms_top_n: int = 24
+    nms_threshold: float = 0.7
+    min_box_size: float = 2.0
+    # training
+    positive_iou: float = 0.45
+    negative_iou: float = 0.25
+    batch_per_image: int = 48
+    positive_fraction: float = 0.5
+    reg_beta: float = 0.3
+
+
+@dataclass
+class RPNOutput:
+    """Per-batch RPN tensors plus decoded per-image proposals."""
+
+    objectness: Tensor  # (N, HWA)
+    deltas: Tensor  # (N, HWA, 4)
+    proposals: list[np.ndarray]  # per image, (P_i, 4)
+    proposal_scores: list[np.ndarray]
+
+
+class RPNHead(Module):
+    """3x3 conv + two 1x1 sibling convs (objectness / box deltas)."""
+
+    def __init__(self, anchor_generator: AnchorGenerator, image_size: int,
+                 rng: np.random.Generator, config: RPNConfig | None = None,
+                 in_channels: int = FEATURE_CHANNELS) -> None:
+        super().__init__()
+        self.anchors = anchor_generator
+        self.image_size = image_size
+        self.config = config or RPNConfig()
+        a = anchor_generator.num_anchors_per_cell
+        self.conv = Conv2d(in_channels, in_channels, 3, padding=1, rng=rng)
+        self.objectness_head = Conv2d(in_channels, a, 1, rng=rng)
+        self.delta_head = Conv2d(in_channels, 4 * a, 1, rng=rng)
+        # Start box deltas near zero so early proposals equal the anchors.
+        self.delta_head.weight.data *= 0.1
+
+    # ------------------------------------------------------------------
+    def forward(self, features: Tensor) -> RPNOutput:
+        """Run the head and decode proposals for each image in the batch."""
+        n = features.shape[0]
+        a = self.anchors.num_anchors_per_cell
+        h, w = features.shape[2], features.shape[3]
+        trunk = self.conv(features).relu()
+        # (N, A, H, W) -> (N, H, W, A) -> (N, HWA); ordering matches
+        # AnchorGenerator.grid (row-major cells, then template).
+        obj = self.objectness_head(trunk).transpose(0, 2, 3, 1).reshape(n, h * w * a)
+        deltas = (
+            self.delta_head(trunk)
+            .reshape(n, a, 4, h, w)
+            .transpose(0, 3, 4, 1, 2)
+            .reshape(n, h * w * a, 4)
+        )
+        proposals, scores = self._decode_proposals(obj.data, deltas.data)
+        return RPNOutput(objectness=obj, deltas=deltas, proposals=proposals,
+                         proposal_scores=scores)
+
+    def _decode_proposals(
+        self, objectness: np.ndarray, deltas: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        cfg = self.config
+        grid = self.anchors.grid(self.image_size)
+        proposals: list[np.ndarray] = []
+        out_scores: list[np.ndarray] = []
+        for i in range(objectness.shape[0]):
+            scores = objectness[i]
+            order = np.argsort(-scores)[: cfg.pre_nms_top_n]
+            boxes = decode_boxes(grid[order], deltas[i][order])
+            boxes = clip_boxes(boxes, self.image_size)
+            keep = remove_degenerate(boxes, cfg.min_box_size)
+            boxes, kept_scores = boxes[keep], scores[order][keep]
+            keep = nms(boxes, kept_scores, cfg.nms_threshold)[: cfg.post_nms_top_n]
+            proposals.append(boxes[keep])
+            out_scores.append(kept_scores[keep])
+        return proposals, out_scores
+
+    # ------------------------------------------------------------------
+    def compute_loss(
+        self,
+        output: RPNOutput,
+        gt_boxes: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> tuple[Tensor, Tensor]:
+        """RPN objectness (BCE) and box-regression (smooth-L1) losses."""
+        from ..nn.tensor import Tensor as T
+
+        grid = self.anchors.grid(self.image_size)
+        cls_terms: list[Tensor] = []
+        reg_terms: list[Tensor] = []
+        cfg = self.config
+        for i, boxes in enumerate(gt_boxes):
+            match = match_anchors(
+                grid, boxes, positive_iou=cfg.positive_iou, negative_iou=cfg.negative_iou
+            )
+            pos, neg = sample_matches(
+                match, rng, num_samples=cfg.batch_per_image,
+                positive_fraction=cfg.positive_fraction,
+            )
+            sampled = np.concatenate([pos, neg]).astype(np.int64)
+            if sampled.size:
+                targets = np.zeros(len(sampled), dtype=np.float32)
+                targets[: len(pos)] = 1.0
+                logits = output.objectness[i][sampled]
+                cls_terms.append(binary_cross_entropy_with_logits(logits, targets))
+            if len(pos):
+                reg_targets = _encode_targets(grid[pos], boxes[match.gt_index[pos]])
+                pred = output.deltas[i][pos]
+                reg_terms.append(smooth_l1(pred, reg_targets, beta=cfg.reg_beta))
+        zero = T(np.zeros((), dtype=np.float32))
+        cls_loss = _mean_of(cls_terms) if cls_terms else zero
+        reg_loss = _mean_of(reg_terms) if reg_terms else zero
+        return cls_loss, reg_loss
+
+
+def _encode_targets(anchors: np.ndarray, gt: np.ndarray) -> np.ndarray:
+    from .boxes import encode_boxes
+
+    return encode_boxes(anchors, gt)
+
+
+def _mean_of(terms: list[Tensor]) -> Tensor:
+    total = terms[0]
+    for term in terms[1:]:
+        total = total + term
+    return total * (1.0 / len(terms))

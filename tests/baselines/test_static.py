@@ -1,0 +1,50 @@
+"""Static fusion baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BASELINE_NAMES, run_all_baselines, run_baseline
+
+
+class TestBaselines:
+    def test_six_baselines(self):
+        assert len(BASELINE_NAMES) == 6
+        assert "early" in BASELINE_NAMES and "late" in BASELINE_NAMES
+
+    def test_unknown_baseline_rejected(self, tiny_system):
+        with pytest.raises(KeyError):
+            run_baseline(tiny_system.model, "mid_fusion", tiny_system.test_split)
+
+    def test_run_baseline_names_result(self, tiny_system):
+        r = run_baseline(
+            tiny_system.model, "early", tiny_system.test_split, cache=tiny_system.cache
+        )
+        assert r.name == "early"
+
+    def test_energy_ordering_none_early_late(self, tiny_system):
+        """Table 1 energy structure: none < early < late."""
+        results = run_all_baselines(
+            tiny_system.model, tiny_system.test_split, cache=tiny_system.cache
+        )
+        assert (
+            results["none_camera_right"].avg_energy_joules
+            < results["early"].avg_energy_joules
+            < results["late"].avg_energy_joules
+        )
+
+    def test_latency_ordering(self, tiny_system):
+        results = run_all_baselines(
+            tiny_system.model, tiny_system.test_split, cache=tiny_system.cache
+        )
+        assert (
+            results["none_camera_right"].avg_latency_ms
+            < results["early"].avg_latency_ms
+            < results["late"].avg_latency_ms
+        )
+
+    def test_late_fusion_matches_paper_energy(self, tiny_system):
+        results = run_baseline(
+            tiny_system.model, "late", tiny_system.test_split, cache=tiny_system.cache
+        )
+        assert results.avg_energy_joules == pytest.approx(3.798, abs=0.01)

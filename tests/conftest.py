@@ -1,0 +1,34 @@
+"""Shared fixtures.
+
+``tiny_system`` is the expensive fixture: a micro-scale but fully-trained
+EcoFusion system (small dataset, few iterations) built once per test
+session and shared by the integration-leaning tests.  Unit tests must not
+depend on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.cache import SystemSpec, get_or_build_system
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+TINY_SPEC = SystemSpec(
+    per_context=4,
+    iterations=14,
+    gate_iterations=30,
+    batch_size=4,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_system(tmp_path_factory):
+    """A fully-trained micro system (built once, cached on disk)."""
+    root = tmp_path_factory.mktemp("artifacts")
+    return get_or_build_system(TINY_SPEC, root=root)

@@ -1,0 +1,84 @@
+"""Branch specs and the configuration library Phi."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BASELINE_CONFIGS,
+    BRANCHES,
+    ModelConfiguration,
+    build_config_library,
+    config_by_name,
+)
+
+
+class TestBranches:
+    def test_seven_branches_as_in_paper(self):
+        """Sec 4.3: one per sensor + three early-fusion branches."""
+        singles = [b for b in BRANCHES.values() if not b.is_early_fusion]
+        early = [b for b in BRANCHES.values() if b.is_early_fusion]
+        assert len(singles) == 4
+        assert len(early) == 3
+
+    def test_early_branches_homogeneous_and_heterogeneous(self):
+        early = {b.name: b.sensors for b in BRANCHES.values() if b.is_early_fusion}
+        # homogeneous: stereo pair
+        assert early["B_CLCR"] == ("camera_left", "camera_right")
+        # heterogeneous: camera+lidar and lidar+radar
+        assert "lidar" in early["B_CLCRL"]
+        assert set(early["B_LR"]) == {"lidar", "radar"}
+
+    def test_frame_sensor(self):
+        assert BRANCHES["B_L"].frame_sensor == "lidar"
+        assert BRANCHES["B_CLCRL"].frame_sensor == "camera_right"
+
+
+class TestConfigurations:
+    def test_library_nonempty_unique_names(self):
+        lib = build_config_library()
+        names = [c.name for c in lib]
+        assert len(names) == len(set(names))
+        assert len(lib) >= 12
+
+    def test_fusion_kinds(self):
+        lib = build_config_library()
+        kinds = {c.name: c.fusion_kind for c in lib}
+        assert kinds["CR"] == "none"
+        assert kinds["EF_CLCRL"] == "early"
+        assert kinds["LF_ALL"] == "late"
+        assert kinds["MIX_NIGHT"] == "mixed"
+
+    def test_sensors_union(self):
+        lib = build_config_library()
+        late = config_by_name(lib, "LF_ALL")
+        assert set(late.sensors) == {
+            "camera_left", "camera_right", "radar", "lidar",
+        }
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfiguration("empty", ())
+
+    def test_unknown_branch_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfiguration("bad", ("B_SONAR",))
+
+    def test_config_by_name_missing(self):
+        with pytest.raises(KeyError):
+            config_by_name(build_config_library(), "NOPE")
+
+    def test_baselines_resolve(self):
+        lib = build_config_library()
+        for baseline, config_name in BASELINE_CONFIGS.items():
+            config = config_by_name(lib, config_name)
+            assert config.num_branches >= 1
+
+    def test_paper_baseline_definitions(self):
+        """Early = CL+CR+L through one branch; late = all four sensors."""
+        lib = build_config_library()
+        early = config_by_name(lib, BASELINE_CONFIGS["early"])
+        assert early.num_branches == 1
+        assert set(early.sensors) == {"camera_left", "camera_right", "lidar"}
+        late = config_by_name(lib, BASELINE_CONFIGS["late"])
+        assert late.num_branches == 4

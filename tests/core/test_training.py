@@ -1,0 +1,93 @@
+"""Two-phase training: convergence and table construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TrainingConfig,
+    build_stems,
+    compute_loss_table,
+    gate_feature_matrix,
+    train_gate,
+    train_perception,
+)
+from repro.core.config import BRANCHES
+from repro.core.gating import DeepGate
+from repro.datasets import RadiateSim, Subset, default_counts
+from repro.perception import BranchDetector
+
+
+@pytest.fixture(scope="module")
+def micro_setup():
+    dataset = RadiateSim(default_counts(2), seed=3)
+    split = Subset(dataset, list(range(len(dataset))))
+    rng = np.random.default_rng(0)
+    stems = build_stems(rng)
+    branches = {
+        name: BranchDetector(len(spec.sensors), 8, 64, rng=rng)
+        for name, spec in BRANCHES.items()
+    }
+    return dataset, split, stems, branches
+
+
+class TestPerceptionTraining:
+    def test_loss_decreases(self, micro_setup):
+        _, split, stems, branches = micro_setup
+        config = TrainingConfig(iterations=10, batch_size=4, seed=0)
+        history = train_perception(stems, branches, split, config)
+        assert len(history) == 10
+        assert history[-1] < history[0]
+
+    def test_history_finite(self, micro_setup):
+        _, split, stems, branches = micro_setup
+        config = TrainingConfig(iterations=3, batch_size=4, seed=1)
+        history = train_perception(stems, branches, split, config)
+        assert all(np.isfinite(h) for h in history)
+
+
+class TestLossTable(object):
+    def test_shape_and_range(self, tiny_system):
+        table = tiny_system.train_loss_table
+        assert table.shape == (len(tiny_system.train_split), len(tiny_system.library))
+        assert np.all(np.isfinite(table))
+        assert np.all(table >= 0)
+
+    def test_recompute_matches_cached(self, tiny_system):
+        from repro.evaluation import fusion_loss
+
+        sub = Subset(tiny_system.dataset, tiny_system.test_split.indices[:4])
+        table = compute_loss_table(tiny_system.model, sub, fusion_loss)
+        np.testing.assert_allclose(table, tiny_system.test_loss_table[:4], rtol=1e-5)
+
+
+class TestGateTraining:
+    def test_gate_regression_improves(self, tiny_system):
+        feats = gate_feature_matrix(tiny_system.model, tiny_system.train_split)
+        table = tiny_system.train_loss_table
+        gate = DeepGate(len(tiny_system.library), rng=np.random.default_rng(5))
+        config = TrainingConfig(gate_iterations=60, seed=0)
+        history = train_gate(gate, feats, table, config)
+        assert np.mean(history[-10:]) < np.mean(history[:10])
+
+    def test_gate_prior_installed(self, tiny_system):
+        feats = gate_feature_matrix(tiny_system.model, tiny_system.train_split)
+        table = tiny_system.train_loss_table
+        gate = DeepGate(len(tiny_system.library), rng=np.random.default_rng(5))
+        config = TrainingConfig(gate_iterations=5, gate_shrink=0.4, seed=0)
+        train_gate(gate, feats, table, config)
+        assert gate.prior is not None
+        assert gate.shrink == pytest.approx(0.4)
+        np.testing.assert_allclose(gate.prior, table.mean(axis=0))
+
+    def test_mismatched_table_rejected(self, tiny_system):
+        gate = DeepGate(len(tiny_system.library), rng=np.random.default_rng(5))
+        feats = np.zeros((4, 32, 32, 32), dtype=np.float32)
+        table = np.zeros((5, len(tiny_system.library)))
+        with pytest.raises(ValueError):
+            train_gate(gate, feats, table, TrainingConfig())
+
+    def test_feature_matrix_shape(self, tiny_system):
+        feats = gate_feature_matrix(tiny_system.model, tiny_system.test_split)
+        assert feats.shape == (len(tiny_system.test_split), 32, 32, 32)

@@ -1,0 +1,84 @@
+"""Context taxonomy and degradation-profile invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    CLASS_IDS,
+    CLASS_NAMES,
+    CONTEXT_NAMES,
+    CONTEXTS,
+    get_context,
+)
+
+
+class TestTaxonomy:
+    def test_eight_contexts_match_paper(self):
+        assert set(CONTEXT_NAMES) == {
+            "city", "fog", "junction", "motorway", "night", "rain", "rural", "snow",
+        }
+
+    def test_eight_classes_match_radiate(self):
+        assert len(CLASS_NAMES) == 8
+        assert "car" in CLASS_NAMES and "group_of_pedestrians" in CLASS_NAMES
+
+    def test_class_ids_one_based(self):
+        assert min(CLASS_IDS.values()) == 1
+        assert max(CLASS_IDS.values()) == 8
+        assert len(set(CLASS_IDS.values())) == 8
+
+    def test_get_context_unknown_raises_with_options(self):
+        with pytest.raises(KeyError, match="city"):
+            get_context("underwater")
+
+    def test_get_context_returns_profile(self):
+        assert get_context("fog").name == "fog"
+
+
+class TestDegradationStructure:
+    """The qualitative modality-vs-context relations the paper relies on."""
+
+    def test_night_darkens_cameras_only(self):
+        night, city = CONTEXTS["night"], CONTEXTS["city"]
+        assert night.camera.brightness < 0.5 * city.camera.brightness
+        # lidar and radar are active sensors: unaffected by darkness
+        assert night.lidar.dropout == city.lidar.dropout
+        assert night.radar.clutter == city.radar.clutter
+
+    def test_fog_blurs_and_washes_out_cameras(self):
+        fog = CONTEXTS["fog"]
+        assert fog.camera.blur_sigma > 1.0
+        assert fog.camera.washout > 0.3
+
+    def test_fog_attenuates_lidar(self):
+        assert CONTEXTS["fog"].lidar.attenuation < 1.0
+        assert CONTEXTS["city"].lidar.attenuation == 1.0
+
+    def test_rain_and_snow_drop_lidar_returns(self):
+        city = CONTEXTS["city"].lidar.dropout
+        assert CONTEXTS["rain"].lidar.dropout > 4 * city
+        assert CONTEXTS["snow"].lidar.dropout > 4 * city
+
+    def test_rain_streaks_snow_speckles(self):
+        assert CONTEXTS["rain"].camera.streak_density > 0
+        assert CONTEXTS["rain"].camera.speckle_density == 0
+        assert CONTEXTS["snow"].camera.speckle_density > 0
+        assert CONTEXTS["snow"].camera.streak_density == 0
+
+    def test_radar_nearly_invariant_across_contexts(self):
+        clutters = [p.radar.clutter for p in CONTEXTS.values()]
+        assert max(clutters) <= 1.5 * min(clutters)
+
+    def test_motorway_has_motion_blur_and_few_pedestrians(self):
+        mwy = CONTEXTS["motorway"]
+        assert mwy.camera.motion_blur > 1
+        assert mwy.object_mix["pedestrian"] < 0.1 * mwy.object_mix["car"]
+
+    def test_city_mix_includes_pedestrians(self):
+        assert CONTEXTS["city"].object_mix["pedestrian"] > 1.0
+
+    def test_all_profiles_have_valid_counts(self):
+        for profile in CONTEXTS.values():
+            lo, hi = profile.n_objects
+            assert 1 <= lo <= hi

@@ -1,0 +1,89 @@
+"""RadiateSim dataset: indexing, determinism, interface contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import CONTEXT_NAMES, RadiateSim, default_counts
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return RadiateSim(default_counts(3), seed=1)
+
+
+class TestConstruction:
+    def test_length(self, tiny_dataset):
+        assert len(tiny_dataset) == 3 * len(CONTEXT_NAMES)
+
+    def test_invalid_image_size_rejected(self):
+        with pytest.raises(ValueError):
+            RadiateSim(default_counts(1), image_size=50)
+
+    def test_invalid_context_rejected(self):
+        with pytest.raises(KeyError):
+            RadiateSim({"marsdust": 5})
+
+    def test_lazy_matches_eager(self):
+        eager = RadiateSim(default_counts(2), seed=3)
+        lazy = RadiateSim(default_counts(2), seed=3, lazy=True)
+        for i in (0, 5, 11):
+            np.testing.assert_allclose(
+                eager[i].sensors["lidar"], lazy[i].sensors["lidar"]
+            )
+
+
+class TestIndexing:
+    def test_negative_index(self, tiny_dataset):
+        assert tiny_dataset[-1].sample_id == tiny_dataset[len(tiny_dataset) - 1].sample_id
+
+    def test_out_of_range_raises(self, tiny_dataset):
+        with pytest.raises(IndexError):
+            tiny_dataset[len(tiny_dataset)]
+
+    def test_iteration_covers_all(self, tiny_dataset):
+        assert len(list(tiny_dataset)) == len(tiny_dataset)
+
+    def test_sample_ids_unique(self, tiny_dataset):
+        ids = [s.sample_id for s in tiny_dataset]
+        assert len(set(ids)) == len(ids)
+
+    def test_contexts_property_aligned(self, tiny_dataset):
+        for i, ctx in enumerate(tiny_dataset.contexts):
+            assert tiny_dataset[i].context == ctx
+
+    def test_indices_for_context(self, tiny_dataset):
+        for ctx in CONTEXT_NAMES:
+            idxs = tiny_dataset.indices_for_context(ctx)
+            assert len(idxs) == 3
+            assert all(tiny_dataset[i].context == ctx for i in idxs)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        a = RadiateSim(default_counts(2), seed=11)
+        b = RadiateSim(default_counts(2), seed=11)
+        np.testing.assert_allclose(a[0].sensors["camera_right"], b[0].sensors["camera_right"])
+        np.testing.assert_allclose(a[0].boxes, b[0].boxes)
+
+    def test_different_seed_differs(self):
+        a = RadiateSim(default_counts(2), seed=1)
+        b = RadiateSim(default_counts(2), seed=2)
+        assert not np.allclose(a[0].sensors["camera_right"], b[0].sensors["camera_right"])
+
+
+class TestSampleContract:
+    def test_annotation_shapes(self, tiny_dataset):
+        for sample in tiny_dataset:
+            assert sample.boxes.shape == (sample.num_objects, 4)
+            assert sample.labels.shape == (sample.num_objects,)
+
+    def test_sensor_shape_helper(self, tiny_dataset):
+        assert tiny_dataset.sensor_shape("lidar") == (2, 64, 64)
+        assert tiny_dataset.sensor_shape("camera_left") == (3, 64, 64)
+
+    def test_sensor_names_order(self):
+        assert RadiateSim.sensor_names() == (
+            "camera_left", "camera_right", "radar", "lidar",
+        )

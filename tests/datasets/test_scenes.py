@@ -1,0 +1,95 @@
+"""Scene generation: layouts, determinism, annotation consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import CONTEXTS, generate_scene
+from repro.datasets.scenes import CLASS_SIZE_RANGES, Scene, SceneObject
+from repro.perception.boxes import iou_matrix
+
+
+def make_scene(context="city", seed=0, size=64):
+    rng = np.random.default_rng(seed)
+    return generate_scene(CONTEXTS[context], rng, image_size=size)
+
+
+class TestGeneration:
+    def test_object_count_within_profile(self):
+        profile = CONTEXTS["city"]
+        for seed in range(10):
+            scene = make_scene("city", seed)
+            assert len(scene.objects) <= profile.n_objects[1]
+
+    def test_boxes_inside_frame(self):
+        for seed in range(10):
+            scene = make_scene("city", seed)
+            boxes = scene.boxes
+            if len(boxes) == 0:
+                continue
+            assert boxes.min() >= 0
+            assert boxes.max() <= 63
+
+    def test_boxes_not_heavily_overlapping(self):
+        for seed in range(10):
+            boxes = make_scene("junction", seed).boxes
+            if len(boxes) < 2:
+                continue
+            iou = iou_matrix(boxes, boxes)
+            np.fill_diagonal(iou, 0.0)
+            assert iou.max() <= 0.25 + 1e-6
+
+    def test_deterministic_given_seed(self):
+        a, b = make_scene("rain", 7), make_scene("rain", 7)
+        np.testing.assert_allclose(a.boxes, b.boxes)
+        assert [o.class_name for o in a.objects] == [o.class_name for o in b.objects]
+
+    def test_labels_match_objects(self):
+        scene = make_scene("city", 3)
+        assert len(scene.labels) == len(scene.objects)
+        assert all(1 <= l <= 8 for l in scene.labels)
+
+    def test_empty_scene_arrays_well_formed(self):
+        scene = Scene(context="city", image_size=64)
+        assert scene.boxes.shape == (0, 4)
+        assert scene.labels.shape == (0,)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(sorted(CONTEXTS)), st.integers(0, 10_000))
+    def test_any_context_any_seed_valid(self, context, seed):
+        scene = make_scene(context, seed)
+        boxes = scene.boxes
+        if len(boxes):
+            assert np.all(boxes[:, 2] > boxes[:, 0])
+            assert np.all(boxes[:, 3] > boxes[:, 1])
+
+    def test_depth_in_unit_interval(self):
+        scene = make_scene("motorway", 5)
+        assert all(0.0 <= o.depth <= 1.0 for o in scene.objects)
+
+    def test_image_size_scales_boxes(self):
+        small = make_scene("city", 1, size=64)
+        large = make_scene("city", 1, size=128)
+        if len(small.objects) and len(large.objects):
+            assert large.boxes.max() > small.boxes.max()
+
+
+class TestSceneObject:
+    def test_properties(self):
+        obj = SceneObject(
+            class_name="car",
+            box=np.array([10.0, 20.0, 30.0, 32.0]),
+            depth=0.5,
+            appearance_seed=42,
+        )
+        assert obj.label == 1
+        assert obj.width == 20.0
+        assert obj.height == 12.0
+        assert obj.center == (20.0, 26.0)
+
+    def test_size_ranges_cover_all_classes(self):
+        from repro.datasets import CLASS_NAMES
+
+        assert set(CLASS_SIZE_RANGES) == set(CLASS_NAMES)

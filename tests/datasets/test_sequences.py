@@ -1,0 +1,106 @@
+"""Temporal driving sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_sequence
+from repro.perception.boxes import iou_matrix
+
+
+def make(context="city", length=8, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    return generate_sequence(context, length, rng, **kwargs)
+
+
+class TestGeneration:
+    def test_length_and_time_indices(self):
+        seq = make(length=6)
+        assert len(seq) == 6
+        assert [f.time_index for f in seq] == list(range(6))
+
+    def test_frames_carry_full_samples(self):
+        seq = make(length=3)
+        for frame in seq:
+            assert set(frame.sample.sensors) == {
+                "camera_left", "camera_right", "radar", "lidar",
+            }
+            assert frame.sample.boxes.shape[1] == 4
+
+    def test_context_constant_without_transition(self):
+        seq = make("rain", length=5)
+        assert set(seq.contexts) == {"rain"}
+
+    def test_deterministic(self):
+        a, b = make(seed=4), make(seed=4)
+        for fa, fb in zip(a, b):
+            np.testing.assert_allclose(fa.sample.boxes, fb.sample.boxes)
+
+    def test_invalid_context_rejected(self):
+        with pytest.raises(KeyError):
+            make("tornado")
+
+
+class TestMotion:
+    def test_objects_move_between_frames(self):
+        seq = make(length=4, seed=7, ego_speed=1.5)
+        moved = False
+        for t in range(len(seq) - 1):
+            a, b = seq[t].sample, seq[t + 1].sample
+            if len(a.boxes) and len(b.boxes):
+                if not np.allclose(a.boxes[0], b.boxes[0], atol=1e-3):
+                    moved = True
+                    break
+        assert moved
+
+    def test_temporal_coherence(self):
+        """Consecutive frames share most objects (high best-IoU overlap)."""
+        seq = make(length=5, seed=9, ego_speed=0.5)
+        for t in range(len(seq) - 1):
+            a, b = seq[t].sample.boxes, seq[t + 1].sample.boxes
+            if len(a) == 0 or len(b) == 0:
+                continue
+            iou = iou_matrix(a, b)
+            # most previous objects still present with decent overlap
+            assert (iou.max(axis=1) > 0.3).mean() >= 0.5
+
+    def test_boxes_stay_in_frame(self):
+        seq = make(length=10, seed=11, ego_speed=2.0)
+        for frame in seq:
+            boxes = frame.sample.boxes
+            if len(boxes):
+                assert boxes.min() >= 0
+                assert boxes.max() <= 63
+
+
+class TestTransition:
+    def test_context_switches_at_transition(self):
+        seq = make("city", length=8, seed=3, transition_to="fog", transition_at=4)
+        assert seq.contexts[:4] == ["city"] * 4
+        assert seq.contexts[4:] == ["fog"] * 4
+
+    def test_default_transition_midpoint(self):
+        seq = make("city", length=8, seed=3, transition_to="snow")
+        assert seq.contexts[3] == "city"
+        assert seq.contexts[4] == "snow"
+
+    def test_scene_geometry_persists_across_transition(self):
+        """Entering fog changes rendering, not the objects on the road."""
+        seq = make("city", length=6, seed=5, transition_to="fog", transition_at=3)
+        before = seq[2].sample
+        after = seq[3].sample
+        if len(before.boxes) and len(after.boxes):
+            iou = iou_matrix(before.boxes, after.boxes)
+            assert iou.max() > 0.3
+
+    def test_rendering_changes_after_transition(self):
+        seq = make("city", length=6, seed=5, transition_to="fog", transition_at=3)
+        cam_before = seq[2].sample.sensors["camera_right"]
+        cam_after = seq[3].sample.sensors["camera_right"]
+        # fog washout changes global statistics markedly
+        assert abs(cam_before.std() - cam_after.std()) > 0.02
+
+    def test_invalid_transition_rejected(self):
+        with pytest.raises(KeyError):
+            make("city", transition_to="blizzard")

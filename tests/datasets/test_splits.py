@@ -1,0 +1,73 @@
+"""Stratified splitting and subset views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import RadiateSim, Subset, default_counts, stratified_split
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return RadiateSim(default_counts(10), seed=0, lazy=True)
+
+
+class TestStratifiedSplit:
+    def test_disjoint_and_complete(self, dataset):
+        train, test = stratified_split(dataset, 0.7, seed=0)
+        assert set(train).isdisjoint(test)
+        assert sorted(train + test) == list(range(len(dataset)))
+
+    def test_fraction_respected(self, dataset):
+        train, test = stratified_split(dataset, 0.7, seed=0)
+        assert abs(len(train) / len(dataset) - 0.7) < 0.05
+
+    def test_every_context_in_both_splits(self, dataset):
+        train, test = stratified_split(dataset, 0.7, seed=0)
+        contexts = dataset.contexts
+        train_ctx = {contexts[i] for i in train}
+        test_ctx = {contexts[i] for i in test}
+        assert train_ctx == test_ctx == set(contexts)
+
+    def test_deterministic(self, dataset):
+        assert stratified_split(dataset, 0.7, seed=1) == stratified_split(dataset, 0.7, seed=1)
+
+    def test_seed_changes_split(self, dataset):
+        assert stratified_split(dataset, 0.7, seed=1) != stratified_split(dataset, 0.7, seed=2)
+
+    def test_invalid_fraction_raises(self, dataset):
+        with pytest.raises(ValueError):
+            stratified_split(dataset, 1.5)
+        with pytest.raises(ValueError):
+            stratified_split(dataset, 0.0)
+
+    def test_tiny_context_keeps_one_each_side(self):
+        ds = RadiateSim(default_counts(2), seed=0, lazy=True)
+        train, test = stratified_split(ds, 0.9, seed=0)
+        contexts = ds.contexts
+        for ctx in set(contexts):
+            assert any(contexts[i] == ctx for i in train)
+            assert any(contexts[i] == ctx for i in test)
+
+
+class TestSubset:
+    def test_len_and_getitem(self, dataset):
+        sub = Subset(dataset, [0, 5, 9])
+        assert len(sub) == 3
+        assert sub[1].sample_id == dataset[5].sample_id
+
+    def test_iteration_order(self, dataset):
+        sub = Subset(dataset, [3, 1])
+        ids = [s.sample_id for s in sub]
+        assert ids == [dataset[3].sample_id, dataset[1].sample_id]
+
+    def test_contexts_view(self, dataset):
+        sub = Subset(dataset, [0, 1])
+        assert sub.contexts == [dataset.contexts[0], dataset.contexts[1]]
+
+    def test_indices_for_context_positions(self, dataset):
+        train, _ = stratified_split(dataset, 0.7, seed=0)
+        sub = Subset(dataset, train)
+        for ctx in ("city", "snow"):
+            positions = sub.indices_for_context(ctx)
+            assert all(sub[p].context == ctx for p in positions)

@@ -1,0 +1,78 @@
+"""Normalization and augmentation transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import (
+    RadiateSim,
+    SENSOR_NORMALIZATION,
+    batch_sensors,
+    default_counts,
+    horizontal_flip,
+    normalize_sample,
+    normalize_sensor,
+)
+
+
+def get_sample():
+    return RadiateSim({"city": 1}, seed=5)[0]
+
+
+class TestNormalization:
+    def test_constants_cover_all_sensors(self):
+        from repro.datasets import SENSORS
+
+        assert set(SENSOR_NORMALIZATION) == set(SENSORS)
+
+    def test_normalize_sensor_formula(self):
+        arr = np.full((3, 4, 4), 0.45, dtype=np.float32)
+        out = normalize_sensor("camera_right", arr)
+        np.testing.assert_allclose(out, np.zeros_like(arr), atol=1e-6)
+
+    def test_normalize_sample_returns_all(self):
+        sample = get_sample()
+        normalized = normalize_sample(sample)
+        assert set(normalized) == set(sample.sensors)
+        for arr in normalized.values():
+            assert arr.dtype == np.float32
+
+    def test_normalization_does_not_mutate_original(self):
+        sample = get_sample()
+        before = sample.sensors["lidar"].copy()
+        normalize_sample(sample)
+        np.testing.assert_allclose(sample.sensors["lidar"], before)
+
+
+class TestFlip:
+    def test_double_flip_is_identity(self):
+        sample = get_sample()
+        flipped, fboxes = horizontal_flip(sample.sensors, sample.boxes, 64)
+        restored, rboxes = horizontal_flip(flipped, fboxes, 64)
+        np.testing.assert_allclose(restored["camera_right"], sample.sensors["camera_right"])
+        np.testing.assert_allclose(rboxes, sample.boxes, atol=1e-5)
+
+    def test_boxes_remain_ordered(self):
+        sample = get_sample()
+        _, fboxes = horizontal_flip(sample.sensors, sample.boxes, 64)
+        if len(fboxes):
+            assert np.all(fboxes[:, 2] > fboxes[:, 0])
+
+    def test_empty_boxes_ok(self):
+        sample = get_sample()
+        _, fboxes = horizontal_flip(sample.sensors, np.zeros((0, 4), dtype=np.float32), 64)
+        assert fboxes.shape == (0, 4)
+
+    def test_flip_moves_content(self):
+        sample = get_sample()
+        flipped, _ = horizontal_flip(sample.sensors, sample.boxes, 64)
+        assert not np.allclose(flipped["camera_right"], sample.sensors["camera_right"])
+
+
+class TestBatching:
+    def test_batch_sensors_stacks(self):
+        sample = get_sample()
+        normalized = normalize_sample(sample)
+        batch = batch_sensors([normalized, normalized], "lidar")
+        assert batch.shape == (2, 2, 64, 64)
+        assert batch.dtype == np.float32

@@ -1,0 +1,72 @@
+"""Artifact caching: spec keys, save/load round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.evaluation.cache import _load_system, _save_system
+
+from ..conftest import TINY_SPEC
+
+
+class TestSpecKeys:
+    def test_key_deterministic(self):
+        assert SystemSpec().cache_key() == SystemSpec().cache_key()
+
+    def test_key_differs_by_field(self):
+        assert SystemSpec(seed=0).cache_key() != SystemSpec(seed=1).cache_key()
+        assert SystemSpec().cache_key() != SystemSpec(per_context=99).cache_key()
+
+    def test_version_in_key(self):
+        base = SystemSpec()
+        bumped = SystemSpec(version=base.version + 1)
+        assert base.cache_key() != bumped.cache_key()
+
+
+class TestRoundTrip:
+    def test_saved_system_reloads_identically(self, tiny_system, tmp_path):
+        _save_system(tiny_system, tmp_path / "artifact")
+        reloaded = _load_system(TINY_SPEC, tmp_path / "artifact")
+        np.testing.assert_allclose(
+            reloaded.train_loss_table, tiny_system.train_loss_table
+        )
+        # weights identical
+        for name, branch in tiny_system.model.branches.items():
+            for (k1, p1), (k2, p2) in zip(
+                branch.named_parameters(),
+                reloaded.model.branches[name].named_parameters(),
+            ):
+                assert k1 == k2
+                np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_reloaded_system_same_detections(self, tiny_system, tmp_path):
+        _save_system(tiny_system, tmp_path / "artifact")
+        reloaded = _load_system(TINY_SPEC, tmp_path / "artifact")
+        samples = [tiny_system.test_split[0]]
+        config = tiny_system.model.config_named("CR")
+        a = tiny_system.model.run_config(config, samples)[0]
+        b = reloaded.model.run_config(config, samples)[0]
+        np.testing.assert_allclose(a.boxes, b.boxes, rtol=1e-5)
+        np.testing.assert_allclose(a.scores, b.scores, rtol=1e-5)
+
+    def test_reloaded_gate_prior_restored(self, tiny_system, tmp_path):
+        _save_system(tiny_system, tmp_path / "artifact")
+        reloaded = _load_system(TINY_SPEC, tmp_path / "artifact")
+        gate = reloaded.gates["attention"]
+        assert gate.prior is not None
+        np.testing.assert_allclose(
+            gate.prior, reloaded.train_loss_table.mean(axis=0)
+        )
+
+    def test_spec_mismatch_rejected(self, tiny_system, tmp_path):
+        _save_system(tiny_system, tmp_path / "artifact")
+        other = SystemSpec(seed=123, per_context=4, iterations=14)
+        with pytest.raises(ValueError):
+            _load_system(other, tmp_path / "artifact")
+
+    def test_get_or_build_memoizes(self, tiny_system, tmp_path):
+        """Second call with the same spec returns the in-memory object."""
+        again = get_or_build_system(TINY_SPEC, root=tmp_path)
+        assert again is tiny_system

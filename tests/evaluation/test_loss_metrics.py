@@ -1,0 +1,91 @@
+"""The fusion-loss metric L_f."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import FusionLossConfig, fusion_loss, fusion_loss_breakdown
+from repro.perception import Detections
+
+
+GT = np.array([[10, 10, 30, 30]], dtype=np.float32)
+LABELS = np.array([1])
+
+
+def dets(boxes, scores, labels):
+    return Detections(np.asarray(boxes, dtype=np.float32),
+                      np.asarray(scores, dtype=np.float32),
+                      np.asarray(labels, dtype=np.int64))
+
+
+class TestStructure:
+    def test_perfect_confident_detection_near_zero(self):
+        loss = fusion_loss(dets(GT, [0.999], [1]), GT, LABELS)
+        assert loss < 0.05
+
+    def test_miss_costs_the_floor(self):
+        cfg = FusionLossConfig()
+        loss = fusion_loss(Detections(), GT, LABELS)
+        assert loss == pytest.approx(-np.log(cfg.confidence_floor))
+
+    def test_wrong_class_worse_than_right_class(self):
+        right = fusion_loss(dets(GT, [0.9], [1]), GT, LABELS)
+        wrong = fusion_loss(dets(GT, [0.9], [2]), GT, LABELS)
+        assert wrong > right
+
+    def test_low_confidence_worse_than_high(self):
+        confident = fusion_loss(dets(GT, [0.95], [1]), GT, LABELS)
+        hesitant = fusion_loss(dets(GT, [0.2], [1]), GT, LABELS)
+        assert hesitant > confident
+
+    def test_box_error_increases_loss(self):
+        exact = fusion_loss(dets(GT, [0.9], [1]), GT, LABELS)
+        offset = fusion_loss(dets(GT + 4.0, [0.9], [1]), GT, LABELS)
+        assert offset > exact
+
+    def test_false_positives_penalized(self):
+        clean = fusion_loss(dets(GT, [0.9], [1]), GT, LABELS)
+        noisy = fusion_loss(
+            dets(np.vstack([GT, GT + 40]), [0.9, 0.8], [1, 2]), GT, LABELS
+        )
+        assert noisy > clean
+
+    def test_weak_false_positives_ignored(self):
+        cfg = FusionLossConfig()
+        clean = fusion_loss(dets(GT, [0.9], [1]), GT, LABELS)
+        weak_fp = fusion_loss(
+            dets(np.vstack([GT, GT + 40]), [0.9, cfg.false_positive_score - 0.01],
+                 [1, 2]),
+            GT, LABELS,
+        )
+        assert weak_fp == pytest.approx(clean)
+
+    def test_empty_gt_pure_fp_regime(self):
+        loss = fusion_loss(dets(GT, [0.9], [1]), np.zeros((0, 4)), np.zeros(0))
+        assert loss > 0
+        assert fusion_loss(Detections(), np.zeros((0, 4)), np.zeros(0)) == 0.0
+
+    def test_bounded_by_floor(self):
+        """No configuration can produce unbounded gate targets."""
+        cfg = FusionLossConfig()
+        terrible = fusion_loss(Detections(), np.tile(GT, (5, 1)), np.ones(5))
+        assert terrible <= -np.log(cfg.confidence_floor) + 1.0
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        d = dets(np.vstack([GT, GT + 40]), [0.7, 0.6], [1, 2])
+        parts = fusion_loss_breakdown(d, GT, LABELS)
+        total = fusion_loss(d, GT, LABELS)
+        assert total == pytest.approx(sum(parts.values()))
+
+    def test_component_keys(self):
+        parts = fusion_loss_breakdown(Detections(), GT, LABELS)
+        assert set(parts) == {"classification", "regression", "false_positive"}
+
+    def test_greedy_matching_prefers_confident(self):
+        """Two candidates over one gt: the confident one must match."""
+        d = dets(np.vstack([GT, GT + 1.0]), [0.3, 0.9], [1, 1])
+        parts = fusion_loss_breakdown(d, GT, LABELS)
+        assert parts["classification"] == pytest.approx(-np.log(0.9), abs=1e-5)

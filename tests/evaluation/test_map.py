@@ -1,0 +1,121 @@
+"""VOC mAP: hand-computed cases and metric properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import average_precision, evaluate_map
+from repro.perception import Detections
+
+
+def dets(boxes, scores, labels):
+    return Detections(np.asarray(boxes, dtype=np.float32),
+                      np.asarray(scores, dtype=np.float32),
+                      np.asarray(labels, dtype=np.int64))
+
+
+GT_BOX = np.array([[10, 10, 30, 30]], dtype=np.float32)
+
+
+class TestAveragePrecision:
+    def test_perfect_detector(self):
+        ap = average_precision(np.array([0.9]), np.array([True]), 1)
+        assert ap == pytest.approx(1.0)
+
+    def test_all_false_positives(self):
+        ap = average_precision(np.array([0.9, 0.8]), np.array([False, False]), 2)
+        assert ap == pytest.approx(0.0)
+
+    def test_half_recall(self):
+        # one TP at top rank, one gt unmatched
+        ap = average_precision(np.array([0.9]), np.array([True]), 2)
+        assert ap == pytest.approx(0.5)
+
+    def test_fp_before_tp_reduces_ap(self):
+        clean = average_precision(np.array([0.9]), np.array([True]), 1)
+        noisy = average_precision(
+            np.array([0.95, 0.9]), np.array([False, True]), 1
+        )
+        assert noisy < clean
+        assert noisy == pytest.approx(0.5)
+
+    def test_no_ground_truth_is_nan(self):
+        assert np.isnan(average_precision(np.array([0.5]), np.array([True]), 0))
+
+    def test_no_detections_zero(self):
+        assert average_precision(np.zeros(0), np.zeros(0, dtype=bool), 3) == 0.0
+
+
+class TestEvaluateMap:
+    def test_perfect_detection(self):
+        result = evaluate_map(
+            [dets(GT_BOX, [0.9], [1])], [GT_BOX], [np.array([1])]
+        )
+        assert result.mean_ap == pytest.approx(1.0)
+        assert result.per_class["car"] == pytest.approx(1.0)
+
+    def test_wrong_class_is_miss_and_fp(self):
+        result = evaluate_map(
+            [dets(GT_BOX, [0.9], [2])], [GT_BOX], [np.array([1])]
+        )
+        assert result.mean_ap == pytest.approx(0.0)
+
+    def test_low_iou_no_match(self):
+        shifted = GT_BOX + 15.0
+        result = evaluate_map(
+            [dets(shifted, [0.9], [1])], [GT_BOX], [np.array([1])]
+        )
+        assert result.mean_ap == pytest.approx(0.0)
+
+    def test_duplicate_detections_penalized(self):
+        """A duplicate ranked above the second object's detection lowers
+        precision at full recall (a saturated-recall duplicate would not —
+        the VOC envelope ignores it)."""
+        gt = np.vstack([GT_BOX, GT_BOX + 35.0])
+        labels = np.array([1, 1])
+        doubled = dets(
+            np.vstack([GT_BOX, GT_BOX + 0.5, GT_BOX + 35.0]),
+            [0.9, 0.85, 0.8],
+            [1, 1, 1],
+        )
+        result = evaluate_map([doubled], [gt], [labels])
+        assert 0.0 < result.mean_ap < 1.0
+
+    def test_classes_absent_from_gt_skipped(self):
+        result = evaluate_map(
+            [dets(GT_BOX, [0.9], [1])], [GT_BOX], [np.array([1])]
+        )
+        assert "pedestrian" not in result.per_class
+
+    def test_multi_image_aggregation(self):
+        images = [
+            (dets(GT_BOX, [0.9], [1]), GT_BOX, np.array([1])),
+            (dets(np.zeros((0, 4)), [], []), GT_BOX, np.array([1])),
+        ]
+        result = evaluate_map(*(list(z) for z in zip(*images)))
+        assert result.mean_ap == pytest.approx(0.5)
+        assert result.num_images == 2
+        assert result.num_ground_truth == 2
+
+    def test_score_ordering_matters(self):
+        """Higher-scored correct detections must beat lower-scored ones."""
+        good = evaluate_map(
+            [dets(np.vstack([GT_BOX, GT_BOX + 40]), [0.9, 0.3], [1, 1])],
+            [GT_BOX], [np.array([1])],
+        )
+        bad = evaluate_map(
+            [dets(np.vstack([GT_BOX, GT_BOX + 40]), [0.3, 0.9], [1, 1])],
+            [GT_BOX], [np.array([1])],
+        )
+        assert good.mean_ap > bad.mean_ap
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_map([Detections()], [], [])
+
+    def test_percent_property(self):
+        result = evaluate_map(
+            [dets(GT_BOX, [0.9], [1])], [GT_BOX], [np.array([1])]
+        )
+        assert result.percent == pytest.approx(100.0)

@@ -1,0 +1,43 @@
+"""Report formatting."""
+
+from __future__ import annotations
+
+from repro.evaluation import format_paper_comparison, format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["name", "value"], [["alpha", 1.0], ["beta", 2.5]])
+        assert "name" in out and "alpha" in out and "2.500" in out
+
+    def test_title_first_line(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) or lines[-1].startswith("a-much")
+
+    def test_floats_formatted(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out and "0.123456" not in out
+
+
+class TestComparison:
+    def test_interleaves_paper_and_ours(self):
+        out = format_paper_comparison(
+            ["mAP"], [[84.32]], [[74.2]], title="T1"
+        )
+        lines = out.splitlines()
+        paper_line = next(l for l in lines if l.startswith("paper"))
+        ours_line = next(l for l in lines if l.startswith("ours"))
+        assert "84.320" in paper_line
+        assert "74.200" in ours_line
+
+
+class TestSeries:
+    def test_series_pairs(self):
+        out = format_series("loss", [0.0, 0.5], [1.0, 0.8])
+        assert "loss" in out
+        assert "0.500" in out and "0.800" in out

@@ -1,0 +1,85 @@
+"""Experiment runner over the tiny system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_ecofusion, evaluate_static_config
+
+
+class TestStaticEvaluation:
+    def test_result_fields(self, tiny_system):
+        r = evaluate_static_config(
+            tiny_system.model, "CR", tiny_system.test_split, cache=tiny_system.cache
+        )
+        assert r.name == "CR"
+        assert 0.0 <= r.map_result.mean_ap <= 1.0
+        assert r.avg_loss >= 0
+        assert r.num_samples == len(tiny_system.test_split)
+
+    def test_energy_from_cost_table(self, tiny_system):
+        r = evaluate_static_config(
+            tiny_system.model, "LF_ALL", tiny_system.test_split, cache=tiny_system.cache
+        )
+        expected = tiny_system.model.costs.config_costs["LF_ALL"].energy_joules
+        assert r.avg_energy_joules == pytest.approx(expected)
+
+    def test_per_context_breakdown_covers_contexts(self, tiny_system):
+        r = evaluate_static_config(
+            tiny_system.model, "CR", tiny_system.test_split, cache=tiny_system.cache
+        )
+        assert set(r.per_context_loss) == set(tiny_system.test_split.contexts)
+        assert set(r.per_context_energy) == set(tiny_system.test_split.contexts)
+
+    def test_display_name_override(self, tiny_system):
+        r = evaluate_static_config(
+            tiny_system.model, "CR", tiny_system.test_split,
+            cache=tiny_system.cache, display_name="none_camera_right",
+        )
+        assert r.name == "none_camera_right"
+
+
+class TestEcoFusionEvaluation:
+    def test_config_histogram_sums_to_samples(self, tiny_system):
+        r = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["attention"],
+            tiny_system.test_split, 0.01, 0.5, cache=tiny_system.cache,
+        )
+        assert sum(r.config_histogram.values()) == r.num_samples
+
+    def test_lambda_monotone_energy(self, tiny_system):
+        """Average energy must not increase as lambda_E grows (oracle gate,
+        full candidate set)."""
+        energies = []
+        for lam in (0.0, 0.5, 1.0):
+            r = evaluate_ecofusion(
+                tiny_system.model, tiny_system.gates["loss_based"],
+                tiny_system.test_split, lam, gamma=1e9, cache=tiny_system.cache,
+            )
+            energies.append(r.avg_energy_joules)
+        assert energies[0] >= energies[1] >= energies[2]
+
+    def test_knowledge_gate_lambda_invariant(self, tiny_system):
+        """Table 2: Knowledge is not tunable by lambda_E."""
+        results = [
+            evaluate_ecofusion(
+                tiny_system.model, tiny_system.gates["knowledge"],
+                tiny_system.test_split, lam, 0.5, cache=tiny_system.cache,
+            )
+            for lam in (0.0, 0.1)
+        ]
+        assert results[0].avg_energy_joules == pytest.approx(results[1].avg_energy_joules)
+        assert results[0].avg_loss == pytest.approx(results[1].avg_loss)
+
+    def test_oracle_beats_learned_gate_on_loss(self, tiny_system):
+        """Loss-Based is the theoretical best-case (Sec. 4.2.4)."""
+        oracle = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["loss_based"],
+            tiny_system.test_split, 0.0, 0.5, cache=tiny_system.cache,
+        )
+        learned = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["deep"],
+            tiny_system.test_split, 0.0, 0.5, cache=tiny_system.cache,
+        )
+        assert oracle.avg_loss <= learned.avg_loss + 1e-9

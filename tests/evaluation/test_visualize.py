@@ -1,0 +1,89 @@
+"""ASCII visualization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import RadiateSim
+from repro.evaluation.visualize import (
+    ascii_boxes,
+    ascii_image,
+    render_detections,
+    render_sample,
+)
+from repro.perception import Detections
+
+
+class TestAsciiImage:
+    def test_dimensions(self):
+        out = ascii_image(np.zeros((64, 64)), width=32)
+        lines = out.splitlines()
+        assert len(lines[0]) == 32
+        assert len(lines) == 16  # rows halved for terminal aspect
+
+    def test_multichannel_averaged(self):
+        out = ascii_image(np.zeros((3, 16, 16)))
+        assert isinstance(out, str)
+
+    def test_bright_region_brighter(self):
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0
+        out = ascii_image(img, width=32)
+        row = out.splitlines()[0]
+        assert row[0] == " " and row[-1] == "@"
+
+    def test_constant_image_no_crash(self):
+        out = ascii_image(0.5 * np.ones((16, 16)))
+        assert set("".join(out.splitlines())) <= {" "}
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_image(np.zeros((2, 3, 4, 5)))
+
+
+class TestAsciiBoxes:
+    def test_outline_characters_present(self):
+        out = ascii_boxes(
+            np.array([[8.0, 8.0, 40.0, 40.0]]), np.array([1]), 64, width=32
+        )
+        assert "+" in out and "-" in out and "|" in out
+
+    def test_class_initial_tagged(self):
+        out = ascii_boxes(
+            np.array([[8.0, 8.0, 48.0, 48.0]]), np.array([7]), 64
+        )
+        assert "P" in out  # pedestrian
+
+    def test_empty_boxes(self):
+        out = ascii_boxes(np.zeros((0, 4)), np.zeros(0), 64)
+        assert set("".join(out.splitlines())) <= {" "}
+
+    def test_out_of_range_label_marked_unknown(self):
+        out = ascii_boxes(
+            np.array([[8.0, 8.0, 48.0, 48.0]]), np.array([99]), 64, width=32
+        )
+        assert "?" in out
+
+
+class TestRenderers:
+    def test_render_sample(self):
+        sample = RadiateSim({"city": 1}, seed=3)[0]
+        out = render_sample(sample)
+        assert "camera_right" in out
+        assert "ground truth:" in out
+
+    def test_render_detections_filters_by_score(self):
+        dets = Detections(
+            np.array([[4, 4, 20, 20], [30, 30, 50, 50]], dtype=np.float32),
+            np.array([0.9, 0.1], dtype=np.float32),
+            np.array([1, 2]),
+        )
+        out = render_detections(dets, 64, min_score=0.5)
+        assert "[1 detections" in out
+
+    def test_all_sensors_renderable(self):
+        sample = RadiateSim({"fog": 1}, seed=4)[0]
+        for sensor in sample.sensors:
+            out = render_sample(sample, sensor=sensor)
+            assert sensor in out

@@ -1,0 +1,57 @@
+"""Sensor coordinate frames and canonical unification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fusion import SENSOR_FRAMES, SensorFrame, from_canonical, to_canonical
+from repro.perception import Detections
+
+
+class TestSensorFrame:
+    def test_roundtrip(self):
+        frame = SensorFrame("test", dx=2.0, dy=-1.0, scale=1.0)
+        boxes = np.array([[5.0, 5.0, 15.0, 15.0]])
+        back = frame.boxes_from_canonical(frame.boxes_to_canonical(boxes))
+        np.testing.assert_allclose(back, boxes, rtol=1e-6)
+
+    def test_translation_applied(self):
+        frame = SensorFrame("test", dx=3.0)
+        out = frame.boxes_to_canonical(np.array([[0.0, 0.0, 10.0, 10.0]]))
+        np.testing.assert_allclose(out, [[3.0, 0.0, 13.0, 10.0]])
+
+    def test_registry_covers_all_sensors(self):
+        assert set(SENSOR_FRAMES) == {
+            "camera_left", "camera_right", "lidar", "radar",
+        }
+
+    def test_right_camera_is_canonical(self):
+        frame = SENSOR_FRAMES["camera_right"]
+        boxes = np.array([[1.0, 2.0, 3.0, 4.0]])
+        np.testing.assert_allclose(frame.boxes_to_canonical(boxes), boxes)
+
+    def test_left_camera_offset_corrects_mean_disparity(self):
+        from repro.datasets import MAX_DISPARITY
+
+        frame = SENSOR_FRAMES["camera_left"]
+        assert frame.dx == -MAX_DISPARITY / 2.0
+
+
+class TestDetectionsConversion:
+    def test_to_canonical_moves_boxes(self):
+        dets = Detections(np.array([[10.0, 10.0, 20.0, 20.0]]),
+                          np.array([0.9]), np.array([1]))
+        out = to_canonical(dets, "camera_left")
+        assert out.boxes[0, 0] != dets.boxes[0, 0]
+        np.testing.assert_allclose(out.scores, dets.scores)
+
+    def test_empty_detections_passthrough(self):
+        dets = Detections()
+        assert to_canonical(dets, "camera_left") is dets
+
+    def test_from_canonical_inverse_of_to(self):
+        boxes = np.array([[5.0, 6.0, 25.0, 30.0]], dtype=np.float32)
+        sensor_boxes = from_canonical(boxes, "camera_left")
+        dets = Detections(sensor_boxes, np.array([1.0]), np.array([1]))
+        back = to_canonical(dets, "camera_left")
+        np.testing.assert_allclose(back.boxes, boxes, atol=1e-5)

@@ -1,0 +1,48 @@
+"""Early fusion: stem-feature concatenation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fusion import concat_stem_features
+from repro.nn import Tensor
+
+
+def features():
+    rng = np.random.default_rng(0)
+    return {
+        "camera_left": Tensor(rng.normal(size=(2, 8, 32, 32)).astype(np.float32)),
+        "camera_right": Tensor(rng.normal(size=(2, 8, 32, 32)).astype(np.float32)),
+        "lidar": Tensor(rng.normal(size=(2, 8, 32, 32)).astype(np.float32)),
+    }
+
+
+def test_single_sensor_passthrough():
+    feats = features()
+    out = concat_stem_features(feats, ("lidar",))
+    assert out is feats["lidar"]
+
+
+def test_concat_order_and_shape():
+    feats = features()
+    out = concat_stem_features(feats, ("camera_left", "lidar"))
+    assert out.shape == (2, 16, 32, 32)
+    np.testing.assert_allclose(out.data[:, :8], feats["camera_left"].data)
+    np.testing.assert_allclose(out.data[:, 8:], feats["lidar"].data)
+
+
+def test_missing_sensor_raises():
+    with pytest.raises(KeyError, match="radar"):
+        concat_stem_features(features(), ("camera_left", "radar"))
+
+
+def test_gradient_flows_to_both_stems():
+    feats = {
+        "a": Tensor(np.ones((1, 2, 2, 2), dtype=np.float32), requires_grad=True),
+        "b": Tensor(np.ones((1, 2, 2, 2), dtype=np.float32), requires_grad=True),
+    }
+    out = concat_stem_features(feats, ("a", "b"))
+    out.sum().backward()
+    assert feats["a"].grad is not None
+    assert feats["b"].grad is not None

@@ -1,0 +1,64 @@
+"""Late-fusion block behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fusion import BranchOutput, FusionBlock
+from repro.perception import Detections
+
+
+def out(branch, boxes, scores, labels, frame="camera_right"):
+    return BranchOutput(
+        branch_name=branch,
+        detections=Detections(np.asarray(boxes, dtype=np.float32),
+                              np.asarray(scores, dtype=np.float32),
+                              np.asarray(labels, dtype=np.int64)),
+        frame_sensor=frame,
+    )
+
+
+class TestFusionBlock:
+    def test_empty_outputs(self):
+        assert len(FusionBlock().fuse([])) == 0
+
+    def test_single_branch_passthrough_keeps_confidence(self):
+        """One-branch configs must not suffer the WBF support penalty."""
+        block = FusionBlock(final_score_threshold=0.1)
+        fused = block.fuse([out("B_CR", [[0, 0, 10, 10]], [0.8], [1])])
+        assert len(fused) == 1
+        np.testing.assert_allclose(fused.scores[0], 0.8, rtol=1e-6)
+
+    def test_two_branches_agreeing_merge(self):
+        block = FusionBlock()
+        fused = block.fuse([
+            out("B_CR", [[0, 0, 10, 10]], [0.8], [1]),
+            out("B_L", [[1, 0, 11, 10]], [0.8], [1]),
+        ])
+        assert len(fused) == 1
+
+    def test_final_threshold_filters(self):
+        block = FusionBlock(final_score_threshold=0.4)
+        fused = block.fuse([
+            out("B_CR", [[0, 0, 10, 10]], [0.3], [1]),
+            out("B_L", [[50, 50, 60, 60]], [0.9], [2]),
+        ])
+        # support rescaling: 0.3 * 1/2 = 0.15 < 0.4 dropped;
+        # 0.9 * 1/2 = 0.45 >= 0.4 kept.
+        assert len(fused) == 1
+        assert fused.labels[0] == 2
+
+    def test_frame_unification_applied(self):
+        """Left-camera boxes shift into canonical before fusing."""
+        block = FusionBlock(final_score_threshold=0.0)
+        left = out("B_CL", [[10, 10, 20, 20]], [0.9], [1], frame="camera_left")
+        fused = block.fuse([left])
+        assert fused.boxes[0, 0] != 10.0
+
+    def test_disagreeing_branches_keep_both(self):
+        block = FusionBlock(final_score_threshold=0.0)
+        fused = block.fuse([
+            out("B_CR", [[0, 0, 10, 10]], [0.9], [1]),
+            out("B_R", [[40, 40, 60, 60]], [0.9], [3]),
+        ])
+        assert len(fused) == 2

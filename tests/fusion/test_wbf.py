@@ -1,0 +1,117 @@
+"""Weighted boxes fusion: the algorithm from Solovyev et al. [23]."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import weighted_boxes_fusion
+from repro.perception import Detections, iou_matrix
+
+
+def dets(boxes, scores, labels):
+    return Detections(np.asarray(boxes, dtype=np.float32),
+                      np.asarray(scores, dtype=np.float32),
+                      np.asarray(labels, dtype=np.int64))
+
+
+class TestClustering:
+    def test_two_models_agree_boxes_average(self):
+        a = dets([[0, 0, 10, 10]], [0.8], [1])
+        b = dets([[2, 0, 12, 10]], [0.8], [1])
+        fused = weighted_boxes_fusion([a, b], iou_threshold=0.5)
+        assert len(fused) == 1
+        np.testing.assert_allclose(fused.boxes[0], [1, 0, 11, 10], atol=1e-5)
+
+    def test_weighted_average_by_confidence(self):
+        a = dets([[0, 0, 10, 10]], [0.9], [1])
+        b = dets([[10, 0, 20, 10]], [0.1], [1])  # IoU 0 -> separate clusters
+        fused = weighted_boxes_fusion([a, b], iou_threshold=0.5)
+        assert len(fused) == 2
+
+    def test_confidence_weighting_shifts_box(self):
+        a = dets([[0, 0, 10, 10]], [0.9], [1])
+        b = dets([[4, 0, 14, 10]], [0.3], [1])
+        fused = weighted_boxes_fusion([a, b], iou_threshold=0.3)
+        assert len(fused) == 1
+        # weighted centre closer to the confident box
+        assert fused.boxes[0][0] < 2.0
+
+    def test_different_labels_never_merge(self):
+        a = dets([[0, 0, 10, 10]], [0.8], [1])
+        b = dets([[0, 0, 10, 10]], [0.8], [2])
+        fused = weighted_boxes_fusion([a, b])
+        assert len(fused) == 2
+
+    def test_support_rescaling(self):
+        """A box seen by 1 of 3 models loses confidence by factor 1/3."""
+        a = dets([[0, 0, 10, 10]], [0.9], [1])
+        fused = weighted_boxes_fusion([a, Detections(), Detections()])
+        np.testing.assert_allclose(fused.scores[0], 0.9 / 3, rtol=1e-5)
+
+    def test_full_support_keeps_confidence(self):
+        models = [dets([[0, 0, 10, 10]], [0.6], [1]) for _ in range(3)]
+        fused = weighted_boxes_fusion(models)
+        np.testing.assert_allclose(fused.scores[0], 0.6, rtol=1e-5)
+
+
+class TestParameters:
+    def test_skip_threshold_drops_weak_boxes(self):
+        a = dets([[0, 0, 10, 10], [20, 20, 30, 30]], [0.9, 0.01], [1, 1])
+        fused = weighted_boxes_fusion([a], skip_threshold=0.05)
+        assert len(fused) == 1
+
+    def test_model_weights_scale_scores(self):
+        a = dets([[0, 0, 10, 10]], [0.8], [1])
+        fused = weighted_boxes_fusion([a], model_weights=[0.5])
+        np.testing.assert_allclose(fused.scores[0], 0.4, rtol=1e-5)
+
+    def test_model_weights_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            weighted_boxes_fusion([Detections()], model_weights=[1.0, 2.0])
+
+    def test_conf_type_max(self):
+        a = dets([[0, 0, 10, 10]], [0.9], [1])
+        b = dets([[1, 0, 11, 10]], [0.5], [1])
+        fused = weighted_boxes_fusion([a, b], conf_type="max")
+        np.testing.assert_allclose(fused.scores[0], 0.9, rtol=1e-5)
+
+    def test_empty_inputs(self):
+        assert len(weighted_boxes_fusion([])) == 0
+        assert len(weighted_boxes_fusion([Detections(), Detections()])) == 0
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 4), st.integers(0, 5))
+    def test_output_bounded_by_input_count(self, n_models, n_boxes):
+        rng = np.random.default_rng(n_models * 10 + n_boxes)
+        models = []
+        for _ in range(n_models):
+            boxes = rng.uniform(0, 50, size=(n_boxes, 2))
+            boxes = np.concatenate([boxes, boxes + rng.uniform(5, 20, (n_boxes, 2))], axis=1)
+            models.append(dets(boxes, rng.random(n_boxes), rng.integers(1, 4, n_boxes)))
+        fused = weighted_boxes_fusion(models)
+        assert len(fused) <= n_models * n_boxes
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100))
+    def test_scores_sorted_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        boxes = rng.uniform(0, 40, size=(n, 2))
+        boxes = np.concatenate([boxes, boxes + rng.uniform(5, 20, (n, 2))], axis=1)
+        model = dets(boxes, rng.random(n), rng.integers(1, 3, n))
+        fused = weighted_boxes_fusion([model, model])
+        assert np.all(np.diff(fused.scores) <= 1e-7)
+        assert np.all(fused.scores <= 1.0 + 1e-7)
+
+    def test_fused_boxes_within_cluster_hull(self):
+        a = dets([[0, 0, 10, 10]], [0.8], [1])
+        b = dets([[2, 2, 12, 12]], [0.4], [1])
+        fused = weighted_boxes_fusion([a, b], iou_threshold=0.3)
+        box = fused.boxes[0]
+        assert 0 <= box[0] <= 2 and 10 <= box[2] <= 12

@@ -1,0 +1,61 @@
+"""EV range impact model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.battery import (
+    NOMINAL_EV,
+    ElectricVehicle,
+    range_impact_fraction,
+)
+
+
+class TestElectricVehicle:
+    def test_unloaded_range(self):
+        ev = ElectricVehicle(battery_kwh=60.0, drive_wh_per_km=150.0)
+        assert ev.range_km() == pytest.approx(400.0)
+
+    def test_accessory_load_reduces_range(self):
+        ev = NOMINAL_EV
+        assert ev.range_km(500.0) < ev.range_km(0.0)
+
+    def test_range_loss_monotone_in_load(self):
+        losses = [NOMINAL_EV.range_loss_fraction(w) for w in (0, 100, 500, 1000)]
+        assert losses == sorted(losses)
+        assert losses[0] == pytest.approx(0.0)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            NOMINAL_EV.range_km(-1.0)
+
+    def test_kw_scale_load_costs_double_digit_range(self):
+        """The intro's claim: a ~1 kW-class E/E system (compute + sensors
+        + thermal overhead) costs >10% range on a mid-size EV."""
+        loss = NOMINAL_EV.range_loss_fraction(1250.0)
+        assert loss > 0.10
+
+
+class TestRangeImpact:
+    def test_late_fusion_stack_impact(self):
+        """Table 3's 13.27 J @ 4 Hz (~53 W, ~80 W with thermal overhead)
+        costs a measurable but single-digit range fraction."""
+        loss = range_impact_fraction(13.27, cycle_hz=4.0)
+        assert 0.001 < loss < 0.05
+
+    def test_ecofusion_recovers_range(self):
+        late = range_impact_fraction(13.27, 4.0)
+        eco = range_impact_fraction(6.45, 4.0)  # paper's overall Table 3 value
+        assert eco < late
+
+    def test_zero_energy_zero_impact(self):
+        assert range_impact_fraction(0.0, 4.0) == pytest.approx(0.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            range_impact_fraction(-1.0, 4.0)
+
+    def test_overhead_factor_scales_impact(self):
+        low = range_impact_fraction(10.0, 4.0, overhead_factor=1.0)
+        high = range_impact_fraction(10.0, 4.0, overhead_factor=2.0)
+        assert high > low

@@ -1,0 +1,102 @@
+"""System profiling: FLOP tables, config costs, runtime accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_config_library, build_stems
+from repro.core.config import BRANCHES
+from repro.core.gating import AttentionGate
+from repro.hardware import build_system_costs
+from repro.perception import BranchDetector
+
+
+@pytest.fixture(scope="module")
+def costs():
+    rng = np.random.default_rng(0)
+    stems = build_stems(rng)
+    branches = {
+        name: BranchDetector(len(spec.sensors), 8, 64, rng=rng)
+        for name, spec in BRANCHES.items()
+    }
+    library = build_config_library()
+    gate = AttentionGate(len(library), rng=rng, image_size=64)
+    return build_system_costs(library, stems, branches, gate.network, 64)
+
+
+class TestCalibrationAnchors:
+    def test_single_camera_matches_paper(self, costs):
+        cr = costs.config_costs["CR"]
+        assert cr.latency_ms == pytest.approx(21.57, abs=0.05)
+        assert cr.energy_joules == pytest.approx(0.945, abs=0.01)
+
+    def test_early_fusion_matches_paper(self, costs):
+        ef = costs.config_costs["EF_CLCRL"]
+        assert ef.latency_ms == pytest.approx(31.36, abs=0.05)
+        assert ef.energy_joules == pytest.approx(1.379, abs=0.02)
+
+    def test_late_fusion_matches_paper(self, costs):
+        lf = costs.config_costs["LF_ALL"]
+        assert lf.latency_ms == pytest.approx(84.32, abs=0.05)
+        assert lf.energy_joules == pytest.approx(3.798, abs=0.01)
+
+    def test_radar_lidar_cost_slightly_more_than_camera(self, costs):
+        """Paper Table 1: 21.85 ms vs 21.57 ms."""
+        assert costs.config_costs["R"].latency_ms > costs.config_costs["CR"].latency_ms
+        assert costs.config_costs["L"].latency_ms > costs.config_costs["CL"].latency_ms
+        assert costs.config_costs["R"].latency_ms == pytest.approx(21.85, abs=0.4)
+
+
+class TestCostStructure:
+    def test_energy_increases_with_branch_count(self, costs):
+        singles = costs.config_costs["CR"].energy_joules
+        pairs = costs.config_costs["LF_CLCR"].energy_joules
+        quad = costs.config_costs["LF_ALL"].energy_joules
+        assert singles < pairs < quad
+
+    def test_early_fusion_between_single_and_late(self, costs):
+        assert (
+            costs.config_costs["CR"].energy_joules
+            < costs.config_costs["EF_CLCRL"].energy_joules
+            < costs.config_costs["LF_ALL"].energy_joules
+        )
+
+    def test_mix_heavy_costs_more_than_late(self, costs):
+        """The Table 3 fog/snow configuration exceeds plain late fusion."""
+        assert (
+            costs.config_costs["MIX_HEAVY"].energy_joules
+            > costs.config_costs["LF_ALL"].energy_joules
+        )
+
+    def test_all_configs_profiled(self, costs):
+        assert set(costs.config_costs) == {c.name for c in build_config_library()}
+
+    def test_flops_positive(self, costs):
+        assert all(c.flops > 0 for c in costs.config_costs.values())
+        assert all(f > 0 for f in costs.stem_flops.values())
+        assert all(f > 0 for f in costs.branch_flops.values())
+
+
+class TestRuntimeAccounting:
+    def test_runtime_includes_all_stems(self, costs):
+        """EcoFusion runs every stem, so selecting the CR config costs
+        slightly more than the static CR pipeline."""
+        config = build_config_library()[1]  # CR
+        latency, energy = costs.ecofusion_runtime(config)
+        assert latency > costs.config_costs["CR"].latency_ms
+        assert energy > costs.config_costs["CR"].energy_joules
+
+    def test_gate_energy_negligible(self, costs):
+        """Paper: gate cost is negligible next to stems/branches; at this
+        repo's scale it stays under 5% of the cheapest configuration."""
+        gate_e = costs.gate_energy_joules()
+        cheapest = min(c.energy_joules for c in costs.config_costs.values())
+        assert gate_e < 0.05 * cheapest
+
+    def test_include_gate_flag(self, costs):
+        config = build_config_library()[0]
+        lat_no, e_no = costs.ecofusion_runtime(config, include_gate=False)
+        lat_yes, e_yes = costs.ecofusion_runtime(config, include_gate=True)
+        assert lat_yes >= lat_no
+        assert e_yes >= e_no

@@ -1,0 +1,94 @@
+"""Drive PX2 model: calibration reproduces the paper's measurements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    PAPER_TABLE1_ANCHORS,
+    PX2_LOAD_WATTS,
+    DrivePX2,
+    LatencyModel,
+    PowerModel,
+    SENSOR_PREP_MS,
+)
+
+
+class TestLatencyModel:
+    def test_compute_time_linear_in_flops(self):
+        model = LatencyModel(platform_ms=1.0, launch_ms=2.0, mflops_per_ms=10.0)
+        assert model.compute_ms(20e6) == pytest.approx(2.0)
+        assert model.compute_ms(40e6) == pytest.approx(4.0)
+
+    def test_pipeline_adds_overheads(self):
+        model = LatencyModel(platform_ms=1.0, launch_ms=2.0, mflops_per_ms=10.0)
+        t = model.pipeline_ms(10e6, num_branches=3, sensors=("camera_right",))
+        expected = 1.0 + 3 * 2.0 + 1.0 + SENSOR_PREP_MS["camera_right"]
+        assert t == pytest.approx(expected)
+
+    def test_calibration_exact_on_anchors(self):
+        """Solving the 3x3 system reproduces the paper's latencies."""
+        flops_of = {"CR": 15e6, "EF_CLCRL": 22e6, "LF_ALL": 58e6}
+        model = LatencyModel.calibrate(PAPER_TABLE1_ANCHORS, flops_of)
+        for anchor in PAPER_TABLE1_ANCHORS:
+            t = model.pipeline_ms(
+                flops_of[anchor.name], anchor.num_branches, anchor.sensors
+            )
+            assert t == pytest.approx(anchor.latency_ms, abs=0.05)
+
+    def test_calibration_positive_parameters(self):
+        flops_of = {"CR": 15e6, "EF_CLCRL": 22e6, "LF_ALL": 58e6}
+        model = LatencyModel.calibrate(PAPER_TABLE1_ANCHORS, flops_of)
+        assert model.platform_ms > 0
+        assert model.launch_ms > 0
+        assert model.mflops_per_ms > 0
+
+    def test_calibration_fallback_stays_physical(self):
+        """Inconsistent anchors fall back to non-negative least squares."""
+        flops_of = {"CR": 50e6, "EF_CLCRL": 10e6, "LF_ALL": 20e6}  # nonsense
+        model = LatencyModel.calibrate(PAPER_TABLE1_ANCHORS, flops_of)
+        assert model.platform_ms >= 0
+        assert model.launch_ms >= 0
+
+    def test_lidar_prep_exceeds_camera(self):
+        """Reproduces radar/lidar rows costing more than camera (Table 1)."""
+        assert SENSOR_PREP_MS["lidar"] > SENSOR_PREP_MS["camera_right"]
+        assert SENSOR_PREP_MS["radar"] > SENSOR_PREP_MS["camera_left"]
+
+
+class TestPowerModel:
+    def test_rises_with_branches(self):
+        power = PowerModel()
+        assert power.watts(4) > power.watts(1)
+
+    def test_capped_at_measured_load(self):
+        power = PowerModel()
+        assert power.watts(100) == PX2_LOAD_WATTS
+
+    def test_single_branch_near_paper_implied(self):
+        """Paper Table 1: 0.945 J / 21.57 ms -> 43.8 W."""
+        assert PowerModel().watts(1) == pytest.approx(43.81, abs=0.2)
+
+    def test_four_branches_near_paper_implied(self):
+        """Paper Table 1: 3.798 J / 84.32 ms -> 45.0 W."""
+        assert PowerModel().watts(4) == pytest.approx(45.04, abs=0.2)
+
+
+class TestEnergyLaw:
+    def test_e_equals_p_times_t(self):
+        px2 = DrivePX2(
+            latency=LatencyModel(1.0, 1.0, 10.0), power=PowerModel()
+        )
+        e = px2.energy_joules(latency_ms=100.0, num_branches=1)
+        assert e == pytest.approx(px2.power.watts(1) * 0.1)
+
+    def test_paper_single_camera_energy(self):
+        """E = P(1) * 21.57 ms ~= 0.945 J (Table 1)."""
+        px2 = DrivePX2(latency=LatencyModel(1.0, 1.0, 1.0))
+        assert px2.energy_joules(21.57, 1) == pytest.approx(0.945, abs=0.01)
+
+    def test_paper_late_fusion_energy(self):
+        """E = P(4) * 84.32 ms ~= 3.798 J (Table 1)."""
+        px2 = DrivePX2(latency=LatencyModel(1.0, 1.0, 1.0))
+        assert px2.energy_joules(84.32, 4) == pytest.approx(3.798, abs=0.01)

@@ -1,0 +1,81 @@
+"""Sensor power and clock gating (Sec. 5.5.2 / Table 3 constants)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    FUSION_CYCLE_HZ,
+    SENSOR_POWER,
+    sensor_energy,
+    total_energy_with_gating,
+)
+
+
+class TestDatasheetValues:
+    def test_navtech_radar(self):
+        radar = SENSOR_POWER["radar"]
+        assert radar.total_watts == 24.0
+        assert radar.motor_watts == 2.4
+        assert radar.measurement_watts == pytest.approx(21.6)
+
+    def test_velodyne_lidar(self):
+        lidar = SENSOR_POWER["lidar"]
+        assert lidar.total_watts == 12.0
+        assert lidar.measurement_watts == pytest.approx(9.6)
+
+    def test_zed_camera_counted_once(self):
+        """The ZED is one device: 1.9 W total across both streams."""
+        total = (
+            SENSOR_POWER["camera_left"].total_watts
+            + SENSOR_POWER["camera_right"].total_watts
+        )
+        assert total == pytest.approx(1.9)
+
+    def test_cycle_paced_by_radar(self):
+        assert FUSION_CYCLE_HZ == 4.0
+
+
+class TestSensorEnergy:
+    def test_active_radar_six_joules(self):
+        """24 W / 4 Hz = 6 J per cycle."""
+        assert sensor_energy("radar", gated=False) == pytest.approx(6.0)
+
+    def test_gated_radar_motor_only(self):
+        """Clock gating keeps the motor spinning: 2.4 W / 4 Hz = 0.6 J."""
+        assert sensor_energy("radar", gated=True) == pytest.approx(0.6)
+
+    def test_gated_camera_zero(self):
+        assert sensor_energy("camera_right", gated=True) == 0.0
+
+    def test_lidar_values(self):
+        assert sensor_energy("lidar", gated=False) == pytest.approx(3.0)
+        assert sensor_energy("lidar", gated=True) == pytest.approx(0.6)
+
+
+class TestTotalEnergy:
+    def test_paper_late_fusion_total(self):
+        """Table 3 late-fusion row: 3.798 platform + all sensors = 13.27 J."""
+        total = total_energy_with_gating(
+            3.798, ("camera_left", "camera_right", "radar", "lidar")
+        )
+        assert total == pytest.approx(13.27, abs=0.01)
+
+    def test_gating_saves_energy(self):
+        all_on = total_energy_with_gating(1.0, ("camera_left", "camera_right", "radar", "lidar"))
+        cameras_only = total_energy_with_gating(1.0, ("camera_left", "camera_right"))
+        assert cameras_only < all_on
+        # radar 6->0.6 plus lidar 3->0.6 saved
+        assert all_on - cameras_only == pytest.approx(6.0 - 0.6 + 3.0 - 0.6)
+
+    def test_unknown_sensor_rejected(self):
+        with pytest.raises(ValueError):
+            total_energy_with_gating(1.0, ("sonar",))
+
+    def test_stereo_early_config_matches_paper_jct(self):
+        """Stereo-only config with lidar+radar gated lands near the paper's
+        junction/motorway value of 2.87 J (Table 3)."""
+        platform = 1.2  # approx stereo early-fusion pipeline energy
+        total = total_energy_with_gating(platform, ("camera_left", "camera_right"))
+        assert total == pytest.approx(2.87, abs=0.15)

@@ -1,0 +1,99 @@
+"""End-to-end integration: the full paper pipeline on the tiny system.
+
+These tests verify cross-module *shape* invariants the paper's claims rest
+on, using the shared micro-trained system (statistical claims that need
+the full-scale system live in the benchmarks, not here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_ecofusion, evaluate_static_config
+from repro.hardware import total_energy_with_gating
+
+
+class TestPipelineCompleteness:
+    def test_all_gates_run_end_to_end(self, tiny_system):
+        for gate_name in ("knowledge", "deep", "attention", "loss_based"):
+            result = evaluate_ecofusion(
+                tiny_system.model, tiny_system.gates[gate_name],
+                tiny_system.test_split, 0.01, 0.5, cache=tiny_system.cache,
+            )
+            assert result.num_samples == len(tiny_system.test_split)
+            assert np.isfinite(result.avg_loss)
+
+    def test_every_configuration_executes(self, tiny_system):
+        for config in tiny_system.model.library:
+            dets = tiny_system.model.run_config(
+                config, [tiny_system.test_split[0]], cache=tiny_system.cache
+            )
+            assert len(dets) == 1
+
+    def test_perception_history_recorded(self, tiny_system):
+        assert len(tiny_system.perception_history) == tiny_system.spec.iterations
+        assert all(np.isfinite(v) for v in tiny_system.perception_history)
+
+
+class TestEnergyShape:
+    """The qualitative energy claims of Table 1 / Table 3."""
+
+    def test_ecofusion_cheaper_than_late_fusion(self, tiny_system):
+        late = evaluate_static_config(
+            tiny_system.model, "LF_ALL", tiny_system.test_split, cache=tiny_system.cache
+        )
+        eco = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["loss_based"],
+            tiny_system.test_split, 0.05, 0.5, cache=tiny_system.cache,
+        )
+        assert eco.avg_energy_joules < late.avg_energy_joules
+
+    def test_gamma_zero_ignores_energy_pressure(self, tiny_system):
+        """With gamma=0 only the best-predicted config is a candidate, so
+        lambda_E cannot change the selection (Sec. 3.3)."""
+        a = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["loss_based"],
+            tiny_system.test_split, 0.0, 0.0, cache=tiny_system.cache,
+        )
+        b = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["loss_based"],
+            tiny_system.test_split, 1.0, 0.0, cache=tiny_system.cache,
+        )
+        assert a.avg_energy_joules == pytest.approx(b.avg_energy_joules)
+        assert a.config_histogram == b.config_histogram
+
+    def test_clock_gating_total_below_always_on(self, tiny_system):
+        """Eq. 10-11: gating unused sensors lowers combined energy."""
+        eco = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["knowledge"],
+            tiny_system.test_split, 0.0, 0.5, cache=tiny_system.cache,
+        )
+        all_sensors = ("camera_left", "camera_right", "radar", "lidar")
+        for config_name, count in eco.config_histogram.items():
+            config = tiny_system.model.config_named(config_name)
+            platform = tiny_system.model.costs.config_costs[config_name].energy_joules
+            gated = total_energy_with_gating(platform, config.sensors)
+            always_on = total_energy_with_gating(platform, all_sensors)
+            assert gated <= always_on + 1e-9
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, tiny_system):
+        a = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["attention"],
+            tiny_system.test_split, 0.01, 0.5, cache=tiny_system.cache,
+        )
+        b = evaluate_ecofusion(
+            tiny_system.model, tiny_system.gates["attention"],
+            tiny_system.test_split, 0.01, 0.5, cache=tiny_system.cache,
+        )
+        assert a.avg_loss == pytest.approx(b.avg_loss)
+        assert a.config_histogram == b.config_histogram
+
+    def test_loss_table_matches_oracle_gate(self, tiny_system):
+        """The oracle gate's installed losses are exactly the test table."""
+        oracle = tiny_system.gates["loss_based"]
+        for i, sample in enumerate(tiny_system.test_split):
+            stored = oracle._table[sample.sample_id]
+            np.testing.assert_allclose(stored, tiny_system.test_loss_table[i])

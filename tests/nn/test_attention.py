@@ -1,0 +1,83 @@
+"""Self-attention layer: shapes, init behaviour, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    SpatialSelfAttention,
+    Tensor,
+    check_gradients,
+    scaled_dot_product_attention,
+)
+
+
+def t64(a, rg=True):
+    return Tensor(np.asarray(a, dtype=np.float64), requires_grad=rg)
+
+
+class TestScaledDotProduct:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        q = t64(rng.normal(size=(2, 5, 4)), False)
+        out, weights = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 5, 4)
+        assert weights.shape == (2, 5, 5)
+
+    def test_weights_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        q = t64(rng.normal(size=(1, 6, 3)), False)
+        _, weights = scaled_dot_product_attention(q, q, q)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones((1, 6)), rtol=1e-6)
+
+    def test_uniform_keys_average_values(self):
+        q = t64(np.zeros((1, 3, 2)), False)
+        k = t64(np.zeros((1, 3, 2)), False)
+        v = t64(np.arange(6.0).reshape(1, 3, 2), False)
+        out, _ = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out.data[0, 0], v.data[0].mean(axis=0), rtol=1e-7)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(2)
+        q = t64(rng.normal(size=(1, 3, 2)))
+        k = t64(rng.normal(size=(1, 3, 2)))
+        v = t64(rng.normal(size=(1, 3, 2)))
+        check_gradients(lambda a, b, c: scaled_dot_product_attention(a, b, c)[0], [q, k, v])
+
+
+class TestSpatialSelfAttention:
+    def test_identity_at_init(self):
+        """Zero-initialized residual scale -> layer starts as identity."""
+        rng = np.random.default_rng(3)
+        att = SpatialSelfAttention(4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 3, 3)).astype(np.float32))
+        np.testing.assert_allclose(att(x).data, x.data, rtol=1e-6)
+
+    def test_output_shape(self):
+        rng = np.random.default_rng(4)
+        att = SpatialSelfAttention(6, rng=rng)
+        att.scale.data[:] = 0.5
+        x = Tensor(rng.normal(size=(1, 6, 4, 4)).astype(np.float32))
+        assert att(x).shape == (1, 6, 4, 4)
+
+    def test_attention_map_recorded(self):
+        rng = np.random.default_rng(5)
+        att = SpatialSelfAttention(4, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 3, 3)).astype(np.float32))
+        att(x)
+        assert att.last_attention is not None
+        assert att.last_attention.shape == (1, 9, 9)
+
+    def test_parameters_registered(self):
+        att = SpatialSelfAttention(4)
+        names = {n for n, _ in att.named_parameters()}
+        assert {"w_q", "w_k", "w_v", "w_o", "scale"} <= names
+
+    def test_gradcheck_with_nonzero_scale(self):
+        rng = np.random.default_rng(6)
+        att = SpatialSelfAttention(3, rng=rng)
+        att.scale.data[:] = 0.8
+        for p in att.parameters():
+            p.data = p.data.astype(np.float64)
+        x = t64(rng.normal(size=(1, 3, 2, 2)))
+        check_gradients(lambda v: att(v), [x])

@@ -1,0 +1,108 @@
+"""FLOP accounting: formulas vs hand-derived counts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    SpatialSelfAttention,
+    count_model_flops,
+    module_flops,
+)
+from repro.nn.flops import conv2d_flops, linear_flops
+
+
+class TestConvFlops:
+    def test_known_conv(self):
+        # 3x3 conv, 2->4 channels, 8x8 input, stride 1, pad 1 -> 8x8 out
+        layer = Conv2d(2, 4, 3, stride=1, padding=1, bias=False)
+        flops, out_hw = conv2d_flops(layer, (8, 8))
+        assert out_hw == (8, 8)
+        assert flops == 2 * 8 * 8 * 4 * 2 * 9
+
+    def test_bias_adds_one_per_output(self):
+        no_bias = Conv2d(1, 1, 1, bias=False)
+        with_bias = Conv2d(1, 1, 1, bias=True)
+        f0, _ = conv2d_flops(no_bias, (4, 4))
+        f1, _ = conv2d_flops(with_bias, (4, 4))
+        assert f1 - f0 == 16
+
+    def test_stride_reduces_output(self):
+        layer = Conv2d(1, 1, 3, stride=2, padding=1, bias=False)
+        _, out_hw = conv2d_flops(layer, (8, 8))
+        assert out_hw == (4, 4)
+
+
+class TestLinearFlops:
+    def test_known_linear(self):
+        layer = Linear(10, 5)
+        assert linear_flops(layer) == 2 * 10 * 5 + 5
+
+    def test_no_bias(self):
+        layer = Linear(10, 5, bias=False)
+        assert linear_flops(layer) == 2 * 10 * 5
+
+
+class TestModelFlops:
+    def test_sequential_accumulates(self):
+        net = Sequential(
+            Conv2d(1, 2, 3, stride=2, padding=1, bias=False),
+            BatchNorm2d(2),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(2 * 2 * 2, 3),
+        )
+        total = count_model_flops(net, (8, 8))
+        conv = 2 * 4 * 4 * 2 * 1 * 9
+        assert total > conv  # conv plus the small layers
+
+    def test_attention_flops_positive_and_quadratic(self):
+        att = SpatialSelfAttention(8)
+        small, _ = module_flops(att, (4, 4))
+        large, _ = module_flops(att, (8, 8))
+        # 4x the tokens -> ~16x the score/apply terms; at least 4x total.
+        assert large > 4 * small
+
+    def test_custom_module_recursion(self):
+        from repro.nn import Module
+
+        class Block(Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = Conv2d(1, 1, 3, padding=1, bias=False)
+                self.act = ReLU()
+
+            def forward(self, x):
+                return self.act(self.conv(x))
+
+        flops, hw = module_flops(Block(), (8, 8))
+        assert hw == (8, 8)
+        assert flops >= 2 * 8 * 8 * 9
+
+
+class TestBranchProfile:
+    def test_branch_flops_scale_with_sensors(self):
+        from repro.hardware.profiler import branch_flops
+        from repro.perception.detector import BranchDetector
+
+        rng = np.random.default_rng(0)
+        single = BranchDetector(1, 8, 64, rng=rng)
+        triple = BranchDetector(3, 8, 64, rng=rng)
+        assert branch_flops(triple, 64) > branch_flops(single, 64)
+
+    def test_stem_flops_scale_with_channels(self):
+        from repro.hardware.profiler import stem_flops
+        from repro.perception.backbone import StemBlock
+
+        rng = np.random.default_rng(0)
+        cam = StemBlock(3, rng=rng)
+        radar = StemBlock(1, rng=rng)
+        assert stem_flops(cam, 64) > stem_flops(radar, 64)

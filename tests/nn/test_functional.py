@@ -1,0 +1,211 @@
+"""Structured ops: convolution, pooling, ROI align, batch norm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import Tensor, check_gradients
+from repro.nn import functional as F
+
+
+def t64(array, requires_grad=True) -> Tensor:
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestConv2d:
+    def test_matches_scipy_cross_correlation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = F.conv2d(t64(x, False), t64(w, False)).data
+        expected = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out[0, 0], expected, rtol=1e-8)
+
+    def test_output_shape_stride_padding(self):
+        x = t64(np.zeros((2, 3, 16, 16)), False)
+        w = t64(np.zeros((5, 3, 3, 3)), False)
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(t64(np.zeros((1, 2, 4, 4))), t64(np.zeros((1, 3, 3, 3))))
+
+    def test_bias_added_per_channel(self):
+        x = t64(np.zeros((1, 1, 4, 4)), False)
+        w = t64(np.zeros((2, 1, 1, 1)), False)
+        b = t64(np.array([1.0, -2.0]), False)
+        out = F.conv2d(x, w, b).data
+        np.testing.assert_allclose(out[0, 0], np.ones((4, 4)))
+        np.testing.assert_allclose(out[0, 1], -2 * np.ones((4, 4)))
+
+    def test_gradcheck_full(self):
+        rng = np.random.default_rng(1)
+        x = t64(rng.normal(size=(2, 2, 5, 5)))
+        w = t64(rng.normal(size=(3, 2, 3, 3)))
+        b = t64(rng.normal(size=(3,)))
+        check_gradients(lambda a, c, d: F.conv2d(a, c, d, stride=1, padding=1), [x, w, b])
+
+    def test_gradcheck_strided(self):
+        rng = np.random.default_rng(2)
+        x = t64(rng.normal(size=(1, 2, 6, 6)))
+        w = t64(rng.normal(size=(2, 2, 3, 3)))
+        check_gradients(lambda a, c: F.conv2d(a, c, stride=2, padding=1), [x, w])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(t64(x, False), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_gradcheck(self):
+        rng = np.random.default_rng(3)
+        x = t64(rng.normal(size=(2, 2, 4, 4)))
+        check_gradients(lambda a: F.max_pool2d(a, 2), [x])
+
+    def test_avg_pool_values_and_grad(self):
+        x = t64(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+        check_gradients(lambda a: F.avg_pool2d(a, 2), [x])
+
+    def test_avg_pool_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            F.avg_pool2d(t64(np.zeros((1, 1, 5, 5))), 2)
+
+    def test_global_avg_pool(self):
+        x = t64(np.ones((2, 3, 4, 4)), False)
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, np.ones((2, 3)))
+
+    def test_upsample_nearest_shape_and_grad(self):
+        x = t64(np.arange(4.0).reshape(1, 1, 2, 2))
+        out = F.upsample_nearest(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], [[0, 0], [0, 0]])
+        check_gradients(lambda a: F.upsample_nearest(a, 2), [x])
+
+
+class TestROIAlign:
+    def test_output_shape(self):
+        feats = t64(np.zeros((2, 3, 8, 8)), False)
+        rois = np.array([[0, 0, 0, 32, 32], [1, 8, 8, 56, 56]], dtype=np.float64)
+        out = F.roi_align(feats, rois, 4, 1 / 8)
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_empty_rois(self):
+        feats = t64(np.zeros((1, 3, 8, 8)))
+        out = F.roi_align(feats, np.zeros((0, 5)), 4, 1 / 8)
+        assert out.shape == (0, 3, 4, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(feats.grad, np.zeros((1, 3, 8, 8)))
+
+    def test_constant_feature_pools_constant(self):
+        feats = t64(7.0 * np.ones((1, 2, 8, 8)), False)
+        rois = np.array([[0, 4, 4, 40, 40]], dtype=np.float64)
+        out = F.roi_align(feats, rois, 3, 1 / 8)
+        np.testing.assert_allclose(out.data, 7.0 * np.ones((1, 2, 3, 3)))
+
+    def test_batch_index_routing(self):
+        feats = np.zeros((2, 1, 8, 8))
+        feats[1] = 5.0
+        rois = np.array([[1, 8, 8, 48, 48]], dtype=np.float64)
+        out = F.roi_align(t64(feats, False), rois, 2, 1 / 8)
+        np.testing.assert_allclose(out.data, 5.0 * np.ones((1, 1, 2, 2)))
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(4)
+        feats = t64(rng.normal(size=(1, 2, 8, 8)))
+        rois = np.array([[0, 2, 3, 30, 40], [0, 10, 10, 60, 60]], dtype=np.float64)
+        check_gradients(lambda a: F.roi_align(a, rois, 3, 1 / 8), [feats])
+
+
+class TestBatchNorm:
+    def _params(self, c):
+        gamma = t64(np.ones(c))
+        beta = t64(np.zeros(c))
+        rm = np.zeros(c)
+        rv = np.ones(c)
+        return gamma, beta, rm, rv
+
+    def test_training_normalizes_batch(self):
+        rng = np.random.default_rng(5)
+        x = t64(rng.normal(3.0, 2.0, size=(8, 4, 6, 6)), False)
+        gamma, beta, rm, rv = self._params(4)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self):
+        rng = np.random.default_rng(6)
+        x = t64(rng.normal(2.0, 1.0, size=(16, 3, 4, 4)), False)
+        gamma, beta, rm, rv = self._params(3)
+        F.batch_norm(x, gamma, beta, rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.data.mean(axis=(0, 2, 3)), rtol=1e-6)
+
+    def test_eval_uses_running_stats(self):
+        x = t64(np.ones((2, 2, 2, 2)), False)
+        gamma, beta, _, _ = self._params(2)
+        rm = np.array([1.0, 1.0])
+        rv = np.array([4.0, 4.0])
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=False, eps=0.0).data
+        np.testing.assert_allclose(out, np.zeros_like(out), atol=1e-7)
+
+    def test_2d_input(self):
+        rng = np.random.default_rng(7)
+        x = t64(rng.normal(size=(16, 5)), False)
+        gamma, beta, rm, rv = self._params(5)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True).data
+        np.testing.assert_allclose(out.mean(axis=0), np.zeros(5), atol=1e-6)
+
+    def test_invalid_rank_raises(self):
+        gamma, beta, rm, rv = self._params(3)
+        with pytest.raises(ValueError):
+            F.batch_norm(t64(np.zeros((2, 3, 4))), gamma, beta, rm, rv, training=True)
+
+    def test_gradcheck_training_mode(self):
+        rng = np.random.default_rng(8)
+        x = t64(rng.normal(size=(4, 2, 3, 3)))
+        gamma = t64(rng.uniform(0.5, 1.5, size=2))
+        beta = t64(rng.normal(size=2))
+        rm, rv = np.zeros(2), np.ones(2)
+        check_gradients(
+            lambda a, g, b: F.batch_norm(a, g, b, rm.copy(), rv.copy(), training=True),
+            [x, gamma, beta],
+        )
+
+    def test_gradcheck_eval_mode(self):
+        rng = np.random.default_rng(9)
+        x = t64(rng.normal(size=(3, 2, 2, 2)))
+        gamma = t64(rng.uniform(0.5, 1.5, size=2))
+        beta = t64(rng.normal(size=2))
+        rm, rv = np.array([0.2, -0.1]), np.array([1.5, 0.7])
+        check_gradients(
+            lambda a, g, b: F.batch_norm(a, g, b, rm, rv, training=False),
+            [x, gamma, beta],
+        )
+
+
+class TestDropoutLinear:
+    def test_dropout_eval_is_identity(self):
+        x = t64(np.ones((4, 4)), False)
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(10)
+        x = t64(np.ones((2000,)), False)
+        out = F.dropout(x, 0.4, training=True, rng=rng)
+        assert abs(out.data.mean() - 1.0) < 0.08
+
+    def test_linear_matches_manual(self):
+        rng = np.random.default_rng(11)
+        x = np.asarray(rng.normal(size=(3, 4)))
+        w = np.asarray(rng.normal(size=(2, 4)))
+        b = np.asarray(rng.normal(size=(2,)))
+        out = F.linear(t64(x, False), t64(w, False), t64(b, False)).data
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-8)

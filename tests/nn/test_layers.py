@@ -1,0 +1,154 @@
+"""Module system, parameter registration and standard layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+
+
+def make_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        Conv2d(3, 4, 3, stride=1, padding=1, rng=rng),
+        BatchNorm2d(4),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(4 * 4 * 4, 5, rng=rng),
+    )
+
+
+class TestModuleSystem:
+    def test_parameters_recursion(self):
+        net = make_net()
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "5.bias" in names
+        # conv (w+b), bn (gamma+beta), linear (w+b)
+        assert len(names) == 6
+
+    def test_num_parameters_positive(self):
+        assert make_net().num_parameters() > 0
+
+    def test_train_eval_propagates(self):
+        net = make_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad_clears(self):
+        net = make_net()
+        out = net(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net1, net2 = make_net(np.random.default_rng(1)), make_net(np.random.default_rng(2))
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 8, 8)).astype(np.float32))
+        net1.eval(), net2.eval()
+        assert not np.allclose(net1(x).data, net2(x).data)
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net1(x).data, net2(x).data, rtol=1e-6)
+
+    def test_state_dict_includes_buffers(self):
+        net = make_net()
+        keys = net.state_dict().keys()
+        assert any("running_mean" in k for k in keys)
+
+    def test_load_missing_key_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        state.pop("0.weight")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_shape_mismatch_raises(self):
+        net = make_net()
+        state = net.state_dict()
+        state["0.weight"] = np.zeros((1, 1, 1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(8, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((5, 8), dtype=np.float32)))
+        assert out.shape == (5, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_conv_shapes(self):
+        layer = Conv2d(2, 6, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((1, 2, 16, 16), dtype=np.float32)))
+        assert out.shape == (1, 6, 8, 8)
+
+    def test_batchnorm_running_stats_buffered(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(np.random.default_rng(0).normal(2.0, 1.0, (8, 3, 4, 4)).astype(np.float32))
+        bn.train()
+        bn(x)
+        assert not np.allclose(bn.running_mean, np.zeros(3))
+
+    def test_activation_layers(self):
+        x = Tensor(np.array([-1.0, 1.0], dtype=np.float32))
+        assert np.all(ReLU()(x).data == [0.0, 1.0])
+        np.testing.assert_allclose(LeakyReLU(0.2)(x).data, [-0.2, 1.0], rtol=1e-6)
+        assert Sigmoid()(x).data.shape == (2,)
+        assert Tanh()(x).data.shape == (2,)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_dropout_train_vs_eval(self):
+        drop = Dropout(0.5, seed=0)
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        drop.train()
+        assert (drop(x).data == 0).any()
+        drop.eval()
+        np.testing.assert_allclose(drop(x).data, np.ones(100))
+
+    def test_global_avg_pool_layer(self):
+        out = GlobalAvgPool2d()(Tensor(np.ones((2, 3, 4, 4), dtype=np.float32)))
+        assert out.shape == (2, 3)
+
+    def test_sequential_indexing(self):
+        net = make_net()
+        assert isinstance(net[0], Conv2d)
+        assert len(net) == 6
+        assert isinstance(list(iter(net))[2], ReLU)
+
+    def test_parameter_is_tensor_with_grad(self):
+        p = Parameter(np.zeros((2, 2)))
+        assert isinstance(p, Tensor)
+        assert p.requires_grad
+        assert p.dtype == np.float32

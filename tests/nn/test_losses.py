@@ -1,0 +1,125 @@
+"""Loss functions: values against manual references plus gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Tensor,
+    binary_cross_entropy_with_logits,
+    check_gradients,
+    cross_entropy,
+    mse,
+    smooth_l1,
+)
+
+
+def t64(a):
+    return Tensor(np.asarray(a, dtype=np.float64), requires_grad=True)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        targets = np.array([0, 1])
+        loss = cross_entropy(t64(logits), targets).item()
+        manual = -np.log(np.exp(2) / (np.exp(2) + 1))
+        np.testing.assert_allclose(loss, manual, rtol=1e-8)
+
+    def test_uniform_logits_give_log_k(self):
+        logits = np.zeros((4, 5))
+        loss = cross_entropy(t64(logits), np.zeros(4, dtype=int)).item()
+        np.testing.assert_allclose(loss, np.log(5), rtol=1e-8)
+
+    def test_empty_batch_returns_zero(self):
+        assert cross_entropy(t64(np.zeros((0, 3))), np.zeros(0, dtype=int)).item() == 0.0
+
+    def test_weighted_mean(self):
+        logits = np.array([[5.0, 0.0], [0.0, 5.0]])
+        targets = np.array([1, 1])  # first is wrong, second right
+        w = np.array([0.0, 1.0])
+        loss = cross_entropy(t64(logits), targets, weight=w).item()
+        right_only = -np.log(np.exp(5) / (np.exp(5) + 1))
+        np.testing.assert_allclose(loss, right_only, rtol=1e-7)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 5), st.integers(1, 4))
+    def test_gradcheck(self, k, n):
+        rng = np.random.default_rng(k * 10 + n)
+        logits = t64(rng.normal(size=(n, k)))
+        targets = rng.integers(0, k, size=n)
+        check_gradients(lambda x: cross_entropy(x, targets), [logits])
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self):
+        x = np.array([0.5, -1.0, 2.0])
+        t = np.array([1.0, 0.0, 1.0])
+        p = 1 / (1 + np.exp(-x))
+        manual = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+        loss = binary_cross_entropy_with_logits(t64(x), t).item()
+        np.testing.assert_allclose(loss, manual, rtol=1e-7)
+
+    def test_extreme_logits_stable(self):
+        x = np.array([100.0, -100.0])
+        t = np.array([1.0, 0.0])
+        loss = binary_cross_entropy_with_logits(t64(x), t).item()
+        assert np.isfinite(loss) and loss < 1e-6
+
+    def test_empty_returns_zero(self):
+        assert binary_cross_entropy_with_logits(t64(np.zeros(0)), np.zeros(0)).item() == 0.0
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        x = t64(rng.normal(size=8))
+        t = (rng.random(8) > 0.5).astype(float)
+        check_gradients(lambda v: binary_cross_entropy_with_logits(v, t), [x])
+
+
+class TestSmoothL1:
+    def test_quadratic_inside_beta(self):
+        pred = t64(np.array([0.5]))
+        loss = smooth_l1(pred, np.array([0.0]), beta=1.0).item()
+        np.testing.assert_allclose(loss, 0.5 * 0.25, rtol=1e-7)
+
+    def test_linear_outside_beta(self):
+        pred = t64(np.array([3.0]))
+        loss = smooth_l1(pred, np.array([0.0]), beta=1.0).item()
+        np.testing.assert_allclose(loss, 3.0 - 0.5, rtol=1e-7)
+
+    def test_continuous_at_beta(self):
+        below = smooth_l1(t64(np.array([0.999])), np.zeros(1), beta=1.0).item()
+        above = smooth_l1(t64(np.array([1.001])), np.zeros(1), beta=1.0).item()
+        assert abs(below - above) < 1e-2
+
+    def test_zero_for_exact_match(self):
+        pred = t64(np.array([1.0, -2.0]))
+        assert smooth_l1(pred, np.array([1.0, -2.0])).item() == 0.0
+
+    def test_empty_returns_zero(self):
+        assert smooth_l1(t64(np.zeros((0, 4))), np.zeros((0, 4))).item() == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(0.2, 2.0))
+    def test_gradcheck(self, beta):
+        rng = np.random.default_rng(int(beta * 100))
+        pred = t64(rng.normal(size=(3, 4)) * 2)
+        target = rng.normal(size=(3, 4))
+        # keep away from the |d| == beta kink where the derivative jumps
+        diff = np.abs(pred.data - target)
+        if np.any(np.abs(diff - beta) < 1e-3):
+            target = target + 0.01
+        check_gradients(lambda x: smooth_l1(x, target, beta=beta), [pred])
+
+
+class TestMSE:
+    def test_value(self):
+        loss = mse(t64(np.array([1.0, 3.0])), np.array([0.0, 0.0])).item()
+        np.testing.assert_allclose(loss, 5.0, rtol=1e-8)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(1)
+        pred = t64(rng.normal(size=(4,)))
+        check_gradients(lambda x: mse(x, np.zeros(4)), [pred])

@@ -1,0 +1,57 @@
+"""Weight persistence round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Conv2d,
+    Linear,
+    Sequential,
+    Tensor,
+    load_module,
+    load_state,
+    save_module,
+    save_state,
+)
+
+
+def test_state_roundtrip(tmp_path):
+    state = {"a": np.arange(5.0), "b.c": np.ones((2, 3), dtype=np.float32)}
+    path = tmp_path / "state.npz"
+    save_state(state, path)
+    loaded = load_state(path)
+    assert set(loaded) == {"a", "b.c"}
+    np.testing.assert_allclose(loaded["a"], state["a"])
+    np.testing.assert_allclose(loaded["b.c"], state["b.c"])
+
+
+def test_module_roundtrip(tmp_path):
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(2)
+    net1 = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng1), Linear(2, 2, rng=rng1))
+    net2 = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng2), Linear(2, 2, rng=rng2))
+    path = tmp_path / "model.npz"
+    save_module(net1, path)
+    load_module(net2, path)
+    for (n1, p1), (n2, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+        assert n1 == n2
+        np.testing.assert_allclose(p1.data, p2.data)
+
+
+def test_save_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "state.npz"
+    save_state({"x": np.ones(1)}, path)
+    assert path.exists()
+
+
+def test_batchnorm_buffers_survive_roundtrip(tmp_path):
+    from repro.nn import BatchNorm2d
+
+    bn1 = BatchNorm2d(3)
+    bn1(Tensor(np.random.default_rng(0).normal(5.0, 2.0, (8, 3, 2, 2)).astype(np.float32)))
+    bn2 = BatchNorm2d(3)
+    path = tmp_path / "bn.npz"
+    save_module(bn1, path)
+    load_module(bn2, path)
+    np.testing.assert_allclose(bn1.running_mean, bn2.running_mean)
+    np.testing.assert_allclose(bn1.running_var, bn2.running_var)

@@ -1,0 +1,312 @@
+"""Autograd engine: op semantics, broadcasting, and gradient correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, check_gradients, no_grad
+from repro.nn.tensor import unbroadcast
+
+
+def t64(array, requires_grad=True) -> Tensor:
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+
+SHAPES = st.sampled_from([(3,), (2, 3), (4, 1), (2, 3, 2)])
+
+
+@st.composite
+def arrays(draw, shape=None):
+    shape = shape or draw(SHAPES)
+    n = int(np.prod(shape))
+    values = draw(
+        st.lists(
+            st.floats(-3.0, 3.0, allow_nan=False, width=32),
+            min_size=n, max_size=n,
+        )
+    )
+    return np.asarray(values, dtype=np.float64).reshape(shape)
+
+
+class TestBasicOps:
+    def test_add_values(self):
+        out = t64([1.0, 2.0]) + t64([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_scalar_radd(self):
+        out = 2.0 + t64([1.0, 2.0])
+        np.testing.assert_allclose(out.data, [3.0, 4.0])
+
+    def test_sub_and_neg(self):
+        out = t64([5.0]) - 2.0
+        np.testing.assert_allclose(out.data, [3.0])
+        np.testing.assert_allclose((-t64([5.0])).data, [-5.0])
+
+    def test_mul_div_pow(self):
+        x = t64([2.0, 4.0])
+        np.testing.assert_allclose((x * 3.0).data, [6.0, 12.0])
+        np.testing.assert_allclose((x / 2.0).data, [1.0, 2.0])
+        np.testing.assert_allclose((x**2).data, [4.0, 16.0])
+
+    def test_rtruediv(self):
+        out = 8.0 / t64([2.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 2.0])
+
+    def test_matmul_2d(self):
+        a = t64([[1.0, 2.0], [3.0, 4.0]])
+        b = t64([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose((a @ b).data, a.data)
+
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            t64([2.0]) ** t64([2.0])
+
+    def test_int_data_promoted_to_float(self):
+        x = Tensor(np.array([1, 2, 3]))
+        assert x.dtype.kind == "f"
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(t64([1.0]))
+
+
+class TestBroadcasting:
+    def test_unbroadcast_prepended_axes(self):
+        grad = np.ones((4, 3, 2))
+        out = unbroadcast(grad, (3, 2))
+        np.testing.assert_allclose(out, 4 * np.ones((3, 2)))
+
+    def test_unbroadcast_stretched_axis(self):
+        grad = np.ones((3, 5))
+        out = unbroadcast(grad, (3, 1))
+        np.testing.assert_allclose(out, 5 * np.ones((3, 1)))
+
+    def test_broadcast_add_gradients(self):
+        a = t64(np.ones((2, 3)))
+        b = t64(np.ones((1, 3)))
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (1, 3)
+        np.testing.assert_allclose(b.grad, 2 * np.ones((1, 3)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays(shape=(2, 3)), arrays(shape=(3,)))
+    def test_broadcast_mul_gradcheck(self, a, b):
+        ta, tb = t64(a), t64(b)
+        check_gradients(lambda x, y: x * y, [ta, tb])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = t64(np.arange(6.0).reshape(2, 3))
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        np.testing.assert_allclose(out.data.ravel(), [3.0, 12.0])
+
+    def test_mean_matches_numpy(self):
+        data = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_allclose(t64(data).mean(axis=0).data, data.mean(axis=0))
+
+    def test_max_gradient_splits_ties(self):
+        x = t64([2.0, 2.0, 1.0])
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_min_matches_numpy(self):
+        data = np.array([[3.0, -1.0], [0.5, 7.0]])
+        np.testing.assert_allclose(t64(data).min(axis=0).data, data.min(axis=0))
+
+    def test_var(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(t64(data).var().data, data.var())
+
+    @settings(max_examples=20, deadline=None)
+    @given(arrays())
+    def test_sum_gradcheck(self, a):
+        check_gradients(lambda x: x.sum(), [t64(a)])
+
+    @settings(max_examples=15, deadline=None)
+    @given(arrays(shape=(3, 4)))
+    def test_mean_axis_gradcheck(self, a):
+        check_gradients(lambda x: x.mean(axis=1), [t64(a)])
+
+
+class TestNonlinearities:
+    @settings(max_examples=15, deadline=None)
+    @given(arrays(shape=(2, 3)))
+    def test_exp_gradcheck(self, a):
+        check_gradients(lambda x: x.exp(), [t64(a)])
+
+    def test_log_exp_inverse(self):
+        x = t64([0.5, 1.5, 2.5])
+        np.testing.assert_allclose(x.exp().log().data, x.data, rtol=1e-10)
+
+    def test_relu_masks_negatives(self):
+        x = t64([-1.0, 0.0, 2.0])
+        out = x.relu()
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_leaky_relu_slope(self):
+        x = t64([-2.0, 2.0])
+        np.testing.assert_allclose(x.leaky_relu(0.1).data, [-0.2, 2.0])
+
+    def test_sigmoid_range_and_grad(self):
+        x = t64(np.linspace(-4, 4, 9))
+        out = x.sigmoid()
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+        check_gradients(lambda v: v.sigmoid(), [x])
+
+    def test_tanh_gradcheck(self):
+        check_gradients(lambda v: v.tanh(), [t64([-1.0, 0.2, 2.0])])
+
+    def test_abs_gradcheck_away_from_zero(self):
+        check_gradients(lambda v: v.abs(), [t64([-2.0, 1.0, 3.0])])
+
+    def test_clip_gradient_zero_outside(self):
+        x = t64([-5.0, 0.5, 5.0])
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_sqrt(self):
+        x = t64([4.0, 9.0])
+        np.testing.assert_allclose(x.sqrt().data, [2.0, 3.0])
+        check_gradients(lambda v: v.sqrt(), [x])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        x = t64(np.arange(6.0))
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_flatten(self):
+        x = t64(np.zeros((2, 3, 4)))
+        assert x.flatten(1).shape == (2, 12)
+
+    def test_transpose_grad(self):
+        x = t64(np.arange(6.0).reshape(2, 3))
+        check_gradients(lambda v: v.transpose(1, 0), [x])
+
+    def test_swapaxes_matches_numpy(self):
+        data = np.arange(24.0).reshape(2, 3, 4)
+        np.testing.assert_allclose(t64(data).swapaxes(0, 2).data, data.swapaxes(0, 2))
+
+    def test_getitem_scatter_gradient(self):
+        x = t64(np.arange(5.0))
+        x[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_slice_gradient(self):
+        x = t64(np.arange(6.0).reshape(2, 3))
+        x[:, 1:].sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 1, 1], [0, 1, 1]])
+
+    def test_pad2d_shape_and_grad(self):
+        x = t64(np.ones((1, 1, 2, 2)))
+        out = x.pad2d(1)
+        assert out.shape == (1, 1, 4, 4)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+    def test_concatenate_gradient_split(self):
+        a, b = t64(np.ones((2, 2))), t64(np.ones((3, 2)))
+        Tensor.concatenate([a, b], axis=0).sum().backward()
+        assert a.grad.shape == (2, 2) and b.grad.shape == (3, 2)
+
+    def test_stack(self):
+        a, b = t64([1.0, 2.0]), t64([3.0, 4.0])
+        out = Tensor.stack([a, b], axis=0)
+        assert out.shape == (2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        x = t64(np.random.default_rng(0).normal(size=(4, 5)))
+        np.testing.assert_allclose(x.softmax(axis=-1).data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        a = t64(x).softmax().data
+        b = t64(x + 100.0).softmax().data
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = t64(np.random.default_rng(1).normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            x.log_softmax().data, np.log(x.softmax().data), rtol=1e-8
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(arrays(shape=(2, 4)))
+    def test_softmax_gradcheck(self, a):
+        check_gradients(lambda x: x.softmax(axis=-1), [t64(a)])
+
+    @settings(max_examples=15, deadline=None)
+    @given(arrays(shape=(2, 4)))
+    def test_log_softmax_gradcheck(self, a):
+        check_gradients(lambda x: x.log_softmax(axis=-1), [t64(a)])
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar_without_seed(self):
+        x = t64(np.ones(3))
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = t64([1.0])
+        (x * 2).backward()
+        (x * 3).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_diamond_graph_gradient(self):
+        x = t64([2.0])
+        y = x * 3
+        z = y + y  # same node used twice
+        z.backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_detach_cuts_graph(self):
+        x = t64([1.0])
+        (x.detach() * 5).backward()
+        assert x.grad is None
+
+    def test_no_grad_context(self):
+        x = t64([1.0])
+        with no_grad():
+            out = x * 2
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_matmul_batched_gradcheck(self):
+        rng = np.random.default_rng(2)
+        a = t64(rng.normal(size=(2, 3, 4)))
+        b = t64(rng.normal(size=(2, 4, 2)))
+        check_gradients(lambda x, y: x @ y, [a, b])
+
+    def test_matmul_vector_cases(self):
+        rng = np.random.default_rng(3)
+        a = t64(rng.normal(size=(4,)))
+        b = t64(rng.normal(size=(4,)))
+        check_gradients(lambda x, y: x @ y, [a, b])
+        m = t64(rng.normal(size=(3, 4)))
+        check_gradients(lambda x, y: x @ y, [m, b])
+
+    def test_as_tensor_passthrough(self):
+        x = t64([1.0])
+        assert as_tensor(x) is x
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = t64([1.0])
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])

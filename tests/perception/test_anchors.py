@@ -1,0 +1,75 @@
+"""Anchor generation: layout, caching and coverage of object sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenes import CLASS_SIZE_RANGES
+from repro.perception import AnchorGenerator, iou_matrix
+
+
+class TestLayout:
+    def test_count(self):
+        gen = AnchorGenerator(stride=8)
+        anchors = gen.grid(64)
+        assert anchors.shape == (8 * 8 * gen.num_anchors_per_cell, 4)
+        assert gen.num_anchors(64) == anchors.shape[0]
+
+    def test_base_anchor_areas_match_scales(self):
+        gen = AnchorGenerator(scales=(10.0,), ratios=(1.0,))
+        base = gen.base_anchors()
+        w = base[0, 2] - base[0, 0]
+        h = base[0, 3] - base[0, 1]
+        np.testing.assert_allclose(w * h, 100.0, rtol=1e-5)
+
+    def test_aspect_ratios(self):
+        gen = AnchorGenerator(scales=(16.0,), ratios=(2.0,))
+        base = gen.base_anchors()
+        w = base[0, 2] - base[0, 0]
+        h = base[0, 3] - base[0, 1]
+        np.testing.assert_allclose(h / w, 2.0, rtol=1e-5)
+
+    def test_centres_on_grid(self):
+        gen = AnchorGenerator(stride=8, scales=(8.0,), ratios=(1.0,))
+        anchors = gen.grid(64)
+        cx = (anchors[:, 0] + anchors[:, 2]) / 2
+        # first cell centre at stride/2
+        np.testing.assert_allclose(cx[0], 4.0, atol=1e-5)
+
+    def test_cache_returns_same_array(self):
+        gen = AnchorGenerator()
+        assert gen.grid(64) is gen.grid(64)
+
+    def test_indivisible_size_raises(self):
+        with pytest.raises(ValueError):
+            AnchorGenerator(stride=8).grid(60)
+
+
+class TestCoverage:
+    def test_every_class_size_has_good_anchor(self):
+        """Each class's typical box, placed at a grid-cell centre, must
+        overlap some anchor at IoU >= 0.45 (off-centre placement is the
+        RPN regressor's job)."""
+        gen = AnchorGenerator()
+        anchors = gen.grid(64)
+        cx = cy = 28.0  # a stride-8 cell centre
+        for cls, ((w_lo, w_hi), (h_lo, h_hi)) in CLASS_SIZE_RANGES.items():
+            w = (w_lo + w_hi) / 2
+            h = (h_lo + h_hi) / 2
+            box = np.array([[cx - w / 2, cy - h / 2, cx + w / 2, cy + h / 2]])
+            best = iou_matrix(box, anchors).max()
+            assert best >= 0.45, f"{cls} ({w}x{h}) best anchor IoU {best:.2f}"
+
+    def test_anchor_ordering_matches_rpn_reshape(self):
+        """Anchors must be row-major over cells, then templates."""
+        gen = AnchorGenerator(stride=8, scales=(8.0, 16.0), ratios=(1.0,))
+        anchors = gen.grid(64)
+        a = gen.num_anchors_per_cell
+        # second template of first cell is anchors[1]
+        cx0 = (anchors[0, 0] + anchors[0, 2]) / 2
+        cx1 = (anchors[1, 0] + anchors[1, 2]) / 2
+        np.testing.assert_allclose(cx0, cx1)  # same cell
+        # next cell starts at index a, one stride to the right (x varies fastest)
+        cx_next = (anchors[a, 0] + anchors[a, 2]) / 2
+        np.testing.assert_allclose(cx_next - cx0, 8.0, atol=1e-5)

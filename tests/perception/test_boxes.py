@@ -1,0 +1,146 @@
+"""Box operations: exact values plus hypothesis property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perception import (
+    box_area,
+    clip_boxes,
+    decode_boxes,
+    encode_boxes,
+    iou_matrix,
+    nms,
+    remove_degenerate,
+)
+
+
+@st.composite
+def boxes(draw, n=None, size=64.0):
+    n = n if n is not None else draw(st.integers(1, 6))
+    out = []
+    for _ in range(n):
+        x1 = draw(st.floats(0, size - 5))
+        y1 = draw(st.floats(0, size - 5))
+        w = draw(st.floats(2.0, size / 2))
+        h = draw(st.floats(2.0, size / 2))
+        out.append([x1, y1, min(x1 + w, size - 1), min(y1 + h, size - 1)])
+    return np.asarray(out, dtype=np.float64)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        b = np.array([[0, 0, 10, 10]])
+        np.testing.assert_allclose(iou_matrix(b, b), [[1.0]])
+
+    def test_disjoint_boxes(self):
+        a = np.array([[0, 0, 5, 5]])
+        b = np.array([[10, 10, 20, 20]])
+        np.testing.assert_allclose(iou_matrix(a, b), [[0.0]])
+
+    def test_known_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[5, 0, 15, 10]])
+        np.testing.assert_allclose(iou_matrix(a, b), [[50.0 / 150.0]])
+
+    def test_empty_inputs(self):
+        assert iou_matrix(np.zeros((0, 4)), np.zeros((3, 4))).shape == (0, 3)
+        assert iou_matrix(np.zeros((2, 4)), np.zeros((0, 4))).shape == (2, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(boxes(), boxes())
+    def test_symmetry(self, a, b):
+        np.testing.assert_allclose(iou_matrix(a, b), iou_matrix(b, a).T, rtol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(boxes())
+    def test_bounded_and_diagonal_one(self, a):
+        iou = iou_matrix(a, a)
+        assert np.all(iou >= 0) and np.all(iou <= 1 + 1e-9)
+        np.testing.assert_allclose(np.diag(iou), np.ones(len(a)), rtol=1e-9)
+
+    def test_degenerate_box_zero_iou(self):
+        a = np.array([[5, 5, 5, 5]])
+        b = np.array([[0, 0, 10, 10]])
+        np.testing.assert_allclose(iou_matrix(a, b), [[0.0]])
+
+
+class TestEncodeDecode:
+    @settings(max_examples=40, deadline=None)
+    @given(boxes())
+    def test_roundtrip(self, target):
+        reference = target + np.array([1.0, -2.0, 3.0, 0.5])
+        deltas = encode_boxes(reference, target)
+        recovered = decode_boxes(reference, deltas)
+        np.testing.assert_allclose(recovered, target, atol=1e-2)
+
+    def test_zero_deltas_identity(self):
+        b = np.array([[2.0, 3.0, 12.0, 13.0]])
+        np.testing.assert_allclose(decode_boxes(b, np.zeros((1, 4))), b, atol=1e-4)
+
+    def test_decode_clips_extreme_scales(self):
+        b = np.array([[0.0, 0.0, 10.0, 10.0]])
+        deltas = np.array([[0.0, 0.0, 50.0, 50.0]])  # insane log-scale
+        out = decode_boxes(b, deltas)
+        assert np.all(np.isfinite(out))
+
+    def test_encode_shift_only(self):
+        ref = np.array([[0.0, 0.0, 10.0, 10.0]])
+        tgt = np.array([[5.0, 0.0, 15.0, 10.0]])
+        deltas = encode_boxes(ref, tgt)
+        np.testing.assert_allclose(deltas, [[0.5, 0.0, 0.0, 0.0]], atol=1e-6)
+
+
+class TestClipArea:
+    def test_clip_bounds(self):
+        b = np.array([[-5.0, -5.0, 100.0, 100.0]])
+        out = clip_boxes(b, 64)
+        np.testing.assert_allclose(out, [[0.0, 0.0, 63.0, 63.0]])
+
+    def test_area_values(self):
+        b = np.array([[0, 0, 4, 5], [2, 2, 2, 8]])
+        np.testing.assert_allclose(box_area(b), [20.0, 0.0])
+
+    def test_remove_degenerate(self):
+        b = np.array([[0, 0, 10, 10], [5, 5, 5.5, 20], [1, 1, 8, 1.2]])
+        keep = remove_degenerate(b, min_size=1.0)
+        np.testing.assert_array_equal(keep, [0])
+
+
+class TestNMS:
+    def test_keeps_highest_of_overlapping_pair(self):
+        b = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [30, 30, 40, 40]])
+        s = np.array([0.9, 0.8, 0.7])
+        keep = nms(b, s, iou_threshold=0.5)
+        np.testing.assert_array_equal(sorted(keep), [0, 2])
+
+    def test_empty(self):
+        assert nms(np.zeros((0, 4)), np.zeros(0)).shape == (0,)
+
+    def test_no_overlap_keeps_all(self):
+        b = np.array([[0, 0, 5, 5], [10, 10, 15, 15], [20, 20, 25, 25]])
+        s = np.array([0.1, 0.9, 0.5])
+        keep = nms(b, s, 0.5)
+        assert len(keep) == 3
+        assert keep[0] == 1  # ordered by score
+
+    @settings(max_examples=30, deadline=None)
+    @given(boxes(n=8))
+    def test_kept_set_mutually_below_threshold(self, b):
+        scores = np.linspace(1.0, 0.1, len(b))
+        keep = nms(b, scores, iou_threshold=0.5)
+        kept = b[keep]
+        iou = iou_matrix(kept, kept)
+        np.fill_diagonal(iou, 0.0)
+        assert np.all(iou <= 0.5 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(boxes(n=6))
+    def test_output_sorted_by_score(self, b):
+        rng = np.random.default_rng(0)
+        scores = rng.random(len(b))
+        keep = nms(b, scores, 0.4)
+        kept_scores = scores[keep]
+        assert np.all(np.diff(kept_scores) <= 1e-12)

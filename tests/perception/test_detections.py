@@ -1,0 +1,61 @@
+"""Detections container contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perception import Detections
+
+
+def sample_dets():
+    return Detections(
+        boxes=np.array([[0, 0, 10, 10], [5, 5, 20, 20], [30, 30, 40, 40]]),
+        scores=np.array([0.9, 0.3, 0.6]),
+        labels=np.array([1, 2, 1]),
+    )
+
+
+class TestConstruction:
+    def test_empty_default(self):
+        d = Detections()
+        assert len(d) == 0
+        assert d.boxes.shape == (0, 4)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Detections(np.zeros((2, 4)), np.zeros(3), np.zeros(2, dtype=int))
+
+    def test_dtypes_coerced(self):
+        d = sample_dets()
+        assert d.boxes.dtype == np.float32
+        assert d.labels.dtype == np.int64
+
+
+class TestOperations:
+    def test_select(self):
+        d = sample_dets().select(np.array([0, 2]))
+        assert len(d) == 2
+        np.testing.assert_allclose(d.scores, [0.9, 0.6])
+
+    def test_above_score(self):
+        d = sample_dets().above_score(0.5)
+        assert len(d) == 2
+
+    def test_sorted_by_score(self):
+        d = sample_dets().sorted_by_score()
+        assert np.all(np.diff(d.scores) <= 0)
+
+    def test_for_label(self):
+        d = sample_dets().for_label(1)
+        assert len(d) == 2
+        assert np.all(d.labels == 1)
+
+    def test_concatenate(self):
+        merged = Detections.concatenate([sample_dets(), sample_dets()])
+        assert len(merged) == 6
+
+    def test_concatenate_empties(self):
+        assert len(Detections.concatenate([Detections(), Detections()])) == 0
+        merged = Detections.concatenate([Detections(), sample_dets()])
+        assert len(merged) == 3

@@ -1,0 +1,82 @@
+"""Anchor-to-ground-truth matching rules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perception import match_anchors, sample_matches
+
+
+REFS = np.array(
+    [
+        [0, 0, 10, 10],     # exact match for gt0
+        [1, 1, 11, 11],     # high IoU with gt0
+        [40, 40, 50, 50],   # exact match for gt1
+        [100, 100, 110, 110],  # background
+        [8, 8, 18, 18],     # partial overlap with gt0
+    ],
+    dtype=np.float64,
+)
+GT = np.array([[0, 0, 10, 10], [40, 40, 50, 50]], dtype=np.float64)
+
+
+class TestMatching:
+    def test_positive_negative_ignore(self):
+        m = match_anchors(REFS, GT, positive_iou=0.5, negative_iou=0.2)
+        assert m.labels[0] == 1
+        assert m.labels[2] == 1
+        assert m.labels[3] == 0
+
+    def test_gt_index_correct(self):
+        m = match_anchors(REFS, GT)
+        assert m.gt_index[0] == 0
+        assert m.gt_index[2] == 1
+
+    def test_no_gt_all_negative(self):
+        m = match_anchors(REFS, np.zeros((0, 4)))
+        assert np.all(m.labels == 0)
+        assert np.all(m.max_iou == 0)
+
+    def test_force_best_rescues_hard_gt(self):
+        """A gt with no anchor above threshold still gets one positive."""
+        refs = np.array([[0, 0, 6, 6]], dtype=np.float64)
+        gt = np.array([[0, 0, 20, 20]], dtype=np.float64)  # IoU = 36/400 = 0.09
+        m = match_anchors(refs, gt, positive_iou=0.5, negative_iou=0.2,
+                          force_best_for_gt=True)
+        assert m.labels[0] == 1
+        m2 = match_anchors(refs, gt, positive_iou=0.5, negative_iou=0.2,
+                           force_best_for_gt=False)
+        assert m2.labels[0] == 0
+
+    def test_properties(self):
+        m = match_anchors(REFS, GT, positive_iou=0.5, negative_iou=0.2)
+        assert set(m.positive).isdisjoint(m.negative)
+        assert m.max_iou.shape == (len(REFS),)
+
+
+class TestSampling:
+    def test_respects_budget(self):
+        rng = np.random.default_rng(0)
+        m = match_anchors(REFS, GT, positive_iou=0.3, negative_iou=0.2)
+        pos, neg = sample_matches(m, rng, num_samples=2, positive_fraction=0.5)
+        assert len(pos) + len(neg) <= 2
+
+    def test_positive_fraction_cap(self):
+        rng = np.random.default_rng(0)
+        m = match_anchors(REFS, GT, positive_iou=0.3, negative_iou=0.2)
+        pos, _ = sample_matches(m, rng, num_samples=4, positive_fraction=0.25)
+        assert len(pos) <= 1
+
+    def test_all_kept_when_under_budget(self):
+        rng = np.random.default_rng(0)
+        m = match_anchors(REFS, GT, positive_iou=0.5, negative_iou=0.2)
+        pos, neg = sample_matches(m, rng, num_samples=100, positive_fraction=0.5)
+        assert len(pos) == len(m.positive)
+        assert len(neg) == len(m.negative)
+
+    def test_outputs_sorted(self):
+        rng = np.random.default_rng(1)
+        m = match_anchors(REFS, GT, positive_iou=0.3, negative_iou=0.2)
+        pos, neg = sample_matches(m, rng, num_samples=3)
+        assert np.all(np.diff(pos) > 0) if len(pos) > 1 else True
+        assert np.all(np.diff(neg) > 0) if len(neg) > 1 else True
