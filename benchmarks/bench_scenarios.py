@@ -1,0 +1,148 @@
+"""Scenario-library sweep: closed-loop energy/latency/mAP per drive.
+
+Runs every scenario in ``repro.simulation.library`` under four policies —
+adaptive EcoFusion (attention gate), EcoFusion with knowledge gating, and
+the static early/late baselines — and writes ``BENCH_scenarios.json``
+with per-scenario and per-policy aggregates: the perf/energy trajectory
+of the whole drive, not a bag of i.i.d. frames.
+
+Run:  PYTHONPATH=src python benchmarks/bench_scenarios.py [--scale 0.25]
+
+First invocation trains the quickstart-scale system (a couple of
+minutes); afterwards everything loads from ``.artifacts/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.evaluation.reports import format_table
+from repro.simulation import (
+    ClosedLoopRunner,
+    SCENARIOS,
+    adaptive_policy,
+    scaled,
+    static_policy,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scenarios.json"
+
+# Same spec as examples/quickstart.py, so the trained artifact is shared.
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+TINY_SPEC = SystemSpec(per_context=4, iterations=14, gate_iterations=30, batch_size=4)
+
+
+def build_policies(system) -> list:
+    return [
+        adaptive_policy(system.gates["attention"], name="ecofusion_attention"),
+        adaptive_policy(system.gates["knowledge"], name="ecofusion_knowledge"),
+        static_policy("EF_CLCRL", name="static_early"),
+        static_policy("LF_ALL", name="static_late"),
+    ]
+
+
+def run_sweep(system, scale: float, seed: int, verbose: bool = True) -> dict:
+    runner = ClosedLoopRunner(system.model, cache=system.cache)
+    policies = build_policies(system)
+    results: dict[str, dict[str, dict]] = {}
+    for scenario_name, spec in SCENARIOS.items():
+        drive = scaled(spec, scale) if scale != 1.0 else spec
+        results[scenario_name] = {}
+        for policy in policies:
+            start = time.perf_counter()
+            trace = runner.run(drive, policy, seed=seed)
+            elapsed = time.perf_counter() - start
+            entry = trace.to_dict()
+            entry["wall_seconds"] = round(elapsed, 3)
+            results[scenario_name][policy.name] = entry
+            if verbose:
+                print(
+                    f"  {scenario_name:22s} {policy.name:20s} "
+                    f"E={trace.avg_energy_joules:6.2f} J  "
+                    f"t={trace.avg_latency_ms:6.2f} ms  "
+                    f"mAP={trace.map_result.percent:5.1f}%  "
+                    f"switches={trace.switch_count:3d}  "
+                    f"({elapsed:.1f}s wall)"
+                )
+    return results
+
+
+def aggregate_by_policy(results: dict) -> dict[str, dict[str, float]]:
+    """Frame-weighted means of each policy across the whole library."""
+    totals: dict[str, dict[str, float]] = {}
+    for per_policy in results.values():
+        for policy, entry in per_policy.items():
+            agg = totals.setdefault(
+                policy,
+                {"frames": 0.0, "energy": 0.0, "latency": 0.0,
+                 "map": 0.0, "switches": 0.0},
+            )
+            n = entry["num_frames"]
+            agg["frames"] += n
+            agg["energy"] += entry["avg_energy_joules"] * n
+            agg["latency"] += entry["avg_latency_ms"] * n
+            agg["map"] += entry["map_percent"] * n
+            agg["switches"] += entry["switch_count"]
+    return {
+        policy: {
+            "num_frames": int(agg["frames"]),
+            "avg_energy_joules": agg["energy"] / agg["frames"],
+            "avg_latency_ms": agg["latency"] / agg["frames"],
+            "map_percent": agg["map"] / agg["frames"],
+            "total_switches": int(agg["switches"]),
+        }
+        for policy, agg in totals.items()
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="scenario timeline scale (1.0 = full drives)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the test-scale system (fast, noisy)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+
+    print("loading / training the system (cached after first run)...")
+    system = get_or_build_system(TINY_SPEC if args.tiny else QUICK_SPEC)
+
+    print(f"sweeping {len(SCENARIOS)} scenarios at scale {args.scale}:")
+    results = run_sweep(system, args.scale, args.seed)
+    by_policy = aggregate_by_policy(results)
+
+    rows = [
+        [policy, agg["num_frames"], agg["avg_energy_joules"],
+         agg["avg_latency_ms"], agg["map_percent"], agg["total_switches"]]
+        for policy, agg in by_policy.items()
+    ]
+    print()
+    print(format_table(
+        ["policy", "frames", "E(J)/frame", "t(ms)", "mAP%", "switches"],
+        rows, title="scenario-library aggregates",
+    ))
+
+    payload = {
+        "meta": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "system_spec": system.spec.cache_key(),
+            "generated_unix": time.time(),
+        },
+        "scenarios": results,
+        "by_policy": by_policy,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

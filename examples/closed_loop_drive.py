@@ -1,0 +1,80 @@
+"""Closed-loop drive demo: one scripted scenario, end to end.
+
+Drives the ``degraded_limp_home`` scenario — city traffic with a lidar
+blackout mid-drive and a camera blackout near the end — with adaptive
+EcoFusion, and compares against the static late-fusion baseline on the
+identical frame stream.  Prints the per-segment energy/accuracy trace,
+the configuration timeline (watch it reconfigure at the junction and
+limp home around the failed sensors), and the battery state of charge.
+
+Run:  PYTHONPATH=src python examples/closed_loop_drive.py [--scenario NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.simulation import (
+    ClosedLoopRunner,
+    adaptive_policy,
+    get_scenario,
+    scaled,
+    scenario_names,
+    static_policy,
+)
+
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+
+
+def timeline(trace, width: int = 64) -> str:
+    """Compress the per-frame config choices into a readable strip."""
+    names = [r.config_name for r in trace.records]
+    step = max(len(names) // width, 1)
+    strip, last = [], None
+    for i in range(0, len(names), step):
+        name = names[i]
+        strip.append("." if name == last else name[0])
+        last = name
+    return "".join(strip)
+
+
+def main(scenario: str, scale: float) -> None:
+    print("loading / training the EcoFusion system (cached after first run)...")
+    system = get_or_build_system(QUICK_SPEC)
+    spec = scaled(get_scenario(scenario), scale)
+    print(f"\nscenario '{spec.name}': {spec.description}")
+    print(f"{spec.num_frames} frames over segments "
+          f"{[f'{s.context}x{s.frames}' for s in spec.segments]}")
+    for fault in spec.faults:
+        print(f"  fault: {fault.label} frames [{fault.start}, "
+              f"{fault.start + fault.duration})")
+
+    runner = ClosedLoopRunner(system.model, cache=system.cache)
+    eco = runner.run(spec, adaptive_policy(system.gates["attention"]))
+    late = runner.run(spec, static_policy("LF_ALL"))
+
+    print("\n" + eco.summary())
+    print("\nconfig timeline (first letter per step, '.' = unchanged):")
+    print("  " + timeline(eco))
+    faulted = [r.time_index for r in eco.records if r.fault_labels]
+    if faulted:
+        print(f"faulted frames: {faulted[0]}..{faulted[-1]} "
+              f"({len(faulted)} total, "
+              f"{sum(1 for r in eco.records if r.fault_masked)} fault-masked choices)")
+
+    print("\n" + late.summary())
+    saving = 100.0 * (1.0 - eco.avg_energy_joules / late.avg_energy_joules)
+    print(f"\nEcoFusion used {saving:.0f}% less energy than static late fusion "
+          f"over this drive, leaving {100 * eco.final_soc:.4f}% battery vs "
+          f"{100 * late.final_soc:.4f}%.")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="degraded_limp_home",
+                        choices=sorted(scenario_names()))
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="timeline scale (1.0 = full-length drive)")
+    args = parser.parse_args()
+    main(args.scenario, args.scale)

@@ -22,7 +22,17 @@ PX2 energy model), ``repro.core`` (EcoFusion), ``repro.baselines``,
 ``repro.evaluation``.
 """
 
-from . import baselines, core, datasets, evaluation, fusion, hardware, nn, perception
+from . import (
+    baselines,
+    core,
+    datasets,
+    evaluation,
+    fusion,
+    hardware,
+    nn,
+    perception,
+    simulation,
+)
 from .core import (
     AttentionGate,
     BranchOutputCache,
@@ -48,6 +58,17 @@ from .evaluation import (
     fusion_loss,
     get_or_build_system,
 )
+from .simulation import (
+    ClosedLoopRunner,
+    DriveSource,
+    DriveTrace,
+    ScenarioSpec,
+    SegmentSpec,
+    SensorFault,
+    adaptive_policy,
+    get_scenario,
+    static_policy,
+)
 
 __version__ = "1.0.0"
 
@@ -60,6 +81,7 @@ __all__ = [
     "core",
     "baselines",
     "evaluation",
+    "simulation",
     "AttentionGate",
     "BranchOutputCache",
     "DeepGate",
@@ -84,5 +106,14 @@ __all__ = [
     "evaluate_static_config",
     "fusion_loss",
     "get_or_build_system",
+    "ClosedLoopRunner",
+    "DriveSource",
+    "DriveTrace",
+    "ScenarioSpec",
+    "SegmentSpec",
+    "SensorFault",
+    "adaptive_policy",
+    "get_scenario",
+    "static_policy",
     "__version__",
 ]

@@ -153,13 +153,32 @@ class SensorDutyCycle:
         self._last_used = {s: -(10**9) for s in SENSORS}
         self._clock = -1
 
-    def step(self, config: ModelConfiguration) -> dict[str, bool]:
-        """Advance one frame; returns sensor -> measuring."""
+    def step(
+        self,
+        config: ModelConfiguration,
+        offline: tuple[str, ...] = (),
+    ) -> dict[str, bool]:
+        """Advance one frame; returns sensor -> measuring.
+
+        ``offline`` names sensors the vehicle's health monitor has marked
+        failed (see ``repro.simulation``): their measurement electronics
+        are clock-gated immediately — no hold time — since a dead sensor
+        draws power without producing data.  They also don't refresh their
+        hold window, so they stay gated until they recover *and* a
+        configuration uses them again.
+        """
         self._clock += 1
+        down = set(offline)
+        for sensor in down:
+            # Failing wipes the hold window too: after recovery the sensor
+            # stays gated until a configuration actually consumes it.
+            self._last_used[sensor] = -(10**9)
         for sensor in config.sensors:
-            self._last_used[sensor] = self._clock
+            if sensor not in down:
+                self._last_used[sensor] = self._clock
         return {
-            sensor: (self._clock - self._last_used[sensor]) < self.hold_frames
+            sensor: sensor not in down
+            and (self._clock - self._last_used[sensor]) < self.hold_frames
             for sensor in SENSORS
         }
 

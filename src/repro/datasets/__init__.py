@@ -16,7 +16,12 @@ from .contexts import (
     get_context,
 )
 from .radiate import RadiateSim, Sample, default_counts, realistic_counts
-from .sequences import DrivingSequence, SequenceFrame, generate_sequence
+from .sequences import (
+    DrivingSequence,
+    SequenceFrame,
+    advance_scene,
+    generate_sequence,
+)
 from .scenes import CLASS_SIZE_RANGES, Scene, SceneObject, generate_scene
 from .sensors import (
     CLASS_COLORS,
@@ -53,6 +58,7 @@ __all__ = [
     "realistic_counts",
     "DrivingSequence",
     "SequenceFrame",
+    "advance_scene",
     "generate_sequence",
     "CLASS_SIZE_RANGES",
     "Scene",

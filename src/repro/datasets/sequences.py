@@ -21,7 +21,7 @@ from .radiate import Sample
 from .scenes import CLASS_SIZE_RANGES, Scene, SceneObject, generate_scene
 from .sensors import render_all_sensors
 
-__all__ = ["SequenceFrame", "DrivingSequence", "generate_sequence"]
+__all__ = ["SequenceFrame", "DrivingSequence", "advance_scene", "generate_sequence"]
 
 
 @dataclass
@@ -118,6 +118,26 @@ def _maybe_spawn(
             return
 
 
+def advance_scene(
+    scene: Scene,
+    profile: ContextProfile,
+    rng: np.random.Generator,
+    ego_speed: float = 1.0,
+) -> Scene:
+    """One full simulation step: motion, culling and traffic entry.
+
+    Relabels the scene with ``profile``'s context, so callers that stream
+    across weather/context boundaries (see ``repro.simulation``) can swap
+    the profile between steps while the geometry persists.
+    """
+    scene = _advance_objects(scene, rng, ego_speed)
+    scene = Scene(
+        context=profile.name, image_size=scene.image_size, objects=scene.objects
+    )
+    _maybe_spawn(scene, profile, rng)
+    return scene
+
+
 def generate_sequence(
     context: str,
     length: int,
@@ -170,8 +190,5 @@ def generate_sequence(
             uid=f"sequence:{seq_token}:{t}",
         )
         sequence.frames.append(SequenceFrame(time_index=t, sample=sample))
-        scene = _advance_objects(scene, rng, ego_speed)
-        scene = Scene(context=profile.name, image_size=image_size,
-                      objects=scene.objects)
-        _maybe_spawn(scene, profile, rng)
+        scene = advance_scene(scene, profile, rng, ego_speed)
     return sequence

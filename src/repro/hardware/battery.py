@@ -10,9 +10,14 @@ Table 1/3 joules back to the introduction's motivation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["ElectricVehicle", "range_impact_fraction", "NOMINAL_EV"]
+__all__ = [
+    "ElectricVehicle",
+    "BatteryState",
+    "range_impact_fraction",
+    "NOMINAL_EV",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,63 @@ class ElectricVehicle:
         """Fractional range lost to the accessory load vs. unloaded."""
         base = self.range_km(0.0)
         return 1.0 - self.range_km(accessory_watts) / base
+
+
+@dataclass
+class BatteryState:
+    """Mutable state-of-charge of one vehicle's traction battery.
+
+    The closed-loop runner (``repro.simulation``) drains this per fusion
+    cycle: perception energy (scaled by the thermal/climate overhead the
+    introduction cites) plus traction energy for the distance covered.
+    Charge only ever decreases — there is no regeneration model — so a
+    drive's SoC trace is monotonically non-increasing.
+    """
+
+    vehicle: ElectricVehicle = field(default_factory=ElectricVehicle)
+    soc: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.soc <= 1.0:
+            raise ValueError("state of charge must be within [0, 1]")
+
+    @property
+    def capacity_joules(self) -> float:
+        return self.vehicle.battery_kwh * 3.6e6
+
+    @property
+    def remaining_joules(self) -> float:
+        return self.soc * self.capacity_joules
+
+    @property
+    def remaining_range_km(self) -> float:
+        """Range left at the reference cruise load (no accessory draw)."""
+        return self.soc * self.vehicle.range_km(0.0)
+
+    def drain(self, joules: float) -> float:
+        """Withdraw ``joules``; returns the new SoC (floored at empty)."""
+        if joules < 0:
+            raise ValueError("cannot drain negative energy")
+        self.soc = max(self.soc - joules / self.capacity_joules, 0.0)
+        return self.soc
+
+    def drive_step(
+        self,
+        perception_joules: float,
+        speed_kmh: float,
+        duration_s: float,
+        overhead_factor: float = 1.5,
+    ) -> float:
+        """Drain one driving step: perception + thermal overhead + traction.
+
+        ``traction = drive_wh_per_km * km`` with ``km = speed * dt``;
+        Wh-to-J cancels the /3600, leaving
+        ``drive_wh_per_km * speed_kmh * duration_s`` joules.
+        """
+        if speed_kmh < 0 or duration_s < 0:
+            raise ValueError("speed and duration must be non-negative")
+        traction = self.vehicle.drive_wh_per_km * speed_kmh * duration_s
+        return self.drain(perception_joules * overhead_factor + traction)
 
 
 # A mid-size EV roughly matching the numbers behind the paper's citation

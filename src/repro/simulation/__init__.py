@@ -1,0 +1,43 @@
+"""``repro.simulation`` — scripted drives and closed-loop energy runs.
+
+The paper's claim is fundamentally a *runtime* claim: energy-aware
+adaptive fusion pays off over a drive in which contexts shift, sensors
+degrade and the battery drains.  This subsystem turns declarative
+:class:`ScenarioSpec` scripts into long streamed multi-sensor drives
+(:class:`DriveSource`), injects scheduled sensor faults, and runs
+EcoFusion (or any static baseline) closed-loop against the hardware
+model (:class:`ClosedLoopRunner`), producing per-drive traces and
+aggregate reports.
+"""
+
+from .closed_loop import (
+    ClosedLoopRunner,
+    DrivePolicy,
+    DriveTrace,
+    FrameRecord,
+    adaptive_policy,
+    static_policy,
+)
+from .drive import DriveFrame, DriveSource, apply_fault
+from .library import SCENARIOS, get_scenario, scenario_names
+from .scenario import FAULT_MODES, ScenarioSpec, SegmentSpec, SensorFault, scaled
+
+__all__ = [
+    "ClosedLoopRunner",
+    "DrivePolicy",
+    "DriveTrace",
+    "FrameRecord",
+    "adaptive_policy",
+    "static_policy",
+    "DriveFrame",
+    "DriveSource",
+    "apply_fault",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "FAULT_MODES",
+    "ScenarioSpec",
+    "SegmentSpec",
+    "SensorFault",
+    "scaled",
+]

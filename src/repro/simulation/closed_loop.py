@@ -1,0 +1,471 @@
+"""Closed-loop drives: perception policy x hardware model x battery.
+
+:class:`ClosedLoopRunner` couples a perception policy (adaptive
+EcoFusion with any gate, or a static baseline configuration) to the full
+hardware stack per fusion cycle:
+
+* the PX2 cost model prices the chosen configuration's compute
+  (branch-level latency through ``hardware.scheduler``, serial by
+  default, optionally spread over both GPUs);
+* the sensor duty-cycle planner (``core.temporal``) clock-gates unused
+  and failed sensors;
+* the EV battery (``hardware.battery``) drains by perception + thermal
+  overhead + traction energy each cycle.
+
+Fault handling mirrors a real vehicle's health monitor: when the drive
+reports a sensor failed, configurations depending on it are masked out of
+the selection (limp-home), and its measurement electronics are gated.
+The per-frame :class:`FrameRecord` stream plus the aggregate
+:class:`DriveTrace` are the subsystem's deliverable: energy, latency,
+accuracy, configuration switching and state-of-charge over a whole drive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ModelConfiguration
+from ..core.ecofusion import BranchOutputCache, EcoFusionModel
+from ..core.gating.base import Gate
+from ..core.temporal import HysteresisPolicy, SensorDutyCycle, TemporalGate
+from ..evaluation.loss_metrics import fusion_loss
+from ..evaluation.map import MapResult, evaluate_map
+from ..evaluation.reports import format_table
+from ..hardware.battery import BatteryState, ElectricVehicle, NOMINAL_EV
+from ..hardware.profiler import SystemCosts, fusion_flops
+from ..hardware.scheduler import schedule_parallel, schedule_serial
+from ..hardware.sensors_power import FUSION_CYCLE_HZ, sensor_energy
+from .drive import DriveFrame, DriveSource
+from .scenario import ScenarioSpec
+
+__all__ = [
+    "DrivePolicy",
+    "adaptive_policy",
+    "static_policy",
+    "FrameRecord",
+    "DriveTrace",
+    "ClosedLoopRunner",
+]
+
+# Loss surrogate assigned to configurations that depend on a failed
+# sensor; large enough that the candidate filter never keeps them while
+# any healthy configuration exists.
+_MASKED_LOSS = 1.0e9
+
+
+@dataclass(frozen=True)
+class DrivePolicy:
+    """How perception chooses a configuration each frame.
+
+    ``kind == "adaptive"`` runs Algorithm 1 per frame through the gate,
+    with temporal smoothing (``alpha < 1``) and hysteresis; ``kind ==
+    "static"`` always executes ``config_name`` (the paper's baselines).
+    """
+
+    name: str
+    kind: str
+    gate: Gate | None = None
+    config_name: str | None = None
+    lambda_e: float = 0.05
+    gamma: float = 0.5
+    alpha: float = 0.4
+    hysteresis_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("adaptive", "static"):
+            raise ValueError(f"unknown policy kind '{self.kind}'")
+        if self.kind == "adaptive" and self.gate is None:
+            raise ValueError("adaptive policy needs a gate")
+        if self.kind == "static" and not self.config_name:
+            raise ValueError("static policy needs a config_name")
+
+
+def adaptive_policy(
+    gate: Gate,
+    lambda_e: float = 0.05,
+    gamma: float = 0.5,
+    alpha: float = 0.4,
+    hysteresis_margin: float = 0.05,
+    name: str | None = None,
+) -> DrivePolicy:
+    """EcoFusion with ``gate``, smoothed and hysteresis-stabilized."""
+    return DrivePolicy(
+        name=name or f"ecofusion[{gate.name if gate is not None else '?'}]",
+        kind="adaptive",
+        gate=gate,
+        lambda_e=lambda_e,
+        gamma=gamma,
+        alpha=alpha,
+        hysteresis_margin=hysteresis_margin,
+    )
+
+
+def static_policy(config_name: str, name: str | None = None) -> DrivePolicy:
+    """A fixed configuration executed every frame (baseline)."""
+    return DrivePolicy(
+        name=name or f"static[{config_name}]",
+        kind="static",
+        config_name=config_name,
+    )
+
+
+@dataclass
+class FrameRecord:
+    """Everything observed during one closed-loop fusion cycle."""
+
+    time_index: int
+    segment_index: int
+    context: str
+    config_name: str
+    switched: bool
+    fault_labels: tuple[str, ...]
+    fault_masked: bool  # selection was constrained by failed sensors
+    latency_ms: float
+    platform_energy_joules: float
+    sensor_energy_joules: float
+    battery_soc: float
+    num_detections: int
+    loss: float
+
+    @property
+    def energy_joules(self) -> float:
+        """Combined platform + sensor energy for the cycle (Eq. 11)."""
+        return self.platform_energy_joules + self.sensor_energy_joules
+
+
+@dataclass
+class DriveTrace:
+    """Per-drive outcome: the frame records plus aggregate metrics."""
+
+    scenario: str
+    policy: str
+    records: list[FrameRecord]
+    map_result: MapResult
+    final_soc: float
+
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self.records)
+
+    @property
+    def config_histogram(self) -> dict[str, int]:
+        return dict(Counter(r.config_name for r in self.records))
+
+    @property
+    def switch_count(self) -> int:
+        return sum(1 for r in self.records if r.switched)
+
+    @property
+    def total_energy_joules(self) -> float:
+        return float(sum(r.energy_joules for r in self.records))
+
+    @property
+    def avg_energy_joules(self) -> float:
+        return self.total_energy_joules / max(self.num_frames, 1)
+
+    @property
+    def avg_latency_ms(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.latency_ms for r in self.records]))
+
+    @property
+    def avg_loss(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.loss for r in self.records]))
+
+    @property
+    def soc_trace(self) -> list[float]:
+        return [r.battery_soc for r in self.records]
+
+    @property
+    def fault_frames(self) -> int:
+        return sum(1 for r in self.records if r.fault_labels)
+
+    def per_context(self) -> dict[str, dict[str, float]]:
+        """Mean energy / latency / loss per driving context."""
+        grouped: dict[str, list[FrameRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.context, []).append(record)
+        return {
+            ctx: {
+                "frames": float(len(recs)),
+                "energy_joules": float(np.mean([r.energy_joules for r in recs])),
+                "latency_ms": float(np.mean([r.latency_ms for r in recs])),
+                "loss": float(np.mean([r.loss for r in recs])),
+            }
+            for ctx, recs in sorted(grouped.items())
+        }
+
+    def summary(self) -> str:
+        """Human-readable per-context table plus headline aggregates."""
+        rows = [
+            [ctx, int(stats["frames"]), stats["energy_joules"],
+             stats["latency_ms"], stats["loss"]]
+            for ctx, stats in self.per_context().items()
+        ]
+        table = format_table(
+            ["context", "frames", "E(J)", "t(ms)", "loss"], rows,
+            title=f"{self.scenario} · {self.policy}",
+        )
+        switches = ", ".join(
+            f"{name}x{count}" for name, count in sorted(self.config_histogram.items())
+        )
+        lines = [
+            table,
+            f"mAP {self.map_result.percent:.1f}% | avg {self.avg_energy_joules:.2f} J"
+            f" | {self.avg_latency_ms:.1f} ms | {self.switch_count} switches"
+            f" | {self.fault_frames} faulted frames",
+            f"configs: {switches}",
+            f"battery: {100 * self.final_soc:.4f}% SoC remaining",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable aggregate view (benchmarks)."""
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "num_frames": self.num_frames,
+            "map_percent": self.map_result.percent,
+            "avg_loss": self.avg_loss,
+            "avg_energy_joules": self.avg_energy_joules,
+            "total_energy_joules": self.total_energy_joules,
+            "avg_latency_ms": self.avg_latency_ms,
+            "switch_count": self.switch_count,
+            "config_histogram": self.config_histogram,
+            "fault_frames": self.fault_frames,
+            "final_soc": self.final_soc,
+            "per_context": self.per_context(),
+        }
+
+
+class ClosedLoopRunner:
+    """Run perception policies closed-loop over scripted drives."""
+
+    def __init__(
+        self,
+        model: EcoFusionModel,
+        vehicle: ElectricVehicle = NOMINAL_EV,
+        base_speed_kmh: float = 60.0,
+        overhead_factor: float = 1.5,
+        cycle_hz: float = FUSION_CYCLE_HZ,
+        parallel_engines: bool = False,
+        mask_faulted_configs: bool = True,
+        cache: BranchOutputCache | None = None,
+    ) -> None:
+        self.model = model
+        self.vehicle = vehicle
+        self.base_speed_kmh = float(base_speed_kmh)
+        self.overhead_factor = float(overhead_factor)
+        self.cycle_hz = float(cycle_hz)
+        self.parallel_engines = bool(parallel_engines)
+        self.mask_faulted_configs = bool(mask_faulted_configs)
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ScenarioSpec,
+        policy: DrivePolicy,
+        seed: int = 0,
+        battery: BatteryState | None = None,
+    ) -> DriveTrace:
+        """Drive ``spec`` under ``policy``; returns the full trace."""
+        source = DriveSource(spec, seed=seed, image_size=self.model.image_size)
+        battery = battery or BatteryState(vehicle=self.vehicle)
+        gate = self._prepare_gate(policy)
+        hysteresis = HysteresisPolicy(margin=policy.hysteresis_margin)
+        duty = SensorDutyCycle()
+        energies = self.model.energies()
+        static_config = (
+            self.model.config_named(policy.config_name)
+            if policy.kind == "static"
+            else None
+        )
+
+        records: list[FrameRecord] = []
+        detections_per_frame = []
+        gt_boxes, gt_labels = [], []
+        previous_config: str | None = None
+        for frame in source:
+            config, masked, features = self._choose(
+                frame, policy, gate, hysteresis, energies, static_config
+            )
+            detections = self._execute(frame, config, features)
+            power_state = duty.step(config, offline=frame.faulted_sensors)
+            latency_ms, platform_j = self._cost(config, policy)
+            sensors_j = sum(
+                sensor_energy(s, gated=not on, cycle_hz=self.cycle_hz)
+                for s, on in power_state.items()
+            )
+            speed = self.base_speed_kmh * spec.segments[frame.segment_index].ego_speed
+            soc = battery.drive_step(
+                platform_j + sensors_j,
+                speed_kmh=speed,
+                duration_s=1.0 / self.cycle_hz,
+                overhead_factor=self.overhead_factor,
+            )
+            sample = frame.sample
+            records.append(
+                FrameRecord(
+                    time_index=frame.time_index,
+                    segment_index=frame.segment_index,
+                    context=frame.context,
+                    config_name=config.name,
+                    switched=(
+                        previous_config is not None
+                        and config.name != previous_config
+                    ),
+                    fault_labels=tuple(f.label for f in frame.faults),
+                    fault_masked=masked,
+                    latency_ms=latency_ms,
+                    platform_energy_joules=platform_j,
+                    sensor_energy_joules=sensors_j,
+                    battery_soc=soc,
+                    num_detections=len(detections),
+                    loss=fusion_loss(detections, sample.boxes, sample.labels),
+                )
+            )
+            detections_per_frame.append(detections)
+            gt_boxes.append(sample.boxes)
+            gt_labels.append(sample.labels)
+            previous_config = config.name
+
+        return DriveTrace(
+            scenario=spec.name,
+            policy=policy.name,
+            records=records,
+            map_result=evaluate_map(detections_per_frame, gt_boxes, gt_labels),
+            final_soc=battery.soc,
+        )
+
+    # ------------------------------------------------------------------
+    def _prepare_gate(self, policy: DrivePolicy) -> Gate | None:
+        """Fresh per-drive gate state (temporal smoothing wrapper)."""
+        if policy.kind != "adaptive":
+            return None
+        gate = policy.gate
+        assert gate is not None
+        if isinstance(gate, TemporalGate):
+            gate.reset()
+            return gate
+        if gate.bypasses_optimization or policy.alpha >= 1.0:
+            return gate
+        wrapped = TemporalGate(gate, alpha=policy.alpha)
+        wrapped.reset()
+        return wrapped
+
+    def _healthy_mask(self, faulted: tuple[str, ...]) -> np.ndarray:
+        """True where a configuration touches no failed sensor.
+
+        Falls back to all-healthy when every configuration is impacted
+        (better to run degraded perception than none at all).
+        """
+        down = set(faulted)
+        mask = np.array(
+            [not down.intersection(c.sensors) for c in self.model.library]
+        )
+        if not mask.any():
+            return np.ones_like(mask)
+        return mask
+
+    def _choose(
+        self,
+        frame: DriveFrame,
+        policy: DrivePolicy,
+        gate: Gate | None,
+        hysteresis: HysteresisPolicy,
+        energies: np.ndarray,
+        static_config: ModelConfiguration | None,
+    ) -> tuple[ModelConfiguration, bool, dict | None]:
+        """Select this frame's configuration.
+
+        Returns ``(config, fault_masked, stem_features)`` — the features
+        are reused by :meth:`_execute` so adaptive frames run each stem
+        exactly once.
+        """
+        if policy.kind == "static":
+            assert static_config is not None
+            return static_config, False, None
+
+        assert gate is not None
+        sample = frame.sample
+        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
+        healthy = (
+            self._healthy_mask(frame.faulted_sensors)
+            if masking
+            else np.ones(len(self.model.library), dtype=bool)
+        )
+
+        if gate.bypasses_optimization:
+            names = gate.select_direct([sample.context])
+            assert names is not None
+            config = self.model.config_named(names[0])
+            index = self.model.config_names.index(config.name)
+            if not healthy[index]:
+                # Limp home: cheapest configuration avoiding failed sensors.
+                candidates = [
+                    i for i in range(len(self.model.library)) if healthy[i]
+                ]
+                index = min(candidates, key=lambda i: energies[i])
+                return self.model.library[index], True, None
+            return config, False, None
+
+        features = self.model.stem_features([sample])
+        gate_input = self.model.gate_features(features)
+        losses = gate.predict_losses(
+            gate_input, [sample.context], [sample.sample_id]
+        )[0]
+        if masking:
+            losses = np.where(healthy, losses, _MASKED_LOSS)
+        index = hysteresis.choose(losses, energies, policy.lambda_e, policy.gamma)
+        return self.model.library[index], masking and not healthy.all(), features
+
+    def _execute(self, frame: DriveFrame, config: ModelConfiguration, features):
+        """Run the chosen configuration's branches and late-fuse."""
+        per_branch = self.model.branch_outputs(
+            [frame.sample], config.branches, features=features, cache=self.cache
+        )
+        return self.model.fuse_config(config, per_branch, 0)
+
+    def _cost(
+        self, config: ModelConfiguration, policy: DrivePolicy
+    ) -> tuple[float, float]:
+        """(latency_ms, platform_energy_J) via branch-level scheduling.
+
+        Adaptive inference keeps every stem alive (the gate consumes all
+        of them); a static pipeline powers only its own sensors' stems.
+        Energy always prices the serial (total-work) latency — spreading
+        branches across engines moves deadlines, not joules.
+        """
+        costs: SystemCosts = self.model.costs
+        lat = costs.px2.latency
+        sensors = (
+            tuple(costs.stem_flops)
+            if policy.kind == "adaptive"
+            else config.sensors
+        )
+        branch_ms = [
+            lat.launch_ms + lat.compute_ms(costs.branch_flops[b])
+            for b in config.branches
+        ]
+        fixed = (
+            lat.platform_ms
+            + lat.compute_ms(sum(costs.stem_flops[s] for s in sensors))
+            + sum(lat.prep_ms[s] for s in sensors)
+            + lat.compute_ms(fusion_flops(config.num_branches))
+        )
+        serial = schedule_serial(branch_ms, fixed)
+        energy = costs.px2.energy_joules(serial.total_ms, config.num_branches)
+        if self.parallel_engines:
+            scheduled = schedule_parallel(
+                branch_ms, fixed, num_engines=costs.px2.num_engines
+            )
+            return scheduled.total_ms, energy
+        return serial.total_ms, energy

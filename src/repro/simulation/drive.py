@@ -1,0 +1,155 @@
+"""Streaming drive synthesis: scenario spec -> lazy multi-sensor frames.
+
+:class:`DriveSource` composes the temporal scene evolution of
+``repro.datasets.sequences`` across segment boundaries: the scene
+geometry persists when a new segment begins (the same cars are still
+there when the car enters the fog bank) while the degradation profile,
+ego speed and traffic density switch — exactly the situation the paper's
+temporal-gating extension (Sec. 5.5.2) must handle.  Scheduled sensor
+faults are applied per-modality on top of the rendered frames.
+
+Frames are generated lazily, one per ``__iter__`` step, so arbitrarily
+long drives stream in constant memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.radiate import Sample
+from ..datasets.scenes import Scene, generate_scene
+from ..datasets.sensors import render_all_sensors
+from ..datasets.sequences import advance_scene
+from .scenario import ScenarioSpec, SensorFault
+
+__all__ = ["DriveFrame", "DriveSource", "apply_fault"]
+
+
+@dataclass
+class DriveFrame:
+    """One time step of a streamed drive."""
+
+    time_index: int
+    segment_index: int
+    sample: Sample
+    faults: tuple[SensorFault, ...] = ()
+
+    @property
+    def context(self) -> str:
+        return self.sample.context
+
+    @property
+    def faulted_sensors(self) -> tuple[str, ...]:
+        down: set[str] = set()
+        for fault in self.faults:
+            down.update(fault.affected)
+        return tuple(sorted(down))
+
+
+def apply_fault(
+    frame: np.ndarray,
+    mode: str,
+    rng: np.random.Generator,
+    last_healthy: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return the faulted version of one sensor frame.
+
+    ``blackout`` zeroes the frame, ``noise`` replaces it with uniform
+    noise, ``stuck`` replays ``last_healthy`` (falling back to blackout
+    on the very first frame, when no healthy capture exists yet).
+    """
+    if mode == "blackout":
+        return np.zeros_like(frame)
+    if mode == "noise":
+        return rng.random(frame.shape).astype(np.float32)
+    if mode == "stuck":
+        if last_healthy is None:
+            return np.zeros_like(frame)
+        return last_healthy.copy()
+    raise ValueError(f"unknown fault mode '{mode}'")
+
+
+class DriveSource:
+    """Lazy, deterministic frame stream for one scenario.
+
+    The same ``(spec, seed, image_size)`` triple always yields the same
+    stream; the fault-noise generator is seeded separately from the scene
+    generator so the *healthy* portion of a faulted drive is identical to
+    the unfaulted drive frame-for-frame.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        seed: int = 0,
+        image_size: int = 64,
+    ) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self.image_size = int(image_size)
+        self._uid_prefix = (
+            f"drive:{spec.name}:{spec.content_token()}:{self.seed}:{self.image_size}"
+        )
+
+    def __len__(self) -> int:
+        return self.spec.num_frames
+
+    def __iter__(self):
+        rng = np.random.default_rng((self.seed, 0x5CE7A810))
+        fault_rng = np.random.default_rng((self.seed, 0xFA017))
+        seq_token = int(rng.integers(0, 2**31 - 1))
+        segment_index = 0
+        segment = self.spec.segments[0]
+        profile = segment.profile()
+        scene = generate_scene(profile, rng, image_size=self.image_size)
+        last_healthy: dict[str, np.ndarray] = {}
+
+        for t in range(self.spec.num_frames):
+            new_index, new_segment = self.spec.segment_at(t)
+            if new_index != segment_index:
+                # Segment boundary: geometry persists, conditions change.
+                segment_index, segment = new_index, new_segment
+                profile = segment.profile()
+                scene = Scene(
+                    context=profile.name,
+                    image_size=scene.image_size,
+                    objects=scene.objects,
+                )
+            sensors = render_all_sensors(scene, profile, rng)
+            faults = self.spec.faults_at(t)
+            faulted = {s for f in faults for s in f.affected}
+            # Remember the newest *pre-fault* capture per sensor, so a
+            # "stuck" sensor replays the frame from before it froze.
+            for name, tensor in sensors.items():
+                if name not in faulted:
+                    last_healthy[name] = tensor
+            for fault in faults:
+                for sensor in fault.affected:
+                    sensors[sensor] = apply_fault(
+                        sensors[sensor],
+                        fault.mode,
+                        fault_rng,
+                        last_healthy.get(sensor),
+                    )
+            sample = Sample(
+                sensors=sensors,
+                boxes=scene.boxes,
+                labels=scene.labels,
+                context=profile.name,
+                sample_id=t,
+                scene=scene,
+                uid=f"{self._uid_prefix}:{seq_token}:{t}",
+            )
+            yield DriveFrame(
+                time_index=t,
+                segment_index=segment_index,
+                sample=sample,
+                faults=faults,
+            )
+            scene = advance_scene(scene, profile, rng, segment.ego_speed)
+
+    def materialize(self) -> list[DriveFrame]:
+        """Render the whole drive eagerly (tests / small scenarios)."""
+        return list(self)

@@ -1,0 +1,135 @@
+"""Named scenario library.
+
+Eight scripted drives spanning the stress cases the paper argues about:
+clean cruising (where cheap configurations should win), weather ingress
+(where the gate must react to a context transition), night/rain compounds
+(where cameras die but active sensors survive), and hard sensor failures
+(where the runner's fault masking must find a limp-home configuration).
+
+Durations are in fusion cycles (4 Hz — the radar-paced RADIATE rig), so
+a 240-frame drive is one minute of driving.  Use
+:func:`repro.simulation.scenario.scaled` to shorten any scenario for
+tests or stretch it into a soak run.
+"""
+
+from __future__ import annotations
+
+from .scenario import ScenarioSpec, SegmentSpec, SensorFault
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+
+
+def _spec(name: str, description: str, segments, faults=()) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        segments=tuple(segments),
+        faults=tuple(faults),
+    )
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "highway_commute",
+            "Clear motorway cruise, a junction merge, then city arrival — "
+            "the easy drive where cheap camera configurations should dominate.",
+            [
+                SegmentSpec("motorway", 96, ego_speed=1.6, traffic=0.8),
+                SegmentSpec("junction", 32, ego_speed=0.8, traffic=1.3),
+                SegmentSpec("city", 64, ego_speed=0.9),
+            ],
+        ),
+        _spec(
+            "urban_fog_ingress",
+            "City driving into a fog bank and out again — the canonical "
+            "context transition a temporal gate must react to without thrash.",
+            [
+                SegmentSpec("city", 64),
+                SegmentSpec("fog", 96, ego_speed=0.6, traffic=0.7),
+                SegmentSpec("city", 48),
+            ],
+        ),
+        _spec(
+            "night_rain",
+            "Night drive with rain setting in: passive cameras degrade twice "
+            "over while lidar and radar keep working.",
+            [
+                SegmentSpec("night", 80, ego_speed=0.9),
+                SegmentSpec("rain", 112, ego_speed=0.7),
+            ],
+        ),
+        _spec(
+            "degraded_limp_home",
+            "City errand with a lidar dropout mid-drive and a camera blackout "
+            "near the end — the fault-recovery stress case.",
+            [
+                SegmentSpec("city", 72),
+                SegmentSpec("junction", 40, ego_speed=0.7, traffic=1.2),
+                SegmentSpec("city", 80),
+            ],
+            faults=[
+                SensorFault("lidar", start=48, duration=40, mode="blackout"),
+                SensorFault("camera", start=140, duration=32, mode="blackout"),
+            ],
+        ),
+        _spec(
+            "blizzard_crossing",
+            "Rural road into heavy snow: the hardest weather, where the paper "
+            "expects maximum-redundancy configurations and negative gating savings.",
+            [
+                SegmentSpec("rural", 56, ego_speed=1.2),
+                SegmentSpec("snow", 112, ego_speed=0.5, traffic=0.6),
+                SegmentSpec("rural", 40, ego_speed=1.0),
+            ],
+        ),
+        _spec(
+            "rush_hour_junction",
+            "Dense stop-and-go city traffic through a junction at rush hour — "
+            "high object counts, low speed, clear weather.",
+            [
+                SegmentSpec("city", 64, ego_speed=0.5, traffic=1.6),
+                SegmentSpec("junction", 64, ego_speed=0.4, traffic=1.8),
+                SegmentSpec("city", 48, ego_speed=0.6, traffic=1.4),
+            ],
+        ),
+        _spec(
+            "rural_dusk_patrol",
+            "Long rural patrol drifting into night: a slow monotonic "
+            "degradation of the passive sensors rather than a sharp boundary.",
+            [
+                SegmentSpec("rural", 96, ego_speed=1.1),
+                SegmentSpec("night", 96, ego_speed=0.9, traffic=0.7),
+            ],
+        ),
+        _spec(
+            "sensor_stress_test",
+            "Motorway soak with staggered faults on every modality: radar "
+            "noise burst, stuck lidar, then a camera blackout. No overlap — "
+            "a healthy fallback always exists.",
+            [
+                SegmentSpec("motorway", 192, ego_speed=1.5, traffic=0.9),
+            ],
+            faults=[
+                SensorFault("radar", start=24, duration=32, mode="noise"),
+                SensorFault("lidar", start=80, duration=32, mode="stuck"),
+                SensorFault("camera", start=136, duration=32, mode="blackout"),
+            ],
+        ),
+    )
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a library scenario (KeyError lists valid names on typo)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario '{name}'; valid: {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,221 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a pure description of a drive — an ordered
+list of :class:`SegmentSpec` (context, duration, ego speed, traffic
+density) plus scheduled :class:`SensorFault` windows — with no reference
+to any model or renderer.  The spec fully determines the frame stream
+given a seed (see :class:`repro.simulation.drive.DriveSource`), which is
+what makes scenario runs reproducible and comparable across policies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+from ..datasets.contexts import ContextProfile, get_context
+from ..datasets.sensors import SENSORS
+
+__all__ = [
+    "FAULT_MODES",
+    "SegmentSpec",
+    "SensorFault",
+    "ScenarioSpec",
+    "scaled",
+]
+
+# Supported degradation modes for injected faults:
+#
+# * ``blackout`` — the sensor delivers all-zero frames (power/cable loss);
+# * ``noise``    — the sensor delivers pure noise (interference, EMI);
+# * ``stuck``    — the sensor repeats its last healthy frame (a frozen
+#   capture pipeline, the classic silent failure).
+FAULT_MODES: tuple[str, ...] = ("blackout", "noise", "stuck")
+
+# ``sensor`` may name one physical stream or the "camera" group (the ZED
+# is one device: a failure takes both stereo views down together).
+SENSOR_GROUPS: dict[str, tuple[str, ...]] = {
+    "camera": ("camera_left", "camera_right"),
+    **{s: (s,) for s in SENSORS},
+}
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One homogeneous stretch of a drive.
+
+    Attributes
+    ----------
+    context:
+        Driving context name (``repro.datasets.contexts``).
+    frames:
+        Segment length in fusion cycles.
+    ego_speed:
+        Ego motion scale (object approach/drift rate); also scales the
+        traction energy the battery model charges per frame.
+    traffic:
+        Multiplier on the context's object-count range (rush hour > 1,
+        empty roads < 1).
+    """
+
+    context: str
+    frames: int
+    ego_speed: float = 1.0
+    traffic: float = 1.0
+
+    def __post_init__(self) -> None:
+        get_context(self.context)  # validate early: typos fail loudly
+        if self.frames < 1:
+            raise ValueError(f"segment '{self.context}' must last >= 1 frame")
+        if self.ego_speed < 0:
+            raise ValueError("ego_speed must be non-negative")
+        if self.traffic <= 0:
+            raise ValueError("traffic multiplier must be positive")
+
+    def profile(self) -> ContextProfile:
+        """The context profile with the traffic multiplier applied."""
+        base = get_context(self.context)
+        if self.traffic == 1.0:
+            return base
+        lo, hi = base.n_objects
+        scaled_range = (
+            max(int(round(lo * self.traffic)), 0),
+            max(int(round(hi * self.traffic)), 1),
+        )
+        return dataclasses.replace(base, n_objects=scaled_range)
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """A scheduled degradation window on one sensor (or sensor group)."""
+
+    sensor: str
+    start: int
+    duration: int
+    mode: str = "blackout"
+
+    def __post_init__(self) -> None:
+        if self.sensor not in SENSOR_GROUPS:
+            raise ValueError(
+                f"unknown sensor '{self.sensor}'; valid: {sorted(SENSOR_GROUPS)}"
+            )
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode '{self.mode}'; valid: {FAULT_MODES}")
+        if self.start < 0 or self.duration < 1:
+            raise ValueError("fault needs start >= 0 and duration >= 1")
+
+    @property
+    def affected(self) -> tuple[str, ...]:
+        """Physical sensor streams this fault takes down."""
+        return SENSOR_GROUPS[self.sensor]
+
+    def active_at(self, t: int) -> bool:
+        return self.start <= t < self.start + self.duration
+
+    @property
+    def label(self) -> str:
+        return f"{self.sensor}:{self.mode}"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete scripted drive."""
+
+    name: str
+    description: str
+    segments: tuple[SegmentSpec, ...]
+    faults: tuple[SensorFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError(f"scenario '{self.name}' has no segments")
+        for fault in self.faults:
+            if fault.start >= self.num_frames:
+                raise ValueError(
+                    f"fault {fault.label} starts at frame {fault.start}, but "
+                    f"scenario '{self.name}' only has {self.num_frames} frames"
+                )
+
+    @property
+    def num_frames(self) -> int:
+        return sum(s.frames for s in self.segments)
+
+    def content_token(self) -> str:
+        """Digest of the drive's actual content (segments + faults).
+
+        Two specs sharing a name but differing in shape — e.g. a library
+        scenario and its :func:`scaled` variant — must never alias in
+        sample-keyed caches (``BranchOutputCache`` keys on ``uid``), so
+        drive uids embed this token rather than trusting the name.
+        """
+        payload = repr((self.segments, self.faults)).encode()
+        return hashlib.blake2s(payload, digest_size=6).hexdigest()
+
+    @property
+    def contexts(self) -> tuple[str, ...]:
+        """Distinct contexts in drive order (duplicates removed)."""
+        seen: list[str] = []
+        for segment in self.segments:
+            if segment.context not in seen:
+                seen.append(segment.context)
+        return tuple(seen)
+
+    @property
+    def boundaries(self) -> tuple[int, ...]:
+        """Frame indices at which a new segment begins (excluding 0)."""
+        edges: list[int] = []
+        total = 0
+        for segment in self.segments[:-1]:
+            total += segment.frames
+            edges.append(total)
+        return tuple(edges)
+
+    def segment_at(self, t: int) -> tuple[int, SegmentSpec]:
+        """(segment index, segment) covering frame ``t``."""
+        if not 0 <= t < self.num_frames:
+            raise IndexError(f"frame {t} outside drive [0, {self.num_frames})")
+        total = 0
+        for i, segment in enumerate(self.segments):
+            total += segment.frames
+            if t < total:
+                return i, segment
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def context_at(self, t: int) -> str:
+        return self.segment_at(t)[1].context
+
+    def faults_at(self, t: int) -> tuple[SensorFault, ...]:
+        return tuple(f for f in self.faults if f.active_at(t))
+
+    def faulted_sensors_at(self, t: int) -> tuple[str, ...]:
+        """Physical streams degraded at frame ``t`` (sorted, de-duplicated)."""
+        down: set[str] = set()
+        for fault in self.faults_at(t):
+            down.update(fault.affected)
+        return tuple(sorted(down))
+
+
+def scaled(spec: ScenarioSpec, factor: float) -> ScenarioSpec:
+    """Stretch or shrink a scenario's timeline by ``factor``.
+
+    Segment lengths and fault windows scale together (each keeps at least
+    one frame), so a library scenario can be shortened for tests or
+    stretched into a long soak run without editing the spec.
+    """
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+    segments = tuple(
+        dataclasses.replace(s, frames=max(int(round(s.frames * factor)), 1))
+        for s in spec.segments
+    )
+    total = sum(s.frames for s in segments)
+    faults = tuple(
+        dataclasses.replace(
+            f,
+            start=min(int(round(f.start * factor)), total - 1),
+            duration=max(int(round(f.duration * factor)), 1),
+        )
+        for f in spec.faults
+    )
+    return dataclasses.replace(spec, segments=segments, faults=faults)

@@ -150,6 +150,26 @@ class TestDutyCycle:
         state3 = duty.step(camera_config)
         assert not state3["lidar"]  # hold expired
 
+    def test_offline_sensor_gated_immediately(self):
+        duty = SensorDutyCycle(hold_frames=4)
+        lidar_config = next(c for c in LIB if c.name == "L")
+        duty.step(lidar_config)
+        state = duty.step(lidar_config, offline=("lidar",))
+        assert not state["lidar"]  # health monitor cuts a dead sensor now
+
+    def test_recovered_sensor_stays_gated_until_used(self):
+        """Failing wipes the hold window: after the fault clears, the
+        sensor stays off until a configuration consumes it again."""
+        duty = SensorDutyCycle(hold_frames=4)
+        lidar_config = next(c for c in LIB if c.name == "L")
+        camera_config = next(c for c in LIB if c.name == "CR")
+        duty.step(lidar_config)                       # t=0: lidar in use
+        duty.step(camera_config, offline=("lidar",))  # t=1: fault
+        state = duty.step(camera_config)              # t=2: recovered, unused
+        assert not state["lidar"]
+        state = duty.step(lidar_config)               # t=3: used again
+        assert state["lidar"]
+
     def test_reset(self):
         duty = SensorDutyCycle(hold_frames=5)
         duty.step(next(c for c in LIB if c.name == "LF_ALL"))

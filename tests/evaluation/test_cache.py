@@ -8,8 +8,6 @@ import pytest
 from repro.evaluation import SystemSpec, get_or_build_system
 from repro.evaluation.cache import _load_system, _save_system
 
-from ..conftest import TINY_SPEC
-
 
 class TestSpecKeys:
     def test_key_deterministic(self):
@@ -28,7 +26,7 @@ class TestSpecKeys:
 class TestRoundTrip:
     def test_saved_system_reloads_identically(self, tiny_system, tmp_path):
         _save_system(tiny_system, tmp_path / "artifact")
-        reloaded = _load_system(TINY_SPEC, tmp_path / "artifact")
+        reloaded = _load_system(tiny_system.spec, tmp_path / "artifact")
         np.testing.assert_allclose(
             reloaded.train_loss_table, tiny_system.train_loss_table
         )
@@ -43,7 +41,7 @@ class TestRoundTrip:
 
     def test_reloaded_system_same_detections(self, tiny_system, tmp_path):
         _save_system(tiny_system, tmp_path / "artifact")
-        reloaded = _load_system(TINY_SPEC, tmp_path / "artifact")
+        reloaded = _load_system(tiny_system.spec, tmp_path / "artifact")
         samples = [tiny_system.test_split[0]]
         config = tiny_system.model.config_named("CR")
         a = tiny_system.model.run_config(config, samples)[0]
@@ -53,7 +51,7 @@ class TestRoundTrip:
 
     def test_reloaded_gate_prior_restored(self, tiny_system, tmp_path):
         _save_system(tiny_system, tmp_path / "artifact")
-        reloaded = _load_system(TINY_SPEC, tmp_path / "artifact")
+        reloaded = _load_system(tiny_system.spec, tmp_path / "artifact")
         gate = reloaded.gates["attention"]
         assert gate.prior is not None
         np.testing.assert_allclose(
@@ -68,5 +66,5 @@ class TestRoundTrip:
 
     def test_get_or_build_memoizes(self, tiny_system, tmp_path):
         """Second call with the same spec returns the in-memory object."""
-        again = get_or_build_system(TINY_SPEC, root=tmp_path)
+        again = get_or_build_system(tiny_system.spec, root=tmp_path)
         assert again is tiny_system

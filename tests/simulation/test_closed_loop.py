@@ -1,0 +1,165 @@
+"""ClosedLoopRunner: reconfiguration, fault limp-home, battery, costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BRANCHES
+from repro.simulation import (
+    ClosedLoopRunner,
+    ScenarioSpec,
+    SegmentSpec,
+    SensorFault,
+    adaptive_policy,
+    static_policy,
+)
+
+TRANSITION_SPEC = ScenarioSpec(
+    name="transition",
+    description="city into fog",
+    segments=(SegmentSpec("city", 6), SegmentSpec("fog", 5)),
+)
+
+FAULT_SPEC = ScenarioSpec(
+    name="camera_outage",
+    description="city with a mid-drive stereo camera blackout",
+    segments=(SegmentSpec("city", 12),),
+    faults=(SensorFault("camera", start=4, duration=4),),
+)
+
+
+@pytest.fixture(scope="module")
+def runner(tiny_system):
+    return ClosedLoopRunner(tiny_system.model, cache=tiny_system.cache)
+
+
+def config_sensors(tiny_system, name: str) -> set[str]:
+    return set(tiny_system.model.config_named(name).sensors)
+
+
+class TestReconfiguration:
+    def test_knowledge_gate_reconfigures_at_context_transition(
+        self, runner, tiny_system
+    ):
+        trace = runner.run(
+            TRANSITION_SPEC, adaptive_policy(tiny_system.gates["knowledge"])
+        )
+        assert len(trace.config_histogram) >= 2
+        assert trace.switch_count >= 1
+        # the switch happens exactly at the segment boundary
+        assert trace.records[5].config_name != trace.records[6].config_name
+        assert trace.records[6].switched
+
+    def test_fault_forces_limp_home_configuration(self, runner, tiny_system):
+        trace = runner.run(
+            FAULT_SPEC, adaptive_policy(tiny_system.gates["knowledge"])
+        )
+        assert len(trace.config_histogram) >= 2
+        for record in trace.records:
+            if record.fault_labels:
+                assert record.fault_masked
+                chosen = config_sensors(tiny_system, record.config_name)
+                assert not chosen & {"camera_left", "camera_right"}
+        # recovery: after the fault clears the drive returns to the
+        # knowledge gate's preferred city configuration
+        assert trace.records[-1].config_name == trace.records[0].config_name
+
+    def test_learned_gate_masking_excludes_faulted_configs(
+        self, runner, tiny_system
+    ):
+        trace = runner.run(
+            FAULT_SPEC, adaptive_policy(tiny_system.gates["attention"])
+        )
+        for record in trace.records:
+            if record.fault_labels:
+                chosen = config_sensors(tiny_system, record.config_name)
+                assert not chosen & {"camera_left", "camera_right"}
+
+    def test_static_policy_never_switches(self, runner):
+        trace = runner.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        assert trace.config_histogram == {"LF_ALL": TRANSITION_SPEC.num_frames}
+        assert trace.switch_count == 0
+
+
+class TestBatteryAndEnergy:
+    def test_battery_monotonically_decreases(self, runner, tiny_system):
+        trace = runner.run(
+            TRANSITION_SPEC, adaptive_policy(tiny_system.gates["attention"])
+        )
+        socs = trace.soc_trace
+        assert all(later < earlier for earlier, later in zip(socs, socs[1:]))
+        assert 0.0 < trace.final_soc < 1.0
+
+    def test_every_frame_costs_energy_and_latency(self, runner):
+        trace = runner.run(TRANSITION_SPEC, static_policy("EF_CLCRL"))
+        for record in trace.records:
+            assert record.platform_energy_joules > 0
+            assert record.sensor_energy_joules > 0
+            assert record.latency_ms > 0
+
+    def test_static_latency_matches_offline_cost_table(self, runner, tiny_system):
+        trace = runner.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        expected = tiny_system.model.costs.config_costs["LF_ALL"]
+        assert trace.records[0].latency_ms == pytest.approx(expected.latency_ms)
+        assert trace.records[0].platform_energy_joules == pytest.approx(
+            expected.energy_joules
+        )
+
+    def test_parallel_engines_cut_latency_not_energy(self, tiny_system):
+        serial = ClosedLoopRunner(tiny_system.model, cache=tiny_system.cache)
+        parallel = ClosedLoopRunner(
+            tiny_system.model, cache=tiny_system.cache, parallel_engines=True
+        )
+        a = serial.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        b = parallel.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        assert b.avg_latency_ms < a.avg_latency_ms
+        assert b.avg_energy_joules == pytest.approx(a.avg_energy_joules)
+
+    def test_gated_sensors_save_sensor_energy(self, runner):
+        """A camera-only static pipeline clock-gates radar and lidar, so
+        its steady-state sensor draw undercuts the all-on late pipeline."""
+        cheap = runner.run(TRANSITION_SPEC, static_policy("CR"))
+        full = runner.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        assert (
+            cheap.records[-1].sensor_energy_joules
+            < full.records[-1].sensor_energy_joules
+        )
+
+
+class TestTraceOutputs:
+    def test_smoke_full_trace_shape(self, runner, tiny_system):
+        trace = runner.run(
+            TRANSITION_SPEC, adaptive_policy(tiny_system.gates["attention"])
+        )
+        assert trace.num_frames == TRANSITION_SPEC.num_frames
+        assert trace.scenario == "transition"
+        assert set(trace.per_context()) == {"city", "fog"}
+        assert trace.map_result.num_images == trace.num_frames
+        assert "transition" in trace.summary()
+
+    def test_to_dict_is_json_ready(self, runner):
+        import json
+
+        trace = runner.run(TRANSITION_SPEC, static_policy("CR"))
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["num_frames"] == TRANSITION_SPEC.num_frames
+        assert payload["config_histogram"] == {"CR": TRANSITION_SPEC.num_frames}
+        assert payload["final_soc"] < 1.0
+
+    def test_policy_validation(self, tiny_system):
+        with pytest.raises(ValueError):
+            adaptive_policy(None)  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            static_policy("")
+
+
+def test_branch_spec_sanity():
+    """Guard the assumption the limp-home tests rely on: the library has
+    camera-free configurations to fall back to."""
+    camera_free = [
+        name
+        for name, spec in BRANCHES.items()
+        if not set(spec.sensors) & {"camera_left", "camera_right"}
+    ]
+    assert camera_free

@@ -1,0 +1,125 @@
+"""ScenarioSpec DSL: validation, timeline queries, scaling, library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    SCENARIOS,
+    ScenarioSpec,
+    SegmentSpec,
+    SensorFault,
+    get_scenario,
+    scaled,
+    scenario_names,
+)
+
+
+def two_segment_spec(**kwargs) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="test",
+        description="",
+        segments=(SegmentSpec("city", 10), SegmentSpec("fog", 6)),
+        **kwargs,
+    )
+
+
+class TestValidation:
+    def test_unknown_context_rejected(self):
+        with pytest.raises(KeyError):
+            SegmentSpec("blizzard", 10)
+
+    def test_zero_length_segment_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("city", 0)
+
+    def test_unknown_fault_sensor_rejected(self):
+        with pytest.raises(ValueError):
+            SensorFault("sonar", start=0, duration=1)
+
+    def test_unknown_fault_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SensorFault("lidar", start=0, duration=1, mode="meltdown")
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="empty", description="", segments=())
+
+    def test_fault_beyond_drive_rejected(self):
+        with pytest.raises(ValueError):
+            two_segment_spec(faults=(SensorFault("lidar", start=16, duration=4),))
+
+
+class TestTimeline:
+    def test_num_frames_and_boundaries(self):
+        spec = two_segment_spec()
+        assert spec.num_frames == 16
+        assert spec.boundaries == (10,)
+
+    def test_segment_and_context_lookup(self):
+        spec = two_segment_spec()
+        assert spec.context_at(0) == "city"
+        assert spec.context_at(9) == "city"
+        assert spec.context_at(10) == "fog"
+        assert spec.segment_at(15)[0] == 1
+        with pytest.raises(IndexError):
+            spec.context_at(16)
+
+    def test_camera_group_fault_covers_both_views(self):
+        fault = SensorFault("camera", start=2, duration=3)
+        assert set(fault.affected) == {"camera_left", "camera_right"}
+        spec = two_segment_spec(faults=(fault,))
+        assert spec.faulted_sensors_at(1) == ()
+        assert spec.faulted_sensors_at(2) == ("camera_left", "camera_right")
+        assert spec.faulted_sensors_at(5) == ()
+
+    def test_traffic_multiplier_scales_object_range(self):
+        base = SegmentSpec("city", 4).profile().n_objects
+        busy = SegmentSpec("city", 4, traffic=2.0).profile().n_objects
+        assert busy[1] > base[1]
+
+
+class TestScaled:
+    def test_scaling_preserves_segment_count(self):
+        spec = scaled(two_segment_spec(), 0.5)
+        assert len(spec.segments) == 2
+        assert spec.num_frames == 8
+
+    def test_every_segment_keeps_at_least_one_frame(self):
+        spec = scaled(two_segment_spec(), 0.01)
+        assert all(s.frames >= 1 for s in spec.segments)
+
+    def test_faults_scale_with_timeline(self):
+        spec = two_segment_spec(faults=(SensorFault("lidar", start=8, duration=4),))
+        half = scaled(spec, 0.5)
+        assert half.faults[0].start == 4
+        assert half.faults[0].duration == 2
+        assert half.faults[0].start < half.num_frames
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scaled(two_segment_spec(), 0.0)
+
+
+class TestLibrary:
+    def test_at_least_eight_distinct_scenarios(self):
+        assert len(SCENARIOS) >= 8
+        assert len(set(SCENARIOS)) == len(SCENARIOS)
+
+    def test_names_match_keys(self):
+        for key, spec in SCENARIOS.items():
+            assert spec.name == key
+            assert spec.num_frames > 0
+            assert spec.description
+
+    def test_library_covers_transitions_and_faults(self):
+        """The library must exercise both stressors the subsystem exists
+        for: multi-context drives and scheduled sensor failures."""
+        assert any(len(s.contexts) >= 2 for s in SCENARIOS.values())
+        assert any(s.faults for s in SCENARIOS.values())
+
+    def test_lookup_and_typo_message(self):
+        assert get_scenario("night_rain").name == "night_rain"
+        with pytest.raises(KeyError, match="valid"):
+            get_scenario("nite_rain")
+        assert set(scenario_names()) == set(SCENARIOS)
