@@ -1,0 +1,223 @@
+"""Runtime benchmark: sequential vs batched vs sharded sweep execution.
+
+Measures wall time and frames/sec for the (scenario x policy) sweep in
+three modes and writes ``BENCH_runtime.json`` so the speedup is a
+tracked trajectory, not a claim:
+
+* ``sequential`` — the seed behavior: every cell re-renders its drive
+  and runs frame-by-frame (``window=1``), one shared branch/fusion
+  cache across cells (as ``bench_scenarios.py`` always had).
+* ``batched``    — the same cell loop with ``window=W`` lookahead
+  batching inside ``ClosedLoopRunner``.
+* ``sharded``    — the full sweep engine (``repro.simulation.sweep``):
+  scenario shards over ``--jobs`` worker processes, frames rendered
+  once per shard and shared across policies, batched execution inside.
+
+Every mode must produce *identical* results — the script diffs the
+nested result dicts (all floats compared exactly) and refuses to write
+a benchmark file claiming a speedup over non-equivalent outputs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_runtime.py --tiny
+      (add ``--scale 0.1 --jobs 2`` for a CI-sized smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.evaluation.reports import format_table
+from repro.simulation import (
+    DEFAULT_POLICIES,
+    SCENARIOS,
+    ClosedLoopRunner,
+    run_sweep,
+    scaled,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_runtime.json"
+
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+TINY_SPEC = SystemSpec(per_context=4, iterations=14, gate_iterations=30, batch_size=4)
+
+
+def run_cells_serial(system, names, scale, seed, window,
+                     memoize_outputs=True) -> dict:
+    """The per-cell loop of the seed bench: no frame sharing across cells.
+
+    ``memoize_outputs=False`` reproduces the seed executor's cache
+    exactly (branch-level only — fused-output/loss memoization is part
+    of this PR's batched hot path, so the sequential baseline must not
+    silently inherit it).
+    """
+    runner = ClosedLoopRunner(
+        system.model, cache=BranchOutputCache(memoize_outputs=memoize_outputs)
+    )
+    results: dict[str, dict[str, dict]] = {}
+    for name in names:
+        spec = scaled(SCENARIOS[name], scale) if scale != 1.0 else SCENARIOS[name]
+        results[name] = {}
+        for policy_spec in DEFAULT_POLICIES:
+            policy = policy_spec.build(system)
+            start = time.perf_counter()
+            trace = runner.run(spec, policy, seed=seed, window=window)
+            entry = trace.to_dict()
+            entry["wall_seconds"] = round(time.perf_counter() - start, 3)
+            results[name][policy.name] = entry
+    return results
+
+
+def strip_walls(results: dict) -> dict:
+    """Result dict without the timing fields (for the equivalence diff)."""
+    return {
+        scenario: {
+            policy: {k: v for k, v in entry.items() if k != "wall_seconds"}
+            for policy, entry in per_policy.items()
+        }
+        for scenario, per_policy in results.items()
+    }
+
+
+def total_frames(results: dict) -> int:
+    return sum(
+        entry["num_frames"]
+        for per_policy in results.values()
+        for entry in per_policy.values()
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the test-scale system (fast, noisy)")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="scenario timeline scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--window", type=int, default=32,
+                        help="lookahead window for the batched/sharded modes")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the sharded mode")
+    parser.add_argument("--scenarios", type=int, default=0,
+                        help="limit to the first N scenarios (0 = all)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="measure each mode N times and keep the "
+                             "fastest wall (damps machine noise)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    if args.scale <= 0 or args.window < 1 or args.jobs < 1 or args.repeats < 1:
+        parser.error("--scale must be > 0, --window/--jobs/--repeats >= 1")
+
+    print("loading / training the system (cached after first run)...")
+    system = get_or_build_system(TINY_SPEC if args.tiny else QUICK_SPEC)
+    names = list(SCENARIOS)
+    if args.scenarios > 0:
+        names = names[: args.scenarios]
+
+    modes: dict[str, dict] = {}
+
+    def timed(fn):
+        """Fastest wall over ``--repeats`` runs (results from the first)."""
+        best, results = None, None
+        for _ in range(args.repeats):
+            gc.collect()
+            start = time.perf_counter()
+            out = fn()
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+            if results is None:
+                results = out
+        return results, best
+
+    print(f"[1/3] sequential sweep ({len(names)} scenarios x "
+          f"{len(DEFAULT_POLICIES)} policies, window=1)...")
+    seq_results, seq_wall = timed(lambda: run_cells_serial(
+        system, names, args.scale, args.seed, window=1, memoize_outputs=False
+    ))
+    frames = total_frames(seq_results)
+    modes["sequential"] = {"wall_seconds": seq_wall, "window": 1, "jobs": 1}
+
+    print(f"[2/3] batched sweep (window={args.window})...")
+    batched_results, batched_wall = timed(lambda: run_cells_serial(
+        system, names, args.scale, args.seed, window=args.window
+    ))
+    modes["batched"] = {
+        "wall_seconds": batched_wall,
+        "window": args.window,
+        "jobs": 1,
+    }
+
+    print(f"[3/3] sharded sweep (window={args.window}, jobs={args.jobs})...")
+    sharded_results, sharded_wall = timed(lambda: run_sweep(
+        system,
+        scenarios=names,
+        scale=args.scale,
+        seed=args.seed,
+        window=args.window,
+        jobs=args.jobs,
+    ))
+    modes["sharded"] = {
+        "wall_seconds": sharded_wall,
+        "window": args.window,
+        "jobs": args.jobs,
+    }
+
+    reference = strip_walls(seq_results)
+    identical = {
+        "batched": strip_walls(batched_results) == reference,
+        "sharded": strip_walls(sharded_results) == reference,
+    }
+
+    rows = []
+    for mode, info in modes.items():
+        wall = info["wall_seconds"]
+        info["frames_per_second"] = frames / wall if wall > 0 else 0.0
+        info["speedup_vs_sequential"] = seq_wall / wall if wall > 0 else 0.0
+        info["wall_seconds"] = round(wall, 3)
+        info["frames_per_second"] = round(info["frames_per_second"], 2)
+        info["speedup_vs_sequential"] = round(info["speedup_vs_sequential"], 3)
+        rows.append([
+            mode, info["window"], info["jobs"], info["wall_seconds"],
+            info["frames_per_second"], info["speedup_vs_sequential"],
+        ])
+
+    print()
+    print(format_table(
+        ["mode", "window", "jobs", "wall (s)", "frames/s", "speedup"],
+        rows, title="closed-loop sweep runtime",
+    ))
+    print(f"equivalence: batched={identical['batched']}  "
+          f"sharded={identical['sharded']}")
+
+    if not all(identical.values()):
+        print("ERROR: fast modes diverged from the sequential reference; "
+              "refusing to write benchmark results", file=sys.stderr)
+        sys.exit(1)
+
+    payload = {
+        "meta": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "scenarios": names,
+            "policies": [p.name for p in DEFAULT_POLICIES],
+            "frames_per_mode": frames,
+            "system_spec": system.spec.cache_key(),
+            "traces_identical": True,
+            "generated_unix": time.time(),
+        },
+        "modes": modes,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,14 @@ the static early/late baselines — and writes ``BENCH_scenarios.json``
 with per-scenario and per-policy aggregates: the perf/energy trajectory
 of the whole drive, not a bag of i.i.d. frames.
 
+The sweep runs through ``repro.simulation.sweep``: ``--window W``
+batches stem/gate/branch inference over W-frame lookahead windows and
+``--jobs N`` shards scenarios over a process pool.  Both knobs change
+wall time only — traces are bit-identical to the sequential path (see
+``tests/simulation/test_batched_equivalence.py``).
+
 Run:  PYTHONPATH=src python benchmarks/bench_scenarios.py [--scale 0.25]
+      [--window 16] [--jobs 4]
 
 First invocation trains the quickstart-scale system (a couple of
 minutes); afterwards everything loads from ``.artifacts/``.
@@ -21,13 +28,7 @@ from pathlib import Path
 
 from repro.evaluation import SystemSpec, get_or_build_system
 from repro.evaluation.reports import format_table
-from repro.simulation import (
-    ClosedLoopRunner,
-    SCENARIOS,
-    adaptive_policy,
-    scaled,
-    static_policy,
-)
+from repro.simulation import DEFAULT_POLICIES, SCENARIOS, run_sweep
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scenarios.json"
@@ -35,41 +36,6 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scenarios.json"
 # Same spec as examples/quickstart.py, so the trained artifact is shared.
 QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
 TINY_SPEC = SystemSpec(per_context=4, iterations=14, gate_iterations=30, batch_size=4)
-
-
-def build_policies(system) -> list:
-    return [
-        adaptive_policy(system.gates["attention"], name="ecofusion_attention"),
-        adaptive_policy(system.gates["knowledge"], name="ecofusion_knowledge"),
-        static_policy("EF_CLCRL", name="static_early"),
-        static_policy("LF_ALL", name="static_late"),
-    ]
-
-
-def run_sweep(system, scale: float, seed: int, verbose: bool = True) -> dict:
-    runner = ClosedLoopRunner(system.model, cache=system.cache)
-    policies = build_policies(system)
-    results: dict[str, dict[str, dict]] = {}
-    for scenario_name, spec in SCENARIOS.items():
-        drive = scaled(spec, scale) if scale != 1.0 else spec
-        results[scenario_name] = {}
-        for policy in policies:
-            start = time.perf_counter()
-            trace = runner.run(drive, policy, seed=seed)
-            elapsed = time.perf_counter() - start
-            entry = trace.to_dict()
-            entry["wall_seconds"] = round(elapsed, 3)
-            results[scenario_name][policy.name] = entry
-            if verbose:
-                print(
-                    f"  {scenario_name:22s} {policy.name:20s} "
-                    f"E={trace.avg_energy_joules:6.2f} J  "
-                    f"t={trace.avg_latency_ms:6.2f} ms  "
-                    f"mAP={trace.map_result.percent:5.1f}%  "
-                    f"switches={trace.switch_count:3d}  "
-                    f"({elapsed:.1f}s wall)"
-                )
-    return results
 
 
 def aggregate_by_policy(results: dict) -> dict[str, dict[str, float]]:
@@ -107,16 +73,48 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--tiny", action="store_true",
                         help="use the test-scale system (fast, noisy)")
+    parser.add_argument("--window", type=int, default=32,
+                        help="lookahead window for batched inference "
+                             "(1 = sequential reference path)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for scenario sharding")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0:
         parser.error("--scale must be positive")
+    if args.window < 1:
+        parser.error("--window must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     print("loading / training the system (cached after first run)...")
     system = get_or_build_system(TINY_SPEC if args.tiny else QUICK_SPEC)
 
-    print(f"sweeping {len(SCENARIOS)} scenarios at scale {args.scale}:")
-    results = run_sweep(system, args.scale, args.seed)
+    print(
+        f"sweeping {len(SCENARIOS)} scenarios at scale {args.scale} "
+        f"(window={args.window}, jobs={args.jobs}):"
+    )
+
+    def progress(scenario: str, policy: str, entry: dict) -> None:
+        print(
+            f"  {scenario:22s} {policy:20s} "
+            f"E={entry['avg_energy_joules']:6.2f} J  "
+            f"t={entry['avg_latency_ms']:6.2f} ms  "
+            f"mAP={entry['map_percent']:5.1f}%  "
+            f"switches={entry['switch_count']:3d}  "
+            f"({entry['wall_seconds']:.1f}s wall)"
+        )
+
+    sweep_start = time.perf_counter()
+    results = run_sweep(
+        system,
+        scale=args.scale,
+        seed=args.seed,
+        window=args.window,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    sweep_wall = time.perf_counter() - sweep_start
     by_policy = aggregate_by_policy(results)
 
     rows = [
@@ -129,11 +127,15 @@ def main() -> None:
         ["policy", "frames", "E(J)/frame", "t(ms)", "mAP%", "switches"],
         rows, title="scenario-library aggregates",
     ))
+    print(f"\nsweep wall time: {sweep_wall:.1f}s")
 
     payload = {
         "meta": {
             "scale": args.scale,
             "seed": args.seed,
+            "window": args.window,
+            "jobs": args.jobs,
+            "sweep_wall_seconds": round(sweep_wall, 3),
             "system_spec": system.spec.cache_key(),
             "generated_unix": time.time(),
         },
@@ -141,7 +143,7 @@ def main() -> None:
         "by_policy": by_policy,
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    print(f"\nwrote {args.output}")
+    print(f"wrote {args.output}")
 
 
 if __name__ == "__main__":

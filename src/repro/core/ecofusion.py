@@ -24,7 +24,7 @@ from ..datasets.radiate import Sample
 from ..datasets.sensors import SENSORS
 from ..datasets.transforms import normalize_sample
 from ..fusion.late import BranchOutput, FusionBlock
-from ..nn import Tensor, no_grad
+from ..nn import Tensor, batch_invariant, no_grad
 from ..perception.detections import Detections
 from ..perception.detector import BranchDetector
 from ..perception.backbone import StemBlock
@@ -60,14 +60,59 @@ class BranchOutputCache:
     held-out scenario pool) can never alias each other.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, memoize_outputs: bool = True) -> None:
         self._store: dict[tuple[str, str], Detections] = {}
+        self._fused: dict[tuple[str, str], Detections] = {}
+        self._loss: dict[tuple[str, str], float] = {}
+        self._stems: dict[tuple[str, str], np.ndarray] = {}
+        # Fused-output/loss memoization is part of the sweep engine's
+        # batched hot path; disable it to reproduce the original
+        # branch-level-only cache (the benchmark's sequential baseline).
+        self.memoize_outputs = bool(memoize_outputs)
 
     def get(self, sample: Sample, branch: str) -> Detections | None:
         return self._store.get((sample.uid, branch))
 
     def put(self, sample: Sample, branch: str, detections: Detections) -> None:
         self._store[(sample.uid, branch)] = detections
+
+    def get_loss(self, sample: Sample, config_name: str) -> float | None:
+        """Memoized fusion loss for one (sample, configuration)."""
+        if not self.memoize_outputs:
+            return None
+        return self._loss.get((sample.uid, config_name))
+
+    def put_loss(self, sample: Sample, config_name: str, loss: float) -> None:
+        if self.memoize_outputs:
+            self._loss[(sample.uid, config_name)] = loss
+
+    def get_stem(self, sample: Sample, sensor: str) -> np.ndarray | None:
+        """Memoized stem-feature row for one (sample, sensor)."""
+        if not self.memoize_outputs:
+            return None
+        return self._stems.get((sample.uid, sensor))
+
+    def put_stem(self, sample: Sample, sensor: str, row: np.ndarray) -> None:
+        if self.memoize_outputs:
+            self._stems[(sample.uid, sensor)] = row
+
+    def get_fused(self, sample: Sample, config_name: str) -> Detections | None:
+        """Memoized late-fusion output for one (sample, configuration).
+
+        Fusion is deterministic given the branch outputs, so sweeping
+        many policies over the same drive re-derives identical fused
+        detections whenever two policies pick the same configuration on
+        the same frame; this makes the repeat free.
+        """
+        if not self.memoize_outputs:
+            return None
+        return self._fused.get((sample.uid, config_name))
+
+    def put_fused(
+        self, sample: Sample, config_name: str, detections: Detections
+    ) -> None:
+        if self.memoize_outputs:
+            self._fused[(sample.uid, config_name)] = detections
 
     def __len__(self) -> int:
         return len(self._store)
@@ -107,10 +152,15 @@ class EcoFusionModel:
         return self._energy_vector.copy()
 
     def set_eval(self) -> None:
+        # Walking every module tree per call is measurable on the
+        # per-frame hot path; skip subtrees whose root is already in
+        # eval mode (train()/eval() always toggle whole subtrees).
         for stem in self.stems.values():
-            stem.eval()
+            if stem.training:
+                stem.eval()
         for branch in self.branches.values():
-            branch.eval()
+            if branch.training:
+                branch.eval()
 
     # ------------------------------------------------------------------
     # Feature extraction
@@ -128,6 +178,47 @@ class EcoFusionModel:
                 batch = np.stack([n[sensor] for n in normalized]).astype(np.float32)
                 features[sensor] = self.stems[sensor](Tensor(batch))
         return features
+
+    def stem_features_cached(
+        self,
+        samples: list[Sample],
+        sensors: tuple[str, ...] | None,
+        cache: BranchOutputCache | None,
+    ) -> dict[str, Tensor]:
+        """Stem outputs with per-(sample, sensor) memoization.
+
+        Stems are policy-independent, so a sweep revisiting the same
+        frames under several policies recomputes identical rows; the
+        cache makes the repeats free.  Rows are stored from (and
+        assembled back into) batch-invariant computations, so cached
+        and fresh rows are interchangeable bit for bit.
+        """
+        if cache is None or not cache.memoize_outputs:
+            return self.stem_features(samples, sensors)
+        sensors = sensors or SENSORS
+        rows: dict[str, list[np.ndarray | None]] = {
+            sensor: [cache.get_stem(s, sensor) for s in samples]
+            for sensor in sensors
+        }
+        # Group misses by which sensors each sample actually lacks, so a
+        # sample cached for some sensors never re-runs those stems.
+        need: dict[tuple[str, ...], list[int]] = {}
+        for i in range(len(samples)):
+            missed = tuple(s for s in sensors if rows[s][i] is None)
+            if missed:
+                need.setdefault(missed, []).append(i)
+        for missed, indices in need.items():
+            computed = self.stem_features([samples[i] for i in indices], missed)
+            for sensor in missed:
+                data = computed[sensor].data
+                for j, i in enumerate(indices):
+                    row = data[j : j + 1]
+                    rows[sensor][i] = row
+                    cache.put_stem(samples[i], sensor, row)
+        return {
+            sensor: Tensor(np.concatenate(rows[sensor], axis=0))
+            for sensor in sensors
+        }
 
     def gate_features(self, features: dict[str, Tensor]) -> Tensor:
         """Channel-concatenation of all stem outputs, in SENSORS order."""
@@ -176,14 +267,92 @@ class EcoFusionModel:
                         cache.put(sample, name, det)
         return results
 
+    def branch_outputs_windowed(
+        self,
+        samples: list[Sample],
+        branch_index: dict[str, list[int]],
+        features: dict[str, Tensor] | None = None,
+        cache: BranchOutputCache | None = None,
+    ) -> dict[str, dict[int, Detections]]:
+        """Batched branch execution over a lookahead window.
+
+        ``branch_index`` maps each branch name to the positions (into
+        ``samples``) whose chosen configuration needs it; each branch
+        then runs once on the gathered sub-batch instead of per frame.
+        Per-row results are bit-identical to frame-by-frame execution:
+        convolutions run under :class:`~repro.nn.functional.batch_invariant`
+        (one GEMM per sample) and the RPN/ROI stages operate per image,
+        so the batched runner reproduces sequential traces exactly
+        (pinned by the equivalence tests).  Cache hits are resolved per
+        sample, and only the misses are gathered and executed.
+        """
+        with batch_invariant():
+            return self._branch_outputs_windowed(
+                samples, branch_index, features, cache
+            )
+
+    def _branch_outputs_windowed(
+        self,
+        samples: list[Sample],
+        branch_index: dict[str, list[int]],
+        features: dict[str, Tensor] | None = None,
+        cache: BranchOutputCache | None = None,
+    ) -> dict[str, dict[int, Detections]]:
+        results: dict[str, dict[int, Detections]] = {b: {} for b in branch_index}
+        missing: dict[str, list[int]] = {}
+        for branch, positions in branch_index.items():
+            for i in positions:
+                hit = cache.get(samples[i], branch) if cache is not None else None
+                if hit is not None:
+                    results[branch][i] = hit
+                else:
+                    missing.setdefault(branch, []).append(i)
+        if not missing:
+            return results
+
+        if features is None:
+            # Stems are per-sensor and per-row independent: compute them
+            # once for the union of missed frames and sensors.
+            rows = sorted({i for positions in missing.values() for i in positions})
+            sensors = tuple(
+                sorted({s for b in missing for s in BRANCHES[b].sensors})
+            )
+            features = self.stem_features_cached(
+                [samples[i] for i in rows], sensors, cache
+            )
+            row_of = {i: r for r, i in enumerate(rows)}
+            gather = lambda positions: np.array(  # noqa: E731
+                [row_of[i] for i in positions]
+            )
+        else:
+            gather = lambda positions: np.array(positions)  # noqa: E731
+
+        for branch, positions in missing.items():
+            index = gather(positions)
+            sub = {s: features[s][index] for s in BRANCHES[branch].sensors}
+            detections = self.run_branch(branch, sub)
+            for i, det in zip(positions, detections):
+                results[branch][i] = det
+                if cache is not None:
+                    cache.put(samples[i], branch, det)
+        return results
+
     def fuse_config(
         self, config: ModelConfiguration, per_branch: dict[str, list[Detections]], index: int
     ) -> Detections:
         """Late-fuse one sample's branch outputs for ``config``."""
+        return self.fuse_single(
+            config, {b: per_branch[b][index] for b in config.branches}
+        )
+
+    def fuse_single(
+        self, config: ModelConfiguration, det_by_branch: dict[str, Detections]
+    ) -> Detections:
+        """Late-fuse one frame given its per-branch detections."""
         outputs = [
             BranchOutput(
                 branch_name=b,
-                detections=per_branch[b][index],
+                detections=det_by_branch[b],
                 frame_sensor=BRANCHES[b].frame_sensor,
             )
             for b in config.branches

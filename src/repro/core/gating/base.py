@@ -63,3 +63,27 @@ class Gate(ABC):
     def select_direct(self, contexts: list[str]) -> list[str] | None:
         """For ``bypasses_optimization`` gates: chosen config names."""
         return None
+
+    def predict_losses_windowed(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        """Batched prediction, bit-identical to N single-frame calls.
+
+        The batched closed-loop runner uses this to amortize gate work
+        over a lookahead window while keeping traces exactly equal to
+        the sequential path.  The default simply loops frame-by-frame
+        (always exact); gates whose trunk is batch-invariant override it
+        with a vectorized implementation (see :class:`~.deep.DeepGate`).
+        """
+        rows = [
+            self.predict_losses(
+                gate_features[i : i + 1],
+                None if contexts is None else [contexts[i]],
+                None if sample_ids is None else [sample_ids[i]],
+            )
+            for i in range(gate_features.shape[0])
+        ]
+        return np.concatenate(rows, axis=0)

@@ -20,6 +20,7 @@ from ...nn import (
     ReLU,
     Sequential,
     Tensor,
+    batch_invariant,
     no_grad,
 )
 from ...nn.layers import MaxPool2d
@@ -72,11 +73,21 @@ class GateNetwork(Module):
         flat = 16 * (stem_hw // 16) * (stem_hw // 16)
         self.head = Sequential(Flatten(), Linear(flat, num_configs, rng=rng))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def trunk(self, x: Tensor) -> Tensor:
+        """Convolutional feature trunk (everything before the MLP head).
+
+        Split out so batched callers can run the batch-invariant conv
+        stack once over a whole window and apply the head frame-by-frame
+        (the dense head is the only stage whose floating-point results
+        depend on batch size through BLAS kernel selection).
+        """
         out = self.conv2(self.conv1(self.pool(x)))
         if self.extra is not None:
             out = self.extra(out)
-        return self.head(self.conv3(out))
+        return self.conv3(out)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.trunk(x))
 
 
 class DeepGate(Gate):
@@ -126,6 +137,40 @@ class DeepGate(Gate):
         with no_grad():
             out = self.network(gate_features)
         raw = out.data.astype(np.float64)
+        if self.prior is None:
+            return raw
+        return self.prior[None, :] + self.shrink * (raw - self.prior[None, :])
+
+    def predict_losses_windowed(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        """Window-batched prediction, bit-identical to per-frame calls.
+
+        The conv stages run once for the whole window under
+        ``batch_invariant`` (per-sample GEMMs over the shared im2col
+        buffer); only the attention layer (whose token matmuls flatten
+        the batch inside BLAS) and the tiny MLP head are applied per
+        frame.  Every result is therefore identical to the sequential
+        batch-of-one path by construction.
+        """
+        net = self.network
+        net.eval()
+        with no_grad(), batch_invariant():
+            pre = net.conv2(net.conv1(net.pool(gate_features)))
+            if net.extra is not None:
+                pre = Tensor.concatenate(
+                    [net.extra(pre[i : i + 1]) for i in range(pre.shape[0])],
+                    axis=0,
+                )
+            trunk = net.conv3(pre)
+            rows = [
+                net.head(trunk[i : i + 1]).data
+                for i in range(trunk.shape[0])
+            ]
+        raw = np.concatenate(rows, axis=0).astype(np.float64)
         if self.prior is None:
             return raw
         return self.prior[None, :] + self.shrink * (raw - self.prior[None, :])

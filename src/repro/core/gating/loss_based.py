@@ -47,3 +47,13 @@ class LossBasedGate(Gate):
         if missing:
             raise KeyError(f"no ground-truth losses recorded for samples {missing[:5]}")
         return np.stack([self._table[int(s)] for s in sample_ids])
+
+    def predict_losses_windowed(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        # Table lookups are already per-row independent; the batch call
+        # is trivially identical to N single-frame calls.
+        return self.predict_losses(gate_features, contexts, sample_ids)

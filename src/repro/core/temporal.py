@@ -71,6 +71,18 @@ class TemporalGate(Gate):
         sample_ids: list[int] | None = None,
     ) -> np.ndarray:
         raw = self.base.predict_losses(gate_features, contexts, sample_ids)
+        return self._smooth(raw)
+
+    def predict_losses_windowed(
+        self,
+        gate_features: Tensor,
+        contexts: list[str] | None = None,
+        sample_ids: list[int] | None = None,
+    ) -> np.ndarray:
+        raw = self.base.predict_losses_windowed(gate_features, contexts, sample_ids)
+        return self._smooth(raw)
+
+    def _smooth(self, raw: np.ndarray) -> np.ndarray:
         out = np.empty_like(raw)
         for i in range(raw.shape[0]):  # frames arrive in order
             if self._state is None:

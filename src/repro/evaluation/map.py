@@ -94,6 +94,13 @@ def evaluate_map(
             gt_count[cls] += int((labels == cls).sum())
         matched = np.zeros(len(boxes), dtype=bool)
         order = np.argsort(-dets.scores)
+        # One pairwise IoU pass per image; the greedy matcher below
+        # reads rows of it instead of recomputing per detection.
+        iou_full = (
+            iou_matrix(dets.boxes, boxes)
+            if len(dets) and len(boxes)
+            else None
+        )
         for j in order:
             cls = int(dets.labels[j])
             if not 1 <= cls <= num_classes:
@@ -101,7 +108,8 @@ def evaluate_map(
             candidates = np.flatnonzero((labels == cls) & ~matched)
             hit = False
             if candidates.size:
-                ious = iou_matrix(dets.boxes[j][None], boxes[candidates])[0]
+                assert iou_full is not None
+                ious = iou_full[j, candidates]
                 best = int(np.argmax(ious))
                 if ious[best] >= iou_threshold:
                     matched[candidates[best]] = True

@@ -21,10 +21,31 @@ from ..perception.detections import Detections
 __all__ = ["weighted_boxes_fusion"]
 
 
+def _iou_row(box: np.ndarray, boxes: np.ndarray) -> np.ndarray:
+    """IoU of one float64 box against (M, 4) float64 boxes.
+
+    Same arithmetic as ``iou_matrix(box[None], boxes)[0]`` (verified bit
+    -identical by the WBF tests) without the per-call shape plumbing —
+    this runs once per fused entry, so the constant factors matter.
+    """
+    x1 = np.maximum(box[0], boxes[:, 0])
+    y1 = np.maximum(box[1], boxes[:, 1])
+    x2 = np.minimum(box[2], boxes[:, 2])
+    y2 = np.minimum(box[3], boxes[:, 3])
+    inter = np.maximum(x2 - x1, 0.0) * np.maximum(y2 - y1, 0.0)
+    area = np.maximum(box[2] - box[0], 0.0) * np.maximum(box[3] - box[1], 0.0)
+    areas = np.maximum(boxes[:, 2] - boxes[:, 0], 0.0) * np.maximum(
+        boxes[:, 3] - boxes[:, 1], 0.0
+    )
+    union = area + areas - inter
+    positive = union > 0
+    return np.where(positive, inter / np.where(positive, union, 1.0), 0.0)
+
+
 class _Cluster:
     """Accumulates boxes belonging to one fused object."""
 
-    __slots__ = ("label", "boxes", "scores", "fused_box", "fused_score")
+    __slots__ = ("label", "boxes", "scores", "fused_box", "fused_score", "moved")
 
     def __init__(self, box: np.ndarray, score: float, label: int) -> None:
         self.label = label
@@ -32,6 +53,7 @@ class _Cluster:
         self.scores = [score]
         self.fused_box = box.copy()
         self.fused_score = score
+        self.moved = False  # True once the fused box leaves the founding box
 
     def add(self, box: np.ndarray, score: float) -> None:
         self.boxes.append(box)
@@ -83,20 +105,54 @@ def weighted_boxes_fusion(
         return Detections()
 
     entries.sort(key=lambda e: -e[1])
+    total = len(entries)
+    # Entry-vs-entry IoUs are precomputed in one vectorized pass.  A
+    # cluster that has absorbed no extra boxes still sits exactly on its
+    # founding entry, so its IoU against a new entry reads straight from
+    # this matrix; only clusters whose fused box moved ("dirty") need a
+    # fresh IoU against their current weighted-average box.  Ties on IoU
+    # resolve to the newest cluster, matching the sequential >=-scan.
+    entry_boxes = np.stack([e[0] for e in entries])
+    pair_iou = iou_matrix(entry_boxes, entry_boxes) if total > 1 else None
     clusters: list[_Cluster] = []
-    for box, score, label in entries:
-        best: _Cluster | None = None
-        best_iou = iou_threshold
-        for cluster in clusters:
-            if cluster.label != label:
-                continue
-            iou = float(iou_matrix(box[None], cluster.fused_box[None])[0, 0])
-            if iou >= best_iou:
-                best, best_iou = cluster, iou
-        if best is None:
+    fused_store = np.empty((total, 4), dtype=np.float64)
+    # Per-label state (clusters of different labels never interact):
+    # cluster ids, founding entry ids, and the positions whose fused box
+    # has moved off its founding entry, all in creation order.
+    groups: dict[int, list[int]] = {}
+    heads: dict[int, list[int]] = {}
+    moved_at: dict[int, list[int]] = {}
+    for e, (box, score, label) in enumerate(entries):
+        best_index = -1
+        group = groups.get(label)
+        if group:
+            ious = pair_iou[e, heads[label]]
+            moved = moved_at.get(label)
+            if moved:
+                ious[moved] = _iou_row(
+                    box, fused_store[[group[k] for k in moved]]
+                )
+            eligible = ious >= iou_threshold
+            if eligible.any():
+                candidates = np.flatnonzero(eligible)
+                values = ious[candidates]
+                best_position = int(candidates[
+                    len(values) - 1 - int(np.argmax(values[::-1]))
+                ])
+                best_index = group[best_position]
+        if best_index < 0:
+            index = len(clusters)
             clusters.append(_Cluster(box, score, label))
+            fused_store[index] = box
+            groups.setdefault(label, []).append(index)
+            heads.setdefault(label, []).append(e)
         else:
-            best.add(box, score)
+            cluster = clusters[best_index]
+            cluster.add(box, score)
+            fused_store[best_index] = cluster.fused_box
+            if not cluster.moved:
+                cluster.moved = True
+                moved_at.setdefault(label, []).append(best_position)
 
     boxes = np.stack([c.fused_box for c in clusters]).astype(np.float32)
     labels = np.array([c.label for c in clusters], dtype=np.int64)

@@ -38,6 +38,71 @@ def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
     return (value, value) if isinstance(value, int) else (int(value[0]), int(value[1]))
 
 
+_BATCH_INVARIANT = False
+
+
+class batch_invariant:
+    """Force batched convolutions to be bit-identical per sample.
+
+    BLAS GEMM kernels choose blocking (and therefore rounding) based on
+    the full matrix shape, so a conv over N stacked samples is not
+    guaranteed to reproduce the batch-of-one result row for row — it
+    happens to on some shapes and silently diverges on others.  Inside
+    this context :func:`conv2d` runs one GEMM per sample over a fresh
+    copy of that sample's im2col rows: the expensive python/layout work
+    stays batched while every sample's arithmetic matches its standalone
+    execution.  The windowed closed-loop runner wraps its lookahead
+    batches in this so batched drives reproduce sequential ones; the
+    equivalence test suite and the benchmark's in-run diff verify the
+    bit-identity end to end on the running BLAS.
+    """
+
+    def __enter__(self) -> "batch_invariant":
+        global _BATCH_INVARIANT
+        self._prev = _BATCH_INVARIANT
+        _BATCH_INVARIANT = True
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _BATCH_INVARIANT
+        _BATCH_INVARIANT = self._prev
+
+
+# GEMM row-stability verdicts per (batch, rows, k, f, dtype) shape.
+# BLAS picks its blocking (and therefore its summation order) from the
+# matrix shapes, so one bit-level comparison on real data decides
+# whether the full-batch GEMM reproduces per-sample results for that
+# shape; the equivalence tests and bench_runtime's in-run diff guard
+# the (unobserved so far) case of a data- or alignment-dependent kernel.
+_STABLE_GEMM: dict[tuple[int, int, int, int, str], bool] = {}
+
+
+def _invariant_matmul(
+    cols_mat: np.ndarray, w_t: np.ndarray, n: int, rows: int, f: int
+) -> np.ndarray:
+    """Batched GEMM whose rows match per-sample execution.
+
+    The reference result is one GEMM per sample, each over a fresh
+    contiguous copy of that sample's rows — matching a batch-of-one
+    forward's freshly allocated im2col buffer, since BLAS kernels can be
+    sensitive to operand buffer placement as well as shape.  Per shape,
+    the first call also runs the full-batch GEMM and compares bits: when
+    the kernel is row-stable for that shape (common), later calls take
+    the fast single-GEMM path; otherwise they keep the per-sample loop.
+    """
+    key = (n, rows, cols_mat.shape[1], f, cols_mat.dtype.str)
+    verdict = _STABLE_GEMM.get(key)
+    if verdict:
+        return cols_mat @ w_t
+    out = np.empty((n * rows, f), dtype=cols_mat.dtype)
+    for i in range(n):
+        sample = np.array(cols_mat[i * rows : (i + 1) * rows])
+        np.matmul(sample, w_t, out=out[i * rows : (i + 1) * rows])
+    if verdict is None:
+        _STABLE_GEMM[key] = bool(np.array_equal(cols_mat @ w_t, out))
+    return out
+
+
 def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
     """Extract sliding patches: (N,C,H,W) -> (N, Ho, Wo, C, kh, kw)."""
     windows = sliding_window_view(x, (kh, kw), axis=(2, 3))  # (N,C,Ho',Wo',kh,kw)
@@ -104,10 +169,20 @@ def conv2d(
     ho = (h - kh) // sh + 1
     wo = (w - kw) // sw + 1
 
-    cols = _im2col(xd, kh, kw, sh, sw)  # (N,Ho,Wo,C,kh,kw)
-    cols_mat = cols.reshape(n * ho * wo, c * kh * kw)
+    if kh == 1 and kw == 1:
+        # 1x1 kernels need no patch extraction: the im2col matrix is just
+        # the (strided) input with channels moved last — same values, so
+        # the GEMM below is bit-identical to the general path.
+        strided = xd[:, :, ::sh, ::sw]
+        cols_mat = strided.transpose(0, 2, 3, 1).reshape(n * ho * wo, c)
+    else:
+        cols = _im2col(xd, kh, kw, sh, sw)  # (N,Ho,Wo,C,kh,kw)
+        cols_mat = cols.reshape(n * ho * wo, c * kh * kw)
     w_mat = wd.reshape(f, c * kh * kw)
-    out = cols_mat @ w_mat.T  # (N*Ho*Wo, F)
+    if _BATCH_INVARIANT and n > 1:
+        out = _invariant_matmul(cols_mat, w_mat.T, n, ho * wo, f)
+    else:
+        out = cols_mat @ w_mat.T  # (N*Ho*Wo, F)
     out = out.reshape(n, ho, wo, f).transpose(0, 3, 1, 2)
     if bias is not None:
         out = out + bias.data.reshape(1, f, 1, 1)

@@ -331,8 +331,17 @@ class Tensor:
         return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
 
     def relu(self) -> "Tensor":
+        if not is_grad_enabled():
+            # Inference path: no backward mask needed, and np.maximum
+            # writes the result in one pass.  Unlike the masked training
+            # path (which zeroes NaN), this propagates NaN — a NaN
+            # activation at inference indicates broken weights and
+            # should surface, not be silently squashed.
+            return Tensor(np.maximum(self.data, 0))
         mask = self.data > 0
-        data = np.where(mask, self.data, 0.0).astype(self.data.dtype)
+        data = np.where(mask, self.data, 0.0)
+        if data.dtype != self.data.dtype:  # avoid a same-dtype copy
+            data = data.astype(self.data.dtype)
         return Tensor._make(data, (self,), lambda g: (g * mask,))
 
     def leaky_relu(self, slope: float = 0.1) -> "Tensor":

@@ -17,6 +17,7 @@ __all__ = [
     "decode_boxes",
     "clip_boxes",
     "nms",
+    "greedy_nms_positions",
     "remove_degenerate",
     "BBOX_XFORM_CLIP",
 ]
@@ -36,19 +37,24 @@ def box_area(boxes: np.ndarray) -> np.ndarray:
 
 def iou_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Pairwise IoU between (N, 4) and (M, 4) boxes -> (N, M) float64."""
-    a = np.asarray(a, dtype=np.float64).reshape(-1, 4)
-    b = np.asarray(b, dtype=np.float64).reshape(-1, 4)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2:
+        a = a.reshape(-1, 4)
+    if b.ndim != 2:
+        b = b.reshape(-1, 4)
     if a.shape[0] == 0 or b.shape[0] == 0:
         return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
     x1 = np.maximum(a[:, None, 0], b[None, :, 0])
     y1 = np.maximum(a[:, None, 1], b[None, :, 1])
     x2 = np.minimum(a[:, None, 2], b[None, :, 2])
     y2 = np.minimum(a[:, None, 3], b[None, :, 3])
-    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
-    union = box_area(a)[:, None] + box_area(b)[None, :] - inter
-    with np.errstate(divide="ignore", invalid="ignore"):
-        iou = np.where(union > 0, inter / union, 0.0)
-    return iou
+    inter = np.maximum(x2 - x1, 0.0) * np.maximum(y2 - y1, 0.0)
+    area_a = np.maximum(a[:, 2] - a[:, 0], 0.0) * np.maximum(a[:, 3] - a[:, 1], 0.0)
+    area_b = np.maximum(b[:, 2] - b[:, 0], 0.0) * np.maximum(b[:, 3] - b[:, 1], 0.0)
+    union = area_a[:, None] + area_b[None, :] - inter
+    positive = union > 0
+    return np.where(positive, inter / np.where(positive, union, 1.0), 0.0)
 
 
 def encode_boxes(reference: np.ndarray, target: np.ndarray) -> np.ndarray:
@@ -82,8 +88,8 @@ def decode_boxes(reference: np.ndarray, deltas: np.ndarray) -> np.ndarray:
     rx = reference[:, 0] + rw / 2
     ry = reference[:, 1] + rh / 2
     dx, dy = deltas[:, 0], deltas[:, 1]
-    dw = np.clip(deltas[:, 2], -BBOX_XFORM_CLIP, BBOX_XFORM_CLIP)
-    dh = np.clip(deltas[:, 3], -BBOX_XFORM_CLIP, BBOX_XFORM_CLIP)
+    dw = np.minimum(np.maximum(deltas[:, 2], -BBOX_XFORM_CLIP), BBOX_XFORM_CLIP)
+    dh = np.minimum(np.maximum(deltas[:, 3], -BBOX_XFORM_CLIP), BBOX_XFORM_CLIP)
     cx = rx + dx * rw
     cy = ry + dy * rh
     w = rw * np.exp(dw)
@@ -95,8 +101,8 @@ def decode_boxes(reference: np.ndarray, deltas: np.ndarray) -> np.ndarray:
 def clip_boxes(boxes: np.ndarray, image_size: int) -> np.ndarray:
     """Clamp boxes to the image extent ``[0, image_size - 1]``."""
     out = np.asarray(boxes, dtype=np.float32).reshape(-1, 4).copy()
-    out[:, 0::2] = np.clip(out[:, 0::2], 0, image_size - 1)
-    out[:, 1::2] = np.clip(out[:, 1::2], 0, image_size - 1)
+    np.maximum(out, 0, out=out)
+    np.minimum(out, image_size - 1, out=out)
     return out
 
 
@@ -107,29 +113,55 @@ def remove_degenerate(boxes: np.ndarray, min_size: float = 1.0) -> np.ndarray:
     return np.flatnonzero(keep)
 
 
-def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.5) -> np.ndarray:
-    """Greedy non-maximum suppression; returns kept indices, score-ordered."""
+def nms(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    iou_threshold: float = 0.5,
+    max_keep: int | None = None,
+) -> np.ndarray:
+    """Greedy non-maximum suppression; returns kept indices, score-ordered.
+
+    The pairwise IoU matrix is computed once up front (one vectorized
+    pass) and the greedy sweep walks it; candidate sets here are small
+    (bounded by the RPN's pre-NMS top-k), so the O(n^2) matrix is far
+    cheaper than per-survivor numpy round trips.  ``max_keep`` stops the
+    sweep once that many boxes survive — the result equals the full
+    sweep truncated to ``max_keep`` entries.
+    """
     boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
     scores = np.asarray(scores, dtype=np.float64).reshape(-1)
-    if boxes.shape[0] == 0:
+    n = boxes.shape[0]
+    if n == 0:
         return np.zeros(0, dtype=np.int64)
+    if n == 1:  # nothing to suppress; skip the IoU machinery
+        return np.zeros(1, dtype=np.int64)
     order = np.argsort(-scores)
+    iou = iou_matrix(boxes[order], boxes[order])
+    keep = greedy_nms_positions(iou, iou_threshold, max_keep)
+    return order[keep]
+
+
+def greedy_nms_positions(
+    iou: np.ndarray,
+    iou_threshold: float,
+    max_keep: int | None = None,
+) -> np.ndarray:
+    """Greedy NMS sweep over a pairwise IoU matrix in score order.
+
+    ``iou`` must be indexed in descending-score order; returns the kept
+    positions (into that ordering).  Shared by :func:`nms` and callers
+    that batch one IoU matrix across several groups (e.g. class-wise NMS
+    over submatrices).
+    """
+    n = iou.shape[0]
     keep: list[int] = []
-    suppressed = np.zeros(len(order), dtype=bool)
-    areas = box_area(boxes)
-    for pos, i in enumerate(order):
+    suppressed = np.zeros(n, dtype=bool)
+    for pos in range(n):
         if suppressed[pos]:
             continue
-        keep.append(int(i))
-        rest = order[pos + 1 :]
-        if rest.size == 0:
+        keep.append(pos)
+        if max_keep is not None and len(keep) >= max_keep:
             break
-        x1 = np.maximum(boxes[i, 0], boxes[rest, 0])
-        y1 = np.maximum(boxes[i, 1], boxes[rest, 1])
-        x2 = np.minimum(boxes[i, 2], boxes[rest, 2])
-        y2 = np.minimum(boxes[i, 3], boxes[rest, 3])
-        inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
-        union = areas[i] + areas[rest] - inter
-        iou = np.where(union > 0, inter / union, 0.0)
-        suppressed[pos + 1 :] |= iou > iou_threshold
+        if pos + 1 < n:
+            suppressed[pos + 1 :] |= iou[pos, pos + 1 :] > iou_threshold
     return np.array(keep, dtype=np.int64)

@@ -16,7 +16,14 @@ import numpy as np
 from ..nn import Linear, Module, Tensor, cross_entropy, no_grad, smooth_l1
 from ..nn import functional as F
 from .backbone import FEATURE_CHANNELS, FEATURE_STRIDE
-from .boxes import clip_boxes, decode_boxes, encode_boxes, nms
+from .boxes import (
+    clip_boxes,
+    decode_boxes,
+    encode_boxes,
+    greedy_nms_positions,
+    iou_matrix,
+    nms,
+)
 from .detections import Detections
 from .matching import match_anchors, sample_matches
 
@@ -143,31 +150,91 @@ class ROIHead(Module):
     def predict(
         self, features: Tensor, proposals: list[np.ndarray]
     ) -> list[Detections]:
-        """Final per-image detections from proposals (inference path)."""
+        """Final per-image detections from proposals (inference path).
+
+        ROI pooling runs once over every image's proposals (it is
+        per-roi independent, so batching it is free); the MLP head then
+        runs per image so its BLAS batch size — and therefore every
+        output bit — matches single-image execution.
+        """
         cfg = self.config
         results: list[Detections] = []
+        counts = [int(p.shape[0]) for p in proposals]
+        total = sum(counts)
         with no_grad():
+            pooled_flat = None
+            if total:
+                rois = np.zeros((total, 5), dtype=np.float32)
+                offset = 0
+                for i, props in enumerate(proposals):
+                    rois[offset : offset + counts[i], 0] = i
+                    rois[offset : offset + counts[i], 1:] = props
+                    offset += counts[i]
+                pooled = F.roi_align(
+                    features, rois, cfg.pool_size, 1.0 / FEATURE_STRIDE
+                )
+                pooled_flat = pooled.flatten(1)
+            # The MLP head runs per image (BLAS batch size must match
+            # single-image execution bit-for-bit); everything after it is
+            # per-row independent, so softmax/argmax/decode/clip run once
+            # over the concatenated rows of all images.
+            offset = 0
+            logits_rows: list[np.ndarray] = []
+            deltas_rows: list[np.ndarray] = []
             for i, props in enumerate(proposals):
-                if props.shape[0] == 0:
+                count = counts[i]
+                if count == 0:
+                    continue
+                assert pooled_flat is not None
+                hidden = self.fc(pooled_flat[offset : offset + count]).relu()
+                offset += count
+                logits_rows.append(self.cls_head(hidden).data)
+                deltas_rows.append(self.reg_head(hidden).data)
+            if total:
+                all_props = np.concatenate(
+                    [p for p in proposals if p.shape[0]], axis=0
+                )
+                all_logits = Tensor(np.concatenate(logits_rows, axis=0))
+                all_probs = all_logits.softmax(axis=-1).data
+                all_labels = all_probs[:, 1:].argmax(axis=1) + 1  # best foreground
+                all_scores = all_probs[np.arange(len(all_labels)), all_labels]
+                all_boxes = decode_boxes(
+                    all_props, np.concatenate(deltas_rows, axis=0)
+                )
+                all_boxes = clip_boxes(all_boxes, self.image_size)
+            offset = 0
+            for i, props in enumerate(proposals):
+                count = counts[i]
+                if count == 0:
                     results.append(Detections())
                     continue
-                rois = np.zeros((props.shape[0], 5), dtype=np.float32)
-                rois[:, 0] = i
-                rois[:, 1:] = props
-                logits, deltas = self.forward(features, rois)
-                probs = logits.softmax(axis=-1).data
-                labels = probs[:, 1:].argmax(axis=1) + 1  # best foreground class
-                scores = probs[np.arange(len(labels)), labels]
-                boxes = decode_boxes(props, deltas.data)
-                boxes = clip_boxes(boxes, self.image_size)
+                boxes = all_boxes[offset : offset + count]
+                scores = all_scores[offset : offset + count]
+                labels = all_labels[offset : offset + count]
+                offset += count
                 keep = scores >= cfg.score_threshold
                 boxes, scores, labels = boxes[keep], scores[keep], labels[keep]
-                # Class-wise NMS.
-                final = []
-                for cls in np.unique(labels):
-                    sel = np.flatnonzero(labels == cls)
-                    kept = nms(boxes[sel], scores[sel], cfg.nms_threshold)
-                    final.extend(sel[kept])
+                # Class-wise NMS: one pairwise IoU per image, greedy
+                # sweeps on per-class submatrices (identical to running
+                # nms() per class, without re-deriving the IoUs).
+                unique_labels = np.unique(labels)
+                if unique_labels.size == 1:
+                    final = list(nms(boxes, scores, cfg.nms_threshold))
+                else:
+                    iou_full = iou_matrix(boxes, boxes)
+                    final = []
+                    for cls in unique_labels:
+                        sel = np.flatnonzero(labels == cls)
+                        if sel.size == 1:
+                            final.append(int(sel[0]))
+                            continue
+                        order = np.argsort(-scores[sel])
+                        ordered = sel[order]
+                        kept = greedy_nms_positions(
+                            iou_full[np.ix_(ordered, ordered)],
+                            cfg.nms_threshold,
+                        )
+                        final.extend(ordered[kept])
                 final = np.array(sorted(final, key=lambda j: -scores[j]), dtype=np.int64)
                 final = final[: cfg.max_detections]
                 results.append(Detections(boxes[final], scores[final], labels[final]))

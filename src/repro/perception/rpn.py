@@ -21,7 +21,7 @@ from ..nn import (
 )
 from .anchors import AnchorGenerator
 from .backbone import FEATURE_CHANNELS
-from .boxes import clip_boxes, decode_boxes, nms, remove_degenerate
+from .boxes import clip_boxes, decode_boxes, nms
 from .matching import match_anchors, sample_matches
 
 __all__ = ["RPNHead", "RPNOutput", "RPNConfig"]
@@ -93,19 +93,36 @@ class RPNHead(Module):
     def _decode_proposals(
         self, objectness: np.ndarray, deltas: np.ndarray
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Decode per-image proposals with batch-level vectorization.
+
+        Top-k selection, box decoding and clipping are per-anchor
+        independent, so they run once over the whole batch; only the
+        greedy NMS sweep stays per image.  Results are bit-identical to
+        the former image-by-image loop.
+        """
         cfg = self.config
         grid = self.anchors.grid(self.image_size)
+        n = objectness.shape[0]
+        order = np.argsort(-objectness, axis=1)[:, : cfg.pre_nms_top_n]  # (N,k)
+        k = order.shape[1]
+        top_scores = np.take_along_axis(objectness, order, axis=1)  # (N,k)
+        refs = grid[order.reshape(-1)]
+        top_deltas = np.take_along_axis(deltas, order[:, :, None], axis=1)
+        boxes = decode_boxes(refs, top_deltas.reshape(-1, 4))
+        boxes = clip_boxes(boxes, self.image_size).reshape(n, k, 4)
+        solid = (boxes[:, :, 2] - boxes[:, :, 0] >= cfg.min_box_size) & (
+            boxes[:, :, 3] - boxes[:, :, 1] >= cfg.min_box_size
+        )
         proposals: list[np.ndarray] = []
         out_scores: list[np.ndarray] = []
-        for i in range(objectness.shape[0]):
-            scores = objectness[i]
-            order = np.argsort(-scores)[: cfg.pre_nms_top_n]
-            boxes = decode_boxes(grid[order], deltas[i][order])
-            boxes = clip_boxes(boxes, self.image_size)
-            keep = remove_degenerate(boxes, cfg.min_box_size)
-            boxes, kept_scores = boxes[keep], scores[order][keep]
-            keep = nms(boxes, kept_scores, cfg.nms_threshold)[: cfg.post_nms_top_n]
-            proposals.append(boxes[keep])
+        for i in range(n):
+            keep = np.flatnonzero(solid[i])
+            kept_boxes, kept_scores = boxes[i][keep], top_scores[i][keep]
+            keep = nms(
+                kept_boxes, kept_scores, cfg.nms_threshold,
+                max_keep=cfg.post_nms_top_n,
+            )
+            proposals.append(kept_boxes[keep])
             out_scores.append(kept_scores[keep])
         return proposals, out_scores
 

@@ -21,6 +21,13 @@ from .closed_loop import (
 from .drive import DriveFrame, DriveSource, apply_fault
 from .library import SCENARIOS, get_scenario, scenario_names
 from .scenario import FAULT_MODES, ScenarioSpec, SegmentSpec, SensorFault, scaled
+from .sweep import (
+    DEFAULT_POLICIES,
+    PolicySpec,
+    SweepShard,
+    run_shard,
+    run_sweep,
+)
 
 __all__ = [
     "ClosedLoopRunner",
@@ -40,4 +47,9 @@ __all__ = [
     "SegmentSpec",
     "SensorFault",
     "scaled",
+    "DEFAULT_POLICIES",
+    "PolicySpec",
+    "SweepShard",
+    "run_shard",
+    "run_sweep",
 ]

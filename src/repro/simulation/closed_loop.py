@@ -23,7 +23,7 @@ accuracy, configuration switching and state-of-charge over a whole drive.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from ..hardware.battery import BatteryState, ElectricVehicle, NOMINAL_EV
 from ..hardware.profiler import SystemCosts, fusion_flops
 from ..hardware.scheduler import schedule_parallel, schedule_serial
 from ..hardware.sensors_power import FUSION_CYCLE_HZ, sensor_energy
+from ..nn import batch_invariant
 from .drive import DriveFrame, DriveSource
 from .scenario import ScenarioSpec
 
@@ -245,8 +246,38 @@ class DriveTrace:
         }
 
 
+@dataclass
+class _DriveState:
+    """Mutable per-drive state threaded through both execution modes."""
+
+    gate: Gate | None
+    hysteresis: HysteresisPolicy
+    duty: SensorDutyCycle
+    energies: np.ndarray
+    static_config: ModelConfiguration | None
+    battery: BatteryState
+    records: list[FrameRecord] = field(default_factory=list)
+    detections_per_frame: list = field(default_factory=list)
+    gt_boxes: list = field(default_factory=list)
+    gt_labels: list = field(default_factory=list)
+    previous_config: str | None = None
+
+
 class ClosedLoopRunner:
-    """Run perception policies closed-loop over scripted drives."""
+    """Run perception policies closed-loop over scripted drives.
+
+    Two execution modes produce bit-identical :class:`DriveTrace`s:
+
+    * ``window=1`` (default) — the sequential reference path: one
+      stem/gate/branch pass per frame, exactly as a deployed single
+      stream would run.
+    * ``window=W>1`` — the batched hot path: stems and the gate's conv
+      trunk run once per W-frame lookahead window, and branch inference
+      is gathered across the window so each needed branch executes one
+      sub-batch instead of per-frame batches of one.  All batched
+      stages are batch-invariant (verified by the equivalence tests),
+      so the trace is exactly the sequential trace, only faster.
+    """
 
     def __init__(
         self,
@@ -267,6 +298,12 @@ class ClosedLoopRunner:
         self.parallel_engines = bool(parallel_engines)
         self.mask_faulted_configs = bool(mask_faulted_configs)
         self.cache = cache
+        # Per-runner memos: the model library, cost tables and cycle rate
+        # are fixed, so these pure lookups never need recomputing
+        # (sequential mode rebuilt them every frame before this existed).
+        self._healthy_memo: dict[tuple[str, ...], np.ndarray] = {}
+        self._cost_memo: dict[tuple[str, str], tuple[float, float]] = {}
+        self._sensor_energy_memo: dict[tuple[bool, ...], float] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -275,75 +312,221 @@ class ClosedLoopRunner:
         policy: DrivePolicy,
         seed: int = 0,
         battery: BatteryState | None = None,
+        window: int = 1,
+        frames: list[DriveFrame] | None = None,
     ) -> DriveTrace:
-        """Drive ``spec`` under ``policy``; returns the full trace."""
-        source = DriveSource(spec, seed=seed, image_size=self.model.image_size)
+        """Drive ``spec`` under ``policy``; returns the full trace.
+
+        ``window`` selects the execution mode (see class docstring).
+        ``frames`` optionally supplies pre-rendered frames for exactly
+        ``(spec, seed)`` — the sweep engine renders each scenario once
+        and shares the stream across policies.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if frames is None:
+            source = DriveSource(spec, seed=seed, image_size=self.model.image_size)
+            frame_windows = source.prefetch(window)
+        else:
+            frame_windows = (
+                frames[start : start + window]
+                for start in range(0, len(frames), window)
+            )
         battery = battery or BatteryState(vehicle=self.vehicle)
-        gate = self._prepare_gate(policy)
-        hysteresis = HysteresisPolicy(margin=policy.hysteresis_margin)
-        duty = SensorDutyCycle()
-        energies = self.model.energies()
-        static_config = (
-            self.model.config_named(policy.config_name)
-            if policy.kind == "static"
-            else None
+        state = _DriveState(
+            gate=self._prepare_gate(policy),
+            hysteresis=HysteresisPolicy(margin=policy.hysteresis_margin),
+            duty=SensorDutyCycle(),
+            energies=self.model.energies(),
+            static_config=(
+                self.model.config_named(policy.config_name)
+                if policy.kind == "static"
+                else None
+            ),
+            battery=battery,
         )
 
-        records: list[FrameRecord] = []
-        detections_per_frame = []
-        gt_boxes, gt_labels = [], []
-        previous_config: str | None = None
-        for frame in source:
-            config, masked, features = self._choose(
-                frame, policy, gate, hysteresis, energies, static_config
-            )
-            detections = self._execute(frame, config, features)
-            power_state = duty.step(config, offline=frame.faulted_sensors)
-            latency_ms, platform_j = self._cost(config, policy)
-            sensors_j = sum(
-                sensor_energy(s, gated=not on, cycle_hz=self.cycle_hz)
-                for s, on in power_state.items()
-            )
-            speed = self.base_speed_kmh * spec.segments[frame.segment_index].ego_speed
-            soc = battery.drive_step(
-                platform_j + sensors_j,
-                speed_kmh=speed,
-                duration_s=1.0 / self.cycle_hz,
-                overhead_factor=self.overhead_factor,
-            )
-            sample = frame.sample
-            records.append(
-                FrameRecord(
-                    time_index=frame.time_index,
-                    segment_index=frame.segment_index,
-                    context=frame.context,
-                    config_name=config.name,
-                    switched=(
-                        previous_config is not None
-                        and config.name != previous_config
-                    ),
-                    fault_labels=tuple(f.label for f in frame.faults),
-                    fault_masked=masked,
-                    latency_ms=latency_ms,
-                    platform_energy_joules=platform_j,
-                    sensor_energy_joules=sensors_j,
-                    battery_soc=soc,
-                    num_detections=len(detections),
-                    loss=fusion_loss(detections, sample.boxes, sample.labels),
-                )
-            )
-            detections_per_frame.append(detections)
-            gt_boxes.append(sample.boxes)
-            gt_labels.append(sample.labels)
-            previous_config = config.name
+        for chunk in frame_windows:
+            if window == 1:
+                for frame in chunk:
+                    self._step_sequential(frame, spec, policy, state)
+            else:
+                self._step_window(chunk, spec, policy, state)
 
         return DriveTrace(
             scenario=spec.name,
             policy=policy.name,
-            records=records,
-            map_result=evaluate_map(detections_per_frame, gt_boxes, gt_labels),
+            records=state.records,
+            map_result=evaluate_map(
+                state.detections_per_frame, state.gt_boxes, state.gt_labels
+            ),
             final_soc=battery.soc,
         )
+
+    # ------------------------------------------------------------------
+    # Sequential reference path
+    # ------------------------------------------------------------------
+    def _step_sequential(
+        self,
+        frame: DriveFrame,
+        spec: ScenarioSpec,
+        policy: DrivePolicy,
+        state: "_DriveState",
+    ) -> None:
+        config, masked, features = self._choose(
+            frame, policy, state.gate, state.hysteresis, state.energies,
+            state.static_config,
+        )
+        detections = self._execute(frame, config, features)
+        self._finalize_frame(frame, spec, policy, config, masked, detections, state)
+
+    # ------------------------------------------------------------------
+    # Batched hot path
+    # ------------------------------------------------------------------
+    def _step_window(
+        self,
+        chunk: list[DriveFrame],
+        spec: ScenarioSpec,
+        policy: DrivePolicy,
+        state: "_DriveState",
+    ) -> None:
+        with batch_invariant():
+            self._run_window(chunk, spec, policy, state)
+
+    def _run_window(
+        self,
+        chunk: list[DriveFrame],
+        spec: ScenarioSpec,
+        policy: DrivePolicy,
+        state: "_DriveState",
+    ) -> None:
+        samples = [f.sample for f in chunk]
+        features = None
+        if policy.kind == "static":
+            assert state.static_config is not None
+            chosen = [(state.static_config, False)] * len(chunk)
+        elif state.gate is not None and state.gate.bypasses_optimization:
+            names = state.gate.select_direct([s.context for s in samples])
+            assert names is not None
+            chosen = [
+                self._resolve_bypass(name, frame, state.energies)
+                for name, frame in zip(names, chunk)
+            ]
+        else:
+            assert state.gate is not None
+            features = self.model.stem_features_cached(samples, None, self.cache)
+            gate_input = self.model.gate_features(features)
+            predicted = state.gate.predict_losses_windowed(
+                gate_input,
+                [s.context for s in samples],
+                [s.sample_id for s in samples],
+            )
+            chosen = [
+                self._resolve_learned(predicted[i], chunk[i], state, policy)
+                for i in range(len(chunk))
+            ]
+
+        fused = self._execute_window(chunk, samples, chosen, features)
+        for frame, (config, masked), detections in zip(chunk, chosen, fused):
+            self._finalize_frame(
+                frame, spec, policy, config, masked, detections, state
+            )
+
+    def _execute_window(
+        self,
+        chunk: list[DriveFrame],
+        samples: list,
+        chosen: list[tuple[ModelConfiguration, bool]],
+        features: dict | None,
+    ) -> list:
+        """Fused detections per frame, batching branch runs across the window."""
+        fused: list = [None] * len(chunk)
+        branch_index: dict[str, list[int]] = {}
+        pending: list[int] = []
+        for i, (config, _) in enumerate(chosen):
+            hit = (
+                self.cache.get_fused(samples[i], config.name)
+                if self.cache is not None
+                else None
+            )
+            if hit is not None:
+                fused[i] = hit
+                continue
+            pending.append(i)
+            for branch in config.branches:
+                branch_index.setdefault(branch, []).append(i)
+        if not pending:
+            return fused
+        per_branch = self.model.branch_outputs_windowed(
+            samples, branch_index, features=features, cache=self.cache
+        )
+        for i in pending:
+            config = chosen[i][0]
+            detections = self.model.fuse_single(
+                config, {b: per_branch[b][i] for b in config.branches}
+            )
+            fused[i] = detections
+            if self.cache is not None:
+                self.cache.put_fused(samples[i], config.name, detections)
+        return fused
+
+    # ------------------------------------------------------------------
+    # Shared per-frame bookkeeping (identical arithmetic in both modes)
+    # ------------------------------------------------------------------
+    def _finalize_frame(
+        self,
+        frame: DriveFrame,
+        spec: ScenarioSpec,
+        policy: DrivePolicy,
+        config: ModelConfiguration,
+        masked: bool,
+        detections,
+        state: "_DriveState",
+    ) -> None:
+        power_state = state.duty.step(config, offline=frame.faulted_sensors)
+        latency_ms, platform_j = self._cost(config, policy)
+        sensors_j = self._sensor_energy(power_state)
+        speed = self.base_speed_kmh * spec.segments[frame.segment_index].ego_speed
+        soc = state.battery.drive_step(
+            platform_j + sensors_j,
+            speed_kmh=speed,
+            duration_s=1.0 / self.cycle_hz,
+            overhead_factor=self.overhead_factor,
+        )
+        sample = frame.sample
+        loss = (
+            self.cache.get_loss(sample, config.name)
+            if self.cache is not None
+            else None
+        )
+        if loss is None:
+            loss = fusion_loss(detections, sample.boxes, sample.labels)
+            if self.cache is not None:
+                self.cache.put_loss(sample, config.name, loss)
+        state.records.append(
+            FrameRecord(
+                time_index=frame.time_index,
+                segment_index=frame.segment_index,
+                context=frame.context,
+                config_name=config.name,
+                switched=(
+                    state.previous_config is not None
+                    and config.name != state.previous_config
+                ),
+                fault_labels=tuple(f.label for f in frame.faults),
+                fault_masked=masked,
+                latency_ms=latency_ms,
+                platform_energy_joules=platform_j,
+                sensor_energy_joules=sensors_j,
+                battery_soc=soc,
+                num_detections=len(detections),
+                loss=loss,
+            )
+        )
+        state.detections_per_frame.append(detections)
+        state.gt_boxes.append(sample.boxes)
+        state.gt_labels.append(sample.labels)
+        state.previous_config = config.name
 
     # ------------------------------------------------------------------
     def _prepare_gate(self, policy: DrivePolicy) -> Gate | None:
@@ -365,15 +548,63 @@ class ClosedLoopRunner:
         """True where a configuration touches no failed sensor.
 
         Falls back to all-healthy when every configuration is impacted
-        (better to run degraded perception than none at all).
+        (better to run degraded perception than none at all).  Memoized
+        per fault-set: fault windows span many frames, so the library
+        scan runs once per distinct outage instead of per frame.
         """
+        cached = self._healthy_memo.get(faulted)
+        if cached is not None:
+            return cached
         down = set(faulted)
         mask = np.array(
             [not down.intersection(c.sensors) for c in self.model.library]
         )
         if not mask.any():
-            return np.ones_like(mask)
+            mask = np.ones_like(mask)
+        mask.setflags(write=False)
+        self._healthy_memo[faulted] = mask
         return mask
+
+    def _resolve_bypass(
+        self, name: str, frame: DriveFrame, energies: np.ndarray
+    ) -> tuple[ModelConfiguration, bool]:
+        """Apply fault limp-home to a bypass gate's direct selection."""
+        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
+        healthy = (
+            self._healthy_mask(frame.faulted_sensors)
+            if masking
+            else np.ones(len(self.model.library), dtype=bool)
+        )
+        config = self.model.config_named(name)
+        index = self.model.config_names.index(config.name)
+        if not healthy[index]:
+            # Limp home: cheapest configuration avoiding failed sensors.
+            candidates = [
+                i for i in range(len(self.model.library)) if healthy[i]
+            ]
+            index = min(candidates, key=lambda i: energies[i])
+            return self.model.library[index], True
+        return config, False
+
+    def _resolve_learned(
+        self,
+        losses: np.ndarray,
+        frame: DriveFrame,
+        state: "_DriveState",
+        policy: DrivePolicy,
+    ) -> tuple[ModelConfiguration, bool]:
+        """Mask faulted configurations and run the hysteresis selection."""
+        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
+        if masking:
+            healthy = self._healthy_mask(frame.faulted_sensors)
+            losses = np.where(healthy, losses, _MASKED_LOSS)
+            masked = not healthy.all()
+        else:
+            masked = False
+        index = state.hysteresis.choose(
+            losses, state.energies, policy.lambda_e, policy.gamma
+        )
+        return self.model.library[index], masked
 
     def _choose(
         self,
@@ -384,7 +615,7 @@ class ClosedLoopRunner:
         energies: np.ndarray,
         static_config: ModelConfiguration | None,
     ) -> tuple[ModelConfiguration, bool, dict | None]:
-        """Select this frame's configuration.
+        """Select this frame's configuration (sequential mode).
 
         Returns ``(config, fault_masked, stem_features)`` — the features
         are reused by :meth:`_execute` so adaptive frames run each stem
@@ -396,43 +627,40 @@ class ClosedLoopRunner:
 
         assert gate is not None
         sample = frame.sample
-        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
-        healthy = (
-            self._healthy_mask(frame.faulted_sensors)
-            if masking
-            else np.ones(len(self.model.library), dtype=bool)
-        )
-
         if gate.bypasses_optimization:
             names = gate.select_direct([sample.context])
             assert names is not None
-            config = self.model.config_named(names[0])
-            index = self.model.config_names.index(config.name)
-            if not healthy[index]:
-                # Limp home: cheapest configuration avoiding failed sensors.
-                candidates = [
-                    i for i in range(len(self.model.library)) if healthy[i]
-                ]
-                index = min(candidates, key=lambda i: energies[i])
-                return self.model.library[index], True, None
-            return config, False, None
+            config, masked = self._resolve_bypass(names[0], frame, energies)
+            return config, masked, None
 
-        features = self.model.stem_features([sample])
+        features = self.model.stem_features_cached([sample], None, self.cache)
         gate_input = self.model.gate_features(features)
         losses = gate.predict_losses(
             gate_input, [sample.context], [sample.sample_id]
         )[0]
+        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
         if masking:
+            healthy = self._healthy_mask(frame.faulted_sensors)
             losses = np.where(healthy, losses, _MASKED_LOSS)
+            masked = not healthy.all()
+        else:
+            masked = False
         index = hysteresis.choose(losses, energies, policy.lambda_e, policy.gamma)
-        return self.model.library[index], masking and not healthy.all(), features
+        return self.model.library[index], masked, features
 
     def _execute(self, frame: DriveFrame, config: ModelConfiguration, features):
         """Run the chosen configuration's branches and late-fuse."""
+        if self.cache is not None:
+            hit = self.cache.get_fused(frame.sample, config.name)
+            if hit is not None:
+                return hit
         per_branch = self.model.branch_outputs(
             [frame.sample], config.branches, features=features, cache=self.cache
         )
-        return self.model.fuse_config(config, per_branch, 0)
+        fused = self.model.fuse_config(config, per_branch, 0)
+        if self.cache is not None:
+            self.cache.put_fused(frame.sample, config.name, fused)
+        return fused
 
     def _cost(
         self, config: ModelConfiguration, policy: DrivePolicy
@@ -442,8 +670,14 @@ class ClosedLoopRunner:
         Adaptive inference keeps every stem alive (the gate consumes all
         of them); a static pipeline powers only its own sensors' stems.
         Energy always prices the serial (total-work) latency — spreading
-        branches across engines moves deadlines, not joules.
+        branches across engines moves deadlines, not joules.  Pure in
+        ``(config, policy.kind)`` given the runner's fixed cost model,
+        so memoized per runner.
         """
+        key = (config.name, policy.kind)
+        cached = self._cost_memo.get(key)
+        if cached is not None:
+            return cached
         costs: SystemCosts = self.model.costs
         lat = costs.px2.latency
         sensors = (
@@ -467,5 +701,27 @@ class ClosedLoopRunner:
             scheduled = schedule_parallel(
                 branch_ms, fixed, num_engines=costs.px2.num_engines
             )
-            return scheduled.total_ms, energy
-        return serial.total_ms, energy
+            result = (scheduled.total_ms, energy)
+        else:
+            result = (serial.total_ms, energy)
+        self._cost_memo[key] = result
+        return result
+
+    def _sensor_energy(self, power_state: dict[str, bool]) -> float:
+        """Total per-cycle sensor energy, memoized per power state.
+
+        The power-state dict always lists sensors in ``SENSORS`` order
+        (it is built by :class:`SensorDutyCycle`), so the boolean tuple
+        is a complete key and the memoized sum was accumulated in the
+        same order the per-frame expression used.
+        """
+        key = tuple(power_state.values())
+        cached = self._sensor_energy_memo.get(key)
+        if cached is not None:
+            return cached
+        total = sum(
+            sensor_energy(s, gated=not on, cycle_hz=self.cycle_hz)
+            for s, on in power_state.items()
+        )
+        self._sensor_energy_memo[key] = total
+        return total

@@ -14,6 +14,7 @@ long drives stream in constant memory.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -149,6 +150,24 @@ class DriveSource:
                 faults=faults,
             )
             scene = advance_scene(scene, profile, rng, segment.ego_speed)
+
+    def prefetch(self, window: int):
+        """Yield the stream as consecutive lists of up to ``window`` frames.
+
+        The batched closed-loop runner pulls its lookahead windows
+        through this, so windowing reuses the single lazy frame stream
+        (one RNG state, one scene evolution) instead of duplicating the
+        generator logic: the frames are the exact objects ``__iter__``
+        would have yielded, in the same order.
+        """
+        if window < 1:
+            raise ValueError("prefetch window must be >= 1")
+        iterator = iter(self)
+        while True:
+            chunk = list(itertools.islice(iterator, window))
+            if not chunk:
+                return
+            yield chunk
 
     def materialize(self) -> list[DriveFrame]:
         """Render the whole drive eagerly (tests / small scenarios)."""

@@ -1,0 +1,248 @@
+"""Parallel (scenario x policy) sweep engine.
+
+`benchmarks/bench_scenarios.py` originally walked every sweep cell
+serially, re-rendering each drive and re-running every branch for every
+policy.  This module turns the sweep into an engine with three stacked
+levels of reuse/parallelism, none of which change a single output bit
+(the equivalence tests compare against the sequential reference path):
+
+1. **Shard = one scenario, all policies.**  The drive's frames are
+   rendered once per shard and shared across policies, and one
+   :class:`BranchOutputCache` (branch + fused-output memo) is shared so
+   work any policy already did is free for the next.
+2. **Batched execution inside a shard** via
+   ``ClosedLoopRunner.run(window=W)`` — stems/gate-trunk/branches run
+   on lookahead windows instead of frame-by-frame.
+3. **Process-pool sharding** across scenarios (``jobs > 1``): workers
+   either inherit the trained system from the parent (fork start
+   method) or load it from the ``.artifacts/`` cache; shard results are
+   plain dicts merged back into the exact JSON schema the serial sweep
+   produced.
+
+Policies cross process boundaries as :class:`PolicySpec` descriptors
+(name + gate/config reference + scalars) rather than live gate objects,
+so nothing heavier than a few strings is ever pickled per task.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+
+from ..core.ecofusion import BranchOutputCache
+from .closed_loop import ClosedLoopRunner, DrivePolicy, adaptive_policy, static_policy
+from .drive import DriveSource
+from .library import get_scenario
+from .scenario import ScenarioSpec, scaled
+
+__all__ = [
+    "PolicySpec",
+    "DEFAULT_POLICIES",
+    "SweepShard",
+    "run_shard",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Picklable description of a drive policy.
+
+    ``gate`` names an entry of ``TrainedSystem.gates`` (adaptive
+    policies); ``config_name`` names a library configuration (static
+    policies).  :meth:`build` materializes the live policy against a
+    trained system inside whichever process runs the shard.
+    """
+
+    name: str
+    kind: str
+    gate: str | None = None
+    config_name: str | None = None
+    lambda_e: float = 0.05
+    gamma: float = 0.5
+    alpha: float = 0.4
+    hysteresis_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind == "adaptive":
+            if not self.gate:
+                raise ValueError(f"adaptive policy '{self.name}' needs a gate name")
+        elif self.kind == "static":
+            if not self.config_name:
+                raise ValueError(f"static policy '{self.name}' needs a config_name")
+        else:
+            raise ValueError(f"unknown policy kind '{self.kind}'")
+
+    def build(self, system) -> DrivePolicy:
+        if self.kind == "static":
+            assert self.config_name is not None
+            return static_policy(self.config_name, name=self.name)
+        return adaptive_policy(
+            system.gates[self.gate],
+            lambda_e=self.lambda_e,
+            gamma=self.gamma,
+            alpha=self.alpha,
+            hysteresis_margin=self.hysteresis_margin,
+            name=self.name,
+        )
+
+
+# The four policies bench_scenarios.py has always swept.
+DEFAULT_POLICIES: tuple[PolicySpec, ...] = (
+    PolicySpec("ecofusion_attention", "adaptive", gate="attention"),
+    PolicySpec("ecofusion_knowledge", "adaptive", gate="knowledge"),
+    PolicySpec("static_early", "static", config_name="EF_CLCRL"),
+    PolicySpec("static_late", "static", config_name="LF_ALL"),
+)
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """One unit of sweep work: a scenario swept under every policy."""
+
+    scenario: str
+    policies: tuple[PolicySpec, ...]
+    scale: float = 1.0
+    seed: int = 0
+    window: int = 1
+    share_frames: bool = True
+
+    def resolve_spec(self) -> ScenarioSpec:
+        spec = get_scenario(self.scenario)
+        return scaled(spec, self.scale) if self.scale != 1.0 else spec
+
+
+def run_shard(system, shard: SweepShard) -> dict[str, dict]:
+    """Sweep one scenario under every policy; returns policy -> entry.
+
+    Entries are ``DriveTrace.to_dict()`` plus ``wall_seconds``, the same
+    schema the serial sweep wrote.
+    """
+    spec = shard.resolve_spec()
+    runner = ClosedLoopRunner(system.model, cache=BranchOutputCache())
+    frames = None
+    if shard.share_frames:
+        frames = DriveSource(
+            spec, seed=shard.seed, image_size=system.model.image_size
+        ).materialize()
+    results: dict[str, dict] = {}
+    for policy_spec in shard.policies:
+        policy = policy_spec.build(system)
+        start = time.perf_counter()
+        trace = runner.run(
+            spec, policy, seed=shard.seed, window=shard.window, frames=frames
+        )
+        entry = trace.to_dict()
+        entry["wall_seconds"] = round(time.perf_counter() - start, 3)
+        results[policy.name] = entry
+    return results
+
+
+# ----------------------------------------------------------------------
+# Process-pool sharding
+# ----------------------------------------------------------------------
+# Set by run_sweep before the pool is created: under the (Linux-default)
+# fork start method the children inherit this pointer and skip reloading
+# the system entirely.  Under spawn it is None in the child and the
+# worker falls back to the on-disk artifact cache.
+_PARENT_SYSTEM = None
+
+# Lazily resolved per worker process.
+_WORKER_SYSTEM = None
+_WORKER_SPEC_FIELDS: dict | None = None
+_WORKER_ROOT: str | None = None
+
+
+def _worker_init(spec_fields: dict, artifact_root: str | None) -> None:
+    global _WORKER_SPEC_FIELDS, _WORKER_ROOT
+    _WORKER_SPEC_FIELDS = spec_fields
+    _WORKER_ROOT = artifact_root
+
+
+def _worker_system():
+    global _WORKER_SYSTEM
+    if _WORKER_SYSTEM is None:
+        from ..evaluation.cache import SystemSpec, get_or_build_system
+
+        assert _WORKER_SPEC_FIELDS is not None
+        spec = SystemSpec(**_WORKER_SPEC_FIELDS)
+        inherited = _PARENT_SYSTEM
+        if inherited is not None and inherited.spec == spec:
+            _WORKER_SYSTEM = inherited
+        else:
+            _WORKER_SYSTEM = get_or_build_system(spec, root=_WORKER_ROOT)
+    return _WORKER_SYSTEM
+
+
+def _worker_run(shard: SweepShard) -> tuple[str, dict[str, dict]]:
+    return shard.scenario, run_shard(_worker_system(), shard)
+
+
+def run_sweep(
+    system,
+    scenarios: list[str] | None = None,
+    policies: tuple[PolicySpec, ...] = DEFAULT_POLICIES,
+    scale: float = 1.0,
+    seed: int = 0,
+    window: int = 1,
+    jobs: int = 1,
+    artifact_root: str | None = None,
+    share_frames: bool = True,
+    progress=None,
+) -> dict[str, dict[str, dict]]:
+    """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
+
+    ``jobs > 1`` shards scenarios over a process pool; workers reload
+    the trained system from ``artifact_root`` (or inherit the parent's
+    in-memory copy when the platform forks), so ``system`` must have
+    been obtained through ``get_or_build_system`` for its artifacts to
+    be on disk.  ``progress`` is an optional callable invoked as
+    ``progress(scenario, policy, entry)`` as results arrive.
+    """
+    from .library import SCENARIOS
+
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    shards = [
+        SweepShard(
+            scenario=name,
+            policies=tuple(policies),
+            scale=scale,
+            seed=seed,
+            window=window,
+            share_frames=share_frames,
+        )
+        for name in names
+    ]
+
+    collected: dict[str, dict[str, dict]] = {}
+    if jobs == 1 or len(shards) <= 1:
+        for shard in shards:
+            collected[shard.scenario] = run_shard(system, shard)
+            _report(progress, shard.scenario, collected[shard.scenario])
+    else:
+        global _PARENT_SYSTEM
+        _PARENT_SYSTEM = system
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(shards)),
+                initializer=_worker_init,
+                initargs=(asdict(system.spec), artifact_root),
+            ) as pool:
+                for scenario, result in pool.map(_worker_run, shards):
+                    collected[scenario] = result
+                    _report(progress, scenario, result)
+        finally:
+            _PARENT_SYSTEM = None
+
+    # Preserve the caller's scenario order regardless of completion order.
+    return {name: collected[name] for name in names}
+
+
+def _report(progress, scenario: str, result: dict[str, dict]) -> None:
+    if progress is None:
+        return
+    for policy_name, entry in result.items():
+        progress(scenario, policy_name, entry)

@@ -1,0 +1,187 @@
+"""Batched / sharded execution must be bit-identical to sequential.
+
+The perf engine's contract is exactness: ``ClosedLoopRunner.run`` with a
+lookahead window, and the sweep engine with shared frames and shard
+caches, must reproduce the sequential reference trace *bit for bit* —
+every config chosen, every energy/latency/SoC float, every detection
+count, the mAP.  These tests pin that contract across scenarios with
+context transitions, sensor faults, and every policy family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.nn import batch_invariant
+from repro.simulation import (
+    ClosedLoopRunner,
+    SCENARIOS,
+    ScenarioSpec,
+    SegmentSpec,
+    SensorFault,
+    adaptive_policy,
+    scaled,
+    static_policy,
+)
+from repro.simulation.drive import DriveSource
+
+TRANSITION = ScenarioSpec(
+    name="transition",
+    description="city into fog",
+    segments=(SegmentSpec("city", 6), SegmentSpec("fog", 7)),
+)
+
+FAULTED = ScenarioSpec(
+    name="camera_outage",
+    description="city drive with a mid-drive stereo camera blackout",
+    segments=(SegmentSpec("city", 11),),
+    faults=(SensorFault("camera", start=3, duration=4),),
+)
+
+LIBRARY_SCENARIO = scaled(SCENARIOS["highway_commute"], 0.1)
+
+SCENARIO_CASES = [TRANSITION, FAULTED, LIBRARY_SCENARIO]
+
+
+def assert_traces_identical(a, b):
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra == rb  # dataclass equality: exact floats, exact tuples
+    assert a.map_result.mean_ap == b.map_result.mean_ap
+    assert a.map_result.per_class == b.map_result.per_class
+    assert a.final_soc == b.final_soc
+    assert a.scenario == b.scenario and a.policy == b.policy
+
+
+def build_policies(tiny_system):
+    return [
+        adaptive_policy(tiny_system.gates["attention"], name="attention"),
+        adaptive_policy(tiny_system.gates["deep"], name="deep"),
+        adaptive_policy(tiny_system.gates["knowledge"], name="knowledge"),
+        static_policy("LF_ALL"),
+        static_policy("EF_CLCRL"),
+    ]
+
+
+class TestWindowedRunnerEquivalence:
+    @pytest.mark.parametrize("spec", SCENARIO_CASES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("window", [4, 32])
+    def test_all_policies_bit_identical(self, tiny_system, spec, window):
+        for policy in build_policies(tiny_system):
+            sequential = ClosedLoopRunner(
+                tiny_system.model, cache=BranchOutputCache()
+            ).run(spec, policy, seed=5)
+            batched = ClosedLoopRunner(
+                tiny_system.model, cache=BranchOutputCache()
+            ).run(spec, policy, seed=5, window=window)
+            assert_traces_identical(sequential, batched)
+
+    def test_windowed_without_cache(self, tiny_system):
+        policy = adaptive_policy(tiny_system.gates["attention"])
+        sequential = ClosedLoopRunner(tiny_system.model).run(FAULTED, policy)
+        batched = ClosedLoopRunner(tiny_system.model).run(
+            FAULTED, policy, window=8
+        )
+        assert_traces_identical(sequential, batched)
+
+    def test_prerendered_frames_match_streaming(self, tiny_system):
+        policy = static_policy("LF_ALL")
+        frames = DriveSource(
+            TRANSITION, seed=2, image_size=tiny_system.model.image_size
+        ).materialize()
+        runner = ClosedLoopRunner(tiny_system.model, cache=BranchOutputCache())
+        streamed = runner.run(TRANSITION, policy, seed=2, window=6)
+        prerendered = ClosedLoopRunner(
+            tiny_system.model, cache=BranchOutputCache()
+        ).run(TRANSITION, policy, seed=2, window=6, frames=frames)
+        assert_traces_identical(streamed, prerendered)
+
+    def test_shared_cache_across_policies_stays_exact(self, tiny_system):
+        """A cache warmed by one policy must not perturb the next."""
+        policies = build_policies(tiny_system)
+        shared = ClosedLoopRunner(tiny_system.model, cache=BranchOutputCache())
+        warm = [shared.run(FAULTED, p, window=8) for p in policies]
+        for policy, trace in zip(policies, warm):
+            cold = ClosedLoopRunner(
+                tiny_system.model, cache=BranchOutputCache()
+            ).run(FAULTED, policy)
+            assert_traces_identical(cold, trace)
+
+    def test_window_validation(self, tiny_system):
+        with pytest.raises(ValueError):
+            ClosedLoopRunner(tiny_system.model).run(
+                TRANSITION, static_policy("LF_ALL"), window=0
+            )
+
+
+class TestBatchInvariantPrimitives:
+    """The numerical assumptions behind the windowed hot path."""
+
+    def test_stem_features_batch_rows_match_single(self, tiny_system):
+        frames = DriveSource(
+            TRANSITION, seed=1, image_size=tiny_system.model.image_size
+        ).materialize()
+        samples = [f.sample for f in frames]
+        with batch_invariant():
+            batched = tiny_system.model.stem_features(samples)
+        for i in (0, len(samples) // 2, len(samples) - 1):
+            single = tiny_system.model.stem_features([samples[i]])
+            for sensor, tensor in single.items():
+                assert np.array_equal(batched[sensor].data[i : i + 1], tensor.data)
+
+    @pytest.mark.parametrize("gate_name", ["attention", "deep", "loss_based"])
+    def test_predict_losses_windowed_matches_sequential(
+        self, tiny_system, gate_name
+    ):
+        gate = tiny_system.gates[gate_name]
+        split = tiny_system.test_split
+        samples = [split[i] for i in range(min(6, len(split)))]
+        features = tiny_system.model.stem_features(samples)
+        gate_input = tiny_system.model.gate_features(features)
+        contexts = [s.context for s in samples]
+        ids = [s.sample_id for s in samples]
+        windowed = gate.predict_losses_windowed(gate_input, contexts, ids)
+        rows = [
+            gate.predict_losses(gate_input[i : i + 1], [contexts[i]], [ids[i]])
+            for i in range(len(samples))
+        ]
+        assert np.array_equal(windowed, np.concatenate(rows, axis=0))
+
+    def test_branch_detect_batch_rows_match_single(self, tiny_system):
+        frames = DriveSource(
+            FAULTED, seed=4, image_size=tiny_system.model.image_size
+        ).materialize()
+        samples = [f.sample for f in frames]
+        model = tiny_system.model
+        features = model.stem_features(samples)
+        config = model.config_named("LF_ALL")
+        branch = config.branches[0]
+        with batch_invariant():
+            batched = model.run_branch(branch, features)
+        for i in (0, len(samples) - 1):
+            single = model.run_branch(
+                branch, {k: v[i : i + 1] for k, v in features.items()}
+            )[0]
+            assert np.array_equal(batched[i].boxes, single.boxes)
+            assert np.array_equal(batched[i].scores, single.scores)
+            assert np.array_equal(batched[i].labels, single.labels)
+
+    def test_prefetch_yields_the_same_stream(self):
+        source = DriveSource(TRANSITION, seed=9, image_size=32)
+        flat = [f for chunk in source.prefetch(5) for f in chunk]
+        reference = source.materialize()
+        assert len(flat) == len(reference) == TRANSITION.num_frames
+        for a, b in zip(flat, reference):
+            assert a.time_index == b.time_index
+            assert a.sample.uid == b.sample.uid
+            for sensor in a.sample.sensors:
+                assert np.array_equal(
+                    a.sample.sensors[sensor], b.sample.sensors[sensor]
+                )
+
+    def test_prefetch_window_validation(self):
+        source = DriveSource(TRANSITION, seed=0, image_size=32)
+        with pytest.raises(ValueError):
+            next(source.prefetch(0))

@@ -1,0 +1,122 @@
+"""Sweep engine: shard execution, process-pool sharding, result merging."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.simulation import (
+    ClosedLoopRunner,
+    DEFAULT_POLICIES,
+    PolicySpec,
+    SCENARIOS,
+    SweepShard,
+    run_shard,
+    run_sweep,
+    scaled,
+)
+
+SCALE = 0.08  # a few frames per segment: fast but still multi-context
+NAMES = list(SCENARIOS)[:2]
+
+
+def sequential_reference(system, names, scale, seed):
+    """Per-cell sequential sweep (the seed executor) for comparison."""
+    runner = ClosedLoopRunner(
+        system.model, cache=BranchOutputCache(memoize_outputs=False)
+    )
+    results = {}
+    for name in names:
+        spec = scaled(SCENARIOS[name], scale)
+        results[name] = {}
+        for policy_spec in DEFAULT_POLICIES:
+            policy = policy_spec.build(system)
+            trace = runner.run(spec, policy, seed=seed)
+            results[name][policy.name] = trace.to_dict()
+    return results
+
+
+def strip_walls(results):
+    return {
+        scenario: {
+            policy: {k: v for k, v in entry.items() if k != "wall_seconds"}
+            for policy, entry in per_policy.items()
+        }
+        for scenario, per_policy in results.items()
+    }
+
+
+class TestPolicySpec:
+    def test_build_adaptive_and_static(self, tiny_system):
+        adaptive = PolicySpec("a", "adaptive", gate="attention", lambda_e=0.11)
+        policy = adaptive.build(tiny_system)
+        assert policy.kind == "adaptive" and policy.lambda_e == 0.11
+        static = PolicySpec("s", "static", config_name="LF_ALL").build(tiny_system)
+        assert static.kind == "static" and static.config_name == "LF_ALL"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolicySpec("x", "adaptive")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "static")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "nope", gate="attention")
+
+    def test_shards_are_picklable(self):
+        shard = SweepShard(
+            scenario=NAMES[0], policies=DEFAULT_POLICIES, scale=SCALE,
+            seed=3, window=8,
+        )
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone == shard
+
+
+class TestSweepEquivalence:
+    def test_shard_matches_sequential_cells(self, tiny_system):
+        reference = sequential_reference(tiny_system, NAMES, SCALE, seed=0)
+        shard_results = {
+            name: run_shard(
+                tiny_system,
+                SweepShard(
+                    scenario=name, policies=DEFAULT_POLICIES, scale=SCALE,
+                    seed=0, window=8,
+                ),
+            )
+            for name in NAMES
+        }
+        assert strip_walls(shard_results) == reference
+
+    def test_run_sweep_inprocess_matches_sequential(self, tiny_system):
+        reference = sequential_reference(tiny_system, NAMES, SCALE, seed=1)
+        swept = run_sweep(
+            tiny_system, scenarios=NAMES, scale=SCALE, seed=1, window=8, jobs=1
+        )
+        assert strip_walls(swept) == reference
+        assert list(swept) == NAMES  # caller's scenario order preserved
+
+    def test_run_sweep_process_pool_matches_sequential(self, tiny_system):
+        """jobs > 1 exercises pickling of shards/policies and the worker
+        bootstrap; outputs must still be exactly the sequential cells."""
+        reference = sequential_reference(tiny_system, NAMES, SCALE, seed=2)
+        swept = run_sweep(
+            tiny_system, scenarios=NAMES, scale=SCALE, seed=2, window=8, jobs=2
+        )
+        assert strip_walls(swept) == reference
+
+    def test_jobs_validation(self, tiny_system):
+        with pytest.raises(ValueError):
+            run_sweep(tiny_system, scenarios=NAMES, jobs=0)
+
+    def test_progress_callback_sees_every_cell(self, tiny_system):
+        seen = []
+        run_sweep(
+            tiny_system, scenarios=NAMES, scale=SCALE, window=8, jobs=1,
+            progress=lambda scenario, policy, entry: seen.append(
+                (scenario, policy)
+            ),
+        )
+        assert sorted(seen) == sorted(
+            (name, p.name) for name in NAMES for p in DEFAULT_POLICIES
+        )
