@@ -1,10 +1,15 @@
 """Scenario-library sweep: closed-loop energy/latency/mAP per drive.
 
-Runs every scenario in ``repro.simulation.library`` under four policies —
-adaptive EcoFusion (attention gate), EcoFusion with knowledge gating, and
-the static early/late baselines — and writes ``BENCH_scenarios.json``
-with per-scenario and per-policy aggregates: the perf/energy trajectory
-of the whole drive, not a bag of i.i.d. frames.
+Runs every scenario in ``repro.simulation.library`` under the default
+policy set — adaptive EcoFusion (attention gate), EcoFusion with
+knowledge gating, the static early/late baselines, and the SoC-aware
+lambda_E scheduler — and writes ``BENCH_scenarios.json`` with
+per-scenario and per-policy aggregates: the perf/energy trajectory of
+the whole drive, not a bag of i.i.d. frames.
+
+``--policies`` sweeps any comma-separated set of registered policy
+names instead (see ``repro.policies.policy_names()``), e.g.
+``--policies ecofusion_attention,soc_exponential_attention``.
 
 The sweep runs through ``repro.simulation.sweep``: ``--window W``
 batches stem/gate/branch inference over W-frame lookahead windows and
@@ -13,7 +18,7 @@ wall time only — traces are bit-identical to the sequential path (see
 ``tests/simulation/test_batched_equivalence.py``).
 
 Run:  PYTHONPATH=src python benchmarks/bench_scenarios.py [--scale 0.25]
-      [--window 16] [--jobs 4]
+      [--window 16] [--jobs 4] [--policies name1,name2]
 
 First invocation trains the quickstart-scale system (a couple of
 minutes); afterwards everything loads from ``.artifacts/``.
@@ -28,6 +33,7 @@ from pathlib import Path
 
 from repro.evaluation import SystemSpec, get_or_build_system
 from repro.evaluation.reports import format_table
+from repro.policies import get_policy_spec, policy_names
 from repro.simulation import DEFAULT_POLICIES, SCENARIOS, run_sweep
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -78,6 +84,10 @@ def main() -> None:
                              "(1 = sequential reference path)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for scenario sharding")
+    parser.add_argument("--policies", type=str, default=None,
+                        help="comma-separated registered policy names "
+                             f"(default: the standard sweep set; "
+                             f"valid: {', '.join(policy_names())})")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0:
@@ -86,6 +96,19 @@ def main() -> None:
         parser.error("--window must be >= 1")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.policies is None:
+        policies = DEFAULT_POLICIES
+    else:
+        names = [n.strip() for n in args.policies.split(",") if n.strip()]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            parser.error(f"--policies lists {sorted(duplicates)} more than once")
+        try:
+            policies = tuple(get_policy_spec(name) for name in names)
+        except KeyError as exc:
+            parser.error(str(exc))
+        if not policies:
+            parser.error("--policies must name at least one policy")
 
     print("loading / training the system (cached after first run)...")
     system = get_or_build_system(TINY_SPEC if args.tiny else QUICK_SPEC)
@@ -108,6 +131,7 @@ def main() -> None:
     sweep_start = time.perf_counter()
     results = run_sweep(
         system,
+        policies=policies,
         scale=args.scale,
         seed=args.seed,
         window=args.window,
@@ -135,6 +159,7 @@ def main() -> None:
             "seed": args.seed,
             "window": args.window,
             "jobs": args.jobs,
+            "policies": [p.name for p in policies],
             "sweep_wall_seconds": round(sweep_wall, 3),
             "system_spec": system.spec.cache_key(),
             "generated_unix": time.time(),

@@ -1,13 +1,21 @@
 """Closed-loop drive demo: one scripted scenario, end to end.
 
 Drives the ``degraded_limp_home`` scenario — city traffic with a lidar
-blackout mid-drive and a camera blackout near the end — with adaptive
-EcoFusion, and compares against the static late-fusion baseline on the
-identical frame stream.  Prints the per-segment energy/accuracy trace,
-the configuration timeline (watch it reconfigure at the junction and
-limp home around the failed sensors), and the battery state of charge.
+blackout mid-drive and a camera blackout near the end — with a policy
+picked from the registry (``repro.policies``, default adaptive EcoFusion
+with the attention gate), and compares against the static late-fusion
+baseline on the identical frame stream.  Prints the per-segment
+energy/accuracy trace, the configuration timeline (watch it reconfigure
+at the junction and limp home around the failed sensors), and the
+battery state-of-charge trajectory.
 
-Run:  PYTHONPATH=src python examples/closed_loop_drive.py [--scenario NAME]
+Try a battery-feedback controller on the regen scenario:
+
+    PYTHONPATH=src python examples/closed_loop_drive.py \
+        --scenario stop_and_go_regen --policy soc_linear_attention
+
+Run:  PYTHONPATH=src python examples/closed_loop_drive.py
+      [--scenario NAME] [--policy NAME]
 """
 
 from __future__ import annotations
@@ -15,13 +23,12 @@ from __future__ import annotations
 import argparse
 
 from repro.evaluation import SystemSpec, get_or_build_system
+from repro.policies import build_policy, policy_names
 from repro.simulation import (
     ClosedLoopRunner,
-    adaptive_policy,
     get_scenario,
     scaled,
     scenario_names,
-    static_policy,
 )
 
 QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
@@ -39,7 +46,17 @@ def timeline(trace, width: int = 64) -> str:
     return "".join(strip)
 
 
-def main(scenario: str, scale: float) -> None:
+def soc_strip(trace, width: int = 32) -> str:
+    """Downsampled battery SoC percentages across the drive."""
+    socs = trace.soc_trace
+    step = max(len(socs) // width, 1)
+    picks = socs[::step]
+    if socs and picks[-1] != socs[-1]:
+        picks.append(socs[-1])
+    return " ".join(f"{100 * s:.2f}" for s in picks)
+
+
+def main(scenario: str, policy_name: str, scale: float) -> None:
     print("loading / training the EcoFusion system (cached after first run)...")
     system = get_or_build_system(QUICK_SPEC)
     spec = scaled(get_scenario(scenario), scale)
@@ -51,30 +68,38 @@ def main(scenario: str, scale: float) -> None:
               f"{fault.start + fault.duration})")
 
     runner = ClosedLoopRunner(system.model, cache=system.cache)
-    eco = runner.run(spec, adaptive_policy(system.gates["attention"]))
-    late = runner.run(spec, static_policy("LF_ALL"))
+    chosen = build_policy(policy_name, system)
+    late = build_policy("static_late", system)
+    eco = runner.run(spec, chosen)
+    ref = runner.run(spec, late)
 
     print("\n" + eco.summary())
+    print(f"policy: {eco.policy_info}")
     print("\nconfig timeline (first letter per step, '.' = unchanged):")
     print("  " + timeline(eco))
+    print("SoC trace (%, downsampled):")
+    print("  " + soc_strip(eco))
     faulted = [r.time_index for r in eco.records if r.fault_labels]
     if faulted:
         print(f"faulted frames: {faulted[0]}..{faulted[-1]} "
               f"({len(faulted)} total, "
               f"{sum(1 for r in eco.records if r.fault_masked)} fault-masked choices)")
 
-    print("\n" + late.summary())
-    saving = 100.0 * (1.0 - eco.avg_energy_joules / late.avg_energy_joules)
-    print(f"\nEcoFusion used {saving:.0f}% less energy than static late fusion "
-          f"over this drive, leaving {100 * eco.final_soc:.4f}% battery vs "
-          f"{100 * late.final_soc:.4f}%.")
+    print("\n" + ref.summary())
+    saving = 100.0 * (1.0 - eco.avg_energy_joules / ref.avg_energy_joules)
+    print(f"\n'{eco.policy}' used {saving:.0f}% less energy than static late "
+          f"fusion over this drive, leaving {100 * eco.final_soc:.4f}% battery "
+          f"vs {100 * ref.final_soc:.4f}%.")
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scenario", default="degraded_limp_home",
                         choices=sorted(scenario_names()))
+    parser.add_argument("--policy", default="ecofusion_attention",
+                        choices=policy_names(),
+                        help="registered policy to drive with")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="timeline scale (1.0 = full-length drive)")
     args = parser.parse_args()
-    main(args.scenario, args.scale)
+    main(args.scenario, args.policy, args.scale)

@@ -18,8 +18,9 @@ Quick tour of the public API::
 Subpackages: ``repro.nn`` (autograd substrate), ``repro.datasets``
 (RADIATE-like simulator), ``repro.perception`` (Faster R-CNN style
 detector), ``repro.fusion`` (early/late/WBF), ``repro.hardware`` (Drive
-PX2 energy model), ``repro.core`` (EcoFusion), ``repro.baselines``,
-``repro.evaluation``.
+PX2 energy model), ``repro.core`` (EcoFusion), ``repro.policies``
+(perception controllers + registry), ``repro.baselines``,
+``repro.evaluation``, ``repro.simulation``.
 """
 
 from . import (
@@ -31,6 +32,7 @@ from . import (
     hardware,
     nn,
     perception,
+    policies,
     simulation,
 )
 from .core import (
@@ -58,6 +60,14 @@ from .evaluation import (
     fusion_loss,
     get_or_build_system,
 )
+from .policies import (
+    EcoFusionPolicy,
+    PerceptionPolicy,
+    SoCAwarePolicy,
+    StaticPolicy,
+    build_policy,
+    policy_names,
+)
 from .simulation import (
     ClosedLoopRunner,
     DriveSource,
@@ -65,9 +75,7 @@ from .simulation import (
     ScenarioSpec,
     SegmentSpec,
     SensorFault,
-    adaptive_policy,
     get_scenario,
-    static_policy,
 )
 
 __version__ = "1.0.0"
@@ -106,14 +114,19 @@ __all__ = [
     "evaluate_static_config",
     "fusion_loss",
     "get_or_build_system",
+    "policies",
+    "PerceptionPolicy",
+    "EcoFusionPolicy",
+    "StaticPolicy",
+    "SoCAwarePolicy",
+    "build_policy",
+    "policy_names",
     "ClosedLoopRunner",
     "DriveSource",
     "DriveTrace",
     "ScenarioSpec",
     "SegmentSpec",
     "SensorFault",
-    "adaptive_policy",
     "get_scenario",
-    "static_policy",
     "__version__",
 ]

@@ -10,7 +10,13 @@ The paper's comparison points are fixed pipelines:
 
 Each baseline is simply one fixed configuration from the library executed
 as a static pipeline — the same substrate EcoFusion adapts over, which is
-what makes the comparison apples-to-apples.
+what makes the comparison apples-to-apples.  This module is a thin
+wrapper over the policy layer: every baseline is a
+:class:`~repro.policies.static.StaticPolicy` (see
+:func:`baseline_policy`), registered in the policy registry as
+``baseline_<name>`` so closed-loop benchmarks can sweep it by name; the
+i.i.d.-split evaluation below prices the same configurations through the
+offline evaluation runner (paper Table 1).
 """
 
 from __future__ import annotations
@@ -19,10 +25,25 @@ from ..core.config import BASELINE_CONFIGS
 from ..core.ecofusion import BranchOutputCache, EcoFusionModel
 from ..datasets.splits import Subset
 from ..evaluation.runner import EvalResult, evaluate_static_config
+from ..policies import StaticPolicy
 
-__all__ = ["BASELINE_NAMES", "run_baseline", "run_all_baselines"]
+__all__ = [
+    "BASELINE_NAMES",
+    "baseline_policy",
+    "run_baseline",
+    "run_all_baselines",
+]
 
 BASELINE_NAMES: tuple[str, ...] = tuple(BASELINE_CONFIGS)
+
+
+def baseline_policy(baseline: str) -> StaticPolicy:
+    """The named Table-1 baseline as a closed-loop perception policy."""
+    if baseline not in BASELINE_CONFIGS:
+        raise KeyError(
+            f"unknown baseline '{baseline}'; valid: {sorted(BASELINE_CONFIGS)}"
+        )
+    return StaticPolicy(BASELINE_CONFIGS[baseline], name=baseline)
 
 
 def run_baseline(

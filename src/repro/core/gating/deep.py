@@ -149,23 +149,19 @@ class DeepGate(Gate):
     ) -> np.ndarray:
         """Window-batched prediction, bit-identical to per-frame calls.
 
-        The conv stages run once for the whole window under
-        ``batch_invariant`` (per-sample GEMMs over the shared im2col
-        buffer); only the attention layer (whose token matmuls flatten
-        the batch inside BLAS) and the tiny MLP head are applied per
-        frame.  Every result is therefore identical to the sequential
-        batch-of-one path by construction.
+        The full conv trunk — attention layer included — runs once for
+        the whole window under ``batch_invariant`` (per-sample GEMMs
+        over shared im2col buffers for the convs, per-sample stacked
+        matmuls for the attention token projections and products); only
+        the tiny MLP head is applied per frame, since a dense layer's
+        floating-point results depend on batch size through BLAS kernel
+        selection.  Every result is therefore identical to the
+        sequential batch-of-one path by construction.
         """
         net = self.network
         net.eval()
         with no_grad(), batch_invariant():
-            pre = net.conv2(net.conv1(net.pool(gate_features)))
-            if net.extra is not None:
-                pre = Tensor.concatenate(
-                    [net.extra(pre[i : i + 1]) for i in range(pre.shape[0])],
-                    axis=0,
-                )
-            trunk = net.conv3(pre)
+            trunk = net.trunk(gate_features)
             rows = [
                 net.head(trunk[i : i + 1]).data
                 for i in range(trunk.shape[0])

@@ -60,8 +60,11 @@ class BatteryState:
     The closed-loop runner (``repro.simulation``) drains this per fusion
     cycle: perception energy (scaled by the thermal/climate overhead the
     introduction cites) plus traction energy for the distance covered.
-    Charge only ever decreases — there is no regeneration model — so a
-    drive's SoC trace is monotonically non-increasing.
+    Energy can also flow back in — regenerative braking recovers a
+    fraction of the traction energy and external/idle charging adds a
+    constant power — so the SoC trace is non-monotonic in general and
+    always clamped to ``[0, 1]`` (neither over-charge nor negative
+    charge is representable).
     """
 
     vehicle: ElectricVehicle = field(default_factory=ElectricVehicle)
@@ -91,23 +94,49 @@ class BatteryState:
         self.soc = max(self.soc - joules / self.capacity_joules, 0.0)
         return self.soc
 
+    def charge(self, joules: float) -> float:
+        """Add ``joules`` (regen braking, charger); SoC capped at full."""
+        if joules < 0:
+            raise ValueError("cannot charge negative energy")
+        self.soc = min(self.soc + joules / self.capacity_joules, 1.0)
+        return self.soc
+
     def drive_step(
         self,
         perception_joules: float,
         speed_kmh: float,
         duration_s: float,
         overhead_factor: float = 1.5,
+        regen_fraction: float = 0.0,
+        charging_watts: float = 0.0,
     ) -> float:
-        """Drain one driving step: perception + thermal overhead + traction.
+        """One driving step: perception + thermal + traction − recovery.
 
         ``traction = drive_wh_per_km * km`` with ``km = speed * dt``;
         Wh-to-J cancels the /3600, leaving
         ``drive_wh_per_km * speed_kmh * duration_s`` joules.
+
+        ``regen_fraction`` is the share of traction energy recuperated
+        over the step (stop-and-go braking segments), in [0, 1];
+        ``charging_watts`` is external charging power active during the
+        step (idle at a charger, opportunity charging).  When recovery
+        exceeds the step's draw the battery charges, capped at full.
         """
         if speed_kmh < 0 or duration_s < 0:
             raise ValueError("speed and duration must be non-negative")
+        if not 0.0 <= regen_fraction <= 1.0:
+            raise ValueError("regen_fraction must be within [0, 1]")
+        if charging_watts < 0:
+            raise ValueError("charging power must be non-negative")
         traction = self.vehicle.drive_wh_per_km * speed_kmh * duration_s
-        return self.drain(perception_joules * overhead_factor + traction)
+        net = (
+            perception_joules * overhead_factor
+            + traction * (1.0 - regen_fraction)
+            - charging_watts * duration_s
+        )
+        if net >= 0:
+            return self.drain(net)
+        return self.charge(-net)
 
 
 # A mid-size EV roughly matching the numbers behind the paper's citation

@@ -19,7 +19,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, as_tensor, batch_invariant_enabled
+from .tensor import _set_batch_invariant
 
 __all__ = [
     "conv2d",
@@ -38,34 +39,31 @@ def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
     return (value, value) if isinstance(value, int) else (int(value[0]), int(value[1]))
 
 
-_BATCH_INVARIANT = False
-
-
 class batch_invariant:
-    """Force batched convolutions to be bit-identical per sample.
+    """Force batched tensor ops to be bit-identical per sample.
 
     BLAS GEMM kernels choose blocking (and therefore rounding) based on
     the full matrix shape, so a conv over N stacked samples is not
     guaranteed to reproduce the batch-of-one result row for row — it
     happens to on some shapes and silently diverges on others.  Inside
     this context :func:`conv2d` runs one GEMM per sample over a fresh
-    copy of that sample's im2col rows: the expensive python/layout work
-    stays batched while every sample's arithmetic matches its standalone
-    execution.  The windowed closed-loop runner wraps its lookahead
-    batches in this so batched drives reproduce sequential ones; the
-    equivalence test suite and the benchmark's in-run diff verify the
-    bit-identity end to end on the running BLAS.
+    copy of that sample's im2col rows, and stacked (3-D) ``Tensor``
+    matmuls — the attention gate's token projections and attention
+    products — run one product per leading-axis sample (see
+    ``tensor._invariant_stacked_matmul``): the expensive python/layout
+    work stays batched while every sample's arithmetic matches its
+    standalone execution.  The windowed closed-loop runner wraps its
+    lookahead batches in this so batched drives reproduce sequential
+    ones; the equivalence test suite and the benchmark's in-run diff
+    verify the bit-identity end to end on the running BLAS.
     """
 
     def __enter__(self) -> "batch_invariant":
-        global _BATCH_INVARIANT
-        self._prev = _BATCH_INVARIANT
-        _BATCH_INVARIANT = True
+        self._prev = _set_batch_invariant(True)
         return self
 
     def __exit__(self, *exc: object) -> None:
-        global _BATCH_INVARIANT
-        _BATCH_INVARIANT = self._prev
+        _set_batch_invariant(self._prev)
 
 
 # GEMM row-stability verdicts per (batch, rows, k, f, dtype) shape.
@@ -179,7 +177,7 @@ def conv2d(
         cols = _im2col(xd, kh, kw, sh, sw)  # (N,Ho,Wo,C,kh,kw)
         cols_mat = cols.reshape(n * ho * wo, c * kh * kw)
     w_mat = wd.reshape(f, c * kh * kw)
-    if _BATCH_INVARIANT and n > 1:
+    if batch_invariant_enabled() and n > 1:
         out = _invariant_matmul(cols_mat, w_mat.T, n, ho * wo, f)
     else:
         out = cols_mat @ w_mat.T  # (N*Ho*Wo, F)

@@ -24,7 +24,14 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "unbroadcast", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "unbroadcast",
+    "no_grad",
+    "is_grad_enabled",
+    "batch_invariant_enabled",
+]
 
 _GRAD_ENABLED = True
 
@@ -46,6 +53,70 @@ class no_grad:
 def is_grad_enabled() -> bool:
     """Return True when operations should record the autograd graph."""
     return _GRAD_ENABLED
+
+
+# ----------------------------------------------------------------------
+# Batch-invariant mode (toggled by repro.nn.functional.batch_invariant).
+#
+# BLAS GEMM kernels choose blocking (and therefore rounding) from the
+# full matrix shapes, so a stacked matmul over N samples is not
+# guaranteed to reproduce each sample's batch-of-one result.  The conv
+# path handles this inside ``functional.conv2d``; the flag lives here so
+# ``Tensor.__matmul__`` can apply the same treatment to *stacked* (3-D)
+# matmuls — the attention gate's token projections and score/value
+# products — letting the windowed runner batch attention layers too.
+_BATCH_INVARIANT = False
+
+
+def batch_invariant_enabled() -> bool:
+    """True while a ``repro.nn.batch_invariant`` context is active."""
+    return _BATCH_INVARIANT
+
+
+def _set_batch_invariant(value: bool) -> bool:
+    """Set the flag; returns the previous value (for context restore)."""
+    global _BATCH_INVARIANT
+    previous = _BATCH_INVARIANT
+    _BATCH_INVARIANT = value
+    return previous
+
+
+# Stacked-matmul row-stability verdicts per operand signature: one
+# bit-level comparison on real data per signature decides whether the
+# full-batch product reproduces per-sample execution (see
+# ``functional._invariant_matmul`` for the conv-side equivalent).  The
+# key includes the *strides*, not just the shapes: BLAS picks kernels by
+# memory layout too, and the attention path mixes contiguous outputs
+# with transposed views of identical shape (``tokens @ w_v.T`` vs
+# ``attended @ w_o.T``), which must not share a verdict.
+_STABLE_STACKED_MATMUL: dict[tuple, bool] = {}
+
+
+def _invariant_stacked_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Stacked matmul whose per-sample slices match batch-of-one runs.
+
+    The reference is one product per leading-axis sample, each over a
+    batch-of-one slice — exactly the operands the sequential path feeds
+    BLAS.  Per operand signature (shape + layout + dtype), the first
+    call also runs the full-batch product and compares bits: when the
+    kernel is row-stable for that signature (common), later calls take
+    the fast full-batch path.
+    """
+    key = (
+        a.shape, a.strides, a.dtype.str,
+        b.shape, b.strides, b.dtype.str,
+    )
+    verdict = _STABLE_STACKED_MATMUL.get(key)
+    if verdict:
+        return a @ b
+    parts = [
+        a[i : i + 1] @ (b if b.ndim == 2 else b[i : i + 1])
+        for i in range(a.shape[0])
+    ]
+    out = np.concatenate(parts, axis=0)
+    if verdict is None:
+        _STABLE_STACKED_MATMUL[key] = bool(np.array_equal(a @ b, out))
+    return out
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -288,7 +359,15 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
         a, b = self.data, other.data
-        data = a @ b
+        if (
+            _BATCH_INVARIANT
+            and a.ndim == 3
+            and a.shape[0] > 1
+            and (b.ndim == 2 or (b.ndim == 3 and b.shape[0] == a.shape[0]))
+        ):
+            data = _invariant_stacked_matmul(a, b)
+        else:
+            data = a @ b
 
         def backward(g: np.ndarray):
             if a.ndim == 1 and b.ndim == 1:  # dot product

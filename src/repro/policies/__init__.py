@@ -1,0 +1,53 @@
+"""``repro.policies`` — first-class perception controllers.
+
+The policy layer separates *what to execute next* (a controller
+decision: configuration choice under energy, accuracy, fault and battery
+pressure) from *how to execute it* (the model substrate) and *where it
+runs* (the closed-loop runner).  Everything that selects configurations
+lives here:
+
+* :class:`PerceptionPolicy` — the ABC (``decide/reset/describe``);
+* :class:`EcoFusionPolicy` — the paper's adaptive controller
+  (Algorithm 1) with any gate, temporal smoothing and fault limp-home;
+* :class:`StaticPolicy` — fixed pipelines (the paper's baselines);
+* :class:`SoCAwarePolicy` — schedules ``lambda_E`` from battery state
+  of charge (linear / exponential ramps);
+* the registry (:func:`get_policy_spec`, :func:`build_policy`) mapping
+  stable names to picklable :class:`PolicySpec` descriptors for sweeps.
+"""
+
+from .adaptive import EcoFusionPolicy
+from .base import (
+    MASKED_LOSS,
+    PerceptionPolicy,
+    PolicyBinding,
+    PolicyDecision,
+    PolicyObservation,
+)
+from .registry import (
+    PolicySpec,
+    build_policy,
+    get_policy_spec,
+    policy_names,
+    register_policy,
+)
+from .soc import LAMBDA_SCHEDULES, SoCAwarePolicy, lambda_for_soc
+from .static import StaticPolicy
+
+__all__ = [
+    "MASKED_LOSS",
+    "PerceptionPolicy",
+    "PolicyBinding",
+    "PolicyDecision",
+    "PolicyObservation",
+    "EcoFusionPolicy",
+    "StaticPolicy",
+    "SoCAwarePolicy",
+    "LAMBDA_SCHEDULES",
+    "lambda_for_soc",
+    "PolicySpec",
+    "register_policy",
+    "policy_names",
+    "get_policy_spec",
+    "build_policy",
+]

@@ -1,0 +1,154 @@
+"""The adaptive EcoFusion controller (paper Algorithm 1) as a policy.
+
+Per frame: the runner evaluates the policy's gate — loss estimates for
+learned gates, a direct table lookup for bypass gates — and the policy
+turns that observation into a configuration choice:
+
+* learned gates: mask configurations that depend on failed sensors
+  (limp-home), then run the joint energy/accuracy optimization through
+  the hysteresis selector (Eq. 7-9 + switching margin);
+* bypass gates (knowledge gating): take the selected configuration,
+  falling back to the cheapest healthy configuration when the selection
+  touches a failed sensor.
+
+Temporal smoothing is applied per drive by wrapping the base gate in a
+:class:`~repro.core.temporal.TemporalGate` (``alpha < 1``), exactly as a
+deployed controller would reset its smoother at ignition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.gating.base import Gate
+from ..core.temporal import HysteresisPolicy, TemporalGate
+from .base import MASKED_LOSS, PerceptionPolicy, PolicyDecision, PolicyObservation
+
+__all__ = ["EcoFusionPolicy"]
+
+
+class EcoFusionPolicy(PerceptionPolicy):
+    """Energy-aware adaptive selection with any gate.
+
+    Parameters
+    ----------
+    gate:
+        Loss-predicting or bypass gate (``repro.core.gating``).
+    lambda_e:
+        Energy weight of the joint loss (Eq. 8).  Subclasses may vary it
+        per frame by overriding :meth:`effective_lambda`.
+    gamma:
+        Candidate-set loss margin (Eq. 7).
+    alpha:
+        Temporal smoothing factor; ``alpha >= 1`` disables smoothing.
+    hysteresis_margin:
+        Joint-loss margin a challenger must beat to displace the
+        incumbent configuration.
+    """
+
+    powers_all_stems = True
+
+    def __init__(
+        self,
+        gate: Gate,
+        lambda_e: float = 0.05,
+        gamma: float = 0.5,
+        alpha: float = 0.4,
+        hysteresis_margin: float = 0.05,
+        name: str | None = None,
+    ) -> None:
+        super().__init__()
+        if gate is None:
+            raise ValueError("adaptive policy needs a gate")
+        self._gate = gate
+        self.lambda_e = float(lambda_e)
+        self.gamma = float(gamma)
+        self.alpha = float(alpha)
+        self.hysteresis_margin = float(hysteresis_margin)
+        self.name = name or f"ecofusion[{gate.name}]"
+        self._runtime_gate: Gate | None = None
+        self._hysteresis = HysteresisPolicy(margin=self.hysteresis_margin)
+
+    # ------------------------------------------------------------------
+    @property
+    def gate(self) -> Gate:
+        return self._gate
+
+    @property
+    def runtime_gate(self) -> Gate:
+        if self._runtime_gate is None:
+            raise RuntimeError(f"policy '{self.name}' was not reset before use")
+        return self._runtime_gate
+
+    def reset(self) -> None:
+        """Fresh per-drive state: hysteresis incumbent + temporal smoother."""
+        self._hysteresis = HysteresisPolicy(margin=self.hysteresis_margin)
+        gate = self._gate
+        if isinstance(gate, TemporalGate):
+            gate.reset()
+            self._runtime_gate = gate
+        elif gate.bypasses_optimization or self.alpha >= 1.0:
+            self._runtime_gate = gate
+        else:
+            wrapped = TemporalGate(gate, alpha=self.alpha)
+            wrapped.reset()
+            self._runtime_gate = wrapped
+
+    # ------------------------------------------------------------------
+    def effective_lambda(self, observation: PolicyObservation) -> float:
+        """The energy weight used this frame (constant for the base policy)."""
+        return self.lambda_e
+
+    def decide(self, observation: PolicyObservation) -> PolicyDecision:
+        if observation.direct_selection is not None:
+            return self._decide_bypass(observation)
+        return self._decide_learned(observation)
+
+    def _decide_bypass(self, observation: PolicyObservation) -> PolicyDecision:
+        """Apply fault limp-home to a bypass gate's direct selection."""
+        binding = self.binding
+        index = binding.index_of(observation.direct_selection)
+        config = binding.library[index]
+        healthy = observation.healthy_mask
+        # The runner's health monitor relaxes an all-impacted mask to
+        # all-healthy before it gets here; guard anyway so a hand-built
+        # observation degrades like the learned path (run the selection
+        # rather than crash on an empty candidate list).
+        if healthy is not None and healthy.any() and not healthy[index]:
+            # Limp home: cheapest configuration avoiding failed sensors.
+            candidates = [i for i in range(len(binding.library)) if healthy[i]]
+            index = min(candidates, key=lambda i: binding.energies[i])
+            return PolicyDecision(config=binding.library[index], fault_masked=True)
+        return PolicyDecision(config=config)
+
+    def _decide_learned(self, observation: PolicyObservation) -> PolicyDecision:
+        """Mask faulted configurations and run the hysteresis selection."""
+        binding = self.binding
+        losses = observation.predicted_losses
+        if losses is None:
+            raise ValueError(
+                f"policy '{self.name}' needs predicted losses; the runner "
+                "must evaluate its gate"
+            )
+        healthy = observation.healthy_mask
+        if healthy is not None:
+            losses = np.where(healthy, losses, MASKED_LOSS)
+            masked = not healthy.all()
+        else:
+            masked = False
+        lam = self.effective_lambda(observation)
+        index = self._hysteresis.choose(losses, binding.energies, lam, self.gamma)
+        return PolicyDecision(
+            config=binding.library[index], fault_masked=masked, lambda_e=lam
+        )
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": "ecofusion",
+            "gate": self._gate.name,
+            "lambda_e": self.lambda_e,
+            "gamma": self.gamma,
+            "alpha": self.alpha,
+            "hysteresis_margin": self.hysteresis_margin,
+        }

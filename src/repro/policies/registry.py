@@ -1,0 +1,206 @@
+"""Named policy registry + picklable policy descriptors.
+
+:class:`PolicySpec` is the process-boundary representation of a policy:
+a name plus gate/config references and scalars, materialized against a
+trained system with :meth:`PolicySpec.build` inside whichever process
+runs a sweep shard (``repro.simulation.sweep``).  Nothing heavier than a
+few strings ever crosses a pickle boundary.
+
+The registry maps stable public names ("ecofusion_attention",
+"static_late", "soc_linear_attention", ...) to specs so benchmark CLIs
+can sweep policies by name (``bench_scenarios.py --policies``) and
+examples can construct them without touching constructors.  Register
+custom specs with :func:`register_policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.config import BASELINE_CONFIGS
+from .adaptive import EcoFusionPolicy
+from .base import PerceptionPolicy
+from .soc import LAMBDA_SCHEDULES, SoCAwarePolicy
+from .static import StaticPolicy
+
+__all__ = [
+    "PolicySpec",
+    "register_policy",
+    "policy_names",
+    "get_policy_spec",
+    "build_policy",
+]
+
+POLICY_KINDS = ("adaptive", "static", "soc_aware")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Picklable description of a perception policy.
+
+    ``gate`` names an entry of ``TrainedSystem.gates`` (adaptive and
+    SoC-aware policies); ``config_name`` names a library configuration
+    (static policies).  ``schedule``/``lambda_min``/``lambda_max``
+    parameterize the SoC-aware ``lambda_E`` ramp.
+    """
+
+    name: str
+    kind: str
+    gate: str | None = None
+    config_name: str | None = None
+    lambda_e: float = 0.05
+    gamma: float = 0.5
+    alpha: float = 0.4
+    hysteresis_margin: float = 0.05
+    schedule: str = "linear"
+    lambda_min: float = 0.05
+    lambda_max: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.kind in ("adaptive", "soc_aware"):
+            if not self.gate:
+                raise ValueError(f"policy '{self.name}' needs a gate name")
+        elif self.kind == "static":
+            if not self.config_name:
+                raise ValueError(f"static policy '{self.name}' needs a config_name")
+        else:
+            raise ValueError(
+                f"unknown policy kind '{self.kind}'; valid: {POLICY_KINDS}"
+            )
+        if self.kind == "soc_aware":
+            # Mirror SoCAwarePolicy's constructor checks so a bad spec
+            # fails at registration / CLI-parse time, not inside a
+            # sweep worker process mid-run.
+            if self.schedule not in LAMBDA_SCHEDULES:
+                raise ValueError(
+                    f"unknown lambda schedule '{self.schedule}'; valid: "
+                    f"{sorted(LAMBDA_SCHEDULES)}"
+                )
+            if not 0.0 <= self.lambda_min <= self.lambda_max <= 1.0:
+                raise ValueError(
+                    f"policy '{self.name}' needs 0 <= lambda_min <= "
+                    f"lambda_max <= 1, got [{self.lambda_min}, "
+                    f"{self.lambda_max}]"
+                )
+            if self.schedule == "exponential" and self.lambda_min <= 0.0:
+                raise ValueError(
+                    f"policy '{self.name}': exponential schedule requires "
+                    "lambda_min > 0"
+                )
+
+    def build(self, system) -> PerceptionPolicy:
+        """Materialize the live policy against a trained system."""
+        if self.kind == "static":
+            assert self.config_name is not None
+            return StaticPolicy(self.config_name, name=self.name)
+        gate = system.gates[self.gate]
+        if self.kind == "soc_aware":
+            return SoCAwarePolicy(
+                gate,
+                schedule=self.schedule,
+                lambda_min=self.lambda_min,
+                lambda_max=self.lambda_max,
+                gamma=self.gamma,
+                alpha=self.alpha,
+                hysteresis_margin=self.hysteresis_margin,
+                name=self.name,
+            )
+        return EcoFusionPolicy(
+            gate,
+            lambda_e=self.lambda_e,
+            gamma=self.gamma,
+            alpha=self.alpha,
+            hysteresis_margin=self.hysteresis_margin,
+            name=self.name,
+        )
+
+
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec, replace_existing: bool = False) -> PolicySpec:
+    """Register ``spec`` under ``spec.name``; returns it for chaining."""
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ValueError(f"policy '{spec.name}' is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def policy_names() -> tuple[str, ...]:
+    """All registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_policy_spec(name: str) -> PolicySpec:
+    """Look up a registered spec (KeyError lists valid names on typo)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy '{name}'; valid: {sorted(_REGISTRY)}"
+        ) from None
+
+
+# Spec fields each policy kind actually consumes when built; overrides
+# outside this set would be silently ignored, so build_policy rejects
+# them instead.
+_KIND_FIELDS: dict[str, frozenset[str]] = {
+    "static": frozenset({"name", "config_name"}),
+    "adaptive": frozenset(
+        {"name", "gate", "lambda_e", "gamma", "alpha", "hysteresis_margin"}
+    ),
+    "soc_aware": frozenset(
+        {"name", "gate", "schedule", "lambda_min", "lambda_max",
+         "gamma", "alpha", "hysteresis_margin"}
+    ),
+}
+
+
+def build_policy(name: str, system, **overrides) -> PerceptionPolicy:
+    """Build a registered policy, optionally overriding spec fields.
+
+    Only fields the spec's kind consumes may be overridden — e.g.
+    ``lambda_e`` on a ``soc_aware`` policy (which schedules lambda_E
+    from SoC instead) raises rather than being silently dropped.
+    """
+    spec = get_policy_spec(name)
+    if overrides:
+        ignored = set(overrides) - _KIND_FIELDS[spec.kind]
+        if ignored:
+            raise ValueError(
+                f"overrides {sorted(ignored)} have no effect on "
+                f"'{name}' (kind '{spec.kind}'); settable fields: "
+                f"{sorted(_KIND_FIELDS[spec.kind])}"
+            )
+        spec = replace(spec, **overrides)
+    return spec.build(system)
+
+
+# ----------------------------------------------------------------------
+# Built-in catalogue: the adaptive controllers, the paper's static
+# baselines (one per Table 1 row, on the library substrate), and the
+# SoC-aware lambda_E schedulers.
+for _spec in (
+    PolicySpec("ecofusion_attention", "adaptive", gate="attention"),
+    PolicySpec("ecofusion_deep", "adaptive", gate="deep"),
+    PolicySpec("ecofusion_knowledge", "adaptive", gate="knowledge"),
+    PolicySpec("static_early", "static", config_name="EF_CLCRL"),
+    PolicySpec("static_late", "static", config_name="LF_ALL"),
+    PolicySpec(
+        "soc_linear_attention", "soc_aware", gate="attention",
+        schedule="linear", lambda_min=0.05, lambda_max=0.6,
+    ),
+    PolicySpec(
+        "soc_exponential_attention", "soc_aware", gate="attention",
+        schedule="exponential", lambda_min=0.05, lambda_max=0.6,
+    ),
+):
+    register_policy(_spec)
+
+# The paper's six baseline rows ("none_*", "early", "late") as policies.
+for _baseline, _config in BASELINE_CONFIGS.items():
+    register_policy(
+        PolicySpec(f"baseline_{_baseline}", "static", config_name=_config)
+    )
+del _spec, _baseline, _config

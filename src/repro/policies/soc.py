@@ -1,0 +1,109 @@
+"""State-of-charge-aware energy scheduling (ROADMAP battery item).
+
+A fixed ``lambda_E`` treats the first and last joule of the battery the
+same; a real vehicle should not.  :class:`SoCAwarePolicy` schedules the
+joint-loss energy weight as a function of the battery's state of charge:
+full battery -> ``lambda_min`` (spend freely on accuracy), empty battery
+-> ``lambda_max`` (hoard every joule).  Two ramp shapes are provided:
+
+* ``linear`` — ``lambda(soc) = lambda_max - (lambda_max - lambda_min) * soc``;
+* ``exponential`` — ``lambda(soc) = lambda_min * (lambda_max / lambda_min)
+  ** (1 - soc)``: gentle while the battery is comfortable, steep as it
+  empties (requires ``lambda_min > 0``).
+
+Both are monotonically non-increasing in SoC, which the test suite pins.
+"""
+
+from __future__ import annotations
+
+from ..core.gating.base import Gate
+from .adaptive import EcoFusionPolicy
+from .base import PolicyObservation
+
+__all__ = ["SoCAwarePolicy", "LAMBDA_SCHEDULES", "lambda_for_soc"]
+
+
+def _linear(soc: float, lambda_min: float, lambda_max: float) -> float:
+    return lambda_max - (lambda_max - lambda_min) * soc
+
+
+def _exponential(soc: float, lambda_min: float, lambda_max: float) -> float:
+    return lambda_min * (lambda_max / lambda_min) ** (1.0 - soc)
+
+
+LAMBDA_SCHEDULES = {"linear": _linear, "exponential": _exponential}
+
+
+def lambda_for_soc(
+    soc: float, schedule: str, lambda_min: float, lambda_max: float
+) -> float:
+    """Scheduled ``lambda_E`` for a state of charge, clamped to [0, 1]."""
+    try:
+        ramp = LAMBDA_SCHEDULES[schedule]
+    except KeyError:
+        raise ValueError(
+            f"unknown lambda schedule '{schedule}'; valid: {sorted(LAMBDA_SCHEDULES)}"
+        ) from None
+    soc = min(max(float(soc), 0.0), 1.0)
+    return min(max(ramp(soc, lambda_min, lambda_max), 0.0), 1.0)
+
+
+class SoCAwarePolicy(EcoFusionPolicy):
+    """EcoFusion whose energy weight rises as the battery drains."""
+
+    def __init__(
+        self,
+        gate: Gate,
+        schedule: str = "linear",
+        lambda_min: float = 0.05,
+        lambda_max: float = 0.6,
+        gamma: float = 0.5,
+        alpha: float = 0.4,
+        hysteresis_margin: float = 0.05,
+        name: str | None = None,
+    ) -> None:
+        if schedule not in LAMBDA_SCHEDULES:
+            raise ValueError(
+                f"unknown lambda schedule '{schedule}'; valid: "
+                f"{sorted(LAMBDA_SCHEDULES)}"
+            )
+        if gate is not None and gate.bypasses_optimization:
+            raise ValueError(
+                f"gate '{gate.name}' selects configurations directly and "
+                "never consults lambda_E; SoC-aware scheduling needs a "
+                "loss-predicting gate"
+            )
+        if not 0.0 <= lambda_min <= lambda_max <= 1.0:
+            raise ValueError(
+                "need 0 <= lambda_min <= lambda_max <= 1, got "
+                f"[{lambda_min}, {lambda_max}]"
+            )
+        if schedule == "exponential" and lambda_min <= 0.0:
+            raise ValueError("exponential schedule requires lambda_min > 0")
+        super().__init__(
+            gate,
+            lambda_e=lambda_min,
+            gamma=gamma,
+            alpha=alpha,
+            hysteresis_margin=hysteresis_margin,
+            name=name or f"soc_{schedule}[{gate.name}]",
+        )
+        self.schedule = schedule
+        self.lambda_min = float(lambda_min)
+        self.lambda_max = float(lambda_max)
+
+    def effective_lambda(self, observation: PolicyObservation) -> float:
+        return lambda_for_soc(
+            observation.soc, self.schedule, self.lambda_min, self.lambda_max
+        )
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            kind="soc_aware",
+            schedule=self.schedule,
+            lambda_min=self.lambda_min,
+            lambda_max=self.lambda_max,
+        )
+        del info["lambda_e"]  # scheduled, not constant
+        return info

@@ -1,0 +1,49 @@
+"""Static pipelines as policies.
+
+A static policy executes one fixed configuration every frame — the
+paper's None / Early / Late baselines, expressed on the same
+:class:`~repro.policies.base.PerceptionPolicy` seam the adaptive
+controllers use, which is what makes closed-loop comparisons
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from .base import PerceptionPolicy, PolicyDecision, PolicyObservation
+
+__all__ = ["StaticPolicy"]
+
+
+class StaticPolicy(PerceptionPolicy):
+    """One fixed configuration, executed unconditionally.
+
+    Static pipelines have no health monitor hook in the paper's framing:
+    they keep executing their configuration through sensor faults (and
+    pay the accuracy cost), which the fault-scenario benchmarks rely on.
+    Only the configuration's own sensors are powered.
+    """
+
+    powers_all_stems = False
+
+    def __init__(self, config_name: str, name: str | None = None) -> None:
+        super().__init__()
+        if not config_name:
+            raise ValueError("static policy needs a config_name")
+        self.config_name = config_name
+        self.name = name or f"static[{config_name}]"
+        self._config = None
+
+    def bind(self, library, energies) -> None:
+        super().bind(library, energies)
+        self._config = self.binding.config_named(self.config_name)
+
+    def decide(self, observation: PolicyObservation) -> PolicyDecision:
+        assert self._config is not None, "policy must be bound before decide()"
+        return PolicyDecision(config=self._config)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": "static",
+            "config_name": self.config_name,
+        }

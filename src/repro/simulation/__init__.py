@@ -4,19 +4,18 @@ The paper's claim is fundamentally a *runtime* claim: energy-aware
 adaptive fusion pays off over a drive in which contexts shift, sensors
 degrade and the battery drains.  This subsystem turns declarative
 :class:`ScenarioSpec` scripts into long streamed multi-sensor drives
-(:class:`DriveSource`), injects scheduled sensor faults, and runs
-EcoFusion (or any static baseline) closed-loop against the hardware
-model (:class:`ClosedLoopRunner`), producing per-drive traces and
-aggregate reports.
+(:class:`DriveSource`), injects scheduled sensor faults, and runs any
+:class:`~repro.policies.base.PerceptionPolicy` (adaptive EcoFusion,
+SoC-aware schedulers, static baselines — see ``repro.policies``)
+closed-loop against the hardware model (:class:`ClosedLoopRunner`),
+producing per-drive traces and aggregate reports.
 """
 
 from .closed_loop import (
+    TRACE_SCHEMA_VERSION,
     ClosedLoopRunner,
-    DrivePolicy,
     DriveTrace,
     FrameRecord,
-    adaptive_policy,
-    static_policy,
 )
 from .drive import DriveFrame, DriveSource, apply_fault
 from .library import SCENARIOS, get_scenario, scenario_names
@@ -30,12 +29,10 @@ from .sweep import (
 )
 
 __all__ = [
+    "TRACE_SCHEMA_VERSION",
     "ClosedLoopRunner",
-    "DrivePolicy",
     "DriveTrace",
     "FrameRecord",
-    "adaptive_policy",
-    "static_policy",
     "DriveFrame",
     "DriveSource",
     "apply_fault",

@@ -1,8 +1,9 @@
 """Closed-loop drives: perception policy x hardware model x battery.
 
-:class:`ClosedLoopRunner` couples a perception policy (adaptive
-EcoFusion with any gate, or a static baseline configuration) to the full
-hardware stack per fusion cycle:
+:class:`ClosedLoopRunner` is a pluggable controller loop: it couples any
+:class:`~repro.policies.base.PerceptionPolicy` (adaptive EcoFusion with
+any gate, SoC-aware lambda_E schedulers, static baselines — see
+``repro.policies``) to the full hardware stack per fusion cycle:
 
 * the PX2 cost model prices the chosen configuration's compute
   (branch-level latency through ``hardware.scheduler``, serial by
@@ -10,11 +11,17 @@ hardware stack per fusion cycle:
 * the sensor duty-cycle planner (``core.temporal``) clock-gates unused
   and failed sensors;
 * the EV battery (``hardware.battery``) drains by perception + thermal
-  overhead + traction energy each cycle.
+  overhead + traction energy each cycle, recovering energy on regen
+  braking / charging segments declared by the scenario.
 
-Fault handling mirrors a real vehicle's health monitor: when the drive
-reports a sensor failed, configurations depending on it are masked out of
-the selection (limp-home), and its measurement electronics are gated.
+The runner owns everything model-shaped — stems, gate inference,
+batching, caches, the health-monitor fault mask — and feeds each policy
+a :class:`~repro.policies.base.PolicyObservation` per frame; the policy
+owns the *decision* (joint optimization, hysteresis, limp-home, lambda_E
+scheduling).  Observations carry the battery state of charge *before*
+the frame's drain, so SoC-aware policies behave identically in windowed
+and sequential execution.
+
 The per-frame :class:`FrameRecord` stream plus the aggregate
 :class:`DriveTrace` are the subsystem's deliverable: energy, latency,
 accuracy, configuration switching and state-of-charge over a whole drive.
@@ -30,7 +37,7 @@ import numpy as np
 from ..core.config import ModelConfiguration
 from ..core.ecofusion import BranchOutputCache, EcoFusionModel
 from ..core.gating.base import Gate
-from ..core.temporal import HysteresisPolicy, SensorDutyCycle, TemporalGate
+from ..core.temporal import SensorDutyCycle
 from ..evaluation.loss_metrics import fusion_loss
 from ..evaluation.map import MapResult, evaluate_map
 from ..evaluation.reports import format_table
@@ -39,78 +46,21 @@ from ..hardware.profiler import SystemCosts, fusion_flops
 from ..hardware.scheduler import schedule_parallel, schedule_serial
 from ..hardware.sensors_power import FUSION_CYCLE_HZ, sensor_energy
 from ..nn import batch_invariant
+from ..policies.base import PerceptionPolicy, PolicyDecision, PolicyObservation
 from .drive import DriveFrame, DriveSource
 from .scenario import ScenarioSpec
 
 __all__ = [
-    "DrivePolicy",
-    "adaptive_policy",
-    "static_policy",
+    "TRACE_SCHEMA_VERSION",
     "FrameRecord",
     "DriveTrace",
     "ClosedLoopRunner",
 ]
 
-# Loss surrogate assigned to configurations that depend on a failed
-# sensor; large enough that the candidate filter never keeps them while
-# any healthy configuration exists.
-_MASKED_LOSS = 1.0e9
-
-
-@dataclass(frozen=True)
-class DrivePolicy:
-    """How perception chooses a configuration each frame.
-
-    ``kind == "adaptive"`` runs Algorithm 1 per frame through the gate,
-    with temporal smoothing (``alpha < 1``) and hysteresis; ``kind ==
-    "static"`` always executes ``config_name`` (the paper's baselines).
-    """
-
-    name: str
-    kind: str
-    gate: Gate | None = None
-    config_name: str | None = None
-    lambda_e: float = 0.05
-    gamma: float = 0.5
-    alpha: float = 0.4
-    hysteresis_margin: float = 0.05
-
-    def __post_init__(self) -> None:
-        if self.kind not in ("adaptive", "static"):
-            raise ValueError(f"unknown policy kind '{self.kind}'")
-        if self.kind == "adaptive" and self.gate is None:
-            raise ValueError("adaptive policy needs a gate")
-        if self.kind == "static" and not self.config_name:
-            raise ValueError("static policy needs a config_name")
-
-
-def adaptive_policy(
-    gate: Gate,
-    lambda_e: float = 0.05,
-    gamma: float = 0.5,
-    alpha: float = 0.4,
-    hysteresis_margin: float = 0.05,
-    name: str | None = None,
-) -> DrivePolicy:
-    """EcoFusion with ``gate``, smoothed and hysteresis-stabilized."""
-    return DrivePolicy(
-        name=name or f"ecofusion[{gate.name if gate is not None else '?'}]",
-        kind="adaptive",
-        gate=gate,
-        lambda_e=lambda_e,
-        gamma=gamma,
-        alpha=alpha,
-        hysteresis_margin=hysteresis_margin,
-    )
-
-
-def static_policy(config_name: str, name: str | None = None) -> DrivePolicy:
-    """A fixed configuration executed every frame (baseline)."""
-    return DrivePolicy(
-        name=name or f"static[{config_name}]",
-        kind="static",
-        config_name=config_name,
-    )
+# Version of the DriveTrace.to_dict() payload, carried into benchmark
+# JSON so future bench diffs are self-describing.  Bump when fields are
+# added, renamed or change meaning.
+TRACE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -130,6 +80,7 @@ class FrameRecord:
     battery_soc: float
     num_detections: int
     loss: float
+    lambda_e: float | None = None  # effective energy weight, if the policy has one
 
     @property
     def energy_joules(self) -> float:
@@ -146,6 +97,8 @@ class DriveTrace:
     records: list[FrameRecord]
     map_result: MapResult
     final_soc: float
+    policy_info: dict = field(default_factory=dict)
+    initial_soc: float = 1.0  # battery charge before the first frame's drain
 
     # ------------------------------------------------------------------
     @property
@@ -185,6 +138,11 @@ class DriveTrace:
         return [r.battery_soc for r in self.records]
 
     @property
+    def lambda_trace(self) -> list[float]:
+        """Per-frame effective lambda_E (frames without one omitted)."""
+        return [r.lambda_e for r in self.records if r.lambda_e is not None]
+
+    @property
     def fault_frames(self) -> int:
         return sum(1 for r in self.records if r.fault_labels)
 
@@ -202,6 +160,21 @@ class DriveTrace:
             }
             for ctx, recs in sorted(grouped.items())
         }
+
+    def soc_summary(self) -> str:
+        """One-line battery trajectory: start -> min -> end of the drive."""
+        if not self.records:
+            return "battery: no frames"
+        socs = self.soc_trace
+        parts = [
+            f"battery: {100 * self.initial_soc:.4f}% -> "
+            f"{100 * self.final_soc:.4f}% SoC"
+            f" (min {100 * min(socs):.4f}%)"
+        ]
+        lambdas = self.lambda_trace
+        if lambdas:
+            parts.append(f"lambda_E {lambdas[0]:.3f} -> {lambdas[-1]:.3f}")
+        return " | ".join(parts)
 
     def summary(self) -> str:
         """Human-readable per-context table plus headline aggregates."""
@@ -223,15 +196,18 @@ class DriveTrace:
             f" | {self.avg_latency_ms:.1f} ms | {self.switch_count} switches"
             f" | {self.fault_frames} faulted frames",
             f"configs: {switches}",
-            f"battery: {100 * self.final_soc:.4f}% SoC remaining",
+            self.soc_summary(),
         ]
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
         """JSON-serializable aggregate view (benchmarks)."""
+        lambdas = self.lambda_trace
         return {
+            "schema_version": TRACE_SCHEMA_VERSION,
             "scenario": self.scenario,
             "policy": self.policy,
+            "policy_describe": dict(self.policy_info),
             "num_frames": self.num_frames,
             "map_percent": self.map_result.percent,
             "avg_loss": self.avg_loss,
@@ -241,9 +217,31 @@ class DriveTrace:
             "switch_count": self.switch_count,
             "config_histogram": self.config_histogram,
             "fault_frames": self.fault_frames,
+            "initial_soc": self.initial_soc,
             "final_soc": self.final_soc,
+            "lambda_e": (
+                {
+                    "first": lambdas[0],
+                    "last": lambdas[-1],
+                    "min": min(lambdas),
+                    "max": max(lambdas),
+                }
+                if lambdas
+                else None
+            ),
             "per_context": self.per_context(),
         }
+
+
+@dataclass
+class _FrameAccount:
+    """Cost/battery bookkeeping computed at decision time for one frame."""
+
+    latency_ms: float
+    platform_joules: float
+    sensor_joules: float
+    soc: float
+    switched: bool
 
 
 @dataclass
@@ -251,10 +249,7 @@ class _DriveState:
     """Mutable per-drive state threaded through both execution modes."""
 
     gate: Gate | None
-    hysteresis: HysteresisPolicy
     duty: SensorDutyCycle
-    energies: np.ndarray
-    static_config: ModelConfiguration | None
     battery: BatteryState
     records: list[FrameRecord] = field(default_factory=list)
     detections_per_frame: list = field(default_factory=list)
@@ -277,6 +272,9 @@ class ClosedLoopRunner:
       sub-batch instead of per-frame batches of one.  All batched
       stages are batch-invariant (verified by the equivalence tests),
       so the trace is exactly the sequential trace, only faster.
+      Policy decisions and battery accounting always advance frame by
+      frame inside the window, so state-feedback policies (SoC-aware
+      lambda_E) see exactly the sequential battery trajectory.
     """
 
     def __init__(
@@ -302,14 +300,14 @@ class ClosedLoopRunner:
         # are fixed, so these pure lookups never need recomputing
         # (sequential mode rebuilt them every frame before this existed).
         self._healthy_memo: dict[tuple[str, ...], np.ndarray] = {}
-        self._cost_memo: dict[tuple[str, str], tuple[float, float]] = {}
+        self._cost_memo: dict[tuple[str, bool], tuple[float, float]] = {}
         self._sensor_energy_memo: dict[tuple[bool, ...], float] = {}
 
     # ------------------------------------------------------------------
     def run(
         self,
         spec: ScenarioSpec,
-        policy: DrivePolicy,
+        policy: PerceptionPolicy,
         seed: int = 0,
         battery: BatteryState | None = None,
         window: int = 1,
@@ -324,6 +322,12 @@ class ClosedLoopRunner:
         """
         if window < 1:
             raise ValueError("window must be >= 1")
+        if not isinstance(policy, PerceptionPolicy):
+            raise TypeError(
+                f"expected a PerceptionPolicy, got {type(policy).__name__}; "
+                "build one via repro.policies (the DrivePolicy helpers were "
+                "removed)"
+            )
         if frames is None:
             source = DriveSource(spec, seed=seed, image_size=self.model.image_size)
             frame_windows = source.prefetch(window)
@@ -333,16 +337,12 @@ class ClosedLoopRunner:
                 for start in range(0, len(frames), window)
             )
         battery = battery or BatteryState(vehicle=self.vehicle)
+        initial_soc = battery.soc
+        policy.bind(self.model.library, self.model.energies())
+        policy.reset()
         state = _DriveState(
-            gate=self._prepare_gate(policy),
-            hysteresis=HysteresisPolicy(margin=policy.hysteresis_margin),
+            gate=policy.runtime_gate,
             duty=SensorDutyCycle(),
-            energies=self.model.energies(),
-            static_config=(
-                self.model.config_named(policy.config_name)
-                if policy.kind == "static"
-                else None
-            ),
             battery=battery,
         )
 
@@ -361,6 +361,8 @@ class ClosedLoopRunner:
                 state.detections_per_frame, state.gt_boxes, state.gt_labels
             ),
             final_soc=battery.soc,
+            policy_info=policy.describe(),
+            initial_soc=initial_soc,
         )
 
     # ------------------------------------------------------------------
@@ -370,15 +372,51 @@ class ClosedLoopRunner:
         self,
         frame: DriveFrame,
         spec: ScenarioSpec,
-        policy: DrivePolicy,
+        policy: PerceptionPolicy,
         state: "_DriveState",
     ) -> None:
-        config, masked, features = self._choose(
-            frame, policy, state.gate, state.hysteresis, state.energies,
-            state.static_config,
+        observation, features = self._observe(frame, state)
+        decision = policy.decide(observation)
+        detections = self._execute(frame, decision.config, features)
+        account = self._account(frame, spec, policy, decision, state)
+        self._record(frame, decision, account, detections, state)
+
+    def _observe(
+        self, frame: DriveFrame, state: "_DriveState"
+    ) -> tuple[PolicyObservation, dict | None]:
+        """Build one frame's observation (sequential mode).
+
+        Returns ``(observation, stem_features)`` — the features are
+        reused by :meth:`_execute` so adaptive frames run each stem
+        exactly once.
+        """
+        gate = state.gate
+        features = None
+        losses = None
+        direct = None
+        if gate is not None:
+            sample = frame.sample
+            if gate.bypasses_optimization:
+                names = gate.select_direct([sample.context])
+                assert names is not None
+                direct = names[0]
+            else:
+                features = self.model.stem_features_cached([sample], None, self.cache)
+                gate_input = self.model.gate_features(features)
+                losses = gate.predict_losses(
+                    gate_input, [sample.context], [sample.sample_id]
+                )[0]
+        observation = PolicyObservation(
+            time_index=frame.time_index,
+            context=frame.context,
+            soc=state.battery.soc,
+            faulted_sensors=frame.faulted_sensors,
+            healthy_mask=self._healthy_for(frame),
+            predicted_losses=losses,
+            direct_selection=direct,
+            features=features,
         )
-        detections = self._execute(frame, config, features)
-        self._finalize_frame(frame, spec, policy, config, masked, detections, state)
+        return observation, features
 
     # ------------------------------------------------------------------
     # Batched hot path
@@ -387,7 +425,7 @@ class ClosedLoopRunner:
         self,
         chunk: list[DriveFrame],
         spec: ScenarioSpec,
-        policy: DrivePolicy,
+        policy: PerceptionPolicy,
         state: "_DriveState",
     ) -> None:
         with batch_invariant():
@@ -397,53 +435,65 @@ class ClosedLoopRunner:
         self,
         chunk: list[DriveFrame],
         spec: ScenarioSpec,
-        policy: DrivePolicy,
+        policy: PerceptionPolicy,
         state: "_DriveState",
     ) -> None:
         samples = [f.sample for f in chunk]
+        gate = state.gate
         features = None
-        if policy.kind == "static":
-            assert state.static_config is not None
-            chosen = [(state.static_config, False)] * len(chunk)
-        elif state.gate is not None and state.gate.bypasses_optimization:
-            names = state.gate.select_direct([s.context for s in samples])
-            assert names is not None
-            chosen = [
-                self._resolve_bypass(name, frame, state.energies)
-                for name, frame in zip(names, chunk)
-            ]
-        else:
-            assert state.gate is not None
+        predicted = None
+        directs = None
+        if gate is not None and gate.bypasses_optimization:
+            directs = gate.select_direct([s.context for s in samples])
+            assert directs is not None
+        elif gate is not None:
             features = self.model.stem_features_cached(samples, None, self.cache)
             gate_input = self.model.gate_features(features)
-            predicted = state.gate.predict_losses_windowed(
+            predicted = gate.predict_losses_windowed(
                 gate_input,
                 [s.context for s in samples],
                 [s.sample_id for s in samples],
             )
-            chosen = [
-                self._resolve_learned(predicted[i], chunk[i], state, policy)
-                for i in range(len(chunk))
-            ]
 
-        fused = self._execute_window(chunk, samples, chosen, features)
-        for frame, (config, masked), detections in zip(chunk, chosen, fused):
-            self._finalize_frame(
-                frame, spec, policy, config, masked, detections, state
+        # Decisions and battery/cost accounting advance strictly frame by
+        # frame: observation i carries the SoC after frame i-1's drain, so
+        # state-feedback policies match the sequential path bit for bit.
+        decisions: list[PolicyDecision] = []
+        accounts: list[_FrameAccount] = []
+        for i, frame in enumerate(chunk):
+            observation = PolicyObservation(
+                time_index=frame.time_index,
+                context=frame.context,
+                soc=state.battery.soc,
+                faulted_sensors=frame.faulted_sensors,
+                healthy_mask=self._healthy_for(frame),
+                predicted_losses=None if predicted is None else predicted[i],
+                direct_selection=None if directs is None else directs[i],
+                features=features,
             )
+            decision = policy.decide(observation)
+            decisions.append(decision)
+            accounts.append(self._account(frame, spec, policy, decision, state))
+
+        fused = self._execute_window(chunk, samples, decisions, features)
+        for frame, decision, account, detections in zip(
+            chunk, decisions, accounts, fused
+        ):
+            self._record(frame, decision, account, detections, state)
 
     def _execute_window(
         self,
         chunk: list[DriveFrame],
         samples: list,
-        chosen: list[tuple[ModelConfiguration, bool]],
+        decisions: list[PolicyDecision],
         features: dict | None,
     ) -> list:
         """Fused detections per frame, batching branch runs across the window."""
         fused: list = [None] * len(chunk)
         branch_index: dict[str, list[int]] = {}
         pending: list[int] = []
-        for i, (config, _) in enumerate(chosen):
+        for i, decision in enumerate(decisions):
+            config = decision.config
             hit = (
                 self.cache.get_fused(samples[i], config.name)
                 if self.cache is not None
@@ -461,7 +511,7 @@ class ClosedLoopRunner:
             samples, branch_index, features=features, cache=self.cache
         )
         for i in pending:
-            config = chosen[i][0]
+            config = decisions[i].config
             detections = self.model.fuse_single(
                 config, {b: per_branch[b][i] for b in config.branches}
             )
@@ -473,27 +523,52 @@ class ClosedLoopRunner:
     # ------------------------------------------------------------------
     # Shared per-frame bookkeeping (identical arithmetic in both modes)
     # ------------------------------------------------------------------
-    def _finalize_frame(
+    def _account(
         self,
         frame: DriveFrame,
         spec: ScenarioSpec,
-        policy: DrivePolicy,
-        config: ModelConfiguration,
-        masked: bool,
-        detections,
+        policy: PerceptionPolicy,
+        decision: PolicyDecision,
         state: "_DriveState",
-    ) -> None:
+    ) -> _FrameAccount:
+        """Duty-cycle, cost and battery accounting for one decided frame."""
+        config = decision.config
         power_state = state.duty.step(config, offline=frame.faulted_sensors)
-        latency_ms, platform_j = self._cost(config, policy)
+        latency_ms, platform_j = self._cost(config, policy.powers_all_stems)
         sensors_j = self._sensor_energy(power_state)
-        speed = self.base_speed_kmh * spec.segments[frame.segment_index].ego_speed
+        segment = spec.segments[frame.segment_index]
+        speed = self.base_speed_kmh * segment.ego_speed
         soc = state.battery.drive_step(
             platform_j + sensors_j,
             speed_kmh=speed,
             duration_s=1.0 / self.cycle_hz,
             overhead_factor=self.overhead_factor,
+            regen_fraction=segment.regen,
+            charging_watts=segment.charging_watts,
         )
+        switched = (
+            state.previous_config is not None
+            and config.name != state.previous_config
+        )
+        state.previous_config = config.name
+        return _FrameAccount(
+            latency_ms=latency_ms,
+            platform_joules=platform_j,
+            sensor_joules=sensors_j,
+            soc=soc,
+            switched=switched,
+        )
+
+    def _record(
+        self,
+        frame: DriveFrame,
+        decision: PolicyDecision,
+        account: _FrameAccount,
+        detections,
+        state: "_DriveState",
+    ) -> None:
         sample = frame.sample
+        config = decision.config
         loss = (
             self.cache.get_loss(sample, config.name)
             if self.cache is not None
@@ -509,40 +584,28 @@ class ClosedLoopRunner:
                 segment_index=frame.segment_index,
                 context=frame.context,
                 config_name=config.name,
-                switched=(
-                    state.previous_config is not None
-                    and config.name != state.previous_config
-                ),
+                switched=account.switched,
                 fault_labels=tuple(f.label for f in frame.faults),
-                fault_masked=masked,
-                latency_ms=latency_ms,
-                platform_energy_joules=platform_j,
-                sensor_energy_joules=sensors_j,
-                battery_soc=soc,
+                fault_masked=decision.fault_masked,
+                latency_ms=account.latency_ms,
+                platform_energy_joules=account.platform_joules,
+                sensor_energy_joules=account.sensor_joules,
+                battery_soc=account.soc,
                 num_detections=len(detections),
                 loss=loss,
+                lambda_e=decision.lambda_e,
             )
         )
         state.detections_per_frame.append(detections)
         state.gt_boxes.append(sample.boxes)
         state.gt_labels.append(sample.labels)
-        state.previous_config = config.name
 
     # ------------------------------------------------------------------
-    def _prepare_gate(self, policy: DrivePolicy) -> Gate | None:
-        """Fresh per-drive gate state (temporal smoothing wrapper)."""
-        if policy.kind != "adaptive":
+    def _healthy_for(self, frame: DriveFrame) -> np.ndarray | None:
+        """The frame's per-config health mask, or None when inactive."""
+        if not (self.mask_faulted_configs and frame.faulted_sensors):
             return None
-        gate = policy.gate
-        assert gate is not None
-        if isinstance(gate, TemporalGate):
-            gate.reset()
-            return gate
-        if gate.bypasses_optimization or policy.alpha >= 1.0:
-            return gate
-        wrapped = TemporalGate(gate, alpha=policy.alpha)
-        wrapped.reset()
-        return wrapped
+        return self._healthy_mask(frame.faulted_sensors)
 
     def _healthy_mask(self, faulted: tuple[str, ...]) -> np.ndarray:
         """True where a configuration touches no failed sensor.
@@ -565,89 +628,6 @@ class ClosedLoopRunner:
         self._healthy_memo[faulted] = mask
         return mask
 
-    def _resolve_bypass(
-        self, name: str, frame: DriveFrame, energies: np.ndarray
-    ) -> tuple[ModelConfiguration, bool]:
-        """Apply fault limp-home to a bypass gate's direct selection."""
-        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
-        healthy = (
-            self._healthy_mask(frame.faulted_sensors)
-            if masking
-            else np.ones(len(self.model.library), dtype=bool)
-        )
-        config = self.model.config_named(name)
-        index = self.model.config_names.index(config.name)
-        if not healthy[index]:
-            # Limp home: cheapest configuration avoiding failed sensors.
-            candidates = [
-                i for i in range(len(self.model.library)) if healthy[i]
-            ]
-            index = min(candidates, key=lambda i: energies[i])
-            return self.model.library[index], True
-        return config, False
-
-    def _resolve_learned(
-        self,
-        losses: np.ndarray,
-        frame: DriveFrame,
-        state: "_DriveState",
-        policy: DrivePolicy,
-    ) -> tuple[ModelConfiguration, bool]:
-        """Mask faulted configurations and run the hysteresis selection."""
-        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
-        if masking:
-            healthy = self._healthy_mask(frame.faulted_sensors)
-            losses = np.where(healthy, losses, _MASKED_LOSS)
-            masked = not healthy.all()
-        else:
-            masked = False
-        index = state.hysteresis.choose(
-            losses, state.energies, policy.lambda_e, policy.gamma
-        )
-        return self.model.library[index], masked
-
-    def _choose(
-        self,
-        frame: DriveFrame,
-        policy: DrivePolicy,
-        gate: Gate | None,
-        hysteresis: HysteresisPolicy,
-        energies: np.ndarray,
-        static_config: ModelConfiguration | None,
-    ) -> tuple[ModelConfiguration, bool, dict | None]:
-        """Select this frame's configuration (sequential mode).
-
-        Returns ``(config, fault_masked, stem_features)`` — the features
-        are reused by :meth:`_execute` so adaptive frames run each stem
-        exactly once.
-        """
-        if policy.kind == "static":
-            assert static_config is not None
-            return static_config, False, None
-
-        assert gate is not None
-        sample = frame.sample
-        if gate.bypasses_optimization:
-            names = gate.select_direct([sample.context])
-            assert names is not None
-            config, masked = self._resolve_bypass(names[0], frame, energies)
-            return config, masked, None
-
-        features = self.model.stem_features_cached([sample], None, self.cache)
-        gate_input = self.model.gate_features(features)
-        losses = gate.predict_losses(
-            gate_input, [sample.context], [sample.sample_id]
-        )[0]
-        masking = self.mask_faulted_configs and bool(frame.faulted_sensors)
-        if masking:
-            healthy = self._healthy_mask(frame.faulted_sensors)
-            losses = np.where(healthy, losses, _MASKED_LOSS)
-            masked = not healthy.all()
-        else:
-            masked = False
-        index = hysteresis.choose(losses, energies, policy.lambda_e, policy.gamma)
-        return self.model.library[index], masked, features
-
     def _execute(self, frame: DriveFrame, config: ModelConfiguration, features):
         """Run the chosen configuration's branches and late-fuse."""
         if self.cache is not None:
@@ -663,7 +643,7 @@ class ClosedLoopRunner:
         return fused
 
     def _cost(
-        self, config: ModelConfiguration, policy: DrivePolicy
+        self, config: ModelConfiguration, powers_all_stems: bool
     ) -> tuple[float, float]:
         """(latency_ms, platform_energy_J) via branch-level scheduling.
 
@@ -671,19 +651,17 @@ class ClosedLoopRunner:
         of them); a static pipeline powers only its own sensors' stems.
         Energy always prices the serial (total-work) latency — spreading
         branches across engines moves deadlines, not joules.  Pure in
-        ``(config, policy.kind)`` given the runner's fixed cost model,
-        so memoized per runner.
+        ``(config, powers_all_stems)`` given the runner's fixed cost
+        model, so memoized per runner.
         """
-        key = (config.name, policy.kind)
+        key = (config.name, powers_all_stems)
         cached = self._cost_memo.get(key)
         if cached is not None:
             return cached
         costs: SystemCosts = self.model.costs
         lat = costs.px2.latency
         sensors = (
-            tuple(costs.stem_flops)
-            if policy.kind == "adaptive"
-            else config.sensors
+            tuple(costs.stem_flops) if powers_all_stems else config.sensors
         )
         branch_ms = [
             lat.launch_ms + lat.compute_ms(costs.branch_flops[b])

@@ -1,10 +1,12 @@
 """Named scenario library.
 
-Eight scripted drives spanning the stress cases the paper argues about:
+Nine scripted drives spanning the stress cases the paper argues about:
 clean cruising (where cheap configurations should win), weather ingress
 (where the gate must react to a context transition), night/rain compounds
-(where cameras die but active sensors survive), and hard sensor failures
-(where the runner's fault masking must find a limp-home configuration).
+(where cameras die but active sensors survive), hard sensor failures
+(where the runner's fault masking must find a limp-home configuration),
+and a regen/charging commute (where the battery recovers energy and
+SoC-aware policies relax their lambda_E again).
 
 Durations are in fusion cycles (4 Hz — the radar-paced RADIATE rig), so
 a 240-frame drive is one minute of driving.  Use
@@ -101,6 +103,18 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             [
                 SegmentSpec("rural", 96, ego_speed=1.1),
                 SegmentSpec("night", 96, ego_speed=0.9, traffic=0.7),
+            ],
+        ),
+        _spec(
+            "stop_and_go_regen",
+            "Downtown stop-and-go with heavy regenerative braking, a pause "
+            "at an opportunity charger, then a motorway leg — exercises the "
+            "battery's recovery model and SoC-aware lambda_E scheduling.",
+            [
+                SegmentSpec("city", 64, ego_speed=0.5, traffic=1.5, regen=0.35),
+                SegmentSpec("junction", 32, ego_speed=0.2, traffic=1.2,
+                            regen=0.5, charging_watts=3000.0),
+                SegmentSpec("motorway", 96, ego_speed=1.5, traffic=0.9),
             ],
         ),
         _spec(

@@ -57,12 +57,21 @@ class SegmentSpec:
     traffic:
         Multiplier on the context's object-count range (rush hour > 1,
         empty roads < 1).
+    regen:
+        Fraction of the traction energy recovered by regenerative
+        braking over this segment, in [0, 1] (stop-and-go city blocks
+        recuperate; steady motorway cruising does not).
+    charging_watts:
+        External charging power active during this segment (idle at a
+        charger, opportunity charging); flows into ``BatteryState``.
     """
 
     context: str
     frames: int
     ego_speed: float = 1.0
     traffic: float = 1.0
+    regen: float = 0.0
+    charging_watts: float = 0.0
 
     def __post_init__(self) -> None:
         get_context(self.context)  # validate early: typos fail loudly
@@ -72,6 +81,10 @@ class SegmentSpec:
             raise ValueError("ego_speed must be non-negative")
         if self.traffic <= 0:
             raise ValueError("traffic multiplier must be positive")
+        if not 0.0 <= self.regen <= 1.0:
+            raise ValueError("regen fraction must be within [0, 1]")
+        if self.charging_watts < 0:
+            raise ValueError("charging power must be non-negative")
 
     def profile(self) -> ContextProfile:
         """The context profile with the traffic multiplier applied."""

@@ -19,9 +19,12 @@ levels of reuse/parallelism, none of which change a single output bit
    plain dicts merged back into the exact JSON schema the serial sweep
    produced.
 
-Policies cross process boundaries as :class:`PolicySpec` descriptors
-(name + gate/config reference + scalars) rather than live gate objects,
-so nothing heavier than a few strings is ever pickled per task.
+Policies cross process boundaries as
+:class:`~repro.policies.registry.PolicySpec` descriptors (name +
+gate/config reference + scalars) rather than live gate objects, so
+nothing heavier than a few strings is ever pickled per task.  Named
+specs come from the policy registry (``repro.policies``), which is what
+``bench_scenarios.py --policies`` sweeps by name.
 """
 
 from __future__ import annotations
@@ -31,7 +34,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 
 from ..core.ecofusion import BranchOutputCache
-from .closed_loop import ClosedLoopRunner, DrivePolicy, adaptive_policy, static_policy
+from ..policies import PolicySpec, get_policy_spec
+from .closed_loop import ClosedLoopRunner
 from .drive import DriveSource
 from .library import get_scenario
 from .scenario import ScenarioSpec, scaled
@@ -45,55 +49,17 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class PolicySpec:
-    """Picklable description of a drive policy.
-
-    ``gate`` names an entry of ``TrainedSystem.gates`` (adaptive
-    policies); ``config_name`` names a library configuration (static
-    policies).  :meth:`build` materializes the live policy against a
-    trained system inside whichever process runs the shard.
-    """
-
-    name: str
-    kind: str
-    gate: str | None = None
-    config_name: str | None = None
-    lambda_e: float = 0.05
-    gamma: float = 0.5
-    alpha: float = 0.4
-    hysteresis_margin: float = 0.05
-
-    def __post_init__(self) -> None:
-        if self.kind == "adaptive":
-            if not self.gate:
-                raise ValueError(f"adaptive policy '{self.name}' needs a gate name")
-        elif self.kind == "static":
-            if not self.config_name:
-                raise ValueError(f"static policy '{self.name}' needs a config_name")
-        else:
-            raise ValueError(f"unknown policy kind '{self.kind}'")
-
-    def build(self, system) -> DrivePolicy:
-        if self.kind == "static":
-            assert self.config_name is not None
-            return static_policy(self.config_name, name=self.name)
-        return adaptive_policy(
-            system.gates[self.gate],
-            lambda_e=self.lambda_e,
-            gamma=self.gamma,
-            alpha=self.alpha,
-            hysteresis_margin=self.hysteresis_margin,
-            name=self.name,
-        )
-
-
-# The four policies bench_scenarios.py has always swept.
-DEFAULT_POLICIES: tuple[PolicySpec, ...] = (
-    PolicySpec("ecofusion_attention", "adaptive", gate="attention"),
-    PolicySpec("ecofusion_knowledge", "adaptive", gate="knowledge"),
-    PolicySpec("static_early", "static", config_name="EF_CLCRL"),
-    PolicySpec("static_late", "static", config_name="LF_ALL"),
+# The sweep bench_scenarios.py runs by default: the four policies it has
+# always swept plus the SoC-aware lambda_E scheduler (battery feedback).
+DEFAULT_POLICIES: tuple[PolicySpec, ...] = tuple(
+    get_policy_spec(name)
+    for name in (
+        "ecofusion_attention",
+        "ecofusion_knowledge",
+        "static_early",
+        "static_late",
+        "soc_linear_attention",
+    )
 )
 
 

@@ -48,3 +48,34 @@ class TestBaselines:
             tiny_system.model, "late", tiny_system.test_split, cache=tiny_system.cache
         )
         assert results.avg_energy_joules == pytest.approx(3.798, abs=0.01)
+
+
+class TestBaselinePolicies:
+    """Table-1 baselines re-expressed on the policy layer."""
+
+    def test_wraps_every_baseline(self):
+        from repro.baselines.static import BASELINE_NAMES, baseline_policy
+        from repro.core.config import BASELINE_CONFIGS
+        from repro.policies import StaticPolicy
+
+        for name in BASELINE_NAMES:
+            policy = baseline_policy(name)
+            assert isinstance(policy, StaticPolicy)
+            assert policy.name == name
+            assert policy.config_name == BASELINE_CONFIGS[name]
+
+    def test_unknown_baseline_rejected(self):
+        from repro.baselines.static import baseline_policy
+
+        with pytest.raises(KeyError, match="early"):
+            baseline_policy("middle")
+
+    def test_matches_registry_configuration(self, tiny_system):
+        """The helper and the registry's baseline_* entries must build
+        policies executing the same configuration."""
+        from repro.baselines.static import BASELINE_NAMES, baseline_policy
+        from repro.policies import build_policy
+
+        for name in BASELINE_NAMES:
+            via_registry = build_policy(f"baseline_{name}", tiny_system)
+            assert baseline_policy(name).config_name == via_registry.config_name

@@ -6,6 +6,7 @@ import pytest
 
 from repro.hardware.battery import (
     NOMINAL_EV,
+    BatteryState,
     ElectricVehicle,
     range_impact_fraction,
 )
@@ -34,6 +35,83 @@ class TestElectricVehicle:
         + thermal overhead) costs >10% range on a mid-size EV."""
         loss = NOMINAL_EV.range_loss_fraction(1250.0)
         assert loss > 0.10
+
+
+class TestBatteryState:
+    def small(self, soc: float = 1.0) -> BatteryState:
+        return BatteryState(vehicle=ElectricVehicle(battery_kwh=0.001), soc=soc)
+
+    def test_drain_floors_at_empty(self):
+        battery = self.small(soc=0.01)
+        assert battery.drain(10 * battery.capacity_joules) == 0.0
+        assert battery.soc == 0.0
+        assert battery.remaining_joules == 0.0
+
+    def test_charge_caps_at_capacity(self):
+        battery = self.small(soc=0.99)
+        assert battery.charge(10 * battery.capacity_joules) == 1.0
+        assert battery.soc == 1.0
+
+    def test_negative_flows_rejected(self):
+        battery = self.small()
+        with pytest.raises(ValueError):
+            battery.drain(-1.0)
+        with pytest.raises(ValueError):
+            battery.charge(-1.0)
+
+    def test_invalid_initial_soc_rejected(self):
+        with pytest.raises(ValueError):
+            BatteryState(soc=1.5)
+        with pytest.raises(ValueError):
+            BatteryState(soc=-0.1)
+
+    def test_drive_step_without_recovery_matches_manual_sum(self):
+        battery = self.small()
+        reference = self.small()
+        battery.drive_step(10.0, speed_kmh=60.0, duration_s=0.25)
+        reference.drain(10.0 * 1.5 + reference.vehicle.drive_wh_per_km * 60.0 * 0.25)
+        assert battery.soc == reference.soc
+
+    def test_full_regen_cancels_traction(self):
+        battery = self.small()
+        reference = self.small()
+        battery.drive_step(10.0, speed_kmh=60.0, duration_s=0.25, regen_fraction=1.0)
+        reference.drain(10.0 * 1.5)
+        assert battery.soc == pytest.approx(reference.soc)
+
+    def test_charging_can_outpace_drain(self):
+        battery = self.small(soc=0.5)
+        soc = battery.drive_step(
+            1.0, speed_kmh=0.0, duration_s=1.0, charging_watts=1.0e5
+        )
+        assert soc > 0.5
+
+    def test_charging_while_full_stays_full(self):
+        battery = self.small(soc=1.0)
+        soc = battery.drive_step(
+            0.0, speed_kmh=0.0, duration_s=1.0, charging_watts=1.0e6
+        )
+        assert soc == 1.0
+
+    def test_zero_duration_step_drains_only_perception(self):
+        battery = self.small()
+        reference = self.small()
+        battery.drive_step(4.0, speed_kmh=120.0, duration_s=0.0, charging_watts=500.0)
+        reference.drain(4.0 * 1.5)
+        assert battery.soc == reference.soc
+
+    def test_invalid_step_parameters_rejected(self):
+        battery = self.small()
+        with pytest.raises(ValueError):
+            battery.drive_step(1.0, speed_kmh=-1.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            battery.drive_step(1.0, speed_kmh=1.0, duration_s=-1.0)
+        with pytest.raises(ValueError):
+            battery.drive_step(1.0, 1.0, 1.0, regen_fraction=1.5)
+        with pytest.raises(ValueError):
+            battery.drive_step(1.0, 1.0, 1.0, regen_fraction=-0.1)
+        with pytest.raises(ValueError):
+            battery.drive_step(1.0, 1.0, 1.0, charging_watts=-5.0)
 
 
 class TestRangeImpact:

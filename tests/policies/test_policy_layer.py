@@ -1,0 +1,296 @@
+"""repro.policies: interface, decisions, SoC schedules and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import build_config_library
+from repro.core.gating.base import Gate
+from repro.policies import (
+    LAMBDA_SCHEDULES,
+    EcoFusionPolicy,
+    PolicyBinding,
+    PolicyObservation,
+    PolicySpec,
+    SoCAwarePolicy,
+    StaticPolicy,
+    build_policy,
+    get_policy_spec,
+    lambda_for_soc,
+    policy_names,
+    register_policy,
+)
+from repro.policies.registry import _REGISTRY
+
+LIBRARY = tuple(build_config_library())
+# Synthetic energy table: monotonically more expensive down the library.
+ENERGIES = np.arange(1.0, len(LIBRARY) + 1.0)
+
+
+class _StubGate(Gate):
+    """Loss-predicting gate stand-in; decide() never calls it."""
+
+    name = "stub"
+
+    def predict_losses(self, gate_features, contexts=None, sample_ids=None):
+        raise AssertionError("the policy layer must not invoke the gate")
+
+
+def obs(**kwargs) -> PolicyObservation:
+    defaults = dict(time_index=0, context="city", soc=1.0)
+    defaults.update(kwargs)
+    return PolicyObservation(**defaults)
+
+
+def bound(policy):
+    policy.bind(LIBRARY, ENERGIES)
+    policy.reset()
+    return policy
+
+
+class TestBinding:
+    def test_mismatched_energy_table_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyBinding(library=LIBRARY, energies=np.ones(3))
+
+    def test_lookup(self):
+        binding = PolicyBinding(library=LIBRARY, energies=ENERGIES)
+        assert binding.config_named("LF_ALL").name == "LF_ALL"
+        assert binding.index_of("CL") == 0
+        with pytest.raises(KeyError):
+            binding.config_named("nope")
+
+    def test_unbound_policy_raises(self):
+        policy = EcoFusionPolicy(_StubGate())
+        with pytest.raises(RuntimeError):
+            policy.binding
+
+
+class TestStaticPolicy:
+    def test_fixed_decision_ignores_everything(self):
+        policy = bound(StaticPolicy("LF_ALL"))
+        healthy = np.zeros(len(LIBRARY), dtype=bool)
+        decision = policy.decide(obs(healthy_mask=healthy, soc=0.0))
+        assert decision.config.name == "LF_ALL"
+        assert not decision.fault_masked
+        assert decision.lambda_e is None
+
+    def test_validation_and_describe(self):
+        with pytest.raises(ValueError):
+            StaticPolicy("")
+        info = StaticPolicy("CR").describe()
+        assert info["kind"] == "static" and info["config_name"] == "CR"
+        assert not StaticPolicy("CR").powers_all_stems
+
+
+class TestEcoFusionPolicy:
+    def test_needs_gate(self):
+        with pytest.raises(ValueError):
+            EcoFusionPolicy(None)  # type: ignore[arg-type]
+
+    def test_learned_picks_joint_optimum(self):
+        policy = bound(EcoFusionPolicy(_StubGate(), lambda_e=0.0, gamma=0.0))
+        losses = np.full(len(LIBRARY), 5.0)
+        losses[3] = 1.0
+        decision = policy.decide(obs(predicted_losses=losses))
+        assert decision.config.name == LIBRARY[3].name
+        assert not decision.fault_masked
+        assert decision.lambda_e == 0.0
+
+    def test_learned_masking_excludes_unhealthy(self):
+        policy = bound(EcoFusionPolicy(_StubGate(), lambda_e=0.0, gamma=0.0))
+        losses = np.full(len(LIBRARY), 5.0)
+        losses[3] = 1.0
+        healthy = np.ones(len(LIBRARY), dtype=bool)
+        healthy[3] = False
+        decision = policy.decide(
+            obs(predicted_losses=losses, healthy_mask=healthy)
+        )
+        assert decision.config.name != LIBRARY[3].name
+        assert decision.fault_masked
+
+    def test_learned_requires_losses(self):
+        policy = bound(EcoFusionPolicy(_StubGate()))
+        with pytest.raises(ValueError):
+            policy.decide(obs())
+
+    def test_bypass_selection_passes_through_when_healthy(self):
+        policy = bound(EcoFusionPolicy(_StubGate()))
+        decision = policy.decide(obs(direct_selection="MIX_HEAVY"))
+        assert decision.config.name == "MIX_HEAVY"
+        assert not decision.fault_masked
+
+    def test_bypass_limp_home_picks_cheapest_healthy(self):
+        policy = bound(EcoFusionPolicy(_StubGate()))
+        healthy = np.ones(len(LIBRARY), dtype=bool)
+        blocked = {
+            i for i, c in enumerate(LIBRARY)
+            if {"camera_left", "camera_right"} & set(c.sensors)
+        }
+        for i in blocked:
+            healthy[i] = False
+        decision = policy.decide(
+            obs(direct_selection="EF_CLCRL", healthy_mask=healthy)
+        )
+        assert decision.fault_masked
+        # cheapest healthy under the synthetic (index-ordered) table
+        expected = min(
+            (i for i in range(len(LIBRARY)) if healthy[i]),
+            key=lambda i: ENERGIES[i],
+        )
+        assert decision.config.name == LIBRARY[expected].name
+
+    def test_bypass_with_nothing_healthy_degrades_gracefully(self):
+        """A hand-built all-False mask must not crash the limp-home path
+        (the runner itself relaxes such masks before deciding)."""
+        policy = bound(EcoFusionPolicy(_StubGate()))
+        nothing = np.zeros(len(LIBRARY), dtype=bool)
+        decision = policy.decide(
+            obs(direct_selection="EF_CLCRL", healthy_mask=nothing)
+        )
+        assert decision.config.name == "EF_CLCRL"
+        assert not decision.fault_masked
+
+    def test_reset_clears_hysteresis_incumbent(self):
+        # gamma keeps the incumbent inside the candidate set; the huge
+        # margin is what must block the switch.
+        policy = bound(EcoFusionPolicy(_StubGate(), lambda_e=0.0, gamma=10.0,
+                                       hysteresis_margin=10.0))
+        first = np.full(len(LIBRARY), 5.0)
+        first[2] = 1.0
+        assert policy.decide(obs(predicted_losses=first)).config is LIBRARY[2]
+        # Huge margin: the incumbent survives a better challenger...
+        second = np.full(len(LIBRARY), 5.0)
+        second[4] = 0.5
+        assert policy.decide(obs(predicted_losses=second)).config is LIBRARY[2]
+        # ...until a reset forgets it.
+        policy.reset()
+        assert policy.decide(obs(predicted_losses=second)).config is LIBRARY[4]
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        info = EcoFusionPolicy(_StubGate(), lambda_e=0.2).describe()
+        assert json.loads(json.dumps(info))["lambda_e"] == 0.2
+        assert info["gate"] == "stub"
+
+
+class TestLambdaSchedules:
+    @pytest.mark.parametrize("schedule", sorted(LAMBDA_SCHEDULES))
+    def test_monotone_non_decreasing_as_soc_drains(self, schedule):
+        socs = np.linspace(1.0, 0.0, 21)
+        values = [lambda_for_soc(s, schedule, 0.05, 0.6) for s in socs]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(0.05)
+        assert values[-1] == pytest.approx(0.6)
+
+    def test_out_of_range_soc_clamped(self):
+        assert lambda_for_soc(1.7, "linear", 0.1, 0.5) == pytest.approx(0.1)
+        assert lambda_for_soc(-0.3, "linear", 0.1, 0.5) == pytest.approx(0.5)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            lambda_for_soc(0.5, "sigmoid", 0.1, 0.5)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SoCAwarePolicy(_StubGate(), schedule="sigmoid")
+        with pytest.raises(ValueError):
+            SoCAwarePolicy(_StubGate(), lambda_min=0.7, lambda_max=0.2)
+        with pytest.raises(ValueError):
+            SoCAwarePolicy(_StubGate(), schedule="exponential", lambda_min=0.0)
+
+    def test_bypass_gates_rejected(self):
+        """A bypass gate never consults lambda_E, so an SoC-aware policy
+        built over one would silently not be SoC-aware at all."""
+
+        class _BypassGate(_StubGate):
+            name = "bypass"
+            bypasses_optimization = True
+
+        with pytest.raises(ValueError, match="loss-predicting"):
+            SoCAwarePolicy(_BypassGate())
+
+    def test_effective_lambda_tracks_observation_soc(self):
+        policy = bound(SoCAwarePolicy(_StubGate(), lambda_min=0.1, lambda_max=0.9))
+        full = policy.effective_lambda(obs(soc=1.0))
+        empty = policy.effective_lambda(obs(soc=0.0))
+        assert full == pytest.approx(0.1)
+        assert empty == pytest.approx(0.9)
+
+    def test_decision_carries_scheduled_lambda(self):
+        policy = bound(SoCAwarePolicy(_StubGate(), lambda_min=0.1, lambda_max=0.9))
+        losses = np.ones(len(LIBRARY))
+        decision = policy.decide(obs(predicted_losses=losses, soc=0.5))
+        assert decision.lambda_e == pytest.approx(0.5)
+
+    def test_describe_names_schedule(self):
+        info = SoCAwarePolicy(_StubGate(), schedule="exponential").describe()
+        assert info["kind"] == "soc_aware"
+        assert info["schedule"] == "exponential"
+        assert "lambda_e" not in info
+
+
+class TestRegistry:
+    def test_builtin_names_present(self):
+        names = policy_names()
+        for expected in (
+            "ecofusion_attention",
+            "ecofusion_knowledge",
+            "static_early",
+            "static_late",
+            "soc_linear_attention",
+            "soc_exponential_attention",
+            "baseline_late",
+        ):
+            assert expected in names
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_policy_spec("static_late")
+        with pytest.raises(ValueError):
+            register_policy(spec)
+        # replace_existing allows deliberate overrides
+        register_policy(spec, replace_existing=True)
+        assert _REGISTRY["static_late"] is spec
+
+    def test_unknown_name_lists_valid(self):
+        with pytest.raises(KeyError, match="ecofusion_attention"):
+            get_policy_spec("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PolicySpec("x", "adaptive")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "static")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "soc_aware")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "nope", gate="attention")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "soc_aware", gate="attention", schedule="sigmoid")
+        # lambda-bound errors surface at spec time, not in sweep workers
+        with pytest.raises(ValueError):
+            PolicySpec("x", "soc_aware", gate="attention",
+                       lambda_min=0.7, lambda_max=0.2)
+        with pytest.raises(ValueError):
+            PolicySpec("x", "soc_aware", gate="attention",
+                       schedule="exponential", lambda_min=0.0)
+
+    def test_build_policy_with_overrides(self, tiny_system):
+        policy = build_policy("ecofusion_attention", tiny_system, lambda_e=0.33)
+        assert isinstance(policy, EcoFusionPolicy)
+        assert policy.lambda_e == 0.33
+        soc = build_policy("soc_exponential_attention", tiny_system)
+        assert isinstance(soc, SoCAwarePolicy)
+        assert soc.schedule == "exponential"
+
+    def test_build_policy_rejects_ineffective_overrides(self, tiny_system):
+        # lambda_e is scheduled, not constant, on soc_aware policies
+        with pytest.raises(ValueError, match="no effect"):
+            build_policy("soc_linear_attention", tiny_system, lambda_e=0.3)
+        # schedules mean nothing to a constant-lambda adaptive policy
+        with pytest.raises(ValueError, match="no effect"):
+            build_policy("ecofusion_attention", tiny_system, lambda_max=0.9)
+        with pytest.raises(ValueError, match="no effect"):
+            build_policy("static_late", tiny_system, gamma=0.1)

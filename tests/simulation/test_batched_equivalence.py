@@ -15,15 +15,14 @@ import pytest
 
 from repro.core.ecofusion import BranchOutputCache
 from repro.nn import batch_invariant
+from repro.policies import EcoFusionPolicy, SoCAwarePolicy, StaticPolicy
 from repro.simulation import (
     ClosedLoopRunner,
     SCENARIOS,
     ScenarioSpec,
     SegmentSpec,
     SensorFault,
-    adaptive_policy,
     scaled,
-    static_policy,
 )
 from repro.simulation.drive import DriveSource
 
@@ -57,11 +56,12 @@ def assert_traces_identical(a, b):
 
 def build_policies(tiny_system):
     return [
-        adaptive_policy(tiny_system.gates["attention"], name="attention"),
-        adaptive_policy(tiny_system.gates["deep"], name="deep"),
-        adaptive_policy(tiny_system.gates["knowledge"], name="knowledge"),
-        static_policy("LF_ALL"),
-        static_policy("EF_CLCRL"),
+        EcoFusionPolicy(tiny_system.gates["attention"], name="attention"),
+        EcoFusionPolicy(tiny_system.gates["deep"], name="deep"),
+        EcoFusionPolicy(tiny_system.gates["knowledge"], name="knowledge"),
+        StaticPolicy("LF_ALL"),
+        StaticPolicy("EF_CLCRL"),
+        SoCAwarePolicy(tiny_system.gates["attention"], name="soc_linear"),
     ]
 
 
@@ -79,7 +79,7 @@ class TestWindowedRunnerEquivalence:
             assert_traces_identical(sequential, batched)
 
     def test_windowed_without_cache(self, tiny_system):
-        policy = adaptive_policy(tiny_system.gates["attention"])
+        policy = EcoFusionPolicy(tiny_system.gates["attention"])
         sequential = ClosedLoopRunner(tiny_system.model).run(FAULTED, policy)
         batched = ClosedLoopRunner(tiny_system.model).run(
             FAULTED, policy, window=8
@@ -87,7 +87,7 @@ class TestWindowedRunnerEquivalence:
         assert_traces_identical(sequential, batched)
 
     def test_prerendered_frames_match_streaming(self, tiny_system):
-        policy = static_policy("LF_ALL")
+        policy = StaticPolicy("LF_ALL")
         frames = DriveSource(
             TRANSITION, seed=2, image_size=tiny_system.model.image_size
         ).materialize()
@@ -112,8 +112,26 @@ class TestWindowedRunnerEquivalence:
     def test_window_validation(self, tiny_system):
         with pytest.raises(ValueError):
             ClosedLoopRunner(tiny_system.model).run(
-                TRANSITION, static_policy("LF_ALL"), window=0
+                TRANSITION, StaticPolicy("LF_ALL"), window=0
             )
+
+    def test_soc_feedback_policy_bit_identical_under_load(self, tiny_system):
+        """A tiny battery makes SoC (and therefore lambda_E) move every
+        frame; the windowed path must still reproduce the sequential
+        battery-feedback trajectory exactly."""
+        from repro.hardware.battery import ElectricVehicle
+
+        vehicle = ElectricVehicle(battery_kwh=0.05)
+        policy = SoCAwarePolicy(tiny_system.gates["attention"])
+        sequential = ClosedLoopRunner(
+            tiny_system.model, vehicle=vehicle, cache=BranchOutputCache()
+        ).run(LIBRARY_SCENARIO, policy, seed=5)
+        batched = ClosedLoopRunner(
+            tiny_system.model, vehicle=vehicle, cache=BranchOutputCache()
+        ).run(LIBRARY_SCENARIO, policy, seed=5, window=8)
+        assert_traces_identical(sequential, batched)
+        lambdas = sequential.lambda_trace
+        assert lambdas[-1] > lambdas[0]  # the battery visibly drained
 
 
 class TestBatchInvariantPrimitives:
@@ -138,6 +156,44 @@ class TestBatchInvariantPrimitives:
         gate = tiny_system.gates[gate_name]
         split = tiny_system.test_split
         samples = [split[i] for i in range(min(6, len(split)))]
+        features = tiny_system.model.stem_features(samples)
+        gate_input = tiny_system.model.gate_features(features)
+        contexts = [s.context for s in samples]
+        ids = [s.sample_id for s in samples]
+        windowed = gate.predict_losses_windowed(gate_input, contexts, ids)
+        rows = [
+            gate.predict_losses(gate_input[i : i + 1], [contexts[i]], [ids[i]])
+            for i in range(len(samples))
+        ]
+        assert np.array_equal(windowed, np.concatenate(rows, axis=0))
+
+    def test_attention_layer_batch_rows_match_single(self):
+        """The attention token matmuls must be batch-invariant so the
+        attention gate's trunk can batch fully inside windowed runs."""
+        from repro.nn import SpatialSelfAttention, Tensor, no_grad
+
+        rng = np.random.default_rng(7)
+        layer = SpatialSelfAttention(16, rng=rng)
+        # Give the residual branch real weight so the attention matmuls
+        # actually contribute to the output being compared.
+        layer.scale.data[:] = 1.0
+        x = rng.normal(size=(6, 16, 8, 8)).astype(np.float32)
+        with no_grad(), batch_invariant():
+            batched = layer(Tensor(x)).data
+        for i in range(x.shape[0]):
+            with no_grad():
+                single = layer(Tensor(np.array(x[i : i + 1]))).data
+            assert np.array_equal(batched[i : i + 1], single)
+
+    def test_attention_gate_windowed_trunk_matches_sequential(self, tiny_system):
+        """End-to-end pin of the batched attention trunk: the attention
+        gate's windowed predictions over a drive equal its per-frame
+        predictions bit for bit."""
+        gate = tiny_system.gates["attention"]
+        frames = DriveSource(
+            TRANSITION, seed=3, image_size=tiny_system.model.image_size
+        ).materialize()
+        samples = [f.sample for f in frames]
         features = tiny_system.model.stem_features(samples)
         gate_input = tiny_system.model.gate_features(features)
         contexts = [s.context for s in samples]

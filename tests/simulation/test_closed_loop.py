@@ -6,13 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core.config import BRANCHES
+from repro.policies import EcoFusionPolicy, SoCAwarePolicy, StaticPolicy
 from repro.simulation import (
+    TRACE_SCHEMA_VERSION,
     ClosedLoopRunner,
     ScenarioSpec,
     SegmentSpec,
     SensorFault,
-    adaptive_policy,
-    static_policy,
 )
 
 TRANSITION_SPEC = ScenarioSpec(
@@ -43,7 +43,7 @@ class TestReconfiguration:
         self, runner, tiny_system
     ):
         trace = runner.run(
-            TRANSITION_SPEC, adaptive_policy(tiny_system.gates["knowledge"])
+            TRANSITION_SPEC, EcoFusionPolicy(tiny_system.gates["knowledge"])
         )
         assert len(trace.config_histogram) >= 2
         assert trace.switch_count >= 1
@@ -53,7 +53,7 @@ class TestReconfiguration:
 
     def test_fault_forces_limp_home_configuration(self, runner, tiny_system):
         trace = runner.run(
-            FAULT_SPEC, adaptive_policy(tiny_system.gates["knowledge"])
+            FAULT_SPEC, EcoFusionPolicy(tiny_system.gates["knowledge"])
         )
         assert len(trace.config_histogram) >= 2
         for record in trace.records:
@@ -69,7 +69,7 @@ class TestReconfiguration:
         self, runner, tiny_system
     ):
         trace = runner.run(
-            FAULT_SPEC, adaptive_policy(tiny_system.gates["attention"])
+            FAULT_SPEC, EcoFusionPolicy(tiny_system.gates["attention"])
         )
         for record in trace.records:
             if record.fault_labels:
@@ -77,7 +77,7 @@ class TestReconfiguration:
                 assert not chosen & {"camera_left", "camera_right"}
 
     def test_static_policy_never_switches(self, runner):
-        trace = runner.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        trace = runner.run(TRANSITION_SPEC, StaticPolicy("LF_ALL"))
         assert trace.config_histogram == {"LF_ALL": TRANSITION_SPEC.num_frames}
         assert trace.switch_count == 0
 
@@ -85,21 +85,21 @@ class TestReconfiguration:
 class TestBatteryAndEnergy:
     def test_battery_monotonically_decreases(self, runner, tiny_system):
         trace = runner.run(
-            TRANSITION_SPEC, adaptive_policy(tiny_system.gates["attention"])
+            TRANSITION_SPEC, EcoFusionPolicy(tiny_system.gates["attention"])
         )
         socs = trace.soc_trace
         assert all(later < earlier for earlier, later in zip(socs, socs[1:]))
         assert 0.0 < trace.final_soc < 1.0
 
     def test_every_frame_costs_energy_and_latency(self, runner):
-        trace = runner.run(TRANSITION_SPEC, static_policy("EF_CLCRL"))
+        trace = runner.run(TRANSITION_SPEC, StaticPolicy("EF_CLCRL"))
         for record in trace.records:
             assert record.platform_energy_joules > 0
             assert record.sensor_energy_joules > 0
             assert record.latency_ms > 0
 
     def test_static_latency_matches_offline_cost_table(self, runner, tiny_system):
-        trace = runner.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        trace = runner.run(TRANSITION_SPEC, StaticPolicy("LF_ALL"))
         expected = tiny_system.model.costs.config_costs["LF_ALL"]
         assert trace.records[0].latency_ms == pytest.approx(expected.latency_ms)
         assert trace.records[0].platform_energy_joules == pytest.approx(
@@ -111,16 +111,16 @@ class TestBatteryAndEnergy:
         parallel = ClosedLoopRunner(
             tiny_system.model, cache=tiny_system.cache, parallel_engines=True
         )
-        a = serial.run(TRANSITION_SPEC, static_policy("LF_ALL"))
-        b = parallel.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        a = serial.run(TRANSITION_SPEC, StaticPolicy("LF_ALL"))
+        b = parallel.run(TRANSITION_SPEC, StaticPolicy("LF_ALL"))
         assert b.avg_latency_ms < a.avg_latency_ms
         assert b.avg_energy_joules == pytest.approx(a.avg_energy_joules)
 
     def test_gated_sensors_save_sensor_energy(self, runner):
         """A camera-only static pipeline clock-gates radar and lidar, so
         its steady-state sensor draw undercuts the all-on late pipeline."""
-        cheap = runner.run(TRANSITION_SPEC, static_policy("CR"))
-        full = runner.run(TRANSITION_SPEC, static_policy("LF_ALL"))
+        cheap = runner.run(TRANSITION_SPEC, StaticPolicy("CR"))
+        full = runner.run(TRANSITION_SPEC, StaticPolicy("LF_ALL"))
         assert (
             cheap.records[-1].sensor_energy_joules
             < full.records[-1].sensor_energy_joules
@@ -130,7 +130,7 @@ class TestBatteryAndEnergy:
 class TestTraceOutputs:
     def test_smoke_full_trace_shape(self, runner, tiny_system):
         trace = runner.run(
-            TRANSITION_SPEC, adaptive_policy(tiny_system.gates["attention"])
+            TRANSITION_SPEC, EcoFusionPolicy(tiny_system.gates["attention"])
         )
         assert trace.num_frames == TRANSITION_SPEC.num_frames
         assert trace.scenario == "transition"
@@ -141,7 +141,7 @@ class TestTraceOutputs:
     def test_to_dict_is_json_ready(self, runner):
         import json
 
-        trace = runner.run(TRANSITION_SPEC, static_policy("CR"))
+        trace = runner.run(TRANSITION_SPEC, StaticPolicy("CR"))
         payload = json.loads(json.dumps(trace.to_dict()))
         assert payload["num_frames"] == TRANSITION_SPEC.num_frames
         assert payload["config_histogram"] == {"CR": TRANSITION_SPEC.num_frames}
@@ -149,9 +149,158 @@ class TestTraceOutputs:
 
     def test_policy_validation(self, tiny_system):
         with pytest.raises(ValueError):
-            adaptive_policy(None)  # type: ignore[arg-type]
+            EcoFusionPolicy(None)  # type: ignore[arg-type]
         with pytest.raises(ValueError):
-            static_policy("")
+            StaticPolicy("")
+
+    def test_rejects_non_policy_objects(self, runner):
+        with pytest.raises(TypeError, match="repro.policies"):
+            runner.run(TRANSITION_SPEC, "LF_ALL")  # type: ignore[arg-type]
+
+    def test_to_dict_is_self_describing(self, runner, tiny_system):
+        """Satellite: schema_version + the policy's describe() output."""
+        trace = runner.run(
+            TRANSITION_SPEC, EcoFusionPolicy(tiny_system.gates["attention"])
+        )
+        payload = trace.to_dict()
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+        described = payload["policy_describe"]
+        assert described["kind"] == "ecofusion"
+        assert described["gate"] == "attention"
+        # constant-lambda adaptive runs still report their trajectory
+        assert payload["lambda_e"]["first"] == payload["lambda_e"]["last"]
+        assert payload["initial_soc"] == 1.0
+        assert payload["initial_soc"] > payload["final_soc"]
+        static = runner.run(TRANSITION_SPEC, StaticPolicy("CR")).to_dict()
+        assert static["policy_describe"]["kind"] == "static"
+        assert static["lambda_e"] is None
+
+    def test_trace_records_true_initial_soc(self, runner, tiny_system):
+        from repro.hardware.battery import BatteryState
+
+        battery = BatteryState(soc=0.42)
+        trace = runner.run(
+            TRANSITION_SPEC, StaticPolicy("CR"), battery=battery
+        )
+        assert trace.initial_soc == 0.42
+        assert trace.soc_trace[0] < trace.initial_soc  # post-drain
+        assert "42.0000%" in trace.soc_summary()
+
+
+class TestSoCAwareAndRegen:
+    """The battery-feedback seam: SoC-aware lambda_E + regen/charging."""
+
+    def small_ev(self):
+        from repro.hardware.battery import ElectricVehicle
+
+        return ElectricVehicle(battery_kwh=0.05)
+
+    def test_lambda_rises_monotonically_as_battery_drains(self, tiny_system):
+        runner = ClosedLoopRunner(
+            tiny_system.model, vehicle=self.small_ev(), cache=tiny_system.cache
+        )
+        trace = runner.run(
+            TRANSITION_SPEC, SoCAwarePolicy(tiny_system.gates["attention"])
+        )
+        lambdas = trace.lambda_trace
+        assert len(lambdas) == trace.num_frames
+        # no regen in this scenario: SoC only drains, so the schedule
+        # must be non-decreasing, and visibly so on a tiny battery
+        assert lambdas == sorted(lambdas)
+        assert lambdas[-1] > lambdas[0]
+
+    def test_high_pressure_schedule_picks_cheaper_configs(self, tiny_system):
+        """Emptying battery + aggressive ramp must not pick pricier
+        configurations (by the offline E(phi) table the joint loss
+        optimizes) than the relaxed constant-lambda controller."""
+        runner = ClosedLoopRunner(
+            tiny_system.model, vehicle=self.small_ev(), cache=tiny_system.cache
+        )
+        from repro.hardware.battery import BatteryState
+
+        nearly_empty = BatteryState(vehicle=self.small_ev(), soc=0.15)
+        pressured = runner.run(
+            TRANSITION_SPEC,
+            SoCAwarePolicy(
+                tiny_system.gates["attention"], lambda_min=0.05, lambda_max=1.0
+            ),
+            battery=nearly_empty,
+        )
+        relaxed = runner.run(
+            TRANSITION_SPEC,
+            EcoFusionPolicy(tiny_system.gates["attention"], lambda_e=0.05),
+        )
+        table = dict(
+            zip(tiny_system.model.config_names, tiny_system.model.energies())
+        )
+
+        def mean_table_energy(trace):
+            return float(
+                np.mean([table[r.config_name] for r in trace.records])
+            )
+
+        assert mean_table_energy(pressured) <= mean_table_energy(relaxed)
+        assert max(pressured.lambda_trace) > max(relaxed.lambda_trace)
+
+    def test_charging_segment_recovers_charge(self, tiny_system):
+        spec = ScenarioSpec(
+            name="charge_stop",
+            description="drive, pause at a charger, drive on",
+            segments=(
+                SegmentSpec("city", 4),
+                SegmentSpec("city", 4, ego_speed=0.0, charging_watts=50_000.0),
+                SegmentSpec("city", 4),
+            ),
+        )
+        runner = ClosedLoopRunner(
+            tiny_system.model, vehicle=self.small_ev(), cache=tiny_system.cache
+        )
+        trace = runner.run(spec, StaticPolicy("CR"))
+        socs = trace.soc_trace
+        assert socs[7] > socs[3]  # the charging segment refilled
+        assert socs[-1] < socs[7]  # and the last leg drained again
+        assert all(0.0 <= s <= 1.0 for s in socs)
+
+    def test_regen_reduces_net_drain(self, tiny_system):
+        base = (SegmentSpec("city", 8),)
+        regen = (SegmentSpec("city", 8, regen=0.6),)
+        runner = ClosedLoopRunner(
+            tiny_system.model, vehicle=self.small_ev(), cache=tiny_system.cache
+        )
+        plain = runner.run(
+            ScenarioSpec("plain", "x", base), StaticPolicy("CR")
+        )
+        recovering = runner.run(
+            ScenarioSpec("plain", "x", regen), StaticPolicy("CR")
+        )
+        assert recovering.final_soc > plain.final_soc
+
+    def test_regen_during_faulted_frames_still_applies(self, tiny_system):
+        spec = ScenarioSpec(
+            name="regen_fault",
+            description="regen segment with a camera blackout",
+            segments=(SegmentSpec("city", 8, regen=0.5),),
+            faults=(SensorFault("camera", start=2, duration=3),),
+        )
+        runner = ClosedLoopRunner(
+            tiny_system.model, vehicle=self.small_ev(), cache=tiny_system.cache
+        )
+        trace = runner.run(
+            spec, EcoFusionPolicy(tiny_system.gates["knowledge"])
+        )
+        assert trace.fault_frames == 3
+        assert all(0.0 <= s <= 1.0 for s in trace.soc_trace)
+        # identical spec without regen drains strictly faster
+        no_regen = runner.run(
+            ScenarioSpec(
+                name="regen_fault",
+                description="same drive, no recuperation",
+                segments=(SegmentSpec("city", 8),),
+                faults=(SensorFault("camera", start=2, duration=3),),
+            ),
+            EcoFusionPolicy(tiny_system.gates["knowledge"]),
+        )
+        assert trace.final_soc > no_regen.final_soc
 
 
 def test_branch_spec_sanity():

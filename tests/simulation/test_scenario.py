@@ -123,3 +123,33 @@ class TestLibrary:
         with pytest.raises(KeyError, match="valid"):
             get_scenario("nite_rain")
         assert set(scenario_names()) == set(SCENARIOS)
+
+
+class TestEnergyRecoveryFields:
+    def test_regen_bounds_validated(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("city", 4, regen=1.2)
+        with pytest.raises(ValueError):
+            SegmentSpec("city", 4, regen=-0.1)
+        with pytest.raises(ValueError):
+            SegmentSpec("city", 4, charging_watts=-1.0)
+
+    def test_defaults_declare_no_recovery(self):
+        segment = SegmentSpec("city", 4)
+        assert segment.regen == 0.0
+        assert segment.charging_watts == 0.0
+
+    def test_library_regen_scenario_declares_recovery(self):
+        spec = SCENARIOS["stop_and_go_regen"]
+        assert any(s.regen > 0 for s in spec.segments)
+        assert any(s.charging_watts > 0 for s in spec.segments)
+
+    def test_recovery_fields_survive_scaling(self):
+        spec = SCENARIOS["stop_and_go_regen"]
+        shrunk = scaled(spec, 0.1)
+        assert [s.regen for s in shrunk.segments] == [
+            s.regen for s in spec.segments
+        ]
+        assert [s.charging_watts for s in shrunk.segments] == [
+            s.charging_watts for s in spec.segments
+        ]

@@ -49,18 +49,26 @@ def strip_walls(results):
 
 
 class TestPolicySpec:
-    def test_build_adaptive_and_static(self, tiny_system):
+    def test_build_all_kinds(self, tiny_system):
+        from repro.policies import EcoFusionPolicy, SoCAwarePolicy, StaticPolicy
+
         adaptive = PolicySpec("a", "adaptive", gate="attention", lambda_e=0.11)
         policy = adaptive.build(tiny_system)
-        assert policy.kind == "adaptive" and policy.lambda_e == 0.11
+        assert isinstance(policy, EcoFusionPolicy) and policy.lambda_e == 0.11
         static = PolicySpec("s", "static", config_name="LF_ALL").build(tiny_system)
-        assert static.kind == "static" and static.config_name == "LF_ALL"
+        assert isinstance(static, StaticPolicy) and static.config_name == "LF_ALL"
+        soc = PolicySpec(
+            "z", "soc_aware", gate="attention", schedule="exponential"
+        ).build(tiny_system)
+        assert isinstance(soc, SoCAwarePolicy) and soc.schedule == "exponential"
 
     def test_validation(self):
         with pytest.raises(ValueError):
             PolicySpec("x", "adaptive")
         with pytest.raises(ValueError):
             PolicySpec("x", "static")
+        with pytest.raises(ValueError):
+            PolicySpec("x", "soc_aware")
         with pytest.raises(ValueError):
             PolicySpec("x", "nope", gate="attention")
 
