@@ -1,7 +1,7 @@
-"""Runtime benchmark: sequential vs batched vs sharded sweep execution.
+"""Runtime benchmark: sequential vs batched vs compiled vs sharded.
 
 Measures wall time and frames/sec for the (scenario x policy) sweep in
-three modes and writes ``BENCH_runtime.json`` so the speedup is a
+four modes and writes ``BENCH_runtime.json`` so the speedup is a
 tracked trajectory, not a claim:
 
 * ``sequential`` — the seed behavior: every cell re-renders its drive
@@ -9,13 +9,29 @@ tracked trajectory, not a claim:
   cache across cells (as ``bench_scenarios.py`` always had).
 * ``batched``    — the same cell loop with ``window=W`` lookahead
   batching inside ``ClosedLoopRunner``.
-* ``sharded``    — the full sweep engine (``repro.simulation.sweep``):
-  scenario shards over ``--jobs`` worker processes, frames rendered
-  once per shard and shared across policies, batched execution inside.
+* ``compiled``   — the full single-process fast stack: the sweep
+  engine's per-scenario shards (frames rendered once and shared across
+  policies, exactly as the sharded mode does) with windowed execution
+  replayed through ``repro.nn.engine`` kernel programs (traced once
+  per shape, LRU-shared across policies).  Its delta over ``batched``
+  therefore combines shard-style frame reuse with the engine; its
+  delta vs ``sharded`` isolates the engine against multiprocessing on
+  the same core count.
+* ``sharded``    — the sweep engine across ``--jobs`` worker processes
+  (eager windowed execution inside each shard).
 
 Every mode must produce *identical* results — the script diffs the
-nested result dicts (all floats compared exactly) and refuses to write
-a benchmark file claiming a speedup over non-equivalent outputs.
+nested result dicts (all floats compared exactly), additionally diffs
+every fast mode's **per-frame** float-hex records against the
+sequential reference (a single ulp of drift on any frame fails; the
+collection runs inside every mode's timed region so the walls stay
+comparable), and refuses to write a benchmark file claiming a speedup
+over non-equivalent outputs.
+
+``--timestamp`` pins ``meta.generated_unix`` so regenerated files diff
+cleanly except for real value changes; ``--profile`` reruns one
+compiled-mode repeat under cProfile and prints the top cumulative
+hotspots.
 
 Run:  PYTHONPATH=src python benchmarks/bench_runtime.py --tiny
       (add ``--scale 0.1 --jobs 2`` for a CI-sized smoke run)
@@ -49,13 +65,14 @@ TINY_SPEC = SystemSpec(per_context=4, iterations=14, gate_iterations=30, batch_s
 
 
 def run_cells_serial(system, names, scale, seed, window,
-                     memoize_outputs=True) -> dict:
+                     memoize_outputs=True, collect_hex=False) -> dict:
     """The per-cell loop of the seed bench: no frame sharing across cells.
 
     ``memoize_outputs=False`` reproduces the seed executor's cache
     exactly (branch-level only — fused-output/loss memoization is part
-    of this PR's batched hot path, so the sequential baseline must not
-    silently inherit it).
+    of the batched hot path, so the sequential baseline must not
+    silently inherit it).  ``collect_hex`` attaches each trace's
+    per-frame float-hex records to its entry (``records_hex``).
     """
     runner = ClosedLoopRunner(
         system.model, cache=BranchOutputCache(memoize_outputs=memoize_outputs)
@@ -70,19 +87,33 @@ def run_cells_serial(system, names, scale, seed, window,
             trace = runner.run(spec, policy, seed=seed, window=window)
             entry = trace.to_dict()
             entry["wall_seconds"] = round(time.perf_counter() - start, 3)
+            if collect_hex:
+                entry["records_hex"] = trace.records_hex()
             results[name][policy.name] = entry
     return results
 
 
 def strip_walls(results: dict) -> dict:
-    """Result dict without the timing fields (for the equivalence diff)."""
+    """Result dict without timing/trace fields (for the equivalence diff)."""
+    drop = ("wall_seconds", "records_hex")
     return {
         scenario: {
-            policy: {k: v for k, v in entry.items() if k != "wall_seconds"}
+            policy: {k: v for k, v in entry.items() if k not in drop}
             for policy, entry in per_policy.items()
         }
         for scenario, per_policy in results.items()
     }
+
+
+def pop_hex(results: dict) -> dict:
+    """Extract (and remove) the per-frame hex records of a result dict."""
+    traces = {}
+    for scenario, per_policy in results.items():
+        for policy, entry in per_policy.items():
+            hexes = entry.pop("records_hex", None)
+            if hexes is not None:
+                traces[(scenario, policy)] = hexes
+    return traces
 
 
 def total_frames(results: dict) -> int:
@@ -101,7 +132,7 @@ def main() -> None:
                         help="scenario timeline scale")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--window", type=int, default=32,
-                        help="lookahead window for the batched/sharded modes")
+                        help="lookahead window for the fast modes")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the sharded mode")
     parser.add_argument("--scenarios", type=int, default=0,
@@ -109,6 +140,13 @@ def main() -> None:
     parser.add_argument("--repeats", type=int, default=1,
                         help="measure each mode N times and keep the "
                              "fastest wall (damps machine noise)")
+    parser.add_argument("--timestamp", type=float, default=None,
+                        help="pin meta.generated_unix so regenerated "
+                             "files diff cleanly (default: current time)")
+    parser.add_argument("--profile", action="store_true",
+                        help="rerun one compiled-mode repeat under "
+                             "cProfile and print the top-20 cumulative "
+                             "hotspots")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0 or args.window < 1 or args.jobs < 1 or args.repeats < 1:
@@ -136,25 +174,51 @@ def main() -> None:
                 results = out
         return results, best
 
-    print(f"[1/3] sequential sweep ({len(names)} scenarios x "
+    print(f"[1/4] sequential sweep ({len(names)} scenarios x "
           f"{len(DEFAULT_POLICIES)} policies, window=1)...")
     seq_results, seq_wall = timed(lambda: run_cells_serial(
-        system, names, args.scale, args.seed, window=1, memoize_outputs=False
+        system, names, args.scale, args.seed, window=1,
+        memoize_outputs=False, collect_hex=True,
     ))
+    seq_hex = pop_hex(seq_results)
     frames = total_frames(seq_results)
-    modes["sequential"] = {"wall_seconds": seq_wall, "window": 1, "jobs": 1}
+    modes["sequential"] = {"wall_seconds": seq_wall, "window": 1, "jobs": 1,
+                           "compiled": False}
 
-    print(f"[2/3] batched sweep (window={args.window})...")
+    print(f"[2/4] batched sweep (window={args.window})...")
     batched_results, batched_wall = timed(lambda: run_cells_serial(
-        system, names, args.scale, args.seed, window=args.window
+        system, names, args.scale, args.seed, window=args.window,
+        collect_hex=True,
     ))
+    batched_hex = pop_hex(batched_results)
     modes["batched"] = {
         "wall_seconds": batched_wall,
         "window": args.window,
         "jobs": 1,
+        "compiled": False,
     }
 
-    print(f"[3/3] sharded sweep (window={args.window}, jobs={args.jobs})...")
+    print(f"[3/4] compiled sweep (window={args.window}, engine programs, "
+          "frames shared per scenario)...")
+    compiled_results, compiled_wall = timed(lambda: run_sweep(
+        system,
+        scenarios=names,
+        scale=args.scale,
+        seed=args.seed,
+        window=args.window,
+        jobs=1,
+        compiled=True,
+        collect_hex=True,
+    ))
+    compiled_hex = pop_hex(compiled_results)
+    modes["compiled"] = {
+        "wall_seconds": compiled_wall,
+        "window": args.window,
+        "jobs": 1,
+        "compiled": True,
+    }
+
+    print(f"[4/4] sharded sweep (window={args.window}, jobs={args.jobs})...")
     sharded_results, sharded_wall = timed(lambda: run_sweep(
         system,
         scenarios=names,
@@ -162,17 +226,27 @@ def main() -> None:
         seed=args.seed,
         window=args.window,
         jobs=args.jobs,
+        collect_hex=True,
     ))
+    sharded_hex = pop_hex(sharded_results)
     modes["sharded"] = {
         "wall_seconds": sharded_wall,
         "window": args.window,
         "jobs": args.jobs,
+        "compiled": False,
     }
 
+    # Every mode collects per-frame hex inside its timed region, so the
+    # four walls stay comparable and every mode gets the exact diff:
+    # eager reference vs each fast mode, every frame, every float.
     reference = strip_walls(seq_results)
     identical = {
         "batched": strip_walls(batched_results) == reference,
+        "compiled": strip_walls(compiled_results) == reference,
         "sharded": strip_walls(sharded_results) == reference,
+        "batched_frames": batched_hex == seq_hex and len(seq_hex) > 0,
+        "compiled_frames": compiled_hex == seq_hex and len(seq_hex) > 0,
+        "sharded_frames": sharded_hex == seq_hex and len(seq_hex) > 0,
     }
 
     rows = []
@@ -193,13 +267,24 @@ def main() -> None:
         ["mode", "window", "jobs", "wall (s)", "frames/s", "speedup"],
         rows, title="closed-loop sweep runtime",
     ))
-    print(f"equivalence: batched={identical['batched']}  "
-          f"sharded={identical['sharded']}")
+    print("equivalence: " + "  ".join(f"{k}={v}" for k, v in identical.items()))
 
     if not all(identical.values()):
         print("ERROR: fast modes diverged from the sequential reference; "
               "refusing to write benchmark results", file=sys.stderr)
         sys.exit(1)
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        print("\nprofiling one compiled-mode repeat (top-20 cumulative)...")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_sweep(system, scenarios=names, scale=args.scale, seed=args.seed,
+                  window=args.window, jobs=1, compiled=True)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 
     payload = {
         "meta": {
@@ -211,7 +296,9 @@ def main() -> None:
             "frames_per_mode": frames,
             "system_spec": system.spec.cache_key(),
             "traces_identical": True,
-            "generated_unix": time.time(),
+            "generated_unix": (
+                args.timestamp if args.timestamp is not None else time.time()
+            ),
         },
         "modes": modes,
     }

@@ -84,6 +84,13 @@ def main() -> None:
                              "(1 = sequential reference path)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for scenario sharding")
+    parser.add_argument("--compiled", action="store_true",
+                        help="replay inference through repro.nn.engine "
+                             "compiled programs (bit-identical; "
+                             "REPRO_NO_COMPILE=1 force-disables)")
+    parser.add_argument("--timestamp", type=float, default=None,
+                        help="pin meta.generated_unix so regenerated "
+                             "files diff cleanly (default: current time)")
     parser.add_argument("--policies", type=str, default=None,
                         help="comma-separated registered policy names "
                              f"(default: the standard sweep set; "
@@ -115,7 +122,7 @@ def main() -> None:
 
     print(
         f"sweeping {len(SCENARIOS)} scenarios at scale {args.scale} "
-        f"(window={args.window}, jobs={args.jobs}):"
+        f"(window={args.window}, jobs={args.jobs}, compiled={args.compiled}):"
     )
 
     def progress(scenario: str, policy: str, entry: dict) -> None:
@@ -136,6 +143,7 @@ def main() -> None:
         seed=args.seed,
         window=args.window,
         jobs=args.jobs,
+        compiled=args.compiled,
         progress=progress,
     )
     sweep_wall = time.perf_counter() - sweep_start
@@ -159,10 +167,13 @@ def main() -> None:
             "seed": args.seed,
             "window": args.window,
             "jobs": args.jobs,
+            "compiled": args.compiled,
             "policies": [p.name for p in policies],
             "sweep_wall_seconds": round(sweep_wall, 3),
             "system_spec": system.spec.cache_key(),
-            "generated_unix": time.time(),
+            "generated_unix": (
+                args.timestamp if args.timestamp is not None else time.time()
+            ),
         },
         "scenarios": results,
         "by_policy": by_policy,

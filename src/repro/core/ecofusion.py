@@ -24,7 +24,7 @@ from ..datasets.radiate import Sample
 from ..datasets.sensors import SENSORS
 from ..datasets.transforms import normalize_sample
 from ..fusion.late import BranchOutput, FusionBlock
-from ..nn import Tensor, batch_invariant, no_grad
+from ..nn import Tensor, batch_invariant, engine, no_grad
 from ..perception.detections import Detections
 from ..perception.detector import BranchDetector
 from ..perception.backbone import StemBlock
@@ -176,7 +176,16 @@ class EcoFusionModel:
         with no_grad():
             for sensor in sensors:
                 batch = np.stack([n[sensor] for n in normalized]).astype(np.float32)
-                features[sensor] = self.stems[sensor](Tensor(batch))
+                stem = self.stems[sensor]
+                # copy=True: callers cache row slices of stem outputs
+                # across windows, so they must not alias engine buffers.
+                compiled = engine.maybe_run(
+                    "stem", stem, stem, (batch,), copy=True
+                )
+                features[sensor] = (
+                    stem(Tensor(batch)) if compiled is None
+                    else Tensor(compiled[0])
+                )
         return features
 
     def stem_features_cached(

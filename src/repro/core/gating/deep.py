@@ -21,6 +21,7 @@ from ...nn import (
     Sequential,
     Tensor,
     batch_invariant,
+    engine,
     no_grad,
 )
 from ...nn.layers import MaxPool2d
@@ -89,6 +90,15 @@ class GateNetwork(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.head(self.trunk(x))
 
+    def compile(self, *shapes: tuple[int, ...],
+                invariant: bool = False) -> list[engine.Program]:
+        """Pre-compile the trunk for the given ``(N, C, H, W)`` input
+        shapes; also happens lazily on first windowed use, so calling
+        this is optional warm-up."""
+        return engine.warm_up(
+            "gate_trunk", self, self.trunk, shapes, invariant=invariant
+        )
+
 
 class DeepGate(Gate):
     """Learned loss-regression gate.
@@ -134,9 +144,15 @@ class DeepGate(Gate):
         sample_ids: list[int] | None = None,
     ) -> np.ndarray:
         self.network.eval()
-        with no_grad():
-            out = self.network(gate_features)
-        raw = out.data.astype(np.float64)
+        compiled = engine.maybe_run(
+            "gate_forward", self.network, self.network, (gate_features,)
+        )
+        if compiled is not None:
+            raw = compiled[0].astype(np.float64)
+        else:
+            with no_grad():
+                out = self.network(gate_features)
+            raw = out.data.astype(np.float64)
         if self.prior is None:
             return raw
         return self.prior[None, :] + self.shrink * (raw - self.prior[None, :])
@@ -161,11 +177,22 @@ class DeepGate(Gate):
         net = self.network
         net.eval()
         with no_grad(), batch_invariant():
-            trunk = net.trunk(gate_features)
-            rows = [
-                net.head(trunk[i : i + 1]).data
-                for i in range(trunk.shape[0])
-            ]
+            # copy=True: the trunk rows are sliced while the per-frame
+            # head programs replay, which reclaims the engine's pool.
+            compiled = engine.maybe_run(
+                "gate_trunk", net, net.trunk, (gate_features,), copy=True
+            )
+            trunk = (
+                net.trunk(gate_features) if compiled is None
+                else Tensor(compiled[0])
+            )
+            rows = []
+            for i in range(trunk.shape[0]):
+                row = trunk[i : i + 1]
+                head = engine.maybe_run(
+                    "gate_head", net, net.head, (row,), copy=True
+                )
+                rows.append(head[0] if head is not None else net.head(row).data)
         raw = np.concatenate(rows, axis=0).astype(np.float64)
         if self.prior is None:
             return raw

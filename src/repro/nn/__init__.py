@@ -39,12 +39,14 @@ from .optim import SGD, Adam, CosineLR, StepLR, clip_grad_norm
 from .serialization import load_module, load_state, save_module, save_state
 from .functional import batch_invariant
 from .tensor import Tensor, as_tensor, no_grad
+from . import engine
 
 __all__ = [
     "Tensor",
     "as_tensor",
     "no_grad",
     "batch_invariant",
+    "engine",
     "functional",
     "Module",
     "Parameter",

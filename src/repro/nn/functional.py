@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from . import tensor as _tensor_mod
 from .tensor import Tensor, as_tensor, batch_invariant_enabled
 from .tensor import _set_batch_invariant
 
@@ -74,9 +75,21 @@ class batch_invariant:
 # the (unobserved so far) case of a data- or alignment-dependent kernel.
 _STABLE_GEMM: dict[tuple[int, int, int, int, str], bool] = {}
 
+# For unstable shapes (per-sample loop every call): whether the loop's
+# defensive fresh-copy of each sample's rows affects any output bit.
+# Verified once per shape; compiled-program replay skips the copies when
+# it provably cannot matter.  The eager path always keeps the reference
+# copy semantics.
+_LOOP_NOCOPY: dict[tuple[int, int, int, int, str], bool] = {}
+
 
 def _invariant_matmul(
-    cols_mat: np.ndarray, w_t: np.ndarray, n: int, rows: int, f: int
+    cols_mat: np.ndarray,
+    w_t: np.ndarray,
+    n: int,
+    rows: int,
+    f: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Batched GEMM whose rows match per-sample execution.
 
@@ -87,17 +100,37 @@ def _invariant_matmul(
     the first call also runs the full-batch GEMM and compares bits: when
     the kernel is row-stable for that shape (common), later calls take
     the fast single-GEMM path; otherwise they keep the per-sample loop.
+    ``out`` optionally receives the result (compiled-program replay
+    passes a persistent buffer).
     """
     key = (n, rows, cols_mat.shape[1], f, cols_mat.dtype.str)
     verdict = _STABLE_GEMM.get(key)
     if verdict:
-        return cols_mat @ w_t
-    out = np.empty((n * rows, f), dtype=cols_mat.dtype)
+        return cols_mat @ w_t if out is None else np.matmul(cols_mat, w_t, out=out)
+    compiled_replay = out is not None
+    if out is None:
+        out = np.empty((n * rows, f), dtype=cols_mat.dtype)
+    if compiled_replay and _LOOP_NOCOPY.get(key):
+        # Compiled replay, shape verified copy-insensitive: per-sample
+        # GEMMs straight off the (contiguous) slices, no fresh copies.
+        for i in range(n):
+            np.matmul(cols_mat[i * rows : (i + 1) * rows], w_t,
+                      out=out[i * rows : (i + 1) * rows])
+        return out
     for i in range(n):
         sample = np.array(cols_mat[i * rows : (i + 1) * rows])
         np.matmul(sample, w_t, out=out[i * rows : (i + 1) * rows])
     if verdict is None:
         _STABLE_GEMM[key] = bool(np.array_equal(cols_mat @ w_t, out))
+    if compiled_replay and key not in _LOOP_NOCOPY and not _STABLE_GEMM[key]:
+        # Decide once per unstable shape whether the defensive
+        # fresh-copy in the reference loop changes any bit; when it
+        # does not (the observed case), later compiled replays skip it.
+        probe = np.empty_like(out)
+        for i in range(n):
+            np.matmul(cols_mat[i * rows : (i + 1) * rows], w_t,
+                      out=probe[i * rows : (i + 1) * rows])
+        _LOOP_NOCOPY[key] = bool(np.array_equal(probe, out))
     return out
 
 
@@ -177,13 +210,25 @@ def conv2d(
         cols = _im2col(xd, kh, kw, sh, sw)  # (N,Ho,Wo,C,kh,kw)
         cols_mat = cols.reshape(n * ho * wo, c * kh * kw)
     w_mat = wd.reshape(f, c * kh * kw)
-    if batch_invariant_enabled() and n > 1:
+    invariant = batch_invariant_enabled() and n > 1
+    if invariant:
         out = _invariant_matmul(cols_mat, w_mat.T, n, ho * wo, f)
     else:
         out = cols_mat @ w_mat.T  # (N*Ho*Wo, F)
     out = out.reshape(n, ho, wo, f).transpose(0, 3, 1, 2)
     if bias is not None:
         out = out + bias.data.reshape(1, f, 1, 1)
+    out = out.astype(xd.dtype, copy=False)
+    if _tensor_mod._EMIT is not None:
+        _tensor_mod._EMIT(
+            "conv2d", out, (xd,),
+            weight=wd,
+            bias=None if bias is None else bias.data,
+            stride=(sh, sw),
+            invariant=invariant,
+            in_shape=xd.shape,
+            in_dtype=xd.dtype,
+        )
 
     parents = (xp, weight) if bias is None else (xp, weight, bias)
 
@@ -197,7 +242,7 @@ def conv2d(
         gb = g.sum(axis=(0, 2, 3))
         return gx, gw, gb
 
-    return Tensor._make(out.astype(xd.dtype, copy=False), parents, backward)
+    return Tensor._make(out, parents, backward)
 
 
 def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
@@ -211,6 +256,8 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
         k = kernel
         view = xd.reshape(n, c, h // k, k, w // k, k)
         out = view.max(axis=(3, 5))
+        if _tensor_mod._EMIT is not None:
+            _tensor_mod._EMIT("maxpool2", out, (xd,), kernel=k)
         expanded = out[:, :, :, None, :, None]
         mask = view == expanded
         counts = mask.sum(axis=(3, 5), keepdims=True)
@@ -392,6 +439,16 @@ def batch_norm(
         view = (1, -1)
     else:
         raise ValueError(f"batch_norm expects 2-D or 4-D input, got {xd.ndim}-D")
+    if training and _tensor_mod._EMIT is not None:
+        # Refuse BEFORE touching the running statistics: the engine's
+        # eager fallback re-runs this forward, and a stat update here
+        # would otherwise be applied twice.
+        from .engine import TraceError
+
+        raise TraceError(
+            "training-mode batch_norm mutates running statistics and "
+            "cannot be captured in a compiled inference program"
+        )
 
     if training:
         mean = xd.mean(axis=axes)
@@ -409,6 +466,13 @@ def batch_norm(
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = (xd - mean.reshape(view)) * inv_std.reshape(view)
     out = gamma.data.reshape(view) * x_hat + beta.data.reshape(view)
+    out_cast = out.astype(xd.dtype, copy=False)
+    if _tensor_mod._EMIT is not None:
+        _tensor_mod._EMIT(
+            "bn_eval", out_cast, (xd,),
+            gamma=gamma.data, beta=beta.data,
+            mean=running_mean, var=running_var, eps=eps,
+        )
 
     def backward(g: np.ndarray):
         m = xd.size // xd.shape[1]
@@ -426,7 +490,7 @@ def batch_norm(
             gx = g * gamma.data.reshape(view) * inv_std.reshape(view)
         return gx.astype(xd.dtype), g_gamma, g_beta
 
-    return Tensor._make(out.astype(xd.dtype, copy=False), (x, gamma, beta), backward)
+    return Tensor._make(out_cast, (x, gamma, beta), backward)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:

@@ -35,6 +35,19 @@ __all__ = [
 
 _GRAD_ENABLED = True
 
+# Trace hook installed by ``repro.nn.engine.recording`` while a forward
+# is being captured for compilation; ``None`` in normal eager execution.
+# Instrumented ops call it as ``_EMIT(op, out, ins, **attrs)`` right
+# after computing their result, so the engine can lower the executed op
+# sequence into a replayable kernel program.  ``_TRACK`` is the sibling
+# hook fed every ``Tensor._make`` output array id, letting the engine
+# tell "computed during the trace by an un-instrumented op" (must fail
+# loudly) apart from a genuine pre-existing constant.  Kept here (not
+# in ``engine``) so the per-op cost when tracing is off is one global
+# read.
+_EMIT = None
+_TRACK = None
+
 
 class no_grad:
     """Context manager that disables graph construction (inference mode)."""
@@ -92,7 +105,9 @@ def _set_batch_invariant(value: bool) -> bool:
 _STABLE_STACKED_MATMUL: dict[tuple, bool] = {}
 
 
-def _invariant_stacked_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def _invariant_stacked_matmul(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """Stacked matmul whose per-sample slices match batch-of-one runs.
 
     The reference is one product per leading-axis sample, each over a
@@ -100,7 +115,8 @@ def _invariant_stacked_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     BLAS.  Per operand signature (shape + layout + dtype), the first
     call also runs the full-batch product and compares bits: when the
     kernel is row-stable for that signature (common), later calls take
-    the fast full-batch path.
+    the fast full-batch path.  ``out`` optionally receives the result
+    (used by compiled-program replay to reuse a persistent buffer).
     """
     key = (
         a.shape, a.strides, a.dtype.str,
@@ -108,15 +124,25 @@ def _invariant_stacked_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     )
     verdict = _STABLE_STACKED_MATMUL.get(key)
     if verdict:
-        return a @ b
+        return a @ b if out is None else np.matmul(a, b, out=out)
     parts = [
         a[i : i + 1] @ (b if b.ndim == 2 else b[i : i + 1])
         for i in range(a.shape[0])
     ]
-    out = np.concatenate(parts, axis=0)
+    result = np.concatenate(parts, axis=0, out=out)
     if verdict is None:
-        _STABLE_STACKED_MATMUL[key] = bool(np.array_equal(a @ b, out))
-    return out
+        _STABLE_STACKED_MATMUL[key] = bool(np.array_equal(a @ b, result))
+    return result
+
+
+def _static_index(index) -> bool:
+    """True when a ``__getitem__`` index holds no runtime data (ints,
+    slices, Ellipsis, None) and may be baked into a compiled program."""
+    if isinstance(index, tuple):
+        return all(_static_index(i) for i in index)
+    return index is None or index is Ellipsis or isinstance(
+        index, (int, np.integer, slice)
+    )
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -234,6 +260,10 @@ class Tensor:
             p.requires_grad for p in parents if isinstance(p, Tensor)
         )
         out = Tensor(data, requires_grad=requires)
+        if _TRACK is not None:
+            # track the *constructed* array: scalar-producing reductions
+            # hand __init__ a numpy scalar that gets rewrapped.
+            _TRACK(id(out.data))
         if requires:
             out._parents = tuple(p for p in parents if isinstance(p, Tensor))
             out._backward = backward
@@ -317,16 +347,23 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = as_tensor(other)
         data = self.data + other.data
+        if _EMIT is not None:
+            _EMIT("add", data, (self.data, other.data))
         return Tensor._make(data, (self, other), lambda g: (g, g))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+        data = -self.data
+        if _EMIT is not None:
+            _EMIT("neg", data, (self.data,))
+        return Tensor._make(data, (self,), lambda g: (-g,))
 
     def __sub__(self, other) -> "Tensor":
         other = as_tensor(other)
         data = self.data - other.data
+        if _EMIT is not None:
+            _EMIT("sub", data, (self.data, other.data))
         return Tensor._make(data, (self, other), lambda g: (g, -g))
 
     def __rsub__(self, other) -> "Tensor":
@@ -336,6 +373,8 @@ class Tensor:
         other = as_tensor(other)
         a, b = self.data, other.data
         data = a * b
+        if _EMIT is not None:
+            _EMIT("mul", data, (a, b))
         return Tensor._make(data, (self, other), lambda g: (g * b, g * a))
 
     __rmul__ = __mul__
@@ -344,6 +383,8 @@ class Tensor:
         other = as_tensor(other)
         a, b = self.data, other.data
         data = a / b
+        if _EMIT is not None:
+            _EMIT("div", data, (a, b))
         return Tensor._make(data, (self, other), lambda g: (g / b, -g * a / (b * b)))
 
     def __rtruediv__(self, other) -> "Tensor":
@@ -359,15 +400,18 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = as_tensor(other)
         a, b = self.data, other.data
-        if (
+        invariant = (
             _BATCH_INVARIANT
             and a.ndim == 3
             and a.shape[0] > 1
             and (b.ndim == 2 or (b.ndim == 3 and b.shape[0] == a.shape[0]))
-        ):
+        )
+        if invariant:
             data = _invariant_stacked_matmul(a, b)
         else:
             data = a @ b
+        if _EMIT is not None:
+            _EMIT("matmul", data, (a, b), invariant=invariant)
 
         def backward(g: np.ndarray):
             if a.ndim == 1 and b.ndim == 1:  # dot product
@@ -391,6 +435,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        if _EMIT is not None:
+            _EMIT("exp", data, (self.data,))
         return Tensor._make(data, (self,), lambda g: (g * data,))
 
     def log(self) -> "Tensor":
@@ -403,10 +449,14 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        if _EMIT is not None:
+            _EMIT("tanh", data, (self.data,))
         return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
+        if _EMIT is not None:
+            _EMIT("sigmoid", data, (self.data,))
         return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
 
     def relu(self) -> "Tensor":
@@ -416,7 +466,10 @@ class Tensor:
             # path (which zeroes NaN), this propagates NaN — a NaN
             # activation at inference indicates broken weights and
             # should surface, not be silently squashed.
-            return Tensor(np.maximum(self.data, 0))
+            data = np.maximum(self.data, 0)
+            if _EMIT is not None:
+                _EMIT("relu", data, (self.data,))
+            return Tensor(data)
         mask = self.data > 0
         data = np.where(mask, self.data, 0.0)
         if data.dtype != self.data.dtype:  # avoid a same-dtype copy
@@ -501,6 +554,8 @@ class Tensor:
             shape = tuple(shape[0])
         original = self.data.shape
         data = self.data.reshape(shape)
+        if _EMIT is not None:
+            _EMIT("reshape", data, (self.data,))
         return Tensor._make(data, (self,), lambda g: (g.reshape(original),))
 
     def flatten(self, start_axis: int = 1) -> "Tensor":
@@ -514,6 +569,8 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         inverse = tuple(int(i) for i in np.argsort(axes))
         data = self.data.transpose(axes)
+        if _EMIT is not None:
+            _EMIT("transpose", data, (self.data,), axes=axes)
         return Tensor._make(data, (self,), lambda g: (g.transpose(inverse),))
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
@@ -527,6 +584,12 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        if _EMIT is not None and _static_index(index):
+            # Array/list indices are data: freezing them into a compiled
+            # program would silently replay the traced input's selection
+            # forever.  Not emitting makes such a trace fail loudly via
+            # the engine's unknown-provenance check instead.
+            _EMIT("getitem", data, (self.data,), index=index)
         shape = self.data.shape
         dtype = self.data.dtype
 
@@ -544,6 +607,8 @@ class Tensor:
             return self
         pads = [(0, 0)] * (self.data.ndim - 2) + [(ph, ph), (pw, pw)]
         data = np.pad(self.data, pads)
+        if _EMIT is not None:
+            _EMIT("pad2d", data, (self.data,), padding=(ph, pw))
         slices = tuple(
             [slice(None)] * (self.data.ndim - 2)
             + [slice(ph, data.shape[-2] - ph), slice(pw, data.shape[-1] - pw)]
@@ -557,6 +622,8 @@ class Tensor:
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [as_tensor(t) for t in tensors]
         data = np.concatenate([t.data for t in tensors], axis=axis)
+        if _EMIT is not None:
+            _EMIT("concat", data, tuple(t.data for t in tensors), axis=axis)
         sizes = [t.data.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
 
@@ -587,6 +654,8 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         e = np.exp(shifted)
         probs = e / e.sum(axis=axis, keepdims=True)
+        if _EMIT is not None:
+            _EMIT("softmax", probs, (self.data,), axis=axis)
 
         def backward(g: np.ndarray):
             dot = (g * probs).sum(axis=axis, keepdims=True)

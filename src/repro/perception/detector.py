@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nn import Identity, Module, Tensor, no_grad
+from ..nn import Identity, Module, Tensor, engine, no_grad
 from .anchors import AnchorGenerator
 from .backbone import BranchBackbone, FusionAdapter, STEM_CHANNELS
 from .detections import Detections
@@ -115,9 +115,46 @@ class BranchDetector(Module):
         return DetectorLosses(rpn_cls, rpn_reg, roi_cls, roi_reg)
 
     # ------------------------------------------------------------------
+    def _inference_tensors(
+        self, stem_features: Tensor
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """The traceable tensor prefix of :meth:`detect`.
+
+        Trunk feature map plus raw RPN head outputs — everything before
+        the data-dependent proposal decode / NMS, which stays eager.
+        """
+        features = self.forward(stem_features)
+        obj, deltas = self.rpn.head_outputs(features)
+        return features, obj, deltas
+
+    def compile(self, *shapes: tuple[int, ...],
+                invariant: bool = False) -> list[engine.Program]:
+        """Pre-compile the detect() tensor prefix for the given input
+        shapes (each ``(N, C, H, W)``); detect() also compiles lazily on
+        first use, so calling this is optional warm-up.  ``invariant``
+        compiles the ``batch_invariant`` variant the windowed runner
+        replays."""
+        return engine.warm_up(
+            "branch_detect", self, self._inference_tensors, shapes,
+            invariant=invariant,
+        )
+
     def detect(self, stem_features: Tensor) -> list[Detections]:
-        """Inference: per-image detections (no autograd graph)."""
+        """Inference: per-image detections (no autograd graph).
+
+        Inside an :class:`engine.use_compiled` context the trunk + RPN
+        head replay as one compiled program (bit-identical to eager by
+        the engine's contract); proposal decoding and the ROI stage run
+        on the resulting arrays exactly as in the eager path.
+        """
+        compiled = engine.maybe_run(
+            "branch_detect", self, self._inference_tensors, (stem_features,)
+        )
         with no_grad():
+            if compiled is not None:
+                features_arr, obj, deltas = compiled
+                proposals, _ = self.rpn._decode_proposals(obj, deltas)
+                return self.roi.predict(Tensor(features_arr), proposals)
             features = self.forward(stem_features)
             rpn_out = self.rpn(features)
             return self.roi.predict(features, rpn_out.proposals)

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..nn import Linear, Module, Tensor, cross_entropy, no_grad, smooth_l1
+from ..nn import Linear, Module, Tensor, cross_entropy, engine, no_grad, smooth_l1
 from ..nn import functional as F
 from .backbone import FEATURE_CHANNELS, FEATURE_STRIDE
 from .boxes import (
@@ -75,6 +75,16 @@ class ROIHead(Module):
     def forward(self, features: Tensor, rois: np.ndarray) -> tuple[Tensor, Tensor]:
         """Class logits ``(R, K+1)`` and deltas ``(R, 4)`` for given rois."""
         hidden = self._pool_and_embed(features, rois)
+        return self.cls_head(hidden), self.reg_head(hidden)
+
+    def _head_rows(self, rows: Tensor) -> tuple[Tensor, Tensor]:
+        """MLP head over pre-pooled rows (the traceable part of predict).
+
+        Kept batch-size-exact: the row count is part of the compiled
+        program's identity, because a dense layer's floating-point
+        output depends on its BLAS batch size.
+        """
+        hidden = self.fc(rows).relu()
         return self.cls_head(hidden), self.reg_head(hidden)
 
     # ------------------------------------------------------------------
@@ -186,8 +196,19 @@ class ROIHead(Module):
                 if count == 0:
                     continue
                 assert pooled_flat is not None
-                hidden = self.fc(pooled_flat[offset : offset + count]).relu()
+                rows = pooled_flat[offset : offset + count]
                 offset += count
+                # Compiled per-row-count head programs (LRU-cached by the
+                # engine; copy=True because the rows must survive later
+                # loop iterations' replays of the same program).
+                compiled = engine.maybe_run(
+                    "roi_head", self, self._head_rows, (rows,), copy=True
+                )
+                if compiled is not None:
+                    logits_rows.append(compiled[0])
+                    deltas_rows.append(compiled[1])
+                    continue
+                hidden = self.fc(rows).relu()
                 logits_rows.append(self.cls_head(hidden).data)
                 deltas_rows.append(self.reg_head(hidden).data)
             if total:

@@ -71,8 +71,13 @@ class RPNHead(Module):
         self.delta_head.weight.data *= 0.1
 
     # ------------------------------------------------------------------
-    def forward(self, features: Tensor) -> RPNOutput:
-        """Run the head and decode proposals for each image in the batch."""
+    def head_outputs(self, features: Tensor) -> tuple[Tensor, Tensor]:
+        """Raw head tensors: objectness ``(N, HWA)``, deltas ``(N, HWA, 4)``.
+
+        This is the pure-tensor prefix of :meth:`forward` — everything up
+        to (but excluding) the data-dependent proposal decode — so the
+        compiled inference engine can capture it as one program.
+        """
         n = features.shape[0]
         a = self.anchors.num_anchors_per_cell
         h, w = features.shape[2], features.shape[3]
@@ -86,6 +91,11 @@ class RPNHead(Module):
             .transpose(0, 3, 4, 1, 2)
             .reshape(n, h * w * a, 4)
         )
+        return obj, deltas
+
+    def forward(self, features: Tensor) -> RPNOutput:
+        """Run the head and decode proposals for each image in the batch."""
+        obj, deltas = self.head_outputs(features)
         proposals, scores = self._decode_proposals(obj.data, deltas.data)
         return RPNOutput(objectness=obj, deltas=deltas, proposals=proposals,
                          proposal_scores=scores)

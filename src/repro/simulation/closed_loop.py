@@ -30,6 +30,7 @@ accuracy, configuration switching and state-of-charge over a whole drive.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,7 +46,7 @@ from ..hardware.battery import BatteryState, ElectricVehicle, NOMINAL_EV
 from ..hardware.profiler import SystemCosts, fusion_flops
 from ..hardware.scheduler import schedule_parallel, schedule_serial
 from ..hardware.sensors_power import FUSION_CYCLE_HZ, sensor_energy
-from ..nn import batch_invariant
+from ..nn import batch_invariant, engine
 from ..policies.base import PerceptionPolicy, PolicyDecision, PolicyObservation
 from .drive import DriveFrame, DriveSource
 from .scenario import ScenarioSpec
@@ -200,6 +201,28 @@ class DriveTrace:
         ]
         return "\n".join(lines)
 
+    def records_hex(self) -> list[dict]:
+        """Per-frame records with floats as ``float.hex()`` strings.
+
+        The exact-equivalence currency of the benchmarks and CI: two
+        execution modes agree iff these lists match — a single ulp of
+        drift on any frame fails the comparison.
+        """
+        return [
+            {
+                "config": r.config_name,
+                "switched": r.switched,
+                "faults": list(r.fault_labels),
+                "latency_ms": float(r.latency_ms).hex(),
+                "platform_j": float(r.platform_energy_joules).hex(),
+                "sensor_j": float(r.sensor_energy_joules).hex(),
+                "soc": float(r.battery_soc).hex(),
+                "loss": float(r.loss).hex(),
+                "detections": r.num_detections,
+            }
+            for r in self.records
+        ]
+
     def to_dict(self) -> dict:
         """JSON-serializable aggregate view (benchmarks)."""
         lambdas = self.lambda_trace
@@ -312,13 +335,19 @@ class ClosedLoopRunner:
         battery: BatteryState | None = None,
         window: int = 1,
         frames: list[DriveFrame] | None = None,
+        compiled: bool = False,
     ) -> DriveTrace:
         """Drive ``spec`` under ``policy``; returns the full trace.
 
         ``window`` selects the execution mode (see class docstring).
         ``frames`` optionally supplies pre-rendered frames for exactly
         ``(spec, seed)`` — the sweep engine renders each scenario once
-        and shares the stream across policies.
+        and shares the stream across policies.  ``compiled=True``
+        replays stems, the gate trunk and branch trunks through the
+        ``repro.nn.engine`` kernel programs (traced once per shape,
+        shared across policies via the process-wide LRU); traces are
+        bit-identical to eager execution, and ``REPRO_NO_COMPILE=1``
+        force-disables it.
         """
         if window < 1:
             raise ValueError("window must be >= 1")
@@ -346,12 +375,14 @@ class ClosedLoopRunner:
             battery=battery,
         )
 
-        for chunk in frame_windows:
-            if window == 1:
-                for frame in chunk:
-                    self._step_sequential(frame, spec, policy, state)
-            else:
-                self._step_window(chunk, spec, policy, state)
+        compile_ctx = engine.use_compiled() if compiled else nullcontext()
+        with compile_ctx:
+            for chunk in frame_windows:
+                if window == 1:
+                    for frame in chunk:
+                        self._step_sequential(frame, spec, policy, state)
+                else:
+                    self._step_window(chunk, spec, policy, state)
 
         return DriveTrace(
             scenario=spec.name,

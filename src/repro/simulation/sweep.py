@@ -73,6 +73,13 @@ class SweepShard:
     seed: int = 0
     window: int = 1
     share_frames: bool = True
+    # Replay inference through repro.nn.engine kernel programs; the
+    # program LRU is process-wide, so every policy in the shard (and
+    # every later shard in the same worker) shares the compiled set.
+    compiled: bool = False
+    # Attach DriveTrace.records_hex() to each entry (per-frame float-hex
+    # trace, used by bench_runtime's exact-equivalence diff).
+    collect_hex: bool = False
 
     def resolve_spec(self) -> ScenarioSpec:
         spec = get_scenario(self.scenario)
@@ -97,10 +104,13 @@ def run_shard(system, shard: SweepShard) -> dict[str, dict]:
         policy = policy_spec.build(system)
         start = time.perf_counter()
         trace = runner.run(
-            spec, policy, seed=shard.seed, window=shard.window, frames=frames
+            spec, policy, seed=shard.seed, window=shard.window, frames=frames,
+            compiled=shard.compiled,
         )
         entry = trace.to_dict()
         entry["wall_seconds"] = round(time.perf_counter() - start, 3)
+        if shard.collect_hex:
+            entry["records_hex"] = trace.records_hex()
         results[policy.name] = entry
     return results
 
@@ -155,6 +165,8 @@ def run_sweep(
     jobs: int = 1,
     artifact_root: str | None = None,
     share_frames: bool = True,
+    compiled: bool = False,
+    collect_hex: bool = False,
     progress=None,
 ) -> dict[str, dict[str, dict]]:
     """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
@@ -179,6 +191,8 @@ def run_sweep(
             seed=seed,
             window=window,
             share_frames=share_frames,
+            compiled=compiled,
+            collect_hex=collect_hex,
         )
         for name in names
     ]

@@ -1,0 +1,477 @@
+"""The compiled inference engine: trace, lower, replay — bit for bit.
+
+Covers the engine's contracts in isolation from the simulation stack:
+replay bit-identity on fresh inputs, dead-op elimination, constant
+folding, conv+bn+relu fusion, the recording context's refusal modes,
+``no_grad`` nesting/restore semantics, the program cache, the
+``REPRO_NO_COMPILE`` escape hatch, and the O(1)-allocation replay.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SpatialSelfAttention,
+    Tensor,
+    batch_invariant,
+    engine,
+    no_grad,
+)
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.nn.tensor import is_grad_enabled, batch_invariant_enabled
+from repro.perception.backbone import BasicBlock, StemBlock
+
+
+def params_of(module):
+    return [p.data for _, p in module.named_parameters()] + [
+        np.asarray(b) for _, b in module.named_buffers()
+    ]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+# ----------------------------------------------------------------------
+# Trace / replay bit-identity
+# ----------------------------------------------------------------------
+class TestTraceReplay:
+    def test_stem_replay_bit_identical_on_new_inputs(self, rng):
+        stem = StemBlock(3, rng).eval()
+        x0 = rng.standard_normal((4, 3, 64, 64)).astype(np.float32)
+        program = engine.trace(stem, [x0], params=params_of(stem), label="stem")
+        for _ in range(3):
+            x = rng.standard_normal((4, 3, 64, 64)).astype(np.float32)
+            with no_grad():
+                want = stem(Tensor(x)).data
+            got = program(x)[0]
+            assert got.dtype == want.dtype and got.shape == want.shape
+            assert np.array_equal(got, want)
+
+    def test_residual_block_under_batch_invariant(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng).eval()
+        x0 = rng.standard_normal((6, 8, 32, 32)).astype(np.float32)
+        with batch_invariant():
+            program = engine.trace(block, [x0], params=params_of(block),
+                                   label="block")
+            x = rng.standard_normal((6, 8, 32, 32)).astype(np.float32)
+            with no_grad():
+                want = block(Tensor(x)).data
+            assert np.array_equal(program(x)[0], want)
+
+    def test_attention_float64_path_bit_identical(self, rng):
+        attn = SpatialSelfAttention(8, rng=rng)
+        attn.scale.data[...] = 0.5  # make the residual branch contribute
+        x0 = rng.standard_normal((3, 8, 4, 4)).astype(np.float32)
+        with batch_invariant():
+            program = engine.trace(attn, [x0], params=params_of(attn),
+                                   label="attn")
+            x = rng.standard_normal((3, 8, 4, 4)).astype(np.float32)
+            with no_grad():
+                want = attn(Tensor(x)).data
+            got = program(x)[0]
+        assert want.dtype == got.dtype  # the 1/sqrt(d) scalar promotes
+        assert np.array_equal(got, want)
+
+    def test_biased_conv_fused_with_bn_bit_identical(self, rng):
+        net = Sequential(
+            Conv2d(3, 5, 3, padding=1, bias=True, rng=rng),
+            BatchNorm2d(5),
+            ReLU(),
+        )
+        net.eval()
+        x0 = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        program = engine.trace(net, [x0], params=params_of(net), label="cbnr")
+        assert [s.label for s in program._steps] == ["pad2d", "conv2d"]
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        with no_grad():
+            want = net(Tensor(x)).data
+        assert np.array_equal(program(x)[0], want)
+
+    def test_trace_rejects_aliased_example_inputs(self, rng):
+        x0 = rng.standard_normal((2, 4)).astype(np.float32)
+        with pytest.raises(engine.TraceError, match="distinct"):
+            engine.trace(lambda a, b: a + b, [x0, x0], label="aliased")
+
+    def test_multi_output_program(self, rng):
+        lin = Linear(6, 3, rng=rng)
+
+        def fn(t):
+            h = lin(t)
+            return h, h.relu()
+
+        x0 = rng.standard_normal((5, 6)).astype(np.float32)
+        program = engine.trace(fn, [x0], params=params_of(lin), label="two")
+        x = rng.standard_normal((5, 6)).astype(np.float32)
+        with no_grad():
+            want_h, want_r = fn(Tensor(x))
+        got_h, got_r = program(x)
+        assert np.array_equal(got_h, want_h.data)
+        assert np.array_equal(got_r, want_r.data)
+
+    def test_verification_catches_divergence(self, rng, monkeypatch):
+        stem = StemBlock(3, rng).eval()
+        x0 = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        # Sabotage one kernel so the compile-time verify must trip.
+        original = engine._KERNELS["conv2d"]
+
+        def broken(node, ins):
+            run = original(node, ins)
+
+            def bad(values):
+                out = run(values)
+                bent = np.array(out)
+                bent[(0,) * bent.ndim] += 1.0
+                return bent
+
+            return bad
+
+        monkeypatch.setitem(engine._KERNELS, "conv2d", broken)
+        with pytest.raises(engine.TraceError, match="bit-identity"):
+            engine.trace(stem, [x0], params=params_of(stem), label="bad")
+
+
+# ----------------------------------------------------------------------
+# Lowering passes
+# ----------------------------------------------------------------------
+class TestLowering:
+    def test_dead_op_elimination(self, rng):
+        def fn(t):
+            keep = t.relu()
+            t.tanh()  # computed eagerly, unused by the output
+            return keep
+
+        x0 = rng.standard_normal((2, 8)).astype(np.float32)
+        program = engine.trace(fn, [x0], label="dce")
+        ops = [s.label for s in program._steps]
+        assert "tanh" not in ops and ops == ["relu"]
+
+    def test_constant_folding_of_weight_transpose(self, rng):
+        lin = Linear(6, 3, rng=rng)
+        x0 = rng.standard_normal((4, 6)).astype(np.float32)
+        program = engine.trace(lin, [x0], params=params_of(lin), label="lin")
+        ops = [s.label for s in program._steps]
+        # weight.T folds at compile time: only the matmul + bias add run.
+        assert "transpose" not in ops
+        assert ops == ["matmul", "add"]
+
+    def test_conv_bn_relu_fuses_to_one_step(self, rng):
+        stem = StemBlock(3, rng).eval()
+        x0 = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        program = engine.trace(stem, [x0], params=params_of(stem), label="stem")
+        ops = [s.label for s in program._steps]
+        assert ops == ["pad2d", "conv2d"]  # bn+relu folded into the conv step
+
+    def test_multi_consumer_values_stay_observable_after_fusion(self, rng):
+        conv = Conv2d(4, 4, 3, padding=1, bias=False, rng=rng)
+
+        def fn(t):
+            y = conv(t).relu()  # fusable: the conv output has one consumer
+            return y + y.tanh()  # ...but y itself feeds two later steps
+
+        x0 = rng.standard_normal((2, 4, 8, 8)).astype(np.float32)
+        program = engine.trace(fn, [x0], params=params_of(conv), label="multi")
+        x = rng.standard_normal((2, 4, 8, 8)).astype(np.float32)
+        with no_grad():
+            want = fn(Tensor(x)).data
+        assert np.array_equal(program(x)[0], want)
+        ops = [s.label for s in program._steps]
+        assert ops == ["pad2d", "conv2d", "tanh", "add"]  # relu fused in
+
+    def test_unknown_provenance_raises(self, rng):
+        def fn(t):
+            return Tensor(np.log(t.data + 10.0))  # bypasses instrumentation
+
+        x0 = rng.standard_normal((4, 1000)).astype(np.float32)
+        with pytest.raises(engine.TraceError, match="unknown provenance"):
+            engine.trace(fn, [x0], label="rogue")
+
+    def test_small_uninstrumented_outputs_are_not_frozen(self, rng):
+        def fn(t):
+            # t.mean() is un-instrumented and input-dependent; freezing
+            # its (tiny) value would silently replay the first input's
+            # mean forever.  It must fail loudly instead.
+            return t - t.mean()
+
+        x0 = rng.standard_normal((4, 8)).astype(np.float32)
+        with pytest.raises(engine.TraceError, match="unknown provenance"):
+            engine.trace(fn, [x0], label="small-rogue")
+
+    def test_data_dependent_getitem_refuses_to_freeze(self, rng):
+        def fn(t):
+            order = np.argsort(-t.data[:, 0])  # input-dependent selection
+            return t[order]
+
+        x0 = rng.standard_normal((6, 4)).astype(np.float32)
+        with pytest.raises(engine.TraceError, match="unknown provenance"):
+            engine.trace(fn, [x0], label="dyn-index")
+
+    def test_static_getitem_slices_replay(self, rng):
+        def fn(t):
+            return t[1:3].relu()
+
+        x0 = rng.standard_normal((6, 4)).astype(np.float32)
+        program = engine.trace(fn, [x0], label="slice")
+        x = rng.standard_normal((6, 4)).astype(np.float32)
+        with no_grad():
+            want = fn(Tensor(x)).data
+        assert np.array_equal(program(x)[0], want)
+
+    def test_replay_does_not_pin_inputs(self, rng):
+        stem = StemBlock(3, rng).eval()
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        program = engine.trace(stem, [x], params=params_of(stem), label="pin")
+        program(x)
+        # dynamic slots are cleared after replay: nothing in the cached
+        # program keeps the caller's batch (or stale pool views) alive
+        assert all(
+            program._values[s] is None for s in program._dynamic_slots
+        )
+
+    def test_inline_scalar_constants_still_fold(self, rng):
+        def fn(t):
+            return t * 0.125 + 3.0  # as_tensor scalars: real constants
+
+        x0 = rng.standard_normal((4, 8)).astype(np.float32)
+        program = engine.trace(fn, [x0], label="scalars")
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        with no_grad():
+            want = fn(Tensor(x)).data
+        assert np.array_equal(program(x)[0], want)
+
+
+# ----------------------------------------------------------------------
+# Recording context refusal modes
+# ----------------------------------------------------------------------
+class TestRecordingRefusals:
+    def test_refuses_with_gradients_enabled(self):
+        assert is_grad_enabled()
+        with pytest.raises(engine.TraceError, match="gradients"):
+            with engine.recording():
+                pass
+
+    def test_refuses_nesting(self):
+        with no_grad():
+            with engine.recording():
+                with pytest.raises(engine.TraceError, match="nested"):
+                    with engine.recording():
+                        pass
+        assert not engine.is_recording()
+
+    def test_refuses_training_mode_batch_norm(self, rng):
+        bn = BatchNorm2d(3)  # training=True by default
+        x0 = np.ones((2, 3, 4, 4), dtype=np.float32)
+        net = Sequential(bn)
+        with pytest.raises(engine.TraceError, match="training-mode"):
+            engine.trace(net, [x0], params=params_of(net), label="trainbn")
+        assert not engine.is_recording()  # hook removed after the failure
+
+    def test_trace_of_eval_batch_norm_succeeds(self, rng):
+        bn = BatchNorm2d(3)
+        bn.eval()
+        net = Sequential(bn, ReLU())
+        x0 = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        program = engine.trace(net, [x0], params=params_of(net), label="bn")
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        with no_grad():
+            want = net(Tensor(x)).data
+        assert np.array_equal(program(x)[0], want)
+
+
+# ----------------------------------------------------------------------
+# no_grad nesting / restore semantics (tentpole prerequisite)
+# ----------------------------------------------------------------------
+class TestNoGradSemantics:
+    def test_nesting_restores_layer_by_layer(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()  # inner exit must not re-enable
+        assert is_grad_enabled()
+
+    def test_restored_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_exception_restores_outer_state(self):
+        with no_grad():
+            with pytest.raises(RuntimeError):
+                with no_grad():
+                    raise RuntimeError("inner")
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_batch_invariant_and_no_grad_are_independent(self):
+        with batch_invariant():
+            assert batch_invariant_enabled() and is_grad_enabled()
+            with no_grad():
+                assert batch_invariant_enabled() and not is_grad_enabled()
+            assert batch_invariant_enabled() and is_grad_enabled()
+        assert not batch_invariant_enabled()
+
+    def test_batch_invariant_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with batch_invariant(), no_grad():
+                raise RuntimeError("boom")
+        assert not batch_invariant_enabled()
+        assert is_grad_enabled()
+
+
+# ----------------------------------------------------------------------
+# maybe_run / cache / escape hatch
+# ----------------------------------------------------------------------
+class TestMaybeRun:
+    def test_inactive_outside_context(self, rng):
+        stem = StemBlock(3, rng).eval()
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        assert engine.maybe_run("t_stem", stem, stem, (x,)) is None
+
+    def test_replays_inside_context(self, rng):
+        stem = StemBlock(3, rng).eval()
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        with no_grad():
+            want = stem(Tensor(x)).data
+        with engine.use_compiled():
+            got = engine.maybe_run("t_stem2", stem, stem, (x,))
+        assert got is not None and np.array_equal(got[0], want)
+
+    def test_escape_hatch_disables(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        stem = StemBlock(3, rng).eval()
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        with engine.use_compiled():
+            assert not engine.compiled_active()
+            assert engine.maybe_run("t_stem3", stem, stem, (x,)) is None
+
+    def test_failed_compilation_falls_back_to_eager(self, rng):
+        stem = StemBlock(3, rng)  # training mode -> bn refuses to record
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        with engine.use_compiled():
+            assert engine.maybe_run("t_stem4", stem, stem, (x,)) is None
+            # the failure is cached; the second call is also a clean None
+            assert engine.maybe_run("t_stem4", stem, stem, (x,)) is None
+
+    def test_failed_trace_leaves_running_stats_for_eager_fallback(self, rng):
+        # The refusal must fire BEFORE training-mode bn touches its
+        # running statistics, or the fallback would apply the update
+        # twice and skew the stats relative to a pure-eager run.
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        reference = StemBlock(3, np.random.default_rng(3))
+        with no_grad():
+            reference(Tensor(x))
+        probed = StemBlock(3, np.random.default_rng(3))
+        with engine.use_compiled():
+            assert engine.maybe_run("t_stats", probed, probed, (x,)) is None
+            with no_grad():
+                probed(Tensor(x))  # the caller's eager fallback
+        bn_ref = reference.body[1]
+        bn_probed = probed.body[1]
+        assert np.array_equal(bn_ref.running_mean, bn_probed.running_mean)
+        assert np.array_equal(bn_ref.running_var, bn_probed.running_var)
+
+    def test_warm_up_compiles_and_respects_escape_hatch(self, rng,
+                                                        monkeypatch):
+        det_gate_like = StemBlock(3, rng).eval()
+        programs = engine.warm_up("t_warm", det_gate_like, det_gate_like,
+                                  [(2, 3, 64, 64), (4, 3, 64, 64)])
+        assert len(programs) == 2
+        assert all(p.num_steps > 0 for p in programs)
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        assert engine.warm_up("t_warm2", det_gate_like, det_gate_like,
+                              [(2, 3, 64, 64)]) == []
+
+    def test_outputs_are_pool_views_unless_copied(self, rng):
+        stem = StemBlock(3, rng).eval()
+        other = StemBlock(3, rng).eval()
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        with engine.use_compiled():
+            view = engine.maybe_run("t_pool_a", stem, stem, (x,))[0]
+            assert np.may_share_memory(view, engine._POOL.block)
+            held = engine.maybe_run("t_pool_b", stem, stem, (x,), copy=True)[0]
+            assert not np.may_share_memory(held, engine._POOL.block)
+            # replaying any other program invalidates the uncopied view,
+            # while the copy stays exact
+            engine.maybe_run("t_pool_c", other, other, (x,))
+            with no_grad():
+                want = stem(Tensor(x)).data
+            assert np.array_equal(held, want)
+
+    def test_program_cache_lru_eviction(self):
+        cache = engine.ProgramCache(maxsize=2)
+        for i in range(3):
+            cache.store((i,), engine._Entry(program=None))
+        assert len(cache) == 2
+        assert cache.lookup((0,)) is None  # evicted, oldest first
+        assert cache.lookup((2,)) is not None
+
+
+# ----------------------------------------------------------------------
+# Allocation regression: replay is O(1) fresh data allocations
+# ----------------------------------------------------------------------
+class TestReplayAllocations:
+    def test_no_memory_growth_over_many_replays(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng).eval()
+        x = rng.standard_normal((8, 8, 32, 32)).astype(np.float32)
+        with batch_invariant():
+            program = engine.trace(block, [x], params=params_of(block),
+                                   label="alloc")
+            for _ in range(3):  # warm-up: pool growth, GEMM verdicts
+                program(x)
+            gc.collect()
+            tracemalloc.start()
+            base, _ = tracemalloc.get_traced_memory()
+            for _ in range(50):
+                program(x)
+            gc.collect()
+            current, _ = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        # Buffers come from the reused replay pool: 50 frames of replay
+        # must not accumulate data allocations (a generous 64 KiB covers
+        # interpreter noise; a single leaked feature map would be ~1 MiB).
+        assert current - base < 64 * 1024
+
+    def test_pool_reuses_the_same_buffers_across_replays(self, rng):
+        stem = StemBlock(3, rng).eval()
+        x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
+        program = engine.trace(stem, [x], params=params_of(stem), label="reuse")
+        first = program(x)[0]
+        addr1 = first.__array_interface__["data"][0]
+        second = program(x)[0]
+        addr2 = second.__array_interface__["data"][0]
+        assert addr1 == addr2  # same pool slot, no fresh buffer
+
+
+# ----------------------------------------------------------------------
+# im2col gather-index maps
+# ----------------------------------------------------------------------
+class TestIm2colIndices:
+    @pytest.mark.parametrize("shape,k,s", [
+        ((2, 3, 8, 8), 3, 1),
+        ((1, 4, 9, 7), 3, 2),
+        ((2, 2, 6, 6), 1, 2),
+    ])
+    def test_matches_eager_im2col(self, rng, shape, k, s):
+        from repro.nn.functional import _im2col
+
+        x = rng.standard_normal(shape).astype(np.float32)
+        n, c, h, w = shape
+        idx = engine.im2col_indices(c, h, w, k, k, s, s)
+        got = x.reshape(n, c * h * w)[:, idx]
+        want = _im2col(x, k, k, s, s).reshape(n, idx.shape[0], idx.shape[1])
+        assert np.array_equal(got, want)
+
+    def test_cached_per_key(self):
+        a = engine.im2col_indices(2, 6, 6, 3, 3, 1, 1)
+        b = engine.im2col_indices(2, 6, 6, 3, 3, 1, 1)
+        assert a is b

@@ -1,0 +1,111 @@
+"""Compiled-engine drives must be bit-identical to eager drives.
+
+``ClosedLoopRunner.run(compiled=True)`` replays stems, the gate trunk
+and branch trunks through ``repro.nn.engine`` kernel programs.  The
+engine's contract is exactness — these tests pin it end to end over
+scenarios with context transitions, sensor faults, every policy
+family, both execution modes (sequential and windowed), the sweep
+engine, and the ``REPRO_NO_COMPILE`` escape hatch.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.nn import engine
+from repro.simulation import ClosedLoopRunner, SCENARIOS, run_sweep, scaled
+from repro.simulation.sweep import DEFAULT_POLICIES
+
+# The batched-equivalence suite owns the scenario cases and the exact
+# trace comparison; load it by path (the test tree is not a package).
+_spec = importlib.util.spec_from_file_location(
+    "test_batched_equivalence",
+    Path(__file__).parent / "test_batched_equivalence.py",
+)
+_batched = importlib.util.module_from_spec(_spec)
+assert _spec.loader is not None
+_spec.loader.exec_module(_batched)
+
+FAULTED = _batched.FAULTED
+SCENARIO_CASES = _batched.SCENARIO_CASES
+TRANSITION = _batched.TRANSITION
+assert_traces_identical = _batched.assert_traces_identical
+build_policies = _batched.build_policies
+
+
+def run_drive(tiny_system, spec, policy, window=1, compiled=False):
+    runner = ClosedLoopRunner(tiny_system.model, cache=BranchOutputCache())
+    return runner.run(spec, policy, seed=5, window=window, compiled=compiled)
+
+
+class TestCompiledRunnerEquivalence:
+    @pytest.mark.parametrize("spec", SCENARIO_CASES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("window", [1, 8])
+    def test_all_policies_bit_identical(self, tiny_system, spec, window):
+        for policy in build_policies(tiny_system):
+            eager = run_drive(tiny_system, spec, policy)
+            compiled = run_drive(
+                tiny_system, spec, policy, window=window, compiled=True
+            )
+            assert_traces_identical(eager, compiled)
+
+    def test_programs_are_shared_across_policies(self, tiny_system):
+        cache = engine.program_cache()
+        run_drive(tiny_system, TRANSITION, build_policies(tiny_system)[0],
+                  window=8, compiled=True)
+        misses_after_first = cache.misses
+        run_drive(tiny_system, TRANSITION, build_policies(tiny_system)[5],
+                  window=8, compiled=True)
+        # The SoC policy reuses the attention gate + branch programs the
+        # first policy compiled: same shapes, same modules, zero retraces.
+        assert cache.misses == misses_after_first
+
+    def test_escape_hatch_produces_identical_traces(self, tiny_system,
+                                                    monkeypatch):
+        policy = build_policies(tiny_system)[0]
+        compiled = run_drive(tiny_system, FAULTED, policy, window=8,
+                             compiled=True)
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        disabled = run_drive(tiny_system, FAULTED, policy, window=8,
+                             compiled=True)
+        assert_traces_identical(compiled, disabled)
+
+    def test_records_hex_is_ulp_exact_currency(self, tiny_system):
+        policy = build_policies(tiny_system)[0]
+        eager = run_drive(tiny_system, TRANSITION, policy)
+        compiled = run_drive(tiny_system, TRANSITION, policy, window=8,
+                             compiled=True)
+        assert eager.records_hex() == compiled.records_hex()
+        assert len(eager.records_hex()) == eager.num_frames
+
+
+class TestCompiledSweep:
+    def test_sweep_compiled_matches_eager(self, tiny_system):
+        scenario = scaled(SCENARIOS["highway_commute"], 0.1)
+        kwargs = dict(
+            scenarios=["highway_commute"],
+            policies=DEFAULT_POLICIES,
+            scale=0.1,
+            window=8,
+            jobs=1,
+        )
+        eager = run_sweep(tiny_system, **kwargs)
+        compiled = run_sweep(tiny_system, compiled=True, collect_hex=True,
+                             **kwargs)
+        for per_policy in compiled.values():
+            for entry in per_policy.values():
+                assert entry.pop("records_hex")  # attached and non-empty
+
+        def strip(results):
+            return {
+                s: {p: {k: v for k, v in e.items() if k != "wall_seconds"}
+                    for p, e in per.items()}
+                for s, per in results.items()
+            }
+
+        assert strip(compiled) == strip(eager)
+        assert scenario.name in compiled
