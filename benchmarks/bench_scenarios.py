@@ -2,14 +2,19 @@
 
 Runs every scenario in ``repro.simulation.library`` under the default
 policy set — adaptive EcoFusion (attention gate), EcoFusion with
-knowledge gating, the static early/late baselines, and the SoC-aware
-lambda_E scheduler — and writes ``BENCH_scenarios.json`` with
+knowledge gating, the static early/late baselines, the SoC-aware
+lambda_E scheduler, and the unmasked drive-trained attention gate
+(``BENCH_POLICY_NAMES``) — and writes ``BENCH_scenarios.json`` with
 per-scenario and per-policy aggregates: the perf/energy trajectory of
 the whole drive, not a bag of i.i.d. frames.
 
 ``--policies`` sweeps any comma-separated set of registered policy
 names instead (see ``repro.policies.policy_names()``), e.g.
-``--policies ecofusion_attention,soc_exponential_attention``.
+``--policies ecofusion_attention,soc_exponential_attention``.  Naming
+``ecofusion_drive_attention`` / ``ecofusion_drive_deep`` trains (or
+loads) the drive-stream gates on demand (``repro.core.training_drive``)
+and sweeps them unmasked; ``--tiny`` pairs them with a smoke-scale
+training config (``TINY_DRIVE_SPEC``).
 
 The sweep runs through ``repro.simulation.sweep``: ``--window W``
 batches stem/gate/branch inference over W-frame lookahead windows and
@@ -31,6 +36,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.core.training_drive import DRIVE_GATE_NAMES, DriveTrainingConfig
 from repro.evaluation import SystemSpec, get_or_build_system
 from repro.evaluation.reports import format_table
 from repro.policies import get_policy_spec, policy_names
@@ -42,6 +48,22 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scenarios.json"
 # Same spec as examples/quickstart.py, so the trained artifact is shared.
 QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
 TINY_SPEC = SystemSpec(per_context=4, iterations=14, gate_iterations=30, batch_size=4)
+
+# Drive-gate training config used with --tiny: a smoke-scale pipeline
+# (two fault scenarios, short streams, few iterations), so CI legs that
+# sweep ecofusion_drive_* never pay the full library-stream training cost.
+TINY_DRIVE_SPEC = DriveTrainingConfig(
+    scenarios=("degraded_limp_home", "sensor_stress_test"),
+    scale=0.1, frame_stride=2, gate_iterations=60,
+)
+
+# What a plain `bench_scenarios.py` run sweeps: the sweep engine's
+# standard set plus the unmasked drive-trained gate, so regenerating
+# BENCH_scenarios.json without flags reproduces every committed row —
+# including the masked-i.i.d. vs unmasked-drive comparison.
+BENCH_POLICY_NAMES: tuple[str, ...] = tuple(
+    p.name for p in DEFAULT_POLICIES
+) + ("ecofusion_drive_attention",)
 
 
 def aggregate_by_policy(results: dict) -> dict[str, dict[str, float]]:
@@ -104,7 +126,7 @@ def main() -> None:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.policies is None:
-        policies = DEFAULT_POLICIES
+        policies = tuple(get_policy_spec(name) for name in BENCH_POLICY_NAMES)
     else:
         names = [n.strip() for n in args.policies.split(",") if n.strip()]
         duplicates = {n for n in names if names.count(n) > 1}
@@ -135,6 +157,8 @@ def main() -> None:
             f"({entry['wall_seconds']:.1f}s wall)"
         )
 
+    drive_config = TINY_DRIVE_SPEC if args.tiny else None
+    sweeps_drive_gates = any(p.gate in DRIVE_GATE_NAMES for p in policies)
     sweep_start = time.perf_counter()
     results = run_sweep(
         system,
@@ -144,6 +168,7 @@ def main() -> None:
         window=args.window,
         jobs=args.jobs,
         compiled=args.compiled,
+        drive_config=drive_config,
         progress=progress,
     )
     sweep_wall = time.perf_counter() - sweep_start
@@ -169,6 +194,10 @@ def main() -> None:
             "jobs": args.jobs,
             "compiled": args.compiled,
             "policies": [p.name for p in policies],
+            "drive_config": (
+                (drive_config or DriveTrainingConfig()).cache_key()
+                if sweeps_drive_gates else None
+            ),
             "sweep_wall_seconds": round(sweep_wall, 3),
             "system_spec": system.spec.cache_key(),
             "generated_unix": (

@@ -40,6 +40,16 @@ from .training import (
     train_gate,
     train_perception,
 )
+from .training_drive import (
+    DRIVE_GATE_NAMES,
+    DriveGateDataset,
+    DriveTrainingConfig,
+    build_drive_dataset,
+    collect_drive_frames,
+    ensure_drive_gates,
+    train_drive_gate,
+    train_drive_gates,
+)
 
 __all__ = [
     "BASELINE_CONFIGS",
@@ -75,4 +85,12 @@ __all__ = [
     "gate_feature_matrix",
     "train_gate",
     "train_perception",
+    "DRIVE_GATE_NAMES",
+    "DriveGateDataset",
+    "DriveTrainingConfig",
+    "build_drive_dataset",
+    "collect_drive_frames",
+    "ensure_drive_gates",
+    "train_drive_gate",
+    "train_drive_gates",
 ]

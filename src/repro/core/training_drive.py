@@ -1,0 +1,510 @@
+"""Scenario-conditioned gate training: learn dropout robustness from drives.
+
+The paper's two-phase recipe (Sec. 5, ``repro.core.training``) trains the
+gate on i.i.d. dataset frames, so a deployed gate has never seen a sensor
+fault: the closed-loop runner must mask faulted configurations for it
+("limp-home").  This module trains gates on the *runtime* distribution
+instead — frames sampled from :class:`~repro.simulation.drive.DriveSource`
+streams across the scenario library, scheduled faults included — so the
+gate itself learns that configurations touching a dead sensor incur
+catastrophic fusion loss, and can run **unmasked**:
+
+1. :func:`collect_drive_frames` streams every training scenario once
+   (seeded, deterministic) and keeps a strided subsample of the frames,
+   faulted captures and all.
+2. :func:`build_drive_dataset` reuses the phase-2 machinery unchanged —
+   :func:`~repro.core.training.gate_feature_matrix` for frozen-stem gate
+   inputs and :func:`~repro.core.training.compute_loss_table` (through a
+   :class:`~repro.core.ecofusion.BranchOutputCache`) for the per-frame
+   per-configuration fusion-loss targets.  On faulted frames the stems
+   consume the degraded captures directly (a blackout zeroes the stem
+   input; ``dead_stem_scale`` optionally attenuates the faulted sensors'
+   stem *features* as well), so the loss table prices every configuration
+   on exactly what it would see in deployment.
+3. :func:`train_drive_gate` fits a fresh Deep/Attention gate on that
+   table via :func:`~repro.core.training.train_gate` — same optimizer,
+   same smooth-L1 regression, same shrinkage calibration, different
+   distribution.
+
+:func:`ensure_drive_gates` is the cached entry point: it installs the
+trained gates into ``system.gates`` under ``drive_deep`` /
+``drive_attention`` and persists their weights next to the system's
+artifacts, so policy registries and sweep workers materialize them
+without retraining.  The existing i.i.d. gates, their priors and the
+policy registry are never touched — the golden-trace pins hold whether
+or not this path runs.
+
+Everything is seeded: the same :class:`DriveTrainingConfig` always
+produces byte-identical gate weights (pinned by the equivalence tests).
+
+Layering note: this module lives in ``repro.core`` but consumes
+``repro.simulation`` streams; those imports are function-level because
+``repro.simulation`` imports ``repro.core`` at module scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..datasets.sensors import SENSORS
+from ..perception.backbone import STEM_CHANNELS
+from .ecofusion import BranchOutputCache, EcoFusionModel
+from .gating.attention import AttentionGate
+from .gating.deep import DeepGate
+from .training import (
+    TrainingConfig,
+    compute_loss_table,
+    gate_feature_matrix,
+    train_gate,
+)
+
+__all__ = [
+    "DRIVE_GATE_NAMES",
+    "DriveTrainingConfig",
+    "DriveGateDataset",
+    "collect_drive_frames",
+    "attenuate_dead_stem_features",
+    "build_drive_dataset",
+    "train_drive_gate",
+    "train_drive_gates",
+    "ensure_drive_gates",
+    "ensure_policy_gates",
+]
+
+# Public gate-registry names -> the gate kind each one retrains.  These
+# are the names `system.gates` carries after `ensure_drive_gates` and the
+# names `PolicySpec.gate` may reference.
+DRIVE_GATE_NAMES: dict[str, str] = {
+    "drive_deep": "deep",
+    "drive_attention": "attention",
+}
+
+# Seed salt per gate kind, so deep/attention initializations are
+# independent draws even under one DriveTrainingConfig.seed (and
+# independent of the order the kinds are trained in).
+_KIND_SALT: dict[str, int] = {"deep": 0xD21D, "attention": 0xD21A}
+
+
+@dataclass(frozen=True)
+class DriveTrainingConfig:
+    """Everything that determines a drive-gate training run.
+
+    Attributes
+    ----------
+    scenarios:
+        Library scenario names to stream for training frames.  The empty
+        tuple (default) means the whole scenario library, in library
+        order.
+    scale:
+        Timeline scale applied to every training scenario
+        (:func:`~repro.simulation.scenario.scaled`).
+    frame_stride:
+        Keep every ``stride``-th frame of each stream (consecutive drive
+        frames are highly correlated; striding buys coverage per unit of
+        loss-table compute).
+    max_frames_per_scenario:
+        Optional cap on kept frames per scenario (after striding).
+    seed:
+        Seeds the drive streams *and* (through
+        :meth:`training_config`) gate initialization and minibatch
+        order.  Deliberately distinct from the benchmark default
+        (seed 0), so training drives are held-out renders of the same
+        scenario distribution the benchmarks evaluate.
+    gate_iterations / gate_batch_size / gate_learning_rate /
+    gate_weight_decay / gate_shrink:
+        Phase-2 hyperparameters, forwarded to
+        :class:`~repro.core.training.TrainingConfig`.
+    dead_stem_scale:
+        Optional factor applied to the *gate-input feature channels* of
+        faulted sensors when building the training matrix (``0.0``
+        zeroes them).  ``None`` (default) trains on the natural stem
+        response to the degraded capture — exactly what the gate sees at
+        runtime, where no such attenuation exists.
+    version:
+        Bump to invalidate persisted drive-gate artifacts when the
+        pipeline changes incompatibly.
+    """
+
+    scenarios: tuple[str, ...] = ()
+    scale: float = 0.25
+    frame_stride: int = 2
+    max_frames_per_scenario: int | None = None
+    seed: int = 101
+    gate_iterations: int = 600
+    gate_batch_size: int = 16
+    gate_learning_rate: float = 1.0e-3
+    gate_weight_decay: float = 1.0e-2
+    gate_shrink: float = 0.35
+    dead_stem_scale: float | None = None
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.frame_stride < 1:
+            raise ValueError("frame_stride must be >= 1")
+        if self.max_frames_per_scenario is not None and self.max_frames_per_scenario < 1:
+            raise ValueError("max_frames_per_scenario must be >= 1 (or None)")
+        if self.gate_iterations < 1:
+            raise ValueError("gate_iterations must be >= 1")
+        if not 0.0 <= self.gate_shrink <= 1.0:
+            raise ValueError("gate_shrink must be in [0, 1]")
+        if self.dead_stem_scale is not None and not 0.0 <= self.dead_stem_scale <= 1.0:
+            raise ValueError("dead_stem_scale must be in [0, 1] (or None)")
+
+    def resolved_scenarios(self) -> tuple[str, ...]:
+        """The training scenario names, with () meaning the whole library."""
+        if self.scenarios:
+            return self.scenarios
+        from ..simulation.library import SCENARIOS
+
+        return tuple(SCENARIOS)
+
+    def training_config(self) -> TrainingConfig:
+        """The phase-2 :class:`TrainingConfig` this drive config implies."""
+        return TrainingConfig(
+            gate_iterations=self.gate_iterations,
+            gate_batch_size=self.gate_batch_size,
+            gate_learning_rate=self.gate_learning_rate,
+            gate_weight_decay=self.gate_weight_decay,
+            gate_shrink=self.gate_shrink,
+            seed=self.seed,
+        )
+
+    def cache_key(self) -> str:
+        """Stable digest of the fully-resolved config (artifact file name)."""
+        fields = asdict(self)
+        fields["scenarios"] = list(self.resolved_scenarios())
+        payload = repr(sorted(fields.items())).encode()
+        return hashlib.blake2s(payload, digest_size=8).hexdigest()
+
+
+@dataclass
+class DriveGateDataset:
+    """A drive-stream gate-training set: inputs, targets and provenance.
+
+    ``features`` is the ``(N, C, H, W)`` frozen-stem gate input matrix,
+    ``loss_table`` the ``(N, |Phi|)`` per-configuration fusion losses on
+    the same (possibly faulted) frames.  ``faulted`` records each
+    frame's degraded physical streams; ``origins`` its
+    ``(scenario, time_index)`` provenance.
+    """
+
+    features: np.ndarray
+    loss_table: np.ndarray
+    faulted: list[tuple[str, ...]] = field(default_factory=list)
+    origins: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def num_frames(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_faulted(self) -> int:
+        return sum(1 for f in self.faulted if f)
+
+
+def collect_drive_frames(
+    config: DriveTrainingConfig, image_size: int = 64
+) -> list:
+    """Stream every training scenario once; return the kept frames.
+
+    Deterministic in ``(config, image_size)``: each scenario is rendered
+    by a fresh :class:`~repro.simulation.drive.DriveSource` seeded with
+    ``config.seed`` and subsampled through
+    :meth:`~repro.simulation.drive.DriveSource.sample`, so fault windows
+    land inside the kept frames exactly as scheduled.
+    """
+    from ..simulation.drive import DriveSource
+    from ..simulation.library import get_scenario
+    from ..simulation.scenario import scaled
+
+    frames = []
+    for name in config.resolved_scenarios():
+        spec = get_scenario(name)
+        if config.scale != 1.0:
+            spec = scaled(spec, config.scale)
+        source = DriveSource(spec, seed=config.seed, image_size=image_size)
+        frames.extend(
+            source.sample(
+                stride=config.frame_stride,
+                limit=config.max_frames_per_scenario,
+            )
+        )
+    return frames
+
+
+def attenuate_dead_stem_features(
+    features: np.ndarray,
+    faulted: list[tuple[str, ...]],
+    scale: float,
+) -> np.ndarray:
+    """Scale the gate-input channel blocks of faulted sensors.
+
+    The gate input is the channel concatenation of all stem outputs in
+    ``SENSORS`` order (:meth:`EcoFusionModel.gate_features`), so sensor
+    ``i`` owns channels ``[i * STEM_CHANNELS, (i + 1) * STEM_CHANNELS)``.
+    Returns a copy; the input matrix is left untouched.
+    """
+    if features.shape[0] != len(faulted):
+        raise ValueError(
+            f"features ({features.shape[0]}) and fault records "
+            f"({len(faulted)}) disagree"
+        )
+    out = features.copy()
+    offset = {s: i * STEM_CHANNELS for i, s in enumerate(SENSORS)}
+    for row, down in enumerate(faulted):
+        for sensor in down:
+            start = offset[sensor]
+            out[row, start : start + STEM_CHANNELS] *= scale
+    return out
+
+
+def build_drive_dataset(
+    model: EcoFusionModel,
+    frames: list,
+    config: DriveTrainingConfig,
+    cache: BranchOutputCache | None = None,
+) -> DriveGateDataset:
+    """Gate inputs + loss-table targets for a list of drive frames.
+
+    Reuses the phase-2 machinery verbatim: every branch runs once per
+    frame through the shared :class:`BranchOutputCache`, then every
+    configuration is priced by late-fusing the cached branch outputs.
+    Faulted frames flow through unchanged — a configuration leaning on a
+    blacked-out lidar earns its catastrophic loss here, which is the
+    supervision signal the unmasked gate needs.
+    """
+    from ..evaluation.loss_metrics import fusion_loss
+
+    samples = [f.sample for f in frames]
+    features = gate_feature_matrix(model, samples)
+    faulted = [f.faulted_sensors for f in frames]
+    if config.dead_stem_scale is not None:
+        features = attenuate_dead_stem_features(
+            features, faulted, config.dead_stem_scale
+        )
+    table = compute_loss_table(
+        model, samples, fusion_loss,
+        cache=cache if cache is not None else BranchOutputCache(),
+    )
+    origins = [(f.scenario, f.time_index) for f in frames]
+    return DriveGateDataset(
+        features=features, loss_table=table, faulted=faulted, origins=origins
+    )
+
+
+def _fresh_gate(model: EcoFusionModel, kind: str, config: DriveTrainingConfig):
+    """A new, deterministically-initialized gate of the given kind.
+
+    The gate carries ``drive_config_key`` so :func:`ensure_drive_gates`
+    can tell which training config produced an installed instance.
+    """
+    if kind not in _KIND_SALT:
+        raise ValueError(
+            f"unknown drive gate kind '{kind}'; valid: {sorted(_KIND_SALT)}"
+        )
+    rng = np.random.default_rng((config.seed, _KIND_SALT[kind]))
+    cls = AttentionGate if kind == "attention" else DeepGate
+    gate = cls(len(model.library), rng=rng, image_size=model.image_size)
+    gate.name = f"drive_{kind}"
+    gate.drive_config_key = config.cache_key()
+    return gate
+
+
+def train_drive_gate(
+    model: EcoFusionModel,
+    dataset: DriveGateDataset,
+    kind: str,
+    config: DriveTrainingConfig,
+):
+    """Train one fresh gate of ``kind`` on the drive dataset.
+
+    Byte-deterministic in ``(model weights, dataset, config)``: gate
+    initialization draws from a salted ``config.seed`` generator and
+    :func:`train_gate` seeds its own minibatch stream, so two calls
+    produce identical weights regardless of call order or cache state.
+    """
+    gate = _fresh_gate(model, kind, config)
+    train_gate(gate, dataset.features, dataset.loss_table, config.training_config())
+    return gate
+
+
+def train_drive_gates(
+    system,
+    config: DriveTrainingConfig | None = None,
+    kinds: tuple[str, ...] = ("deep", "attention"),
+    cache: BranchOutputCache | None = None,
+) -> dict[str, object]:
+    """Collect drive frames once, then train every requested gate kind.
+
+    Returns ``{"drive_<kind>": gate}`` without touching ``system.gates``
+    (that is :func:`ensure_drive_gates`'s job).
+    """
+    config = config or DriveTrainingConfig()
+    frames = collect_drive_frames(config, image_size=system.model.image_size)
+    dataset = build_drive_dataset(system.model, frames, config, cache=cache)
+    return {
+        f"drive_{kind}": train_drive_gate(system.model, dataset, kind, config)
+        for kind in kinds
+    }
+
+
+# ----------------------------------------------------------------------
+# Persistence + idempotent installation
+# ----------------------------------------------------------------------
+def _artifact_path(system, config: DriveTrainingConfig, root):
+    """Resolve where this system's drive-gate artifact lives.
+
+    ``root`` wins; otherwise the root the system itself was loaded from
+    (``TrainedSystem.artifact_root``, set by ``get_or_build_system``),
+    falling back to the default artifact directory — so weights really
+    do land next to the system's own artifacts for custom-rooted systems.
+    """
+    from pathlib import Path
+
+    from ..evaluation.cache import DEFAULT_ARTIFACT_ROOT
+
+    if root is None:
+        root = getattr(system, "artifact_root", None)
+    base = Path(root) if root is not None else DEFAULT_ARTIFACT_ROOT
+    return base / system.spec.cache_key() / f"drive_gates_{config.cache_key()}.npz"
+
+
+def _save_gates(gates: dict[str, object], config: DriveTrainingConfig, path) -> None:
+    """Persist ``gates`` into ``path``, merging with any kinds already
+    on disk, so sequential ensures of different kinds extend one
+    artifact instead of clobbering it.  The read-merge-write is not
+    locked: two *concurrent* writers can still lose each other's kind
+    (the later ``os.replace`` wins), which never corrupts the file —
+    per-pid temp names keep writes whole — and never changes results,
+    since payloads are byte-deterministic; the missing kind is simply
+    retrained on its next lookup."""
+    from ..nn.serialization import load_state, save_state
+
+    state: dict[str, np.ndarray] = {}
+    if path.exists():
+        try:
+            state = load_state(path)
+        except Exception:
+            state = {}  # corrupt artifact: rewrite from scratch
+    for name, gate in gates.items():
+        kind = name.removeprefix("drive_")
+        for key, value in gate.network.state_dict().items():
+            state[f"{kind}.{key}"] = value
+        state[f"{kind}.__prior__"] = np.asarray(gate.prior, dtype=np.float64)
+    save_state(state, path)
+    kinds = sorted({k.split(".", 1)[0] for k in state if k.endswith(".__prior__")})
+    meta = {"config": asdict(config), "gates": [f"drive_{k}" for k in kinds]}
+    # Same atomic discipline as the weights: per-pid tmp + replace, so a
+    # crash or concurrent writer never leaves a torn sidecar.
+    sidecar = path.with_suffix(".json")
+    tmp = sidecar.parent / f"{sidecar.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True))
+        os.replace(tmp, sidecar)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_gates(
+    system, config: DriveTrainingConfig, kinds: tuple[str, ...], path
+) -> dict[str, object]:
+    """Restore whichever requested kinds ``path`` holds (possibly none)."""
+    from ..nn.serialization import load_state
+
+    if not path.exists():
+        return {}
+    try:
+        state = load_state(path)
+    except Exception as error:  # corrupt artifact: retrain instead of crashing
+        print(f"[drive-gates] discarding unreadable artifact ({error}); retraining")
+        return {}
+    gates: dict[str, object] = {}
+    for kind in kinds:
+        prior_key = f"{kind}.__prior__"
+        if prior_key not in state:
+            continue  # artifact predates this kind: caller trains it
+        gate = _fresh_gate(system.model, kind, config)
+        prefix = f"{kind}."
+        gate.network.load_state_dict({
+            k[len(prefix):]: v
+            for k, v in state.items()
+            if k.startswith(prefix) and k != prior_key
+        })
+        gate.network.eval()
+        gate.set_prior(state[prior_key], shrink=config.gate_shrink)
+        gates[f"drive_{kind}"] = gate
+    return gates
+
+
+def ensure_drive_gates(
+    system,
+    config: DriveTrainingConfig | None = None,
+    kinds: tuple[str, ...] = ("deep", "attention"),
+    root=None,
+    force_rebuild: bool = False,
+) -> dict[str, object]:
+    """Install drive-trained gates into ``system.gates`` (idempotent).
+
+    Lookup order mirrors :func:`~repro.evaluation.cache.get_or_build_system`:
+    gates already installed *for this config* (instances carry the
+    producing config's ``cache_key``, so a different config never
+    silently reuses them) -> on-disk artifact next to the system's
+    weights (per-kind: present kinds load, absent kinds train and are
+    merged back) -> a full training run.  Existing i.i.d. gates, their
+    priors and the loss tables are never modified.
+    """
+    if not kinds:
+        return {}
+    config = config or DriveTrainingConfig()
+    key = config.cache_key()
+    names = [f"drive_{kind}" for kind in kinds]
+    path = _artifact_path(system, config, root)
+    if not force_rebuild and all(
+        getattr(system.gates.get(n), "drive_config_key", None) == key
+        for n in names
+    ):
+        gates = {n: system.gates[n] for n in names}
+        # Installed-in-memory gates must still exist on disk at the
+        # requested root: spawn-start sweep workers load from there.
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _save_gates(gates, config, path)
+        return gates
+
+    gates: dict[str, object] = {}
+    if not force_rebuild:
+        gates.update(_load_gates(system, config, kinds, path))
+    missing = tuple(k for k in kinds if f"drive_{k}" not in gates)
+    if missing:
+        gates.update(train_drive_gates(system, config, kinds=missing))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _save_gates(gates, config, path)
+    system.gates.update(gates)
+    return gates
+
+
+def ensure_policy_gates(
+    system, policy_specs, config: DriveTrainingConfig | None = None, root=None
+) -> None:
+    """Materialize drive gates any of ``policy_specs`` will need.
+
+    The sweep engine calls this both in the parent process before
+    sharding (forked workers inherit the trained gates) and in each
+    worker before its first shard (spawned workers load the persisted
+    artifact from the sweep's ``root`` instead of retraining with
+    defaults).  No-op when no spec references a drive gate.
+    """
+    kinds = tuple(sorted({
+        DRIVE_GATE_NAMES[spec.gate]
+        for spec in policy_specs
+        if getattr(spec, "gate", None) in DRIVE_GATE_NAMES
+    }))
+    if kinds:
+        ensure_drive_gates(system, config=config, kinds=kinds, root=root)

@@ -87,6 +87,10 @@ class TrainedSystem:
     test_loss_table: np.ndarray
     perception_history: list[float] = field(default_factory=list)
     cache: BranchOutputCache = field(default_factory=BranchOutputCache)
+    # Root directory this system's artifacts live under (set by
+    # get_or_build_system); derived artifacts — e.g. drive-trained gates
+    # (repro.core.training_drive) — persist next to them by default.
+    artifact_root: str | None = None
 
     @property
     def library(self):
@@ -285,9 +289,15 @@ def get_or_build_system(
     """
     spec = spec or SystemSpec()
     key = spec.cache_key()
-    if not force_rebuild and key in _MEMORY_CACHE:
-        return _MEMORY_CACHE[key]
     root = Path(root) if root is not None else DEFAULT_ARTIFACT_ROOT
+    if not force_rebuild and key in _MEMORY_CACHE:
+        # artifact_root stays the root the system was *materialized*
+        # from — that directory really holds its weights, so derived
+        # artifacts (drive-trained gates) land next to them.  A memory
+        # hit never re-points the shared instance at the latest caller's
+        # root; callers wanting another destination pass it explicitly
+        # (ensure_drive_gates(root=...) / run_sweep(artifact_root=...)).
+        return _MEMORY_CACHE[key]
     directory = root / key
     system: TrainedSystem | None = None
     if not force_rebuild and (directory / "meta.json").exists():
@@ -299,5 +309,6 @@ def get_or_build_system(
     if system is None:
         system = build_system(spec, verbose=verbose)
         _save_system(system, directory)
+    system.artifact_root = str(root)
     _MEMORY_CACHE[key] = system
     return system

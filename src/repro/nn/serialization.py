@@ -17,13 +17,24 @@ __all__ = ["save_module", "load_module", "save_state", "load_state"]
 
 
 def save_state(state: dict[str, np.ndarray], path: str | Path) -> None:
-    """Write a flat name->array mapping to ``path`` (.npz, compressed)."""
+    """Write a flat name->array mapping to ``path`` (.npz, compressed).
+
+    The temp name is per-process so concurrent writers (e.g. sweep pool
+    workers persisting the same artifact) never interleave into one tmp
+    file; ``os.replace`` keeps the final rename atomic either way.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "wb") as fh:
-        np.savez_compressed(fh, **state)
-    os.replace(tmp, path)
+    tmp = path.with_suffix(path.suffix + f".{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **state)
+        os.replace(tmp, path)
+    finally:
+        # A writer that failed mid-save must not leave its temp file
+        # behind (pid-suffixed names are never reused, so nothing else
+        # would ever reclaim it).
+        tmp.unlink(missing_ok=True)
 
 
 def load_state(path: str | Path) -> dict[str, np.ndarray]:

@@ -44,6 +44,12 @@ class EcoFusionPolicy(PerceptionPolicy):
     hysteresis_margin:
         Joint-loss margin a challenger must beat to displace the
         incumbent configuration.
+    fault_masking:
+        When False the runner's health monitor is bypassed for this
+        policy: no limp-home masks, ever — the gate's own loss
+        predictions must steer around dead sensors.  Only sensible for
+        gates trained on drive streams with faults included
+        (``repro.core.training_drive``).
     """
 
     powers_all_stems = True
@@ -56,6 +62,7 @@ class EcoFusionPolicy(PerceptionPolicy):
         alpha: float = 0.4,
         hysteresis_margin: float = 0.05,
         name: str | None = None,
+        fault_masking: bool = True,
     ) -> None:
         super().__init__()
         if gate is None:
@@ -65,6 +72,7 @@ class EcoFusionPolicy(PerceptionPolicy):
         self.gamma = float(gamma)
         self.alpha = float(alpha)
         self.hysteresis_margin = float(hysteresis_margin)
+        self.use_fault_masking = bool(fault_masking)
         self.name = name or f"ecofusion[{gate.name}]"
         self._runtime_gate: Gate | None = None
         self._hysteresis = HysteresisPolicy(margin=self.hysteresis_margin)
@@ -143,7 +151,7 @@ class EcoFusionPolicy(PerceptionPolicy):
         )
 
     def describe(self) -> dict:
-        return {
+        info = {
             "name": self.name,
             "kind": "ecofusion",
             "gate": self._gate.name,
@@ -152,3 +160,9 @@ class EcoFusionPolicy(PerceptionPolicy):
             "alpha": self.alpha,
             "hysteresis_margin": self.hysteresis_margin,
         }
+        # Only flagged when disabled: the default (masked) description is
+        # embedded verbatim in golden traces and benchmark JSON, which
+        # must stay byte-identical for pre-existing policies.
+        if not self.use_fault_masking:
+            info["fault_masking"] = False
+        return info

@@ -155,10 +155,20 @@ class PerceptionPolicy(ABC):
         inference feeds the gate all stems); False when only the chosen
         configuration's own sensors are powered (static pipelines).  The
         runner's cost model prices stems accordingly.
+    use_fault_masking:
+        True (default) when the policy wants the runner's health monitor
+        to supply per-configuration fault masks (``healthy_mask``), the
+        limp-home safety net for gates trained on healthy i.i.d. frames.
+        Policies whose gate learned sensor dropout from drive streams
+        (``repro.core.training_drive``) set this False and run unmasked:
+        their observations carry ``healthy_mask=None`` even while
+        sensors are down, so avoidance of dead-sensor configurations
+        must come from the gate's own loss predictions.
     """
 
     name: str = "policy"
     powers_all_stems: bool = True
+    use_fault_masking: bool = True
 
     def __init__(self) -> None:
         self._binding: PolicyBinding | None = None

@@ -42,6 +42,14 @@ class PolicySpec:
     SoC-aware policies); ``config_name`` names a library configuration
     (static policies).  ``schedule``/``lambda_min``/``lambda_max``
     parameterize the SoC-aware ``lambda_E`` ramp.
+
+    ``gate`` may also name a drive-trained gate (``drive_deep`` /
+    ``drive_attention``): :meth:`build` then materializes it on demand
+    through :func:`repro.core.training_drive.ensure_drive_gates`
+    (trained at most once per system, persisted next to its artifacts).
+    ``fault_masking=False`` opts the built policy out of the runner's
+    limp-home health masks — the learned gate handles sensor dropout
+    itself.
     """
 
     name: str
@@ -55,6 +63,7 @@ class PolicySpec:
     schedule: str = "linear"
     lambda_min: float = 0.05
     lambda_max: float = 0.6
+    fault_masking: bool = True
 
     def __post_init__(self) -> None:
         if self.kind in ("adaptive", "soc_aware"):
@@ -93,7 +102,21 @@ class PolicySpec:
         if self.kind == "static":
             assert self.config_name is not None
             return StaticPolicy(self.config_name, name=self.name)
-        gate = system.gates[self.gate]
+        gate = system.gates.get(self.gate)
+        if gate is None:
+            # Drive-trained gates are materialized lazily: trained (or
+            # loaded from the system's artifact directory) on first use,
+            # then installed into system.gates for every later build.
+            from ..core.training_drive import DRIVE_GATE_NAMES, ensure_drive_gates
+
+            if self.gate not in DRIVE_GATE_NAMES:
+                raise KeyError(
+                    f"policy '{self.name}' references unknown gate "
+                    f"'{self.gate}'; system has {sorted(system.gates)} "
+                    f"(+ trainable: {sorted(DRIVE_GATE_NAMES)})"
+                )
+            ensure_drive_gates(system, kinds=(DRIVE_GATE_NAMES[self.gate],))
+            gate = system.gates[self.gate]
         if self.kind == "soc_aware":
             return SoCAwarePolicy(
                 gate,
@@ -104,6 +127,7 @@ class PolicySpec:
                 alpha=self.alpha,
                 hysteresis_margin=self.hysteresis_margin,
                 name=self.name,
+                fault_masking=self.fault_masking,
             )
         return EcoFusionPolicy(
             gate,
@@ -112,6 +136,7 @@ class PolicySpec:
             alpha=self.alpha,
             hysteresis_margin=self.hysteresis_margin,
             name=self.name,
+            fault_masking=self.fault_masking,
         )
 
 
@@ -148,11 +173,12 @@ def get_policy_spec(name: str) -> PolicySpec:
 _KIND_FIELDS: dict[str, frozenset[str]] = {
     "static": frozenset({"name", "config_name"}),
     "adaptive": frozenset(
-        {"name", "gate", "lambda_e", "gamma", "alpha", "hysteresis_margin"}
+        {"name", "gate", "lambda_e", "gamma", "alpha", "hysteresis_margin",
+         "fault_masking"}
     ),
     "soc_aware": frozenset(
         {"name", "gate", "schedule", "lambda_min", "lambda_max",
-         "gamma", "alpha", "hysteresis_margin"}
+         "gamma", "alpha", "hysteresis_margin", "fault_masking"}
     ),
 }
 
@@ -194,6 +220,17 @@ for _spec in (
     PolicySpec(
         "soc_exponential_attention", "soc_aware", gate="attention",
         schedule="exponential", lambda_min=0.05, lambda_max=0.6,
+    ),
+    # Drive-trained gates (repro.core.training_drive): trained on
+    # scenario streams with faults included, so they run UNMASKED — no
+    # limp-home health masks; dropout avoidance is learned behavior.
+    PolicySpec(
+        "ecofusion_drive_attention", "adaptive", gate="drive_attention",
+        fault_masking=False,
+    ),
+    PolicySpec(
+        "ecofusion_drive_deep", "adaptive", gate="drive_deep",
+        fault_masking=False,
     ),
 ):
     register_policy(_spec)

@@ -61,6 +61,7 @@ class SoCAwarePolicy(EcoFusionPolicy):
         alpha: float = 0.4,
         hysteresis_margin: float = 0.05,
         name: str | None = None,
+        fault_masking: bool = True,
     ) -> None:
         if schedule not in LAMBDA_SCHEDULES:
             raise ValueError(
@@ -87,6 +88,7 @@ class SoCAwarePolicy(EcoFusionPolicy):
             alpha=alpha,
             hysteresis_margin=hysteresis_margin,
             name=name or f"soc_{schedule}[{gate.name}]",
+            fault_masking=fault_masking,
         )
         self.schedule = schedule
         self.lambda_min = float(lambda_min)

@@ -274,6 +274,10 @@ class _DriveState:
     gate: Gate | None
     duty: SensorDutyCycle
     battery: BatteryState
+    # Whether the health monitor supplies limp-home masks this drive:
+    # the runner's global switch AND the policy's own opt-in (gates
+    # trained on drive streams run unmasked, see repro.core.training_drive).
+    mask_faults: bool = True
     records: list[FrameRecord] = field(default_factory=list)
     detections_per_frame: list = field(default_factory=list)
     gt_boxes: list = field(default_factory=list)
@@ -373,6 +377,7 @@ class ClosedLoopRunner:
             gate=policy.runtime_gate,
             duty=SensorDutyCycle(),
             battery=battery,
+            mask_faults=self.mask_faulted_configs and policy.use_fault_masking,
         )
 
         compile_ctx = engine.use_compiled() if compiled else nullcontext()
@@ -442,7 +447,7 @@ class ClosedLoopRunner:
             context=frame.context,
             soc=state.battery.soc,
             faulted_sensors=frame.faulted_sensors,
-            healthy_mask=self._healthy_for(frame),
+            healthy_mask=self._healthy_for(frame, state),
             predicted_losses=losses,
             direct_selection=direct,
             features=features,
@@ -497,7 +502,7 @@ class ClosedLoopRunner:
                 context=frame.context,
                 soc=state.battery.soc,
                 faulted_sensors=frame.faulted_sensors,
-                healthy_mask=self._healthy_for(frame),
+                healthy_mask=self._healthy_for(frame, state),
                 predicted_losses=None if predicted is None else predicted[i],
                 direct_selection=None if directs is None else directs[i],
                 features=features,
@@ -632,9 +637,15 @@ class ClosedLoopRunner:
         state.gt_labels.append(sample.labels)
 
     # ------------------------------------------------------------------
-    def _healthy_for(self, frame: DriveFrame) -> np.ndarray | None:
-        """The frame's per-config health mask, or None when inactive."""
-        if not (self.mask_faulted_configs and frame.faulted_sensors):
+    def _healthy_for(
+        self, frame: DriveFrame, state: "_DriveState"
+    ) -> np.ndarray | None:
+        """The frame's per-config health mask, or None when inactive.
+
+        Inactive means no faults, the runner-wide switch is off, or the
+        drive's policy opted out (``use_fault_masking=False``).
+        """
+        if not (state.mask_faults and frame.faulted_sensors):
             return None
         return self._healthy_mask(frame.faulted_sensors)
 

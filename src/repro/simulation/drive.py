@@ -36,6 +36,9 @@ class DriveFrame:
     segment_index: int
     sample: Sample
     faults: tuple[SensorFault, ...] = ()
+    # Name of the scenario that produced this frame — carried explicitly
+    # so consumers (drive-gate training provenance) never parse uids.
+    scenario: str = ""
 
     @property
     def context(self) -> str:
@@ -148,6 +151,7 @@ class DriveSource:
                 segment_index=segment_index,
                 sample=sample,
                 faults=faults,
+                scenario=self.spec.name,
             )
             scene = advance_scene(scene, profile, rng, segment.ego_speed)
 
@@ -168,6 +172,26 @@ class DriveSource:
             if not chunk:
                 return
             yield chunk
+
+    def sample(self, stride: int = 1, limit: int | None = None) -> list[DriveFrame]:
+        """Deterministically subsample the stream for training pipelines.
+
+        Keeps every ``stride``-th frame (starting at frame 0), at most
+        ``limit`` of them.  The kept frames are the exact objects
+        ``__iter__`` would have yielded — the full stream is advanced
+        under the hood, so the scene evolution, fault-noise draws and
+        uids are bit-identical to a plain iteration.  Drive-stream gate
+        training (``repro.core.training_drive``) samples its faulted
+        training frames through this.
+        """
+        if stride < 1:
+            raise ValueError("sample stride must be >= 1")
+        if limit is not None and limit < 1:
+            raise ValueError("sample limit must be >= 1 (or None)")
+        kept = itertools.islice(iter(self), 0, None, stride)
+        if limit is not None:
+            kept = itertools.islice(kept, limit)
+        return list(kept)
 
     def materialize(self) -> list[DriveFrame]:
         """Render the whole drive eagerly (tests / small scenarios)."""

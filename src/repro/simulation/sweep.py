@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 
 from ..core.ecofusion import BranchOutputCache
+from ..core.training_drive import DriveTrainingConfig, ensure_policy_gates
 from ..policies import PolicySpec, get_policy_spec
 from .closed_loop import ClosedLoopRunner
 from .drive import DriveSource
@@ -77,6 +78,13 @@ class SweepShard:
     # program LRU is process-wide, so every policy in the shard (and
     # every later shard in the same worker) shares the compiled set.
     compiled: bool = False
+    # Training config for any drive-trained gates the policy set
+    # references (None = the default DriveTrainingConfig), plus the
+    # sweep's artifact root.  Carried on the shard so pool workers
+    # materialize the *same* gates the parent swept with, from the
+    # same artifact root (None = the executing system's own root).
+    drive_config: DriveTrainingConfig | None = None
+    artifact_root: str | None = None
     # Attach DriveTrace.records_hex() to each entry (per-frame float-hex
     # trace, used by bench_runtime's exact-equivalence diff).
     collect_hex: bool = False
@@ -92,6 +100,13 @@ def run_shard(system, shard: SweepShard) -> dict[str, dict]:
     Entries are ``DriveTrace.to_dict()`` plus ``wall_seconds``, the same
     schema the serial sweep wrote.
     """
+    # Honor the shard's drive-gate config and root even for direct
+    # callers (the pool path already ensured in the parent, making
+    # this a no-op).
+    ensure_policy_gates(
+        system, shard.policies,
+        config=shard.drive_config, root=shard.artifact_root,
+    )
     spec = shard.resolve_spec()
     runner = ClosedLoopRunner(system.model, cache=BranchOutputCache())
     frames = None
@@ -152,6 +167,10 @@ def _worker_system():
 
 
 def _worker_run(shard: SweepShard) -> tuple[str, dict[str, dict]]:
+    # run_shard re-ensures the shard's drive gates: forked workers
+    # inherit the parent's installed instances (no-op), spawned workers
+    # load the artifact the parent persisted under the sweep's root
+    # (the worker system's artifact_root) — never retraining defaults.
     return shard.scenario, run_shard(_worker_system(), shard)
 
 
@@ -167,6 +186,7 @@ def run_sweep(
     share_frames: bool = True,
     compiled: bool = False,
     collect_hex: bool = False,
+    drive_config: DriveTrainingConfig | None = None,
     progress=None,
 ) -> dict[str, dict[str, dict]]:
     """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
@@ -182,6 +202,12 @@ def run_sweep(
 
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    # Materialize any drive-trained gates the policy set references
+    # before sharding: forked workers then inherit the trained gates,
+    # and spawned workers load the just-persisted artifact instead of
+    # each retraining from scratch.  ``drive_config`` selects the
+    # training config (None = defaults) and rides on every shard.
+    ensure_policy_gates(system, policies, config=drive_config, root=artifact_root)
     names = list(scenarios) if scenarios is not None else list(SCENARIOS)
     shards = [
         SweepShard(
@@ -193,6 +219,8 @@ def run_sweep(
             share_frames=share_frames,
             compiled=compiled,
             collect_hex=collect_hex,
+            drive_config=drive_config,
+            artifact_root=artifact_root,
         )
         for name in names
     ]

@@ -1,0 +1,277 @@
+"""Drive-stream gate training: determinism, dataset plumbing, caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.core.training_drive import (
+    DRIVE_GATE_NAMES,
+    DriveTrainingConfig,
+    attenuate_dead_stem_features,
+    build_drive_dataset,
+    collect_drive_frames,
+    ensure_drive_gates,
+    ensure_policy_gates,
+    train_drive_gate,
+    train_drive_gates,
+)
+from repro.datasets.sensors import SENSORS
+from repro.evaluation.loss_metrics import fusion_loss
+from repro.nn.serialization import load_state, save_state
+from repro.perception.backbone import STEM_CHANNELS
+
+# Micro config: two fault-heavy scenarios, a handful of frames, a few
+# gate iterations — enough to exercise every stage in well under a
+# minute on the tiny system.  Single source of truth: the policy
+# round-trip tests import this very object by path.
+MICRO = DriveTrainingConfig(
+    scenarios=("degraded_limp_home", "sensor_stress_test"),
+    scale=0.08,
+    frame_stride=2,
+    gate_iterations=12,
+    gate_batch_size=8,
+    seed=11,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriveTrainingConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            DriveTrainingConfig(frame_stride=0)
+        with pytest.raises(ValueError):
+            DriveTrainingConfig(max_frames_per_scenario=0)
+        with pytest.raises(ValueError):
+            DriveTrainingConfig(gate_shrink=1.5)
+        with pytest.raises(ValueError):
+            DriveTrainingConfig(dead_stem_scale=-0.1)
+
+    def test_empty_scenarios_resolve_to_whole_library(self):
+        from repro.simulation import SCENARIOS
+
+        assert DriveTrainingConfig().resolved_scenarios() == tuple(SCENARIOS)
+
+    def test_cache_key_tracks_resolved_content(self):
+        base = DriveTrainingConfig()
+        explicit = DriveTrainingConfig(scenarios=base.resolved_scenarios())
+        assert base.cache_key() == explicit.cache_key()
+        assert base.cache_key() != MICRO.cache_key()
+
+    def test_training_config_carries_seed_and_hypers(self):
+        tc = MICRO.training_config()
+        assert tc.seed == MICRO.seed
+        assert tc.gate_iterations == MICRO.gate_iterations
+        assert tc.gate_shrink == MICRO.gate_shrink
+
+
+class TestCollect:
+    def test_deterministic_and_fault_inclusive(self):
+        first = collect_drive_frames(MICRO)
+        second = collect_drive_frames(MICRO)
+        assert len(first) == len(second) > 0
+        assert [f.sample.uid for f in first] == [f.sample.uid for f in second]
+        for a, b in zip(first, second):
+            for s in SENSORS:
+                np.testing.assert_array_equal(a.sample.sensors[s], b.sample.sensors[s])
+        # The training distribution must contain dropout: that is the
+        # entire point of the pipeline.
+        assert any(f.faulted_sensors for f in first)
+
+    def test_max_frames_cap(self):
+        capped = collect_drive_frames(
+            DriveTrainingConfig(
+                scenarios=MICRO.scenarios, scale=MICRO.scale,
+                frame_stride=1, max_frames_per_scenario=3, seed=11,
+            )
+        )
+        assert len(capped) == 3 * len(MICRO.scenarios)
+
+
+class TestAttenuation:
+    def test_scales_only_faulted_sensor_channels(self, rng):
+        n, hw = 3, 4
+        features = rng.random(
+            (n, STEM_CHANNELS * len(SENSORS), hw, hw)
+        ).astype(np.float32)
+        faulted = [(), ("lidar",), ("camera_left", "radar")]
+        out = attenuate_dead_stem_features(features, faulted, 0.0)
+        assert out is not features  # input untouched
+        np.testing.assert_array_equal(out[0], features[0])
+        for row, down in enumerate(faulted):
+            for i, sensor in enumerate(SENSORS):
+                block = out[row, i * STEM_CHANNELS : (i + 1) * STEM_CHANNELS]
+                ref = features[row, i * STEM_CHANNELS : (i + 1) * STEM_CHANNELS]
+                if sensor in down:
+                    assert not block.any()
+                else:
+                    np.testing.assert_array_equal(block, ref)
+
+    def test_row_mismatch_rejected(self, rng):
+        features = rng.random((2, STEM_CHANNELS * len(SENSORS), 4, 4))
+        with pytest.raises(ValueError):
+            attenuate_dead_stem_features(features, [()], 0.5)
+
+
+class TestDataset:
+    def test_shapes_targets_and_provenance(self, tiny_system):
+        frames = collect_drive_frames(MICRO, image_size=tiny_system.model.image_size)
+        cache = BranchOutputCache()
+        dataset = build_drive_dataset(tiny_system.model, frames, MICRO, cache=cache)
+        library = tiny_system.model.library
+        assert dataset.features.shape[0] == len(frames)
+        assert dataset.loss_table.shape == (len(frames), len(library))
+        assert dataset.num_frames == len(frames)
+        assert dataset.num_faulted == sum(1 for f in frames if f.faulted_sensors)
+        assert dataset.origins[0][0] == "degraded_limp_home"
+        # Targets are real fusion losses of the faulted observations:
+        # re-derive one cell through the cached branch outputs.
+        i, frame = next(
+            (i, f) for i, f in enumerate(frames) if f.faulted_sensors
+        )
+        config = library[0]
+        fused = tiny_system.model.fuse_single(
+            config,
+            {b: cache.get(frame.sample, b) for b in config.branches},
+        )
+        expected = fusion_loss(fused, frame.sample.boxes, frame.sample.labels)
+        assert dataset.loss_table[i, 0] == expected
+
+    def test_dead_stem_scale_zeroes_faulted_blocks(self, tiny_system):
+        frames = collect_drive_frames(MICRO, image_size=tiny_system.model.image_size)
+        zeroed_cfg = DriveTrainingConfig(
+            scenarios=MICRO.scenarios, scale=MICRO.scale,
+            frame_stride=MICRO.frame_stride, seed=MICRO.seed,
+            gate_iterations=MICRO.gate_iterations, dead_stem_scale=0.0,
+        )
+        cache = BranchOutputCache()
+        natural = build_drive_dataset(tiny_system.model, frames, MICRO, cache=cache)
+        zeroed = build_drive_dataset(tiny_system.model, frames, zeroed_cfg, cache=cache)
+        # Same targets (losses price the executed faulted frames either way)…
+        np.testing.assert_array_equal(natural.loss_table, zeroed.loss_table)
+        # …but the faulted sensors' gate-input blocks are zeroed.
+        row = next(i for i, f in enumerate(frames) if "lidar" in f.faulted_sensors)
+        lidar = SENSORS.index("lidar")
+        block = zeroed.features[row, lidar * STEM_CHANNELS : (lidar + 1) * STEM_CHANNELS]
+        assert not block.any()
+        assert natural.features[row].any()
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize("kind", sorted({k for k in DRIVE_GATE_NAMES.values()}))
+    def test_same_seed_byte_identical_weights(self, tiny_system, tmp_path, kind):
+        """Two independent runs under one TrainingConfig.seed must agree
+        byte for byte, round-tripped through nn.serialization."""
+        frames = collect_drive_frames(MICRO, image_size=tiny_system.model.image_size)
+        dataset = build_drive_dataset(tiny_system.model, frames, MICRO)
+        paths = []
+        for run in range(2):
+            gate = train_drive_gate(tiny_system.model, dataset, kind, MICRO)
+            path = tmp_path / f"{kind}_{run}.npz"
+            save_state(gate.network.state_dict(), path)
+            paths.append(path)
+        first, second = (load_state(p) for p in paths)
+        assert first.keys() == second.keys()
+        for key in first:
+            assert first[key].tobytes() == second[key].tobytes(), key
+
+    def test_different_seed_differs(self, tiny_system):
+        frames = collect_drive_frames(MICRO, image_size=tiny_system.model.image_size)
+        dataset = build_drive_dataset(tiny_system.model, frames, MICRO)
+        reseeded = DriveTrainingConfig(
+            scenarios=MICRO.scenarios, scale=MICRO.scale,
+            frame_stride=MICRO.frame_stride, seed=MICRO.seed + 1,
+            gate_iterations=MICRO.gate_iterations,
+        )
+        a = train_drive_gate(tiny_system.model, dataset, "deep", MICRO)
+        b = train_drive_gate(tiny_system.model, dataset, "deep", reseeded)
+        assert any(
+            not np.array_equal(x, y)
+            for x, y in zip(
+                a.network.state_dict().values(), b.network.state_dict().values()
+            )
+        )
+
+
+@pytest.fixture
+def clean_gates(tiny_system):
+    """Strip drive gates other tests may have installed on the shared
+    session system, so each ensure test exercises the disk paths."""
+    for name in list(DRIVE_GATE_NAMES):
+        tiny_system.gates.pop(name, None)
+    return tiny_system
+
+
+class TestEnsure:
+    def test_train_persist_reload(self, clean_gates, tiny_system, tmp_path):
+        trained = ensure_drive_gates(
+            tiny_system, MICRO, kinds=("deep",), root=tmp_path
+        )
+        assert "drive_deep" in tiny_system.gates
+        assert tiny_system.gates["drive_deep"].name == "drive_deep"
+        # Idempotent: second call returns the installed instance.
+        again = ensure_drive_gates(tiny_system, MICRO, kinds=("deep",), root=tmp_path)
+        assert again["drive_deep"] is trained["drive_deep"]
+        # Reload path: a fresh lookup restores identical weights + prior.
+        del tiny_system.gates["drive_deep"]
+        loaded = ensure_drive_gates(
+            tiny_system, MICRO, kinds=("deep",), root=tmp_path
+        )["drive_deep"]
+        fresh = trained["drive_deep"]
+        assert loaded is not fresh
+        for key, value in fresh.network.state_dict().items():
+            assert loaded.network.state_dict()[key].tobytes() == value.tobytes()
+        np.testing.assert_array_equal(loaded.prior, fresh.prior)
+        assert loaded.shrink == fresh.shrink
+
+    def test_artifact_extends_with_new_kinds(self, clean_gates, tiny_system, tmp_path):
+        first = ensure_drive_gates(tiny_system, MICRO, kinds=("deep",), root=tmp_path)
+        for name in list(DRIVE_GATE_NAMES):
+            tiny_system.gates.pop(name, None)
+        # The kind already on disk loads; only the missing kind trains —
+        # and the merged artifact keeps both (no clobbering).
+        gates = ensure_drive_gates(
+            tiny_system, MICRO, kinds=("deep", "attention"), root=tmp_path,
+            force_rebuild=False,
+        )
+        assert sorted(gates) == ["drive_attention", "drive_deep"]
+        assert "drive_attention" in tiny_system.gates
+        for key, value in first["drive_deep"].network.state_dict().items():
+            assert gates["drive_deep"].network.state_dict()[key].tobytes() \
+                == value.tobytes(), key
+        # A later attention-only lookup hits the merged artifact cleanly.
+        for name in list(DRIVE_GATE_NAMES):
+            tiny_system.gates.pop(name, None)
+        reloaded = ensure_drive_gates(
+            tiny_system, MICRO, kinds=("attention",), root=tmp_path
+        )
+        for key, value in gates["drive_attention"].network.state_dict().items():
+            assert reloaded["drive_attention"].network.state_dict()[key].tobytes() \
+                == value.tobytes(), key
+
+    def test_installed_gates_are_config_keyed(self, clean_gates, tiny_system, tmp_path):
+        """ensure() must never hand back gates trained under a different
+        config: the in-memory shortcut is keyed by the config digest."""
+        ensure_drive_gates(tiny_system, MICRO, kinds=("deep",), root=tmp_path)
+        assert tiny_system.gates["drive_deep"].drive_config_key == MICRO.cache_key()
+        other = DriveTrainingConfig(
+            scenarios=("degraded_limp_home",), scale=0.08,
+            frame_stride=2, gate_iterations=5, seed=23,
+        )
+        replaced = ensure_drive_gates(
+            tiny_system, other, kinds=("deep",), root=tmp_path
+        )["drive_deep"]
+        assert replaced.drive_config_key == other.cache_key()
+        assert tiny_system.gates["drive_deep"] is replaced
+
+    def test_ensure_policy_gates_noop_without_drive_specs(self, tiny_system):
+        from repro.policies import get_policy_spec
+
+        before = dict(tiny_system.gates)
+        ensure_policy_gates(
+            tiny_system,
+            [get_policy_spec("ecofusion_attention"), get_policy_spec("static_late")],
+        )
+        assert dict(tiny_system.gates) == before

@@ -27,6 +27,14 @@ from repro.nn.layers import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
 from repro.nn.tensor import is_grad_enabled, batch_invariant_enabled
 from repro.perception.backbone import BasicBlock, StemBlock
 
+# A handful of tests assert that replay actually happens; with the
+# global escape hatch exported (the CI eager leg runs the whole suite
+# under REPRO_NO_COMPILE=1) the engine is off by design, so they skip.
+requires_engine = pytest.mark.skipif(
+    engine.compile_disabled(),
+    reason="REPRO_NO_COMPILE=1 disables the engine globally",
+)
+
 
 def params_of(module):
     return [p.data for _, p in module.named_parameters()] + [
@@ -337,6 +345,7 @@ class TestMaybeRun:
         x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
         assert engine.maybe_run("t_stem", stem, stem, (x,)) is None
 
+    @requires_engine
     def test_replays_inside_context(self, rng):
         stem = StemBlock(3, rng).eval()
         x = rng.standard_normal((2, 3, 64, 64)).astype(np.float32)
@@ -380,6 +389,7 @@ class TestMaybeRun:
         assert np.array_equal(bn_ref.running_mean, bn_probed.running_mean)
         assert np.array_equal(bn_ref.running_var, bn_probed.running_var)
 
+    @requires_engine
     def test_warm_up_compiles_and_respects_escape_hatch(self, rng,
                                                         monkeypatch):
         det_gate_like = StemBlock(3, rng).eval()
@@ -391,6 +401,7 @@ class TestMaybeRun:
         assert engine.warm_up("t_warm2", det_gate_like, det_gate_like,
                               [(2, 3, 64, 64)]) == []
 
+    @requires_engine
     def test_outputs_are_pool_views_unless_copied(self, rng):
         stem = StemBlock(3, rng).eval()
         other = StemBlock(3, rng).eval()
