@@ -56,6 +56,8 @@ from repro.simulation import (
     run_sweep,
     scaled,
 )
+from repro.telemetry import Telemetry, kernel_profiling, write_summary
+from repro.telemetry.metrics import WALL_BUCKETS_S, MetricsRegistry
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_runtime.json"
@@ -94,8 +96,13 @@ def run_cells_serial(system, names, scale, seed, window,
 
 
 def strip_walls(results: dict) -> dict:
-    """Result dict without timing/trace fields (for the equivalence diff)."""
-    drop = ("wall_seconds", "records_hex")
+    """Result dict without timing/trace fields (for the equivalence diff).
+
+    ``metrics`` is the per-drive telemetry block — derived entirely from
+    the frame records (whose hex form is diffed exactly), present only on
+    telemetry-enabled runs, so it is excluded rather than required.
+    """
+    drop = ("wall_seconds", "records_hex", "metrics")
     return {
         scenario: {
             policy: {k: v for k, v in entry.items() if k not in drop}
@@ -147,6 +154,13 @@ def main() -> None:
                         help="rerun one compiled-mode repeat under "
                              "cProfile and print the top-20 cumulative "
                              "hotspots")
+    parser.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                        help="run one extra compiled pass with full "
+                             "telemetry (metrics + spans + per-kernel "
+                             "replay timings) and write JSONL traces plus "
+                             "telemetry_summary.json under DIR; its hex "
+                             "records are diffed against the sequential "
+                             "reference like every other mode")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0 or args.window < 1 or args.jobs < 1 or args.repeats < 1:
@@ -159,24 +173,30 @@ def main() -> None:
         names = names[: args.scenarios]
 
     modes: dict[str, dict] = {}
+    # Every repeat's wall goes through the telemetry histogram machinery;
+    # the reported wall/frames-per-second is the histogram's exact min,
+    # so the bench numbers come from the same instrumentation the drive
+    # stack exposes (and merge into the --telemetry summary).
+    bench_metrics = MetricsRegistry(enabled=True)
 
-    def timed(fn):
+    def timed(mode, fn):
         """Fastest wall over ``--repeats`` runs (results from the first)."""
-        best, results = None, None
+        hist = bench_metrics.histogram(
+            "bench.wall_seconds", buckets=WALL_BUCKETS_S, mode=mode
+        )
+        results = None
         for _ in range(args.repeats):
             gc.collect()
             start = time.perf_counter()
             out = fn()
-            wall = time.perf_counter() - start
-            if best is None or wall < best:
-                best = wall
+            hist.observe(time.perf_counter() - start)
             if results is None:
                 results = out
-        return results, best
+        return results, hist.min
 
     print(f"[1/4] sequential sweep ({len(names)} scenarios x "
           f"{len(DEFAULT_POLICIES)} policies, window=1)...")
-    seq_results, seq_wall = timed(lambda: run_cells_serial(
+    seq_results, seq_wall = timed("sequential", lambda: run_cells_serial(
         system, names, args.scale, args.seed, window=1,
         memoize_outputs=False, collect_hex=True,
     ))
@@ -186,7 +206,7 @@ def main() -> None:
                            "compiled": False}
 
     print(f"[2/4] batched sweep (window={args.window})...")
-    batched_results, batched_wall = timed(lambda: run_cells_serial(
+    batched_results, batched_wall = timed("batched", lambda: run_cells_serial(
         system, names, args.scale, args.seed, window=args.window,
         collect_hex=True,
     ))
@@ -200,7 +220,7 @@ def main() -> None:
 
     print(f"[3/4] compiled sweep (window={args.window}, engine programs, "
           "frames shared per scenario)...")
-    compiled_results, compiled_wall = timed(lambda: run_sweep(
+    compiled_results, compiled_wall = timed("compiled", lambda: run_sweep(
         system,
         scenarios=names,
         scale=args.scale,
@@ -219,7 +239,7 @@ def main() -> None:
     }
 
     print(f"[4/4] sharded sweep (window={args.window}, jobs={args.jobs})...")
-    sharded_results, sharded_wall = timed(lambda: run_sweep(
+    sharded_results, sharded_wall = timed("sharded", lambda: run_sweep(
         system,
         scenarios=names,
         scale=args.scale,
@@ -236,6 +256,33 @@ def main() -> None:
         "compiled": False,
     }
 
+    telemetry = None
+    kernel_profile = None
+    if args.telemetry is not None:
+        # One extra fully-instrumented compiled pass, outside every timed
+        # region: metrics registry + per-scenario span traces + per-kernel
+        # replay timings.  Its hex records join the exact-equivalence
+        # diff below — telemetry that moved a single bit fails the bench.
+        print("[telemetry] instrumented compiled pass "
+              f"(window={args.window})...")
+        args.telemetry.mkdir(parents=True, exist_ok=True)
+        telemetry = Telemetry.create(tracing=False)
+        with kernel_profiling() as prof:
+            telemetry_results = run_sweep(
+                system,
+                scenarios=names,
+                scale=args.scale,
+                seed=args.seed,
+                window=args.window,
+                jobs=1,
+                compiled=True,
+                collect_hex=True,
+                telemetry=telemetry,
+                trace_dir=str(args.telemetry),
+            )
+        kernel_profile = prof.to_dict()
+        telemetry_hex = pop_hex(telemetry_results)
+
     # Every mode collects per-frame hex inside its timed region, so the
     # four walls stay comparable and every mode gets the exact diff:
     # eager reference vs each fast mode, every frame, every float.
@@ -248,6 +295,11 @@ def main() -> None:
         "compiled_frames": compiled_hex == seq_hex and len(seq_hex) > 0,
         "sharded_frames": sharded_hex == seq_hex and len(seq_hex) > 0,
     }
+    if telemetry is not None:
+        identical["telemetry"] = strip_walls(telemetry_results) == reference
+        identical["telemetry_frames"] = (
+            telemetry_hex == seq_hex and len(seq_hex) > 0
+        )
 
     rows = []
     for mode, info in modes.items():
@@ -304,6 +356,32 @@ def main() -> None:
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {args.output}")
+
+    if telemetry is not None:
+        # Fold the bench's own wall-clock histograms into the snapshot so
+        # the summary carries mode timings and drive metrics side by side.
+        telemetry.metrics.absorb(bench_metrics.snapshot())
+        summary_path = args.telemetry / "telemetry_summary.json"
+        summary = write_summary(
+            summary_path,
+            telemetry.metrics.snapshot(),
+            meta={
+                "bench": "runtime",
+                "scale": args.scale,
+                "window": args.window,
+                "repeats": args.repeats,
+                "scenarios": names,
+            },
+            kernel_profile=kernel_profile,
+        )
+        lat = summary["frame_latency_ms"]
+        top = (kernel_profile or {}).get("top_ops") or [{"op": "n/a"}]
+        print(
+            f"telemetry: {summary['frames']} frames | "
+            f"latency p50={lat['p50']:.1f} p99={lat['p99']:.1f} ms | "
+            f"hottest kernel: {top[0]['op']}"
+        )
+        print(f"wrote {summary_path}")
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ from repro.evaluation import SystemSpec, get_or_build_system
 from repro.evaluation.reports import format_table
 from repro.policies import get_policy_spec, policy_names
 from repro.simulation import DEFAULT_POLICIES, SCENARIOS, run_sweep
+from repro.telemetry import Telemetry, write_summary
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_scenarios.json"
@@ -117,6 +118,12 @@ def main() -> None:
                         help="comma-separated registered policy names "
                              f"(default: the standard sweep set; "
                              f"valid: {', '.join(policy_names())})")
+    parser.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                        help="collect telemetry: per-scenario JSONL span "
+                             "traces plus an aggregated "
+                             "telemetry_summary.json under DIR "
+                             "(outputs stay bit-identical; entries gain "
+                             "a per-drive metrics block)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0:
@@ -159,6 +166,12 @@ def main() -> None:
 
     drive_config = TINY_DRIVE_SPEC if args.tiny else None
     sweeps_drive_gates = any(p.gate in DRIVE_GATE_NAMES for p in policies)
+    telemetry = None
+    if args.telemetry is not None:
+        args.telemetry.mkdir(parents=True, exist_ok=True)
+        # Metrics here, spans per shard (run_sweep writes one JSONL
+        # trace per scenario under the directory).
+        telemetry = Telemetry.create(tracing=False)
     sweep_start = time.perf_counter()
     results = run_sweep(
         system,
@@ -169,6 +182,8 @@ def main() -> None:
         jobs=args.jobs,
         compiled=args.compiled,
         drive_config=drive_config,
+        telemetry=telemetry,
+        trace_dir=str(args.telemetry) if args.telemetry is not None else None,
         progress=progress,
     )
     sweep_wall = time.perf_counter() - sweep_start
@@ -209,6 +224,31 @@ def main() -> None:
     }
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {args.output}")
+
+    if telemetry is not None:
+        summary_path = args.telemetry / "telemetry_summary.json"
+        summary = write_summary(
+            summary_path,
+            telemetry.metrics.snapshot(),
+            meta={
+                "bench": "scenarios",
+                "scale": args.scale,
+                "window": args.window,
+                "jobs": args.jobs,
+                "compiled": args.compiled,
+                "policies": [p.name for p in policies],
+            },
+        )
+        lat = summary["frame_latency_ms"]
+        eng = summary["engine"]
+        hit = eng["program_cache_hit_rate"]
+        print(
+            f"telemetry: {summary['frames']} frames | "
+            f"latency p50={lat['p50']:.1f} p99={lat['p99']:.1f} ms | "
+            "engine LRU hit-rate "
+            + (f"{hit:.3f}" if hit is not None else "n/a")
+        )
+        print(f"wrote {summary_path}")
 
 
 if __name__ == "__main__":

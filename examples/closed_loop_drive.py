@@ -30,6 +30,7 @@ from repro.simulation import (
     scaled,
     scenario_names,
 )
+from repro.telemetry import Telemetry
 
 QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
 
@@ -56,7 +57,8 @@ def soc_strip(trace, width: int = 32) -> str:
     return " ".join(f"{100 * s:.2f}" for s in picks)
 
 
-def main(scenario: str, policy_name: str, scale: float) -> None:
+def main(scenario: str, policy_name: str, scale: float,
+         telemetry: bool = False) -> None:
     print("loading / training the EcoFusion system (cached after first run)...")
     system = get_or_build_system(QUICK_SPEC)
     spec = scaled(get_scenario(scenario), scale)
@@ -67,11 +69,16 @@ def main(scenario: str, policy_name: str, scale: float) -> None:
         print(f"  fault: {fault.label} frames [{fault.start}, "
               f"{fault.start + fault.duration})")
 
-    runner = ClosedLoopRunner(system.model, cache=system.cache)
+    tel = Telemetry.create() if telemetry else None
+    runner = ClosedLoopRunner(system.model, cache=system.cache, telemetry=tel)
     chosen = build_policy(policy_name, system)
     late = build_policy("static_late", system)
     eco = runner.run(spec, chosen)
     ref = runner.run(spec, late)
+
+    if tel is not None:
+        print("\nspan tree (traces are identical with telemetry off):")
+        print(tel.tracer.format_tree(max_children=3, max_depth=2))
 
     print("\n" + eco.summary())
     print(f"policy: {eco.policy_info}")
@@ -101,5 +108,9 @@ if __name__ == "__main__":
                         help="registered policy to drive with")
     parser.add_argument("--scale", type=float, default=0.5,
                         help="timeline scale (1.0 = full-length drive)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run the drives instrumented and print the "
+                             "span tree (see examples/telemetry_tour.py "
+                             "for the full tour)")
     args = parser.parse_args()
-    main(args.scenario, args.policy, args.scale)
+    main(args.scenario, args.policy, args.scale, telemetry=args.telemetry)

@@ -1,0 +1,124 @@
+"""Offline trace analysis: per-span latency percentiles + decisions.
+
+Consumes the JSONL span traces the telemetry layer writes (one header
+line, then one record per finished span — see
+``repro.telemetry.tracing``) and prints, across every trace file given:
+
+* per-span-name duration percentiles (p50/p90/p99, via the same
+  fixed-bucket histogram machinery the live registry uses);
+* the configuration-decision distribution, read from the ``config``
+  attribute the runner stamps on each ``frame`` span;
+* per-trace-file span counts and drop counts.
+
+Run:  PYTHONPATH=src python scripts/trace_report.py TRACE.jsonl [...]
+      PYTHONPATH=src python scripts/trace_report.py --dir telemetry_out/
+      (add ``--json`` for a machine-readable report)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry import read_jsonl
+from repro.telemetry.metrics import Histogram
+
+# Span durations range from sub-microsecond (gate lookups) to whole
+# drives; a wide geometric ladder keeps the percentiles meaningful at
+# both ends.
+SPAN_BUCKETS_MS: tuple[float, ...] = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def collect(paths: list[Path]) -> dict:
+    """Aggregate span records from ``paths`` into one report dict."""
+    durations: dict[str, Histogram] = {}
+    decisions: dict[str, int] = {}
+    files = []
+    for path in paths:
+        header, spans = read_jsonl(path)
+        files.append(
+            {
+                "path": str(path),
+                "spans": len(spans),
+                "dropped": header.get("dropped", 0),
+            }
+        )
+        for record in spans:
+            name = record["name"]
+            hist = durations.get(name)
+            if hist is None:
+                hist = durations[name] = Histogram(SPAN_BUCKETS_MS)
+            hist.observe(record["dur_ms"])
+            config = record.get("attrs", {}).get("config")
+            if name == "frame" and config is not None:
+                decisions[config] = decisions.get(config, 0) + 1
+    return {
+        "files": files,
+        "spans": {
+            name: durations[name].summary() for name in sorted(durations)
+        },
+        "decisions": dict(sorted(decisions.items())),
+    }
+
+
+def render(report: dict) -> str:
+    lines = []
+    for info in report["files"]:
+        dropped = f" ({info['dropped']} dropped)" if info["dropped"] else ""
+        lines.append(f"{info['path']}: {info['spans']} spans{dropped}")
+    lines.append("")
+    lines.append(
+        f"{'span':20s} {'count':>8s} {'p50 ms':>10s} {'p90 ms':>10s} "
+        f"{'p99 ms':>10s} {'max ms':>10s}"
+    )
+    for name, summary in report["spans"].items():
+        lines.append(
+            f"{name:20s} {summary['count']:8d} {summary['p50']:10.3f} "
+            f"{summary['p90']:10.3f} {summary['p99']:10.3f} "
+            f"{summary['max']:10.3f}"
+        )
+    if report["decisions"]:
+        total = sum(report["decisions"].values())
+        lines.append("")
+        lines.append("configuration decisions (frame spans):")
+        for config, count in report["decisions"].items():
+            lines.append(
+                f"  {config:24s} {count:6d}  ({100.0 * count / total:5.1f}%)"
+            )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="*", type=Path,
+                        help="JSONL trace files to aggregate")
+    parser.add_argument("--dir", type=Path, default=None,
+                        help="aggregate every trace_*.jsonl under DIR "
+                             "(what the benches' --telemetry flag writes)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of a table")
+    args = parser.parse_args()
+    paths = list(args.traces)
+    if args.dir is not None:
+        paths.extend(sorted(args.dir.glob("trace_*.jsonl")))
+    if not paths:
+        parser.error("no trace files given (positional paths or --dir)")
+    try:
+        report = collect(paths)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        sys.exit(1)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -69,9 +69,16 @@ class BranchOutputCache:
         # batched hot path; disable it to reproduce the original
         # branch-level-only cache (the benchmark's sequential baseline).
         self.memoize_outputs = bool(memoize_outputs)
+        # Plain-int hit/miss counts per memo kind; the telemetry layer
+        # reads deltas of stats().  Disabled memo kinds count nothing.
+        self._stats = {
+            "branch": [0, 0], "fused": [0, 0], "loss": [0, 0], "stem": [0, 0],
+        }
 
     def get(self, sample: Sample, branch: str) -> Detections | None:
-        return self._store.get((sample.uid, branch))
+        hit = self._store.get((sample.uid, branch))
+        self._stats["branch"][0 if hit is not None else 1] += 1
+        return hit
 
     def put(self, sample: Sample, branch: str, detections: Detections) -> None:
         self._store[(sample.uid, branch)] = detections
@@ -80,7 +87,9 @@ class BranchOutputCache:
         """Memoized fusion loss for one (sample, configuration)."""
         if not self.memoize_outputs:
             return None
-        return self._loss.get((sample.uid, config_name))
+        hit = self._loss.get((sample.uid, config_name))
+        self._stats["loss"][0 if hit is not None else 1] += 1
+        return hit
 
     def put_loss(self, sample: Sample, config_name: str, loss: float) -> None:
         if self.memoize_outputs:
@@ -90,7 +99,9 @@ class BranchOutputCache:
         """Memoized stem-feature row for one (sample, sensor)."""
         if not self.memoize_outputs:
             return None
-        return self._stems.get((sample.uid, sensor))
+        hit = self._stems.get((sample.uid, sensor))
+        self._stats["stem"][0 if hit is not None else 1] += 1
+        return hit
 
     def put_stem(self, sample: Sample, sensor: str, row: np.ndarray) -> None:
         if self.memoize_outputs:
@@ -106,13 +117,33 @@ class BranchOutputCache:
         """
         if not self.memoize_outputs:
             return None
-        return self._fused.get((sample.uid, config_name))
+        hit = self._fused.get((sample.uid, config_name))
+        self._stats["fused"][0 if hit is not None else 1] += 1
+        return hit
+
+    def peek_fused(self, sample: Sample, config_name: str) -> bool:
+        """True if a fused output is memoized — without touching stats.
+
+        The tracer uses this for the per-frame cache-hit attribute; a
+        stat-free probe keeps tracing from inflating hit counts.
+        """
+        return (
+            self.memoize_outputs
+            and (sample.uid, config_name) in self._fused
+        )
 
     def put_fused(
         self, sample: Sample, config_name: str, detections: Detections
     ) -> None:
         if self.memoize_outputs:
             self._fused[(sample.uid, config_name)] = detections
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counts per memo kind (branch/fused/loss/stem)."""
+        return {
+            kind: {"hits": cell[0], "misses": cell[1]}
+            for kind, cell in self._stats.items()
+        }
 
     def __len__(self) -> int:
         return len(self._store)

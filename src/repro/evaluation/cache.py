@@ -287,6 +287,9 @@ def get_or_build_system(
     Lookup order: in-process memo -> on-disk artifacts -> full training
     run (which is then persisted).
     """
+    from ..telemetry import get_default
+
+    tel = get_default()
     spec = spec or SystemSpec()
     key = spec.cache_key()
     root = Path(root) if root is not None else DEFAULT_ARTIFACT_ROOT
@@ -297,18 +300,23 @@ def get_or_build_system(
         # hit never re-points the shared instance at the latest caller's
         # root; callers wanting another destination pass it explicitly
         # (ensure_drive_gates(root=...) / run_sweep(artifact_root=...)).
+        tel.metrics.counter("artifacts.system_memo_hits").inc()
         return _MEMORY_CACHE[key]
     directory = root / key
     system: TrainedSystem | None = None
     if not force_rebuild and (directory / "meta.json").exists():
         try:
-            system = _load_system(spec, directory)
+            with tel.tracer.span("system_load", key=key):
+                system = _load_system(spec, directory)
+            tel.metrics.counter("artifacts.system_loads").inc()
         except Exception as error:  # corrupt cache: rebuild
             print(f"[cache] discarding unreadable artifact ({error}); retraining")
             system = None
     if system is None:
-        system = build_system(spec, verbose=verbose)
-        _save_system(system, directory)
+        with tel.tracer.span("system_build", key=key):
+            system = build_system(spec, verbose=verbose)
+            _save_system(system, directory)
+        tel.metrics.counter("artifacts.system_builds").inc()
     system.artifact_root = str(root)
     _MEMORY_CACHE[key] = system
     return system

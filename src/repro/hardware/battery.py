@@ -69,10 +69,16 @@ class BatteryState:
 
     vehicle: ElectricVehicle = field(default_factory=ElectricVehicle)
     soc: float = 1.0
+    # Lifetime SoC envelope — updated on every drain/charge so telemetry
+    # can report the swing of a drive without sampling each frame.
+    soc_min: float = field(init=False)
+    soc_max: float = field(init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.soc <= 1.0:
             raise ValueError("state of charge must be within [0, 1]")
+        self.soc_min = self.soc
+        self.soc_max = self.soc
 
     @property
     def capacity_joules(self) -> float:
@@ -92,6 +98,8 @@ class BatteryState:
         if joules < 0:
             raise ValueError("cannot drain negative energy")
         self.soc = max(self.soc - joules / self.capacity_joules, 0.0)
+        if self.soc < self.soc_min:
+            self.soc_min = self.soc
         return self.soc
 
     def charge(self, joules: float) -> float:
@@ -99,6 +107,8 @@ class BatteryState:
         if joules < 0:
             raise ValueError("cannot charge negative energy")
         self.soc = min(self.soc + joules / self.capacity_joules, 1.0)
+        if self.soc > self.soc_max:
+            self.soc_max = self.soc
         return self.soc
 
     def drive_step(

@@ -59,6 +59,7 @@ globally — every site falls back to the eager path.
 from __future__ import annotations
 
 import os
+from time import perf_counter
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -86,6 +87,8 @@ __all__ = [
     "warm_up",
     "program_cache",
     "im2col_indices",
+    "set_kernel_profiler",
+    "engine_stats",
 ]
 
 # Arrays at most this many elements with unknown provenance are frozen
@@ -850,6 +853,30 @@ _KERNELS: dict[str, Callable[[_Node, tuple[int, ...]], Callable]] = {
 
 
 # ----------------------------------------------------------------------
+# Kernel profiling hook (repro.telemetry.profiling)
+# ----------------------------------------------------------------------
+# When a profiler is installed, every replayed step is wrapped in two
+# monotonic-clock reads and reported as (program label, op, seconds).
+# The default is None and the replay loop pays exactly one ``is None``
+# check per replay — the disabled-mode overhead guard in
+# tests/telemetry pins that this stays in the noise.
+_PROFILER = None
+
+
+def set_kernel_profiler(profiler):
+    """Install (or clear, with None) the replay profiler; returns the old.
+
+    ``repro.telemetry.profiling.kernel_profiling`` is the intended
+    entry point; this setter exists so the engine never has to import
+    the telemetry layer.
+    """
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
+
+
+# ----------------------------------------------------------------------
 # Program
 # ----------------------------------------------------------------------
 class Program:
@@ -884,8 +911,16 @@ class Program:
         values = self._values
         for slot, arr in zip(self._input_slots, arrays):
             values[slot] = arr
-        for step in self._steps:
-            values[step.slot] = step.run(values)
+        profiler = _PROFILER
+        if profiler is None:
+            for step in self._steps:
+                values[step.slot] = step.run(values)
+        else:
+            label = self.label
+            for step in self._steps:
+                start = perf_counter()
+                values[step.slot] = step.run(values)
+                profiler.record(label, step.label, perf_counter() - start)
         self.replays += 1
         outputs = [values[s] for s in self._output_slots]
         # Drop the dynamic slots: a cached program must not pin the
@@ -960,6 +995,8 @@ class ProgramCache:
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.compiles = 0  # misses that produced a live program
+        self.evictions = 0
         # Most recently resolved program (compile() warm-up introspection).
         self.last_program: Program | None = None
 
@@ -983,16 +1020,35 @@ class ProgramCache:
         self._entries[key] = entry
         if entry.program is not None:
             self.total_bytes += entry.program.nbytes
+            self.compiles += 1
         self.last_program = entry.program
         while self._entries and (
             len(self._entries) > self.maxsize
             or self.total_bytes > self.max_bytes
         ):
             _, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
             if evicted.program is not None:
                 self.total_bytes -= evicted.program.nbytes
             if evicted is entry:  # single entry above budget: keep nothing
                 break
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the telemetry layer (plain ints, cheap).
+
+        Deltas of this dict bracket a region of interest (one drive,
+        one shard); the telemetry integration records those deltas as
+        mergeable counters so per-shard LRU behavior aggregates
+        correctly across a process pool.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "program_bytes": self.total_bytes,
+        }
 
 
 _CACHE = ProgramCache()
@@ -1001,6 +1057,14 @@ _CACHE = ProgramCache()
 def program_cache() -> ProgramCache:
     """The process-wide program cache (shared across policies/shards)."""
     return _CACHE
+
+
+def engine_stats() -> dict[str, int]:
+    """Process-wide engine counters: program LRU + replay-pool footprint."""
+    stats = _CACHE.stats()
+    stats["pool_bytes"] = _POOL.block.nbytes
+    stats["im2col_entries"] = len(_IM2COL_INDEX)
+    return stats
 
 
 def _collect_params(owner) -> list[np.ndarray]:

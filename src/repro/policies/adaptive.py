@@ -150,6 +150,13 @@ class EcoFusionPolicy(PerceptionPolicy):
             config=binding.library[index], fault_masked=masked, lambda_e=lam
         )
 
+    def record_decision(self, decision: PolicyDecision, metrics) -> None:
+        super().record_decision(decision, metrics)
+        if decision.lambda_e is not None:
+            metrics.gauge("policy.lambda_e", policy=self.name).set(
+                decision.lambda_e
+            )
+
     def describe(self) -> dict:
         info = {
             "name": self.name,

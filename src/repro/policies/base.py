@@ -211,3 +211,21 @@ class PerceptionPolicy(ABC):
     def describe(self) -> dict:
         """JSON-ready self-description (carried into benchmark output)."""
         return {"name": self.name, "kind": type(self).__name__}
+
+    # ------------------------------------------------------------------
+    def record_decision(self, decision: PolicyDecision, metrics) -> None:
+        """Publish one decision to a metrics registry (telemetry seam).
+
+        The runner calls this once per frame **only when metrics are
+        enabled**, after :meth:`decide`; the default records the
+        configuration-decision distribution and fault-masking counter.
+        Subclasses extend it with policy-specific signals (effective
+        ``lambda_E``, schedule position) and must call ``super()``.
+        Implementations must only *read* — never influence the next
+        decision — so telemetry cannot perturb a drive.
+        """
+        metrics.counter(
+            "policy.decisions", policy=self.name, config=decision.config.name
+        ).inc()
+        if decision.fault_masked:
+            metrics.counter("policy.fault_masked", policy=self.name).inc()

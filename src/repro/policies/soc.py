@@ -17,8 +17,9 @@ Both are monotonically non-increasing in SoC, which the test suite pins.
 from __future__ import annotations
 
 from ..core.gating.base import Gate
+from ..telemetry.metrics import UNIT_BUCKETS
 from .adaptive import EcoFusionPolicy
-from .base import PolicyObservation
+from .base import PolicyDecision, PolicyObservation
 
 __all__ = ["SoCAwarePolicy", "LAMBDA_SCHEDULES", "lambda_for_soc"]
 
@@ -98,6 +99,21 @@ class SoCAwarePolicy(EcoFusionPolicy):
         return lambda_for_soc(
             observation.soc, self.schedule, self.lambda_min, self.lambda_max
         )
+
+    def record_decision(self, decision: PolicyDecision, metrics) -> None:
+        super().record_decision(decision, metrics)
+        if decision.lambda_e is not None:
+            # Where along the [lambda_min, lambda_max] ramp the schedule
+            # is operating — a distribution, not just the last value.
+            span = self.lambda_max - self.lambda_min
+            position = (
+                (decision.lambda_e - self.lambda_min) / span if span > 0 else 0.0
+            )
+            metrics.histogram(
+                "policy.lambda_schedule_position",
+                buckets=UNIT_BUCKETS,
+                policy=self.name,
+            ).observe(min(max(position, 0.0), 1.0))
 
     def describe(self) -> dict:
         info = super().describe()

@@ -48,6 +48,8 @@ from ..hardware.scheduler import schedule_parallel, schedule_serial
 from ..hardware.sensors_power import FUSION_CYCLE_HZ, sensor_energy
 from ..nn import batch_invariant, engine
 from ..policies.base import PerceptionPolicy, PolicyDecision, PolicyObservation
+from ..telemetry import NullTracer, Telemetry, get_default
+from ..telemetry.metrics import ENERGY_BUCKETS_J, LATENCY_BUCKETS_MS, Histogram
 from .drive import DriveFrame, DriveSource
 from .scenario import ScenarioSpec
 
@@ -62,6 +64,18 @@ __all__ = [
 # JSON so future bench diffs are self-describing.  Bump when fields are
 # added, renamed or change meaning.
 TRACE_SCHEMA_VERSION = 2
+
+# Version of the optional per-drive ``metrics`` block a telemetry-enabled
+# run attaches to the trace.  Deliberately separate from
+# TRACE_SCHEMA_VERSION: the block only exists when telemetry was active,
+# so committed benchmark JSON (telemetry off) is byte-identical across
+# its introduction.
+DRIVE_METRICS_SCHEMA_VERSION = 1
+
+# Shared inert tracer for drives without telemetry: the windowed path is
+# single-source (no duplicated instrumented/plain variants) because every
+# span it opens is this tracer's free no-op when telemetry is off.
+_NULL_TRACER = NullTracer()
 
 
 @dataclass
@@ -100,6 +114,11 @@ class DriveTrace:
     final_soc: float
     policy_info: dict = field(default_factory=dict)
     initial_soc: float = 1.0  # battery charge before the first frame's drain
+    # Compact per-drive metrics block, attached only when the drive ran
+    # with metrics enabled (see _drive_metrics_block).  Holds exclusively
+    # execution-mode-independent values, so telemetry-enabled traces stay
+    # bit-identical between sequential/windowed and eager/compiled runs.
+    metrics: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -224,9 +243,14 @@ class DriveTrace:
         ]
 
     def to_dict(self) -> dict:
-        """JSON-serializable aggregate view (benchmarks)."""
+        """JSON-serializable aggregate view (benchmarks).
+
+        The ``metrics`` key is present only when the drive ran with
+        telemetry metrics enabled — default output is byte-identical to
+        the pre-telemetry schema.
+        """
         lambdas = self.lambda_trace
-        return {
+        out = {
             "schema_version": TRACE_SCHEMA_VERSION,
             "scenario": self.scenario,
             "policy": self.policy,
@@ -254,6 +278,43 @@ class DriveTrace:
             ),
             "per_context": self.per_context(),
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
+
+
+def _drive_metrics_block(trace: DriveTrace) -> dict:
+    """The compact per-drive metrics block ``to_dict()`` carries.
+
+    Built purely from the (bit-identical) frame records, so every value
+    is independent of execution mode (sequential vs windowed, eager vs
+    compiled) and of how many pool shards the drive ran next to.  Engine
+    and cache statistics are process-wide and mode-dependent; they go to
+    the metrics registry / telemetry summary, never here.
+    """
+    latency = Histogram(LATENCY_BUCKETS_MS)
+    energy = Histogram(ENERGY_BUCKETS_J)
+    fault_masked = 0
+    for record in trace.records:
+        latency.observe(record.latency_ms)
+        energy.observe(record.energy_joules)
+        if record.fault_masked:
+            fault_masked += 1
+    socs = trace.soc_trace
+    return {
+        "schema_version": DRIVE_METRICS_SCHEMA_VERSION,
+        "frames": trace.num_frames,
+        "latency_ms": latency.summary(),
+        "energy_j": energy.summary(),
+        "decisions": dict(sorted(trace.config_histogram.items())),
+        "fault_masked_frames": fault_masked,
+        "soc": {
+            "initial": trace.initial_soc,
+            "final": trace.final_soc,
+            "min": min(socs, default=trace.initial_soc),
+            "max": max(socs, default=trace.initial_soc),
+        },
+    }
 
 
 @dataclass
@@ -278,6 +339,10 @@ class _DriveState:
     # the runner's global switch AND the policy's own opt-in (gates
     # trained on drive streams run unmasked, see repro.core.training_drive).
     mask_faults: bool = True
+    # Active telemetry for this drive, or None (the common case) —
+    # the per-frame paths branch on this once to stay zero-overhead
+    # when telemetry is off.
+    telemetry: Telemetry | None = None
     records: list[FrameRecord] = field(default_factory=list)
     detections_per_frame: list = field(default_factory=list)
     gt_boxes: list = field(default_factory=list)
@@ -314,6 +379,7 @@ class ClosedLoopRunner:
         parallel_engines: bool = False,
         mask_faulted_configs: bool = True,
         cache: BranchOutputCache | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.model = model
         self.vehicle = vehicle
@@ -323,6 +389,9 @@ class ClosedLoopRunner:
         self.parallel_engines = bool(parallel_engines)
         self.mask_faulted_configs = bool(mask_faulted_configs)
         self.cache = cache
+        # Explicit injection wins over the process default (get_default),
+        # which is inert unless telemetry.set_default installed something.
+        self.telemetry = telemetry
         # Per-runner memos: the model library, cost tables and cycle rate
         # are fixed, so these pure lookups never need recomputing
         # (sequential mode rebuilt them every frame before this existed).
@@ -373,23 +442,38 @@ class ClosedLoopRunner:
         initial_soc = battery.soc
         policy.bind(self.model.library, self.model.energies())
         policy.reset()
+        tel = self.telemetry if self.telemetry is not None else get_default()
+        active = tel.active
         state = _DriveState(
             gate=policy.runtime_gate,
             duty=SensorDutyCycle(),
             battery=battery,
             mask_faults=self.mask_faulted_configs and policy.use_fault_masking,
+            telemetry=tel if active else None,
+        )
+        # Engine/branch-cache counters are process-wide; bracket the
+        # drive so only this drive's activity lands in the registry.
+        stats_on = active and tel.metrics.enabled
+        engine_before = engine.engine_stats() if stats_on else None
+        cache_before = (
+            self.cache.stats() if stats_on and self.cache is not None else None
         )
 
         compile_ctx = engine.use_compiled() if compiled else nullcontext()
-        with compile_ctx:
-            for chunk in frame_windows:
-                if window == 1:
-                    for frame in chunk:
-                        self._step_sequential(frame, spec, policy, state)
-                else:
-                    self._step_window(chunk, spec, policy, state)
+        with tel.tracer.span(
+            "drive", scenario=spec.name, policy=policy.name,
+            window=window, compiled=bool(compiled),
+        ) as drive_span:
+            with compile_ctx:
+                for chunk in frame_windows:
+                    if window == 1:
+                        for frame in chunk:
+                            self._step_sequential(frame, spec, policy, state)
+                    else:
+                        self._step_window(chunk, spec, policy, state)
+            drive_span.set(frames=len(state.records), final_soc=battery.soc)
 
-        return DriveTrace(
+        trace = DriveTrace(
             scenario=spec.name,
             policy=policy.name,
             records=state.records,
@@ -400,6 +484,70 @@ class ClosedLoopRunner:
             policy_info=policy.describe(),
             initial_soc=initial_soc,
         )
+        if stats_on:
+            trace.metrics = _drive_metrics_block(trace)
+            self._publish_metrics(
+                tel.metrics, trace, policy, battery, engine_before, cache_before
+            )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Telemetry publication (metrics-enabled drives only)
+    # ------------------------------------------------------------------
+    def _publish_metrics(
+        self,
+        metrics,
+        trace: DriveTrace,
+        policy: PerceptionPolicy,
+        battery: BatteryState,
+        engine_before: dict | None,
+        cache_before: dict | None,
+    ) -> None:
+        """Record one drive into the registry.
+
+        Frame-level values go to policy-labeled histograms/counters;
+        engine and branch-cache activity is recorded as *deltas* over the
+        drive so counters from independent pool shards sum to the true
+        process totals when snapshots merge.
+        """
+        pol = policy.name
+        latency = metrics.histogram(
+            "drive.frame.latency_ms", buckets=LATENCY_BUCKETS_MS, policy=pol
+        )
+        energy = metrics.histogram(
+            "drive.frame.energy_j", buckets=ENERGY_BUCKETS_J, policy=pol
+        )
+        for record in trace.records:
+            latency.observe(record.latency_ms)
+            energy.observe(record.energy_joules)
+        metrics.counter("drive.frames", policy=pol).inc(trace.num_frames)
+        metrics.counter("drive.switches", policy=pol).inc(trace.switch_count)
+        metrics.gauge("battery.soc.final", policy=pol).set(battery.soc)
+        metrics.gauge("battery.soc.min", policy=pol).set(battery.soc_min)
+        metrics.gauge("battery.soc.max", policy=pol).set(battery.soc_max)
+        if engine_before is not None:
+            after = engine.engine_stats()
+            for stat, name in (
+                ("hits", "engine.program_cache.hits"),
+                ("misses", "engine.program_cache.misses"),
+                ("evictions", "engine.program_cache.evictions"),
+                ("compiles", "engine.compiles"),
+            ):
+                delta = after[stat] - engine_before[stat]
+                if delta:
+                    metrics.counter(name).inc(delta)
+            metrics.gauge("engine.pool_bytes").set(after["pool_bytes"])
+            metrics.gauge("engine.program_bytes").set(after["program_bytes"])
+            metrics.gauge("engine.program_entries").set(after["entries"])
+        if cache_before is not None:
+            after_cache = self.cache.stats()
+            for kind, counts in after_cache.items():
+                for stat in ("hits", "misses"):
+                    delta = counts[stat] - cache_before[kind][stat]
+                    if delta:
+                        metrics.counter(
+                            f"branch_cache.{kind}.{stat}"
+                        ).inc(delta)
 
     # ------------------------------------------------------------------
     # Sequential reference path
@@ -411,11 +559,39 @@ class ClosedLoopRunner:
         policy: PerceptionPolicy,
         state: "_DriveState",
     ) -> None:
-        observation, features = self._observe(frame, state)
-        decision = policy.decide(observation)
-        detections = self._execute(frame, decision.config, features)
-        account = self._account(frame, spec, policy, decision, state)
-        self._record(frame, decision, account, detections, state)
+        tel = state.telemetry
+        if tel is None:  # zero-overhead reference path
+            observation, features = self._observe(frame, state)
+            decision = policy.decide(observation)
+            detections = self._execute(frame, decision.config, features)
+            account = self._account(frame, spec, policy, decision, state)
+            self._record(frame, decision, account, detections, state)
+            return
+        tracer = tel.tracer
+        with tracer.span("frame", t=frame.time_index) as frame_span:
+            with tracer.span("gate"):
+                observation, features = self._observe(frame, state)
+            decision = policy.decide(observation)
+            config = decision.config
+            cached = (
+                self.cache.peek_fused(frame.sample, config.name)
+                if self.cache is not None
+                else False
+            )
+            with tracer.span(f"branch:{config.name}", cache_hit=cached):
+                detections = self._execute(frame, config, features)
+            account = self._account(frame, spec, policy, decision, state)
+            if tel.metrics.enabled:
+                policy.record_decision(decision, tel.metrics)
+            frame_span.set(
+                config=config.name,
+                latency_ms=account.latency_ms,
+                energy_j=account.platform_joules + account.sensor_joules,
+                soc=account.soc,
+            )
+            if decision.fault_masked:
+                frame_span.set(fault_masked=True)
+            self._record(frame, decision, account, detections, state)
 
     def _observe(
         self, frame: DriveFrame, state: "_DriveState"
@@ -474,48 +650,73 @@ class ClosedLoopRunner:
         policy: PerceptionPolicy,
         state: "_DriveState",
     ) -> None:
-        samples = [f.sample for f in chunk]
-        gate = state.gate
-        features = None
-        predicted = None
-        directs = None
-        if gate is not None and gate.bypasses_optimization:
-            directs = gate.select_direct([s.context for s in samples])
-            assert directs is not None
-        elif gate is not None:
-            features = self.model.stem_features_cached(samples, None, self.cache)
-            gate_input = self.model.gate_features(features)
-            predicted = gate.predict_losses_windowed(
-                gate_input,
-                [s.context for s in samples],
-                [s.sample_id for s in samples],
-            )
+        tel = state.telemetry
+        tracer = tel.tracer if tel is not None else _NULL_TRACER
+        metrics = tel.metrics if tel is not None and tel.metrics.enabled else None
+        with tracer.span("window", size=len(chunk)):
+            samples = [f.sample for f in chunk]
+            gate = state.gate
+            features = None
+            predicted = None
+            directs = None
+            with tracer.span("gate"):
+                if gate is not None and gate.bypasses_optimization:
+                    directs = gate.select_direct([s.context for s in samples])
+                    assert directs is not None
+                elif gate is not None:
+                    features = self.model.stem_features_cached(
+                        samples, None, self.cache
+                    )
+                    gate_input = self.model.gate_features(features)
+                    predicted = gate.predict_losses_windowed(
+                        gate_input,
+                        [s.context for s in samples],
+                        [s.sample_id for s in samples],
+                    )
 
-        # Decisions and battery/cost accounting advance strictly frame by
-        # frame: observation i carries the SoC after frame i-1's drain, so
-        # state-feedback policies match the sequential path bit for bit.
-        decisions: list[PolicyDecision] = []
-        accounts: list[_FrameAccount] = []
-        for i, frame in enumerate(chunk):
-            observation = PolicyObservation(
-                time_index=frame.time_index,
-                context=frame.context,
-                soc=state.battery.soc,
-                faulted_sensors=frame.faulted_sensors,
-                healthy_mask=self._healthy_for(frame, state),
-                predicted_losses=None if predicted is None else predicted[i],
-                direct_selection=None if directs is None else directs[i],
-                features=features,
-            )
-            decision = policy.decide(observation)
-            decisions.append(decision)
-            accounts.append(self._account(frame, spec, policy, decision, state))
+            # Decisions and battery/cost accounting advance strictly frame by
+            # frame: observation i carries the SoC after frame i-1's drain, so
+            # state-feedback policies match the sequential path bit for bit.
+            # (``frame`` spans here time only the decide+account step — the
+            # batched branch wall-clock is shared across the window and shows
+            # up under the sibling ``branches`` span instead.)
+            decisions: list[PolicyDecision] = []
+            accounts: list[_FrameAccount] = []
+            for i, frame in enumerate(chunk):
+                with tracer.span("frame", t=frame.time_index) as frame_span:
+                    observation = PolicyObservation(
+                        time_index=frame.time_index,
+                        context=frame.context,
+                        soc=state.battery.soc,
+                        faulted_sensors=frame.faulted_sensors,
+                        healthy_mask=self._healthy_for(frame, state),
+                        predicted_losses=(
+                            None if predicted is None else predicted[i]
+                        ),
+                        direct_selection=None if directs is None else directs[i],
+                        features=features,
+                    )
+                    decision = policy.decide(observation)
+                    decisions.append(decision)
+                    account = self._account(frame, spec, policy, decision, state)
+                    accounts.append(account)
+                    if metrics is not None:
+                        policy.record_decision(decision, metrics)
+                    frame_span.set(
+                        config=decision.config.name,
+                        latency_ms=account.latency_ms,
+                        energy_j=account.platform_joules + account.sensor_joules,
+                        soc=account.soc,
+                    )
+                    if decision.fault_masked:
+                        frame_span.set(fault_masked=True)
 
-        fused = self._execute_window(chunk, samples, decisions, features)
-        for frame, decision, account, detections in zip(
-            chunk, decisions, accounts, fused
-        ):
-            self._record(frame, decision, account, detections, state)
+            with tracer.span("branches"):
+                fused = self._execute_window(chunk, samples, decisions, features)
+            for frame, decision, account, detections in zip(
+                chunk, decisions, accounts, fused
+            ):
+                self._record(frame, decision, account, detections, state)
 
     def _execute_window(
         self,

@@ -32,10 +32,13 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from ..core.ecofusion import BranchOutputCache
 from ..core.training_drive import DriveTrainingConfig, ensure_policy_gates
 from ..policies import PolicySpec, get_policy_spec
+from ..telemetry import Telemetry
+from ..telemetry.metrics import WALL_BUCKETS_S
 from .closed_loop import ClosedLoopRunner
 from .drive import DriveSource
 from .library import get_scenario
@@ -88,17 +91,30 @@ class SweepShard:
     # Attach DriveTrace.records_hex() to each entry (per-frame float-hex
     # trace, used by bench_runtime's exact-equivalence diff).
     collect_hex: bool = False
+    # Telemetry: when True, pool workers run the shard under a local
+    # metrics registry and ship its snapshot back for merging; when
+    # ``trace_dir`` is set, each shard additionally records spans and
+    # writes ``<trace_dir>/trace_<scenario>.jsonl``.
+    collect_telemetry: bool = False
+    trace_dir: str | None = None
 
     def resolve_spec(self) -> ScenarioSpec:
         spec = get_scenario(self.scenario)
         return scaled(spec, self.scale) if self.scale != 1.0 else spec
 
 
-def run_shard(system, shard: SweepShard) -> dict[str, dict]:
+def run_shard(
+    system, shard: SweepShard, telemetry: Telemetry | None = None
+) -> dict[str, dict]:
     """Sweep one scenario under every policy; returns policy -> entry.
 
     Entries are ``DriveTrace.to_dict()`` plus ``wall_seconds``, the same
-    schema the serial sweep wrote.
+    schema the serial sweep wrote.  ``telemetry`` is injected into the
+    shard's runner; when None and the shard asks for telemetry, a local
+    instance is created (metrics discarded — pool workers go through
+    :func:`_worker_run`, which snapshots before returning).  A shard
+    with ``trace_dir`` writes its span tree to
+    ``<trace_dir>/trace_<scenario>.jsonl``.
     """
     # Honor the shard's drive-gate config and root even for direct
     # callers (the pool path already ensured in the parent, making
@@ -107,14 +123,25 @@ def run_shard(system, shard: SweepShard) -> dict[str, dict]:
         system, shard.policies,
         config=shard.drive_config, root=shard.artifact_root,
     )
+    tel = telemetry
+    if tel is None and (shard.collect_telemetry or shard.trace_dir):
+        tel = Telemetry.create(
+            tracing=shard.trace_dir is not None,
+            metrics=shard.collect_telemetry,
+        )
     spec = shard.resolve_spec()
-    runner = ClosedLoopRunner(system.model, cache=BranchOutputCache())
+    runner = ClosedLoopRunner(
+        system.model, cache=BranchOutputCache(), telemetry=tel
+    )
+    wall_hist = None
+    if tel is not None and tel.metrics.enabled:
+        wall_hist = tel.metrics.histogram
+    results: dict[str, dict] = {}
     frames = None
     if shard.share_frames:
         frames = DriveSource(
             spec, seed=shard.seed, image_size=system.model.image_size
         ).materialize()
-    results: dict[str, dict] = {}
     for policy_spec in shard.policies:
         policy = policy_spec.build(system)
         start = time.perf_counter()
@@ -122,11 +149,21 @@ def run_shard(system, shard: SweepShard) -> dict[str, dict]:
             spec, policy, seed=shard.seed, window=shard.window, frames=frames,
             compiled=shard.compiled,
         )
+        wall = time.perf_counter() - start
+        if wall_hist is not None:
+            wall_hist(
+                "sweep.drive.wall_seconds", buckets=WALL_BUCKETS_S,
+                policy=policy.name,
+            ).observe(wall)
         entry = trace.to_dict()
-        entry["wall_seconds"] = round(time.perf_counter() - start, 3)
+        entry["wall_seconds"] = round(wall, 3)
         if shard.collect_hex:
             entry["records_hex"] = trace.records_hex()
         results[policy.name] = entry
+    if tel is not None and shard.trace_dir and tel.tracer.enabled:
+        tel.tracer.write_jsonl(
+            Path(shard.trace_dir) / f"trace_{shard.scenario}.jsonl"
+        )
     return results
 
 
@@ -166,12 +203,29 @@ def _worker_system():
     return _WORKER_SYSTEM
 
 
-def _worker_run(shard: SweepShard) -> tuple[str, dict[str, dict]]:
+def _worker_run(
+    shard: SweepShard,
+) -> tuple[str, dict[str, dict], dict | None]:
     # run_shard re-ensures the shard's drive gates: forked workers
     # inherit the parent's installed instances (no-op), spawned workers
     # load the artifact the parent persisted under the sweep's root
     # (the worker system's artifact_root) — never retraining defaults.
-    return shard.scenario, run_shard(_worker_system(), shard)
+    # Telemetry is per-worker-shard: the local metrics snapshot rides
+    # back with the results and the parent merges it (snapshots are
+    # associatively mergeable, so completion order is irrelevant).
+    tel = None
+    if shard.collect_telemetry or shard.trace_dir:
+        tel = Telemetry.create(
+            tracing=shard.trace_dir is not None,
+            metrics=shard.collect_telemetry,
+        )
+    results = run_shard(_worker_system(), shard, telemetry=tel)
+    snapshot = (
+        tel.metrics.snapshot()
+        if tel is not None and tel.metrics.enabled
+        else None
+    )
+    return shard.scenario, results, snapshot
 
 
 def run_sweep(
@@ -187,6 +241,8 @@ def run_sweep(
     compiled: bool = False,
     collect_hex: bool = False,
     drive_config: DriveTrainingConfig | None = None,
+    telemetry: Telemetry | None = None,
+    trace_dir: str | None = None,
     progress=None,
 ) -> dict[str, dict[str, dict]]:
     """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
@@ -197,11 +253,24 @@ def run_sweep(
     been obtained through ``get_or_build_system`` for its artifacts to
     be on disk.  ``progress`` is an optional callable invoked as
     ``progress(scenario, policy, entry)`` as results arrive.
+
+    ``telemetry``: when its metrics registry is enabled, every drive in
+    the sweep is instrumented and — across *any* number of pool shards —
+    the per-worker snapshots merge back into that one registry, so
+    latency percentiles and engine-LRU hit rates aggregate as if the
+    sweep had run in-process.  ``trace_dir`` additionally records spans
+    per shard and writes one ``trace_<scenario>.jsonl`` per scenario
+    (per-shard local tracers, so files stay per-scenario even under
+    ``jobs=1``; a caller-supplied tracer is bypassed when ``trace_dir``
+    is set).
     """
     from .library import SCENARIOS
 
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    collect_metrics = telemetry is not None and telemetry.metrics.enabled
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     # Materialize any drive-trained gates the policy set references
     # before sharding: forked workers then inherit the trained gates,
     # and spawned workers load the just-persisted artifact instead of
@@ -221,6 +290,8 @@ def run_sweep(
             collect_hex=collect_hex,
             drive_config=drive_config,
             artifact_root=artifact_root,
+            collect_telemetry=collect_metrics,
+            trace_dir=str(trace_dir) if trace_dir is not None else None,
         )
         for name in names
     ]
@@ -228,7 +299,20 @@ def run_sweep(
     collected: dict[str, dict[str, dict]] = {}
     if jobs == 1 or len(shards) <= 1:
         for shard in shards:
-            collected[shard.scenario] = run_shard(system, shard)
+            if shard.trace_dir is not None:
+                # Per-shard local telemetry keeps each scenario's trace
+                # file self-contained; metrics merge back afterwards,
+                # exactly like the pool path.
+                local = Telemetry.create(tracing=True, metrics=collect_metrics)
+                collected[shard.scenario] = run_shard(
+                    system, shard, telemetry=local
+                )
+                if collect_metrics:
+                    telemetry.metrics.absorb(local.metrics.snapshot())
+            else:
+                collected[shard.scenario] = run_shard(
+                    system, shard, telemetry=telemetry
+                )
             _report(progress, shard.scenario, collected[shard.scenario])
     else:
         global _PARENT_SYSTEM
@@ -239,8 +323,10 @@ def run_sweep(
                 initializer=_worker_init,
                 initargs=(asdict(system.spec), artifact_root),
             ) as pool:
-                for scenario, result in pool.map(_worker_run, shards):
+                for scenario, result, snapshot in pool.map(_worker_run, shards):
                     collected[scenario] = result
+                    if snapshot is not None and collect_metrics:
+                        telemetry.metrics.absorb(snapshot)
                     _report(progress, scenario, result)
         finally:
             _PARENT_SYSTEM = None

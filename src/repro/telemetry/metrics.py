@@ -1,0 +1,432 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The serving-layer questions the ROADMAP asks — per-frame latency
+p50/p99, throughput under load, cache hit rates, energy per frame —
+all reduce to three instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals (frames executed,
+  program-LRU hits, fault-masked decisions);
+* :class:`Gauge` — last/min/max of a sampled value (battery SoC,
+  effective ``lambda_E``, replay-pool bytes);
+* :class:`Histogram` — fixed-bucket distributions with p50/p90/p99
+  summaries derived from bucket counts, **without** calling
+  ``numpy.percentile`` in the hot loop (observe is one ``bisect`` plus
+  integer adds).
+
+Instruments live in a :class:`MetricsRegistry` keyed by
+``name + labels``; a disabled registry hands out shared no-op
+instruments so call sites never branch.  Snapshots are plain JSON
+dicts, and — because every field is a sum, a min/max, or a bucket
+count — snapshots from independent processes merge associatively
+(:func:`merge_snapshots`), which is what lets ``run_sweep`` aggregate
+telemetry across ``--jobs`` pool shards without coordination.
+
+Zero dependencies by design (stdlib only): importing this module must
+never cost more than the instruments it defines.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "LATENCY_BUCKETS_MS",
+    "ENERGY_BUCKETS_J",
+    "WALL_BUCKETS_S",
+    "UNIT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metric_key",
+    "split_metric_key",
+    "merge_snapshots",
+    "summarize_snapshot",
+    "aggregate_histogram",
+]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+# Default bucket ladders (upper edges, ascending).  Chosen to straddle
+# the simulated PX2 frame costs: latency ~20-300 ms, energy ~1-30 J.
+LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 35.0, 50.0, 75.0, 100.0, 150.0,
+    200.0, 300.0, 500.0, 1000.0,
+)
+ENERGY_BUCKETS_J: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0, 50.0,
+)
+# Wall-clock buckets for bench-side timing (seconds, wide dynamic range).
+WALL_BUCKETS_S: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+    500.0,
+)
+# For quantities naturally in [0, 1] (SoC, lambda_E schedules).
+UNIT_BUCKETS: tuple[float, ...] = tuple(i / 20.0 for i in range(1, 21))
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class Counter:
+    """Monotonically increasing integer/float total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self):
+        return self.value
+
+    def _merge_raw(self, value) -> None:
+        self.value += value
+
+
+class Gauge:
+    """Last observed value plus running min/max and sample count."""
+
+    __slots__ = ("last", "min", "max", "count")
+
+    def __init__(self) -> None:
+        self.last: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self.count = 0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.last = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.count += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "last": self.last, "min": self.min, "max": self.max,
+            "count": self.count,
+        }
+
+    def _merge_raw(self, raw: dict) -> None:
+        # The merged-in snapshot is treated as newer: its last-value wins
+        # whenever it observed anything (rightmost-wins is associative).
+        if raw["count"]:
+            self.last = raw["last"]
+        self.min = _opt_min(self.min, raw["min"])
+        self.max = _opt_max(self.max, raw["max"])
+        self.count += raw["count"]
+
+
+class Histogram:
+    """Fixed upper-edge buckets with exact count/sum/min/max.
+
+    ``edges`` are ascending upper bounds; bucket ``i`` counts values
+    ``edges[i-1] < v <= edges[i]`` (edge values land in the bucket they
+    bound), and one overflow bucket counts ``v > edges[-1]``.
+    Percentiles are interpolated from the bucket counts, clamped by the
+    exact observed min/max, so ``p50/p90/p99`` never need the raw
+    samples.
+    """
+
+    __slots__ = ("edges", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("histogram edges must be strictly ascending")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile in [0, 1]; None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            lo = self.min if i == 0 else max(self.edges[i - 1], self.min)
+            hi = self.max if i == len(self.edges) else min(self.edges[i], self.max)
+            if cumulative + n >= target:
+                frac = 0.0 if n == 0 else (target - cumulative) / n
+                return lo + (hi - lo) * max(frac, 0.0)
+            cumulative += n
+        return self.max
+
+    def summary(self) -> dict:
+        """Compact p50/p90/p99 view (the per-drive trace block shape)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def _merge_raw(self, raw: dict) -> None:
+        if tuple(raw["edges"]) != self.edges:
+            raise ValueError(
+                "cannot merge histograms with different bucket edges"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, raw["counts"])]
+        self.count += raw["count"]
+        self.sum += raw["sum"]
+        self.min = _opt_min(self.min, raw["min"])
+        self.max = _opt_max(self.max, raw["max"])
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Histogram":
+        hist = cls(tuple(raw["edges"]))
+        hist._merge_raw(raw)
+        return hist
+
+
+def _opt_min(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _opt_max(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+# ----------------------------------------------------------------------
+# No-op instruments (what a disabled registry hands out)
+# ----------------------------------------------------------------------
+class _NoopInstrument:
+    """Accepts every instrument method and does nothing, cheaply."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP = _NoopInstrument()
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical ``name{k=v,...}`` key; labels sorted so order is free."""
+    if any(ch in name for ch in "{},="):
+        raise ValueError(f"metric name '{name}' contains a reserved character")
+    if not labels:
+        return name
+    for k, v in labels.items():
+        if any(ch in str(k) + str(v) for ch in "{},="):
+            raise ValueError(
+                f"label '{k}={v}' contains a reserved character"
+            )
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key` (label values come back as strings)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for pair in rest.rstrip("}").split(","):
+        k, _, v = pair.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """Process-local instrument store keyed by ``name + labels``.
+
+    A disabled registry (``enabled=False``) returns shared no-op
+    instruments from every accessor, so instrumented code paths never
+    need their own on/off branches — though hot loops may still guard
+    on :attr:`enabled` to skip building label dicts.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, key: str, kind, factory):
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric '{key}' already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        return self._get(metric_key(name, labels), Counter, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        return self._get(metric_key(name, labels), Gauge, Gauge)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        edges = tuple(buckets) if buckets is not None else LATENCY_BUCKETS_MS
+        hist = self._get(
+            metric_key(name, labels), Histogram, lambda: Histogram(edges)
+        )
+        if buckets is not None and hist.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram '{name}' already registered with different buckets"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable raw state (mergeable, see module docstring)."""
+        counters, gauges, histograms = {}, {}, {}
+        for key in sorted(self._instruments):
+            instrument = self._instruments[key]
+            if isinstance(instrument, Counter):
+                counters[key] = instrument.to_dict()
+            elif isinstance(instrument, Gauge):
+                gauges[key] = instrument.to_dict()
+            else:
+                histograms[key] = instrument.to_dict()
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def absorb(self, snapshot: dict) -> None:
+        """Merge a snapshot (e.g. from a pool worker) into this registry."""
+        if not self.enabled:
+            raise RuntimeError("cannot absorb into a disabled registry")
+        if snapshot.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                f"snapshot schema {snapshot.get('schema_version')!r} != "
+                f"{SNAPSHOT_SCHEMA_VERSION}"
+            )
+        for key, value in snapshot["counters"].items():
+            self._get(key, Counter, Counter)._merge_raw(value)
+        for key, raw in snapshot["gauges"].items():
+            self._get(key, Gauge, Gauge)._merge_raw(raw)
+        for key, raw in snapshot["histograms"].items():
+            self._get(
+                key, Histogram, lambda r=raw: Histogram(tuple(r["edges"]))
+            )._merge_raw(raw)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra
+# ----------------------------------------------------------------------
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Associative merge: counters add, gauges/histograms combine.
+
+    ``merge(a, merge(b, c)) == merge(merge(a, b), c)`` holds for every
+    field (sums, mins, maxes, bucket counts; gauge ``last`` is
+    rightmost-wins), which is what makes shard-level aggregation safe
+    regardless of completion order grouping.
+    """
+    merged = MetricsRegistry(enabled=True)
+    for snap in snapshots:
+        merged.absorb(snap)
+    return merged.snapshot()
+
+
+def summarize_snapshot(snapshot: dict) -> dict:
+    """Snapshot with each histogram replaced by its p50/p90/p99 summary."""
+    return {
+        "schema_version": snapshot["schema_version"],
+        "counters": dict(snapshot["counters"]),
+        "gauges": dict(snapshot["gauges"]),
+        "histograms": {
+            key: Histogram.from_dict(raw).summary()
+            for key, raw in snapshot["histograms"].items()
+        },
+    }
+
+
+def aggregate_histogram(snapshot: dict, name: str) -> Histogram | None:
+    """Merge every labeled variant of histogram ``name`` in a snapshot.
+
+    E.g. ``drive.frame.latency_ms`` is recorded per policy; the
+    fleet-level latency distribution is the sum over all label sets.
+    Returns None when no variant exists.
+    """
+    merged: Histogram | None = None
+    for key, raw in snapshot["histograms"].items():
+        if split_metric_key(key)[0] != name:
+            continue
+        if merged is None:
+            merged = Histogram(tuple(raw["edges"]))
+        merged._merge_raw(raw)
+    return merged

@@ -1,0 +1,116 @@
+"""Opt-in per-kernel timing for compiled-program replay.
+
+The compiled engine (``repro.nn.engine``) replays flat lists of numpy
+kernel steps; this module answers "where do the replay milliseconds
+go?" without touching the default hot path.  Inside a
+:func:`kernel_profiling` context every :class:`~repro.nn.engine.Program`
+step is wrapped in two monotonic-clock reads and accumulated into a
+:class:`KernelProfiler` keyed by ``(program label, op)``; outside the
+context the replay loop is the same unconditional dispatch it always
+was (one ``is None`` check per replay, covered by the overhead guard).
+
+Typical use::
+
+    with kernel_profiling() as prof:
+        runner.run(spec, policy, compiled=True)
+    print(prof.table(k=10))          # top-k ops by cumulative time
+    top = prof.top(10, by="op")      # [(label, seconds, calls), ...]
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["KernelProfiler", "kernel_profiling"]
+
+
+class KernelProfiler:
+    """Cumulative per-kernel replay timings.
+
+    Records are keyed by ``(program_label, op)``; :meth:`top` aggregates
+    either per op (default — "how expensive is conv2d overall?") or per
+    site (``by="program"`` / ``by="step"`` for the raw key).
+    """
+
+    def __init__(self) -> None:
+        # (program_label, op) -> [cumulative_seconds, calls]
+        self.records: dict[tuple[str, str], list] = {}
+
+    def record(self, program: str, op: str, seconds: float) -> None:
+        cell = self.records.get((program, op))
+        if cell is None:
+            self.records[(program, op)] = [seconds, 1]
+        else:
+            cell[0] += seconds
+            cell[1] += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(cell[0] for cell in self.records.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(cell[1] for cell in self.records.values())
+
+    def top(self, k: int = 10, by: str = "op") -> list[tuple[str, float, int]]:
+        """Top-``k`` kernels by cumulative seconds: (label, seconds, calls)."""
+        grouped: dict[str, list] = {}
+        for (program, op), (seconds, calls) in self.records.items():
+            if by == "op":
+                label = op
+            elif by == "program":
+                label = program
+            elif by == "step":
+                label = f"{program}:{op}"
+            else:
+                raise ValueError("by must be 'op', 'program' or 'step'")
+            cell = grouped.setdefault(label, [0.0, 0])
+            cell[0] += seconds
+            cell[1] += calls
+        ranked = sorted(grouped.items(), key=lambda item: -item[1][0])
+        return [(label, cell[0], cell[1]) for label, cell in ranked[:k]]
+
+    def table(self, k: int = 10, by: str = "op") -> str:
+        """Human-readable top-k report."""
+        total = self.total_seconds
+        if not self.records:
+            return "(no kernel replays recorded)"
+        lines = [f"{'kernel':24s} {'cum ms':>10s} {'calls':>8s} {'share':>7s}"]
+        for label, seconds, calls in self.top(k, by=by):
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(
+                f"{label:24s} {seconds * 1e3:10.2f} {calls:8d} {share:6.1f}%"
+            )
+        lines.append(
+            f"{'total':24s} {total * 1e3:10.2f} {self.total_calls:8d}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self, k: int = 20) -> dict:
+        """JSON-ready top-k block (embedded in telemetry summaries)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "total_calls": self.total_calls,
+            "top_ops": [
+                {"op": label, "seconds": seconds, "calls": calls}
+                for label, seconds, calls in self.top(k, by="op")
+            ],
+        }
+
+
+@contextmanager
+def kernel_profiling(profiler: KernelProfiler | None = None):
+    """Install a kernel profiler on the engine for the block's duration.
+
+    Nests by stacking: the previous profiler (usually None) is restored
+    on exit, even when the block raises.
+    """
+    from ..nn import engine
+
+    prof = profiler if profiler is not None else KernelProfiler()
+    previous = engine.set_kernel_profiler(prof)
+    try:
+        yield prof
+    finally:
+        engine.set_kernel_profiler(previous)

@@ -1,0 +1,169 @@
+"""Telemetry summaries: the ``telemetry_summary.json`` contract.
+
+Benches (and later the drive service) end a run by collapsing their
+metrics snapshot into one schema-versioned JSON document: fleet-level
+frame latency/energy percentiles (aggregated across every
+policy-labeled histogram), the engine program-LRU hit rate summed over
+all pool shards, branch-cache effectiveness, and the per-policy
+configuration-decision distribution.  ``validate_summary`` is the CI
+gate: a summary that drifts from the schema fails the smoke job
+instead of silently feeding tooling garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import (
+    aggregate_histogram,
+    split_metric_key,
+    summarize_snapshot,
+)
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "build_summary",
+    "write_summary",
+    "validate_summary",
+    "load_summary",
+]
+
+SUMMARY_SCHEMA = "repro.telemetry.summary/1"
+
+# Metric names the runner/sweep emit that the summary lifts to headline
+# blocks (everything else stays available under ``metrics``).
+FRAME_LATENCY_METRIC = "drive.frame.latency_ms"
+FRAME_ENERGY_METRIC = "drive.frame.energy_j"
+DECISIONS_METRIC = "policy.decisions"
+
+
+def _counter_total(snapshot: dict, name: str) -> float:
+    return sum(
+        value
+        for key, value in snapshot["counters"].items()
+        if split_metric_key(key)[0] == name
+    )
+
+
+def _headline(snapshot: dict, metric: str) -> dict | None:
+    hist = aggregate_histogram(snapshot, metric)
+    if hist is None or hist.count == 0:
+        return None
+    return hist.summary()
+
+
+def _decisions(snapshot: dict) -> dict[str, dict[str, int]]:
+    """policy -> config -> decision count, from the labeled counters."""
+    out: dict[str, dict[str, int]] = {}
+    for key, value in snapshot["counters"].items():
+        name, labels = split_metric_key(key)
+        if name != DECISIONS_METRIC:
+            continue
+        policy = labels.get("policy", "?")
+        config = labels.get("config", "?")
+        out.setdefault(policy, {})[config] = int(value)
+    return {policy: dict(sorted(cfgs.items())) for policy, cfgs in sorted(out.items())}
+
+
+def _engine_block(snapshot: dict) -> dict:
+    hits = _counter_total(snapshot, "engine.program_cache.hits")
+    misses = _counter_total(snapshot, "engine.program_cache.misses")
+    lookups = hits + misses
+    return {
+        "program_cache_hits": int(hits),
+        "program_cache_misses": int(misses),
+        "program_cache_hit_rate": (hits / lookups) if lookups else None,
+        "compiles": int(_counter_total(snapshot, "engine.compiles")),
+        "evictions": int(_counter_total(snapshot, "engine.program_cache.evictions")),
+    }
+
+
+def _branch_cache_block(snapshot: dict) -> dict:
+    block = {}
+    for kind in ("branch", "fused", "loss", "stem"):
+        hits = _counter_total(snapshot, f"branch_cache.{kind}.hits")
+        misses = _counter_total(snapshot, f"branch_cache.{kind}.misses")
+        lookups = hits + misses
+        block[kind] = {
+            "hits": int(hits),
+            "misses": int(misses),
+            "hit_rate": (hits / lookups) if lookups else None,
+        }
+    return block
+
+
+def build_summary(snapshot: dict, meta: dict | None = None,
+                  kernel_profile: dict | None = None) -> dict:
+    """Collapse a metrics snapshot into the summary document."""
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "meta": dict(meta or {}),
+        "frames": int(_counter_total(snapshot, "drive.frames")),
+        "frame_latency_ms": _headline(snapshot, FRAME_LATENCY_METRIC),
+        "frame_energy_j": _headline(snapshot, FRAME_ENERGY_METRIC),
+        "decisions": _decisions(snapshot),
+        "engine": _engine_block(snapshot),
+        "branch_cache": _branch_cache_block(snapshot),
+        "metrics": summarize_snapshot(snapshot),
+    }
+    if kernel_profile is not None:
+        summary["kernel_profile"] = kernel_profile
+    return summary
+
+
+def write_summary(path, snapshot: dict, meta: dict | None = None,
+                  kernel_profile: dict | None = None) -> dict:
+    """Build, validate and write ``telemetry_summary.json``; returns it."""
+    summary = build_summary(snapshot, meta=meta, kernel_profile=kernel_profile)
+    validate_summary(summary)
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    return summary
+
+
+def load_summary(path) -> dict:
+    summary = json.loads(Path(path).read_text())
+    validate_summary(summary)
+    return summary
+
+
+def validate_summary(summary: dict) -> None:
+    """Raise ``ValueError`` unless ``summary`` matches the schema."""
+
+    def fail(msg: str) -> None:
+        raise ValueError(f"invalid telemetry summary: {msg}")
+
+    if not isinstance(summary, dict):
+        fail("not a JSON object")
+    if summary.get("schema") != SUMMARY_SCHEMA:
+        fail(f"schema {summary.get('schema')!r} != {SUMMARY_SCHEMA!r}")
+    for field, kind in (
+        ("meta", dict), ("frames", int), ("decisions", dict),
+        ("engine", dict), ("branch_cache", dict), ("metrics", dict),
+    ):
+        if not isinstance(summary.get(field), kind):
+            fail(f"field '{field}' missing or not a {kind.__name__}")
+    for field in ("frame_latency_ms", "frame_energy_j"):
+        block = summary.get(field)
+        if block is None:
+            continue
+        if not isinstance(block, dict):
+            fail(f"field '{field}' must be null or an object")
+        for stat in ("count", "p50", "p90", "p99", "mean", "min", "max"):
+            if stat not in block:
+                fail(f"field '{field}' lacks '{stat}'")
+    engine = summary["engine"]
+    for stat in ("program_cache_hits", "program_cache_misses",
+                 "program_cache_hit_rate", "compiles", "evictions"):
+        if stat not in engine:
+            fail(f"engine block lacks '{stat}'")
+    metrics = summary["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"metrics block lacks '{section}'")
+    for policy, configs in summary["decisions"].items():
+        if not isinstance(configs, dict):
+            fail(f"decisions for policy '{policy}' not an object")
+        for config, count in configs.items():
+            if not isinstance(count, int):
+                fail(f"decision count {policy}/{config} not an int")

@@ -1,0 +1,227 @@
+"""Metrics core: instruments, keying, snapshots and their merge algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS_MS,
+    SNAPSHOT_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    aggregate_histogram,
+    merge_snapshots,
+    metric_key,
+    split_metric_key,
+    summarize_snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        c = Counter()
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_tracks_last_min_max_count(self):
+        g = Gauge()
+        assert g.to_dict() == {"last": None, "min": None, "max": None, "count": 0}
+        for v in (0.5, 0.2, 0.9):
+            g.set(v)
+        assert g.last == 0.9 and g.min == 0.2 and g.max == 0.9 and g.count == 3
+
+    def test_histogram_edges_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_histogram_bucket_edges_are_upper_inclusive(self):
+        """A value equal to an edge lands in the bucket that edge bounds:
+        bucket i counts edges[i-1] < v <= edges[i], plus one overflow."""
+        h = Histogram((1.0, 2.0, 5.0))
+        for value in (1.0, 1.5, 2.0, 5.0, 5.0001, 100.0, 0.1):
+            h.observe(value)
+        #               <=1     (1,2]   (2,5]   >5
+        assert h.counts == [2, 2, 1, 2]
+        assert h.count == 7
+        assert h.min == 0.1 and h.max == 100.0
+        assert h.sum == pytest.approx(1.0 + 1.5 + 2.0 + 5.0 + 5.0001 + 100.0 + 0.1)
+
+    def test_quantiles_interpolate_and_clamp_to_observed_range(self):
+        h = Histogram((10.0, 20.0, 30.0))
+        for v in (12.0, 14.0, 16.0, 18.0):
+            h.observe(v)
+        # All mass in one bucket: quantiles stay inside [min, max], are
+        # monotone, and the extremes are exact.
+        assert h.quantile(0.0) == pytest.approx(12.0)
+        assert h.quantile(1.0) == pytest.approx(18.0)
+        q = [h.quantile(x) for x in (0.25, 0.5, 0.75)]
+        assert all(12.0 <= v <= 18.0 for v in q)
+        assert q == sorted(q)
+
+    def test_quantile_edge_cases(self):
+        h = Histogram((1.0,))
+        assert h.quantile(0.5) is None  # empty
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        h.observe(0.25)
+        assert h.quantile(0.5) == pytest.approx(0.25)  # single sample
+        assert h.summary()["p99"] == pytest.approx(0.25)
+
+    def test_summary_empty_and_filled(self):
+        h = Histogram((1.0, 2.0))
+        assert h.summary() == {"count": 0}
+        h.observe(1.5)
+        s = h.summary()
+        assert s["count"] == 1 and s["mean"] == pytest.approx(1.5)
+        for stat in ("sum", "min", "max", "p50", "p90", "p99"):
+            assert stat in s
+
+    def test_histogram_roundtrips_through_dict(self):
+        h = Histogram((1.0, 5.0))
+        for v in (0.5, 3.0, 9.0):
+            h.observe(v)
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone.to_dict() == h.to_dict()
+
+    def test_merge_rejects_different_edges(self):
+        a = Histogram((1.0, 2.0))
+        b = Histogram((1.0, 3.0))
+        b.observe(2.5)
+        with pytest.raises(ValueError):
+            a._merge_raw(b.to_dict())
+
+
+class TestKeys:
+    def test_labels_are_order_free(self):
+        assert metric_key("m", {"a": 1, "b": 2}) == metric_key("m", {"b": 2, "a": 1})
+        assert metric_key("m", {}) == "m"
+
+    def test_split_is_inverse(self):
+        key = metric_key("drive.frames", {"policy": "eco", "mode": "seq"})
+        name, labels = split_metric_key(key)
+        assert name == "drive.frames"
+        assert labels == {"policy": "eco", "mode": "seq"}
+        assert split_metric_key("bare") == ("bare", {})
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(ValueError):
+            metric_key("bad{name", {})
+        with pytest.raises(ValueError):
+            metric_key("m", {"k": "a,b"})
+        with pytest.raises(ValueError):
+            metric_key("m", {"k=": "v"})
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_one_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", shard="a", mode="x").inc()
+        reg.counter("hits", mode="x", shard="a").inc()  # swapped label order
+        assert reg.snapshot()["counters"]["hits{mode=x,shard=a}"] == 2
+        assert len(reg) == 1
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_histogram_bucket_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        reg.histogram("lat")  # no buckets requested: reuses as-is
+        with pytest.raises(ValueError):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+    def test_default_buckets_are_latency_ladder(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("lat").edges == LATENCY_BUCKETS_MS
+
+    def test_disabled_registry_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc()
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(2.0)
+        assert len(reg) == 0
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+        with pytest.raises(RuntimeError):
+            reg.absorb(snap)
+
+    def test_absorb_rejects_foreign_schema(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.absorb({"schema_version": SNAPSHOT_SCHEMA_VERSION + 1,
+                        "counters": {}, "gauges": {}, "histograms": {}})
+
+
+def _shard_snapshot(seed: int) -> dict:
+    """A small registry snapshot shaped like one sweep shard's output."""
+    reg = MetricsRegistry()
+    reg.counter("drive.frames").inc(10 + seed)
+    reg.counter("engine.program_cache.hits").inc(3 * seed + 1)
+    g = reg.gauge("battery.soc.final")
+    g.set(0.9 - 0.1 * seed)
+    h = reg.histogram("drive.frame.latency_ms", buckets=(10.0, 50.0, 100.0),
+                      policy="eco")
+    for v in (5.0 + seed, 42.0, 60.0 + 7 * seed):
+        h.observe(v)
+    return reg.snapshot()
+
+
+class TestSnapshotAlgebra:
+    def test_merge_is_associative(self):
+        a, b, c = (_shard_snapshot(i) for i in range(3))
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    def test_counters_add_and_bucket_counts_add(self):
+        a, b = _shard_snapshot(1), _shard_snapshot(2)
+        merged = merge_snapshots(a, b)
+        assert merged["counters"]["drive.frames"] == 11 + 12
+        key = "drive.frame.latency_ms{policy=eco}"
+        assert merged["histograms"][key]["count"] == 6
+        assert merged["histograms"][key]["counts"] == [
+            x + y
+            for x, y in zip(a["histograms"][key]["counts"],
+                            b["histograms"][key]["counts"])
+        ]
+
+    def test_gauge_last_is_rightmost_wins(self):
+        a, b = _shard_snapshot(0), _shard_snapshot(3)
+        merged = merge_snapshots(a, b)
+        gauge = merged["gauges"]["battery.soc.final"]
+        assert gauge["last"] == b["gauges"]["battery.soc.final"]["last"]
+        assert gauge["min"] == pytest.approx(0.6)
+        assert gauge["max"] == pytest.approx(0.9)
+        assert gauge["count"] == 2
+
+    def test_empty_merge_is_identity(self):
+        a = _shard_snapshot(1)
+        assert merge_snapshots(a) == a
+        empty = MetricsRegistry().snapshot()
+        assert merge_snapshots(empty, a) == a
+
+    def test_summarize_replaces_histograms_with_percentiles(self):
+        summary = summarize_snapshot(_shard_snapshot(1))
+        hist = summary["histograms"]["drive.frame.latency_ms{policy=eco}"]
+        assert set(hist) == {"count", "sum", "mean", "min", "max",
+                             "p50", "p90", "p99"}
+
+    def test_aggregate_histogram_sums_label_variants(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0), policy="a").observe(0.5)
+        reg.histogram("lat", buckets=(1.0, 2.0), policy="b").observe(1.5)
+        merged = aggregate_histogram(reg.snapshot(), "lat")
+        assert merged is not None and merged.count == 2
+        assert aggregate_histogram(reg.snapshot(), "nope") is None

@@ -1,0 +1,72 @@
+"""Kernel profiler: accumulation, ranking, and engine install/restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn import engine
+from repro.telemetry import KernelProfiler, kernel_profiling
+
+
+class TestKernelProfiler:
+    def test_records_accumulate_per_program_op(self):
+        prof = KernelProfiler()
+        prof.record("stem", "conv2d", 0.010)
+        prof.record("stem", "conv2d", 0.020)
+        prof.record("branch", "conv2d", 0.005)
+        prof.record("branch", "relu", 0.001)
+        assert prof.total_seconds == pytest.approx(0.036)
+        assert prof.total_calls == 4
+
+    def test_top_groups_by_op_program_or_step(self):
+        prof = KernelProfiler()
+        prof.record("stem", "conv2d", 0.010)
+        prof.record("branch", "conv2d", 0.005)
+        prof.record("branch", "relu", 0.001)
+        assert prof.top(1, by="op") == [("conv2d", pytest.approx(0.015), 2)]
+        assert prof.top(1, by="program")[0][0] == "stem"
+        assert prof.top(3, by="step")[0][0] == "stem:conv2d"
+        with pytest.raises(ValueError):
+            prof.top(1, by="kernel")
+
+    def test_table_and_dict_shapes(self):
+        prof = KernelProfiler()
+        assert "no kernel replays" in prof.table()
+        prof.record("p", "matmul", 0.002)
+        table = prof.table(k=1)
+        assert "matmul" in table and "total" in table
+        block = prof.to_dict(k=5)
+        assert block["total_calls"] == 1
+        assert block["top_ops"][0]["op"] == "matmul"
+
+
+class TestKernelProfilingContext:
+    def test_installs_and_restores(self):
+        assert engine._PROFILER is None
+        with kernel_profiling() as prof:
+            assert engine._PROFILER is prof
+            with kernel_profiling() as inner:  # nests by stacking
+                assert engine._PROFILER is inner
+            assert engine._PROFILER is prof
+        assert engine._PROFILER is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with kernel_profiling():
+                raise RuntimeError("boom")
+        assert engine._PROFILER is None
+
+    def test_profiled_compiled_drive_attributes_replay_time(self, tiny_system):
+        from repro.core.ecofusion import BranchOutputCache
+        from repro.policies import build_policy
+        from repro.simulation import ClosedLoopRunner, get_scenario, scaled
+
+        spec = scaled(get_scenario("highway_commute"), 0.05)
+        runner = ClosedLoopRunner(tiny_system.model, cache=BranchOutputCache())
+        policy = build_policy("ecofusion_attention", tiny_system)
+        with kernel_profiling() as prof:
+            trace = runner.run(spec, policy, compiled=True)
+        if not engine.compile_disabled():
+            assert prof.total_calls > 0
+            assert all(seconds >= 0.0 for _, seconds, _ in prof.top(100))
+        assert trace.num_frames > 0

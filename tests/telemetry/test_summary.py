@@ -1,0 +1,121 @@
+"""telemetry_summary.json contract: build, validate, round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SUMMARY_SCHEMA,
+    MetricsRegistry,
+    build_summary,
+    load_summary,
+    validate_summary,
+    write_summary,
+)
+from repro.telemetry.metrics import ENERGY_BUCKETS_J, LATENCY_BUCKETS_MS
+
+
+def bench_like_registry() -> MetricsRegistry:
+    """A registry shaped like what a small instrumented sweep produces."""
+    reg = MetricsRegistry()
+    reg.counter("drive.frames").inc(20)
+    for policy, latencies in (("eco", (25.0, 40.0)), ("late", (80.0, 90.0))):
+        lat = reg.histogram("drive.frame.latency_ms",
+                            buckets=LATENCY_BUCKETS_MS, policy=policy)
+        eng = reg.histogram("drive.frame.energy_j",
+                            buckets=ENERGY_BUCKETS_J, policy=policy)
+        for v in latencies:
+            lat.observe(v)
+            eng.observe(v / 10.0)
+    reg.counter("policy.decisions", policy="eco", config="EF_CR").inc(12)
+    reg.counter("policy.decisions", policy="eco", config="LF_ALL").inc(8)
+    reg.counter("engine.program_cache.hits").inc(30)
+    reg.counter("engine.program_cache.misses").inc(10)
+    reg.counter("engine.compiles").inc(10)
+    reg.counter("branch_cache.fused.hits").inc(5)
+    reg.counter("branch_cache.fused.misses").inc(15)
+    return reg
+
+
+class TestBuildSummary:
+    def test_headline_blocks(self):
+        summary = build_summary(bench_like_registry().snapshot(),
+                                meta={"bench": "test"})
+        assert summary["schema"] == SUMMARY_SCHEMA
+        assert summary["meta"] == {"bench": "test"}
+        assert summary["frames"] == 20
+        # Latency headline aggregates across both policy labels.
+        lat = summary["frame_latency_ms"]
+        assert lat["count"] == 4
+        assert lat["min"] == 25.0 and lat["max"] == 90.0
+        assert summary["engine"]["program_cache_hit_rate"] == pytest.approx(0.75)
+        assert summary["engine"]["compiles"] == 10
+        assert summary["branch_cache"]["fused"]["hit_rate"] == pytest.approx(0.25)
+        assert summary["branch_cache"]["stem"]["hit_rate"] is None  # no lookups
+        assert summary["decisions"] == {"eco": {"EF_CR": 12, "LF_ALL": 8}}
+
+    def test_empty_snapshot_summary_is_valid(self):
+        summary = build_summary(MetricsRegistry().snapshot())
+        validate_summary(summary)
+        assert summary["frames"] == 0
+        assert summary["frame_latency_ms"] is None
+        assert summary["engine"]["program_cache_hit_rate"] is None
+
+    def test_kernel_profile_rides_along(self):
+        from repro.telemetry import KernelProfiler
+
+        prof = KernelProfiler()
+        prof.record("stem", "conv2d", 0.01)
+        summary = build_summary(MetricsRegistry().snapshot(),
+                                kernel_profile=prof.to_dict())
+        validate_summary(summary)
+        assert summary["kernel_profile"]["top_ops"][0]["op"] == "conv2d"
+
+
+class TestValidateSummary:
+    def test_accepts_built_summaries(self):
+        validate_summary(build_summary(bench_like_registry().snapshot()))
+
+    @pytest.mark.parametrize(
+        "mutate,match",
+        [
+            (lambda s: s.update(schema="other/1"), "schema"),
+            (lambda s: s.pop("engine"), "engine"),
+            (lambda s: s.pop("frames"), "frames"),
+            (lambda s: s["frame_latency_ms"].pop("p99"), "p99"),
+            (lambda s: s["engine"].pop("compiles"), "compiles"),
+            (lambda s: s["metrics"].pop("histograms"), "histograms"),
+            (lambda s: s["decisions"].update(eco={"EF_CR": "12"}), "not an int"),
+        ],
+    )
+    def test_rejects_drifted_documents(self, mutate, match):
+        summary = build_summary(bench_like_registry().snapshot())
+        mutate(summary)
+        with pytest.raises(ValueError, match=match):
+            validate_summary(summary)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_summary([])
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "telemetry_summary.json"
+        written = write_summary(path, bench_like_registry().snapshot(),
+                                meta={"jobs": 2})
+        loaded = load_summary(path)
+        assert loaded == written
+        # The file itself is deterministic JSON (sorted keys).
+        assert json.loads(path.read_text()) == loaded
+
+    def test_load_rejects_tampered_file(self, tmp_path):
+        path = tmp_path / "telemetry_summary.json"
+        write_summary(path, MetricsRegistry().snapshot())
+        doc = json.loads(path.read_text())
+        doc["schema"] = "evil/1"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_summary(path)

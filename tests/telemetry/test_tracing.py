@@ -1,0 +1,168 @@
+"""Tracer core: span nesting, exception safety, caps, JSONL round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry.tracing import (
+    NOOP_SPAN,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    read_jsonl,
+)
+
+
+class TestNesting:
+    def test_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("drive", scenario="s") as drive:
+            with tracer.span("frame", t=0) as frame:
+                with tracer.span("gate"):
+                    pass
+                with tracer.span("branch:LF_ALL", cache_hit=False):
+                    pass
+            with tracer.span("frame", t=1):
+                pass
+        assert [s.name for s in tracer.roots] == ["drive"]
+        assert [s.name for s in drive.children] == ["frame", "frame"]
+        assert [s.name for s in frame.children] == ["gate", "branch:LF_ALL"]
+        assert frame.parent_id == drive.span_id
+        # finished is completion order: leaves before their parents.
+        assert [s.name for s in tracer.finished] == [
+            "gate", "branch:LF_ALL", "frame", "frame", "drive",
+        ]
+        assert all(s.end_s is not None for s in tracer.finished)
+
+    def test_set_attaches_attrs_and_chains(self):
+        tracer = Tracer()
+        with tracer.span("drive") as span:
+            assert span.set(frames=7).set(final_soc=0.5) is span
+        assert span.attrs == {"frames": 7, "final_soc": 0.5}
+
+    def test_durations_are_nonnegative_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert 0.0 <= inner.duration_ms <= outer.duration_ms
+
+    def test_span_durations_groups_by_name(self):
+        tracer = Tracer()
+        for t in range(3):
+            with tracer.span("frame", t=t):
+                pass
+        grouped = tracer.span_durations()
+        assert len(grouped["frame"]) == 3
+
+
+class TestExceptionSafety:
+    def test_crashing_span_is_closed_tagged_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("drive"):
+                with tracer.span("frame") as frame:
+                    raise RuntimeError("boom")
+        assert frame.end_s is not None
+        assert frame.attrs["error"] == "RuntimeError"
+        # Both spans closed; stack fully unwound: a new span is a root.
+        assert len(tracer.finished) == 2
+        with tracer.span("after") as after:
+            pass
+        assert after in tracer.roots and after.parent_id is None
+
+    def test_pop_drains_past_unexited_children(self):
+        """Exiting an outer span whose child never exited (unwinding can
+        skip frames) must close the child too and leave a clean stack."""
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        outer.__enter__()
+        inner = tracer.span("inner")
+        inner.__enter__()
+        outer.__exit__(None, None, None)
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+        assert tracer._stack == []
+
+
+class TestCap:
+    def test_spans_past_cap_become_noops_and_are_counted(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        third = tracer.span("c")
+        assert third is NOOP_SPAN
+        assert tracer.dropped == 1
+        assert len(tracer.finished) == 2
+        assert "dropped at cap" in tracer.format_tree()
+
+    def test_open_spans_count_against_cap(self):
+        tracer = Tracer(max_spans=1)
+        with tracer.span("open"):
+            assert tracer.span("child") is NOOP_SPAN
+        assert tracer.dropped == 1
+
+
+class TestFormatTree:
+    def test_sibling_runs_collapse(self):
+        tracer = Tracer()
+        with tracer.span("drive"):
+            for t in range(5):
+                with tracer.span("frame", t=t):
+                    pass
+        text = tracer.format_tree(max_children=2)
+        assert "frame" in text
+        assert "+3 more" in text
+
+    def test_attrs_render_inline(self):
+        tracer = Tracer()
+        with tracer.span("gate", window=8):
+            pass
+        assert "[window=8]" in tracer.format_tree()
+
+
+class TestJsonl:
+    def test_write_read_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("drive", scenario="s"):
+            with tracer.span("frame", t=0, config="LF_ALL"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        header, spans = read_jsonl(path)
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["spans"] == len(spans) == 2
+        assert header["dropped"] == 0
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["frame"]["attrs"]["config"] == "LF_ALL"
+        assert by_name["frame"]["parent"] == by_name["drive"]["id"]
+        assert all(s["dur_ms"] >= 0.0 for s in spans)
+
+    def test_read_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "not_a_trace.jsonl"
+        path.write_text(json.dumps({"kind": "span", "name": "x"}) + "\n")
+        with pytest.raises(ValueError, match="no trace header"):
+            read_jsonl(path)
+
+    def test_read_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text(json.dumps({"kind": "header", "schema": "other/9"}) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_jsonl(path)
+
+
+class TestNullTracer:
+    def test_fully_inert(self):
+        tracer = NullTracer()
+        span = tracer.span("anything", k=1)
+        assert span is NOOP_SPAN
+        with span as s:
+            assert s.set(x=1) is s
+        assert tracer.roots == () and tracer.finished == ()
+        assert not tracer.enabled
+        assert isinstance(tracer.format_tree(), str)
+        with pytest.raises(RuntimeError):
+            tracer.write_jsonl("/dev/null")
