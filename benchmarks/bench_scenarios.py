@@ -34,13 +34,20 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from dataclasses import asdict
 from pathlib import Path
 
 from repro.core.training_drive import DRIVE_GATE_NAMES, DriveTrainingConfig
 from repro.evaluation import SystemSpec, get_or_build_system
 from repro.evaluation.reports import format_table
 from repro.policies import get_policy_spec, policy_names
-from repro.simulation import DEFAULT_POLICIES, SCENARIOS, run_sweep
+from repro.resilience import HealthMonitorConfig
+from repro.simulation import (
+    CHAOS_SCENARIOS,
+    DEFAULT_POLICIES,
+    SCENARIOS,
+    run_sweep,
+)
 from repro.telemetry import Telemetry, write_summary
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -65,6 +72,18 @@ TINY_DRIVE_SPEC = DriveTrainingConfig(
 BENCH_POLICY_NAMES: tuple[str, ...] = tuple(
     p.name for p in DEFAULT_POLICIES
 ) + ("ecofusion_drive_attention",)
+
+# Monitor the chaos sweep runs under: detection latency and recovery
+# hysteresis armed, LIMP_HOME at three downed streams, a 5% brownout
+# floor with recovery at 10%.  The base sweep keeps the default monitor
+# (None) so its rows stay byte-identical across this sweep's addition.
+CHAOS_HEALTH = HealthMonitorConfig(
+    detection_latency=1,
+    recovery_hysteresis=3,
+    limp_home_streams=3,
+    soc_floor=0.05,
+    soc_recover=0.10,
+)
 
 
 def aggregate_by_policy(results: dict) -> dict[str, dict[str, float]]:
@@ -124,6 +143,9 @@ def main() -> None:
                              "telemetry_summary.json under DIR "
                              "(outputs stay bit-identical; entries gain "
                              "a per-drive metrics block)")
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="skip the fault-heavy chaos-library sweep "
+                             "(health monitor armed, extra payload keys)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0:
@@ -222,6 +244,57 @@ def main() -> None:
         "scenarios": results,
         "by_policy": by_policy,
     }
+
+    if not args.no_chaos:
+        print(
+            f"\nsweeping {len(CHAOS_SCENARIOS)} chaos scenarios "
+            "(health monitor armed):"
+        )
+        chaos_start = time.perf_counter()
+        chaos_results = run_sweep(
+            system,
+            scenarios=list(CHAOS_SCENARIOS),
+            policies=policies,
+            scale=args.scale,
+            seed=args.seed,
+            window=args.window,
+            jobs=args.jobs,
+            compiled=args.compiled,
+            drive_config=drive_config,
+            health=CHAOS_HEALTH,
+            progress=progress,
+        )
+        chaos_wall = time.perf_counter() - chaos_start
+        chaos_by_policy = aggregate_by_policy(chaos_results)
+        # Per-policy health-state occupancy across the chaos library —
+        # how many frames each policy spent on each rung of the ladder.
+        for policy_name, agg in chaos_by_policy.items():
+            occupancy: dict[str, int] = {}
+            for per_policy in chaos_results.values():
+                for state, n in (
+                    per_policy[policy_name]["health"]["occupancy"].items()
+                ):
+                    occupancy[state] = occupancy.get(state, 0) + n
+            agg["health_occupancy"] = dict(sorted(occupancy.items()))
+        payload["meta"]["chaos"] = {
+            "health": asdict(CHAOS_HEALTH),
+            "sweep_wall_seconds": round(chaos_wall, 3),
+        }
+        payload["chaos_scenarios"] = chaos_results
+        payload["chaos_by_policy"] = chaos_by_policy
+
+        chaos_rows = [
+            [policy, agg["num_frames"], agg["avg_energy_joules"],
+             agg["map_percent"],
+             " ".join(f"{s}:{n}" for s, n in agg["health_occupancy"].items())]
+            for policy, agg in chaos_by_policy.items()
+        ]
+        print()
+        print(format_table(
+            ["policy", "frames", "E(J)/frame", "mAP%", "health occupancy"],
+            chaos_rows, title="chaos-library aggregates",
+        ))
+
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {args.output}")
 

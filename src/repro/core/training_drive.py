@@ -420,11 +420,22 @@ def _load_gates(
 
     if not path.exists():
         return {}
-    try:
-        state = load_state(path)
-    except Exception as error:  # corrupt artifact: retrain instead of crashing
-        print(f"[drive-gates] discarding unreadable artifact ({error}); retraining")
-        return {}
+    # Retry once before giving up: a reader racing _save_gates's
+    # os.replace (or a transient I/O error) is indistinguishable from
+    # corruption on the first attempt only.
+    state = None
+    for attempt in (1, 2):
+        try:
+            state = load_state(path)
+            break
+        except Exception as error:
+            if attempt == 1:
+                continue
+            # Truly corrupt artifact: retrain instead of crashing.
+            print(
+                f"[drive-gates] discarding unreadable artifact ({error}); retraining"
+            )
+            return {}
     gates: dict[str, object] = {}
     for kind in kinds:
         prior_key = f"{kind}.__prior__"

@@ -305,13 +305,23 @@ def get_or_build_system(
     directory = root / key
     system: TrainedSystem | None = None
     if not force_rebuild and (directory / "meta.json").exists():
-        try:
-            with tel.tracer.span("system_load", key=key):
-                system = _load_system(spec, directory)
-            tel.metrics.counter("artifacts.system_loads").inc()
-        except Exception as error:  # corrupt cache: rebuild
-            print(f"[cache] discarding unreadable artifact ({error}); retraining")
-            system = None
+        # Retry the load once before declaring the artifact corrupt: a
+        # concurrent writer mid-os.replace or a transient I/O hiccup
+        # should not cost a multi-minute retrain.
+        for attempt in (1, 2):
+            try:
+                with tel.tracer.span("system_load", key=key):
+                    system = _load_system(spec, directory)
+                tel.metrics.counter("artifacts.system_loads").inc()
+                break
+            except Exception as error:
+                if attempt == 1:
+                    tel.metrics.counter("artifacts.system_load_retries").inc()
+                    continue
+                print(
+                    f"[cache] discarding unreadable artifact ({error}); retraining"
+                )
+                system = None
     if system is None:
         with tel.tracer.span("system_build", key=key):
             system = build_system(spec, verbose=verbose)

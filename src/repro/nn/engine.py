@@ -1064,7 +1064,29 @@ def engine_stats() -> dict[str, int]:
     stats = _CACHE.stats()
     stats["pool_bytes"] = _POOL.block.nbytes
     stats["im2col_entries"] = len(_IM2COL_INDEX)
+    stats["replay_fallbacks"] = _REPLAY_FALLBACKS
     return stats
+
+
+# Replays that raised and were rescued by the eager fallback (a compiled
+# program is a pure re-expression of the eager computation, so falling
+# back changes wall time, never bits).  Module-level int rather than a
+# telemetry counter: the engine never imports the telemetry layer — the
+# runner diffs engine_stats() into the metrics registry instead.
+_REPLAY_FALLBACKS = 0
+
+# Test/fuzz seam: callable invoked with the site label just before every
+# program replay; raising simulates a replay failure.  Installed only by
+# repro.resilience.guards.inject_replay_faults — None in production.
+_REPLAY_FAULT_INJECTOR = None
+
+
+def set_replay_fault_injector(injector):
+    """Install (or clear, with None) the replay fault injector; returns the old."""
+    global _REPLAY_FAULT_INJECTOR
+    previous = _REPLAY_FAULT_INJECTOR
+    _REPLAY_FAULT_INJECTOR = injector
+    return previous
 
 
 def _collect_params(owner) -> list[np.ndarray]:
@@ -1151,7 +1173,17 @@ def maybe_run(
         _CACHE.store(key, entry)
     if entry.program is None:
         return None
-    outs = entry.program(*arrays)
+    try:
+        if _REPLAY_FAULT_INJECTOR is not None:
+            _REPLAY_FAULT_INJECTOR(site)
+        outs = entry.program(*arrays)
+    except Exception:
+        # A replay must never take the process down: count the rescue
+        # and hand the caller its eager path.  Partial pool writes are
+        # harmless — every replay reclaims the pool before reading it.
+        global _REPLAY_FALLBACKS
+        _REPLAY_FALLBACKS += 1
+        return None
     if copy:
         outs = [np.array(o) for o in outs]
     return outs

@@ -1,0 +1,46 @@
+"""``repro.resilience`` — graceful degradation and safety checking.
+
+EcoFusion's robustness claim only holds if the runtime degrades
+*gracefully* when reality misbehaves: sensors fail in richer ways than a
+clean blackout, numerics go non-finite, compiled programs hit inputs
+their trace never saw, artifacts on disk rot.  This package is the
+hardening layer over ``repro.simulation``:
+
+* :class:`HealthMonitor` — a per-drive state machine (NOMINAL →
+  DEGRADED → LIMP_HOME → SAFE_STOP) replacing the stateless limp-home
+  mask, with configurable detection latency, debounce and recovery
+  hysteresis (:mod:`repro.resilience.monitor`);
+* :func:`check_invariants` — the safety checker every
+  :class:`~repro.simulation.closed_loop.DriveTrace` should pass
+  regardless of faults injected (:mod:`repro.resilience.invariants`);
+* runtime guards — non-finite detection filtering and a scoped
+  compiled-engine fault injector used to *prove* the replay→eager
+  fallback (:mod:`repro.resilience.guards`);
+* a seeded property-based fuzzer composing random fault schedules over
+  the scenario library and hunting for invariant violations and
+  mAP/energy cliffs (``python -m repro.resilience.fuzz``; imported
+  lazily — it pulls the evaluation stack).
+"""
+
+from .guards import finite_detections, inject_replay_faults, sanitize_detections
+from .invariants import InvariantViolation, check_invariants
+from .monitor import (
+    DEFAULT_HEALTH_CONFIG,
+    HealthAssessment,
+    HealthMonitor,
+    HealthMonitorConfig,
+    HealthState,
+)
+
+__all__ = [
+    "DEFAULT_HEALTH_CONFIG",
+    "HealthAssessment",
+    "HealthMonitor",
+    "HealthMonitorConfig",
+    "HealthState",
+    "InvariantViolation",
+    "check_invariants",
+    "finite_detections",
+    "inject_replay_faults",
+    "sanitize_detections",
+]

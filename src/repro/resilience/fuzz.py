@@ -1,0 +1,328 @@
+"""Policy-breaking scenario fuzzing: seeded random fault campaigns.
+
+Property-based stress test for the whole resilience stack.  Each fuzzed
+drive starts from a library scenario (base + chaos), composes 1–4
+random fault windows over it — full taxonomy, random sensors, windows
+deliberately allowed to overhang the drive so the spec-level clamping
+triggers — and runs it closed-loop under a *non-default* health monitor.
+Every resulting trace is held to :func:`repro.resilience.invariants.
+check_invariants`; mAP and energy are compared against the unfaulted
+baseline drive so accuracy/energy cliffs surface alongside hard
+violations.  Everything is keyed off ``--seed``: the same seed always
+fuzzes the same schedules, so a CI failure replays locally.
+
+Usage::
+
+    python -m repro.resilience.fuzz --seed 7 --drives 8
+
+Exit status is non-zero iff any invariant was violated; the campaign
+summary is machine-readable JSON on stdout (``--output`` to also write
+it to a file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import warnings
+
+import numpy as np
+
+from ..core.training_drive import DriveTrainingConfig, ensure_policy_gates
+from ..evaluation.cache import SystemSpec, get_or_build_system
+from ..hardware.battery import BatteryState, NOMINAL_EV
+from ..policies import get_policy_spec
+from ..simulation.closed_loop import ClosedLoopRunner
+from ..simulation.library import CHAOS_SCENARIOS, SCENARIOS
+from ..simulation.scenario import (
+    FAULT_MODES,
+    SENSOR_GROUPS,
+    ScenarioSpec,
+    SensorFault,
+    scaled,
+)
+from ..telemetry import Telemetry
+from .invariants import check_invariants
+from .monitor import HealthMonitorConfig
+
+__all__ = [
+    "FUZZ_SYSTEM_SPEC",
+    "FUZZ_DRIVE_CONFIG",
+    "FUZZ_HEALTH",
+    "DEFAULT_FUZZ_POLICIES",
+    "random_fault",
+    "mutate_scenario",
+    "run_campaign",
+    "main",
+]
+
+# Micro-scale but fully-trained system — the same shape the test suite's
+# tiny_system fixture uses, so a local run shares its .artifacts cache.
+FUZZ_SYSTEM_SPEC = SystemSpec(
+    per_context=4, iterations=14, gate_iterations=30, batch_size=4
+)
+
+# Fast drive-gate training for the drive-trained policies the campaign
+# sweeps (two fault-heavy scenarios, a handful of iterations).
+FUZZ_DRIVE_CONFIG = DriveTrainingConfig(
+    scenarios=("degraded_limp_home", "sensor_stress_test"),
+    scale=0.08,
+    frame_stride=2,
+    gate_iterations=12,
+    gate_batch_size=8,
+    seed=11,
+)
+
+# Non-default monitor: detection latency + hysteresis + the LIMP_HOME
+# escalation and SAFE_STOP brownout floor all armed, so fuzzed drives
+# exercise the full degradation ladder.
+FUZZ_HEALTH = HealthMonitorConfig(
+    detection_latency=1,
+    recovery_hysteresis=3,
+    limp_home_streams=3,
+    soc_floor=0.05,
+    soc_recover=0.10,
+)
+
+DEFAULT_FUZZ_POLICIES = ("ecofusion_attention", "ecofusion_drive_attention")
+
+# Accuracy/energy cliff thresholds versus the unfaulted baseline drive.
+MAP_CLIFF_POINTS = 15.0  # absolute mAP percentage-point drop
+ENERGY_CLIFF_RATIO = 1.5  # avg energy blow-up factor
+
+
+def random_fault(rng: np.random.Generator, num_frames: int) -> SensorFault:
+    """One random fault window over a ``num_frames``-frame drive.
+
+    Durations deliberately may overhang the end of the drive —
+    ``ScenarioSpec`` clamps them with a warning, and the fuzzer counts
+    those clamps as exercised spec-hardening, not errors.
+    """
+    sensor = sorted(SENSOR_GROUPS)[int(rng.integers(len(SENSOR_GROUPS)))]
+    mode = FAULT_MODES[int(rng.integers(len(FAULT_MODES)))]
+    start = int(rng.integers(0, num_frames))
+    duration = 1 + int(rng.integers(0, num_frames))
+    return SensorFault(
+        sensor=sensor,
+        start=start,
+        duration=duration,
+        mode=mode,
+        severity=round(0.3 + 0.7 * float(rng.random()), 3),
+        lag=1 + int(rng.integers(0, 4)),
+    )
+
+
+def mutate_scenario(
+    spec: ScenarioSpec, rng: np.random.Generator, index: int
+) -> tuple[ScenarioSpec, int]:
+    """Compose 1–4 random faults over ``spec``; returns (mutant, clamps)."""
+    extra = tuple(
+        random_fault(rng, spec.num_frames)
+        for _ in range(1 + int(rng.integers(0, 4)))
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        mutant = dataclasses.replace(
+            spec,
+            name=f"fuzz{index:03d}_{spec.name}",
+            faults=spec.faults + extra,
+        )
+    clamps = sum(
+        1 for w in caught if "overhangs" in str(w.message)
+    )
+    return mutant, clamps
+
+
+def _library_order() -> list[ScenarioSpec]:
+    return list(SCENARIOS.values()) + list(CHAOS_SCENARIOS.values())
+
+
+def run_campaign(
+    system,
+    seed: int = 7,
+    drives: int = 8,
+    policies: tuple[str, ...] = DEFAULT_FUZZ_POLICIES,
+    scale: float = 0.12,
+    health: HealthMonitorConfig = FUZZ_HEALTH,
+    window: int = 4,
+) -> dict:
+    """Fuzz ``drives`` random fault schedules; returns the JSON summary.
+
+    Baselines (per base scenario x policy) are the *fully unfaulted*
+    scaled drive — original library faults removed too — so the reported
+    deltas measure the entire fault schedule, not just the fuzzed part.
+    Each drive index gets its own child RNG stream of ``seed``, so
+    campaigns of different lengths share their common prefix.
+    """
+    specs = [get_policy_spec(name) for name in policies]
+    ensure_policy_gates(system, tuple(specs), config=FUZZ_DRIVE_CONFIG)
+    telemetry = Telemetry.create(tracing=False, metrics=True)
+    runner = ClosedLoopRunner(
+        system.model, health=health, telemetry=telemetry
+    )
+    baseline_runner = ClosedLoopRunner(system.model)
+    library = _library_order()
+    baselines: dict[tuple[str, str], dict] = {}
+    entries: list[dict] = []
+    total_violations = 0
+    total_cliffs = 0
+    total_clamps = 0
+
+    for i in range(drives):
+        rng = np.random.default_rng((seed, 1000 + i))
+        base = library[int(rng.integers(len(library)))]
+        short = scaled(base, scale)
+        mutant, clamps = mutate_scenario(short, rng, i)
+        total_clamps += clamps
+        # Every 4th drive starts below the brownout floor, so SAFE_STOP
+        # (and its recovery latch) is exercised, not just declared.
+        initial_soc = 0.04 if i % 4 == 3 else 1.0
+        entry: dict = {
+            "drive": i,
+            "base": base.name,
+            "scenario": mutant.name,
+            "frames": mutant.num_frames,
+            "initial_soc": initial_soc,
+            "fault_windows": [
+                {
+                    "sensor": f.sensor,
+                    "mode": f.mode,
+                    "start": f.start,
+                    "duration": f.duration,
+                    "severity": f.severity,
+                    "lag": f.lag,
+                }
+                for f in mutant.faults
+            ],
+            "clamped_windows": clamps,
+            "policies": {},
+        }
+        for spec_obj in specs:
+            policy = spec_obj.build(system)
+            trace = runner.run(
+                mutant,
+                policy,
+                seed=seed,
+                window=window,
+                battery=BatteryState(vehicle=NOMINAL_EV, soc=initial_soc),
+            )
+            violations = check_invariants(trace, library=system.library)
+            total_violations += len(violations)
+
+            key = (base.name, spec_obj.name)
+            if key not in baselines:
+                clean = dataclasses.replace(
+                    short, name=f"baseline_{base.name}", faults=()
+                )
+                base_trace = baseline_runner.run(
+                    clean, spec_obj.build(system), seed=seed, window=window
+                )
+                baselines[key] = {
+                    "map_percent": base_trace.map_result.percent,
+                    "avg_energy_joules": base_trace.avg_energy_joules,
+                }
+            baseline = baselines[key]
+            map_drop = baseline["map_percent"] - trace.map_result.percent
+            energy_ratio = (
+                trace.avg_energy_joules / baseline["avg_energy_joules"]
+                if baseline["avg_energy_joules"] > 0
+                else 1.0
+            )
+            cliff = bool(
+                map_drop > MAP_CLIFF_POINTS or energy_ratio > ENERGY_CLIFF_RATIO
+            )
+            total_cliffs += cliff
+            entry["policies"][spec_obj.name] = {
+                "map_percent": trace.map_result.percent,
+                "baseline_map_percent": baseline["map_percent"],
+                "map_drop_points": round(map_drop, 3),
+                "avg_energy_joules": trace.avg_energy_joules,
+                "baseline_avg_energy_joules": baseline["avg_energy_joules"],
+                "energy_ratio": round(energy_ratio, 4),
+                "cliff": cliff,
+                "health_occupancy": trace.health_histogram,
+                "health_transitions": (trace.health or {}).get("transitions", 0),
+                "guards": (trace.health or {}).get("guards", {}),
+                "violations": [v.to_dict() for v in violations],
+            }
+        entries.append(entry)
+
+    # Health/resilience counters the drives published through telemetry —
+    # proof the occupancy numbers flow through the metrics registry, not
+    # just the trace blocks.
+    snapshot = telemetry.metrics.snapshot()
+    health_metrics = {
+        name: value
+        for name, value in sorted(snapshot.get("counters", {}).items())
+        if name.startswith(("health.", "resilience.", "policy.fault_masked"))
+    }
+
+    return {
+        "seed": seed,
+        "drives": drives,
+        "scale": scale,
+        "window": window,
+        "policies": list(policies),
+        "monitor": dataclasses.asdict(health),
+        "system": system.spec.cache_key(),
+        "totals": {
+            "invariant_violations": total_violations,
+            "cliffs": total_cliffs,
+            "clamped_windows": total_clamps,
+        },
+        "telemetry": health_metrics,
+        "entries": entries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Seeded random-fault fuzzing over the scenario library."
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--drives", type=int, default=8)
+    parser.add_argument(
+        "--policies", default=",".join(DEFAULT_FUZZ_POLICIES),
+        help="comma-separated policy registry names",
+    )
+    parser.add_argument("--scale", type=float, default=0.12)
+    parser.add_argument("--window", type=int, default=4)
+    parser.add_argument(
+        "--output", default=None, help="also write the JSON summary here"
+    )
+    parser.add_argument(
+        "--artifact-root", default=None,
+        help="artifact cache directory (default: the repo's .artifacts)",
+    )
+    args = parser.parse_args(argv)
+    if args.drives < 1:
+        parser.error("--drives must be >= 1")
+
+    system = get_or_build_system(FUZZ_SYSTEM_SPEC, root=args.artifact_root)
+    summary = run_campaign(
+        system,
+        seed=args.seed,
+        drives=args.drives,
+        policies=tuple(p for p in args.policies.split(",") if p),
+        scale=args.scale,
+        window=args.window,
+    )
+    payload = json.dumps(summary, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    violations = summary["totals"]["invariant_violations"]
+    if violations:
+        print(
+            f"FUZZ FAILED: {violations} invariant violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Runtime guards: numeric sanitation and engine-fault injection.
+
+Two small, hot-path-safe facilities:
+
+* :func:`sanitize_detections` — drop non-finite detection rows (NaN/inf
+  boxes or scores) before they poison fusion-loss and mAP arithmetic.
+  The all-finite fast path returns the input object untouched, so clean
+  drives (every committed benchmark) are bit-identical with the guard in
+  place.
+* :func:`inject_replay_faults` — a scoped injector that makes the
+  compiled engine's program replays raise, proving the
+  ``maybe_run`` → eager fallback end to end: a drive run under an
+  injector must produce byte-identical records to an eager drive, with
+  ``engine_stats()["replay_fallbacks"]`` counting every rescue.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..nn import engine
+
+__all__ = ["finite_detections", "sanitize_detections", "inject_replay_faults"]
+
+
+def finite_detections(detections) -> bool:
+    """True when every box coordinate and score is finite."""
+    return bool(
+        np.isfinite(detections.boxes).all() and np.isfinite(detections.scores).all()
+    )
+
+
+def sanitize_detections(detections):
+    """Return ``detections`` with non-finite rows removed.
+
+    Returns the *same object* when everything is finite — the guard
+    costs two vectorized checks on clean frames and never copies.
+    """
+    if finite_detections(detections):
+        return detections
+    keep = np.isfinite(detections.boxes).all(axis=1) & np.isfinite(
+        detections.scores
+    )
+    return detections.select(np.flatnonzero(keep))
+
+
+@contextmanager
+def inject_replay_faults(times: int | None = 1, site_substring: str = ""):
+    """Make the next ``times`` compiled-program replays raise (None = all).
+
+    Only replays whose site label contains ``site_substring`` are hit.
+    Yields a stats dict whose ``injected`` counter records how many
+    replays were actually sabotaged inside the scope.  The engine
+    swallows the error, falls back to eager execution and bumps its
+    ``replay_fallbacks`` counter — output bits must not change.
+    """
+    stats = {"injected": 0}
+
+    def injector(site: str) -> None:
+        if site_substring and site_substring not in site:
+            return
+        if times is not None and stats["injected"] >= times:
+            return
+        stats["injected"] += 1
+        raise RuntimeError(
+            f"injected replay fault at site '{site}' "
+            f"(#{stats['injected']}, resilience test)"
+        )
+
+    previous = engine.set_replay_fault_injector(injector)
+    try:
+        yield stats
+    finally:
+        engine.set_replay_fault_injector(previous)

@@ -1,0 +1,178 @@
+"""Safety invariants every drive trace must satisfy.
+
+:func:`check_invariants` is the contract the fuzzer (and CI) holds every
+:class:`~repro.simulation.closed_loop.DriveTrace` to, no matter what
+fault schedule was injected:
+
+* ``soc_bounds`` — initial and per-frame SoC stay inside [0, 1];
+* ``energy`` — per-frame platform/sensor energy and latency are finite
+  and non-negative, losses are finite, detection counts non-negative;
+* ``frame_monotone`` — frame indices strictly increase;
+* ``state_machine`` — the recorded per-frame health states are exactly
+  what a fresh :class:`~repro.resilience.monitor.HealthMonitor` (same
+  config) prescribes when replayed over the recorded fault/SoC stream —
+  the strongest possible legality check: any illegal transition, missed
+  detection or broken hysteresis shows up as a mismatch;
+* ``masked_config`` — while the monitor is degraded, a policy that
+  honors fault masking never executes a configuration touching a
+  faulted sensor (unless *every* configuration is impacted, where the
+  runner deliberately relaxes the mask — running degraded perception
+  beats running none).  Unmasked drive-trained policies
+  (``fault_masking: false``) and static pipelines are exempt: their
+  whole point is deciding without the mask.
+
+Violations come back as data (:class:`InvariantViolation`), not
+exceptions, so a fuzz campaign can sweep hundreds of drives and report
+every breakage in one machine-readable summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..simulation.scenario import SENSOR_GROUPS
+from .monitor import DEFAULT_HEALTH_CONFIG, HealthMonitor, HealthMonitorConfig
+
+__all__ = ["InvariantViolation", "check_invariants", "affected_streams"]
+
+# Policy kinds whose decide() honors the runner's healthy_mask; static
+# pipelines never look at it, so the masked_config invariant is vacuous
+# for them.
+_MASKING_KINDS = ("ecofusion", "soc_aware")
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, anchored to a frame when applicable."""
+
+    invariant: str
+    frame: int | None
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "frame": self.frame,
+            "message": self.message,
+        }
+
+
+def affected_streams(fault_labels: tuple[str, ...]) -> tuple[str, ...]:
+    """Physical streams down on a frame, from its ``sensor:mode`` labels.
+
+    Inverse of the record's label encoding: group names ("camera")
+    expand to their member streams, exactly as
+    :meth:`DriveFrame.faulted_sensors` reported them to the monitor.
+    """
+    down: set[str] = set()
+    for label in fault_labels:
+        sensor = label.split(":", 1)[0]
+        down.update(SENSOR_GROUPS.get(sensor, (sensor,)))
+    return tuple(sorted(down))
+
+
+def _monitor_config(trace) -> HealthMonitorConfig:
+    health = getattr(trace, "health", None)
+    if health and "config" in health:
+        return HealthMonitorConfig(**health["config"])
+    return DEFAULT_HEALTH_CONFIG
+
+
+def check_invariants(trace, library=None) -> list[InvariantViolation]:
+    """All invariant violations in ``trace`` (empty = the trace is safe).
+
+    ``library`` optionally supplies the configuration library (e.g.
+    ``system.library``) so the ``masked_config`` invariant can resolve
+    config names to sensor sets; without it that check is skipped.
+    """
+    violations: list[InvariantViolation] = []
+
+    def flag(invariant: str, frame: int | None, message: str) -> None:
+        violations.append(InvariantViolation(invariant, frame, message))
+
+    records = trace.records
+    if not 0.0 <= trace.initial_soc <= 1.0:
+        flag("soc_bounds", None, f"initial SoC {trace.initial_soc} outside [0, 1]")
+
+    previous_t = None
+    for r in records:
+        t = r.time_index
+        if previous_t is not None and t <= previous_t:
+            flag("frame_monotone", t,
+                 f"time_index {t} follows {previous_t} (must strictly increase)")
+        previous_t = t
+        if not 0.0 <= r.battery_soc <= 1.0:
+            flag("soc_bounds", t, f"SoC {r.battery_soc} outside [0, 1]")
+        for field_name, value in (
+            ("latency_ms", r.latency_ms),
+            ("platform_energy_joules", r.platform_energy_joules),
+            ("sensor_energy_joules", r.sensor_energy_joules),
+        ):
+            if not math.isfinite(value) or value < 0.0:
+                flag("energy", t, f"{field_name} = {value} (finite, >= 0 required)")
+        if not math.isfinite(r.loss):
+            flag("energy", t, f"loss = {r.loss} (must be finite)")
+        if r.num_detections < 0:
+            flag("energy", t, f"num_detections = {r.num_detections}")
+
+    _check_state_machine(trace, flag)
+    if library is not None:
+        _check_masked_config(trace, library, flag)
+    return violations
+
+
+def _check_state_machine(trace, flag) -> None:
+    """Replay the monitor over the recorded stream; states must match.
+
+    The monitor observes the *pre-drain* SoC each frame, which for frame
+    t is the recorded post-drain SoC of frame t-1 (``initial_soc`` for
+    frame 0) — both are in the trace, so the replay sees exactly the
+    runtime inputs.
+    """
+    monitor = HealthMonitor(_monitor_config(trace))
+    soc = trace.initial_soc
+    for r in trace.records:
+        expected = monitor.observe(affected_streams(r.fault_labels), soc).state
+        recorded = getattr(r, "health_state", expected.value)
+        if recorded != expected.value:
+            flag(
+                "state_machine", r.time_index,
+                f"recorded health state '{recorded}' but the monitor "
+                f"prescribes '{expected.value}'",
+            )
+        soc = r.battery_soc
+
+
+def _check_masked_config(trace, library, flag) -> None:
+    info = trace.policy_info or {}
+    masking = (
+        info.get("kind") in _MASKING_KINDS
+        and info.get("fault_masking", True) is not False
+    )
+    if not masking:
+        return
+    sensors_of = {c.name: set(c.sensors) for c in library}
+    for r in trace.records:
+        if r.health_state not in (
+            "degraded", "limp_home"
+        ) or not r.fault_labels:
+            continue
+        down = set(affected_streams(r.fault_labels))
+        config_sensors = sensors_of.get(r.config_name)
+        if config_sensors is None:
+            flag("masked_config", r.time_index,
+                 f"config '{r.config_name}' not in the supplied library")
+            continue
+        if not down.intersection(config_sensors):
+            continue
+        # Deliberate relaxation: if every configuration touches a downed
+        # sensor, the runner opens the full space again.
+        if all(down.intersection(s) for s in sensors_of.values()):
+            continue
+        flag(
+            "masked_config", r.time_index,
+            f"config '{r.config_name}' uses faulted streams "
+            f"{sorted(down.intersection(config_sensors))} while the monitor "
+            f"is {r.health_state} and healthy alternatives exist",
+        )

@@ -1,0 +1,200 @@
+"""Health-monitor state machine: stateful graceful degradation.
+
+The closed-loop runner originally derived its limp-home mask statelessly
+per frame: faults present → mask, faults gone → no mask.  Real monitors
+are stateful — they take time to *detect* a fault, debounce transient
+glitches, and hold a degraded posture for a while after recovery so a
+flickering sensor cannot thrash the config space.  :class:`HealthMonitor`
+is that state machine:
+
+::
+
+    NOMINAL ──faults detected──► DEGRADED ──enough streams down──► LIMP_HOME
+       ▲                            │  ▲                              │
+       └────recovery hysteresis─────┘  └─────partial recovery─────────┘
+                       any state ──SoC < floor──► SAFE_STOP
+                       SAFE_STOP ──SoC ≥ recover──► (fault-appropriate state)
+
+* **NOMINAL** — no detected faults: the full configuration space is open.
+* **DEGRADED** — faults detected: the config space restricts to
+  configurations touching no failed sensor (the classic limp-home mask).
+* **LIMP_HOME** — at least ``limp_home_streams`` physical streams down:
+  the runner pins the *cheapest viable* configuration.
+* **SAFE_STOP** — battery brownout (SoC below ``soc_floor``): the runner
+  pins the cheapest configuration outright and sheds all optional load;
+  left only once SoC recovers past ``soc_recover``.
+
+The **default configuration reproduces the legacy stateless semantics
+bit-for-bit**: zero detection latency, zero hysteresis, LIMP_HOME and
+SAFE_STOP disabled.  A drive run with it records ``degraded`` exactly on
+the frames the old code masked and ``nominal`` everywhere else, and every
+committed golden trace and benchmark row is unchanged.
+
+The monitor is deliberately pure bookkeeping — tuples and floats in,
+:class:`HealthAssessment` out — so the safety checker
+(:func:`repro.resilience.invariants.check_invariants`) can *replay* it
+over a recorded trace and verify the recorded state sequence is exactly
+what the machine prescribes (the "state-machine legality" invariant).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "HealthState",
+    "HealthMonitorConfig",
+    "HealthAssessment",
+    "HealthMonitor",
+    "DEFAULT_HEALTH_CONFIG",
+]
+
+
+class HealthState(enum.Enum):
+    """Degradation ladder, ordered from healthy to emergency."""
+
+    NOMINAL = "nominal"
+    DEGRADED = "degraded"
+    LIMP_HOME = "limp_home"
+    SAFE_STOP = "safe_stop"
+
+
+@dataclass(frozen=True)
+class HealthMonitorConfig:
+    """Everything that parameterizes the state machine.
+
+    Attributes
+    ----------
+    detection_latency:
+        Consecutive faulted frames required before faults are *detected*
+        and the monitor leaves NOMINAL (0 = detect on the first faulted
+        frame, the legacy behavior).  Doubles as the debounce counter: a
+        glitch shorter than the latency never trips the monitor.
+    recovery_hysteresis:
+        Consecutive healthy frames required before a degraded state
+        releases back to NOMINAL (0 = release immediately).  The monitor
+        *holds its previous degraded posture* during the hysteresis
+        window.
+    limp_home_streams:
+        Escalate DEGRADED → LIMP_HOME when at least this many physical
+        sensor streams are down simultaneously (note: a "camera" group
+        fault counts as two streams).  ``None`` (default) disables
+        LIMP_HOME entirely.
+    soc_floor:
+        Battery state of charge below which the monitor declares
+        SAFE_STOP, regardless of sensor health.  The default 0.0 can
+        never trigger (SoC is clamped to [0, 1]).
+    soc_recover:
+        SoC at which SAFE_STOP releases; defaults to ``soc_floor``
+        (set it higher for brownout hysteresis).
+    """
+
+    detection_latency: int = 0
+    recovery_hysteresis: int = 0
+    limp_home_streams: int | None = None
+    soc_floor: float = 0.0
+    soc_recover: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.detection_latency < 0:
+            raise ValueError("detection_latency must be >= 0 frames")
+        if self.recovery_hysteresis < 0:
+            raise ValueError("recovery_hysteresis must be >= 0 frames")
+        if self.limp_home_streams is not None and self.limp_home_streams < 1:
+            raise ValueError("limp_home_streams must be >= 1 (or None)")
+        if not 0.0 <= self.soc_floor <= 1.0:
+            raise ValueError("soc_floor must be in [0, 1]")
+        if self.soc_recover is not None and not (
+            self.soc_floor <= self.soc_recover <= 1.0
+        ):
+            raise ValueError("soc_recover must be in [soc_floor, 1] (or None)")
+
+    def resolved_soc_recover(self) -> float:
+        return self.soc_floor if self.soc_recover is None else self.soc_recover
+
+
+DEFAULT_HEALTH_CONFIG = HealthMonitorConfig()
+
+
+@dataclass(frozen=True)
+class HealthAssessment:
+    """One frame's verdict: the state plus what drove it."""
+
+    state: HealthState
+    faulted: tuple[str, ...]
+    # True once the fault streak cleared detection latency — during the
+    # latency window faults are present but *undetected* (state still
+    # NOMINAL, no masking), which is exactly the exposure a detection
+    # delay models.
+    detected: bool
+
+
+class HealthMonitor:
+    """The per-drive state machine; call :meth:`observe` once per frame.
+
+    Stepping order matters for bit-identical sequential/windowed
+    execution: the runner observes with the *pre-drain* SoC (the same
+    value `PolicyObservation.soc` carries), so the monitor sees an
+    identical input stream in both modes.
+    """
+
+    def __init__(self, config: HealthMonitorConfig = DEFAULT_HEALTH_CONFIG) -> None:
+        self.config = config
+        self.reset()
+
+    def reset(self) -> None:
+        self.state = HealthState.NOMINAL
+        self.transitions = 0
+        self._fault_streak = 0
+        self._healthy_streak = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, faulted: tuple[str, ...], soc: float) -> HealthAssessment:
+        """Advance one frame: ``faulted`` physical streams, pre-drain SoC."""
+        cfg = self.config
+        if faulted:
+            self._fault_streak += 1
+            self._healthy_streak = 0
+        else:
+            self._healthy_streak += 1
+            self._fault_streak = 0
+        detected = bool(faulted) and self._fault_streak > cfg.detection_latency
+
+        if self.state is HealthState.SAFE_STOP:
+            # Brownout latches until SoC climbs past the recovery level;
+            # only then does sensor health decide the next state.
+            if soc >= cfg.resolved_soc_recover():
+                new = self._fault_state(faulted, detected)
+            else:
+                new = HealthState.SAFE_STOP
+        elif soc < cfg.soc_floor:
+            new = HealthState.SAFE_STOP
+        else:
+            new = self._fault_state(faulted, detected)
+
+        if new is not self.state:
+            self.transitions += 1
+            self.state = new
+        return HealthAssessment(state=new, faulted=faulted, detected=detected)
+
+    def _fault_state(self, faulted: tuple[str, ...], detected: bool) -> HealthState:
+        cfg = self.config
+        if faulted:
+            if not detected:
+                # Inside the detection window: hold whatever posture the
+                # machine already had (NOMINAL if the fault just began).
+                return self.state
+            if (
+                cfg.limp_home_streams is not None
+                and len(faulted) >= cfg.limp_home_streams
+            ):
+                return HealthState.LIMP_HOME
+            return HealthState.DEGRADED
+        # Healthy frame: release to NOMINAL only after the hysteresis
+        # window; hold the previous degraded posture meanwhile.
+        if self.state in (HealthState.DEGRADED, HealthState.LIMP_HOME) and (
+            self._healthy_streak <= cfg.recovery_hysteresis
+        ):
+            return self.state
+        return HealthState.NOMINAL

@@ -18,7 +18,13 @@ from .closed_loop import (
     FrameRecord,
 )
 from .drive import DriveFrame, DriveSource, apply_fault
-from .library import SCENARIOS, get_scenario, scenario_names
+from .library import (
+    CHAOS_SCENARIOS,
+    SCENARIOS,
+    chaos_scenario_names,
+    get_scenario,
+    scenario_names,
+)
 from .scenario import FAULT_MODES, ScenarioSpec, SegmentSpec, SensorFault, scaled
 from .sweep import (
     DEFAULT_POLICIES,
@@ -37,8 +43,10 @@ __all__ = [
     "DriveSource",
     "apply_fault",
     "SCENARIOS",
+    "CHAOS_SCENARIOS",
     "get_scenario",
     "scenario_names",
+    "chaos_scenario_names",
     "FAULT_MODES",
     "ScenarioSpec",
     "SegmentSpec",

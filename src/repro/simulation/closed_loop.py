@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import Counter
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -48,6 +48,14 @@ from ..hardware.scheduler import schedule_parallel, schedule_serial
 from ..hardware.sensors_power import FUSION_CYCLE_HZ, sensor_energy
 from ..nn import batch_invariant, engine
 from ..policies.base import PerceptionPolicy, PolicyDecision, PolicyObservation
+from ..resilience.guards import sanitize_detections
+from ..resilience.monitor import (
+    DEFAULT_HEALTH_CONFIG,
+    HealthAssessment,
+    HealthMonitor,
+    HealthMonitorConfig,
+    HealthState,
+)
 from ..telemetry import NullTracer, Telemetry, get_default
 from ..telemetry.metrics import ENERGY_BUCKETS_J, LATENCY_BUCKETS_MS, Histogram
 from .drive import DriveFrame, DriveSource
@@ -96,6 +104,10 @@ class FrameRecord:
     num_detections: int
     loss: float
     lambda_e: float | None = None  # effective energy weight, if the policy has one
+    # Health-monitor state the frame was decided under (always recorded;
+    # only serialized into records_hex when the runner has a custom
+    # monitor config, so pre-existing float-hex pins are untouched).
+    health_state: str = HealthState.NOMINAL.value
 
     @property
     def energy_joules(self) -> float:
@@ -119,6 +131,11 @@ class DriveTrace:
     # execution-mode-independent values, so telemetry-enabled traces stay
     # bit-identical between sequential/windowed and eager/compiled runs.
     metrics: dict | None = None
+    # Health-monitor block (monitor config, state occupancy, transition
+    # and guard-fallback counts), attached only when the drive ran under
+    # a custom HealthMonitorConfig — default-monitor output is
+    # byte-identical to the pre-resilience schema.
+    health: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -165,6 +182,11 @@ class DriveTrace:
     @property
     def fault_frames(self) -> int:
         return sum(1 for r in self.records if r.fault_labels)
+
+    @property
+    def health_histogram(self) -> dict[str, int]:
+        """Frames spent in each health-monitor state."""
+        return dict(Counter(r.health_state for r in self.records))
 
     def per_context(self) -> dict[str, dict[str, float]]:
         """Mean energy / latency / loss per driving context."""
@@ -225,10 +247,13 @@ class DriveTrace:
 
         The exact-equivalence currency of the benchmarks and CI: two
         execution modes agree iff these lists match — a single ulp of
-        drift on any frame fails the comparison.
+        drift on any frame fails the comparison.  Records gain a
+        ``health`` key only for drives run under a custom monitor
+        config, keeping pre-existing pins byte-identical.
         """
-        return [
-            {
+        out = []
+        for r in self.records:
+            entry = {
                 "config": r.config_name,
                 "switched": r.switched,
                 "faults": list(r.fault_labels),
@@ -239,8 +264,10 @@ class DriveTrace:
                 "loss": float(r.loss).hex(),
                 "detections": r.num_detections,
             }
-            for r in self.records
-        ]
+            if self.health is not None:
+                entry["health"] = r.health_state
+            out.append(entry)
+        return out
 
     def to_dict(self) -> dict:
         """JSON-serializable aggregate view (benchmarks).
@@ -280,6 +307,8 @@ class DriveTrace:
         }
         if self.metrics is not None:
             out["metrics"] = self.metrics
+        if self.health is not None:
+            out["health"] = self.health
         return out
 
 
@@ -335,10 +364,16 @@ class _DriveState:
     gate: Gate | None
     duty: SensorDutyCycle
     battery: BatteryState
+    # Per-drive health-monitor state machine (fresh per run); it steps
+    # exactly once per frame in both execution modes.
+    monitor: HealthMonitor = field(default_factory=HealthMonitor)
     # Whether the health monitor supplies limp-home masks this drive:
     # the runner's global switch AND the policy's own opt-in (gates
     # trained on drive streams run unmasked, see repro.core.training_drive).
     mask_faults: bool = True
+    # Guard-fallback counts for this drive (resilience diagnostics).
+    guard_nonfinite_gate: int = 0
+    guard_nonfinite_detections: int = 0
     # Active telemetry for this drive, or None (the common case) —
     # the per-frame paths branch on this once to stay zero-overhead
     # when telemetry is off.
@@ -380,6 +415,7 @@ class ClosedLoopRunner:
         mask_faulted_configs: bool = True,
         cache: BranchOutputCache | None = None,
         telemetry: Telemetry | None = None,
+        health: HealthMonitorConfig | None = None,
     ) -> None:
         self.model = model
         self.vehicle = vehicle
@@ -392,10 +428,20 @@ class ClosedLoopRunner:
         # Explicit injection wins over the process default (get_default),
         # which is inert unless telemetry.set_default installed something.
         self.telemetry = telemetry
+        # Health-monitor configuration for every drive this runner hosts.
+        # None runs the default monitor, which reproduces the legacy
+        # stateless limp-home masking bit-for-bit and leaves every output
+        # schema untouched; a custom config activates the full degradation
+        # ladder and attaches a ``health`` block to each trace.
+        self.health = health
         # Per-runner memos: the model library, cost tables and cycle rate
         # are fixed, so these pure lookups never need recomputing
         # (sequential mode rebuilt them every frame before this existed).
         self._healthy_memo: dict[tuple[str, ...], np.ndarray] = {}
+        self._limp_memo: dict[tuple[str, ...], np.ndarray] = {}
+        self._cheapest_mask: np.ndarray | None = None
+        self._energy_table: np.ndarray | None = None
+        self._config_index: dict[str, ModelConfiguration] | None = None
         self._cost_memo: dict[tuple[str, bool], tuple[float, float]] = {}
         self._sensor_energy_memo: dict[tuple[bool, ...], float] = {}
 
@@ -448,6 +494,9 @@ class ClosedLoopRunner:
             gate=policy.runtime_gate,
             duty=SensorDutyCycle(),
             battery=battery,
+            monitor=HealthMonitor(
+                self.health if self.health is not None else DEFAULT_HEALTH_CONFIG
+            ),
             mask_faults=self.mask_faulted_configs and policy.use_fault_masking,
             telemetry=tel if active else None,
         )
@@ -484,10 +533,24 @@ class ClosedLoopRunner:
             policy_info=policy.describe(),
             initial_soc=initial_soc,
         )
+        if self.health is not None:
+            # Built purely from frame records + the monitor's own
+            # deterministic counters, so the block is identical across
+            # sequential/windowed, eager/compiled and pool-sharded runs.
+            trace.health = {
+                "config": asdict(self.health),
+                "occupancy": trace.health_histogram,
+                "transitions": state.monitor.transitions,
+                "guards": {
+                    "nonfinite_gate": state.guard_nonfinite_gate,
+                    "nonfinite_detections": state.guard_nonfinite_detections,
+                },
+            }
         if stats_on:
             trace.metrics = _drive_metrics_block(trace)
             self._publish_metrics(
-                tel.metrics, trace, policy, battery, engine_before, cache_before
+                tel.metrics, trace, policy, battery, state,
+                engine_before, cache_before,
             )
         return trace
 
@@ -500,6 +563,7 @@ class ClosedLoopRunner:
         trace: DriveTrace,
         policy: PerceptionPolicy,
         battery: BatteryState,
+        state: "_DriveState",
         engine_before: dict | None,
         cache_before: dict | None,
     ) -> None:
@@ -525,6 +589,27 @@ class ClosedLoopRunner:
         metrics.gauge("battery.soc.final", policy=pol).set(battery.soc)
         metrics.gauge("battery.soc.min", policy=pol).set(battery.soc_min)
         metrics.gauge("battery.soc.max", policy=pol).set(battery.soc_max)
+        # Health-state occupancy + guard fallbacks: built from the
+        # bit-identical frame records / per-drive counters, so shards
+        # merge to the same totals in any execution mode.
+        for health_state, count in sorted(trace.health_histogram.items()):
+            metrics.counter(
+                "health.state_frames", policy=pol, state=health_state
+            ).inc(count)
+        transitions = sum(
+             1 for prev, cur in zip(trace.records, trace.records[1:])
+             if prev.health_state != cur.health_state
+        )
+        if transitions:
+            metrics.counter("health.transitions", policy=pol).inc(transitions)
+        if state.guard_nonfinite_gate:
+            metrics.counter(
+                "resilience.guard.nonfinite_gate", policy=pol
+            ).inc(state.guard_nonfinite_gate)
+        if state.guard_nonfinite_detections:
+            metrics.counter(
+                "resilience.guard.nonfinite_detections", policy=pol
+            ).inc(state.guard_nonfinite_detections)
         if engine_before is not None:
             after = engine.engine_stats()
             for stat, name in (
@@ -532,6 +617,7 @@ class ClosedLoopRunner:
                 ("misses", "engine.program_cache.misses"),
                 ("evictions", "engine.program_cache.evictions"),
                 ("compiles", "engine.compiles"),
+                ("replay_fallbacks", "engine.replay_fallbacks"),
             ):
                 delta = after[stat] - engine_before[stat]
                 if delta:
@@ -561,17 +647,19 @@ class ClosedLoopRunner:
     ) -> None:
         tel = state.telemetry
         if tel is None:  # zero-overhead reference path
-            observation, features = self._observe(frame, state)
-            decision = policy.decide(observation)
+            observation, features, assessment, guarded = self._observe(frame, state)
+            decision = self._decide(policy, observation, state, guarded)
             detections = self._execute(frame, decision.config, features)
             account = self._account(frame, spec, policy, decision, state)
-            self._record(frame, decision, account, detections, state)
+            self._record(frame, decision, account, detections, state, assessment)
             return
         tracer = tel.tracer
         with tracer.span("frame", t=frame.time_index) as frame_span:
             with tracer.span("gate"):
-                observation, features = self._observe(frame, state)
-            decision = policy.decide(observation)
+                observation, features, assessment, guarded = self._observe(
+                    frame, state
+                )
+            decision = self._decide(policy, observation, state, guarded)
             config = decision.config
             cached = (
                 self.cache.peek_fused(frame.sample, config.name)
@@ -589,23 +677,33 @@ class ClosedLoopRunner:
                 energy_j=account.platform_joules + account.sensor_joules,
                 soc=account.soc,
             )
+            if assessment.state is not HealthState.NOMINAL:
+                frame_span.set(health=assessment.state.value)
             if decision.fault_masked:
                 frame_span.set(fault_masked=True)
-            self._record(frame, decision, account, detections, state)
+            self._record(frame, decision, account, detections, state, assessment)
 
     def _observe(
         self, frame: DriveFrame, state: "_DriveState"
-    ) -> tuple[PolicyObservation, dict | None]:
+    ) -> tuple[PolicyObservation, dict | None, HealthAssessment, bool]:
         """Build one frame's observation (sequential mode).
 
-        Returns ``(observation, stem_features)`` — the features are
-        reused by :meth:`_execute` so adaptive frames run each stem
-        exactly once.
+        Steps the health monitor (exactly once per frame, with the
+        pre-drain SoC), runs the policy's gate, and applies the
+        non-finite-losses guard.  Returns ``(observation, stem_features,
+        assessment, guarded)`` — the features are reused by
+        :meth:`_execute` so adaptive frames run each stem exactly once;
+        ``guarded`` means the gate emitted NaN/inf losses and the caller
+        must take the fallback decision instead of the policy's.
         """
+        assessment = state.monitor.observe(
+            frame.faulted_sensors, state.battery.soc
+        )
         gate = state.gate
         features = None
         losses = None
         direct = None
+        guarded = False
         if gate is not None:
             sample = frame.sample
             if gate.bypasses_optimization:
@@ -618,17 +716,32 @@ class ClosedLoopRunner:
                 losses = gate.predict_losses(
                     gate_input, [sample.context], [sample.sample_id]
                 )[0]
+                if not np.isfinite(losses).all():
+                    losses = None
+                    guarded = True
         observation = PolicyObservation(
             time_index=frame.time_index,
             context=frame.context,
             soc=state.battery.soc,
             faulted_sensors=frame.faulted_sensors,
-            healthy_mask=self._healthy_for(frame, state),
+            healthy_mask=self._mask_for(assessment, frame, state),
             predicted_losses=losses,
             direct_selection=direct,
             features=features,
         )
-        return observation, features
+        return observation, features, assessment, guarded
+
+    def _decide(
+        self,
+        policy: PerceptionPolicy,
+        observation: PolicyObservation,
+        state: "_DriveState",
+        guarded: bool,
+    ) -> PolicyDecision:
+        """The policy's decision — or the guard fallback on NaN losses."""
+        if guarded:
+            return self._fallback_decision(state)
+        return policy.decide(observation)
 
     # ------------------------------------------------------------------
     # Batched hot path
@@ -682,21 +795,30 @@ class ClosedLoopRunner:
             # up under the sibling ``branches`` span instead.)
             decisions: list[PolicyDecision] = []
             accounts: list[_FrameAccount] = []
+            assessments: list[HealthAssessment] = []
             for i, frame in enumerate(chunk):
                 with tracer.span("frame", t=frame.time_index) as frame_span:
+                    # Monitor steps with the pre-drain SoC, exactly as
+                    # the sequential path's _observe does.
+                    assessment = state.monitor.observe(
+                        frame.faulted_sensors, state.battery.soc
+                    )
+                    assessments.append(assessment)
+                    row = None if predicted is None else predicted[i]
+                    guarded = row is not None and not bool(np.isfinite(row).all())
+                    if guarded:
+                        row = None
                     observation = PolicyObservation(
                         time_index=frame.time_index,
                         context=frame.context,
                         soc=state.battery.soc,
                         faulted_sensors=frame.faulted_sensors,
-                        healthy_mask=self._healthy_for(frame, state),
-                        predicted_losses=(
-                            None if predicted is None else predicted[i]
-                        ),
+                        healthy_mask=self._mask_for(assessment, frame, state),
+                        predicted_losses=row,
                         direct_selection=None if directs is None else directs[i],
                         features=features,
                     )
-                    decision = policy.decide(observation)
+                    decision = self._decide(policy, observation, state, guarded)
                     decisions.append(decision)
                     account = self._account(frame, spec, policy, decision, state)
                     accounts.append(account)
@@ -708,15 +830,17 @@ class ClosedLoopRunner:
                         energy_j=account.platform_joules + account.sensor_joules,
                         soc=account.soc,
                     )
+                    if assessment.state is not HealthState.NOMINAL:
+                        frame_span.set(health=assessment.state.value)
                     if decision.fault_masked:
                         frame_span.set(fault_masked=True)
 
             with tracer.span("branches"):
                 fused = self._execute_window(chunk, samples, decisions, features)
-            for frame, decision, account, detections in zip(
-                chunk, decisions, accounts, fused
+            for frame, decision, account, detections, assessment in zip(
+                chunk, decisions, accounts, fused, assessments
             ):
-                self._record(frame, decision, account, detections, state)
+                self._record(frame, decision, account, detections, state, assessment)
 
     def _execute_window(
         self,
@@ -803,9 +927,17 @@ class ClosedLoopRunner:
         account: _FrameAccount,
         detections,
         state: "_DriveState",
+        assessment: HealthAssessment,
     ) -> None:
         sample = frame.sample
         config = decision.config
+        # Numeric guard: drop NaN/inf detection rows before they reach
+        # fusion-loss and mAP arithmetic.  Clean frames get the same
+        # object back, so healthy drives stay bit-identical.
+        clean = sanitize_detections(detections)
+        if clean is not detections:
+            state.guard_nonfinite_detections += 1
+            detections = clean
         loss = (
             self.cache.get_loss(sample, config.name)
             if self.cache is not None
@@ -831,6 +963,7 @@ class ClosedLoopRunner:
                 num_detections=len(detections),
                 loss=loss,
                 lambda_e=decision.lambda_e,
+                health_state=assessment.state.value,
             )
         )
         state.detections_per_frame.append(detections)
@@ -838,17 +971,36 @@ class ClosedLoopRunner:
         state.gt_labels.append(sample.labels)
 
     # ------------------------------------------------------------------
-    def _healthy_for(
-        self, frame: DriveFrame, state: "_DriveState"
+    # Health-monitor masking ladder
+    # ------------------------------------------------------------------
+    def _mask_for(
+        self,
+        assessment: HealthAssessment,
+        frame: DriveFrame,
+        state: "_DriveState",
     ) -> np.ndarray | None:
-        """The frame's per-config health mask, or None when inactive.
+        """Per-config mask the monitor's state prescribes, or None.
 
-        Inactive means no faults, the runner-wide switch is off, or the
-        drive's policy opted out (``use_fault_masking=False``).
+        None opens the full configuration space: the monitor is NOMINAL
+        (including faulted frames still inside the detection-latency
+        window — exactly the exposure a detection delay models), masking
+        is disabled for this drive/policy, or a degraded posture is being
+        held over healthy frames by recovery hysteresis (nothing to mask
+        then).  With the default monitor config this reproduces the
+        legacy stateless masking bit-for-bit.
         """
-        if not (state.mask_faults and frame.faulted_sensors):
+        if not state.mask_faults:
             return None
-        return self._healthy_mask(frame.faulted_sensors)
+        health = assessment.state
+        if health is HealthState.SAFE_STOP:
+            return self._safe_stop_mask()
+        if not frame.faulted_sensors:
+            return None
+        if health is HealthState.LIMP_HOME:
+            return self._limp_mask(frame.faulted_sensors)
+        if health is HealthState.DEGRADED:
+            return self._healthy_mask(frame.faulted_sensors)
+        return None
 
     def _healthy_mask(self, faulted: tuple[str, ...]) -> np.ndarray:
         """True where a configuration touches no failed sensor.
@@ -870,6 +1022,68 @@ class ClosedLoopRunner:
         mask.setflags(write=False)
         self._healthy_memo[faulted] = mask
         return mask
+
+    def _energies(self) -> np.ndarray:
+        """Offline per-config energy table, library order (memoized)."""
+        if self._energy_table is None:
+            table = np.asarray(self.model.energies(), dtype=np.float64)
+            table.setflags(write=False)
+            self._energy_table = table
+        return self._energy_table
+
+    def _one_hot(self, index: int) -> np.ndarray:
+        mask = np.zeros(len(self.model.library), dtype=bool)
+        mask[index] = True
+        mask.setflags(write=False)
+        return mask
+
+    def _limp_mask(self, faulted: tuple[str, ...]) -> np.ndarray:
+        """One-hot: the cheapest configuration avoiding the failed sensors.
+
+        When every configuration is impacted (``_healthy_mask`` relaxed
+        to all-ones) this degenerates to the cheapest configuration
+        overall — still the right limp-home answer.  Memoized per
+        fault-set, like the healthy mask.
+        """
+        cached = self._limp_memo.get(faulted)
+        if cached is not None:
+            return cached
+        healthy = self._healthy_mask(faulted)
+        energies = self._energies()
+        candidates = np.flatnonzero(healthy)
+        index = int(candidates[np.argmin(energies[candidates])])
+        mask = self._one_hot(index)
+        self._limp_memo[faulted] = mask
+        return mask
+
+    def _safe_stop_mask(self) -> np.ndarray:
+        """One-hot: the cheapest configuration outright (brownout)."""
+        if self._cheapest_mask is None:
+            self._cheapest_mask = self._one_hot(int(np.argmin(self._energies())))
+        return self._cheapest_mask
+
+    def _configs_by_name(self) -> dict[str, ModelConfiguration]:
+        if self._config_index is None:
+            self._config_index = {c.name: c for c in self.model.library}
+        return self._config_index
+
+    def _fallback_decision(self, state: "_DriveState") -> PolicyDecision:
+        """Last-good-config decision for frames with NaN/inf gate losses.
+
+        Repeats the previous frame's configuration (so ``switched`` stays
+        False and hysteresis-style continuity is preserved); on a corrupt
+        *first* frame there is no incumbent, so the cheapest configuration
+        stands in.
+        """
+        state.guard_nonfinite_gate += 1
+        config = None
+        if state.previous_config is not None:
+            config = self._configs_by_name().get(state.previous_config)
+        if config is None:
+            config = self.model.library[int(np.argmin(self._energies()))]
+        return PolicyDecision(
+            config=config, diagnostics={"guard": "nonfinite_gate"}
+        )
 
     def _execute(self, frame: DriveFrame, config: ModelConfiguration, features):
         """Run the chosen configuration's branches and late-fuse."""

@@ -15,6 +15,7 @@ long drives stream in constant memory.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -57,12 +58,36 @@ def apply_fault(
     mode: str,
     rng: np.random.Generator,
     last_healthy: np.ndarray | None = None,
+    *,
+    progress: float = 0.0,
+    severity: float = 1.0,
+    delayed: np.ndarray | None = None,
 ) -> np.ndarray:
     """Return the faulted version of one sensor frame.
 
-    ``blackout`` zeroes the frame, ``noise`` replaces it with uniform
-    noise, ``stuck`` replays ``last_healthy`` (falling back to blackout
-    on the very first frame, when no healthy capture exists yet).
+    Binary modes: ``blackout`` zeroes the frame, ``noise`` replaces it
+    with uniform noise, ``stuck`` replays ``last_healthy``.  **Stuck
+    first-frame semantics:** when no healthy capture exists yet —
+    ``last_healthy is None``, i.e. the fault starts at frame 0 or the
+    sensor has been degraded since the drive began — ``stuck`` falls
+    back to blackout (an all-zero frame), never to the *faulted* capture
+    it is freezing over.
+
+    Graded modes take the extra keyword arguments: ``progress`` is the
+    position inside the fault window in [0, 1) (see
+    :meth:`SensorFault.progress_at`), ``severity`` the fault's amplitude
+    knob, and ``delayed`` the buffered capture the ``latency`` mode
+    should deliver (``None`` falls back to the ``stuck`` semantics —
+    replay ``last_healthy`` or black out).
+
+    * ``noise_burst`` blends noise over the healthy frame with a
+      triangular amplitude envelope peaking at ``severity`` mid-window;
+    * ``flicker`` blacks the frame out with probability ``severity``
+      (one scalar draw per frame) and passes it through *bit-identical*
+      otherwise;
+    * ``drift`` adds a constant bias ramping linearly from 0 to
+      ``severity`` across the window (RNG-free);
+    * ``latency`` returns a copy of ``delayed``.
     """
     if mode == "blackout":
         return np.zeros_like(frame)
@@ -72,6 +97,24 @@ def apply_fault(
         if last_healthy is None:
             return np.zeros_like(frame)
         return last_healthy.copy()
+    if mode == "noise_burst":
+        # Triangular envelope: 0 at the window edges, 1 at the midpoint.
+        envelope = 1.0 - abs(2.0 * progress - 1.0)
+        amplitude = np.float32(min(max(severity * envelope, 0.0), 1.0))
+        noise = rng.random(frame.shape).astype(np.float32)
+        return (1.0 - amplitude) * frame + amplitude * noise
+    if mode == "flicker":
+        if rng.random() < severity:
+            return np.zeros_like(frame)
+        return frame
+    if mode == "drift":
+        return frame + np.float32(severity * progress)
+    if mode == "latency":
+        if delayed is None:
+            if last_healthy is None:
+                return np.zeros_like(frame)
+            return last_healthy.copy()
+        return delayed.copy()
     raise ValueError(f"unknown fault mode '{mode}'")
 
 
@@ -109,6 +152,16 @@ class DriveSource:
         profile = segment.profile()
         scene = generate_scene(profile, rng, image_size=self.image_size)
         last_healthy: dict[str, np.ndarray] = {}
+        # Rolling pre-fault capture buffers, only for sensors a "latency"
+        # fault targets (zero cost for every other drive).  A buffer of
+        # maxlen lag+1 holds captures t-lag..t once warm, so the oldest
+        # entry is exactly the frame a lag-delayed pipeline delivers.
+        max_lag: dict[str, int] = {}
+        for f in self.spec.faults:
+            if f.mode == "latency":
+                for sensor in f.affected:
+                    max_lag[sensor] = max(max_lag.get(sensor, 0), f.lag)
+        history = {s: deque(maxlen=lag + 1) for s, lag in max_lag.items()}
 
         for t in range(self.spec.num_frames):
             new_index, new_segment = self.spec.segment_at(t)
@@ -129,13 +182,25 @@ class DriveSource:
             for name, tensor in sensors.items():
                 if name not in faulted:
                     last_healthy[name] = tensor
+            # Latency buffers always record the true (pre-fault) capture,
+            # inside and outside the fault window alike.
+            for name, buffer in history.items():
+                buffer.append(sensors[name])
             for fault in faults:
+                progress = fault.progress_at(t)
                 for sensor in fault.affected:
+                    delayed = None
+                    if fault.mode == "latency":
+                        buffer = history[sensor]
+                        delayed = buffer[max(len(buffer) - 1 - fault.lag, 0)]
                     sensors[sensor] = apply_fault(
                         sensors[sensor],
                         fault.mode,
                         fault_rng,
                         last_healthy.get(sensor),
+                        progress=progress,
+                        severity=fault.severity,
+                        delayed=delayed,
                     )
             sample = Sample(
                 sensors=sensors,

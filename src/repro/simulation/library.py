@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from .scenario import ScenarioSpec, SegmentSpec, SensorFault
 
-__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+__all__ = [
+    "SCENARIOS",
+    "CHAOS_SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "chaos_scenario_names",
+]
 
 
 def _spec(name: str, description: str, segments, faults=()) -> ScenarioSpec:
@@ -135,15 +141,90 @@ SCENARIOS: dict[str, ScenarioSpec] = {
 }
 
 
+# ----------------------------------------------------------------------
+# Chaos library: fault-heavy drives for the resilience subsystem.
+#
+# Deliberately a SEPARATE dict: DriveTrainingConfig's empty-scenarios
+# default expands to the *base* library and feeds its cache_key, so
+# adding entries to SCENARIOS would silently invalidate every persisted
+# drive-gate artifact.  Chaos drives exercise the graded fault taxonomy
+# (noise_burst / flicker / drift / latency) and the health monitor's
+# full degradation ladder; they are swept by the chaos benchmark and the
+# fuzzer, never by gate training.
+# ----------------------------------------------------------------------
+CHAOS_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "chaos_flicker_alley",
+            "City crawl with a flickering camera and a radar noise burst "
+            "overlapping mid-drive — intermittent per-frame dropouts that "
+            "punish a monitor without debounce.",
+            [
+                SegmentSpec("city", 64, ego_speed=0.6, traffic=1.4),
+                SegmentSpec("junction", 48, ego_speed=0.4, traffic=1.6),
+                SegmentSpec("city", 48, ego_speed=0.7),
+            ],
+            faults=[
+                SensorFault("camera", start=24, duration=64, mode="flicker",
+                            severity=0.6),
+                SensorFault("radar", start=56, duration=48, mode="noise_burst",
+                            severity=0.9),
+            ],
+        ),
+        _spec(
+            "chaos_sensor_meltdown",
+            "Motorway soak where calibration drift on the lidar escalates "
+            "into a simultaneous camera+lidar outage — three physical "
+            "streams down at once, the LIMP_HOME stress case.",
+            [
+                SegmentSpec("motorway", 96, ego_speed=1.5, traffic=0.9),
+                SegmentSpec("rural", 96, ego_speed=1.1),
+            ],
+            faults=[
+                SensorFault("lidar", start=24, duration=48, mode="drift",
+                            severity=0.8),
+                SensorFault("lidar", start=96, duration=56, mode="blackout"),
+                SensorFault("camera", start=104, duration=40, mode="blackout"),
+            ],
+        ),
+        _spec(
+            "chaos_latency_cascade",
+            "Night rain with a lagging camera pipeline, a stuck radar and "
+            "a late lidar noise burst — staggered graded faults that keep "
+            "the monitor bouncing between postures.",
+            [
+                SegmentSpec("night", 72, ego_speed=0.9),
+                SegmentSpec("rain", 88, ego_speed=0.7),
+            ],
+            faults=[
+                SensorFault("camera", start=16, duration=48, mode="latency",
+                            lag=3),
+                SensorFault("radar", start=72, duration=32, mode="stuck"),
+                SensorFault("lidar", start=116, duration=36, mode="noise_burst",
+                            severity=0.7),
+            ],
+        ),
+    )
+}
+
+
 def scenario_names() -> tuple[str, ...]:
     return tuple(SCENARIOS)
 
 
+def chaos_scenario_names() -> tuple[str, ...]:
+    return tuple(CHAOS_SCENARIOS)
+
+
 def get_scenario(name: str) -> ScenarioSpec:
-    """Look up a library scenario (KeyError lists valid names on typo)."""
-    try:
-        return SCENARIOS[name]
-    except KeyError:
+    """Look up a scenario in the base or chaos library (KeyError on typo)."""
+    spec = SCENARIOS.get(name)
+    if spec is None:
+        spec = CHAOS_SCENARIOS.get(name)
+    if spec is None:
         raise KeyError(
-            f"unknown scenario '{name}'; valid: {sorted(SCENARIOS)}"
-        ) from None
+            f"unknown scenario '{name}'; valid: "
+            f"{sorted(SCENARIOS)} + chaos: {sorted(CHAOS_SCENARIOS)}"
+        )
+    return spec

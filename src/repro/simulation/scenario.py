@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import warnings
 from dataclasses import dataclass
 
 from ..datasets.contexts import ContextProfile, get_context
@@ -27,11 +28,26 @@ __all__ = [
 
 # Supported degradation modes for injected faults:
 #
-# * ``blackout`` — the sensor delivers all-zero frames (power/cable loss);
-# * ``noise``    — the sensor delivers pure noise (interference, EMI);
-# * ``stuck``    — the sensor repeats its last healthy frame (a frozen
-#   capture pipeline, the classic silent failure).
-FAULT_MODES: tuple[str, ...] = ("blackout", "noise", "stuck")
+# * ``blackout``    — the sensor delivers all-zero frames (power/cable loss);
+# * ``noise``       — the sensor delivers pure noise (interference, EMI);
+# * ``stuck``       — the sensor repeats its last healthy frame (a frozen
+#   capture pipeline, the classic silent failure);
+# * ``noise_burst`` — noise blended over the healthy frame with a
+#   time-varying (triangular ramp-up/ramp-down) amplitude scaled by
+#   ``severity`` — interference that swells and fades rather than
+#   switching on;
+# * ``flicker``     — intermittent per-frame dropout: each frame inside
+#   the window independently blacks out with probability ``severity``,
+#   and passes through *unchanged* otherwise (a loose connector);
+# * ``drift``       — progressive calibration bias: a deterministic
+#   additive offset ramping from 0 to ``severity`` across the window
+#   (thermal drift, miscalibration);
+# * ``latency``     — the sensor delivers the capture from ``lag`` frames
+#   earlier (a stalled pipeline repeats the oldest buffered frame at the
+#   window start).
+FAULT_MODES: tuple[str, ...] = (
+    "blackout", "noise", "stuck", "noise_burst", "flicker", "drift", "latency",
+)
 
 # ``sensor`` may name one physical stream or the "camera" group (the ZED
 # is one device: a failure takes both stereo views down together).
@@ -101,12 +117,20 @@ class SegmentSpec:
 
 @dataclass(frozen=True)
 class SensorFault:
-    """A scheduled degradation window on one sensor (or sensor group)."""
+    """A scheduled degradation window on one sensor (or sensor group).
+
+    ``severity`` shapes the graded modes — noise amplitude for
+    ``noise_burst``, per-frame dropout probability for ``flicker``, peak
+    additive bias for ``drift`` — and is ignored by the binary modes.
+    ``lag`` is the ``latency`` mode's delay in frames.
+    """
 
     sensor: str
     start: int
     duration: int
     mode: str = "blackout"
+    severity: float = 1.0
+    lag: int = 2
 
     def __post_init__(self) -> None:
         if self.sensor not in SENSOR_GROUPS:
@@ -117,6 +141,20 @@ class SensorFault:
             raise ValueError(f"unknown fault mode '{self.mode}'; valid: {FAULT_MODES}")
         if self.start < 0 or self.duration < 1:
             raise ValueError("fault needs start >= 0 and duration >= 1")
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("fault severity must be in (0, 1]")
+        if self.lag < 1:
+            raise ValueError("latency lag must be >= 1 frame")
+
+    def progress_at(self, t: int) -> float:
+        """Position of frame ``t`` inside the window, in [0, 1).
+
+        0 at the first faulted frame; graded modes (``noise_burst``
+        envelope, ``drift`` ramp) key their time variation off this.
+        """
+        if not self.active_at(t):
+            raise ValueError(f"frame {t} is outside fault window {self.label}")
+        return (t - self.start) / self.duration
 
     @property
     def affected(self) -> tuple[str, ...]:
@@ -143,12 +181,32 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.segments:
             raise ValueError(f"scenario '{self.name}' has no segments")
+        total = self.num_frames
+        clamped: list[SensorFault] = []
+        changed = False
         for fault in self.faults:
-            if fault.start >= self.num_frames:
+            if fault.start >= total:
                 raise ValueError(
                     f"fault {fault.label} starts at frame {fault.start}, but "
-                    f"scenario '{self.name}' only has {self.num_frames} frames"
+                    f"scenario '{self.name}' only has {total} frames"
                 )
+            if fault.start + fault.duration > total:
+                # A window overhanging the end of the drive is almost
+                # always a spec arithmetic slip; clamp rather than crash,
+                # but loudly — silent truncation would hide it.
+                kept = total - fault.start
+                warnings.warn(
+                    f"scenario '{self.name}': fault {fault.label} window "
+                    f"[{fault.start}, {fault.start + fault.duration}) overhangs "
+                    f"the {total}-frame drive; clamping duration "
+                    f"{fault.duration} -> {kept}",
+                    stacklevel=3,
+                )
+                fault = dataclasses.replace(fault, duration=kept)
+                changed = True
+            clamped.append(fault)
+        if changed:
+            object.__setattr__(self, "faults", tuple(clamped))
 
     @property
     def num_frames(self) -> int:
@@ -214,7 +272,11 @@ def scaled(spec: ScenarioSpec, factor: float) -> ScenarioSpec:
 
     Segment lengths and fault windows scale together (each keeps at least
     one frame), so a library scenario can be shortened for tests or
-    stretched into a long soak run without editing the spec.
+    stretched into a long soak run without editing the spec.  Each scaled
+    fault start is clamped into its *original segment's* scaled frame
+    range, so a fault scheduled inside segment k still overlaps segment k
+    after scaling (independent rounding of segment lengths and fault
+    starts could otherwise push a fault across a boundary).
     """
     if factor <= 0:
         raise ValueError("scale factor must be positive")
@@ -222,13 +284,18 @@ def scaled(spec: ScenarioSpec, factor: float) -> ScenarioSpec:
         dataclasses.replace(s, frames=max(int(round(s.frames * factor)), 1))
         for s in spec.segments
     )
-    total = sum(s.frames for s in segments)
-    faults = tuple(
-        dataclasses.replace(
-            f,
-            start=min(int(round(f.start * factor)), total - 1),
-            duration=max(int(round(f.duration * factor)), 1),
-        )
-        for f in spec.faults
-    )
-    return dataclasses.replace(spec, segments=segments, faults=faults)
+    # Scaled segment boundaries: edges[k] .. edges[k+1] is segment k.
+    edges = [0]
+    for segment in segments:
+        edges.append(edges[-1] + segment.frames)
+    total = edges[-1]
+    faults = []
+    for f in spec.faults:
+        seg_index, _ = spec.segment_at(f.start)
+        lo, hi = edges[seg_index], edges[seg_index + 1]
+        start = min(int(round(f.start * factor)), total - 1)
+        start = min(max(start, lo), hi - 1)
+        duration = max(int(round(f.duration * factor)), 1)
+        duration = min(duration, total - start)  # pre-clamp: no overhang warning
+        faults.append(dataclasses.replace(f, start=start, duration=duration))
+    return dataclasses.replace(spec, segments=segments, faults=tuple(faults))

@@ -37,6 +37,7 @@ from pathlib import Path
 from ..core.ecofusion import BranchOutputCache
 from ..core.training_drive import DriveTrainingConfig, ensure_policy_gates
 from ..policies import PolicySpec, get_policy_spec
+from ..resilience.monitor import HealthMonitorConfig
 from ..telemetry import Telemetry
 from ..telemetry.metrics import WALL_BUCKETS_S
 from .closed_loop import ClosedLoopRunner
@@ -97,6 +98,10 @@ class SweepShard:
     # writes ``<trace_dir>/trace_<scenario>.jsonl``.
     collect_telemetry: bool = False
     trace_dir: str | None = None
+    # Health-monitor configuration for every drive in the shard (None =
+    # the default monitor: legacy masking, no health block on traces).
+    # Frozen dataclass of scalars, so it pickles to pool workers intact.
+    health: HealthMonitorConfig | None = None
 
     def resolve_spec(self) -> ScenarioSpec:
         spec = get_scenario(self.scenario)
@@ -131,7 +136,8 @@ def run_shard(
         )
     spec = shard.resolve_spec()
     runner = ClosedLoopRunner(
-        system.model, cache=BranchOutputCache(), telemetry=tel
+        system.model, cache=BranchOutputCache(), telemetry=tel,
+        health=shard.health,
     )
     wall_hist = None
     if tel is not None and tel.metrics.enabled:
@@ -243,6 +249,7 @@ def run_sweep(
     drive_config: DriveTrainingConfig | None = None,
     telemetry: Telemetry | None = None,
     trace_dir: str | None = None,
+    health: HealthMonitorConfig | None = None,
     progress=None,
 ) -> dict[str, dict[str, dict]]:
     """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
@@ -292,6 +299,7 @@ def run_sweep(
             artifact_root=artifact_root,
             collect_telemetry=collect_metrics,
             trace_dir=str(trace_dir) if trace_dir is not None else None,
+            health=health,
         )
         for name in names
     ]

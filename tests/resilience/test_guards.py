@@ -1,0 +1,113 @@
+"""Runtime guards: detection sanitation and engine-fault injection.
+
+The injector integration test drives the real compiled engine: with
+replay faults injected, a compiled drive must fall back to eager
+execution frame-by-frame and still produce byte-identical records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import engine
+from repro.perception.detections import Detections
+from repro.policies import build_policy
+from repro.resilience import (
+    finite_detections,
+    inject_replay_faults,
+    sanitize_detections,
+)
+from repro.simulation import ClosedLoopRunner, get_scenario, scaled
+
+
+def detections(boxes, scores):
+    boxes = np.asarray(boxes, dtype=np.float32).reshape(-1, 4)
+    scores = np.asarray(scores, dtype=np.float32)
+    return Detections(boxes, scores, np.zeros(len(scores), dtype=np.int64))
+
+
+class TestSanitizeDetections:
+    def test_finite_input_returns_the_same_object(self):
+        clean = detections([[0, 0, 4, 4], [1, 1, 2, 2]], [0.9, 0.5])
+        assert finite_detections(clean)
+        assert sanitize_detections(clean) is clean
+
+    def test_nan_box_row_dropped_others_preserved(self):
+        dirty = detections(
+            [[0, 0, 4, 4], [np.nan, 1, 2, 2], [3, 3, 5, 5]], [0.9, 0.8, 0.7]
+        )
+        cleaned = sanitize_detections(dirty)
+        assert len(cleaned) == 2
+        np.testing.assert_array_equal(
+            cleaned.scores, np.array([0.9, 0.7], dtype=np.float32)
+        )
+        np.testing.assert_array_equal(
+            cleaned.boxes, [[0, 0, 4, 4], [3, 3, 5, 5]]
+        )
+
+    def test_inf_score_row_dropped(self):
+        dirty = detections([[0, 0, 4, 4], [1, 1, 2, 2]], [np.inf, 0.5])
+        cleaned = sanitize_detections(dirty)
+        assert len(cleaned) == 1
+        assert cleaned.scores[0] == np.float32(0.5)
+
+    def test_all_rows_nonfinite_yields_empty(self):
+        dirty = detections([[np.nan] * 4], [np.nan])
+        assert len(sanitize_detections(dirty)) == 0
+
+    def test_empty_input_is_identity(self):
+        empty = Detections()
+        assert sanitize_detections(empty) is empty
+
+
+class TestInjectorScoping:
+    def test_budget_site_filter_and_restoration(self):
+        previous = engine.set_replay_fault_injector(None)
+        try:
+            with inject_replay_faults(times=2, site_substring="gate") as stats:
+                active = engine.set_replay_fault_injector(None)
+                engine.set_replay_fault_injector(active)
+                active("branch_trunk")  # filtered site: no raise
+                with pytest.raises(RuntimeError, match="injected replay fault"):
+                    active("gate_trunk")
+                with pytest.raises(RuntimeError):
+                    active("gate_trunk")
+                active("gate_trunk")  # budget of 2 exhausted: no raise
+            assert stats["injected"] == 2
+            # Scope exit restores whatever was installed before.
+            assert engine.set_replay_fault_injector(None) is None
+        finally:
+            engine.set_replay_fault_injector(previous)
+
+    def test_unlimited_budget(self):
+        with inject_replay_faults(times=None) as stats:
+            active = engine.set_replay_fault_injector(None)
+            engine.set_replay_fault_injector(active)
+            for _ in range(5):
+                with pytest.raises(RuntimeError):
+                    active("any_site")
+        assert stats["injected"] == 5
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_NO_COMPILE") == "1",
+    reason="compiled engine force-disabled; nothing to inject into",
+)
+class TestReplayFaultFallback:
+    def test_sabotaged_drive_is_bit_identical(self, tiny_system):
+        spec = scaled(get_scenario("chaos_flicker_alley"), 0.15)
+        policy = build_policy("ecofusion_attention", tiny_system)
+        runner = ClosedLoopRunner(tiny_system.model)
+        baseline = runner.run(spec, policy, window=4, compiled=True)
+
+        before = engine.engine_stats()["replay_fallbacks"]
+        with inject_replay_faults(times=3) as stats:
+            sabotaged = runner.run(spec, policy, window=4, compiled=True)
+        rescued = engine.engine_stats()["replay_fallbacks"] - before
+
+        assert stats["injected"] == 3
+        assert rescued == 3  # every injected failure fell back to eager
+        assert baseline.records_hex() == sabotaged.records_hex()

@@ -1,0 +1,137 @@
+"""Health monitor threaded through real drives: traces, modes, sweeps.
+
+Integration coverage on the session ``tiny_system``: the armed monitor
+must behave identically across sequential/windowed execution and across
+``jobs=1`` / ``jobs=2`` sweep sharding, and the default (unarmed) runner
+must leave the trace schema exactly as it was before the resilience
+subsystem existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.hardware.battery import BatteryState, NOMINAL_EV
+from repro.policies import build_policy, get_policy_spec
+from repro.resilience import HealthMonitorConfig, check_invariants
+from repro.simulation import (
+    CHAOS_SCENARIOS,
+    ClosedLoopRunner,
+    get_scenario,
+    run_sweep,
+    scaled,
+)
+
+ARMED = HealthMonitorConfig(
+    detection_latency=1,
+    recovery_hysteresis=2,
+    limp_home_streams=3,
+    soc_floor=0.05,
+    soc_recover=0.10,
+)
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return scaled(get_scenario("chaos_sensor_meltdown"), SCALE)
+
+
+@pytest.fixture(scope="module")
+def policy_factory(tiny_system):
+    return lambda: build_policy("ecofusion_attention", tiny_system)
+
+
+class TestTraceSchema:
+    def test_unarmed_runner_keeps_the_legacy_schema(self, tiny_system, spec, policy_factory):
+        trace = ClosedLoopRunner(tiny_system.model).run(spec, policy_factory())
+        assert trace.health is None
+        assert all("health" not in entry for entry in trace.records_hex())
+        # Default monitor = legacy stateless masking: degraded exactly on
+        # faulted frames, nominal everywhere else.
+        for record in trace.records:
+            expected = "degraded" if record.fault_labels else "nominal"
+            assert record.health_state == expected
+
+    def test_armed_runner_attaches_the_health_block(self, tiny_system, spec, policy_factory):
+        runner = ClosedLoopRunner(tiny_system.model, health=ARMED)
+        trace = runner.run(spec, policy_factory(), window=4)
+        assert trace.health["config"] == asdict(ARMED)
+        assert trace.health["occupancy"] == trace.health_histogram
+        assert trace.health["guards"] == {
+            "nonfinite_gate": 0,
+            "nonfinite_detections": 0,
+        }
+        assert trace.health["transitions"] > 0
+        hex_records = trace.records_hex()
+        assert all("health" in entry for entry in hex_records)
+        assert {e["health"] for e in hex_records} == set(
+            trace.health_histogram
+        )
+
+    def test_meltdown_reaches_limp_home(self, tiny_system, spec, policy_factory):
+        runner = ClosedLoopRunner(tiny_system.model, health=ARMED)
+        trace = runner.run(spec, policy_factory(), window=4)
+        assert trace.health_histogram.get("limp_home", 0) > 0
+
+    def test_armed_drive_satisfies_every_invariant(self, tiny_system, spec, policy_factory):
+        runner = ClosedLoopRunner(tiny_system.model, health=ARMED)
+        trace = runner.run(spec, policy_factory(), window=4)
+        assert check_invariants(trace, library=tiny_system.library) == []
+
+
+class TestExecutionModeAgreement:
+    def test_sequential_and_windowed_bit_identical_when_armed(
+        self, tiny_system, spec, policy_factory
+    ):
+        runner = ClosedLoopRunner(tiny_system.model, health=ARMED)
+        sequential = runner.run(spec, policy_factory(), window=1)
+        windowed = runner.run(spec, policy_factory(), window=4)
+        assert sequential.records_hex() == windowed.records_hex()
+        assert sequential.health == windowed.health
+
+
+class TestSafeStop:
+    def test_brownout_start_pins_safe_stop(self, tiny_system, spec, policy_factory):
+        runner = ClosedLoopRunner(tiny_system.model, health=ARMED)
+        trace = runner.run(
+            spec,
+            policy_factory(),
+            battery=BatteryState(vehicle=NOMINAL_EV, soc=0.04),
+        )
+        # SoC only drains, so the brownout latch never releases.
+        assert trace.records[0].health_state == "safe_stop"
+        assert trace.health_histogram == {"safe_stop": trace.num_frames}
+        assert check_invariants(trace, library=tiny_system.library) == []
+
+
+class TestSweepAgreement:
+    def test_jobs_1_and_2_agree_on_health_counters(self, tiny_system):
+        names = list(CHAOS_SCENARIOS)[:2]
+        policies = (get_policy_spec("ecofusion_attention"),)
+        kwargs = dict(
+            scenarios=names,
+            policies=policies,
+            scale=0.1,
+            seed=3,
+            window=4,
+            health=ARMED,
+        )
+        solo = run_sweep(tiny_system, jobs=1, **kwargs)
+        pool = run_sweep(tiny_system, jobs=2, **kwargs)
+
+        def strip(results):
+            return {
+                s: {p: {k: v for k, v in e.items() if k != "wall_seconds"}
+                    for p, e in per.items()}
+                for s, per in results.items()
+            }
+
+        assert strip(solo) == strip(pool)
+        for scenario in names:
+            entry = solo[scenario]["ecofusion_attention"]
+            assert entry["health"]["config"] == asdict(ARMED)
+            assert sum(entry["health"]["occupancy"].values()) == entry["num_frames"]

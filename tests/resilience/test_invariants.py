@@ -1,0 +1,235 @@
+"""Safety-invariant checker: clean traces pass, corrupted traces don't.
+
+These tests build synthetic traces by hand so every invariant can be
+violated surgically — one corrupted field, one expected violation — and
+the checker's output is verified as *data* (the fuzzer consumes it that
+way).  End-to-end "a real drive passes" coverage lives in
+``test_health_integration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.resilience import (
+    HealthMonitorConfig,
+    InvariantViolation,
+    check_invariants,
+)
+from repro.resilience.invariants import affected_streams
+from repro.simulation import DriveTrace, FrameRecord
+
+
+def record(t: int, **over) -> FrameRecord:
+    base = dict(
+        time_index=t,
+        segment_index=0,
+        context="city",
+        config_name="all_on",
+        switched=False,
+        fault_labels=(),
+        fault_masked=False,
+        latency_ms=12.0,
+        platform_energy_joules=1.5,
+        sensor_energy_joules=0.5,
+        battery_soc=max(0.9 - 0.01 * t, 0.0),
+        num_detections=3,
+        loss=0.25,
+        health_state="nominal",
+    )
+    base.update(over)
+    return FrameRecord(**base)
+
+
+def trace(records, initial_soc=1.0, health=None, policy_info=None) -> DriveTrace:
+    built = DriveTrace(
+        scenario="synthetic",
+        policy="synthetic",
+        records=records,
+        map_result=None,
+        final_soc=records[-1].battery_soc if records else initial_soc,
+        policy_info=policy_info or {},
+        initial_soc=initial_soc,
+    )
+    built.health = health
+    return built
+
+
+def broken(violations, invariant) -> list[InvariantViolation]:
+    return [v for v in violations if v.invariant == invariant]
+
+
+class TestAffectedStreams:
+    def test_group_labels_expand_to_member_streams(self):
+        assert affected_streams(("camera:blackout",)) == (
+            "camera_left",
+            "camera_right",
+        )
+
+    def test_physical_labels_pass_through_sorted_and_deduped(self):
+        labels = ("radar:noise", "lidar:drift", "radar:flicker")
+        assert affected_streams(labels) == ("lidar", "radar")
+
+
+class TestBasicInvariants:
+    def test_clean_trace_has_no_violations(self):
+        assert check_invariants(trace([record(0), record(1), record(2)])) == []
+
+    def test_initial_soc_out_of_bounds(self):
+        violations = check_invariants(trace([record(0)], initial_soc=1.5))
+        assert broken(violations, "soc_bounds")
+
+    def test_frame_soc_out_of_bounds(self):
+        bad = record(1, battery_soc=-0.01)
+        violations = check_invariants(trace([record(0), bad]))
+        assert broken(violations, "soc_bounds")[0].frame == 1
+
+    def test_time_index_must_strictly_increase(self):
+        violations = check_invariants(trace([record(0), record(2), record(2)]))
+        assert broken(violations, "frame_monotone")[0].frame == 2
+
+    @pytest.mark.parametrize(
+        "over",
+        [
+            {"loss": float("nan")},
+            {"platform_energy_joules": float("inf")},
+            {"sensor_energy_joules": -1.0},
+            {"latency_ms": float("nan")},
+            {"num_detections": -1},
+        ],
+    )
+    def test_nonfinite_or_negative_physics(self, over):
+        violations = check_invariants(trace([record(0, **over)]))
+        assert broken(violations, "energy")
+
+    def test_violations_serialize_for_the_fuzzer(self):
+        violations = check_invariants(trace([record(0, loss=float("nan"))]))
+        payload = violations[0].to_dict()
+        assert payload == {
+            "invariant": "energy",
+            "frame": 0,
+            "message": payload["message"],
+        }
+
+
+class TestStateMachineLegality:
+    def test_default_config_faulted_frame_must_be_degraded(self):
+        lying = record(0, fault_labels=("radar:noise",), health_state="nominal")
+        violations = check_invariants(trace([lying]))
+        assert broken(violations, "state_machine")[0].frame == 0
+
+    def test_default_config_correct_states_pass(self):
+        records = [
+            record(0),
+            record(1, fault_labels=("radar:noise",), health_state="degraded"),
+            record(2),
+        ]
+        assert check_invariants(trace(records)) == []
+
+    def test_detection_latency_comes_from_the_health_block(self):
+        # Under latency=1 the first faulted frame is legally NOMINAL —
+        # but only if the trace carries its monitor config.
+        cfg = HealthMonitorConfig(detection_latency=1)
+        records = [
+            record(0, fault_labels=("radar:noise",), health_state="nominal"),
+            record(1, fault_labels=("radar:noise",), health_state="degraded"),
+        ]
+        armed = trace(records, health={"config": asdict(cfg)})
+        assert check_invariants(armed) == []
+        # The same records under the default (zero-latency) config lie.
+        assert broken(check_invariants(trace(records)), "state_machine")
+
+    def test_replay_uses_pre_drain_soc(self):
+        # Frame 0's monitor input is initial_soc; frame 1's is frame 0's
+        # recorded post-drain SoC.  Starting below the floor must read
+        # SAFE_STOP on frame 0 even though frame 0's own SoC field is
+        # higher than the recovery level here.
+        cfg = HealthMonitorConfig(soc_floor=0.10, soc_recover=0.20)
+        records = [
+            record(0, battery_soc=0.5, health_state="safe_stop"),
+            record(1, battery_soc=0.5, health_state="nominal"),
+        ]
+        armed = trace(
+            records, initial_soc=0.05, health={"config": asdict(cfg)}
+        )
+        assert check_invariants(armed) == []
+
+    def test_broken_hysteresis_is_flagged(self):
+        cfg = HealthMonitorConfig(recovery_hysteresis=2)
+        records = [
+            record(0, fault_labels=("radar:noise",), health_state="degraded"),
+            record(1, health_state="nominal"),  # must still hold DEGRADED
+        ]
+        armed = trace(records, health={"config": asdict(cfg)})
+        assert broken(check_invariants(armed), "state_machine")[0].frame == 1
+
+
+class _Config:
+    def __init__(self, name, sensors):
+        self.name = name
+        self.sensors = sensors
+
+
+LIBRARY = [
+    _Config("all_on", ("camera_left", "camera_right", "radar", "lidar")),
+    _Config("cameras", ("camera_left", "camera_right")),
+    _Config("radar_only", ("radar",)),
+]
+
+MASKING_INFO = {"kind": "ecofusion", "fault_masking": True}
+
+
+class TestMaskedConfig:
+    def degraded_on_radar(self, config_name):
+        return record(
+            0,
+            fault_labels=("radar:noise",),
+            health_state="degraded",
+            config_name=config_name,
+        )
+
+    def test_faulted_config_with_alternatives_is_a_violation(self):
+        bad = trace([self.degraded_on_radar("radar_only")], policy_info=MASKING_INFO)
+        assert broken(check_invariants(bad, library=LIBRARY), "masked_config")
+
+    def test_healthy_config_passes(self):
+        good = trace([self.degraded_on_radar("cameras")], policy_info=MASKING_INFO)
+        assert check_invariants(good, library=LIBRARY) == []
+
+    def test_unmasked_drive_policies_are_exempt(self):
+        info = {"kind": "ecofusion", "fault_masking": False}
+        unmasked = trace([self.degraded_on_radar("radar_only")], policy_info=info)
+        assert check_invariants(unmasked, library=LIBRARY) == []
+
+    def test_static_policies_are_exempt(self):
+        static = trace(
+            [self.degraded_on_radar("radar_only")],
+            policy_info={"kind": "static"},
+        )
+        assert check_invariants(static, library=LIBRARY) == []
+
+    def test_relaxed_when_every_config_is_impacted(self):
+        # Cameras down: every library entry above touches a camera except
+        # radar_only — so build a library where nothing healthy remains.
+        all_touched = [
+            _Config("a", ("camera_left", "radar")),
+            _Config("b", ("camera_right", "lidar")),
+        ]
+        rec = record(
+            0,
+            fault_labels=("camera:blackout",),
+            health_state="degraded",
+            config_name="a",
+        )
+        relaxed = trace([rec], policy_info=MASKING_INFO)
+        assert check_invariants(relaxed, library=all_touched) == []
+
+    def test_unknown_config_name_is_flagged(self):
+        ghost = trace([self.degraded_on_radar("ghost")], policy_info=MASKING_INFO)
+        assert broken(check_invariants(ghost, library=LIBRARY), "masked_config")
+
+    def test_skipped_without_a_library(self):
+        bad = trace([self.degraded_on_radar("radar_only")], policy_info=MASKING_INFO)
+        assert check_invariants(bad) == []

@@ -1,0 +1,195 @@
+"""HealthMonitor state machine: debounce, hysteresis, brownout latch.
+
+Pure unit tests — tuples and floats in, states out.  The sequences here
+pin the exact transition edges (the frame a fault is *detected*, the
+frame hysteresis *releases*) so any off-by-one in the streak counters
+fails loudly rather than shifting every golden trace by a frame.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_HEALTH_CONFIG,
+    HealthMonitor,
+    HealthMonitorConfig,
+    HealthState,
+)
+
+RADAR = ("radar",)
+CAMERA = ("camera_left", "camera_right")
+THREE = ("camera_left", "camera_right", "lidar")
+
+NOM = HealthState.NOMINAL
+DEG = HealthState.DEGRADED
+LIMP = HealthState.LIMP_HOME
+STOP = HealthState.SAFE_STOP
+
+
+def drive(monitor: HealthMonitor, stream) -> list[HealthState]:
+    """Feed (faulted, soc) pairs; collect the per-frame states."""
+    return [monitor.observe(faulted, soc).state for faulted, soc in stream]
+
+
+def healthy_soc(faults) -> list[tuple[tuple[str, ...], float]]:
+    return [(f, 1.0) for f in faults]
+
+
+class TestDefaultConfigIsLegacyStateless:
+    """The default config must reproduce the old per-frame masking."""
+
+    def test_degraded_exactly_on_faulted_frames(self):
+        monitor = HealthMonitor()
+        stream = healthy_soc([(), RADAR, RADAR, (), RADAR, ()])
+        assert drive(monitor, stream) == [NOM, DEG, DEG, NOM, DEG, NOM]
+
+    def test_limp_home_disabled(self):
+        monitor = HealthMonitor()
+        assert monitor.observe(THREE, 1.0).state is DEG
+
+    def test_safe_stop_unreachable_at_zero_soc(self):
+        # soc_floor defaults to 0.0 and SoC is clamped to [0, 1]: the
+        # brownout rung can never fire under the default config.
+        monitor = HealthMonitor()
+        assert monitor.observe((), 0.0).state is NOM
+
+    def test_default_config_singleton_matches_fresh_config(self):
+        assert DEFAULT_HEALTH_CONFIG == HealthMonitorConfig()
+
+
+class TestDetectionLatency:
+    def test_detection_on_the_exact_edge_frame(self):
+        # latency=2: the streak must *exceed* the latency, so faulted
+        # frames 1 and 2 stay NOMINAL (undetected) and frame 3 trips.
+        monitor = HealthMonitor(HealthMonitorConfig(detection_latency=2))
+        stream = healthy_soc([RADAR, RADAR, RADAR, RADAR])
+        assert drive(monitor, stream) == [NOM, NOM, DEG, DEG]
+
+    def test_glitch_shorter_than_latency_never_trips(self):
+        monitor = HealthMonitor(HealthMonitorConfig(detection_latency=2))
+        stream = healthy_soc([RADAR, RADAR, (), RADAR, RADAR, ()])
+        assert drive(monitor, stream) == [NOM] * 6
+        assert monitor.transitions == 0
+
+    def test_zero_latency_detects_first_faulted_frame(self):
+        monitor = HealthMonitor(HealthMonitorConfig(detection_latency=0))
+        assert monitor.observe(RADAR, 1.0).state is DEG
+
+    def test_undetected_frames_are_flagged_undetected(self):
+        monitor = HealthMonitor(HealthMonitorConfig(detection_latency=1))
+        first = monitor.observe(RADAR, 1.0)
+        second = monitor.observe(RADAR, 1.0)
+        assert (first.detected, second.detected) == (False, True)
+        assert first.faulted == RADAR
+
+
+class TestRecoveryHysteresis:
+    def test_holds_posture_then_releases_on_the_edge_frame(self):
+        # hysteresis=2: healthy frames 1 and 2 hold DEGRADED, frame 3
+        # (streak 3 > hysteresis) releases to NOMINAL.
+        monitor = HealthMonitor(HealthMonitorConfig(recovery_hysteresis=2))
+        stream = healthy_soc([RADAR, (), (), (), ()])
+        assert drive(monitor, stream) == [DEG, DEG, DEG, NOM, NOM]
+
+    def test_flickering_sensor_cannot_thrash(self):
+        monitor = HealthMonitor(HealthMonitorConfig(recovery_hysteresis=3))
+        stream = healthy_soc([RADAR, (), RADAR, (), RADAR, ()])
+        assert drive(monitor, stream) == [DEG] * 6
+        assert monitor.transitions == 1  # one entry, zero thrash
+
+    def test_zero_hysteresis_releases_immediately(self):
+        monitor = HealthMonitor()
+        stream = healthy_soc([RADAR, ()])
+        assert drive(monitor, stream) == [DEG, NOM]
+
+
+class TestLimpHomeEscalation:
+    def test_escalates_at_the_stream_threshold(self):
+        monitor = HealthMonitor(HealthMonitorConfig(limp_home_streams=3))
+        stream = healthy_soc([RADAR, THREE, THREE])
+        assert drive(monitor, stream) == [DEG, LIMP, LIMP]
+
+    def test_camera_group_counts_as_two_streams(self):
+        # The monitor receives physical streams (the runner expands the
+        # "camera" group), so camera + lidar reaches a threshold of 3.
+        monitor = HealthMonitor(HealthMonitorConfig(limp_home_streams=3))
+        assert monitor.observe(CAMERA + ("lidar",), 1.0).state is LIMP
+        assert HealthMonitor(
+            HealthMonitorConfig(limp_home_streams=3)
+        ).observe(CAMERA, 1.0).state is DEG
+
+    def test_partial_recovery_steps_down_to_degraded(self):
+        monitor = HealthMonitor(HealthMonitorConfig(limp_home_streams=3))
+        stream = healthy_soc([THREE, RADAR, ()])
+        assert drive(monitor, stream) == [LIMP, DEG, NOM]
+
+    def test_hysteresis_holds_limp_home_posture(self):
+        monitor = HealthMonitor(
+            HealthMonitorConfig(limp_home_streams=3, recovery_hysteresis=2)
+        )
+        stream = healthy_soc([THREE, (), (), ()])
+        assert drive(monitor, stream) == [LIMP, LIMP, LIMP, NOM]
+
+
+class TestSafeStop:
+    CFG = HealthMonitorConfig(soc_floor=0.10, soc_recover=0.20)
+
+    def test_enters_below_floor_regardless_of_sensor_health(self):
+        monitor = HealthMonitor(self.CFG)
+        assert monitor.observe((), 0.05).state is STOP
+
+    def test_latches_between_floor_and_recover(self):
+        monitor = HealthMonitor(self.CFG)
+        stream = [((), 0.05), ((), 0.15), ((), 0.25)]
+        assert drive(monitor, stream) == [STOP, STOP, NOM]
+
+    def test_releases_into_fault_appropriate_state(self):
+        monitor = HealthMonitor(self.CFG)
+        stream = [(RADAR, 0.05), (RADAR, 0.25)]
+        assert drive(monitor, stream) == [STOP, DEG]
+
+    def test_preempts_degraded(self):
+        monitor = HealthMonitor(self.CFG)
+        stream = [(RADAR, 0.50), (RADAR, 0.05)]
+        assert drive(monitor, stream) == [DEG, STOP]
+
+    def test_recover_defaults_to_floor(self):
+        cfg = HealthMonitorConfig(soc_floor=0.10)
+        assert cfg.resolved_soc_recover() == 0.10
+        monitor = HealthMonitor(cfg)
+        assert drive(monitor, [((), 0.05), ((), 0.10)]) == [STOP, NOM]
+
+
+class TestBookkeeping:
+    def test_transitions_count_state_changes_only(self):
+        monitor = HealthMonitor()
+        drive(monitor, healthy_soc([(), RADAR, RADAR, (), RADAR]))
+        assert monitor.transitions == 3  # →DEG, →NOM, →DEG
+
+    def test_reset_restores_a_fresh_machine(self):
+        monitor = HealthMonitor(HealthMonitorConfig(detection_latency=1))
+        drive(monitor, healthy_soc([RADAR, RADAR, RADAR]))
+        monitor.reset()
+        assert monitor.state is NOM
+        assert monitor.transitions == 0
+        # Latency debounce starts over: first faulted frame undetected.
+        assert monitor.observe(RADAR, 1.0).state is NOM
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"detection_latency": -1},
+            {"recovery_hysteresis": -1},
+            {"limp_home_streams": 0},
+            {"soc_floor": -0.1},
+            {"soc_floor": 1.5},
+            {"soc_floor": 0.2, "soc_recover": 0.1},
+            {"soc_recover": 1.5},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthMonitorConfig(**kwargs)

@@ -68,7 +68,7 @@ class TestApplyFaultDeterminism:
 
     def test_unknown_mode_rejected(self, rng):
         with pytest.raises(ValueError, match="unknown fault mode"):
-            apply_fault(np.zeros((2, 2, 2), np.float32), "flicker", rng)
+            apply_fault(np.zeros((2, 2, 2), np.float32), "gremlins", rng)
 
 
 class TestApplyFaultIdempotence:
@@ -156,3 +156,154 @@ class TestStreamPathEquivalence:
             source.sample(stride=0)
         with pytest.raises(ValueError):
             source.sample(limit=0)
+
+
+GRADED_SPEC = ScenarioSpec(
+    name="graded_props",
+    description="",
+    segments=(SegmentSpec("city", 10), SegmentSpec("fog", 10)),
+    faults=(
+        SensorFault("camera", start=2, duration=4, mode="noise_burst", severity=0.8),
+        SensorFault("radar", start=7, duration=4, mode="flicker", severity=0.9),
+        SensorFault("lidar", start=11, duration=4, mode="drift", severity=0.5),
+        SensorFault("lidar", start=16, duration=3, mode="latency", lag=2),
+    ),
+)
+
+
+class TestGradedFaultModes:
+    """The expanded taxonomy: graded modes, unit-level semantics."""
+
+    def test_drift_is_rng_free_linear_bias(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        drifted = apply_fault(
+            frame, "drift", np.random.default_rng(0), progress=0.5, severity=0.4
+        )
+        np.testing.assert_array_equal(drifted, frame + np.float32(0.2))
+
+    def test_drift_at_window_start_is_identity(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        np.testing.assert_array_equal(
+            apply_fault(frame, "drift", rng, progress=0.0, severity=1.0), frame
+        )
+
+    def test_noise_burst_vanishes_at_window_edges(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        edge = apply_fault(
+            frame, "noise_burst", np.random.default_rng(1),
+            progress=0.0, severity=1.0,
+        )
+        np.testing.assert_array_equal(edge, frame)
+
+    def test_noise_burst_peaks_at_midwindow(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        peak = apply_fault(
+            frame, "noise_burst", np.random.default_rng(1),
+            progress=0.5, severity=1.0,
+        )
+        # Full-severity midpoint: pure noise, input-independent.
+        np.testing.assert_array_equal(
+            peak, np.random.default_rng(1).random(frame.shape).astype(np.float32)
+        )
+
+    def test_flicker_extremes(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        dark = apply_fault(frame, "flicker", np.random.default_rng(2), severity=1.0)
+        assert not dark.any()
+        passed = apply_fault(frame, "flicker", np.random.default_rng(2), severity=0.0)
+        np.testing.assert_array_equal(passed, frame)
+
+    def test_latency_returns_a_copy_of_the_delayed_capture(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        delayed = rng.random((3, 6, 6)).astype(np.float32)
+        out = apply_fault(frame, "latency", rng, delayed=delayed)
+        np.testing.assert_array_equal(out, delayed)
+        assert out is not delayed
+
+    def test_latency_without_buffer_degrades_to_stuck_semantics(self, rng):
+        frame = rng.random((3, 6, 6)).astype(np.float32)
+        last = rng.random((3, 6, 6)).astype(np.float32)
+        np.testing.assert_array_equal(
+            apply_fault(frame, "latency", rng, last, delayed=None), last
+        )
+        np.testing.assert_array_equal(
+            apply_fault(frame, "latency", rng, None, delayed=None),
+            np.zeros_like(frame),
+        )
+
+
+class TestFaultsFromFrameZero:
+    """Regression: faults starting at frame 0 have no healthy history."""
+
+    def test_stuck_at_frame_zero_blacks_out_until_recovery(self):
+        spec = ScenarioSpec(
+            name="stuck_cold_start",
+            description="",
+            segments=(SegmentSpec("city", 6),),
+            faults=(SensorFault("lidar", start=0, duration=3, mode="stuck"),),
+        )
+        frames = DriveSource(spec, seed=4).materialize()
+        # No pre-fault capture ever existed: every stuck frame is the
+        # documented blackout fallback, never the faulted capture itself.
+        for t in range(3):
+            assert not frames[t].sample.sensors["lidar"].any()
+        assert frames[3].sample.sensors["lidar"].any()
+
+    def test_latency_at_frame_zero_blacks_out(self):
+        spec = ScenarioSpec(
+            name="latency_cold_start",
+            description="",
+            segments=(SegmentSpec("city", 5),),
+            faults=(SensorFault("lidar", start=0, duration=2, mode="latency", lag=3),),
+        )
+        frames = DriveSource(spec, seed=4).materialize()
+        # The lag buffer only holds the frame-0 capture at t=0, which IS
+        # the delayed capture the stalled pipeline delivers.
+        assert frames[0].sample.sensors["lidar"].any()
+
+
+class TestGradedStreamProperties:
+    """DriveSource-level properties of the expanded taxonomy."""
+
+    def test_healthy_frames_bit_identical_to_unfaulted_drive(self):
+        clean_spec = ScenarioSpec(
+            name=GRADED_SPEC.name,
+            description="",
+            segments=GRADED_SPEC.segments,
+            faults=(),
+        )
+        faulted = DriveSource(GRADED_SPEC, seed=6).materialize()
+        clean = DriveSource(clean_spec, seed=6).materialize()
+        saw_healthy = False
+        for f, c in zip(faulted, clean):
+            if f.faulted_sensors:
+                continue
+            saw_healthy = True
+            for sensor in SENSORS:
+                np.testing.assert_array_equal(
+                    f.sample.sensors[sensor], c.sample.sensors[sensor]
+                )
+        assert saw_healthy
+
+    def test_latency_delivers_the_lagged_true_capture(self):
+        clean_spec = ScenarioSpec(
+            name=GRADED_SPEC.name,
+            description="",
+            segments=GRADED_SPEC.segments,
+            faults=(),
+        )
+        faulted = DriveSource(GRADED_SPEC, seed=6).materialize()
+        clean = DriveSource(clean_spec, seed=6).materialize()
+        # Window [16, 19), lag=2: the rolling buffer holds the *true*
+        # (pre-fault) captures t-2..t, so frame 18 delivers the true
+        # capture of frame 16 — identical to the unfaulted drive's.
+        np.testing.assert_array_equal(
+            faulted[18].sample.sensors["lidar"],
+            clean[16].sample.sensors["lidar"],
+        )
+
+    def test_graded_stream_is_seed_deterministic(self):
+        first = DriveSource(GRADED_SPEC, seed=8).materialize()
+        second = DriveSource(GRADED_SPEC, seed=8).materialize()
+        for a, b in zip(first, second):
+            assert frames_identical(a, b)
