@@ -1,0 +1,389 @@
+"""Serving benchmark: per-frame latency and throughput under load.
+
+Drives the warm-pool service (``repro.serving.DriveService``) with a
+fleet of concurrent drive streams and writes ``BENCH_serving.json`` so
+the cross-stream-batching payoff is a tracked trajectory, not a claim:
+
+* ``baseline`` — a single stream in ``mode="streaming"``: every frame
+  steps through the compiled sequential ``window=1`` path, the
+  per-frame latency floor of a deployed lone vehicle.
+* one ``batched`` run per ``--streams`` count (default 1/4/16/64):
+  the scheduler coalesces one pending frame from up to ``--max-batch``
+  ready streams into cross-drive batches for stem/gate/branch
+  inference.  The request mix is a fleet *consolidation* workload —
+  consecutive stream groups replay one drive under every policy (see
+  :func:`build_requests`) — so batched runs also exercise the
+  service's frame-source dedup and shared branch cache.  Throughput is
+  frames per wall-second across the whole fleet; latency percentiles
+  come straight from the service's
+  ``serving.frame.latency_ms`` telemetry histogram (queue wait
+  included — this is *service* latency, not kernel time).
+
+Bit-identity is enforced in-run, not assumed: every served trace from
+every run is diffed — per-frame ``records_hex()``, every float exact —
+against the same drive run offline through the eager sequential
+``ClosedLoopRunner.run(window=1)`` reference.  Cross-stream batching is
+only legal because every batched stage is batch-invariant; a single ulp
+of drift on any frame of any stream refuses the write.
+
+``--timestamp`` pins ``meta.generated_unix`` so regenerated files diff
+cleanly; ``--min-speedup R`` additionally fails the bench unless the
+best batched run reaches ``R`` times the baseline throughput (the
+committed file is generated with ``--min-speedup 1.3``).
+``--telemetry DIR`` runs one extra fully-instrumented batched pass and
+writes span JSONL (rendered by ``scripts/trace_report.py --serving``)
+plus ``telemetry_summary.json`` merged over every run.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py --tiny
+      (add ``--streams 4 --scale 0.15`` for a CI-sized smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.evaluation.reports import format_table
+from repro.policies.registry import build_policy
+from repro.serving import DriveRequest, DriveService, ServingConfig
+from repro.simulation import (
+    DEFAULT_POLICIES,
+    SCENARIOS,
+    ClosedLoopRunner,
+    get_scenario,
+    scaled,
+)
+from repro.telemetry import (
+    Telemetry,
+    kernel_profiling,
+    merge_snapshots,
+    write_summary,
+)
+from repro.telemetry.metrics import (
+    OCCUPANCY_BUCKETS,
+    SERVING_LATENCY_BUCKETS_MS,
+    WALL_BUCKETS_S,
+    MetricsRegistry,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serving.json"
+
+QUICK_SPEC = SystemSpec(per_context=8, iterations=150, gate_iterations=200)
+TINY_SPEC = SystemSpec(per_context=4, iterations=14, gate_iterations=30, batch_size=4)
+
+
+def build_requests(count: int, scale: float, seed: int) -> list[DriveRequest]:
+    """A fleet consolidation workload: N streams = drives x policies.
+
+    Consecutive groups of ``len(DEFAULT_POLICIES)`` streams replay the
+    *same* drive (scenario + seed) under each policy — the fleet A/B
+    pattern that cross-stream serving exists to consolidate: the
+    service renders each drive once (``dedupe_sources``) and reuses
+    branch outputs across its policy replicas through the shared cache
+    (identical sample uids, cached == fresh bit for bit).  Distinct
+    drives get distinct seeds and cycle the scenario library, so the
+    mix still exercises every scenario/policy pairing as ``count``
+    grows.
+    """
+    names = list(SCENARIOS)
+    policies = [p.name for p in DEFAULT_POLICIES]
+    requests = []
+    for i in range(count):
+        drive = i // len(policies)
+        requests.append(DriveRequest(
+            scenario=names[drive % len(names)],
+            policy=policies[i % len(policies)],
+            seed=seed + drive,
+            scale=scale,
+        ))
+    return requests
+
+
+def offline_reference(system, request: DriveRequest) -> list[list[dict]]:
+    """The eager sequential ground truth for one request's stream.
+
+    A fresh runner + fresh cache per drive: the reference owes nothing
+    to service state, warm pools, or other streams.
+    """
+    spec = get_scenario(request.scenario)
+    if request.scale != 1.0:
+        spec = scaled(spec, request.scale)
+    runner = ClosedLoopRunner(system.model, cache=BranchOutputCache())
+    policy = build_policy(request.policy, system)
+    trace = runner.run(spec, policy, seed=request.seed, window=1)
+    return trace.records_hex()
+
+
+def serve_once(system, requests, mode, max_batch, telemetry):
+    """One fresh service over ``requests``; returns per-stream hex records.
+
+    The service itself is rebuilt every call (cold branch cache, empty
+    queues) — what stays warm across calls is exactly what stays warm
+    in a long-lived pool: the trained system and the process-wide
+    compiled-program LRU.
+    """
+    config = ServingConfig(
+        mode=mode,
+        max_batch=max_batch,
+        max_active_streams=max(len(requests), 1),
+        queue_capacity=max(len(requests), 1),
+    )
+    service = DriveService(system, config, telemetry=telemetry)
+    traces = service.serve(requests)
+    return [trace.records_hex() for trace in traces]
+
+
+def latency_block(registry: MetricsRegistry, mode: str) -> dict:
+    summary = registry.histogram(
+        "serving.frame.latency_ms", buckets=SERVING_LATENCY_BUCKETS_MS,
+        mode=mode,
+    ).summary()
+    return {
+        key: round(summary[key], 4)
+        for key in ("p50", "p90", "p99", "max", "mean")
+        if summary.get(key) is not None
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="use the test-scale system (fast, noisy)")
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="scenario timeline scale (~30 frames/stream)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; stream i drives with seed+i")
+    parser.add_argument("--streams", type=str, default="1,4,16,64",
+                        help="comma-separated concurrent-stream counts "
+                             "for the batched runs")
+    parser.add_argument("--max-batch", type=int, default=16,
+                        help="frames coalesced per service batch")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measure each run N times and keep the "
+                             "fastest wall (damps machine noise)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless the best batched throughput "
+                             "reaches this multiple of the baseline")
+    parser.add_argument("--timestamp", type=float, default=None,
+                        help="pin meta.generated_unix so regenerated "
+                             "files diff cleanly (default: current time)")
+    parser.add_argument("--telemetry", type=Path, default=None, metavar="DIR",
+                        help="run one extra fully-instrumented batched "
+                             "pass (spans + per-kernel replay timings), "
+                             "write trace_serving.jsonl plus a "
+                             "telemetry_summary.json merged over every "
+                             "run under DIR; its hex records join the "
+                             "exact-equivalence diff")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    try:
+        stream_counts = sorted({int(s) for s in args.streams.split(",") if s})
+    except ValueError:
+        parser.error("--streams must be a comma-separated list of ints")
+    if not stream_counts or stream_counts[0] < 1:
+        parser.error("--streams counts must be >= 1")
+    if args.scale <= 0 or args.max_batch < 1 or args.repeats < 1:
+        parser.error("--scale must be > 0, --max-batch/--repeats >= 1")
+
+    print("loading / training the system (cached after first run)...")
+    system = get_or_build_system(TINY_SPEC if args.tiny else QUICK_SPEC)
+    requests = build_requests(max(stream_counts), args.scale, args.seed)
+
+    print(f"[ref] offline eager window=1 references "
+          f"({len(requests)} streams)...")
+    reference_hex = [offline_reference(system, r) for r in requests]
+    frames_of = [len(hexes) for hexes in reference_hex]
+
+    # Warm the pool before any timed run: compiles every engine program
+    # the fleet mix needs, exactly the resident state a long-lived
+    # service holds.  Hex is checked here too — warm-up is still a serve.
+    print("[warm] warm-up pass (compiling programs)...")
+    warm = min(len(requests), len(DEFAULT_POLICIES))
+    warm_hex = serve_once(system, requests[:warm], "batched",
+                          args.max_batch, Telemetry.disabled())
+    identical = {"warmup": warm_hex == reference_hex[:warm]}
+
+    bench_metrics = MetricsRegistry(enabled=True)
+
+    def timed(label, fn):
+        """Fastest wall over ``--repeats`` runs (results from the first)."""
+        hist = bench_metrics.histogram(
+            "bench.wall_seconds", buckets=WALL_BUCKETS_S, run=label
+        )
+        results = None
+        for _ in range(args.repeats):
+            gc.collect()
+            start = time.perf_counter()
+            out = fn()
+            hist.observe(time.perf_counter() - start)
+            if results is None:
+                results = out
+        return results, hist.min
+
+    run_registries: list[MetricsRegistry] = []
+
+    def measured_serve(label, request_slice, mode):
+        """Timed service run with its own metrics registry."""
+        tel = Telemetry(metrics=MetricsRegistry(enabled=True))
+        run_registries.append(tel.metrics)
+        served_hex, wall = timed(label, lambda: serve_once(
+            system, request_slice, mode, args.max_batch, tel,
+        ))
+        frames = sum(frames_of[: len(request_slice)])
+        return {
+            "hex": served_hex,
+            "wall_seconds": round(wall, 4),
+            "frames": frames,
+            "frames_per_second": round(frames / wall, 2) if wall > 0 else 0.0,
+            "latency_ms": latency_block(tel.metrics, mode),
+            "registry": tel.metrics,
+        }
+
+    total = 1 + len(stream_counts)
+    print(f"[1/{total}] baseline: 1 stream, streaming (compiled "
+          "window=1)...")
+    baseline = measured_serve("streaming-1", requests[:1], "streaming")
+    identical["baseline"] = baseline["hex"] == reference_hex[:1]
+
+    runs: dict[str, dict] = {}
+    for step, count in enumerate(stream_counts, start=2):
+        print(f"[{step}/{total}] batched: {count} concurrent streams "
+              f"(max_batch={args.max_batch})...")
+        run = measured_serve(f"batched-{count}", requests[:count], "batched")
+        identical[f"batched_{count}"] = run["hex"] == reference_hex[:count]
+        occupancy = run["registry"].histogram(
+            "serving.batch.occupancy", buckets=OCCUPANCY_BUCKETS,
+            mode="batched",
+        ).summary()
+        runs[str(count)] = {
+            "streams": count,
+            "frames": run["frames"],
+            "wall_seconds": run["wall_seconds"],
+            "frames_per_second": run["frames_per_second"],
+            "throughput_vs_baseline": round(
+                run["frames_per_second"] / baseline["frames_per_second"], 3
+            ) if baseline["frames_per_second"] > 0 else 0.0,
+            "latency_ms": run["latency_ms"],
+            "mean_batch_occupancy": round(occupancy.get("mean", 0.0), 2),
+        }
+
+    kernel_profile = None
+    telemetry_summary = None
+    if args.telemetry is not None:
+        # One extra instrumented pass outside every timed region: spans
+        # for trace_report --serving, per-kernel replay timings for the
+        # summary.  Its hex records join the exact diff — telemetry that
+        # moved a single bit fails the bench.
+        count = max(stream_counts)
+        print(f"[telemetry] instrumented batched pass ({count} streams)...")
+        args.telemetry.mkdir(parents=True, exist_ok=True)
+        tel = Telemetry.create(tracing=True, metrics=True)
+        with kernel_profiling() as prof:
+            traced_hex = serve_once(system, requests[:count], "batched",
+                                    args.max_batch, tel)
+        kernel_profile = prof.to_dict()
+        identical["telemetry"] = traced_hex == reference_hex[:count]
+        tel.tracer.write_jsonl(args.telemetry / "trace_serving.jsonl")
+        run_registries.append(tel.metrics)
+
+    print()
+    rows = [[
+        "streaming", 1, baseline["frames"], baseline["wall_seconds"],
+        baseline["frames_per_second"], 1.0,
+        baseline["latency_ms"].get("p50", 0.0),
+        baseline["latency_ms"].get("p99", 0.0),
+    ]]
+    for count in stream_counts:
+        run = runs[str(count)]
+        rows.append([
+            "batched", count, run["frames"], run["wall_seconds"],
+            run["frames_per_second"], run["throughput_vs_baseline"],
+            run["latency_ms"].get("p50", 0.0),
+            run["latency_ms"].get("p99", 0.0),
+        ])
+    print(format_table(
+        ["mode", "streams", "frames", "wall (s)", "frames/s",
+         "vs baseline", "p50 ms", "p99 ms"],
+        rows, title="drive serving under load",
+    ))
+    print("equivalence: " + "  ".join(f"{k}={v}" for k, v in identical.items()))
+
+    if not all(identical.values()):
+        print("ERROR: served traces diverged from the offline eager "
+              "reference; refusing to write benchmark results",
+              file=sys.stderr)
+        sys.exit(1)
+
+    best_speedup = max(
+        run["throughput_vs_baseline"] for run in runs.values()
+    )
+    if args.min_speedup > 0 and best_speedup < args.min_speedup:
+        print(f"ERROR: best batched throughput is {best_speedup:.3f}x the "
+              f"streaming baseline, below the required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        sys.exit(1)
+
+    payload = {
+        "meta": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            "max_batch": args.max_batch,
+            "stream_counts": stream_counts,
+            "scenarios": list(SCENARIOS),
+            "policies": [p.name for p in DEFAULT_POLICIES],
+            "system_spec": system.spec.cache_key(),
+            "traces_identical": True,
+            "best_speedup_vs_baseline": best_speedup,
+            "generated_unix": (
+                args.timestamp if args.timestamp is not None else time.time()
+            ),
+        },
+        "baseline": {
+            "mode": "streaming",
+            "streams": 1,
+            "frames": baseline["frames"],
+            "wall_seconds": baseline["wall_seconds"],
+            "frames_per_second": baseline["frames_per_second"],
+            "latency_ms": baseline["latency_ms"],
+        },
+        "runs": runs,
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.output}")
+
+    if args.telemetry is not None:
+        merged = merge_snapshots(
+            *[registry.snapshot() for registry in run_registries],
+            bench_metrics.snapshot(),
+        )
+        summary_path = args.telemetry / "telemetry_summary.json"
+        telemetry_summary = write_summary(
+            summary_path,
+            merged,
+            meta={
+                "bench": "serving",
+                "scale": args.scale,
+                "max_batch": args.max_batch,
+                "stream_counts": stream_counts,
+                "repeats": args.repeats,
+            },
+            kernel_profile=kernel_profile,
+        )
+        top = (kernel_profile or {}).get("top_ops") or [{"op": "n/a"}]
+        print(
+            f"telemetry: {telemetry_summary['frames']} served frames | "
+            f"hottest kernel: {top[0]['op']}"
+        )
+        print(f"wrote {summary_path}")
+
+
+if __name__ == "__main__":
+    main()

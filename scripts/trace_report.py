@@ -10,9 +10,16 @@ line, then one record per finished span — see
   attribute the runner stamps on each ``frame`` span;
 * per-trace-file span counts and drop counts.
 
+With ``--serving`` the report additionally digests the drive service's
+spans (``serve.frame`` / ``serve.batch``, see ``repro.serving``):
+per-stream service-latency percentiles — measured wall latency from the
+``latency_ms`` attribute, which includes queue wait, not span duration —
+and the batch-occupancy distribution.
+
 Run:  PYTHONPATH=src python scripts/trace_report.py TRACE.jsonl [...]
       PYTHONPATH=src python scripts/trace_report.py --dir telemetry_out/
-      (add ``--json`` for a machine-readable report)
+      (add ``--json`` for a machine-readable report, ``--serving`` for
+      the per-stream serving digest)
 """
 
 from __future__ import annotations
@@ -67,6 +74,89 @@ def collect(paths: list[Path]) -> dict:
     }
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def collect_serving(paths: list[Path]) -> dict:
+    """Digest serving spans: per-stream latency + batch occupancy.
+
+    ``serve.frame`` spans carry the *measured* service latency (batch
+    completion minus frame-ready, queue wait included) in their
+    ``latency_ms`` attribute — the span's own duration is meaningless —
+    so percentiles here are exact over the raw values, not bucketed.
+    """
+    per_stream: dict[int, list[float]] = {}
+    occupancy: dict[int, int] = {}
+    modes: set[str] = set()
+    for path in paths:
+        _, spans = read_jsonl(path)
+        for record in spans:
+            attrs = record.get("attrs", {})
+            if record["name"] == "serve.frame":
+                per_stream.setdefault(attrs["stream"], []).append(
+                    attrs["latency_ms"]
+                )
+            elif record["name"] == "serve.batch":
+                n = attrs["occupancy"]
+                occupancy[n] = occupancy.get(n, 0) + 1
+                if "mode" in attrs:
+                    modes.add(attrs["mode"])
+    streams = {}
+    for stream_id, values in sorted(per_stream.items()):
+        values.sort()
+        streams[str(stream_id)] = {
+            "frames": len(values),
+            "p50_ms": _percentile(values, 0.50),
+            "p90_ms": _percentile(values, 0.90),
+            "p99_ms": _percentile(values, 0.99),
+            "max_ms": values[-1],
+        }
+    return {
+        "modes": sorted(modes),
+        "streams": streams,
+        "batch_occupancy": {
+            str(n): occupancy[n] for n in sorted(occupancy)
+        },
+    }
+
+
+def render_serving(report: dict) -> str:
+    if not report["streams"]:
+        return "no serving spans found (serve.frame / serve.batch)"
+    lines = []
+    modes = ", ".join(report["modes"]) or "?"
+    lines.append(f"serving digest (mode: {modes})")
+    lines.append("")
+    lines.append(
+        f"{'stream':>8s} {'frames':>8s} {'p50 ms':>10s} {'p90 ms':>10s} "
+        f"{'p99 ms':>10s} {'max ms':>10s}"
+    )
+    for stream_id, row in report["streams"].items():
+        lines.append(
+            f"{stream_id:>8s} {row['frames']:8d} {row['p50_ms']:10.3f} "
+            f"{row['p90_ms']:10.3f} {row['p99_ms']:10.3f} "
+            f"{row['max_ms']:10.3f}"
+        )
+    if report["batch_occupancy"]:
+        total = sum(report["batch_occupancy"].values())
+        lines.append("")
+        lines.append("batch occupancy (frames coalesced per batch):")
+        for size, count in report["batch_occupancy"].items():
+            lines.append(
+                f"  {size:>4s}: {count:6d} batches "
+                f"({100.0 * count / total:5.1f}%)"
+            )
+    return "\n".join(lines)
+
+
 def render(report: dict) -> str:
     lines = []
     for info in report["files"]:
@@ -103,6 +193,10 @@ def main() -> None:
                              "(what the benches' --telemetry flag writes)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of a table")
+    parser.add_argument("--serving", action="store_true",
+                        help="digest drive-service spans: per-stream "
+                             "latency percentiles + batch-occupancy "
+                             "distribution")
     args = parser.parse_args()
     paths = list(args.traces)
     if args.dir is not None:
@@ -110,14 +204,17 @@ def main() -> None:
     if not paths:
         parser.error("no trace files given (positional paths or --dir)")
     try:
-        report = collect(paths)
-    except (OSError, ValueError) as error:
+        if args.serving:
+            report = collect_serving(paths)
+        else:
+            report = collect(paths)
+    except (OSError, ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         sys.exit(1)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
-        print(render(report))
+        print(render_serving(report) if args.serving else render(report))
 
 
 if __name__ == "__main__":

@@ -148,6 +148,31 @@ class BranchOutputCache:
     def __len__(self) -> int:
         return len(self._store)
 
+    def total_entries(self) -> int:
+        """Memoized entries across all four stores (trim accounting)."""
+        return (
+            len(self._store) + len(self._fused)
+            + len(self._loss) + len(self._stems)
+        )
+
+    def trim(self, max_entries: int) -> bool:
+        """Drop every memoized output once past ``max_entries``.
+
+        Long-lived holders (the drive service) bound memory with this:
+        keys are per-sample uids, so entries for finished streams never
+        hit again and simply accumulate.  Dropping is always safe —
+        cached and fresh outputs are bit-identical by contract — so a
+        full clear costs only recomputation, never correctness.  Returns
+        True when a trim happened; hit/miss stats are preserved.
+        """
+        if max_entries <= 0 or self.total_entries() <= max_entries:
+            return False
+        self._store.clear()
+        self._fused.clear()
+        self._loss.clear()
+        self._stems.clear()
+        return True
+
 
 @dataclass
 class EcoFusionModel:

@@ -71,7 +71,7 @@ class TemporalGate(Gate):
         sample_ids: list[int] | None = None,
     ) -> np.ndarray:
         raw = self.base.predict_losses(gate_features, contexts, sample_ids)
-        return self._smooth(raw)
+        return self.smooth(raw)
 
     def predict_losses_windowed(
         self,
@@ -80,9 +80,16 @@ class TemporalGate(Gate):
         sample_ids: list[int] | None = None,
     ) -> np.ndarray:
         raw = self.base.predict_losses_windowed(gate_features, contexts, sample_ids)
-        return self._smooth(raw)
+        return self.smooth(raw)
 
-    def _smooth(self, raw: np.ndarray) -> np.ndarray:
+    def smooth(self, raw: np.ndarray) -> np.ndarray:
+        """Advance the smoother over ``raw``'s rows, in order.
+
+        Public because the serving layer batches the *base* gate across
+        streams and then applies each stream's smoother to its own row;
+        a one-row call performs exactly one state update, so row-wise
+        application is bit-identical to smoothing the rows together.
+        """
         out = np.empty_like(raw)
         for i in range(raw.shape[0]):  # frames arrive in order
             if self._state is None:

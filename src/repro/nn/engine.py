@@ -414,6 +414,7 @@ def _lower(rec: _Recorder, inputs: list[np.ndarray], outputs: list[np.ndarray],
         if id(out_arr) not in rec.by_id:  # raw leaf (input/constant output)
             classify_leaf(id(out_arr), out_arr)
 
+    live_nodes = _fuse_attention(live_nodes, outputs, constants)
     live_nodes = _fuse(live_nodes, outputs)
 
     # Slot allocation: inputs, then constants, then step outputs.
@@ -512,6 +513,82 @@ def _fuse(nodes: list[_Node], outputs: list[np.ndarray]) -> list[_Node]:
         fused.append(node)
         by_out[node.out_id] = node
     return fused
+
+
+def _fuse_attention(nodes: list[_Node], outputs: list[np.ndarray],
+                    constants: dict[int, np.ndarray]) -> list[_Node]:
+    """Chain fusion for scaled-dot-product attention.
+
+    Collapses ``matmul(q, kT) → mul(·, 1/sqrt(d)) → softmax → matmul(·, v)``
+    into one ``attn_chain`` step.  The intermediate scores are float32
+    but the scale constant is a float64 python scalar, so eager promotes
+    everything downstream to float64 — that promotion is part of the
+    bit-identity contract and stays; the fusion win is one kernel
+    dispatch and one pool pass instead of four (the softmax runs
+    in-place on the scaled buffer, exactly like :func:`_k_softmax`).
+
+    Same legality rule as :func:`_fuse`: every interior value must have
+    exactly one consumer and must not be a program output — the chain
+    may never hide a value some other step (or the caller) reads.  The
+    compile-time replay verification in :func:`_lower` then proves the
+    fused kernel bit-identical to the traced eager forward.
+    """
+    out_ids = {id(o) for o in outputs}
+    consumers: dict[int, int] = {}
+    for node in nodes:
+        for aid in node.in_ids:
+            consumers[aid] = consumers.get(aid, 0) + 1
+
+    def interior(node: _Node) -> bool:
+        return consumers.get(node.out_id, 0) == 1 and node.out_id not in out_ids
+
+    by_out = {node.out_id: node for node in nodes}
+    consumed_by: dict[int, _Node] = {}
+    for node in nodes:
+        for aid in node.in_ids:
+            consumed_by[aid] = node  # only queried where the count is 1
+
+    drop: set[int] = set()
+    replace: dict[int, _Node] = {}
+    for sm in nodes:
+        if sm.op != "softmax" or not interior(sm):
+            continue
+        mul = by_out.get(sm.in_ids[0])
+        if mul is None or mul.op != "mul" or not interior(mul):
+            continue
+        scalar_ids = [a for a in mul.in_ids
+                      if a in constants and constants[a].size == 1]
+        tensor_ids = [a for a in mul.in_ids if a not in scalar_ids]
+        if len(scalar_ids) != 1 or len(tensor_ids) != 1:
+            continue
+        score_mm = by_out.get(tensor_ids[0])
+        if score_mm is None or score_mm.op != "matmul" or not interior(score_mm):
+            continue
+        out_mm = consumed_by.get(sm.out_id)
+        if out_mm is None or out_mm.op != "matmul" or out_mm.in_ids[0] != sm.out_id:
+            continue
+        fused = _Node(
+            "attn_chain",
+            out_mm.out_id,
+            (score_mm.in_ids[0], score_mm.in_ids[1], out_mm.in_ids[1]),
+            {
+                "scale": constants[scalar_ids[0]],
+                "axis": sm.attrs["axis"],
+                "invariant_scores": score_mm.attrs.get("invariant", False),
+                "invariant_out": out_mm.attrs.get("invariant", False),
+                "score_ref": score_mm.out_ref,
+                "scaled_ref": mul.out_ref,
+            },
+            out_mm.out_ref,
+            (score_mm.in_refs[0], score_mm.in_refs[1], out_mm.in_refs[1]),
+        )
+        drop.update((score_mm.out_id, mul.out_id, sm.out_id))
+        replace[out_mm.out_id] = fused
+
+    if not replace:
+        return nodes
+    return [replace.get(node.out_id, node) for node in nodes
+            if node.out_id not in drop]
 
 
 # ----------------------------------------------------------------------
@@ -750,6 +827,49 @@ def _k_softmax(node: _Node, ins: tuple[int, ...]) -> Callable:
     return run
 
 
+def _k_attn_chain(node: _Node, ins: tuple[int, ...]) -> Callable:
+    a = node.attrs
+    scale: np.ndarray = a["scale"]
+    axis: int = a["axis"]
+    inv_scores: bool = a["invariant_scores"]
+    inv_out: bool = a["invariant_out"]
+    score_ref: np.ndarray = a["score_ref"]
+    scaled_ref: np.ndarray = a["scaled_ref"]
+    out_shape, out_dtype = node.out_ref.shape, node.out_ref.dtype
+    red_shape = list(scaled_ref.shape)
+    red_shape[axis if axis >= 0 else scaled_ref.ndim + axis] = 1
+    red_shape = tuple(red_shape)
+    # The scaled scores promote to the scale constant's dtype (float64
+    # for the 1/sqrt(d) python scalar) — one pool buffer carries the
+    # mul and the whole in-place softmax, mirroring _k_softmax.
+    work_alloc = _pool_like(scaled_ref)
+    q_slot, kt_slot, v_slot = ins
+
+    def run(values: list) -> np.ndarray:
+        scores = _POOL.alloc(score_ref.shape, score_ref.dtype)
+        if inv_scores:
+            _invariant_stacked_matmul(values[q_slot], values[kt_slot],
+                                      out=scores)
+        else:
+            np.matmul(values[q_slot], values[kt_slot], out=scores)
+        work = work_alloc()
+        np.multiply(scores, scale, out=work)
+        red = _POOL.alloc(red_shape, work.dtype)
+        np.max(work, axis=axis, keepdims=True, out=red)
+        np.subtract(work, red, out=work)
+        np.exp(work, out=work)
+        np.sum(work, axis=axis, keepdims=True, out=red)
+        np.divide(work, red, out=work)
+        out = _POOL.alloc(out_shape, out_dtype)
+        if inv_out:
+            _invariant_stacked_matmul(work, values[v_slot], out=out)
+        else:
+            np.matmul(work, values[v_slot], out=out)
+        return out
+
+    return run
+
+
 def _k_reshape(node: _Node, ins: tuple[int, ...]) -> Callable:
     target = node.out_ref.shape
     dtype = node.out_ref.dtype
@@ -844,6 +964,7 @@ _KERNELS: dict[str, Callable[[_Node, tuple[int, ...]], Callable]] = {
     "tanh": _unary(lambda x, out: np.tanh(x, out=out)),
     "sigmoid": _unary(_sigmoid_into),
     "softmax": _k_softmax,
+    "attn_chain": _k_attn_chain,
     "reshape": _k_reshape,
     "transpose": _k_transpose,
     "pad2d": _k_pad2d,

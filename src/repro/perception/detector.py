@@ -120,12 +120,15 @@ class BranchDetector(Module):
     ) -> tuple[Tensor, Tensor, Tensor]:
         """The traceable tensor prefix of :meth:`detect`.
 
-        Trunk feature map plus raw RPN head outputs — everything before
-        the data-dependent proposal decode / NMS, which stays eager.
+        Trunk feature map plus *unflattened* RPN head outputs —
+        everything before the data-dependent proposal decode / NMS,
+        which stays eager.  The decode consumes the raw conv layouts
+        through :meth:`RPNHead.flatten_raw` views, so the compiled
+        program carries no transpose/reshape copy steps.
         """
         features = self.forward(stem_features)
-        obj, deltas = self.rpn.head_outputs(features)
-        return features, obj, deltas
+        obj_raw, deltas_raw = self.rpn.raw_head_outputs(features)
+        return features, obj_raw, deltas_raw
 
     def compile(self, *shapes: tuple[int, ...],
                 invariant: bool = False) -> list[engine.Program]:
@@ -152,7 +155,8 @@ class BranchDetector(Module):
         )
         with no_grad():
             if compiled is not None:
-                features_arr, obj, deltas = compiled
+                features_arr, obj_raw, deltas_raw = compiled
+                obj, deltas = self.rpn.flatten_raw(obj_raw, deltas_raw)
                 proposals, _ = self.rpn._decode_proposals(obj, deltas)
                 return self.roi.predict(Tensor(features_arr), proposals)
             features = self.forward(stem_features)

@@ -93,6 +93,35 @@ class RPNHead(Module):
         )
         return obj, deltas
 
+    def raw_head_outputs(self, features: Tensor) -> tuple[Tensor, Tensor]:
+        """Unflattened head tensors: objectness ``(N, A, H, W)``, deltas
+        ``(N, 4A, H, W)``.
+
+        The compiled inference program captures these directly: the conv
+        outputs are physically NHWC, so :meth:`flatten_raw` turns them
+        into decode layout with pure views instead of the two strided
+        copies the traced transpose/reshape chain of :meth:`head_outputs`
+        used to replay per frame.
+        """
+        trunk = self.conv(features).relu()
+        return self.objectness_head(trunk), self.delta_head(trunk)
+
+    def flatten_raw(
+        self, obj_raw: np.ndarray, deltas_raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flatten raw head arrays to ``(N, HWA)`` / ``(N, HWA, 4)``.
+
+        Bit-identical to the tensor chain in :meth:`head_outputs`: the
+        delta head's channels are ordered ``anchor * 4 + component``, so
+        the NHWC transpose + reshape yields rows ordered (cell, anchor)
+        with the 4 components innermost — exactly the decode layout.  On
+        the engine's NHWC-physical buffers both reshapes are views.
+        """
+        n, a, h, w = obj_raw.shape
+        obj = obj_raw.transpose(0, 2, 3, 1).reshape(n, h * w * a)
+        deltas = deltas_raw.transpose(0, 2, 3, 1).reshape(n, h * w * a, 4)
+        return obj, deltas
+
     def forward(self, features: Tensor) -> RPNOutput:
         """Run the head and decode proposals for each image in the batch."""
         obj, deltas = self.head_outputs(features)

@@ -1,0 +1,45 @@
+"""``repro.serving`` — fleet-scale drive serving.
+
+The north star asks for a serving story, not just offline sweeps: this
+package turns the closed-loop stack into an async drive service.  A
+persistent worker pool holds the trained system and compiled
+``repro.nn.engine`` programs resident; callers submit declarative
+:class:`DriveRequest`\\ s (scenario + policy + seed) and get back
+:class:`StreamHandle` futures; a scheduler coalesces pending frames
+from many concurrent streams into cross-drive batches.  Because every
+batched stage is batch-invariant, a served stream's per-frame records
+are **bit-identical** to the same drive run offline through
+:class:`~repro.simulation.ClosedLoopRunner` — batching moves
+wall-clock, never bits (pinned by ``tests/serving``).  The same bar
+holds for the service's work dedup: the branch-output cache is shared
+across streams, and co-admitted streams replaying the same drive under
+different policies share one rendered frame sequence.
+
+Quick start::
+
+    from repro.serving import DriveRequest, DriveService, ServingConfig
+
+    service = DriveService(system, ServingConfig(max_batch=16))
+    traces = service.serve([
+        DriveRequest(scenario="night_rain", policy="ecofusion_attention",
+                     seed=7),
+        DriveRequest(scenario="highway_commute", policy="static_late"),
+    ])
+
+or asynchronously, with backpressure::
+
+    with DriveService(system) as service:      # background scheduler
+        handle = service.submit(request)       # ServiceSaturated if full
+        trace = handle.result(timeout=60.0)
+"""
+
+from .request import DriveRequest, ServiceSaturated, ServingConfig, StreamHandle
+from .service import DriveService
+
+__all__ = [
+    "DriveRequest",
+    "DriveService",
+    "ServiceSaturated",
+    "ServingConfig",
+    "StreamHandle",
+]

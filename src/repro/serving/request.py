@@ -1,0 +1,143 @@
+"""Request/response surface of the drive service.
+
+A :class:`DriveRequest` is declarative — scenario + policy by name (or
+an explicit :class:`ScenarioSpec`), a seed and an optional timeline
+scale — so requests are cheap to queue, log and replay.  Submission
+returns a :class:`StreamHandle`, the future the caller waits on for the
+finished :class:`~repro.simulation.DriveTrace`.
+
+:class:`ServingConfig` holds the scheduler's trade-off knobs: execution
+mode (cross-stream batched vs single-stream streaming), batch ceiling,
+admission bounds and the shared-cache trim threshold.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..resilience.monitor import HealthMonitorConfig
+from ..simulation.scenario import ScenarioSpec
+
+__all__ = [
+    "DriveRequest",
+    "ServingConfig",
+    "ServiceSaturated",
+    "StreamHandle",
+]
+
+
+class ServiceSaturated(RuntimeError):
+    """Backpressure: the bounded admission queue is full."""
+
+
+@dataclass(frozen=True)
+class DriveRequest:
+    """One drive stream to serve.
+
+    ``scenario`` is a name from the scenario library or an explicit
+    :class:`ScenarioSpec`; ``policy`` is a registry name (each stream
+    gets its own policy instance — decision state is per-drive).
+    ``scale`` shrinks/stretches the scenario timeline before serving
+    (ignored when ``scenario`` is already a spec and equals 1.0).
+    """
+
+    scenario: str | ScenarioSpec
+    policy: str
+    seed: int = 0
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Scheduler knobs: latency/throughput trade-off and admission bounds.
+
+    * ``mode="batched"`` coalesces pending frames across streams into
+      cross-drive batches (throughput); ``mode="streaming"`` runs every
+      frame through the sequential ``window=1`` path (the latency
+      baseline — exactly what a deployed single stream would run).
+    * ``max_batch`` caps cross-stream batch occupancy; larger batches
+      amortize dispatch but each frame waits for the whole batch.
+    * ``max_active_streams`` bounds resident per-stream state;
+      ``queue_capacity`` bounds admitted-but-not-started requests —
+      beyond it, ``submit`` raises :class:`ServiceSaturated`.
+    * ``compiled`` replays inference through ``repro.nn.engine``
+      programs (trace-once, LRU-shared across all streams).
+    * ``health`` arms a custom health-monitor config on every stream
+      (sharded per stream, like offline drives).
+    * ``max_cache_entries`` trims the shared branch-output cache when it
+      grows past this many memoized outputs (0 disables trimming).
+    * ``dedupe_sources`` shares one rendered frame sequence between
+      co-admitted streams requesting the same (scenario, seed, scale) —
+      the policy-A/B fleet case, where five policies replay one drive.
+      Frames are a pure function of (scenario, seed), so sharing moves
+      wall-clock, never bits; streams admitted after a source has
+      started get their own private source.
+    * ``ingest_workers`` pipelines frame ingest in batched mode: while
+      a cross-stream batch computes, this many background threads pull
+      the *next* frame of the just-served streams off their sources.
+      Frame generation is a pure function of (scenario, seed) and never
+      touches inference state, so overlap moves wall-clock, never bits.
+      Streaming mode always ingests synchronously — a lone deployed
+      stream's next frame does not exist until it arrives, and that is
+      the latency baseline being modeled.  Default 0 (off): overlap
+      only pays on multi-core hosts where rendering's numpy sections
+      release the GIL.
+    """
+
+    mode: str = "batched"
+    max_batch: int = 16
+    max_active_streams: int = 64
+    queue_capacity: int = 128
+    compiled: bool = True
+    health: HealthMonitorConfig | None = None
+    max_cache_entries: int = 200_000
+    dedupe_sources: bool = True
+    ingest_workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("batched", "streaming"):
+            raise ValueError(f"unknown serving mode: {self.mode!r}")
+        if self.max_batch < 1 or self.max_active_streams < 1:
+            raise ValueError("max_batch and max_active_streams must be >= 1")
+        if (self.queue_capacity < 0 or self.max_cache_entries < 0
+                or self.ingest_workers < 0):
+            raise ValueError("queue_capacity/max_cache_entries/"
+                             "ingest_workers must be >= 0")
+
+
+@dataclass
+class StreamHandle:
+    """Future for one submitted drive stream."""
+
+    request: DriveRequest
+    stream_id: int
+    status: str = "queued"  # queued -> active -> done | failed
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _trace: object = field(default=None, repr=False)
+    _error: BaseException | None = field(default=None, repr=False)
+
+    def done(self) -> bool:
+        """True once a trace (or an error) is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The finished :class:`DriveTrace` (blocks until available)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"stream {self.stream_id} not finished within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._trace
+
+    # -- scheduler side -------------------------------------------------
+    def _finish(self, trace) -> None:
+        self._trace = trace
+        self.status = "done"
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.status = "failed"
+        self._event.set()

@@ -1,0 +1,571 @@
+"""The warm-pool drive service: many concurrent streams, one scheduler.
+
+:class:`DriveService` keeps a trained system *resident* — workers hold
+:class:`~repro.simulation.ClosedLoopRunner` instances plus one shared
+branch-output cache, and compiled ``repro.nn.engine`` programs live in
+the process-wide LRU — so serving N drives never re-pays model load or
+trace-compile cost per request (the CARMA amortization argument applied
+fleet-wide).
+
+Scheduling model
+----------------
+One scheduler thread owns all inference.  This is load-bearing, not a
+simplification: compiled programs replay on the engine's process-global
+bump pool, whose buffers are invalidated by the next replay of *any*
+program — concurrent replays would corrupt each other.  Concurrency
+therefore comes from **cross-stream batching**, not threads: each tick
+the scheduler coalesces one pending frame from up to ``max_batch``
+ready streams into a single ``ClosedLoopRunner.serve_batch`` call, so
+stems, gate trunks and branch trunks run over cross-drive batches.
+Because every batched stage is batch-invariant, each served stream's
+trace is bit-identical to running it alone offline — batching changes
+wall-clock, never bits.
+
+``mode="streaming"`` instead steps each frame through the sequential
+``window=1`` path — the per-frame latency baseline of a deployed single
+stream (PR 4's deployment-mode follow-up).
+
+Work dedup is the other throughput lever: all workers share one
+branch-output cache (cached == fresh, bit for bit), and with
+``dedupe_sources`` on, streams admitted together that request the same
+(scenario, seed, scale) share one rendered frame sequence — the fleet
+policy-sweep case pays for each drive's rendering once instead of once
+per policy.
+
+The service can run inline (``serve`` drives the scheduler on the
+calling thread — deterministic, test-friendly) or as a background
+worker (``start``/``submit``/``stop``), with bounded admission either
+way: past ``queue_capacity`` pending requests, ``submit`` raises
+:class:`ServiceSaturated`.
+
+All measurement goes through ``repro.telemetry``: per-frame service
+latency and batch occupancy land in mergeable histograms, and when the
+telemetry's tracer is enabled each batch/frame emits spans
+(``serve.batch`` with ``occupancy``, ``serve.frame`` with ``stream`` /
+``latency_ms``) that ``scripts/trace_report.py --serving`` renders.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor, wait
+from contextlib import nullcontext
+from time import perf_counter
+
+from ..core.ecofusion import BranchOutputCache
+from ..nn import engine
+from ..policies.registry import build_policy
+from ..simulation import ClosedLoopRunner, get_scenario, scaled
+from ..simulation.drive import DriveSource
+from ..simulation.scenario import ScenarioSpec
+from ..telemetry import Telemetry, get_default
+from ..telemetry.metrics import OCCUPANCY_BUCKETS, SERVING_LATENCY_BUCKETS_MS
+from .request import DriveRequest, ServiceSaturated, ServingConfig, StreamHandle
+
+__all__ = ["DriveService"]
+
+
+class _SharedSource:
+    """One rendered frame sequence fanned out to several streams.
+
+    Streams requesting the same (scenario, seed, scale) see identical
+    frames — frames are a pure function of those inputs — so the
+    service renders each frame once and hands it to every consumer.
+    A small buffer covers the cursor spread between consumers (the
+    round-robin scheduler keeps them within a frame or two of each
+    other); frames every consumer has passed are evicted immediately.
+    """
+
+    __slots__ = ("iterator", "buffer", "offset", "cursors", "next_id",
+                 "pulled")
+
+    def __init__(self, iterator) -> None:
+        self.iterator = iterator
+        self.buffer: list = []  # frames [offset, offset + len)
+        self.offset = 0
+        self.cursors: dict[int, int] = {}
+        self.next_id = 0
+        self.pulled = False
+
+    def register(self) -> int:
+        """Add a consumer at frame 0; only legal before the first pull."""
+        assert not self.pulled, "cannot join a started source"
+        cid = self.next_id
+        self.next_id += 1
+        self.cursors[cid] = 0
+        return cid
+
+    def pull(self, cid: int):
+        """Next frame for consumer ``cid`` (None once exhausted)."""
+        self.pulled = True
+        index = self.cursors[cid]
+        while index - self.offset >= len(self.buffer):
+            frame = next(self.iterator, None)
+            if frame is None:
+                return None
+            self.buffer.append(frame)
+        frame = self.buffer[index - self.offset]
+        self.cursors[cid] = index + 1
+        self._evict()
+        return frame
+
+    def release(self, cid: int) -> None:
+        self.cursors.pop(cid, None)
+        self._evict()
+
+    def _evict(self) -> None:
+        if not self.cursors:
+            self.buffer.clear()
+            return
+        low = min(self.cursors.values())
+        if low > self.offset:
+            del self.buffer[: low - self.offset]
+            self.offset = low
+
+
+def _consume(source: _SharedSource, cid: int):
+    """Per-consumer iterator over a shared source."""
+    while True:
+        frame = source.pull(cid)
+        if frame is None:
+            source.release(cid)
+            return
+        yield frame
+
+
+class _Stream:
+    """Resident state of one active drive stream."""
+
+    __slots__ = ("handle", "spec", "policy", "state", "initial_soc",
+                 "frames", "next_frame", "pending", "shared",
+                 "frames_done", "ready_at")
+
+    def __init__(self, handle: StreamHandle, spec, policy, state,
+                 frames, shared: bool = False) -> None:
+        self.handle = handle
+        self.spec = spec
+        self.policy = policy
+        self.state = state
+        self.initial_soc = state.battery.soc
+        self.frames = frames
+        self.shared = shared  # multi-consumer source: ingest stays sync
+        self.next_frame = next(frames, None)
+        self.pending = None  # in-flight ingest future (batched mode)
+        self.frames_done = 0
+        self.ready_at = perf_counter()
+
+
+class _Worker:
+    """One resident runner plus the streams currently pinned to it.
+
+    Workers shard *streams*; batches never mix workers.  They all share
+    the branch-output cache and the process-wide program LRU, so a
+    single-worker pool already is the fully warm configuration — extra
+    workers exist to bound per-runner memo growth, not for threads.
+    """
+
+    __slots__ = ("runner", "streams", "cursor")
+
+    def __init__(self, runner: ClosedLoopRunner) -> None:
+        self.runner = runner
+        self.streams: list[_Stream] = []
+        self.cursor = 0
+
+    def take_batch(self, max_batch: int) -> list[_Stream]:
+        """Up to ``max_batch`` ready streams, round-robin fair."""
+        ready = [s for s in self.streams if s.next_frame is not None]
+        if len(ready) <= max_batch:
+            return ready
+        start = self.cursor % len(ready)
+        self.cursor += max_batch
+        return (ready[start:] + ready[:start])[:max_batch]
+
+
+class DriveService:
+    """Serve concurrent drive streams from a warm, resident system."""
+
+    def __init__(
+        self,
+        system,
+        config: ServingConfig | None = None,
+        telemetry: Telemetry | None = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.system = system
+        self.config = config or ServingConfig()
+        self.telemetry = telemetry if telemetry is not None else get_default()
+        # One shared cache: keys are globally-unique sample uids and
+        # cached == fresh bit for bit, so cross-stream sharing is safe.
+        self.cache = BranchOutputCache()
+        self._workers = [
+            _Worker(ClosedLoopRunner(
+                system.model,
+                cache=self.cache,
+                telemetry=self.telemetry,
+                health=self.config.health,
+            ))
+            for _ in range(workers)
+        ]
+        self._lock = threading.Condition()
+        self._queued: deque[StreamHandle] = deque()
+        self._next_id = 0
+        self._completed = 0
+        self._rejected = 0
+        self._frames = 0
+        self._thread: threading.Thread | None = None
+        self._ingest: ThreadPoolExecutor | None = None
+        self._sources: dict[tuple, _SharedSource] = {}
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Submission / backpressure
+    # ------------------------------------------------------------------
+    def submit(self, request: DriveRequest, block: bool = False,
+               timeout: float | None = None) -> StreamHandle:
+        """Queue one drive stream; returns its handle.
+
+        Raises :class:`ServiceSaturated` when the admission queue is
+        full (with ``block=True``, waits up to ``timeout`` for space
+        instead).
+        """
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("service is stopped")
+            if len(self._queued) >= self.config.queue_capacity:
+                if not block or not self._lock.wait_for(
+                    lambda: len(self._queued) < self.config.queue_capacity
+                    or self._stopping,
+                    timeout=timeout,
+                ) or self._stopping:
+                    self._rejected += 1
+                    if self.telemetry.metrics.enabled:
+                        self.telemetry.metrics.counter("serving.rejected").inc()
+                    raise ServiceSaturated(
+                        f"admission queue full "
+                        f"({self.config.queue_capacity} pending)"
+                    )
+            handle = StreamHandle(request=request, stream_id=self._next_id)
+            self._next_id += 1
+            self._queued.append(handle)
+            self._lock.notify_all()
+        return handle
+
+    def serve(self, requests: list[DriveRequest], block: bool = True):
+        """Submit many streams and wait; traces in request order.
+
+        Without a background worker this drives the scheduler inline on
+        the calling thread.  ``block=True`` applies backpressure instead
+        of failing when the queue is momentarily full.
+        """
+        handles = []
+        for request in requests:
+            if self._thread is None:
+                # Inline mode: drain the scheduler until there is room.
+                while True:
+                    try:
+                        handles.append(self.submit(request, block=False))
+                        break
+                    except ServiceSaturated:
+                        if not block or not self._tick():
+                            raise
+            else:
+                handles.append(self.submit(request, block=block,
+                                           timeout=None))
+        if self._thread is None:
+            try:
+                while not all(h.done() for h in handles):
+                    if not self._tick():
+                        break
+            finally:
+                self._shutdown_ingest()
+        return [h.result() for h in handles]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "DriveService":
+        """Run the scheduler on a background thread."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._loop, name="drive-serving", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the background scheduler (draining in-flight work)."""
+        thread = self._thread
+        if thread is None:
+            return
+        with self._lock:
+            self._stopping = True
+            if not drain:
+                for handle in self._queued:
+                    handle._fail(RuntimeError("service stopped"))
+                self._queued.clear()
+            self._lock.notify_all()
+        thread.join()
+        self._thread = None
+        self._stopping = False
+        self._shutdown_ingest()
+
+    def __enter__(self) -> "DriveService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stats(self) -> dict:
+        """Pool/queue occupancy and lifetime counters."""
+        with self._lock:
+            active = sum(len(w.streams) for w in self._workers)
+            return {
+                "workers": len(self._workers),
+                "active_streams": active,
+                "queued": len(self._queued),
+                "completed": self._completed,
+                "rejected": self._rejected,
+                "frames": self._frames,
+                "cache_entries": self.cache.total_entries(),
+                "engine": engine.engine_stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            did_work = self._tick()
+            with self._lock:
+                if self._stopping and not self._queued and not any(
+                    w.streams for w in self._workers
+                ):
+                    return
+                if not did_work and not self._stopping:
+                    self._lock.wait(timeout=0.05)
+
+    def _tick(self) -> bool:
+        """Admit queued streams, then run one batch per worker."""
+        self._admit()
+        did_work = False
+        for worker in self._workers:
+            # Wait for every in-flight ingest before batching: the
+            # renders were submitted before the previous batch's
+            # inference, so by now they are done or nearly done — and
+            # taking only the early finishers would fragment the batch
+            # (occupancy is where the throughput lives).
+            pending = [
+                s.pending for s in worker.streams if s.pending is not None
+            ]
+            if pending:
+                wait(pending)
+                did_work = True
+            self._poll_ingest(worker)
+            batch = worker.take_batch(self.config.max_batch)
+            if not batch:
+                continue
+            self._run_batch(worker, batch)
+            did_work = True
+        return did_work
+
+    # ------------------------------------------------------------------
+    # Pipelined ingest (batched mode): render next frames off-thread
+    # ------------------------------------------------------------------
+    def _ingest_pool(self) -> ThreadPoolExecutor | None:
+        if self.config.mode != "batched" or self.config.ingest_workers == 0:
+            return None
+        if self._ingest is None:
+            self._ingest = ThreadPoolExecutor(
+                max_workers=self.config.ingest_workers,
+                thread_name_prefix="drive-ingest",
+            )
+        return self._ingest
+
+    def _shutdown_ingest(self) -> None:
+        if self._ingest is not None:
+            self._ingest.shutdown(wait=True)
+            self._ingest = None
+
+    def _poll_ingest(self, worker: _Worker) -> None:
+        """Land finished ingest futures; close streams that ran dry.
+
+        Runs on the scheduler thread only — stream state is never
+        touched from the ingest pool (it just advances the frame
+        source), so batching and bookkeeping stay single-owner.
+        """
+        for stream in list(worker.streams):
+            pending = stream.pending
+            if pending is None or not pending.done():
+                continue
+            stream.pending = None
+            try:
+                stream.next_frame = pending.result()
+            except Exception as error:  # frame source failed mid-drive
+                stream.handle._fail(error)
+                worker.streams.remove(stream)
+                with self._lock:
+                    self._completed += 1
+                    self._lock.notify_all()
+                continue
+            stream.ready_at = perf_counter()
+            if stream.next_frame is None:
+                self._finish_stream(worker, stream)
+
+    def _admit(self) -> None:
+        admitted: list[StreamHandle] = []
+        with self._lock:
+            active = sum(len(w.streams) for w in self._workers)
+            while (self._queued and active + len(admitted)
+                    < self.config.max_active_streams):
+                admitted.append(self._queued.popleft())
+            if admitted:
+                self._lock.notify_all()  # queue space freed
+        if not admitted:
+            return
+        # Two phases so duplicate requests admitted together share one
+        # frame source: every consumer must register *before* any stream
+        # pulls frame 0 (constructing a _Stream pulls).
+        resolved = []
+        for handle in admitted:
+            try:
+                resolved.append((handle, self._resolve(handle.request)))
+            except Exception as error:  # bad scenario/policy name etc.
+                handle._fail(error)
+        for handle, (spec, policy, frames, source, cid) in resolved:
+            worker = self._workers[handle.stream_id % len(self._workers)]
+            try:
+                state = worker.runner.open_drive(policy)
+                shared = source is not None and len(source.cursors) > 1
+                stream = _Stream(handle, spec, policy, state, frames, shared)
+            except Exception as error:
+                if source is not None:
+                    source.release(cid)  # don't pin the source's buffer
+                handle._fail(error)
+                continue
+            worker.streams.append(stream)
+            handle.status = "active"
+            if stream.next_frame is None:  # zero-frame scenario
+                self._finish_stream(worker, stream)
+
+    def _resolve(self, request: DriveRequest):
+        """Spec, policy and frame source for one request (admit phase 1).
+
+        With ``dedupe_sources`` on, requests for the same
+        (scenario, seed, scale) that are admitted together get cursors
+        into one :class:`_SharedSource` — the fleet policy-sweep case,
+        where several policies replay one drive and rendering it once
+        is most of the win.  A request arriving after the source has
+        started rendering gets a fresh source (joining mid-drive would
+        mean buffering every frame since 0).
+        """
+        scenario = request.scenario
+        spec = scenario
+        if not isinstance(spec, ScenarioSpec):
+            spec = get_scenario(spec)
+        if request.scale != 1.0:
+            spec = scaled(spec, request.scale)
+        policy = build_policy(request.policy, self.system)
+        if not self.config.dedupe_sources:
+            frames = iter(DriveSource(
+                spec, seed=request.seed,
+                image_size=self.system.model.image_size,
+            ))
+            return spec, policy, frames, None, -1
+        key = (scenario if isinstance(scenario, str) else id(scenario),
+               request.seed, request.scale)
+        source = self._sources.get(key)
+        if source is None or source.pulled:
+            source = _SharedSource(iter(DriveSource(
+                spec, seed=request.seed,
+                image_size=self.system.model.image_size,
+            )))
+            self._sources[key] = source
+        cid = source.register()
+        return spec, policy, _consume(source, cid), source, cid
+
+    def _run_batch(self, worker: _Worker, batch: list[_Stream]) -> None:
+        config = self.config
+        tracer = self.telemetry.tracer
+        metrics = (self.telemetry.metrics
+                   if self.telemetry.metrics.enabled else None)
+        # Pipelined ingest: the frames being served this batch are
+        # already rendered, and a stream's *next* frame is a pure
+        # function of (scenario, seed) — kick its render off now so it
+        # overlaps with this batch's inference.
+        frames = [s.next_frame for s in batch]
+        ingest = self._ingest_pool()
+        if ingest is not None:
+            for stream in batch:
+                if stream.shared:
+                    continue  # multi-consumer sources pull on-thread only
+                stream.next_frame = None
+                stream.pending = ingest.submit(next, stream.frames, None)
+        compile_ctx = engine.use_compiled() if config.compiled else nullcontext()
+        with tracer.span("serve.batch", occupancy=len(batch),
+                         mode=config.mode):
+            with compile_ctx:
+                if config.mode == "streaming":
+                    for stream, frame in zip(batch, frames):
+                        worker.runner._step_sequential(
+                            frame, stream.spec, stream.policy, stream.state,
+                        )
+                else:
+                    worker.runner.serve_batch([
+                        (frame, s.spec, s.policy, s.state)
+                        for s, frame in zip(batch, frames)
+                    ])
+        finished = perf_counter()
+        if metrics is not None:
+            metrics.histogram(
+                "serving.batch.occupancy", buckets=OCCUPANCY_BUCKETS,
+                mode=config.mode,
+            ).observe(float(len(batch)))
+            metrics.counter("serving.batches", mode=config.mode).inc()
+            metrics.counter("serving.frames", mode=config.mode).inc(len(batch))
+        latency_hist = None if metrics is None else metrics.histogram(
+            "serving.frame.latency_ms", buckets=SERVING_LATENCY_BUCKETS_MS,
+            mode=config.mode,
+        )
+        for stream, frame in zip(batch, frames):
+            # Service latency: from the frame becoming ready (previous
+            # batch completion / admission) to batch completion — under
+            # load this includes the wait for a scheduling slot.
+            latency_ms = (finished - stream.ready_at) * 1000.0
+            if latency_hist is not None:
+                latency_hist.observe(latency_ms)
+            if tracer.enabled:
+                with tracer.span(
+                    "serve.frame", stream=stream.handle.stream_id,
+                    t=frame.time_index, latency_ms=latency_ms,
+                    occupancy=len(batch),
+                ):
+                    pass
+            stream.frames_done += 1
+            self._frames += 1
+            if stream.pending is None:  # synchronous ingest
+                stream.next_frame = next(stream.frames, None)
+                stream.ready_at = perf_counter()
+                if stream.next_frame is None:
+                    self._finish_stream(worker, stream)
+        self.cache.trim(config.max_cache_entries)
+
+    def _finish_stream(self, worker: _Worker, stream: _Stream) -> None:
+        try:
+            trace = worker.runner.close_drive(
+                stream.spec, stream.policy, stream.state, stream.initial_soc
+            )
+        except Exception as error:
+            stream.handle._fail(error)
+        else:
+            stream.handle._finish(trace)
+        worker.streams.remove(stream)
+        for key in [k for k, s in self._sources.items() if not s.cursors]:
+            del self._sources[key]  # drained: same key may be re-requested
+        with self._lock:
+            self._completed += 1
+            self._lock.notify_all()

@@ -38,7 +38,7 @@ import numpy as np
 from ..core.config import ModelConfiguration
 from ..core.ecofusion import BranchOutputCache, EcoFusionModel
 from ..core.gating.base import Gate
-from ..core.temporal import SensorDutyCycle
+from ..core.temporal import SensorDutyCycle, TemporalGate
 from ..evaluation.loss_metrics import fusion_loss
 from ..evaluation.map import MapResult, evaluate_map
 from ..evaluation.reports import format_table
@@ -551,6 +551,204 @@ class ClosedLoopRunner:
             self._publish_metrics(
                 tel.metrics, trace, policy, battery, state,
                 engine_before, cache_before,
+            )
+        return trace
+
+    # ------------------------------------------------------------------
+    # Serving seams: externally scheduled drives (repro.serving)
+    # ------------------------------------------------------------------
+    # ``run()`` owns a whole drive's loop.  A serving scheduler instead
+    # interleaves frames from many concurrent drives, so the lifecycle
+    # splits into open (fresh per-stream state) / step (one cross-stream
+    # batch, or the sequential reference per frame) / close (trace
+    # assembly + metrics).  Everything numeric goes through the same
+    # helpers ``run()`` uses, so served streams are bit-identical to
+    # offline drives by construction.
+
+    def open_drive(
+        self,
+        policy: PerceptionPolicy,
+        battery: BatteryState | None = None,
+    ) -> "_DriveState":
+        """Fresh per-drive state for an externally scheduled drive.
+
+        Binds and resets ``policy`` (each concurrent stream must own its
+        policy *instance* — decision state is per-drive) and builds the
+        same :class:`_DriveState` ``run()`` would: per-stream duty cycle,
+        battery and health monitor (PR 7's monitor shards per stream,
+        never per worker).  Capture ``state.battery.soc`` before the
+        first step if you need the initial charge for
+        :meth:`close_drive`.
+        """
+        if not isinstance(policy, PerceptionPolicy):
+            raise TypeError(
+                f"expected a PerceptionPolicy, got {type(policy).__name__}"
+            )
+        policy.bind(self.model.library, self.model.energies())
+        policy.reset()
+        tel = self.telemetry if self.telemetry is not None else get_default()
+        return _DriveState(
+            gate=policy.runtime_gate,
+            duty=SensorDutyCycle(),
+            battery=battery or BatteryState(vehicle=self.vehicle),
+            monitor=HealthMonitor(
+                self.health if self.health is not None else DEFAULT_HEALTH_CONFIG
+            ),
+            mask_faults=self.mask_faulted_configs and policy.use_fault_masking,
+            telemetry=tel if tel.active else None,
+        )
+
+    def serve_batch(
+        self,
+        items: list[tuple[DriveFrame, ScenarioSpec, PerceptionPolicy,
+                          "_DriveState"]],
+    ) -> None:
+        """One cross-drive batched service step.
+
+        ``items`` pairs one pending frame with its stream's
+        ``(spec, policy, state)`` — at most one frame per stream, since a
+        stream's next frame depends on the state this one advances.
+        Stems and each distinct gate's trunk run once over the combined
+        batch; branch inference is gathered across all streams.  Every
+        batched stage is batch-invariant and per-stream state is touched
+        only by its own frame in item order, so each stream's records
+        are bit-identical to running it alone.
+        """
+        if len({id(item[3]) for item in items}) != len(items):
+            raise ValueError("serve_batch: at most one frame per stream "
+                             "per batch")
+        with batch_invariant():
+            self._serve_batch(items)
+
+    def _serve_batch(self, items) -> None:
+        samples = [frame.sample for frame, _, _, _ in items]
+        n = len(items)
+        predicted: list = [None] * n
+        directs: list[str | None] = [None] * n
+        features_of: list[dict | None] = [None] * n
+        # Group gate work by *base* gate object.  Streams built from the
+        # same policy name share the underlying trained gate (it lives in
+        # ``system.gates``) but each wraps it in its own stateful
+        # ``TemporalGate``; batching the base inference and applying each
+        # stream's smoother to its own row afterwards is bit-identical
+        # (one row = one state update) and is where the cross-stream
+        # throughput comes from.
+        direct_groups: dict[int, list[int]] = {}
+        gate_groups: dict[int, list[int]] = {}
+        bases: dict[int, Gate] = {}
+        for i, (_, _, _, state) in enumerate(items):
+            gate = state.gate
+            if gate is None:
+                continue
+            if gate.bypasses_optimization:
+                bases[id(gate)] = gate
+                direct_groups.setdefault(id(gate), []).append(i)
+                continue
+            base = gate.base if isinstance(gate, TemporalGate) else gate
+            bases[id(base)] = base
+            gate_groups.setdefault(id(base), []).append(i)
+        for key, rows in direct_groups.items():
+            names = bases[key].select_direct([samples[i].context for i in rows])
+            assert names is not None
+            for j, i in enumerate(rows):
+                directs[i] = names[j]
+        for key, rows in gate_groups.items():
+            base = bases[key]
+            sub = [samples[i] for i in rows]
+            features = self.model.stem_features_cached(sub, None, self.cache)
+            gate_input = self.model.gate_features(features)
+            rows_pred = base.predict_losses_windowed(
+                gate_input,
+                [s.context for s in sub],
+                [s.sample_id for s in sub],
+            )
+            for j, i in enumerate(rows):
+                gate = items[i][3].gate
+                row = rows_pred[j : j + 1]
+                if isinstance(gate, TemporalGate):
+                    row = gate.smooth(row)
+                predicted[i] = row[0]
+                features_of[i] = features
+
+        decisions: list[PolicyDecision] = []
+        accounts: list[_FrameAccount] = []
+        assessments: list[HealthAssessment] = []
+        for i, (frame, spec, policy, state) in enumerate(items):
+            assessment = state.monitor.observe(
+                frame.faulted_sensors, state.battery.soc
+            )
+            row = predicted[i]
+            guarded = row is not None and not bool(np.isfinite(row).all())
+            if guarded:
+                row = None
+            observation = PolicyObservation(
+                time_index=frame.time_index,
+                context=frame.context,
+                soc=state.battery.soc,
+                faulted_sensors=frame.faulted_sensors,
+                healthy_mask=self._mask_for(assessment, frame, state),
+                predicted_losses=row,
+                direct_selection=directs[i],
+                features=features_of[i],
+            )
+            decision = self._decide(policy, observation, state, guarded)
+            account = self._account(frame, spec, policy, decision, state)
+            tel = state.telemetry
+            if tel is not None and tel.metrics.enabled:
+                policy.record_decision(decision, tel.metrics)
+            decisions.append(decision)
+            accounts.append(account)
+            assessments.append(assessment)
+
+        # One branch execution across all streams; stem rows computed in
+        # the gate phase are reused through the shared cache.
+        frames = [frame for frame, _, _, _ in items]
+        fused = self._execute_window(frames, samples, decisions, None)
+        for (frame, _, _, state), decision, account, detections, assessment in zip(
+            items, decisions, accounts, fused, assessments
+        ):
+            self._record(frame, decision, account, detections, state, assessment)
+
+    def close_drive(
+        self,
+        spec: ScenarioSpec,
+        policy: PerceptionPolicy,
+        state: "_DriveState",
+        initial_soc: float,
+    ) -> DriveTrace:
+        """Finalize an externally scheduled drive into a trace.
+
+        The exact tail of :meth:`run`: trace assembly, the optional
+        health block, and metrics publication.  Engine/branch-cache
+        deltas are process-wide and cannot be attributed to one
+        interleaved stream, so only frame-level metrics are published.
+        """
+        trace = DriveTrace(
+            scenario=spec.name,
+            policy=policy.name,
+            records=state.records,
+            map_result=evaluate_map(
+                state.detections_per_frame, state.gt_boxes, state.gt_labels
+            ),
+            final_soc=state.battery.soc,
+            policy_info=policy.describe(),
+            initial_soc=initial_soc,
+        )
+        if self.health is not None:
+            trace.health = {
+                "config": asdict(self.health),
+                "occupancy": trace.health_histogram,
+                "transitions": state.monitor.transitions,
+                "guards": {
+                    "nonfinite_gate": state.guard_nonfinite_gate,
+                    "nonfinite_detections": state.guard_nonfinite_detections,
+                },
+            }
+        tel = state.telemetry
+        if tel is not None and tel.metrics.enabled:
+            trace.metrics = _drive_metrics_block(trace)
+            self._publish_metrics(
+                tel.metrics, trace, policy, state.battery, state, None, None
             )
         return trace
 

@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 from .metrics import (
     ENERGY_BUCKETS_J,
     LATENCY_BUCKETS_MS,
+    OCCUPANCY_BUCKETS,
+    SERVING_LATENCY_BUCKETS_MS,
     UNIT_BUCKETS,
     WALL_BUCKETS_S,
     Counter,
@@ -88,6 +90,8 @@ __all__ = [
     "ENERGY_BUCKETS_J",
     "WALL_BUCKETS_S",
     "UNIT_BUCKETS",
+    "SERVING_LATENCY_BUCKETS_MS",
+    "OCCUPANCY_BUCKETS",
     # profiling
     "KernelProfiler",
     "kernel_profiling",

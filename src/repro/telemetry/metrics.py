@@ -36,6 +36,8 @@ __all__ = [
     "ENERGY_BUCKETS_J",
     "WALL_BUCKETS_S",
     "UNIT_BUCKETS",
+    "SERVING_LATENCY_BUCKETS_MS",
+    "OCCUPANCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -65,6 +67,17 @@ WALL_BUCKETS_S: tuple[float, ...] = (
 )
 # For quantities naturally in [0, 1] (SoC, lambda_E schedules).
 UNIT_BUCKETS: tuple[float, ...] = tuple(i / 20.0 for i in range(1, 21))
+# Served-frame wall latency (ms): unlike the simulated PX2 ladder above,
+# this measures *service* time — sub-millisecond per frame at test scale,
+# stretching into hundreds of ms of queue wait under load.
+SERVING_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0,
+)
+# Cross-stream batch occupancy (frames coalesced per service batch).
+OCCUPANCY_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,149 @@
+"""Served drives must be bit-identical to offline drives.
+
+The serving layer's whole contract is that cross-stream batching, the
+warm pool, shared frame sources and the shared branch cache move
+wall-clock, never bits: every stream a :class:`DriveService` returns
+must match the same drive run alone through the eager sequential
+``ClosedLoopRunner.run(window=1)`` reference — per-frame float-hex
+records, every value exact.  These tests pin that over compiled and
+eager serving, streaming mode, an armed health monitor, and the fleet
+policy-sweep (deduped frame source) workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ecofusion import BranchOutputCache
+from repro.policies.registry import build_policy
+from repro.resilience.monitor import HealthMonitorConfig
+from repro.serving import DriveRequest, DriveService, ServingConfig
+from repro.simulation import ClosedLoopRunner, get_scenario, scaled
+
+SCALE = 0.1  # ~20 frames per stream at tiny image size
+
+# A fleet mix: two drives, several policies each — crosses scenario
+# boundaries, gate families (attention / knowledge / static) and the
+# temporal smoother, and makes the second drive's streams share a
+# frame source with each other but not with the first's.
+FLEET = [
+    DriveRequest("urban_fog_ingress", "ecofusion_attention", seed=3, scale=SCALE),
+    DriveRequest("urban_fog_ingress", "ecofusion_knowledge", seed=3, scale=SCALE),
+    DriveRequest("urban_fog_ingress", "static_early", seed=3, scale=SCALE),
+    DriveRequest("sensor_stress_test", "ecofusion_attention", seed=9, scale=SCALE),
+    DriveRequest("sensor_stress_test", "soc_linear_attention", seed=9, scale=SCALE),
+]
+
+
+def offline(system, request, health=None):
+    """Eager sequential ground truth: fresh runner, fresh cache."""
+    spec = scaled(get_scenario(request.scenario), request.scale)
+    runner = ClosedLoopRunner(
+        system.model, cache=BranchOutputCache(), health=health
+    )
+    policy = build_policy(request.policy, system)
+    return runner.run(spec, policy, seed=request.seed, window=1)
+
+
+def serve(system, requests, **config):
+    service = DriveService(system, ServingConfig(**config))
+    return service.serve(requests)
+
+
+def assert_served_matches_offline(system, requests, traces, health=None):
+    assert len(traces) == len(requests)
+    for request, trace in zip(requests, traces):
+        reference = offline(system, request, health=health)
+        assert trace.records_hex() == reference.records_hex()
+        assert trace.final_soc == reference.final_soc
+        assert trace.health == reference.health
+
+
+class TestServedEquivalence:
+    def test_batched_compiled_matches_offline_eager(self, tiny_system):
+        traces = serve(tiny_system, FLEET, mode="batched", max_batch=4)
+        assert_served_matches_offline(tiny_system, FLEET, traces)
+
+    def test_batched_eager_matches_offline(self, tiny_system, monkeypatch):
+        # compiled=False serves through eager numpy; REPRO_NO_COMPILE on
+        # top pins the escape hatch a deployment would flip.
+        monkeypatch.setenv("REPRO_NO_COMPILE", "1")
+        traces = serve(tiny_system, FLEET, mode="batched", max_batch=4,
+                       compiled=False)
+        assert_served_matches_offline(tiny_system, FLEET, traces)
+
+    def test_streaming_mode_matches_offline(self, tiny_system):
+        traces = serve(tiny_system, FLEET[:3], mode="streaming")
+        assert_served_matches_offline(tiny_system, FLEET[:3], traces)
+
+    def test_armed_health_monitor_matches_offline(self, tiny_system):
+        # A non-default monitor config (debounce + hysteresis + limp-home)
+        # over the fault-heavy scenario: the service shards one monitor
+        # per stream exactly like offline drives shard per run.
+        cfg = HealthMonitorConfig(
+            detection_latency=1, recovery_hysteresis=2, limp_home_streams=3
+        )
+        requests = [
+            DriveRequest("sensor_stress_test", "ecofusion_attention",
+                         seed=11, scale=SCALE),
+            DriveRequest("degraded_limp_home", "ecofusion_knowledge",
+                         seed=12, scale=SCALE),
+        ]
+        service = DriveService(
+            tiny_system, ServingConfig(mode="batched", health=cfg)
+        )
+        traces = service.serve(requests)
+        for trace in traces:
+            assert trace.health is not None  # armed monitor annotates
+        assert_served_matches_offline(tiny_system, requests, traces,
+                                      health=cfg)
+
+
+class TestSharedFrameSources:
+    def test_policy_sweep_shares_one_source(self, tiny_system):
+        # Five policies replaying one drive: co-admitted duplicates
+        # must collapse onto a single rendered frame sequence...
+        requests = [
+            DriveRequest("night_rain", policy, seed=7, scale=SCALE)
+            for policy in ("ecofusion_attention", "ecofusion_knowledge",
+                           "static_early", "static_late",
+                           "soc_linear_attention")
+        ]
+        service = DriveService(tiny_system, ServingConfig(mode="batched"))
+        traces = service.serve(requests)
+        # ...and the source registry must drain once the streams finish.
+        assert service._sources == {}
+        assert_served_matches_offline(tiny_system, requests, traces)
+
+    def test_dedupe_disabled_still_identical(self, tiny_system):
+        requests = [
+            DriveRequest("night_rain", "ecofusion_attention", seed=7,
+                         scale=SCALE),
+            DriveRequest("night_rain", "static_late", seed=7, scale=SCALE),
+        ]
+        deduped = serve(tiny_system, requests, mode="batched")
+        private = serve(tiny_system, requests, mode="batched",
+                        dedupe_sources=False)
+        for a, b in zip(deduped, private):
+            assert a.records_hex() == b.records_hex()
+
+    def test_shared_source_evicts_consumed_frames(self):
+        from repro.serving.service import _SharedSource, _consume
+
+        source = _SharedSource(iter(range(6)))
+        a = _consume(source, source.register())
+        b = _consume(source, source.register())
+        assert [next(a), next(b)] == [0, 0]
+        assert len(source.buffer) <= 1  # both cursors passed frame 0
+        assert list(a) == [1, 2, 3, 4, 5]
+        assert list(b) == [1, 2, 3, 4, 5]
+        assert source.cursors == {} and source.buffer == []
+
+    def test_shared_source_rejects_late_join(self):
+        from repro.serving.service import _SharedSource
+
+        source = _SharedSource(iter(range(3)))
+        cid = source.register()
+        source.pull(cid)
+        with pytest.raises(AssertionError):
+            source.register()
