@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Kill-and-resume sweep smoke: a SIGKILLed sweep must resume losslessly.
+
+Runs a reference sweep to completion, then launches the same sweep with
+``SweepRecovery(resume_dir=...)`` in a child process and SIGKILLs the
+child's whole process group as soon as the first shard result lands on
+disk.  A resumed sweep over the same ``resume_dir`` must (a) skip the
+persisted shards and (b) return merged results byte-identical to the
+uninterrupted reference — JSON-canonicalized, wall timings stripped.
+
+Exit status is non-zero on any divergence, which is what CI watches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.policies import get_policy_spec
+from repro.simulation import SweepRecovery, run_sweep
+
+TINY_SPEC = SystemSpec(
+    per_context=4, iterations=14, gate_iterations=30, batch_size=4
+)
+SCENARIOS = ["highway_commute", "urban_fog_ingress", "night_rain"]
+POLICY_NAMES = ("static_early", "ecofusion_attention")
+
+CHILD_SRC = """
+import sys
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.policies import get_policy_spec
+from repro.simulation import SweepRecovery, run_sweep
+
+root, resume_dir, scale, jobs = sys.argv[1:5]
+system = get_or_build_system(
+    SystemSpec(per_context=4, iterations=14, gate_iterations=30,
+               batch_size=4),
+    root=root,
+)
+run_sweep(
+    system, {scenarios!r},
+    policies=tuple(get_policy_spec(n) for n in {policies!r}),
+    scale=float(scale), seed=3, jobs=int(jobs), collect_hex=True,
+    artifact_root=root, recovery=SweepRecovery(resume_dir=resume_dir),
+)
+"""
+
+
+def canonical(results: dict) -> dict:
+    """JSON round-trip (what resume persistence does) minus wall timings."""
+    out = json.loads(json.dumps(results))
+    for per_policy in out.values():
+        for entry in per_policy.values():
+            if isinstance(entry, dict):
+                entry.pop("wall_seconds", None)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--artifact-root", default=None,
+        help="artifact cache directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    root = args.artifact_root or tempfile.mkdtemp(prefix="sweep_smoke_")
+    system = get_or_build_system(TINY_SPEC, root=root)
+    policies = tuple(get_policy_spec(name) for name in POLICY_NAMES)
+    sweep_kwargs = dict(
+        policies=policies, scale=args.scale, seed=3, jobs=args.jobs,
+        collect_hex=True, artifact_root=root,
+    )
+
+    reference = canonical(run_sweep(system, SCENARIOS, **sweep_kwargs))
+    print(f"reference sweep done ({len(SCENARIOS)} scenarios)")
+
+    # Interrupted run: SIGKILL the child's process group (the sweep
+    # parent *and* its pool workers) once the first shard has landed.
+    resume_dir = tempfile.mkdtemp(prefix="sweep_resume_")
+    child_src = CHILD_SRC.format(
+        scenarios=SCENARIOS, policies=POLICY_NAMES
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", child_src,
+         root, resume_dir, str(args.scale), str(args.jobs)],
+        start_new_session=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+    )
+    deadline = time.time() + 300
+    while time.time() < deadline:
+        if any(name.startswith("shard_") and name.endswith(".json")
+               for name in os.listdir(resume_dir)):
+            break
+        if child.poll() is not None:
+            break
+        time.sleep(0.1)
+    if child.poll() is None:
+        os.killpg(child.pid, signal.SIGKILL)
+        child.wait()
+    persisted = sorted(
+        name for name in os.listdir(resume_dir)
+        if name.startswith("shard_") and name.endswith(".json")
+    )
+    print(f"killed mid-sweep with {len(persisted)} shard(s) persisted:",
+          ", ".join(persisted) or "(none)")
+    if not persisted:
+        print("FAIL: the child finished or died before any shard landed; "
+              "nothing to resume", file=sys.stderr)
+        return 1
+    if len(persisted) >= len(SCENARIOS):
+        print("FAIL: every shard persisted before the kill; the resume "
+              "would recompute nothing", file=sys.stderr)
+        return 1
+
+    resumed = canonical(run_sweep(
+        system, SCENARIOS,
+        recovery=SweepRecovery(resume_dir=resume_dir), **sweep_kwargs,
+    ))
+    if resumed != reference:
+        diverged = [
+            scenario for scenario in reference
+            if resumed.get(scenario) != reference[scenario]
+        ]
+        print(f"FAIL: resumed merged results diverge from the "
+              f"uninterrupted reference in: {diverged}", file=sys.stderr)
+        return 1
+    print("kill-and-resume OK: resumed merged results are byte-identical "
+          "to the uninterrupted reference")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,10 +16,17 @@ per-stream service-latency percentiles — measured wall latency from the
 ``latency_ms`` attribute, which includes queue wait, not span duration —
 and the batch-occupancy distribution.
 
+With ``--failures`` it digests the service's failure-handling spans
+(``serve.fault``): event counts by kind (retried / quarantined /
+cancelled / deadline_missed), the retry attempt/backoff distribution,
+and per-kind latency percentiles (wall-clock from submission to the
+failure event).
+
 Run:  PYTHONPATH=src python scripts/trace_report.py TRACE.jsonl [...]
       PYTHONPATH=src python scripts/trace_report.py --dir telemetry_out/
       (add ``--json`` for a machine-readable report, ``--serving`` for
-      the per-stream serving digest)
+      the per-stream serving digest, ``--failures`` for the
+      failure-handling digest)
 """
 
 from __future__ import annotations
@@ -128,6 +135,78 @@ def collect_serving(paths: list[Path]) -> dict:
     }
 
 
+def collect_failures(paths: list[Path]) -> dict:
+    """Digest ``serve.fault`` spans: counts, retries, latency.
+
+    Each span is one failure-handling event the scheduler emitted —
+    kind ``retried`` / ``quarantined`` / ``cancelled`` /
+    ``deadline_missed`` — carrying the stream id, the retry ``attempt``
+    (1-based; 0 for control events), the deterministic ``backoff_ticks``
+    charged, and ``latency_ms`` wall-clock since submission.
+    Percentiles are exact over the raw latencies, like the serving
+    digest.
+    """
+    by_kind: dict[str, list[float]] = {}
+    streams_by_kind: dict[str, set[int]] = {}
+    attempts: dict[int, int] = {}
+    backoff: dict[int, int] = {}
+    for path in paths:
+        _, spans = read_jsonl(path)
+        for record in spans:
+            if record["name"] != "serve.fault":
+                continue
+            attrs = record.get("attrs", {})
+            kind = attrs.get("kind", "?")
+            by_kind.setdefault(kind, []).append(attrs.get("latency_ms", 0.0))
+            streams_by_kind.setdefault(kind, set()).add(attrs.get("stream"))
+            if kind == "retried":
+                a = attrs.get("attempt", 0)
+                attempts[a] = attempts.get(a, 0) + 1
+                b = attrs.get("backoff_ticks", 0)
+                backoff[b] = backoff.get(b, 0) + 1
+    kinds = {}
+    for kind, values in sorted(by_kind.items()):
+        values.sort()
+        kinds[kind] = {
+            "events": len(values),
+            "streams": len(streams_by_kind[kind]),
+            "p50_ms": _percentile(values, 0.50),
+            "p90_ms": _percentile(values, 0.90),
+            "p99_ms": _percentile(values, 0.99),
+            "max_ms": values[-1],
+        }
+    return {
+        "kinds": kinds,
+        "retry_attempts": {str(a): attempts[a] for a in sorted(attempts)},
+        "retry_backoff_ticks": {str(b): backoff[b] for b in sorted(backoff)},
+    }
+
+
+def render_failures(report: dict) -> str:
+    if not report["kinds"]:
+        return "no failure-handling spans found (serve.fault)"
+    lines = ["failure digest (serve.fault spans)", ""]
+    lines.append(
+        f"{'kind':>16s} {'events':>8s} {'streams':>8s} {'p50 ms':>10s} "
+        f"{'p90 ms':>10s} {'p99 ms':>10s} {'max ms':>10s}"
+    )
+    for kind, row in report["kinds"].items():
+        lines.append(
+            f"{kind:>16s} {row['events']:8d} {row['streams']:8d} "
+            f"{row['p50_ms']:10.3f} {row['p90_ms']:10.3f} "
+            f"{row['p99_ms']:10.3f} {row['max_ms']:10.3f}"
+        )
+    if report["retry_attempts"]:
+        lines.append("")
+        lines.append("retry attempts (1-based):")
+        for attempt, count in report["retry_attempts"].items():
+            lines.append(f"  attempt {attempt:>2s}: {count:6d}")
+        lines.append("retry backoff charged (scheduler ticks):")
+        for ticks, count in report["retry_backoff_ticks"].items():
+            lines.append(f"  {ticks:>4s} ticks: {count:6d}")
+    return "\n".join(lines)
+
+
 def render_serving(report: dict) -> str:
     if not report["streams"]:
         return "no serving spans found (serve.frame / serve.batch)"
@@ -197,7 +276,15 @@ def main() -> None:
                         help="digest drive-service spans: per-stream "
                              "latency percentiles + batch-occupancy "
                              "distribution")
+    parser.add_argument("--failures", action="store_true",
+                        help="digest the service's failure-handling "
+                             "spans: cancelled/deadline-missed/retried/"
+                             "quarantined counts, retry attempt and "
+                             "backoff distributions, per-kind latency "
+                             "percentiles")
     args = parser.parse_args()
+    if args.serving and args.failures:
+        parser.error("--serving and --failures are mutually exclusive")
     paths = list(args.traces)
     if args.dir is not None:
         paths.extend(sorted(args.dir.glob("trace_*.jsonl")))
@@ -206,6 +293,8 @@ def main() -> None:
     try:
         if args.serving:
             report = collect_serving(paths)
+        elif args.failures:
+            report = collect_failures(paths)
         else:
             report = collect(paths)
     except (OSError, ValueError, KeyError) as error:
@@ -213,8 +302,12 @@ def main() -> None:
         sys.exit(1)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
+    elif args.serving:
+        print(render_serving(report))
+    elif args.failures:
+        print(render_failures(report))
     else:
-        print(render_serving(report) if args.serving else render(report))
+        print(render(report))
 
 
 if __name__ == "__main__":

@@ -64,6 +64,15 @@ class TemporalGate(Gate):
         """Forget history (call at sequence boundaries)."""
         self._state = None
 
+    def state_dict(self) -> dict:
+        """Snapshot the EMA state for drive checkpointing."""
+        state = None if self._state is None else self._state.copy()
+        return {"state": state}
+
+    def load_state_dict(self, state: dict) -> None:
+        saved = state["state"]
+        self._state = None if saved is None else np.array(saved, copy=True)
+
     def predict_losses(
         self,
         gate_features: Tensor,
@@ -118,6 +127,17 @@ class HysteresisPolicy:
         self._incumbent = None
         self.switch_count = 0
 
+    def state_dict(self) -> dict:
+        return {
+            "incumbent": self._incumbent,
+            "switch_count": self.switch_count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        incumbent = state["incumbent"]
+        self._incumbent = None if incumbent is None else int(incumbent)
+        self.switch_count = int(state["switch_count"])
+
     def choose(self, losses: np.ndarray, energies: np.ndarray,
                lambda_e: float, gamma: float) -> int:
         """Index of the configuration to execute this frame."""
@@ -171,6 +191,13 @@ class SensorDutyCycle:
     def reset(self) -> None:
         self._last_used = {s: -(10**9) for s in SENSORS}
         self._clock = -1
+
+    def state_dict(self) -> dict:
+        return {"last_used": dict(self._last_used), "clock": self._clock}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_used = {s: int(t) for s, t in state["last_used"].items()}
+        self._clock = int(state["clock"])
 
     def step(
         self,

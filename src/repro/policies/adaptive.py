@@ -102,6 +102,23 @@ class EcoFusionPolicy(PerceptionPolicy):
             wrapped.reset()
             self._runtime_gate = wrapped
 
+    def state_dict(self) -> dict:
+        """Hysteresis incumbent + temporal-smoother EMA (when wrapped)."""
+        state: dict = {"hysteresis": self._hysteresis.state_dict()}
+        if isinstance(self._runtime_gate, TemporalGate):
+            state["gate"] = self._runtime_gate.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self._hysteresis.load_state_dict(state["hysteresis"])
+        if "gate" in state:
+            if not isinstance(self._runtime_gate, TemporalGate):
+                raise ValueError(
+                    f"checkpoint for '{self.name}' carries temporal-gate "
+                    "state but the policy's runtime gate is not temporal"
+                )
+            self._runtime_gate.load_state_dict(state["gate"])
+
     # ------------------------------------------------------------------
     def effective_lambda(self, observation: PolicyObservation) -> float:
         """The energy weight used this frame (constant for the base policy)."""

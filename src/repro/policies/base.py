@@ -204,6 +204,19 @@ class PerceptionPolicy(ABC):
     def reset(self) -> None:
         """Clear per-drive state (called by the runner before each run)."""
 
+    def state_dict(self) -> dict:
+        """Snapshot mutable per-drive state for checkpoint/resume.
+
+        Stateless policies (the static baselines) return ``{}``.
+        Stateful policies override both hooks; ``load_state_dict`` is
+        always called *after* ``bind()`` + ``reset()``, so overrides can
+        assume freshly-built per-drive machinery to load into.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+
     @abstractmethod
     def decide(self, observation: PolicyObservation) -> PolicyDecision:
         """Select the configuration to execute for ``observation``."""

@@ -23,7 +23,11 @@ hardening layer over ``repro.simulation``:
 """
 
 from .guards import finite_detections, inject_replay_faults, sanitize_detections
-from .invariants import InvariantViolation, check_invariants
+from .invariants import (
+    InvariantViolation,
+    check_invariants,
+    check_served_equivalence,
+)
 from .monitor import (
     DEFAULT_HEALTH_CONFIG,
     HealthAssessment,
@@ -40,6 +44,7 @@ __all__ = [
     "HealthState",
     "InvariantViolation",
     "check_invariants",
+    "check_served_equivalence",
     "finite_detections",
     "inject_replay_faults",
     "sanitize_detections",

@@ -15,9 +15,22 @@ Usage::
 
     python -m repro.resilience.fuzz --seed 7 --drives 8
 
-Exit status is non-zero iff any invariant was violated; the campaign
-summary is machine-readable JSON on stdout (``--output`` to also write
-it to a file).
+``--service`` switches to the *service-layer* chaos campaign
+(:func:`run_service_campaign`): instead of fuzzing fault schedules into
+offline drives, it submits a seeded mix of streams to a live
+:class:`~repro.serving.DriveService` and injects execution faults —
+mid-flight stream kills (transient and poison), scheduler stalls,
+deadline pressure, caller cancellations, compiled-replay faults — then
+holds every completed trace to :func:`check_invariants` *plus*
+:func:`~repro.resilience.invariants.check_served_equivalence` against
+an offline reference run, and requires every injected kill to end
+retried-to-completion or quarantined with the error surfaced through
+its handle.
+
+Exit status is non-zero iff any invariant was violated (for
+``--service``, also on equivalence violations or unresolved kills); the
+campaign summary is machine-readable JSON on stdout (``--output`` to
+also write it to a file).
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ import argparse
 import dataclasses
 import json
 import sys
+import time
 import warnings
 
 import numpy as np
@@ -52,9 +66,11 @@ __all__ = [
     "FUZZ_DRIVE_CONFIG",
     "FUZZ_HEALTH",
     "DEFAULT_FUZZ_POLICIES",
+    "InjectedStreamKill",
     "random_fault",
     "mutate_scenario",
     "run_campaign",
+    "run_service_campaign",
     "main",
 ]
 
@@ -277,6 +293,257 @@ def run_campaign(
     }
 
 
+class InjectedStreamKill(RuntimeError):
+    """Chaos fault raised inside a served stream's frame step."""
+
+
+def run_service_campaign(
+    system,
+    seed: int = 7,
+    streams: int = 12,
+    policies: tuple[str, ...] = DEFAULT_FUZZ_POLICIES,
+    scale: float = 0.1,
+    health: HealthMonitorConfig = FUZZ_HEALTH,
+    max_ticks: int = 50_000,
+) -> dict:
+    """Service-layer chaos: execution faults against a live DriveService.
+
+    Submits a seeded mix of ``streams`` drive requests to an inline
+    :class:`~repro.serving.DriveService` (deterministic ``_tick`` loop
+    on this thread) and injects, all keyed off ``seed``:
+
+    * **mid-flight stream kills** via the service's fault injector —
+      roughly a third of the streams; *transient* kills fire twice at
+      one frame (so the retry path is charged, then succeeds) while
+      *poison* kills fire on every attempt (the stream must end up
+      quarantined with :class:`InjectedStreamKill` surfaced through its
+      handle);
+    * **scheduler stalls** — seeded sleeps between ticks, which double
+      as deadline pressure for the streams submitted with a tight
+      ``deadline_s``;
+    * **caller cancellations** — ``handle.cancel()`` mid-drive;
+    * **compiled-replay faults** — seeded ticks run under
+      :func:`~repro.resilience.guards.inject_replay_faults`, forcing
+      the engine's replay→eager fallback mid-stream.
+
+    Every trace that completes is held to :func:`check_invariants` and
+    to :func:`check_served_equivalence` against an offline
+    ``ClosedLoopRunner.run(window=1)`` reference of the same (scenario,
+    policy, seed, monitor) — chaos may move wall-clock and outcomes,
+    never the bits of a completed drive.  Deadline-pressured streams
+    may legitimately finish either way (wall-clock is real); all other
+    outcomes are pinned.
+    """
+    from ..serving import DriveRequest, DriveService, ServingConfig
+    from ..serving import StreamErrorPolicy
+    from ..serving.request import CancelledError, DeadlineExceeded
+    from .guards import inject_replay_faults
+    from .invariants import check_served_equivalence
+
+    specs = {name: get_policy_spec(name) for name in policies}
+    ensure_policy_gates(
+        system, tuple(specs.values()), config=FUZZ_DRIVE_CONFIG
+    )
+    rng = np.random.default_rng((seed, 0x5E21CE))
+    library = _library_order()
+
+    # ---- seeded stream mix ------------------------------------------
+    # Roles: ~1/3 killed (3:1 transient:poison), one in six cancelled,
+    # one in six under a tight deadline, the rest clean.
+    plan: dict[int, tuple[int, int | None]] = {}  # sid -> (frame, budget)
+    roles: dict[int, str] = {}
+    requests: list[tuple[DriveRequest, str]] = []
+    for sid in range(streams):
+        base = library[int(rng.integers(len(library)))]
+        spec = scaled(base, scale)
+        policy_name = list(policies)[int(rng.integers(len(policies)))]
+        stream_seed = int(rng.integers(0, 2**16))
+        draw = float(rng.random())
+        deadline = None
+        if draw < 0.25:
+            role = "kill_transient"
+            plan[sid] = (1 + int(rng.integers(max(1, spec.num_frames - 1))), 2)
+        elif draw < 0.33:
+            role = "kill_poison"
+            plan[sid] = (1 + int(rng.integers(max(1, spec.num_frames - 1))),
+                         None)
+        elif draw < 0.5:
+            role = "cancel"
+        elif draw < 0.66:
+            role = "deadline"
+            deadline = 0.05 + 0.1 * float(rng.random())
+        else:
+            role = "clean"
+        roles[sid] = role
+        requests.append((
+            DriveRequest(scenario=spec, policy=policy_name, seed=stream_seed,
+                         deadline_s=deadline),
+            policy_name,
+        ))
+
+    fired: dict[tuple[int, int], int] = {}
+
+    def injector(stream_id: int, time_index: int) -> None:
+        entry = plan.get(stream_id)
+        if entry is None or time_index != entry[0]:
+            return
+        budget = entry[1]
+        count = fired.get((stream_id, time_index), 0)
+        if budget is None or count < budget:
+            fired[(stream_id, time_index)] = count + 1
+            raise InjectedStreamKill(
+                f"injected kill: stream {stream_id} frame {time_index}"
+            )
+
+    config = ServingConfig(
+        mode="batched",
+        max_batch=4,
+        max_active_streams=max(4, streams // 2),
+        queue_capacity=streams,
+        compiled=True,
+        health=health,
+        errors=StreamErrorPolicy(
+            max_retries=2, backoff_ticks=1, backoff_jitter=2,
+            backoff_seed=seed, checkpoint_every=4,
+        ),
+    )
+    service = DriveService(system, config, fault_injector=injector)
+
+    handles = [service.submit(request) for request, _ in requests]
+    stall_ticks = set(
+        int(t) for t in rng.integers(1, 400, size=max(2, streams // 2))
+    )
+    replay_ticks = set(
+        int(t) for t in rng.integers(1, 400, size=max(2, streams // 3))
+    )
+    cancel_at = {
+        sid: 3 + int(rng.integers(0, 12))
+        for sid, role in roles.items() if role == "cancel"
+    }
+
+    tick = 0
+    wedged = False
+    while service._has_pending_work():
+        tick += 1
+        if tick > max_ticks:
+            wedged = True
+            break
+        for sid, at in cancel_at.items():
+            if tick == at:
+                handles[sid].cancel()
+        if tick in stall_ticks:
+            time.sleep(0.02)
+        if tick in replay_ticks:
+            with inject_replay_faults():
+                service._tick()
+        else:
+            service._tick()
+
+    # ---- verdicts ----------------------------------------------------
+    reference_runner = ClosedLoopRunner(system.model, health=health)
+    invariant_violations = 0
+    equivalence_violations = 0
+    unresolved_kills = 0
+    outcome_errors: list[str] = []
+    entries: list[dict] = []
+    for sid, (handle, (request, policy_name)) in enumerate(
+        zip(handles, requests)
+    ):
+        role = roles[sid]
+        entry: dict = {"stream": sid, "role": role, "policy": policy_name,
+                       "scenario": request.scenario.name,
+                       "status": handle.status}
+        error: BaseException | None = None
+        trace = None
+        if not handle.done():
+            outcome_errors.append(f"stream {sid} ({role}) never finished")
+            if role.startswith("kill"):
+                unresolved_kills += 1
+            entries.append(entry)
+            continue
+        try:
+            trace = handle.result(timeout=0.0)
+        except BaseException as exc:  # noqa: BLE001 — verdict data
+            error = exc
+        if trace is not None:
+            violations = check_invariants(trace, library=system.library)
+            reference = reference_runner.run(
+                request.scenario, specs[policy_name].build(system),
+                seed=request.seed, window=1,
+            )
+            drift = check_served_equivalence(trace, reference)
+            invariant_violations += len(violations)
+            equivalence_violations += len(drift)
+            entry["violations"] = [v.to_dict() for v in violations]
+            entry["equivalence"] = [v.to_dict() for v in drift]
+        else:
+            entry["error"] = f"{type(error).__name__}: {error}"
+
+        if role == "kill_transient" and trace is None:
+            unresolved_kills += 1
+            outcome_errors.append(
+                f"stream {sid}: transient kill not retried to completion "
+                f"({entry.get('error')})"
+            )
+        elif role == "kill_poison" and not isinstance(
+            error, InjectedStreamKill
+        ):
+            unresolved_kills += 1
+            outcome_errors.append(
+                f"stream {sid}: poison kill not quarantined with its "
+                f"error surfaced (got {entry.get('error')})"
+            )
+        elif role == "cancel" and trace is None and not isinstance(
+            error, CancelledError
+        ):
+            outcome_errors.append(
+                f"stream {sid}: cancelled stream failed with "
+                f"{entry.get('error')}"
+            )
+        elif role == "deadline" and trace is None and not isinstance(
+            error, DeadlineExceeded
+        ):
+            # Finishing in time and missing the deadline are both legal
+            # (wall-clock is real); any *other* error is not.
+            outcome_errors.append(
+                f"stream {sid}: deadline stream failed with "
+                f"{entry.get('error')}"
+            )
+        elif role == "clean" and trace is None:
+            outcome_errors.append(
+                f"stream {sid}: clean stream failed with "
+                f"{entry.get('error')}"
+            )
+        entries.append(entry)
+
+    if wedged:
+        outcome_errors.append(
+            f"scheduler wedged: pending work after {max_ticks} ticks"
+        )
+
+    return {
+        "mode": "service",
+        "seed": seed,
+        "streams": streams,
+        "scale": scale,
+        "policies": list(policies),
+        "monitor": dataclasses.asdict(health),
+        "system": system.spec.cache_key(),
+        "service_stats": service.stats(),
+        "totals": {
+            "invariant_violations": invariant_violations,
+            "equivalence_violations": equivalence_violations,
+            "unresolved_kills": unresolved_kills,
+            "outcome_errors": len(outcome_errors),
+            "injected_kill_streams": len(plan),
+            "kills_fired": sum(fired.values()),
+            "ticks": tick,
+        },
+        "outcome_errors": outcome_errors,
+        "entries": entries,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Seeded random-fault fuzzing over the scenario library."
@@ -290,6 +557,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.12)
     parser.add_argument("--window", type=int, default=4)
     parser.add_argument(
+        "--service", action="store_true",
+        help="run the service-layer chaos campaign against a live "
+             "DriveService instead of the offline fault fuzzer",
+    )
+    parser.add_argument(
+        "--streams", type=int, default=12,
+        help="number of streams for --service (ignored otherwise)",
+    )
+    parser.add_argument(
         "--output", default=None, help="also write the JSON summary here"
     )
     parser.add_argument(
@@ -299,25 +575,40 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.drives < 1:
         parser.error("--drives must be >= 1")
+    if args.streams < 1:
+        parser.error("--streams must be >= 1")
 
     system = get_or_build_system(FUZZ_SYSTEM_SPEC, root=args.artifact_root)
-    summary = run_campaign(
-        system,
-        seed=args.seed,
-        drives=args.drives,
-        policies=tuple(p for p in args.policies.split(",") if p),
-        scale=args.scale,
-        window=args.window,
-    )
+    policies = tuple(p for p in args.policies.split(",") if p)
+    if args.service:
+        summary = run_service_campaign(
+            system,
+            seed=args.seed,
+            streams=args.streams,
+            policies=policies,
+            scale=args.scale,
+        )
+    else:
+        summary = run_campaign(
+            system,
+            seed=args.seed,
+            drives=args.drives,
+            policies=policies,
+            scale=args.scale,
+            window=args.window,
+        )
     payload = json.dumps(summary, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(payload + "\n")
     print(payload)
-    violations = summary["totals"]["invariant_violations"]
-    if violations:
+    totals = summary["totals"]
+    failures = totals["invariant_violations"] + totals.get(
+        "equivalence_violations", 0
+    ) + totals.get("unresolved_kills", 0) + totals.get("outcome_errors", 0)
+    if failures:
         print(
-            f"FUZZ FAILED: {violations} invariant violation(s)",
+            f"FUZZ FAILED: {totals}",
             file=sys.stderr,
         )
         return 1

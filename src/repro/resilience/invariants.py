@@ -34,7 +34,12 @@ from dataclasses import dataclass
 from ..simulation.scenario import SENSOR_GROUPS
 from .monitor import DEFAULT_HEALTH_CONFIG, HealthMonitor, HealthMonitorConfig
 
-__all__ = ["InvariantViolation", "check_invariants", "affected_streams"]
+__all__ = [
+    "InvariantViolation",
+    "affected_streams",
+    "check_invariants",
+    "check_served_equivalence",
+]
 
 # Policy kinds whose decide() honors the runner's healthy_mask; static
 # pipelines never look at it, so the masked_config invariant is vacuous
@@ -119,6 +124,46 @@ def check_invariants(trace, library=None) -> list[InvariantViolation]:
     _check_state_machine(trace, flag)
     if library is not None:
         _check_masked_config(trace, library, flag)
+    return violations
+
+
+def check_served_equivalence(trace, reference) -> list[InvariantViolation]:
+    """Served trace vs. its offline reference: bits must match exactly.
+
+    The serving contract (and the checkpoint/restore contract under it)
+    is that batching, retries, and resume move wall-clock, never bits:
+    a stream served through :class:`~repro.serving.DriveService` — even
+    one that was killed mid-flight, restored from a checkpoint, and
+    retried — must produce exactly the per-frame records an offline
+    ``ClosedLoopRunner.run(window=1)`` of the same (scenario, policy,
+    seed, health) produces.  Drift is reported per first-divergent
+    frame via ``float.hex()`` record comparison (one ulp fails), plus
+    final-SoC and health-occupancy checks so a truncated or padded
+    trace cannot sneak past a prefix match.
+    """
+    violations: list[InvariantViolation] = []
+
+    def flag(frame: int | None, message: str) -> None:
+        violations.append(
+            InvariantViolation("served_equivalence", frame, message)
+        )
+
+    got, want = trace.records_hex(), reference.records_hex()
+    if len(got) != len(want):
+        flag(None, f"served trace has {len(got)} frames, reference {len(want)}")
+    for index, (g, w) in enumerate(zip(got, want)):
+        if g != w:
+            keys = sorted(k for k in w if g.get(k) != w.get(k))
+            flag(index, f"first divergent frame: fields {keys} differ")
+            break
+    if trace.final_soc != reference.final_soc:
+        flag(None,
+             f"final SoC {trace.final_soc!r} != reference "
+             f"{reference.final_soc!r}")
+    if trace.health_histogram != reference.health_histogram:
+        flag(None,
+             f"health occupancy {trace.health_histogram} != reference "
+             f"{reference.health_histogram}")
     return violations
 
 

@@ -149,6 +149,21 @@ class HealthMonitor:
         self._fault_streak = 0
         self._healthy_streak = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot the ladder position + debounce counters (checkpointing)."""
+        return {
+            "state": self.state.value,
+            "transitions": self.transitions,
+            "fault_streak": self._fault_streak,
+            "healthy_streak": self._healthy_streak,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.state = HealthState(state["state"])
+        self.transitions = int(state["transitions"])
+        self._fault_streak = int(state["fault_streak"])
+        self._healthy_streak = int(state["healthy_streak"])
+
     # ------------------------------------------------------------------
     def observe(self, faulted: tuple[str, ...], soc: float) -> HealthAssessment:
         """Advance one frame: ``faulted`` physical streams, pre-drain SoC."""

@@ -31,15 +31,35 @@ or asynchronously, with backpressure::
     with DriveService(system) as service:      # background scheduler
         handle = service.submit(request)       # ServiceSaturated if full
         trace = handle.result(timeout=60.0)
+
+Execution faults are first-class: requests carry optional wall-clock
+deadlines (``DriveRequest(..., deadline_s=5.0)`` →
+:class:`DeadlineExceeded`), handles support :meth:`StreamHandle.cancel`
+(→ :class:`CancelledError`, slot freed at the next tick), and a stream
+whose step raises is rolled back to its last drive checkpoint and
+retried under the config's :class:`StreamErrorPolicy` — deterministic
+tick-denominated backoff, quarantine after ``max_retries`` — with
+retried traces still bit-identical to untroubled runs.
 """
 
-from .request import DriveRequest, ServiceSaturated, ServingConfig, StreamHandle
+from .request import (
+    CancelledError,
+    DeadlineExceeded,
+    DriveRequest,
+    ServiceSaturated,
+    ServingConfig,
+    StreamErrorPolicy,
+    StreamHandle,
+)
 from .service import DriveService
 
 __all__ = [
+    "CancelledError",
+    "DeadlineExceeded",
     "DriveRequest",
     "DriveService",
     "ServiceSaturated",
     "ServingConfig",
+    "StreamErrorPolicy",
     "StreamHandle",
 ]

@@ -32,17 +32,37 @@ branch-output cache (cached == fresh, bit for bit), and with
 policy-sweep case pays for each drive's rendering once instead of once
 per policy.
 
+Execution-fault tolerance
+-------------------------
+Between batch ticks the scheduler runs a control sweep: cancelled
+streams (:meth:`StreamHandle.cancel`) and streams past their request
+deadline are evicted — their handles fail with ``CancelledError`` /
+``DeadlineExceeded`` and their admission slots free immediately.  A
+stream whose frame step *raises* is rolled back to its last
+:class:`~repro.simulation.DriveCheckpoint` (taken at admission and every
+``errors.checkpoint_every`` frames) and retried after a deterministic
+tick-denominated backoff; because frames are a pure function of
+(scenario, seed) and checkpoint restore is bit-exact, a retried stream's
+trace is indistinguishable from an untroubled run.  When a *batched*
+step fails, every batch member restores from its checkpoint (uncharged)
+and re-executes solo until past the failure point, so the culprit is
+identified and charged without poisoning innocents; a stream exhausting
+``errors.max_retries`` is quarantined — its handle surfaces the original
+error and the batch moves on.
+
 The service can run inline (``serve`` drives the scheduler on the
 calling thread — deterministic, test-friendly) or as a background
 worker (``start``/``submit``/``stop``), with bounded admission either
 way: past ``queue_capacity`` pending requests, ``submit`` raises
-:class:`ServiceSaturated`.
+:class:`ServiceSaturated`.  A fully idle background scheduler blocks on
+its condition variable (no periodic wakeups) until a submit, cancel or
+stop signals it.
 
 All measurement goes through ``repro.telemetry``: per-frame service
-latency and batch occupancy land in mergeable histograms, and when the
-telemetry's tracer is enabled each batch/frame emits spans
-(``serve.batch`` with ``occupancy``, ``serve.frame`` with ``stream`` /
-``latency_ms``) that ``scripts/trace_report.py --serving`` renders.
+latency and batch occupancy land in mergeable histograms, failure
+handling lands in ``serving.stream.{cancelled,deadline_missed,retried,
+quarantined}`` counters and ``serve.fault`` spans, and
+``scripts/trace_report.py --serving/--failures`` renders both.
 """
 
 from __future__ import annotations
@@ -61,7 +81,14 @@ from ..simulation.drive import DriveSource
 from ..simulation.scenario import ScenarioSpec
 from ..telemetry import Telemetry, get_default
 from ..telemetry.metrics import OCCUPANCY_BUCKETS, SERVING_LATENCY_BUCKETS_MS
-from .request import DriveRequest, ServiceSaturated, ServingConfig, StreamHandle
+from .request import (
+    CancelledError,
+    DeadlineExceeded,
+    DriveRequest,
+    ServiceSaturated,
+    ServingConfig,
+    StreamHandle,
+)
 
 __all__ = ["DriveService"]
 
@@ -139,10 +166,13 @@ class _Stream:
 
     __slots__ = ("handle", "spec", "policy", "state", "initial_soc",
                  "frames", "next_frame", "pending", "shared",
-                 "frames_done", "ready_at")
+                 "frames_done", "ready_at", "checkpoint", "attempts",
+                 "blocked_until", "solo_until", "source", "cid")
 
     def __init__(self, handle: StreamHandle, spec, policy, state,
-                 frames, shared: bool = False) -> None:
+                 frames, shared: bool = False,
+                 source: _SharedSource | None = None,
+                 cid: int = -1) -> None:
         self.handle = handle
         self.spec = spec
         self.policy = policy
@@ -150,10 +180,20 @@ class _Stream:
         self.initial_soc = state.battery.soc
         self.frames = frames
         self.shared = shared  # multi-consumer source: ingest stays sync
+        self.source = source
+        self.cid = cid
         self.next_frame = next(frames, None)
         self.pending = None  # in-flight ingest future (batched mode)
         self.frames_done = 0
         self.ready_at = perf_counter()
+        self.checkpoint = None  # last DriveCheckpoint (retry restore point)
+        self.attempts = 0  # failures charged to this stream so far
+        self.blocked_until = 0  # scheduler tick the backoff expires at
+        # Failure triage: run in batches of one while frames_done <=
+        # solo_until, i.e. until past the frame a failed step was
+        # executing — so a deterministic fault re-fires *solo* and gets
+        # charged to its stream instead of re-poisoning mixed batches.
+        self.solo_until = -1
 
 
 class _Worker:
@@ -172,9 +212,20 @@ class _Worker:
         self.streams: list[_Stream] = []
         self.cursor = 0
 
-    def take_batch(self, max_batch: int) -> list[_Stream]:
-        """Up to ``max_batch`` ready streams, round-robin fair."""
-        ready = [s for s in self.streams if s.next_frame is not None]
+    def take_batch(self, max_batch: int, tick: int = 0) -> list[_Stream]:
+        """Up to ``max_batch`` ready streams, round-robin fair.
+
+        Streams in retry backoff (``blocked_until`` in the future) are
+        skipped; streams in solo triage after a batch failure are served
+        one at a time, ahead of re-forming mixed batches.
+        """
+        ready = [
+            s for s in self.streams
+            if s.next_frame is not None and s.blocked_until <= tick
+        ]
+        solo = [s for s in ready if s.frames_done <= s.solo_until]
+        if solo:
+            return [solo[0]]
         if len(ready) <= max_batch:
             return ready
         start = self.cursor % len(ready)
@@ -183,7 +234,14 @@ class _Worker:
 
 
 class DriveService:
-    """Serve concurrent drive streams from a warm, resident system."""
+    """Serve concurrent drive streams from a warm, resident system.
+
+    ``fault_injector`` is the chaos seam used by
+    ``repro.resilience.fuzz --service``: a callable
+    ``(stream_id, frame_index)`` invoked before each frame step; raising
+    from it kills that step exactly as a real mid-flight execution fault
+    would, exercising the checkpoint-restore/retry/quarantine machinery.
+    """
 
     def __init__(
         self,
@@ -191,12 +249,14 @@ class DriveService:
         config: ServingConfig | None = None,
         telemetry: Telemetry | None = None,
         workers: int = 1,
+        fault_injector=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.system = system
         self.config = config or ServingConfig()
         self.telemetry = telemetry if telemetry is not None else get_default()
+        self.fault_injector = fault_injector
         # One shared cache: keys are globally-unique sample uids and
         # cached == fresh bit for bit, so cross-stream sharing is safe.
         self.cache = BranchOutputCache()
@@ -215,6 +275,11 @@ class DriveService:
         self._completed = 0
         self._rejected = 0
         self._frames = 0
+        self._cancelled = 0
+        self._deadline_missed = 0
+        self._retried = 0
+        self._quarantined = 0
+        self._ticks = 0
         self._thread: threading.Thread | None = None
         self._ingest: ThreadPoolExecutor | None = None
         self._sources: dict[tuple, _SharedSource] = {}
@@ -248,6 +313,11 @@ class DriveService:
                         f"({self.config.queue_capacity} pending)"
                     )
             handle = StreamHandle(request=request, stream_id=self._next_id)
+            now = perf_counter()
+            handle._submitted_at = now
+            if request.deadline_s is not None:
+                handle._deadline_at = now + request.deadline_s
+            handle._service = self
             self._next_id += 1
             self._queued.append(handle)
             self._lock.notify_all()
@@ -277,11 +347,26 @@ class DriveService:
         if self._thread is None:
             try:
                 while not all(h.done() for h in handles):
-                    if not self._tick():
+                    did_work = self._tick()
+                    # An idle tick with streams still resident is normal
+                    # under retry backoff (ticks are the backoff clock);
+                    # only a truly empty scheduler is a wedged one.
+                    if not did_work and not self._has_pending_work():
                         break
             finally:
                 self._shutdown_ingest()
         return [h.result() for h in handles]
+
+    def _has_pending_work(self) -> bool:
+        with self._lock:
+            return bool(self._queued) or any(
+                w.streams for w in self._workers
+            )
+
+    def _wake(self) -> None:
+        """Nudge the scheduler (cancel requests, external signals)."""
+        with self._lock:
+            self._lock.notify_all()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -331,6 +416,11 @@ class DriveService:
                 "completed": self._completed,
                 "rejected": self._rejected,
                 "frames": self._frames,
+                "cancelled": self._cancelled,
+                "deadline_missed": self._deadline_missed,
+                "retried": self._retried,
+                "quarantined": self._quarantined,
+                "ticks": self._ticks,
                 "cache_entries": self.cache.total_entries(),
                 "engine": engine.engine_stats(),
             }
@@ -346,11 +436,28 @@ class DriveService:
                     w.streams for w in self._workers
                 ):
                     return
-                if not did_work and not self._stopping:
-                    self._lock.wait(timeout=0.05)
+                if did_work or self._stopping:
+                    continue
+                if not self._queued and not any(
+                    w.streams for w in self._workers
+                ):
+                    # Fully idle: nothing can expire or unblock on its
+                    # own, so sleep until submit/cancel/stop signals —
+                    # an idle service costs zero wakeups.
+                    self._lock.wait()
+                else:
+                    # Streams resident but none ready (retry backoff,
+                    # deadline pressure): keep the tick clock running.
+                    self._lock.wait(timeout=0.005)
 
     def _tick(self) -> bool:
-        """Admit queued streams, then run one batch per worker."""
+        """One scheduler turn: control sweep, admit, one batch per worker.
+
+        Also the retry clock — backoff is measured in ticks, so every
+        call advances ``_ticks`` whether or not work was found.
+        """
+        self._ticks += 1
+        self._sweep_control()
         self._admit()
         did_work = False
         for worker in self._workers:
@@ -366,12 +473,89 @@ class DriveService:
                 wait(pending)
                 did_work = True
             self._poll_ingest(worker)
-            batch = worker.take_batch(self.config.max_batch)
+            batch = worker.take_batch(self.config.max_batch, self._ticks)
             if not batch:
                 continue
             self._run_batch(worker, batch)
             did_work = True
         return did_work
+
+    # ------------------------------------------------------------------
+    # Control sweep: cancellation + deadlines
+    # ------------------------------------------------------------------
+    def _control_error(self, handle: StreamHandle,
+                       now: float) -> BaseException | None:
+        if handle._cancel_requested:
+            return CancelledError(f"stream {handle.stream_id} cancelled")
+        if handle._deadline_at is not None and now >= handle._deadline_at:
+            return DeadlineExceeded(
+                f"stream {handle.stream_id} missed its "
+                f"{handle.request.deadline_s}s deadline"
+            )
+        return None
+
+    def _sweep_control(self) -> None:
+        """Evict cancelled/expired streams, queued and active alike."""
+        now = perf_counter()
+        with self._lock:
+            expired_queued = []
+            for handle in self._queued:
+                error = self._control_error(handle, now)
+                if error is not None:
+                    expired_queued.append((handle, error))
+            for handle, _ in expired_queued:
+                self._queued.remove(handle)
+        for handle, error in expired_queued:
+            handle._fail(error)
+            self._count_control(handle, error)
+        for worker in self._workers:
+            for stream in list(worker.streams):
+                error = self._control_error(stream.handle, now)
+                if error is not None:
+                    self._drop_stream(worker, stream, error)
+
+    def _count_control(self, handle: StreamHandle,
+                       error: BaseException) -> None:
+        kind = ("cancelled" if isinstance(error, CancelledError)
+                else "deadline_missed")
+        if kind == "cancelled":
+            self._cancelled += 1
+        else:
+            self._deadline_missed += 1
+        self._fault_signal(handle, kind)
+
+    def _fault_signal(self, handle: StreamHandle, kind: str,
+                      attempt: int = 0, backoff_ticks: int = 0) -> None:
+        """One failure-handling event: counter + ``serve.fault`` span."""
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter(f"serving.stream.{kind}").inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            latency_ms = (
+                (perf_counter() - handle._submitted_at) * 1000.0
+                if handle._submitted_at is not None else 0.0
+            )
+            with tracer.span(
+                "serve.fault", stream=handle.stream_id, kind=kind,
+                attempt=attempt, backoff_ticks=backoff_ticks,
+                latency_ms=latency_ms,
+            ):
+                pass
+
+    def _drop_stream(self, worker: _Worker, stream: _Stream,
+                     error: BaseException) -> None:
+        """Evict an active stream (cancel/deadline): slot frees now."""
+        stream.handle._fail(error)
+        stream.pending = None
+        if stream.source is not None:
+            stream.source.release(stream.cid)
+            stream.source = None
+        worker.streams.remove(stream)
+        self._prune_sources()
+        with self._lock:
+            self._completed += 1
+            self._lock.notify_all()
+        self._count_control(stream.handle, error)
 
     # ------------------------------------------------------------------
     # Pipelined ingest (batched mode): render next frames off-thread
@@ -406,11 +590,7 @@ class DriveService:
             try:
                 stream.next_frame = pending.result()
             except Exception as error:  # frame source failed mid-drive
-                stream.handle._fail(error)
-                worker.streams.remove(stream)
-                with self._lock:
-                    self._completed += 1
-                    self._lock.notify_all()
+                self._handle_stream_failure(worker, stream, error)
                 continue
             stream.ready_at = perf_counter()
             if stream.next_frame is None:
@@ -441,7 +621,18 @@ class DriveService:
             try:
                 state = worker.runner.open_drive(policy)
                 shared = source is not None and len(source.cursors) > 1
-                stream = _Stream(handle, spec, policy, state, frames, shared)
+                stream = _Stream(handle, spec, policy, state, frames,
+                                 shared, source, cid)
+                # Admission checkpoint: a stream that fails on its very
+                # first frame still has a restore point (frame 0, fresh
+                # state; restore fast-forwards, so shared sources and
+                # the prefetched next_frame need no special casing).
+                stream.checkpoint = worker.runner.checkpoint_drive(
+                    spec, policy, state,
+                    seed=handle.request.seed,
+                    initial_soc=stream.initial_soc,
+                    frame_index=0, cursor=None,
+                )
             except Exception as error:
                 if source is not None:
                     source.release(cid)  # don't pin the source's buffer
@@ -505,33 +696,51 @@ class DriveService:
                     continue  # multi-consumer sources pull on-thread only
                 stream.next_frame = None
                 stream.pending = ingest.submit(next, stream.frames, None)
+        failed: set[int] = set()
         compile_ctx = engine.use_compiled() if config.compiled else nullcontext()
         with tracer.span("serve.batch", occupancy=len(batch),
                          mode=config.mode):
             with compile_ctx:
                 if config.mode == "streaming":
                     for stream, frame in zip(batch, frames):
-                        worker.runner._step_sequential(
-                            frame, stream.spec, stream.policy, stream.state,
-                        )
+                        try:
+                            self._inject(stream, frame)
+                            worker.runner._step_sequential(
+                                frame, stream.spec, stream.policy,
+                                stream.state,
+                            )
+                        except Exception as error:
+                            self._handle_stream_failure(worker, stream,
+                                                        error)
+                            failed.add(id(stream))
                 else:
-                    worker.runner.serve_batch([
-                        (frame, s.spec, s.policy, s.state)
-                        for s, frame in zip(batch, frames)
-                    ])
+                    try:
+                        for stream, frame in zip(batch, frames):
+                            self._inject(stream, frame)
+                        worker.runner.serve_batch([
+                            (frame, s.spec, s.policy, s.state)
+                            for s, frame in zip(batch, frames)
+                        ])
+                    except Exception as error:
+                        self._handle_batch_failure(worker, batch, error)
+                        return
         finished = perf_counter()
-        if metrics is not None:
+        served = len(batch) - len(failed)
+        if metrics is not None and served:
             metrics.histogram(
                 "serving.batch.occupancy", buckets=OCCUPANCY_BUCKETS,
                 mode=config.mode,
-            ).observe(float(len(batch)))
+            ).observe(float(served))
             metrics.counter("serving.batches", mode=config.mode).inc()
-            metrics.counter("serving.frames", mode=config.mode).inc(len(batch))
+            metrics.counter("serving.frames", mode=config.mode).inc(served)
         latency_hist = None if metrics is None else metrics.histogram(
             "serving.frame.latency_ms", buckets=SERVING_LATENCY_BUCKETS_MS,
             mode=config.mode,
         )
+        errors = config.error_policy
         for stream, frame in zip(batch, frames):
+            if id(stream) in failed:
+                continue
             # Service latency: from the frame becoming ready (previous
             # batch completion / admission) to batch completion — under
             # load this includes the wait for a scheduling slot.
@@ -547,12 +756,112 @@ class DriveService:
                     pass
             stream.frames_done += 1
             self._frames += 1
+            if stream.frames_done % errors.checkpoint_every == 0:
+                stream.checkpoint = worker.runner.checkpoint_drive(
+                    stream.spec, stream.policy, stream.state,
+                    seed=stream.handle.request.seed,
+                    initial_soc=stream.initial_soc,
+                    frame_index=stream.frames_done, cursor=None,
+                )
             if stream.pending is None:  # synchronous ingest
                 stream.next_frame = next(stream.frames, None)
                 stream.ready_at = perf_counter()
                 if stream.next_frame is None:
                     self._finish_stream(worker, stream)
         self.cache.trim(config.max_cache_entries)
+
+    def _inject(self, stream: _Stream, frame) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector(stream.handle.stream_id, frame.time_index)
+
+    # ------------------------------------------------------------------
+    # Failure handling: checkpoint restore, retry backoff, quarantine
+    # ------------------------------------------------------------------
+    def _handle_batch_failure(self, worker: _Worker, batch: list[_Stream],
+                              error: BaseException) -> None:
+        """A batched step raised: restore everyone, re-run solo.
+
+        ``serve_batch`` may have part-mutated several streams' states
+        before raising, and the raiser is not identifiable from outside,
+        so every member rolls back to its checkpoint (uncharged — the
+        restore is bit-exact, so innocents lose nothing but wall-clock)
+        and re-executes in batches of one; the culprit then fails alone
+        and is charged by :meth:`_handle_stream_failure`.
+        """
+        if len(batch) == 1:
+            self._handle_stream_failure(worker, batch[0], error)
+            return
+        for stream in batch:
+            in_flight = stream.frames_done  # frame executing at failure
+            self._restore_stream(worker, stream)
+            stream.solo_until = in_flight
+
+    def _handle_stream_failure(self, worker: _Worker, stream: _Stream,
+                               error: BaseException) -> None:
+        """One stream's step (or ingest) raised: retry or quarantine."""
+        errors = self.config.error_policy
+        stream.attempts += 1
+        if stream.attempts > errors.max_retries:
+            self._quarantine(worker, stream, error)
+            return
+        in_flight = stream.frames_done  # frame executing at failure
+        self._restore_stream(worker, stream)
+        stream.solo_until = in_flight  # retry alone past the fault point
+        backoff = errors.backoff_for(stream.handle.stream_id,
+                                     stream.attempts)
+        stream.blocked_until = self._ticks + backoff
+        self._retried += 1
+        self._fault_signal(stream.handle, "retried",
+                           attempt=stream.attempts, backoff_ticks=backoff)
+
+    def _restore_stream(self, worker: _Worker, stream: _Stream) -> None:
+        """Roll a stream back to its last checkpoint (bit-exact).
+
+        The retried stream always gets a *private* frame cursor — its
+        shared-source cursor (if any) is released, since the surviving
+        co-consumers have moved on and a shared source cannot rewind.
+        """
+        checkpoint = stream.checkpoint
+        runner = worker.runner
+        stream.state = runner.restore_drive(stream.spec, stream.policy,
+                                            checkpoint)
+        if stream.source is not None:
+            stream.source.release(stream.cid)
+            stream.source = None
+            stream.cid = -1
+            stream.shared = False
+            self._prune_sources()
+        source = DriveSource(
+            stream.spec, seed=stream.handle.request.seed,
+            image_size=self.system.model.image_size,
+        )
+        cursor = runner.resume_cursor(source, checkpoint)
+        stream.frames = cursor
+        stream.pending = None
+        stream.next_frame = next(cursor, None)
+        stream.frames_done = checkpoint.frame_index
+        stream.ready_at = perf_counter()
+
+    def _quarantine(self, worker: _Worker, stream: _Stream,
+                    error: BaseException) -> None:
+        """Retries exhausted: surface the error, free the slot."""
+        stream.handle._fail(error)
+        stream.pending = None
+        if stream.source is not None:
+            stream.source.release(stream.cid)
+            stream.source = None
+        worker.streams.remove(stream)
+        self._prune_sources()
+        self._quarantined += 1
+        self._fault_signal(stream.handle, "quarantined",
+                           attempt=stream.attempts)
+        with self._lock:
+            self._completed += 1
+            self._lock.notify_all()
+
+    def _prune_sources(self) -> None:
+        for key in [k for k, s in self._sources.items() if not s.cursors]:
+            del self._sources[key]  # drained: same key may be re-requested
 
     def _finish_stream(self, worker: _Worker, stream: _Stream) -> None:
         try:
@@ -564,8 +873,7 @@ class DriveService:
         else:
             stream.handle._finish(trace)
         worker.streams.remove(stream)
-        for key in [k for k, s in self._sources.items() if not s.cursors]:
-            del self._sources[key]  # drained: same key may be re-requested
+        self._prune_sources()
         with self._lock:
             self._completed += 1
             self._lock.notify_all()

@@ -11,13 +11,14 @@ closed-loop against the hardware model (:class:`ClosedLoopRunner`),
 producing per-drive traces and aggregate reports.
 """
 
+from .checkpoint import CHECKPOINT_SCHEMA_VERSION, DriveCheckpoint
 from .closed_loop import (
     TRACE_SCHEMA_VERSION,
     ClosedLoopRunner,
     DriveTrace,
     FrameRecord,
 )
-from .drive import DriveFrame, DriveSource, apply_fault
+from .drive import DriveCursor, DriveFrame, DriveSource, apply_fault
 from .library import (
     CHAOS_SCENARIOS,
     SCENARIOS,
@@ -28,17 +29,23 @@ from .library import (
 from .scenario import FAULT_MODES, ScenarioSpec, SegmentSpec, SensorFault, scaled
 from .sweep import (
     DEFAULT_POLICIES,
+    SHARD_ERROR_KEY,
     PolicySpec,
+    SweepChaos,
+    SweepRecovery,
     SweepShard,
     run_shard,
     run_sweep,
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "ClosedLoopRunner",
+    "DriveCheckpoint",
     "DriveTrace",
     "FrameRecord",
+    "DriveCursor",
     "DriveFrame",
     "DriveSource",
     "apply_fault",
@@ -53,7 +60,10 @@ __all__ = [
     "SensorFault",
     "scaled",
     "DEFAULT_POLICIES",
+    "SHARD_ERROR_KEY",
     "PolicySpec",
+    "SweepChaos",
+    "SweepRecovery",
     "SweepShard",
     "run_shard",
     "run_sweep",

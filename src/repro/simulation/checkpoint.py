@@ -1,0 +1,103 @@
+"""Drive checkpoints: capture and resume closed-loop drives bit-exactly.
+
+A :class:`DriveCheckpoint` freezes everything a drive evolves frame to
+frame — the frame cursor's RNG positions and scene, the battery SoC and
+its lifetime envelope, the temporal-gate EMA, the hysteresis incumbent,
+the health monitor's ladder position and debounce streaks, the duty-cycle
+clock — plus the outputs accumulated so far (frame records, detections,
+ground truth), so a drive interrupted at frame *k* and resumed produces a
+trace whose ``records_hex()`` is bit-identical to the uninterrupted run.
+
+Two restore strategies for the frame stream:
+
+* ``source_state`` present — rebuild a :class:`~.drive.DriveCursor` from
+  its snapshot (O(1) restore; the normal offline path).
+* ``source_state`` is ``None`` — re-render frames 0..k-1 and discard
+  them ("fast-forward").  Frames are a pure function of ``(spec, seed)``,
+  so this is equally bit-exact; the serving layer uses it because its
+  streams may share (and half-consume) frame sources.
+
+Serialization is :mod:`pickle` via :meth:`DriveCheckpoint.to_bytes` —
+numpy arrays round-trip bit-exactly, and checkpoints are a
+trusted-producer format (our own runner), not a wire format.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CHECKPOINT_SCHEMA_VERSION", "DriveCheckpoint"]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class DriveCheckpoint:
+    """Snapshot of a drive after ``frame_index`` completed frames.
+
+    Produced by :meth:`ClosedLoopRunner.checkpoint_drive`; consumed by
+    :meth:`ClosedLoopRunner.restore_drive` (and the serving retry path).
+    ``frame_index`` counts frames fully executed *and recorded*; the
+    cursor state, when present, is positioned to render frame
+    ``frame_index`` next.
+    """
+
+    scenario: str
+    policy: str
+    seed: int
+    frame_index: int
+    initial_soc: float
+    # Frame-stream snapshot (DriveCursor.state_dict()) or None to
+    # restore by fast-forwarding a fresh cursor.
+    source_state: dict | None
+    policy_state: dict
+    monitor_state: dict
+    duty_state: dict
+    battery_state: dict
+    previous_config: str | None
+    guard_nonfinite_gate: int
+    guard_nonfinite_detections: int
+    mask_faults: bool
+    # Accumulated outputs — carried so the resumed trace equals the
+    # uninterrupted one (records_hex *and* the mAP over all detections).
+    records: list = field(default_factory=list)
+    detections: list = field(default_factory=list)
+    gt_boxes: list = field(default_factory=list)
+    gt_labels: list = field(default_factory=list)
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "DriveCheckpoint":
+        try:
+            checkpoint = pickle.loads(payload)
+        except Exception as error:
+            raise ValueError(f"not a serialized checkpoint: {error}") from error
+        if not isinstance(checkpoint, cls):
+            raise TypeError(
+                f"payload deserialized to {type(checkpoint).__name__}, "
+                "not DriveCheckpoint"
+            )
+        if checkpoint.schema_version != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint schema v{checkpoint.schema_version} is not "
+                f"supported (expected v{CHECKPOINT_SCHEMA_VERSION})"
+            )
+        return checkpoint
+
+    def describe(self) -> dict[str, Any]:
+        """Small JSON-ready summary (logs / service telemetry)."""
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "seed": self.seed,
+            "frame_index": self.frame_index,
+            "soc": self.battery_state["soc"],
+            "monitor_state": self.monitor_state["state"],
+            "restorable_cursor": self.source_state is not None,
+            "schema_version": self.schema_version,
+        }

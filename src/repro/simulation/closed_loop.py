@@ -58,7 +58,8 @@ from ..resilience.monitor import (
 )
 from ..telemetry import NullTracer, Telemetry, get_default
 from ..telemetry.metrics import ENERGY_BUCKETS_J, LATENCY_BUCKETS_MS, Histogram
-from .drive import DriveFrame, DriveSource
+from .checkpoint import DriveCheckpoint
+from .drive import DriveCursor, DriveFrame, DriveSource
 from .scenario import ScenarioSpec
 
 __all__ = [
@@ -455,6 +456,9 @@ class ClosedLoopRunner:
         window: int = 1,
         frames: list[DriveFrame] | None = None,
         compiled: bool = False,
+        resume_from: DriveCheckpoint | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
     ) -> DriveTrace:
         """Drive ``spec`` under ``policy``; returns the full trace.
 
@@ -467,6 +471,13 @@ class ClosedLoopRunner:
         shared across policies via the process-wide LRU); traces are
         bit-identical to eager execution, and ``REPRO_NO_COMPILE=1``
         force-disables it.
+
+        Checkpoint/resume (sequential ``window=1`` mode only):
+        ``on_checkpoint`` receives a :class:`DriveCheckpoint` every
+        ``checkpoint_every`` frames (default: every frame); a later call
+        with ``resume_from=checkpoint`` restores all runner state and
+        continues the drive, producing a trace bit-identical —
+        ``records_hex()`` and all — to the uninterrupted run.
         """
         if window < 1:
             raise ValueError("window must be >= 1")
@@ -476,30 +487,83 @@ class ClosedLoopRunner:
                 "build one via repro.policies (the DrivePolicy helpers were "
                 "removed)"
             )
-        if frames is None:
-            source = DriveSource(spec, seed=seed, image_size=self.model.image_size)
-            frame_windows = source.prefetch(window)
-        else:
-            frame_windows = (
-                frames[start : start + window]
-                for start in range(0, len(frames), window)
+        checkpointing = on_checkpoint is not None
+        if (checkpointing or resume_from is not None) and window != 1:
+            raise ValueError(
+                "checkpoint/resume requires window=1 (checkpoints are "
+                "frame-granular; the sequential reference path)"
             )
-        battery = battery or BatteryState(vehicle=self.vehicle)
-        initial_soc = battery.soc
-        policy.bind(self.model.library, self.model.energies())
-        policy.reset()
-        tel = self.telemetry if self.telemetry is not None else get_default()
-        active = tel.active
-        state = _DriveState(
-            gate=policy.runtime_gate,
-            duty=SensorDutyCycle(),
-            battery=battery,
-            monitor=HealthMonitor(
-                self.health if self.health is not None else DEFAULT_HEALTH_CONFIG
-            ),
-            mask_faults=self.mask_faulted_configs and policy.use_fault_masking,
-            telemetry=tel if active else None,
-        )
+        interval = 1 if checkpoint_every is None else int(checkpoint_every)
+        if interval < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+
+        cursor: DriveCursor | None = None
+        frame_windows = None
+        iterator = None
+        if resume_from is not None:
+            if battery is not None:
+                raise ValueError(
+                    "resume_from carries the battery state; pass battery=None"
+                )
+            if (
+                resume_from.scenario != spec.name
+                or resume_from.policy != policy.name
+                or resume_from.seed != int(seed)
+            ):
+                raise ValueError(
+                    "checkpoint does not match this drive: checkpointed "
+                    f"({resume_from.scenario!r}, {resume_from.policy!r}, "
+                    f"seed={resume_from.seed}) vs requested "
+                    f"({spec.name!r}, {policy.name!r}, seed={int(seed)})"
+                )
+            done = resume_from.frame_index
+            if frames is not None:
+                iterator = iter(frames[done:])
+            else:
+                source = DriveSource(
+                    spec, seed=seed, image_size=self.model.image_size
+                )
+                cursor = self.resume_cursor(source, resume_from)
+                iterator = cursor
+            state = self.restore_drive(spec, policy, resume_from)
+            battery = state.battery
+            initial_soc = resume_from.initial_soc
+            tel = self.telemetry if self.telemetry is not None else get_default()
+            active = tel.active
+        else:
+            done = 0
+            if frames is None:
+                source = DriveSource(
+                    spec, seed=seed, image_size=self.model.image_size
+                )
+                if window == 1:
+                    cursor = iter(source)
+                    iterator = cursor
+                else:
+                    frame_windows = source.prefetch(window)
+            elif window == 1:
+                iterator = iter(frames)
+            else:
+                frame_windows = (
+                    frames[start : start + window]
+                    for start in range(0, len(frames), window)
+                )
+            battery = battery or BatteryState(vehicle=self.vehicle)
+            initial_soc = battery.soc
+            policy.bind(self.model.library, self.model.energies())
+            policy.reset()
+            tel = self.telemetry if self.telemetry is not None else get_default()
+            active = tel.active
+            state = _DriveState(
+                gate=policy.runtime_gate,
+                duty=SensorDutyCycle(),
+                battery=battery,
+                monitor=HealthMonitor(
+                    self.health if self.health is not None else DEFAULT_HEALTH_CONFIG
+                ),
+                mask_faults=self.mask_faulted_configs and policy.use_fault_masking,
+                telemetry=tel if active else None,
+            )
         # Engine/branch-cache counters are process-wide; bracket the
         # drive so only this drive's activity lands in the registry.
         stats_on = active and tel.metrics.enabled
@@ -514,11 +578,18 @@ class ClosedLoopRunner:
             window=window, compiled=bool(compiled),
         ) as drive_span:
             with compile_ctx:
-                for chunk in frame_windows:
-                    if window == 1:
-                        for frame in chunk:
-                            self._step_sequential(frame, spec, policy, state)
-                    else:
+                if window == 1:
+                    for frame in iterator:
+                        self._step_sequential(frame, spec, policy, state)
+                        done += 1
+                        if checkpointing and done % interval == 0:
+                            on_checkpoint(self.checkpoint_drive(
+                                spec, policy, state,
+                                seed=seed, initial_soc=initial_soc,
+                                frame_index=done, cursor=cursor,
+                            ))
+                else:
+                    for chunk in frame_windows:
                         self._step_window(chunk, spec, policy, state)
             drive_span.set(frames=len(state.records), final_soc=battery.soc)
 
@@ -751,6 +822,127 @@ class ClosedLoopRunner:
                 tel.metrics, trace, policy, state.battery, state, None, None
             )
         return trace
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint_drive(
+        self,
+        spec: ScenarioSpec,
+        policy: PerceptionPolicy,
+        state: "_DriveState",
+        *,
+        seed: int,
+        initial_soc: float,
+        frame_index: int,
+        cursor: DriveCursor | None = None,
+    ) -> DriveCheckpoint:
+        """Freeze a drive after ``frame_index`` completed frames.
+
+        ``cursor`` is the live frame cursor to snapshot; pass ``None``
+        when the stream cannot be snapshotted (externally supplied
+        frames, shared serving sources) — restore then fast-forwards a
+        fresh cursor, which is equally bit-exact because frames are a
+        pure function of ``(spec, seed)``.
+        """
+        battery = state.battery
+        return DriveCheckpoint(
+            scenario=spec.name,
+            policy=policy.name,
+            seed=int(seed),
+            frame_index=int(frame_index),
+            initial_soc=float(initial_soc),
+            source_state=None if cursor is None else cursor.state_dict(),
+            policy_state=policy.state_dict(),
+            monitor_state=state.monitor.state_dict(),
+            duty_state=state.duty.state_dict(),
+            battery_state={
+                "soc": battery.soc,
+                "soc_min": battery.soc_min,
+                "soc_max": battery.soc_max,
+            },
+            previous_config=state.previous_config,
+            guard_nonfinite_gate=state.guard_nonfinite_gate,
+            guard_nonfinite_detections=state.guard_nonfinite_detections,
+            mask_faults=state.mask_faults,
+            records=list(state.records),
+            detections=list(state.detections_per_frame),
+            gt_boxes=list(state.gt_boxes),
+            gt_labels=list(state.gt_labels),
+        )
+
+    def restore_drive(
+        self,
+        spec: ScenarioSpec,
+        policy: PerceptionPolicy,
+        checkpoint: DriveCheckpoint,
+    ) -> "_DriveState":
+        """Rebuild the per-drive state a checkpoint captured.
+
+        ``policy`` must be the same spec the checkpoint was taken under
+        (checked by name); it is re-bound and reset, then its mutable
+        per-drive state (hysteresis incumbent, temporal-gate EMA) is
+        loaded, so the first frame after restore decides exactly as the
+        uninterrupted drive would have.
+        """
+        if checkpoint.policy != policy.name:
+            raise ValueError(
+                f"checkpoint was taken under policy {checkpoint.policy!r}, "
+                f"got {policy.name!r}"
+            )
+        if checkpoint.scenario != spec.name:
+            raise ValueError(
+                f"checkpoint was taken for scenario {checkpoint.scenario!r}, "
+                f"got {spec.name!r}"
+            )
+        policy.bind(self.model.library, self.model.energies())
+        policy.reset()
+        policy.load_state_dict(checkpoint.policy_state)
+        battery = BatteryState(
+            vehicle=self.vehicle, soc=float(checkpoint.battery_state["soc"])
+        )
+        # The lifetime envelope is wider than [soc, soc]; restore it
+        # after construction (__post_init__ pins both to soc).
+        battery.soc_min = float(checkpoint.battery_state["soc_min"])
+        battery.soc_max = float(checkpoint.battery_state["soc_max"])
+        monitor = HealthMonitor(
+            self.health if self.health is not None else DEFAULT_HEALTH_CONFIG
+        )
+        monitor.load_state_dict(checkpoint.monitor_state)
+        duty = SensorDutyCycle()
+        duty.load_state_dict(checkpoint.duty_state)
+        tel = self.telemetry if self.telemetry is not None else get_default()
+        return _DriveState(
+            gate=policy.runtime_gate,
+            duty=duty,
+            battery=battery,
+            monitor=monitor,
+            mask_faults=checkpoint.mask_faults,
+            guard_nonfinite_gate=checkpoint.guard_nonfinite_gate,
+            guard_nonfinite_detections=checkpoint.guard_nonfinite_detections,
+            telemetry=tel if tel.active else None,
+            records=list(checkpoint.records),
+            detections_per_frame=list(checkpoint.detections),
+            gt_boxes=list(checkpoint.gt_boxes),
+            gt_labels=list(checkpoint.gt_labels),
+            previous_config=checkpoint.previous_config,
+        )
+
+    def resume_cursor(
+        self, source: DriveSource, checkpoint: DriveCheckpoint
+    ) -> DriveCursor:
+        """Frame cursor positioned at ``checkpoint.frame_index``.
+
+        Restores the snapshotted cursor when the checkpoint carries one,
+        else fast-forwards a fresh cursor (render-and-discard) — both
+        yield the identical remaining frame stream.
+        """
+        if checkpoint.source_state is not None:
+            return DriveCursor.from_state(source, checkpoint.source_state)
+        cursor = DriveCursor(source)
+        for _ in range(checkpoint.frame_index):
+            next(cursor)
+        return cursor
 
     # ------------------------------------------------------------------
     # Telemetry publication (metrics-enabled drives only)

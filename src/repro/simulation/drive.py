@@ -14,6 +14,7 @@ long drives stream in constant memory.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from collections import deque
 from dataclasses import dataclass
@@ -26,7 +27,7 @@ from ..datasets.sensors import render_all_sensors
 from ..datasets.sequences import advance_scene
 from .scenario import ScenarioSpec, SensorFault
 
-__all__ = ["DriveFrame", "DriveSource", "apply_fault"]
+__all__ = ["DriveCursor", "DriveFrame", "DriveSource", "apply_fault"]
 
 
 @dataclass
@@ -143,82 +144,12 @@ class DriveSource:
     def __len__(self) -> int:
         return self.spec.num_frames
 
-    def __iter__(self):
-        rng = np.random.default_rng((self.seed, 0x5CE7A810))
-        fault_rng = np.random.default_rng((self.seed, 0xFA017))
-        seq_token = int(rng.integers(0, 2**31 - 1))
-        segment_index = 0
-        segment = self.spec.segments[0]
-        profile = segment.profile()
-        scene = generate_scene(profile, rng, image_size=self.image_size)
-        last_healthy: dict[str, np.ndarray] = {}
-        # Rolling pre-fault capture buffers, only for sensors a "latency"
-        # fault targets (zero cost for every other drive).  A buffer of
-        # maxlen lag+1 holds captures t-lag..t once warm, so the oldest
-        # entry is exactly the frame a lag-delayed pipeline delivers.
-        max_lag: dict[str, int] = {}
-        for f in self.spec.faults:
-            if f.mode == "latency":
-                for sensor in f.affected:
-                    max_lag[sensor] = max(max_lag.get(sensor, 0), f.lag)
-        history = {s: deque(maxlen=lag + 1) for s, lag in max_lag.items()}
+    def __iter__(self) -> "DriveCursor":
+        return DriveCursor(self)
 
-        for t in range(self.spec.num_frames):
-            new_index, new_segment = self.spec.segment_at(t)
-            if new_index != segment_index:
-                # Segment boundary: geometry persists, conditions change.
-                segment_index, segment = new_index, new_segment
-                profile = segment.profile()
-                scene = Scene(
-                    context=profile.name,
-                    image_size=scene.image_size,
-                    objects=scene.objects,
-                )
-            sensors = render_all_sensors(scene, profile, rng)
-            faults = self.spec.faults_at(t)
-            faulted = {s for f in faults for s in f.affected}
-            # Remember the newest *pre-fault* capture per sensor, so a
-            # "stuck" sensor replays the frame from before it froze.
-            for name, tensor in sensors.items():
-                if name not in faulted:
-                    last_healthy[name] = tensor
-            # Latency buffers always record the true (pre-fault) capture,
-            # inside and outside the fault window alike.
-            for name, buffer in history.items():
-                buffer.append(sensors[name])
-            for fault in faults:
-                progress = fault.progress_at(t)
-                for sensor in fault.affected:
-                    delayed = None
-                    if fault.mode == "latency":
-                        buffer = history[sensor]
-                        delayed = buffer[max(len(buffer) - 1 - fault.lag, 0)]
-                    sensors[sensor] = apply_fault(
-                        sensors[sensor],
-                        fault.mode,
-                        fault_rng,
-                        last_healthy.get(sensor),
-                        progress=progress,
-                        severity=fault.severity,
-                        delayed=delayed,
-                    )
-            sample = Sample(
-                sensors=sensors,
-                boxes=scene.boxes,
-                labels=scene.labels,
-                context=profile.name,
-                sample_id=t,
-                scene=scene,
-                uid=f"{self._uid_prefix}:{seq_token}:{t}",
-            )
-            yield DriveFrame(
-                time_index=t,
-                segment_index=segment_index,
-                sample=sample,
-                faults=faults,
-                scenario=self.spec.name,
-            )
-            scene = advance_scene(scene, profile, rng, segment.ego_speed)
+    def cursor(self) -> "DriveCursor":
+        """Explicit spelling of ``iter(source)`` for checkpoint users."""
+        return DriveCursor(self)
 
     def prefetch(self, window: int):
         """Yield the stream as consecutive lists of up to ``window`` frames.
@@ -261,3 +192,173 @@ class DriveSource:
     def materialize(self) -> list[DriveFrame]:
         """Render the whole drive eagerly (tests / small scenarios)."""
         return list(self)
+
+
+class DriveCursor:
+    """Stateful, checkpointable iterator over a :class:`DriveSource`.
+
+    Yields the exact frames the old generator implementation yielded —
+    same RNG draw sequence, same uids, same fault applications — but
+    keeps every piece of evolution state (scene, RNG positions,
+    last-healthy captures, latency buffers) in named fields so the
+    position can be captured with :meth:`state_dict` and rebuilt with
+    :meth:`from_state` for bit-identical resume.
+
+    One ordering note: the generator advanced the scene *lazily*, on
+    resume after each ``yield``; the cursor advances *eagerly*, at the
+    end of each ``__next__``.  The RNG consumption order is identical
+    (render t, advance t->t+1, render t+1, ...) — the only divergence is
+    an unconditional advance after the final frame, whose draws no
+    consumer can observe.
+    """
+
+    def __init__(self, source: DriveSource) -> None:
+        self.source = source
+        self._rng = np.random.default_rng((source.seed, 0x5CE7A810))
+        self._fault_rng = np.random.default_rng((source.seed, 0xFA017))
+        self._seq_token = int(self._rng.integers(0, 2**31 - 1))
+        self._segment_index = 0
+        self._profile = source.spec.segments[0].profile()
+        self._scene = generate_scene(
+            self._profile, self._rng, image_size=source.image_size
+        )
+        self._last_healthy: dict[str, np.ndarray] = {}
+        # Rolling pre-fault capture buffers, only for sensors a "latency"
+        # fault targets (zero cost for every other drive).  A buffer of
+        # maxlen lag+1 holds captures t-lag..t once warm, so the oldest
+        # entry is exactly the frame a lag-delayed pipeline delivers.
+        self._history: dict[str, deque] = {
+            s: deque(maxlen=lag + 1)
+            for s, lag in self._max_lags(source.spec).items()
+        }
+        self._t = 0
+
+    @staticmethod
+    def _max_lags(spec: ScenarioSpec) -> dict[str, int]:
+        max_lag: dict[str, int] = {}
+        for f in spec.faults:
+            if f.mode == "latency":
+                for sensor in f.affected:
+                    max_lag[sensor] = max(max_lag.get(sensor, 0), f.lag)
+        return max_lag
+
+    def __iter__(self) -> "DriveCursor":
+        return self
+
+    def __next__(self) -> DriveFrame:
+        spec = self.source.spec
+        t = self._t
+        if t >= spec.num_frames:
+            raise StopIteration
+        new_index, new_segment = spec.segment_at(t)
+        if new_index != self._segment_index:
+            # Segment boundary: geometry persists, conditions change.
+            self._segment_index = new_index
+            self._profile = new_segment.profile()
+            self._scene = Scene(
+                context=self._profile.name,
+                image_size=self._scene.image_size,
+                objects=self._scene.objects,
+            )
+        segment = spec.segments[self._segment_index]
+        profile = self._profile
+        scene = self._scene
+        sensors = render_all_sensors(scene, profile, self._rng)
+        faults = spec.faults_at(t)
+        faulted = {s for f in faults for s in f.affected}
+        # Remember the newest *pre-fault* capture per sensor, so a
+        # "stuck" sensor replays the frame from before it froze.
+        for name, tensor in sensors.items():
+            if name not in faulted:
+                self._last_healthy[name] = tensor
+        # Latency buffers always record the true (pre-fault) capture,
+        # inside and outside the fault window alike.
+        for name, buffer in self._history.items():
+            buffer.append(sensors[name])
+        for fault in faults:
+            progress = fault.progress_at(t)
+            for sensor in fault.affected:
+                delayed = None
+                if fault.mode == "latency":
+                    buffer = self._history[sensor]
+                    delayed = buffer[max(len(buffer) - 1 - fault.lag, 0)]
+                sensors[sensor] = apply_fault(
+                    sensors[sensor],
+                    fault.mode,
+                    self._fault_rng,
+                    self._last_healthy.get(sensor),
+                    progress=progress,
+                    severity=fault.severity,
+                    delayed=delayed,
+                )
+        sample = Sample(
+            sensors=sensors,
+            boxes=scene.boxes,
+            labels=scene.labels,
+            context=profile.name,
+            sample_id=t,
+            scene=scene,
+            uid=f"{self.source._uid_prefix}:{self._seq_token}:{t}",
+        )
+        frame = DriveFrame(
+            time_index=t,
+            segment_index=self._segment_index,
+            sample=sample,
+            faults=faults,
+            scenario=spec.name,
+        )
+        self._scene = advance_scene(scene, profile, self._rng, segment.ego_speed)
+        self._t = t + 1
+        return frame
+
+    @property
+    def position(self) -> int:
+        """Index of the next frame ``__next__`` will produce."""
+        return self._t
+
+    def state_dict(self) -> dict:
+        """Snapshot everything needed to resume at :attr:`position`.
+
+        The profile is *not* stored — ``SegmentSpec.profile()`` is pure,
+        so it is recreated from the spec on restore.  Arrays are copied
+        so later iteration cannot mutate a taken snapshot.
+        """
+        return {
+            "t": self._t,
+            "segment_index": self._segment_index,
+            "seq_token": self._seq_token,
+            "rng": copy.deepcopy(self._rng.bit_generator.state),
+            "fault_rng": copy.deepcopy(self._fault_rng.bit_generator.state),
+            "scene": copy.deepcopy(self._scene),
+            "last_healthy": {k: v.copy() for k, v in self._last_healthy.items()},
+            "history": {
+                k: [np.array(a, copy=True) for a in buf]
+                for k, buf in self._history.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, source: DriveSource, state: dict) -> "DriveCursor":
+        cursor = cls.__new__(cls)
+        cursor.source = source
+        cursor._rng = np.random.default_rng()
+        cursor._rng.bit_generator.state = copy.deepcopy(state["rng"])
+        cursor._fault_rng = np.random.default_rng()
+        cursor._fault_rng.bit_generator.state = copy.deepcopy(state["fault_rng"])
+        cursor._seq_token = int(state["seq_token"])
+        cursor._segment_index = int(state["segment_index"])
+        cursor._profile = source.spec.segments[cursor._segment_index].profile()
+        cursor._scene = copy.deepcopy(state["scene"])
+        cursor._last_healthy = {
+            k: v.copy() for k, v in state["last_healthy"].items()
+        }
+        cursor._history = {
+            s: deque(maxlen=lag + 1)
+            for s, lag in cls._max_lags(source.spec).items()
+        }
+        for name, entries in state["history"].items():
+            cursor._history[name].extend(
+                np.array(a, copy=True) for a in entries
+            )
+        cursor._t = int(state["t"])
+        return cursor

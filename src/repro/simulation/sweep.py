@@ -29,8 +29,13 @@ specs come from the policy registry (``repro.policies``), which is what
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -48,10 +53,86 @@ from .scenario import ScenarioSpec, scaled
 __all__ = [
     "PolicySpec",
     "DEFAULT_POLICIES",
+    "SHARD_ERROR_KEY",
+    "SweepChaos",
+    "SweepRecovery",
     "SweepShard",
     "run_shard",
     "run_sweep",
 ]
+
+# Key under which a quarantined shard reports its failure in the sweep
+# results (in place of the policy->entry mapping).
+SHARD_ERROR_KEY = "__shard_error__"
+
+
+@dataclass(frozen=True)
+class SweepRecovery:
+    """Shard-level fault tolerance for :func:`run_sweep`.
+
+    * ``max_retries`` — re-enqueue budget per shard: a shard whose
+      worker crashes, hangs, or raises is retried (with its ``attempt``
+      counter bumped) up to this many times, then *quarantined* — its
+      slot in the sweep results becomes
+      ``{SHARD_ERROR_KEY: {"error": ..., "attempts": n}}`` instead of
+      the policy mapping, and the rest of the sweep completes normally.
+    * ``shard_timeout_s`` — wall-clock budget per shard.  A worker hung
+      past it forces a pool rebuild: the hung shard is charged an
+      attempt; innocent in-flight shards are re-enqueued uncharged.
+    * ``resume_dir`` — partial-result persistence.  Each completed
+      shard's results are written to ``shard_<scenario>.json`` as they
+      land, and a later sweep pointed at the same directory skips those
+      scenarios, merging the persisted results back verbatim — so a
+      killed sweep resumes without recomputing finished shards.
+      Results are JSON (floats round-trip exactly), so the merged dict
+      is bit-identical to an uninterrupted sweep's.  Telemetry
+      snapshots are *not* persisted: a resumed sweep's merged metrics
+      cover only the shards it actually ran.
+
+    Without a ``SweepRecovery``, :func:`run_sweep` keeps its historical
+    strict semantics: the first shard failure propagates.
+    """
+
+    max_retries: int = 1
+    shard_timeout_s: float | None = None
+    resume_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class SweepChaos:
+    """Deterministic worker-failure injection, for exercising recovery.
+
+    Rides on each :class:`SweepShard` and fires only inside pool
+    workers (:func:`_worker_run`) — never in the parent process, so
+    ``jobs=1`` sweeps are unaffected.  Scenarios listed in
+    ``crash_scenarios`` hard-kill their worker (``os._exit``) while the
+    shard's ``attempt`` is below ``crash_attempts``; ``hang_scenarios``
+    sleep ``hang_seconds`` under the same gate.  Keying on ``attempt``
+    makes the chaos both deterministic and recoverable: the re-enqueued
+    shard (attempt bumped) runs clean, while ``crash_attempts`` larger
+    than the retry budget models a poison scenario that ends up
+    quarantined.
+    """
+
+    crash_scenarios: tuple[str, ...] = ()
+    crash_attempts: int = 1
+    hang_scenarios: tuple[str, ...] = ()
+    hang_attempts: int = 1
+    hang_seconds: float = 600.0
+
+    def apply(self, shard: "SweepShard") -> None:
+        if (shard.scenario in self.crash_scenarios
+                and shard.attempt < self.crash_attempts):
+            os._exit(13)
+        if (shard.scenario in self.hang_scenarios
+                and shard.attempt < self.hang_attempts):
+            time.sleep(self.hang_seconds)
 
 
 # The sweep bench_scenarios.py runs by default: the four policies it has
@@ -102,6 +183,13 @@ class SweepShard:
     # the default monitor: legacy masking, no health block on traces).
     # Frozen dataclass of scalars, so it pickles to pool workers intact.
     health: HealthMonitorConfig | None = None
+    # Recovery bookkeeping: how many times this shard has already failed
+    # (bumped on each re-enqueue), plus the chaos plan that pool workers
+    # consult before running the shard.  Frames are a pure function of
+    # (scenario, seed), so a retried shard's results are bit-identical
+    # to a first-attempt run.
+    attempt: int = 0
+    chaos: SweepChaos | None = None
 
     def resolve_spec(self) -> ScenarioSpec:
         spec = get_scenario(self.scenario)
@@ -219,6 +307,8 @@ def _worker_run(
     # Telemetry is per-worker-shard: the local metrics snapshot rides
     # back with the results and the parent merges it (snapshots are
     # associatively mergeable, so completion order is irrelevant).
+    if shard.chaos is not None:
+        shard.chaos.apply(shard)
     tel = None
     if shard.collect_telemetry or shard.trace_dir:
         tel = Telemetry.create(
@@ -232,6 +322,45 @@ def _worker_run(
         else None
     )
     return shard.scenario, results, snapshot
+
+
+# ----------------------------------------------------------------------
+# Partial-result persistence (SweepRecovery.resume_dir)
+# ----------------------------------------------------------------------
+def _persist_shard(resume_dir: Path, scenario: str, results: dict) -> None:
+    # Write-then-rename so a sweep killed mid-write never leaves a
+    # half-shard file that a resume would trust.
+    tmp = resume_dir / f".shard_{scenario}.tmp"
+    tmp.write_text(json.dumps({"scenario": scenario, "results": results}))
+    os.replace(tmp, resume_dir / f"shard_{scenario}.json")
+
+
+def _load_persisted(resume_dir: Path) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for path in sorted(resume_dir.glob("shard_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue  # torn write from a killed sweep: recompute it
+        if (isinstance(payload, dict)
+                and "scenario" in payload and "results" in payload):
+            out[payload["scenario"]] = payload["results"]
+    return out
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may hold hung or crashed workers.
+
+    ``shutdown(wait=False)`` alone would still join a hung worker at
+    interpreter exit; terminating the processes first lets the executor
+    reap them immediately.
+    """
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except (AttributeError, ProcessLookupError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_sweep(
@@ -250,6 +379,8 @@ def run_sweep(
     telemetry: Telemetry | None = None,
     trace_dir: str | None = None,
     health: HealthMonitorConfig | None = None,
+    recovery: SweepRecovery | None = None,
+    chaos: SweepChaos | None = None,
     progress=None,
 ) -> dict[str, dict[str, dict]]:
     """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
@@ -270,6 +401,13 @@ def run_sweep(
     (per-shard local tracers, so files stay per-scenario even under
     ``jobs=1``; a caller-supplied tracer is bypassed when ``trace_dir``
     is set).
+
+    ``recovery`` opts in to shard-level fault tolerance (crash/hang
+    retries, quarantine, resumable partial results — see
+    :class:`SweepRecovery`); without it the first shard failure
+    propagates, as it always has.  ``chaos`` is a deterministic
+    worker-failure injection plan for testing that machinery
+    (:class:`SweepChaos`; only fires in pool workers).
     """
     from .library import SCENARIOS
 
@@ -300,43 +438,201 @@ def run_sweep(
             collect_telemetry=collect_metrics,
             trace_dir=str(trace_dir) if trace_dir is not None else None,
             health=health,
+            chaos=chaos,
         )
         for name in names
     ]
 
     collected: dict[str, dict[str, dict]] = {}
+
+    # Resume: merge persisted shard results back verbatim and skip them.
+    resume_path: Path | None = None
+    if recovery is not None and recovery.resume_dir is not None:
+        resume_path = Path(recovery.resume_dir)
+        resume_path.mkdir(parents=True, exist_ok=True)
+        persisted = _load_persisted(resume_path)
+        for name in names:
+            if name in persisted:
+                collected[name] = persisted[name]
+                _report(progress, name, persisted[name])
+        shards = [s for s in shards if s.scenario not in collected]
+
+    def _land(scenario: str, result: dict, snapshot: dict | None) -> None:
+        collected[scenario] = result
+        if snapshot is not None and collect_metrics:
+            telemetry.metrics.absorb(snapshot)
+        if resume_path is not None and SHARD_ERROR_KEY not in result:
+            _persist_shard(resume_path, scenario, result)
+        _report(progress, scenario, result)
+
+    def _charge(shard: SweepShard, error: BaseException) -> SweepShard | None:
+        """Charge a failure; returns the shard to re-enqueue, or None
+        after quarantining it (budget exhausted)."""
+        if recovery is None:
+            raise error
+        attempt = shard.attempt + 1
+        if attempt > recovery.max_retries:
+            result = {
+                SHARD_ERROR_KEY: {
+                    "error": f"{type(error).__name__}: {error}",
+                    "attempts": attempt,
+                }
+            }
+            _land(shard.scenario, result, None)
+            return None
+        return dataclasses.replace(shard, attempt=attempt)
+
     if jobs == 1 or len(shards) <= 1:
-        for shard in shards:
-            if shard.trace_dir is not None:
-                # Per-shard local telemetry keeps each scenario's trace
-                # file self-contained; metrics merge back afterwards,
-                # exactly like the pool path.
-                local = Telemetry.create(tracing=True, metrics=collect_metrics)
-                collected[shard.scenario] = run_shard(
-                    system, shard, telemetry=local
-                )
-                if collect_metrics:
-                    telemetry.metrics.absorb(local.metrics.snapshot())
+        queue = deque(shards)
+        while queue:
+            shard = queue.popleft()
+            try:
+                if shard.trace_dir is not None:
+                    # Per-shard local telemetry keeps each scenario's
+                    # trace file self-contained; metrics merge back
+                    # afterwards, exactly like the pool path.
+                    local = Telemetry.create(
+                        tracing=True, metrics=collect_metrics
+                    )
+                    result = run_shard(system, shard, telemetry=local)
+                    snapshot = (
+                        local.metrics.snapshot() if collect_metrics else None
+                    )
+                else:
+                    result = run_shard(system, shard, telemetry=telemetry)
+                    snapshot = None
+            except Exception as error:
+                retry = _charge(shard, error)
+                if retry is not None:
+                    queue.appendleft(retry)
             else:
-                collected[shard.scenario] = run_shard(
-                    system, shard, telemetry=telemetry
-                )
-            _report(progress, shard.scenario, collected[shard.scenario])
-    else:
+                _land(shard.scenario, result, snapshot)
+    elif shards:
         global _PARENT_SYSTEM
         _PARENT_SYSTEM = system
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(shards)),
+        max_workers = min(jobs, len(shards))
+
+        def _make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
                 initializer=_worker_init,
                 initargs=(asdict(system.spec), artifact_root),
-            ) as pool:
-                for scenario, result, snapshot in pool.map(_worker_run, shards):
-                    collected[scenario] = result
-                    if snapshot is not None and collect_metrics:
-                        telemetry.metrics.absorb(snapshot)
-                    _report(progress, scenario, result)
+            )
+
+        queue = deque(shards)
+        pending: dict = {}  # future -> (shard, submit time)
+        # Crash triage: a dead worker dooms *every* in-flight future
+        # with BrokenProcessPool, so the culprit is unidentifiable in a
+        # full-width round.  Suspects re-run one at a time (uncharged) —
+        # a solo crash then names its shard exactly, and only that
+        # shard's attempt counter is charged.
+        suspects: set[str] = set()
+        pool = _make_pool()
+        try:
+            while queue or pending:
+                broken = False
+                width = 1 if suspects else max_workers
+                while queue and len(pending) < width:
+                    shard = queue.popleft()
+                    try:
+                        future = pool.submit(_worker_run, shard)
+                    except BrokenProcessPool:
+                        queue.appendleft(shard)
+                        broken = True
+                        break
+                    pending[future] = (shard, time.monotonic())
+                crashed: list[SweepShard] = []
+                if pending and not broken:
+                    timeout = (
+                        None if recovery is None
+                        or recovery.shard_timeout_s is None
+                        else min(0.25, recovery.shard_timeout_s / 4)
+                    )
+                    done, _ = wait(
+                        pending, timeout=timeout, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        shard, _started = pending.pop(future)
+                        try:
+                            scenario, result, snapshot = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            crashed.append(shard)
+                        except Exception as error:
+                            # Deterministic failure inside the worker —
+                            # the pool is healthy, the culprit is known.
+                            suspects.discard(shard.scenario)
+                            retry = _charge(shard, error)
+                            if retry is not None:
+                                queue.append(retry)
+                        else:
+                            suspects.discard(scenario)
+                            _land(scenario, result, snapshot)
+                if broken:
+                    victims = crashed + [
+                        shard for shard, _started in pending.values()
+                    ]
+                    pending = {}
+                    _kill_pool(pool)
+                    pool = _make_pool()
+                    if len(victims) == 1:
+                        # Solo run: the crash names its culprit.
+                        retry = _charge(
+                            victims[0],
+                            BrokenProcessPool(
+                                "worker process crashed mid-sweep"
+                            ),
+                        )
+                        if retry is not None:
+                            suspects.add(retry.scenario)
+                            queue.appendleft(retry)
+                        else:
+                            suspects.discard(victims[0].scenario)
+                    else:
+                        if recovery is None:
+                            raise BrokenProcessPool(
+                                "worker process crashed mid-sweep"
+                            )
+                        # Can't tell who killed the worker: re-run the
+                        # whole in-flight set one at a time, uncharged.
+                        for shard in reversed(victims):
+                            suspects.add(shard.scenario)
+                            queue.appendleft(shard)
+                    continue
+                if (recovery is not None
+                        and recovery.shard_timeout_s is not None and pending):
+                    now = time.monotonic()
+                    hung = {
+                        future
+                        for future, (shard, started) in pending.items()
+                        if now - started > recovery.shard_timeout_s
+                    }
+                    if hung:
+                        # A hung worker cannot be interrupted — rebuild
+                        # the pool.  The hung shard is charged (its next
+                        # attempt defeats attempt-gated hang chaos);
+                        # innocent in-flight shards re-enqueue uncharged.
+                        for future, (shard, _started) in pending.items():
+                            if future in hung:
+                                retry = _charge(
+                                    shard,
+                                    TimeoutError(
+                                        f"shard {shard.scenario!r} exceeded "
+                                        f"{recovery.shard_timeout_s}s"
+                                    ),
+                                )
+                                if retry is not None:
+                                    queue.append(retry)
+                            else:
+                                queue.append(shard)
+                        pending = {}
+                        _kill_pool(pool)
+                        pool = _make_pool()
         finally:
+            if pending:
+                _kill_pool(pool)  # abandoning in-flight work: force it
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
             _PARENT_SYSTEM = None
 
     # Preserve the caller's scenario order regardless of completion order.

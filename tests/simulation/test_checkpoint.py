@@ -1,0 +1,173 @@
+"""Checkpoint/resume: interrupted drives must lose zero bits.
+
+The contract under every recovery feature in the stack (serving
+retries, sweep shard resume) is that a drive checkpointed at frame k
+and resumed produces ``records_hex()`` bit-identical to the same drive
+run uninterrupted — in eager, compiled, and fast-forward-restore modes,
+and with the health monitor mid-degradation at the checkpoint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.policies import get_policy_spec
+from repro.resilience.monitor import HealthMonitorConfig
+from repro.simulation import (
+    ClosedLoopRunner,
+    DriveCheckpoint,
+    get_scenario,
+    scaled,
+)
+
+SCALE = 0.12
+ARMED = HealthMonitorConfig(
+    detection_latency=1, recovery_hysteresis=3, limp_home_streams=3,
+    soc_floor=0.05, soc_recover=0.10,
+)
+
+
+def _run_with_checkpoints(runner, spec, policy, *, seed=3, interval=4,
+                          **kwargs):
+    taken: list[DriveCheckpoint] = []
+    trace = runner.run(
+        spec, policy, seed=seed, window=1,
+        checkpoint_every=interval, on_checkpoint=taken.append, **kwargs
+    )
+    return trace, taken
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("compiled", [False, True])
+    def test_resume_is_bit_identical(self, tiny_system, compiled):
+        spec = scaled(get_scenario("urban_fog_ingress"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model)
+        build = lambda: get_policy_spec("ecofusion_attention").build(
+            tiny_system
+        )
+        reference = runner.run(
+            spec, build(), seed=3, window=1, compiled=compiled
+        )
+        _, taken = _run_with_checkpoints(
+            runner, spec, build(), compiled=compiled
+        )
+        assert taken, "no checkpoints taken"
+        mid = taken[len(taken) // 2]
+        assert 0 < mid.frame_index < spec.num_frames
+        # Serialize across the wire, like serving/sweep recovery would.
+        restored = DriveCheckpoint.from_bytes(mid.to_bytes())
+        resumed = runner.run(
+            spec, build(), seed=3, window=1, compiled=compiled,
+            resume_from=restored,
+        )
+        assert resumed.records_hex() == reference.records_hex()
+        assert resumed.final_soc == reference.final_soc
+
+    def test_fast_forward_restore_without_source_state(self, tiny_system):
+        # Serving checkpoints carry no RNG snapshot (source_state=None):
+        # the resume cursor replays the prefix instead.  Same bits.
+        spec = scaled(get_scenario("night_rain"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model)
+        build = lambda: get_policy_spec("soc_linear_attention").build(
+            tiny_system
+        )
+        reference = runner.run(spec, build(), seed=5, window=1)
+        _, taken = _run_with_checkpoints(runner, spec, build(), seed=5)
+        mid = taken[len(taken) // 2]
+        mid.source_state = None
+        resumed = runner.run(
+            spec, build(), seed=5, window=1, resume_from=mid
+        )
+        assert resumed.records_hex() == reference.records_hex()
+
+    def test_resume_mid_fault_window_with_armed_monitor(self, tiny_system):
+        # Checkpoint inside an active fault window, monitor DEGRADED:
+        # detection-latency and hysteresis streaks must survive the
+        # round trip or the replayed state machine diverges.
+        spec = scaled(get_scenario("degraded_limp_home"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model, health=ARMED)
+        build = lambda: get_policy_spec("ecofusion_attention").build(
+            tiny_system
+        )
+        reference = runner.run(spec, build(), seed=3, window=1)
+        _, taken = _run_with_checkpoints(
+            runner, spec, build(), interval=1
+        )
+        degraded = [
+            cp for cp in taken
+            if cp.monitor_state["state"] not in ("nominal",)
+            and cp.frame_index < spec.num_frames
+        ]
+        assert degraded, "no checkpoint caught the monitor degraded"
+        for checkpoint in (degraded[0], degraded[len(degraded) // 2]):
+            resumed = runner.run(
+                spec, build(), seed=3, window=1,
+                resume_from=DriveCheckpoint.from_bytes(
+                    checkpoint.to_bytes()
+                ),
+            )
+            assert resumed.records_hex() == reference.records_hex()
+            assert resumed.health == reference.health
+
+    def test_checkpoint_cadence_and_prefix(self, tiny_system):
+        spec = scaled(get_scenario("highway_commute"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model)
+        policy = get_policy_spec("static_early").build(tiny_system)
+        reference = runner.run(spec, policy, seed=0, window=1)
+        policy = get_policy_spec("static_early").build(tiny_system)
+        _, taken = _run_with_checkpoints(
+            runner, spec, policy, seed=0, interval=4
+        )
+        assert [cp.frame_index for cp in taken] == [
+            k for k in range(4, spec.num_frames + 1, 4)
+        ]
+        for cp in taken:
+            assert len(cp.records) == cp.frame_index
+            # The recorded prefix is the reference's prefix, verbatim.
+            assert cp.records == reference.records[: cp.frame_index]
+
+
+class TestValidation:
+    def test_mismatched_identity_is_rejected(self, tiny_system):
+        spec = scaled(get_scenario("highway_commute"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model)
+        policy = get_policy_spec("static_early").build(tiny_system)
+        _, taken = _run_with_checkpoints(runner, spec, policy, seed=0)
+        checkpoint = taken[0]
+        other = scaled(get_scenario("night_rain"), SCALE)
+        with pytest.raises(ValueError, match="does not match"):
+            runner.run(
+                other, get_policy_spec("static_early").build(tiny_system),
+                seed=0, window=1, resume_from=checkpoint,
+            )
+        with pytest.raises(ValueError, match="does not match"):
+            runner.run(
+                spec, get_policy_spec("static_early").build(tiny_system),
+                seed=1, window=1, resume_from=checkpoint,
+            )
+
+    def test_checkpointing_requires_window_one(self, tiny_system):
+        spec = scaled(get_scenario("highway_commute"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model)
+        policy = get_policy_spec("static_early").build(tiny_system)
+        with pytest.raises(ValueError, match="window"):
+            runner.run(
+                spec, policy, seed=0, window=4,
+                checkpoint_every=4, on_checkpoint=lambda cp: None,
+            )
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            DriveCheckpoint.from_bytes(b"not a checkpoint")
+
+    def test_describe_is_json_friendly(self, tiny_system):
+        import json
+
+        spec = scaled(get_scenario("highway_commute"), SCALE)
+        runner = ClosedLoopRunner(tiny_system.model)
+        policy = get_policy_spec("static_early").build(tiny_system)
+        _, taken = _run_with_checkpoints(runner, spec, policy, seed=0)
+        payload = taken[0].describe()
+        assert payload["frame_index"] == taken[0].frame_index
+        assert payload["scenario"] == spec.name
+        json.dumps(payload)  # JSON-ready, as the docstring promises

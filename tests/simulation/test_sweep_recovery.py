@@ -1,0 +1,179 @@
+"""Sweep shard recovery: crash retry, quarantine, resumable results.
+
+The pool path of :func:`run_sweep` must survive workers dying
+mid-shard: crashed shards are re-enqueued (bit-identical on retry),
+poison shards are quarantined behind ``SHARD_ERROR_KEY`` without
+sinking the sweep, and ``resume_dir`` persistence lets a killed sweep
+resume without recomputing finished shards.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.policies import get_policy_spec
+from repro.simulation import (
+    SHARD_ERROR_KEY,
+    SweepChaos,
+    SweepRecovery,
+    run_sweep,
+)
+
+SCENARIOS = ["highway_commute", "night_rain"]
+POLICIES = (
+    get_policy_spec("static_early"),
+    get_policy_spec("ecofusion_attention"),
+)
+
+
+def _sweep(system, **kwargs):
+    kwargs.setdefault("policies", POLICIES)
+    kwargs.setdefault("scale", 0.1)
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("collect_hex", True)
+    return run_sweep(system, SCENARIOS, **kwargs)
+
+
+def _strip_wall(results):
+    out = json.loads(json.dumps(results))
+    for per_policy in out.values():
+        for entry in per_policy.values():
+            if isinstance(entry, dict):
+                entry.pop("wall_seconds", None)
+    return out
+
+
+@pytest.fixture(scope="module")
+def reference(tiny_system):
+    return _strip_wall(
+        _sweep(tiny_system, artifact_root=tiny_system.artifact_root)
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"shard_timeout_s": 0.0},
+    ])
+    def test_rejects_bad_recovery(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepRecovery(**kwargs)
+
+
+class TestPoolRecovery:
+    def test_crash_is_retried_and_poison_quarantined(
+        self, tiny_system, reference
+    ):
+        # One sweep exercises both arms: highway_commute's worker dies
+        # once (re-enqueued, clean on retry), night_rain's dies on every
+        # attempt (quarantined after the budget).  Surviving results
+        # must be bit-identical to the undisturbed reference.
+        chaos = SweepChaos(
+            crash_scenarios=("highway_commute", "night_rain"),
+            crash_attempts=1,
+        )
+        poison = SweepChaos(crash_scenarios=("night_rain",),
+                            crash_attempts=99)
+        got = _sweep(
+            tiny_system, jobs=2, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(max_retries=1), chaos=chaos,
+        )
+        assert _strip_wall(got) == reference
+
+        got = _sweep(
+            tiny_system, jobs=2, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(max_retries=1), chaos=poison,
+        )
+        assert SHARD_ERROR_KEY in got["night_rain"]
+        assert got["night_rain"][SHARD_ERROR_KEY]["attempts"] == 2
+        assert _strip_wall(got)["highway_commute"] == (
+            reference["highway_commute"]
+        )
+
+    def test_without_recovery_chaos_propagates(self, tiny_system):
+        chaos = SweepChaos(crash_scenarios=("highway_commute",),
+                           crash_attempts=99)
+        with pytest.raises(Exception):
+            _sweep(
+                tiny_system, jobs=2,
+                artifact_root=tiny_system.artifact_root, chaos=chaos,
+            )
+
+
+class TestResume:
+    def test_persisted_shards_are_skipped_and_merged_verbatim(
+        self, tiny_system, reference, tmp_path
+    ):
+        # Pre-seed the resume dir with a sentinel result for one
+        # scenario: the sweep must skip it (merging the sentinel back
+        # verbatim) and compute only the other shard.
+        resume = tmp_path / "resume"
+        resume.mkdir()
+        sentinel = {"static_early": {"marker": 41}}
+        (resume / "shard_night_rain.json").write_text(
+            json.dumps({"scenario": "night_rain", "results": sentinel})
+        )
+        got = _sweep(
+            tiny_system, jobs=1, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(resume_dir=str(resume)),
+        )
+        assert got["night_rain"] == sentinel
+        assert _strip_wall(got)["highway_commute"] == (
+            reference["highway_commute"]
+        )
+        # The freshly computed shard persisted for the *next* resume...
+        payload = json.loads(
+            (resume / "shard_highway_commute.json").read_text()
+        )
+        assert payload["scenario"] == "highway_commute"
+        assert _strip_wall({"x": payload["results"]})["x"] == (
+            reference["highway_commute"]
+        )
+
+    def test_fully_persisted_sweep_recomputes_nothing(
+        self, tiny_system, reference, tmp_path
+    ):
+        resume = tmp_path / "resume"
+        first = _sweep(
+            tiny_system, jobs=1, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(resume_dir=str(resume)),
+        )
+        # JSON round-trip is exact: resumed results equal computed ones.
+        calls = []
+        second = _sweep(
+            tiny_system, jobs=1, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(resume_dir=str(resume)),
+            progress=lambda scn, pol, entry: calls.append(scn),
+        )
+        assert _strip_wall(second) == _strip_wall(first) == reference
+        assert second == json.loads(json.dumps(first))
+        assert sorted(set(calls)) == sorted(SCENARIOS)
+
+    def test_torn_shard_file_is_recomputed(self, tiny_system, reference,
+                                           tmp_path):
+        resume = tmp_path / "resume"
+        resume.mkdir()
+        (resume / "shard_night_rain.json").write_text('{"scenario": "ni')
+        got = _sweep(
+            tiny_system, jobs=1, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(resume_dir=str(resume)),
+        )
+        assert _strip_wall(got) == reference
+
+    def test_quarantined_shards_are_not_persisted(self, tiny_system,
+                                                  tmp_path):
+        # A quarantine sentinel must not poison later resumes: only
+        # clean shard results are written to the resume dir.
+        resume = tmp_path / "resume"
+        poison = SweepChaos(crash_scenarios=("night_rain",),
+                            crash_attempts=99)
+        got = _sweep(
+            tiny_system, jobs=2, artifact_root=tiny_system.artifact_root,
+            recovery=SweepRecovery(max_retries=0, resume_dir=str(resume)),
+            chaos=poison,
+        )
+        assert SHARD_ERROR_KEY in got["night_rain"]
+        persisted = sorted(p.name for p in resume.glob("shard_*.json"))
+        assert persisted == ["shard_highway_commute.json"]
