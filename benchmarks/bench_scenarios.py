@@ -22,6 +22,12 @@ batches stem/gate/branch inference over W-frame lookahead windows and
 wall time only — traces are bit-identical to the sequential path (see
 ``tests/simulation/test_batched_equivalence.py``).
 
+``--campaign N`` additionally sweeps an N-scenario procedurally
+generated campaign (``repro.scenarios``, seeded by ``--campaign-seed``)
+under the same policy set, reported as ``campaign_scenarios`` /
+``campaign_by_policy`` payload keys; ``--campaign-export DIR`` also
+writes the generated corpus in the nuScenes-style JSON layout.
+
 Run:  PYTHONPATH=src python benchmarks/bench_scenarios.py [--scale 0.25]
       [--window 16] [--jobs 4] [--policies name1,name2]
 
@@ -146,6 +152,17 @@ def main() -> None:
     parser.add_argument("--no-chaos", action="store_true",
                         help="skip the fault-heavy chaos-library sweep "
                              "(health monitor armed, extra payload keys)")
+    parser.add_argument("--campaign", type=int, default=None, metavar="N",
+                        help="additionally sweep an N-scenario procedural "
+                             "campaign (repro.scenarios, seeded by "
+                             "--campaign-seed); adds campaign_* payload keys")
+    parser.add_argument("--campaign-seed", type=int, default=0,
+                        help="generation seed for --campaign (default 0)")
+    parser.add_argument("--campaign-export", type=Path, default=None,
+                        metavar="DIR",
+                        help="export the generated campaign as a "
+                             "nuScenes-style corpus under DIR "
+                             "(requires --campaign)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args()
     if args.scale <= 0:
@@ -154,6 +171,10 @@ def main() -> None:
         parser.error("--window must be >= 1")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.campaign is not None and args.campaign < 1:
+        parser.error("--campaign must be >= 1")
+    if args.campaign_export is not None and args.campaign is None:
+        parser.error("--campaign-export requires --campaign")
     if args.policies is None:
         policies = tuple(get_policy_spec(name) for name in BENCH_POLICY_NAMES)
     else:
@@ -294,6 +315,65 @@ def main() -> None:
             ["policy", "frames", "E(J)/frame", "mAP%", "health occupancy"],
             chaos_rows, title="chaos-library aggregates",
         ))
+
+    if args.campaign is not None:
+        from repro.scenarios import CampaignSpec, export_corpus, generate_campaign
+
+        campaign = CampaignSpec(
+            name=f"campaign{args.campaign_seed}",
+            seed=args.campaign_seed,
+            scenarios=args.campaign,
+        )
+        generated = list(generate_campaign(campaign).values())
+        print(
+            f"\nsweeping {len(generated)} generated scenarios "
+            f"(campaign '{campaign.name}', digest {campaign.digest()}):"
+        )
+        campaign_start = time.perf_counter()
+        campaign_results = run_sweep(
+            system,
+            scenarios=generated,
+            policies=policies,
+            scale=args.scale,
+            seed=args.seed,
+            window=args.window,
+            jobs=args.jobs,
+            compiled=args.compiled,
+            drive_config=drive_config,
+            progress=progress,
+        )
+        campaign_wall = time.perf_counter() - campaign_start
+        campaign_by_policy = aggregate_by_policy(campaign_results)
+        payload["meta"]["campaign"] = {
+            "name": campaign.name,
+            "seed": campaign.seed,
+            "scenarios": campaign.scenarios,
+            "digest": campaign.digest(),
+            "sweep_wall_seconds": round(campaign_wall, 3),
+        }
+        payload["campaign_scenarios"] = campaign_results
+        payload["campaign_by_policy"] = campaign_by_policy
+
+        campaign_rows = [
+            [policy, agg["num_frames"], agg["avg_energy_joules"],
+             agg["avg_latency_ms"], agg["map_percent"], agg["total_switches"]]
+            for policy, agg in campaign_by_policy.items()
+        ]
+        print()
+        print(format_table(
+            ["policy", "frames", "E(J)/frame", "t(ms)", "mAP%", "switches"],
+            campaign_rows, title="generated-campaign aggregates",
+        ))
+
+        if args.campaign_export is not None:
+            export_corpus(
+                args.campaign_export,
+                generated,
+                seed=args.seed,
+                image_size=system.model.image_size,
+                campaign=campaign,
+            )
+            print(f"exported nuScenes-style corpus to {args.campaign_export}")
 
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True))
     print(f"wrote {args.output}")

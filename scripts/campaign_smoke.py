@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Generated-corpus smoke: procedural campaign end to end.
+
+Exercises the whole ``repro.scenarios`` pipeline the way CI needs it
+pinned:
+
+1. **Determinism** — generate a seeded campaign twice and require
+   byte-identical specs (``repr`` equality), all valid (no zero-length
+   segments/windows, constructed without warnings) with pairwise
+   distinct ``content_token``s.
+2. **Sweep agreement** — ``run_sweep`` the generated specs with
+   ``jobs=1`` and ``jobs=2`` (the latter under ``SweepRecovery``) and
+   require exact agreement, JSON-canonicalized with wall timings
+   stripped.
+3. **Invariants** — every swept drive re-runs closed-loop under the
+   armed fuzz monitor and must pass ``check_invariants``; the generated
+   library then feeds ``repro.resilience.fuzz.run_campaign`` (random
+   fault schedules *on top of* generated drives) which must also come
+   back clean.
+4. **Export** — a sub-campaign exports as a nuScenes-style corpus
+   (traces + per-frame detections included) that validates against the
+   schema and survives a write -> load -> re-write byte-identity round
+   trip.
+
+Exit status is non-zero on any failure, which is what CI watches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro.evaluation import SystemSpec, get_or_build_system
+from repro.policies import get_policy_spec
+from repro.resilience.fuzz import FUZZ_HEALTH, run_campaign
+from repro.resilience.invariants import check_invariants
+from repro.scenarios import (
+    CampaignSpec,
+    export_corpus,
+    generate_campaign,
+    load_corpus,
+    validate_corpus,
+    write_corpus,
+)
+from repro.simulation import ClosedLoopRunner, SweepRecovery, run_sweep
+
+TINY_SPEC = SystemSpec(
+    per_context=4, iterations=14, gate_iterations=30, batch_size=4
+)
+POLICY_NAMES = ("static_early", "ecofusion_attention")
+
+
+def canonical(results: dict) -> dict:
+    """JSON round-trip minus wall timings (the sweep's only nondeterminism)."""
+    out = json.loads(json.dumps(results))
+    for per_policy in out.values():
+        for entry in per_policy.values():
+            if isinstance(entry, dict):
+                entry.pop("wall_seconds", None)
+    return out
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=13,
+                        help="campaign generation seed")
+    parser.add_argument("--scenarios", type=int, default=12,
+                        help="campaign size (default 12)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="pool width for the sharded sweep leg")
+    parser.add_argument(
+        "--artifact-root", default=None,
+        help="artifact cache directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    # ---- 1. deterministic generation --------------------------------
+    campaign = CampaignSpec(
+        name="ci_smoke",
+        seed=args.seed,
+        scenarios=args.scenarios,
+        segment_frames=(10, 24),
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        specs = list(generate_campaign(campaign).values())
+        again = list(generate_campaign(campaign).values())
+    if caught:
+        return fail(
+            f"generation raised warnings: {[str(w.message) for w in caught]}"
+        )
+    if [repr(s) for s in specs] != [repr(s) for s in again]:
+        return fail("same (config, seed) generated different specs")
+    tokens = {s.content_token() for s in specs}
+    if len(tokens) != len(specs):
+        return fail(f"{len(specs)} specs share only {len(tokens)} content tokens")
+    for spec in specs:
+        if any(segment.frames < 1 for segment in spec.segments):
+            return fail(f"{spec.name}: zero-length segment")
+        if any(f.duration < 1 or f.start + f.duration > spec.num_frames
+               for f in spec.faults):
+            return fail(f"{spec.name}: invalid fault window")
+    print(
+        f"generated campaign '{campaign.name}' (digest {campaign.digest()}): "
+        f"{len(specs)} deterministic specs, all distinct and valid"
+    )
+
+    # ---- 2. sweep agreement: jobs=1 vs jobs=N -----------------------
+    root = args.artifact_root or tempfile.mkdtemp(prefix="campaign_smoke_")
+    system = get_or_build_system(TINY_SPEC, root=root)
+    policies = tuple(get_policy_spec(name) for name in POLICY_NAMES)
+    sweep_kwargs = dict(
+        policies=policies, seed=3, window=8, collect_hex=True,
+        artifact_root=root,
+    )
+    serial = canonical(run_sweep(system, specs, jobs=1, **sweep_kwargs))
+    with tempfile.TemporaryDirectory(prefix="campaign_resume_") as resume_dir:
+        sharded = canonical(run_sweep(
+            system, specs, jobs=args.jobs,
+            recovery=SweepRecovery(max_retries=1, resume_dir=resume_dir),
+            **sweep_kwargs,
+        ))
+    if serial != sharded:
+        diverged = [
+            name for name in serial if sharded.get(name) != serial[name]
+        ]
+        return fail(f"jobs=1 vs jobs={args.jobs} sweep divergence in: {diverged}")
+    print(
+        f"sweep agreement OK: jobs=1 == jobs={args.jobs} over "
+        f"{len(specs)} generated scenarios x {len(POLICY_NAMES)} policies "
+        "(records_hex exact)"
+    )
+
+    # ---- 3. invariants: armed monitor + fuzz harness ----------------
+    runner = ClosedLoopRunner(system.model, health=FUZZ_HEALTH)
+    policy_spec = get_policy_spec("ecofusion_attention")
+    export_traces: dict = {}
+    export_detections: dict = {}
+    export_specs = specs[:3]
+    export_names = {spec.name for spec in export_specs}
+    for spec in specs:
+        trace = runner.run(
+            spec, policy_spec.build(system), seed=3, window=8,
+            collect_detections=spec.name in export_names,
+        )
+        violations = check_invariants(trace, library=system.library)
+        if violations:
+            return fail(
+                f"{spec.name}: invariant violations "
+                f"{[v.to_dict() for v in violations]}"
+            )
+        if spec.name in export_names:
+            export_traces[spec.name] = trace
+            export_detections[spec.name] = trace.detections
+    print(f"invariants OK: {len(specs)} generated drives clean under the "
+          "armed monitor")
+
+    fuzz_summary = run_campaign(
+        system, seed=args.seed, drives=4,
+        policies=("ecofusion_attention",), scale=0.5, library=specs,
+    )
+    totals = fuzz_summary["totals"]
+    if totals["invariant_violations"]:
+        return fail(f"fuzz campaign over generated library: {totals}")
+    print(f"fuzz harness OK over generated library: {totals}")
+
+    # ---- 4. export: validate + byte-identical round trip ------------
+    with tempfile.TemporaryDirectory(prefix="campaign_corpus_") as tmp:
+        first = Path(tmp) / "corpus"
+        rewrite = Path(tmp) / "rewrite"
+        corpus = export_corpus(
+            first, export_specs, seed=3,
+            image_size=system.model.image_size, campaign=campaign,
+            detections=export_detections, traces=export_traces,
+        )
+        problems = validate_corpus(corpus)
+        if problems:
+            return fail(f"exported corpus invalid: {problems}")
+        reloaded = load_corpus(first)
+        problems = validate_corpus(reloaded)
+        if problems:
+            return fail(f"reloaded corpus invalid: {problems}")
+        write_corpus(reloaded, rewrite)
+        tables = sorted(p.name for p in first.iterdir())
+        if tables != sorted(p.name for p in rewrite.iterdir()):
+            return fail("round-trip changed the table set")
+        for name in tables:
+            if (first / name).read_bytes() != (rewrite / name).read_bytes():
+                return fail(f"round-trip not byte-identical for {name}")
+        samples = len(corpus.sample)
+    print(
+        f"export OK: {len(export_specs)}-scene corpus ({samples} samples, "
+        f"{len(corpus.sample_annotation)} annotations, detections + traces) "
+        "validates and round-trips byte-identically"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,11 @@ Usage::
 
     python -m repro.resilience.fuzz --seed 7 --drives 8
 
+``--campaign N`` swaps the built-in library for an ``N``-scenario
+procedurally generated campaign (``repro.scenarios``, seeded by
+``--campaign-seed``), so generated corpora face the same invariant
+harness as the hand-written drives.
+
 ``--service`` switches to the *service-layer* chaos campaign
 (:func:`run_service_campaign`): instead of fuzzing fault schedules into
 offline drives, it submits a seeded mix of streams to a live
@@ -163,6 +168,7 @@ def run_campaign(
     scale: float = 0.12,
     health: HealthMonitorConfig = FUZZ_HEALTH,
     window: int = 4,
+    library: list[ScenarioSpec] | None = None,
 ) -> dict:
     """Fuzz ``drives`` random fault schedules; returns the JSON summary.
 
@@ -171,6 +177,11 @@ def run_campaign(
     deltas measure the entire fault schedule, not just the fuzzed part.
     Each drive index gets its own child RNG stream of ``seed``, so
     campaigns of different lengths share their common prefix.
+
+    ``library`` overrides the pool fuzzed drives start from (default:
+    the built-in base + chaos scenarios) — procedurally generated
+    campaigns (``repro.scenarios``, CLI ``--campaign``) feed their specs
+    through the same invariant harness this way.
     """
     specs = [get_policy_spec(name) for name in policies]
     ensure_policy_gates(system, tuple(specs), config=FUZZ_DRIVE_CONFIG)
@@ -179,7 +190,10 @@ def run_campaign(
         system.model, health=health, telemetry=telemetry
     )
     baseline_runner = ClosedLoopRunner(system.model)
-    library = _library_order()
+    custom_library = library is not None
+    library = list(library) if custom_library else _library_order()
+    if not library:
+        raise ValueError("fuzz campaign needs a non-empty scenario library")
     baselines: dict[tuple[str, str], dict] = {}
     entries: list[dict] = []
     total_violations = 0
@@ -275,7 +289,7 @@ def run_campaign(
         if name.startswith(("health.", "resilience.", "policy.fault_masked"))
     }
 
-    return {
+    summary = {
         "seed": seed,
         "drives": drives,
         "scale": scale,
@@ -291,6 +305,11 @@ def run_campaign(
         "telemetry": health_metrics,
         "entries": entries,
     }
+    if custom_library:
+        # Only for caller-supplied pools, so the default summary schema
+        # is byte-identical to what CI has always parsed.
+        summary["library"] = [spec.name for spec in library]
+    return summary
 
 
 class InjectedStreamKill(RuntimeError):
@@ -557,6 +576,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.12)
     parser.add_argument("--window", type=int, default=4)
     parser.add_argument(
+        "--campaign", type=int, default=None, metavar="N",
+        help="fuzz over an N-scenario procedural campaign "
+             "(repro.scenarios, seeded by --campaign-seed) instead of "
+             "the built-in library",
+    )
+    parser.add_argument(
+        "--campaign-seed", type=int, default=0,
+        help="generation seed for --campaign (default 0)",
+    )
+    parser.add_argument(
         "--service", action="store_true",
         help="run the service-layer chaos campaign against a live "
              "DriveService instead of the offline fault fuzzer",
@@ -578,6 +607,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.streams < 1:
         parser.error("--streams must be >= 1")
 
+    if args.campaign is not None and args.campaign < 1:
+        parser.error("--campaign must be >= 1")
+    if args.campaign is not None and args.service:
+        parser.error("--campaign applies to the offline fuzzer, not --service")
+
     system = get_or_build_system(FUZZ_SYSTEM_SPEC, root=args.artifact_root)
     policies = tuple(p for p in args.policies.split(",") if p)
     if args.service:
@@ -589,6 +623,17 @@ def main(argv: list[str] | None = None) -> int:
             scale=args.scale,
         )
     else:
+        library = None
+        generated = None
+        if args.campaign is not None:
+            from ..scenarios import CampaignSpec, generate_campaign
+
+            generated = CampaignSpec(
+                name=f"fuzzgen{args.campaign_seed}",
+                seed=args.campaign_seed,
+                scenarios=args.campaign,
+            )
+            library = list(generate_campaign(generated).values())
         summary = run_campaign(
             system,
             seed=args.seed,
@@ -596,7 +641,15 @@ def main(argv: list[str] | None = None) -> int:
             policies=policies,
             scale=args.scale,
             window=args.window,
+            library=library,
         )
+        if generated is not None:
+            summary["campaign"] = {
+                "name": generated.name,
+                "seed": generated.seed,
+                "scenarios": generated.scenarios,
+                "digest": generated.digest(),
+            }
     payload = json.dumps(summary, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:

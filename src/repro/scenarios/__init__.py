@@ -1,0 +1,56 @@
+"""Procedural scenario campaigns and nuScenes-style corpus export.
+
+The hand-written library (``repro.simulation.library``) tops out at a
+dozen drives; this package turns "as many scenarios as you can imagine"
+into a config: a declarative :class:`CampaignSpec` composes context
+arcs, traffic-density profiles, energy profiles and fault schedules
+from a seeded parameter space into hundreds of distinct, byte-
+deterministic :class:`~repro.simulation.scenario.ScenarioSpec`s, and
+:mod:`repro.scenarios.export` writes generated corpora (drive traces +
+per-frame detections included) in a schema-versioned nuScenes-style
+sample/sample_annotation JSON layout that external tools can consume.
+"""
+
+from .campaign import (
+    DEFAULT_ARCS,
+    DEFAULT_ENERGY,
+    DEFAULT_TRAFFIC,
+    CampaignSpec,
+    ContextArc,
+    EnergyProfile,
+    FaultPlan,
+    TrafficProfile,
+    generate_campaign,
+    generate_scenario,
+)
+from .export import (
+    EXPORT_SCHEMA,
+    EXPORT_SCHEMA_VERSION,
+    Corpus,
+    build_corpus,
+    export_corpus,
+    load_corpus,
+    validate_corpus,
+    write_corpus,
+)
+
+__all__ = [
+    "DEFAULT_ARCS",
+    "DEFAULT_ENERGY",
+    "DEFAULT_TRAFFIC",
+    "CampaignSpec",
+    "ContextArc",
+    "EnergyProfile",
+    "FaultPlan",
+    "TrafficProfile",
+    "generate_campaign",
+    "generate_scenario",
+    "EXPORT_SCHEMA",
+    "EXPORT_SCHEMA_VERSION",
+    "Corpus",
+    "build_corpus",
+    "export_corpus",
+    "load_corpus",
+    "validate_corpus",
+    "write_corpus",
+]

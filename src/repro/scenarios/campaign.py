@@ -1,0 +1,351 @@
+"""Config-driven procedural scenario generation.
+
+A :class:`CampaignSpec` is a pure-python declarative campaign config in
+the MUSE_Carla style (``config.yml``-driven campaigns composing weather
+presets and traffic densities), adapted to this repo's simulator: it
+describes a *parameter space* — context arcs whose distribution shifts
+mid-drive (CARMA's motivating condition), traffic/ego-speed profiles,
+regen/charging energy profiles and a fault-schedule plan — and a seed.
+:func:`generate_campaign` samples that space into hundreds of distinct
+:class:`~repro.simulation.scenario.ScenarioSpec`s.
+
+Determinism contract
+--------------------
+* Same config + seed ⇒ byte-identical specs (``repr`` equality), every
+  time, on every machine.
+* Each scenario draws from its own child stream
+  ``default_rng((seed, salt, index))`` — the same prefix-stable pattern
+  as ``repro.resilience.fuzz`` — so scenario ``i`` is identical whether
+  the campaign generates 10 drives or 10 000, and campaigns can be
+  generated shard-wise.
+* Generated fault windows are always fully contained in the drive, so
+  every spec passes ``ScenarioSpec.__post_init__`` without the overhang
+  warning, and floats are rounded to fixed precision so spec ``repr``s
+  (which feed ``content_token()``) are stable.
+
+Generated drives never alias library drives in sample-keyed caches:
+drive uids embed ``content_token()``, which hashes the actual segments
+and faults rather than trusting the name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.contexts import get_context
+from ..simulation.scenario import (
+    FAULT_MODES,
+    SENSOR_GROUPS,
+    ScenarioSpec,
+    SegmentSpec,
+    SensorFault,
+)
+
+__all__ = [
+    "DEFAULT_ARCS",
+    "DEFAULT_ENERGY",
+    "DEFAULT_TRAFFIC",
+    "CampaignSpec",
+    "ContextArc",
+    "EnergyProfile",
+    "FaultPlan",
+    "TrafficProfile",
+    "generate_campaign",
+    "generate_scenario",
+]
+
+# Child-stream salt: campaign scenario streams must never collide with
+# the drive RNG streams (0x5CE7A810 / 0xFA017 in repro.simulation.drive)
+# or the fuzzer's mutation streams.
+_STREAM_SALT = 0xCA3791A6
+
+# Campaign/scenario names end up in file names (sweep resume shards,
+# per-scenario trace files), so keep them path-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+def _check_span(label: str, span: tuple, *, lo=None, hi=None) -> None:
+    if len(span) != 2 or span[0] > span[1]:
+        raise ValueError(f"{label} must be a (lo, hi) pair with lo <= hi, got {span}")
+    if lo is not None and span[0] < lo:
+        raise ValueError(f"{label} lower bound must be >= {lo}, got {span[0]}")
+    if hi is not None and span[1] > hi:
+        raise ValueError(f"{label} upper bound must be <= {hi}, got {span[1]}")
+
+
+@dataclass(frozen=True)
+class ContextArc:
+    """One candidate context chain for a drive (in drive order).
+
+    An arc with more than one context produces a drive whose context
+    distribution *shifts mid-drive* — fog rolling onto a motorway, a
+    city drive running into night — which is exactly the condition the
+    temporal gating policies must ride through.  ``weight`` is the
+    arc's relative draw probability within the campaign.
+    """
+
+    contexts: tuple[str, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.contexts:
+            raise ValueError("context arc needs at least one context")
+        for context in self.contexts:
+            get_context(context)  # validate early: typos fail loudly
+        if self.weight <= 0:
+            raise ValueError("arc weight must be positive")
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """A traffic-density regime: per-segment multiplier + ego speed ranges."""
+
+    name: str
+    traffic: tuple[float, float] = (0.8, 1.2)
+    ego_speed: tuple[float, float] = (0.8, 1.2)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_span("traffic range", self.traffic, lo=1e-3)
+        _check_span("ego_speed range", self.ego_speed, lo=0.0)
+        if self.weight <= 0:
+            raise ValueError("traffic profile weight must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """A regen/charging regime for the battery model.
+
+    Each segment draws its regen fraction from ``regen`` and — with
+    probability ``charging_probability`` — an external charging power
+    from ``charging_watts`` (opportunity charging at a stop).
+    """
+
+    name: str
+    regen: tuple[float, float] = (0.0, 0.3)
+    charging_watts: tuple[float, float] = (0.0, 0.0)
+    charging_probability: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_span("regen range", self.regen, lo=0.0, hi=1.0)
+        _check_span("charging_watts range", self.charging_watts, lo=0.0)
+        if not 0.0 <= self.charging_probability <= 1.0:
+            raise ValueError("charging_probability must be within [0, 1]")
+        if self.weight <= 0:
+            raise ValueError("energy profile weight must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The fault-schedule parameter space for generated drives.
+
+    ``count`` is the inclusive range of fault windows per drive;
+    ``duration_frac`` sizes each window as a fraction of the drive
+    (clamped so the window stays inside it — generated specs never trip
+    the overhang warning); ``severity`` must stay inside the
+    ``SensorFault`` validity range (0, 1].
+    """
+
+    count: tuple[int, int] = (0, 3)
+    sensors: tuple[str, ...] = tuple(sorted(SENSOR_GROUPS))
+    modes: tuple[str, ...] = FAULT_MODES
+    duration_frac: tuple[float, float] = (0.08, 0.45)
+    severity: tuple[float, float] = (0.3, 1.0)
+    lag: tuple[int, int] = (1, 6)
+
+    def __post_init__(self) -> None:
+        _check_span("fault count range", self.count, lo=0)
+        if not self.sensors:
+            raise ValueError("fault plan needs at least one sensor")
+        for sensor in self.sensors:
+            if sensor not in SENSOR_GROUPS:
+                raise ValueError(
+                    f"unknown sensor '{sensor}'; valid: {sorted(SENSOR_GROUPS)}"
+                )
+        if not self.modes:
+            raise ValueError("fault plan needs at least one mode")
+        for mode in self.modes:
+            if mode not in FAULT_MODES:
+                raise ValueError(
+                    f"unknown fault mode '{mode}'; valid: {FAULT_MODES}"
+                )
+        _check_span("duration_frac range", self.duration_frac, hi=1.0)
+        if self.duration_frac[0] <= 0:
+            raise ValueError("duration_frac lower bound must be positive")
+        _check_span("severity range", self.severity, hi=1.0)
+        if self.severity[0] <= 0:
+            raise ValueError("severity lower bound must be positive")
+        _check_span("lag range", self.lag, lo=1)
+
+
+# Default parameter space: every RADIATE context appears, most arcs
+# shift context mid-drive, and the three traffic/energy regimes span
+# sparse motorway cruising to rush-hour stop-and-go with opportunity
+# charging.
+DEFAULT_ARCS: tuple[ContextArc, ...] = (
+    ContextArc(("city", "junction", "city")),
+    ContextArc(("motorway", "rain", "motorway")),
+    ContextArc(("rural", "fog"), weight=0.8),
+    ContextArc(("city", "night")),
+    ContextArc(("motorway",), weight=0.5),
+    ContextArc(("snow", "rural"), weight=0.8),
+    ContextArc(("night", "rain"), weight=0.6),
+    ContextArc(("junction", "motorway", "rural")),
+)
+
+DEFAULT_TRAFFIC: tuple[TrafficProfile, ...] = (
+    TrafficProfile("sparse", traffic=(0.4, 0.8), ego_speed=(1.0, 1.6)),
+    TrafficProfile("nominal", traffic=(0.8, 1.2), ego_speed=(0.8, 1.2), weight=2.0),
+    TrafficProfile("rush_hour", traffic=(1.3, 2.0), ego_speed=(0.3, 0.8)),
+)
+
+DEFAULT_ENERGY: tuple[EnergyProfile, ...] = (
+    EnergyProfile("cruise", regen=(0.0, 0.1)),
+    EnergyProfile("stop_and_go", regen=(0.25, 0.6), weight=1.5),
+    EnergyProfile(
+        "opportunity_charge",
+        regen=(0.1, 0.3),
+        charging_watts=(1500.0, 7000.0),
+        charging_probability=0.5,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative procedural campaign: parameter space + seed."""
+
+    name: str
+    seed: int = 0
+    scenarios: int = 200
+    segment_frames: tuple[int, int] = (24, 96)
+    arcs: tuple[ContextArc, ...] = DEFAULT_ARCS
+    traffic: tuple[TrafficProfile, ...] = DEFAULT_TRAFFIC
+    energy: tuple[EnergyProfile, ...] = DEFAULT_ENERGY
+    faults: FaultPlan = field(default_factory=FaultPlan)
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"campaign name {self.name!r} must be path-safe "
+                "([A-Za-z0-9_.-], not starting with a separator)"
+            )
+        if self.scenarios < 1:
+            raise ValueError("campaign must generate at least one scenario")
+        _check_span("segment_frames range", self.segment_frames, lo=1)
+        if not self.arcs:
+            raise ValueError("campaign needs at least one context arc")
+        if not self.traffic:
+            raise ValueError("campaign needs at least one traffic profile")
+        if not self.energy:
+            raise ValueError("campaign needs at least one energy profile")
+
+    def digest(self) -> str:
+        """Digest of the full parameter space + seed.
+
+        Two campaigns generate identical corpora iff their digests match
+        (everything the generator consumes is in the ``repr``); exported
+        corpora carry this in their ``meta.json`` for provenance.
+        """
+        return hashlib.blake2s(repr(self).encode(), digest_size=8).hexdigest()
+
+
+def _pick(rng: np.random.Generator, items):
+    """Weighted draw over items carrying a ``weight`` attribute."""
+    cum = np.cumsum([item.weight for item in items])
+    draw = rng.random() * cum[-1]
+    return items[min(int(np.searchsorted(cum, draw, side="right")), len(items) - 1)]
+
+
+def _unit(rng: np.random.Generator, span: tuple[float, float], ndigits: int = 3) -> float:
+    """Uniform float in ``span``, rounded so spec reprs stay stable."""
+    lo, hi = span
+    return float(round(float(rng.uniform(lo, hi)), ndigits))
+
+
+def _count(rng: np.random.Generator, span: tuple[int, int]) -> int:
+    lo, hi = span
+    return int(rng.integers(lo, hi + 1))
+
+
+def generate_scenario(campaign: CampaignSpec, index: int) -> ScenarioSpec:
+    """Generate scenario ``index`` of ``campaign``, byte-deterministically.
+
+    Uses a per-index child RNG stream, so the result depends only on
+    ``(campaign, index)`` — never on how many other scenarios were (or
+    will be) generated.
+    """
+    if not 0 <= index < campaign.scenarios:
+        raise IndexError(
+            f"scenario index {index} outside campaign [0, {campaign.scenarios})"
+        )
+    rng = np.random.default_rng((campaign.seed, _STREAM_SALT, index))
+    arc = _pick(rng, campaign.arcs)
+    traffic = _pick(rng, campaign.traffic)
+    energy = _pick(rng, campaign.energy)
+
+    segments = []
+    for context in arc.contexts:
+        charging = 0.0
+        # Always consume the probability draw so the stream shape is
+        # independent of the outcome (and of charging_probability=0).
+        wants_charge = rng.random() < energy.charging_probability
+        if wants_charge:
+            charging = _unit(rng, energy.charging_watts, ndigits=1)
+        segments.append(
+            SegmentSpec(
+                context=context,
+                frames=_count(rng, campaign.segment_frames),
+                ego_speed=_unit(rng, traffic.ego_speed),
+                traffic=_unit(rng, traffic.traffic),
+                regen=_unit(rng, energy.regen),
+                charging_watts=charging,
+            )
+        )
+    num_frames = sum(s.frames for s in segments)
+
+    plan = campaign.faults
+    faults = []
+    for _ in range(_count(rng, plan.count)):
+        sensor = plan.sensors[int(rng.integers(len(plan.sensors)))]
+        mode = plan.modes[int(rng.integers(len(plan.modes)))]
+        start = int(rng.integers(num_frames))
+        duration = max(int(round(_unit(rng, plan.duration_frac) * num_frames)), 1)
+        # Contain the window in the drive: generated specs must pass
+        # ScenarioSpec validation without tripping the overhang warning.
+        duration = min(duration, num_frames - start)
+        faults.append(
+            SensorFault(
+                sensor=sensor,
+                start=start,
+                duration=duration,
+                mode=mode,
+                severity=_unit(rng, plan.severity),
+                lag=_count(rng, plan.lag),
+            )
+        )
+
+    name = f"{campaign.name}_{index:04d}"
+    description = (
+        f"procedural drive {index:04d} of campaign '{campaign.name}' "
+        f"(seed {campaign.seed}): {'->'.join(arc.contexts)} under "
+        f"{traffic.name} traffic, {energy.name} energy, "
+        f"{len(faults)} fault window(s)"
+    )
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        segments=tuple(segments),
+        faults=tuple(faults),
+    )
+
+
+def generate_campaign(campaign: CampaignSpec) -> dict[str, ScenarioSpec]:
+    """Generate the whole campaign: name -> spec, in index order."""
+    specs = (generate_scenario(campaign, i) for i in range(campaign.scenarios))
+    return {spec.name: spec for spec in specs}

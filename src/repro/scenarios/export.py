@@ -1,0 +1,439 @@
+"""nuScenes-style corpus export for generated (or library) scenarios.
+
+Writes a scenario corpus — specs, rendered frame digests, ground-truth
+annotations, optional policy detections and drive traces — as a
+directory of schema-versioned JSON tables in the nuScenes layout
+(MUSE_Carla's ``carla_to_nuscene_converter`` target format), so external
+tools can consume generated corpora without importing this repo:
+
+* ``meta.json`` — schema name/version, generation provenance (seed,
+  image size, campaign digest), table row counts.
+* ``category.json`` — the RADIATE object classes; records carry
+  ``token``/``name``/``index`` (our 1-based detector label).
+* ``scene.json`` — one record per scenario: ``token``, ``name``,
+  ``description``, ``nbr_samples``, ``first_sample_token``,
+  ``last_sample_token``, plus ``contexts`` and the spec's
+  ``content_token`` for aliasing-proof provenance.
+* ``sample.json`` — one record per frame: ``token``, ``scene_token``,
+  ``timestamp`` (µs at the 4 Hz fusion cycle), doubly-linked
+  ``prev``/``next`` chain, plus ``context`` and ``segment_index``.
+* ``sample_data.json`` — one record per frame per sensor channel:
+  ``token``, ``sample_token``, ``channel``, array ``shape``/``dtype``
+  and a blake2s ``digest`` of the rendered float32 payload (the frames
+  themselves are a pure function of ``(spec, seed, image_size)``, so
+  the digest *is* the data: anyone with this repo regenerates the
+  arrays bit-identically, and the digest pins that they did), plus the
+  ``fault_modes`` active on the channel.
+* ``sample_annotation.json`` — one record per ground-truth box:
+  ``token``, ``sample_token``, ``category_name``, 2D ``bbox``
+  ``[x1, y1, x2, y2]`` (this simulator is 2D; the nuScenes 3D
+  translation/size/rotation triplet collapses to the box).
+* ``detection.json`` (optional) — nuScenes detection-results style:
+  ``{"results": {sample_token: [{"bbox", "detection_score",
+  "detection_name"}, ...]}}`` from a policy's per-frame fused output.
+* ``drive_trace.json`` (optional) — ``DriveTrace.to_dict()`` per
+  scenario (energy/latency/mAP aggregates alongside the dataset).
+
+Every table is dumped with ``json.dumps(indent=2, sort_keys=True)``, so
+write → read → re-write is **byte-identical** (validated by
+:func:`validate_corpus` callers and the round-trip tests) and corpora
+diff cleanly in version control.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..datasets.contexts import CLASS_IDS, CLASS_NAMES, CONTEXT_NAMES
+from ..datasets.sensors import SENSORS
+from ..hardware.sensors_power import FUSION_CYCLE_HZ
+from ..simulation.drive import DriveSource
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "EXPORT_SCHEMA_VERSION",
+    "Corpus",
+    "build_corpus",
+    "export_corpus",
+    "load_corpus",
+    "validate_corpus",
+    "write_corpus",
+]
+
+EXPORT_SCHEMA = "repro.scenarios.nuscenes"
+EXPORT_SCHEMA_VERSION = 1
+
+# Fusion cycles are paced by the radar frame rate; nuScenes timestamps
+# are integer microseconds.
+_FRAME_US = int(round(1e6 / FUSION_CYCLE_HZ))
+
+_REQUIRED_TABLES = (
+    "category", "scene", "sample", "sample_data", "sample_annotation",
+)
+
+
+def _token(*parts) -> str:
+    """Deterministic 32-hex-char record token (nuScenes token width)."""
+    payload = ":".join(str(p) for p in parts).encode()
+    return hashlib.blake2s(payload, digest_size=16).hexdigest()
+
+
+@dataclass
+class Corpus:
+    """An in-memory corpus: the parsed content of every table."""
+
+    meta: dict
+    category: list[dict]
+    scene: list[dict]
+    sample: list[dict]
+    sample_data: list[dict]
+    sample_annotation: list[dict]
+    detection: dict | None = None
+    drive_trace: dict | None = None
+
+    def tables(self) -> dict[str, object]:
+        """File-stem -> payload, omitting absent optional tables."""
+        out: dict[str, object] = {"meta": self.meta}
+        for name in _REQUIRED_TABLES:
+            out[name] = getattr(self, name)
+        if self.detection is not None:
+            out["detection"] = self.detection
+        if self.drive_trace is not None:
+            out["drive_trace"] = self.drive_trace
+        return out
+
+
+def build_corpus(
+    specs,
+    *,
+    seed: int = 0,
+    image_size: int = 64,
+    campaign=None,
+    detections: dict | None = None,
+    traces: dict | None = None,
+) -> Corpus:
+    """Render ``specs`` and assemble the corpus tables in memory.
+
+    ``detections`` maps scenario name -> per-frame
+    :class:`~repro.perception.detections.Detections` (e.g.
+    ``trace.detections`` from a ``collect_detections=True`` run);
+    ``traces`` maps scenario name -> ``DriveTrace``.  Both are optional
+    and may cover any subset of ``specs``.
+    """
+    specs = list(specs)
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario names in corpus: {names}")
+    detections = detections or {}
+    traces = traces or {}
+    for table, keys in (("detections", detections), ("traces", traces)):
+        unknown = sorted(set(keys) - set(names))
+        if unknown:
+            raise ValueError(f"{table} for scenarios not in corpus: {unknown}")
+
+    category = [
+        {"token": _token("category", name), "name": name,
+         "index": CLASS_IDS[name]}
+        for name in CLASS_NAMES
+    ]
+    scenes: list[dict] = []
+    samples: list[dict] = []
+    sample_data: list[dict] = []
+    annotations: list[dict] = []
+    results: dict[str, list[dict]] = {}
+
+    for spec in specs:
+        scene_token = _token(
+            "scene", spec.name, spec.content_token(), seed, image_size
+        )
+        frame_tokens = [
+            _token("sample", scene_token, t) for t in range(spec.num_frames)
+        ]
+        source = DriveSource(spec, seed=seed, image_size=image_size)
+        per_frame_dets = detections.get(spec.name)
+        if per_frame_dets is not None and len(per_frame_dets) != spec.num_frames:
+            raise ValueError(
+                f"scenario '{spec.name}': {len(per_frame_dets)} detection "
+                f"frames for a {spec.num_frames}-frame drive"
+            )
+        for frame in source:
+            t = frame.time_index
+            token = frame_tokens[t]
+            samples.append({
+                "token": token,
+                "scene_token": scene_token,
+                "timestamp": t * _FRAME_US,
+                "prev": frame_tokens[t - 1] if t > 0 else "",
+                "next": (
+                    frame_tokens[t + 1] if t + 1 < spec.num_frames else ""
+                ),
+                "context": frame.context,
+                "segment_index": frame.segment_index,
+            })
+            for channel in SENSORS:
+                array = frame.sample.sensors[channel]
+                sample_data.append({
+                    "token": _token("data", token, channel),
+                    "sample_token": token,
+                    "channel": channel,
+                    "fileformat": "digest",
+                    "shape": [int(d) for d in array.shape],
+                    "dtype": str(array.dtype),
+                    "digest": hashlib.blake2s(
+                        array.tobytes(), digest_size=16
+                    ).hexdigest(),
+                    "is_key_frame": True,
+                    "fault_modes": sorted(
+                        f.mode for f in frame.faults if channel in f.affected
+                    ),
+                })
+            for i in range(len(frame.sample.labels)):
+                annotations.append({
+                    "token": _token("ann", token, i),
+                    "sample_token": token,
+                    "category_name": CLASS_NAMES[
+                        int(frame.sample.labels[i]) - 1
+                    ],
+                    "bbox": [float(v) for v in frame.sample.boxes[i]],
+                })
+            if per_frame_dets is not None:
+                dets = per_frame_dets[t]
+                results[token] = [
+                    {
+                        "bbox": [float(v) for v in dets.boxes[i]],
+                        "detection_score": float(dets.scores[i]),
+                        "detection_name": CLASS_NAMES[int(dets.labels[i]) - 1],
+                    }
+                    for i in range(len(dets))
+                ]
+        scenes.append({
+            "token": scene_token,
+            "name": spec.name,
+            "description": spec.description,
+            "nbr_samples": spec.num_frames,
+            "first_sample_token": frame_tokens[0],
+            "last_sample_token": frame_tokens[-1],
+            "contexts": list(spec.contexts),
+            "content_token": spec.content_token(),
+        })
+
+    meta = {
+        "schema": EXPORT_SCHEMA,
+        "schema_version": EXPORT_SCHEMA_VERSION,
+        "seed": int(seed),
+        "image_size": int(image_size),
+        "campaign": (
+            None if campaign is None
+            else {
+                "name": campaign.name,
+                "seed": campaign.seed,
+                "scenarios": campaign.scenarios,
+                "digest": campaign.digest(),
+            }
+        ),
+        "counts": {
+            "scene": len(scenes),
+            "sample": len(samples),
+            "sample_data": len(sample_data),
+            "sample_annotation": len(annotations),
+        },
+    }
+    return Corpus(
+        meta=meta,
+        category=category,
+        scene=scenes,
+        sample=samples,
+        sample_data=sample_data,
+        sample_annotation=annotations,
+        detection={"results": results} if detections else None,
+        drive_trace=(
+            {name: traces[name].to_dict() for name in sorted(traces)}
+            if traces else None
+        ),
+    )
+
+
+def write_corpus(corpus: Corpus, out_dir) -> dict[str, Path]:
+    """Write every table as ``<out_dir>/<table>.json``; returns the paths.
+
+    Serialization is canonical (``indent=2, sort_keys=True``, trailing
+    newline), so re-writing a loaded corpus reproduces the input files
+    byte for byte.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+    for name, payload in corpus.tables().items():
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        paths[name] = path
+    return paths
+
+
+def load_corpus(out_dir) -> Corpus:
+    """Parse a corpus directory back into a :class:`Corpus`."""
+    out_dir = Path(out_dir)
+    meta_path = out_dir / "meta.json"
+    if not meta_path.is_file():
+        raise FileNotFoundError(f"not a corpus directory: {out_dir}")
+    meta = json.loads(meta_path.read_text())
+    schema = meta.get("schema")
+    version = meta.get("schema_version")
+    if schema != EXPORT_SCHEMA or version != EXPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported corpus schema {schema!r} v{version!r} "
+            f"(this reader speaks {EXPORT_SCHEMA!r} "
+            f"v{EXPORT_SCHEMA_VERSION})"
+        )
+    tables: dict[str, object] = {}
+    for name in _REQUIRED_TABLES:
+        path = out_dir / f"{name}.json"
+        if not path.is_file():
+            raise FileNotFoundError(f"corpus is missing table: {path.name}")
+        tables[name] = json.loads(path.read_text())
+    optional: dict[str, object | None] = {}
+    for name in ("detection", "drive_trace"):
+        path = out_dir / f"{name}.json"
+        optional[name] = json.loads(path.read_text()) if path.is_file() else None
+    return Corpus(meta=meta, **tables, **optional)
+
+
+def export_corpus(
+    out_dir,
+    specs,
+    *,
+    seed: int = 0,
+    image_size: int = 64,
+    campaign=None,
+    detections: dict | None = None,
+    traces: dict | None = None,
+) -> Corpus:
+    """Build and write a corpus in one call; returns the built corpus."""
+    corpus = build_corpus(
+        specs, seed=seed, image_size=image_size, campaign=campaign,
+        detections=detections, traces=traces,
+    )
+    write_corpus(corpus, out_dir)
+    return corpus
+
+
+def validate_corpus(corpus: Corpus) -> list[str]:
+    """Check the corpus against the documented schema.
+
+    Returns a list of human-readable violations (empty = valid):
+    referential integrity between tables, unique tokens, per-scene
+    ``prev``/``next`` sample chains with monotone timestamps, complete
+    sensor coverage per sample, and value-range checks on annotations
+    and detections.
+    """
+    problems: list[str] = []
+
+    def check(ok: bool, message: str) -> None:
+        if not ok:
+            problems.append(message)
+
+    meta = corpus.meta
+    check(meta.get("schema") == EXPORT_SCHEMA,
+          f"meta.schema is {meta.get('schema')!r}, want {EXPORT_SCHEMA!r}")
+    check(meta.get("schema_version") == EXPORT_SCHEMA_VERSION,
+          f"meta.schema_version is {meta.get('schema_version')!r}")
+    counts = meta.get("counts", {})
+    for name in ("scene", "sample", "sample_data", "sample_annotation"):
+        actual = len(getattr(corpus, name))
+        check(counts.get(name) == actual,
+              f"meta.counts.{name} is {counts.get(name)}, table has {actual}")
+
+    category_names = {c.get("name") for c in corpus.category}
+    check(len(corpus.category) == len(category_names),
+          "duplicate category names")
+    check(category_names == set(CLASS_NAMES),
+          f"category names {sorted(category_names)} != RADIATE classes")
+
+    scene_tokens = [s.get("token") for s in corpus.scene]
+    check(len(scene_tokens) == len(set(scene_tokens)),
+          "duplicate scene tokens")
+    sample_tokens = [s.get("token") for s in corpus.sample]
+    sample_set = set(sample_tokens)
+    check(len(sample_tokens) == len(sample_set), "duplicate sample tokens")
+
+    by_scene: dict[str, list[dict]] = {}
+    for record in corpus.sample:
+        check(record.get("scene_token") in set(scene_tokens),
+              f"sample {record.get('token')} references unknown scene")
+        check(record.get("context") in CONTEXT_NAMES,
+              f"sample {record.get('token')} has unknown context "
+              f"{record.get('context')!r}")
+        by_scene.setdefault(record.get("scene_token"), []).append(record)
+    for scene in corpus.scene:
+        chain = by_scene.get(scene.get("token"), [])
+        check(len(chain) == scene.get("nbr_samples"),
+              f"scene {scene.get('name')}: {len(chain)} samples, "
+              f"nbr_samples says {scene.get('nbr_samples')}")
+        if not chain:
+            continue
+        chain.sort(key=lambda r: r.get("timestamp", 0))
+        check(chain[0].get("token") == scene.get("first_sample_token"),
+              f"scene {scene.get('name')}: first_sample_token mismatch")
+        check(chain[-1].get("token") == scene.get("last_sample_token"),
+              f"scene {scene.get('name')}: last_sample_token mismatch")
+        check(chain[0].get("prev") == "",
+              f"scene {scene.get('name')}: first sample has a prev link")
+        check(chain[-1].get("next") == "",
+              f"scene {scene.get('name')}: last sample has a next link")
+        for earlier, later in zip(chain, chain[1:]):
+            check(earlier.get("next") == later.get("token")
+                  and later.get("prev") == earlier.get("token"),
+                  f"scene {scene.get('name')}: broken prev/next chain at "
+                  f"timestamp {later.get('timestamp')}")
+            check(earlier.get("timestamp") < later.get("timestamp"),
+                  f"scene {scene.get('name')}: non-increasing timestamps")
+
+    data_tokens = [d.get("token") for d in corpus.sample_data]
+    check(len(data_tokens) == len(set(data_tokens)),
+          "duplicate sample_data tokens")
+    channels_by_sample: dict[str, set[str]] = {}
+    for record in corpus.sample_data:
+        check(record.get("sample_token") in sample_set,
+              f"sample_data {record.get('token')} references unknown sample")
+        check(record.get("channel") in SENSORS,
+              f"sample_data {record.get('token')} has unknown channel "
+              f"{record.get('channel')!r}")
+        channels_by_sample.setdefault(
+            record.get("sample_token"), set()
+        ).add(record.get("channel"))
+    for token in sample_set:
+        check(channels_by_sample.get(token) == set(SENSORS),
+              f"sample {token} missing sensor channels")
+
+    for record in corpus.sample_annotation:
+        check(record.get("sample_token") in sample_set,
+              f"annotation {record.get('token')} references unknown sample")
+        check(record.get("category_name") in category_names,
+              f"annotation {record.get('token')} has unknown category "
+              f"{record.get('category_name')!r}")
+        bbox = record.get("bbox")
+        check(isinstance(bbox, list) and len(bbox) == 4,
+              f"annotation {record.get('token')} bbox is not [x1,y1,x2,y2]")
+
+    if corpus.detection is not None:
+        results = corpus.detection.get("results")
+        check(isinstance(results, dict), "detection.results is not a mapping")
+        for token, dets in (results or {}).items():
+            check(token in sample_set,
+                  f"detection results for unknown sample {token}")
+            for det in dets:
+                check(det.get("detection_name") in category_names,
+                      f"detection on {token} has unknown category "
+                      f"{det.get('detection_name')!r}")
+                score = det.get("detection_score")
+                check(isinstance(score, (int, float)) and 0.0 <= score <= 1.0,
+                      f"detection on {token} has score {score!r} "
+                      "outside [0, 1]")
+                bbox = det.get("bbox")
+                check(isinstance(bbox, list) and len(bbox) == 4,
+                      f"detection on {token} bbox is not [x1,y1,x2,y2]")
+
+    return problems

@@ -137,6 +137,12 @@ class DriveTrace:
     # a custom HealthMonitorConfig — default-monitor output is
     # byte-identical to the pre-resilience schema.
     health: dict | None = None
+    # Per-frame fused perception output (list of Detections), attached
+    # only when the drive ran with ``collect_detections=True`` — the
+    # corpus exporter (repro.scenarios.export) serializes these.
+    # ``to_dict()``/``records_hex()`` never include them, so every
+    # existing schema and float-hex pin is untouched.
+    detections: list | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -459,6 +465,7 @@ class ClosedLoopRunner:
         resume_from: DriveCheckpoint | None = None,
         checkpoint_every: int | None = None,
         on_checkpoint=None,
+        collect_detections: bool = False,
     ) -> DriveTrace:
         """Drive ``spec`` under ``policy``; returns the full trace.
 
@@ -478,6 +485,11 @@ class ClosedLoopRunner:
         with ``resume_from=checkpoint`` restores all runner state and
         continues the drive, producing a trace bit-identical —
         ``records_hex()`` and all — to the uninterrupted run.
+
+        ``collect_detections=True`` keeps the per-frame fused
+        :class:`~repro.perception.detections.Detections` on the returned
+        trace (``trace.detections``) instead of discarding them after
+        mAP evaluation — the corpus exporter consumes these.
         """
         if window < 1:
             raise ValueError("window must be >= 1")
@@ -604,6 +616,8 @@ class ClosedLoopRunner:
             policy_info=policy.describe(),
             initial_soc=initial_soc,
         )
+        if collect_detections:
+            trace.detections = list(state.detections_per_frame)
         if self.health is not None:
             # Built purely from frame records + the monitor's own
             # deterministic counters, so the block is identical across

@@ -257,7 +257,22 @@ class ScenarioSpec:
         return self.segment_at(t)[1].context
 
     def faults_at(self, t: int) -> tuple[SensorFault, ...]:
-        return tuple(f for f in self.faults if f.active_at(t))
+        """Faults active at frame ``t``, in canonical application order.
+
+        Overlapping windows are sorted by ``(start, duration, sensor,
+        mode, severity, lag)`` rather than returned in spec-tuple order.
+        :class:`~repro.simulation.drive.DriveCursor` applies faults (and
+        draws fault RNG) in exactly this order, so when several windows
+        hit the same frame — random generated schedules overlap freely —
+        the stream depends only on the fault *set*: permuting the
+        ``faults`` tuple yields a bit-identical drive.
+        """
+        active = [f for f in self.faults if f.active_at(t)]
+        active.sort(
+            key=lambda f: (f.start, f.duration, f.sensor, f.mode,
+                           f.severity, f.lag)
+        )
+        return tuple(active)
 
     def faulted_sensors_at(self, t: int) -> tuple[str, ...]:
         """Physical streams degraded at frame ``t`` (sorted, de-duplicated)."""
@@ -270,13 +285,17 @@ class ScenarioSpec:
 def scaled(spec: ScenarioSpec, factor: float) -> ScenarioSpec:
     """Stretch or shrink a scenario's timeline by ``factor``.
 
-    Segment lengths and fault windows scale together (each keeps at least
-    one frame), so a library scenario can be shortened for tests or
-    stretched into a long soak run without editing the spec.  Each scaled
-    fault start is clamped into its *original segment's* scaled frame
-    range, so a fault scheduled inside segment k still overlaps segment k
-    after scaling (independent rounding of segment lengths and fault
-    starts could otherwise push a fault across a boundary).
+    Segment lengths, fault windows and ``latency`` replay lags scale
+    together (each keeps at least one frame), so a library scenario can
+    be shortened for tests or stretched into a long soak run without
+    editing the spec.  Each scaled fault start is clamped into its
+    *original segment's* scaled frame range, so a fault scheduled inside
+    segment k still overlaps segment k after scaling (independent
+    rounding of segment lengths and fault starts could otherwise push a
+    fault across a boundary).  A window whose rounded duration overhangs
+    the rounded drive end is clamped by ``ScenarioSpec.__post_init__``
+    with the standard overhang warning — ``scaled()`` is deliberately
+    *not* exempt from that diagnostic.
     """
     if factor <= 0:
         raise ValueError("scale factor must be positive")
@@ -296,6 +315,12 @@ def scaled(spec: ScenarioSpec, factor: float) -> ScenarioSpec:
         start = min(int(round(f.start * factor)), total - 1)
         start = min(max(start, lo), hi - 1)
         duration = max(int(round(f.duration * factor)), 1)
-        duration = min(duration, total - start)  # pre-clamp: no overhang warning
-        faults.append(dataclasses.replace(f, start=start, duration=duration))
+        # ``lag`` is a timeline quantity like any window: stretching a
+        # drive 4x must stretch a latency fault's replay distance too,
+        # or the fault delivers a capture from a proportionally much
+        # more recent moment than the original spec described.
+        lag = max(int(round(f.lag * factor)), 1)
+        faults.append(
+            dataclasses.replace(f, start=start, duration=duration, lag=lag)
+        )
     return dataclasses.replace(spec, segments=segments, faults=tuple(faults))

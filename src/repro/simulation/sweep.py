@@ -157,6 +157,14 @@ class SweepShard:
     policies: tuple[PolicySpec, ...]
     scale: float = 1.0
     seed: int = 0
+    # Inline scenario spec for drives that are not in the library —
+    # procedurally generated campaigns (``repro.scenarios``) hand their
+    # ``ScenarioSpec`` objects straight to the sweep.  When None the
+    # shard resolves ``scenario`` by name, as it always has.  Specs are
+    # frozen pure-python dataclasses, so they pickle to pool workers
+    # intact; ``content_token()`` keeps generated drives from aliasing
+    # library drives in sample-keyed caches.
+    spec: ScenarioSpec | None = None
     window: int = 1
     share_frames: bool = True
     # Replay inference through repro.nn.engine kernel programs; the
@@ -192,7 +200,7 @@ class SweepShard:
     chaos: SweepChaos | None = None
 
     def resolve_spec(self) -> ScenarioSpec:
-        spec = get_scenario(self.scenario)
+        spec = self.spec if self.spec is not None else get_scenario(self.scenario)
         return scaled(spec, self.scale) if self.scale != 1.0 else spec
 
 
@@ -365,7 +373,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def run_sweep(
     system,
-    scenarios: list[str] | None = None,
+    scenarios: list[str | ScenarioSpec] | None = None,
     policies: tuple[PolicySpec, ...] = DEFAULT_POLICIES,
     scale: float = 1.0,
     seed: int = 0,
@@ -384,6 +392,11 @@ def run_sweep(
     progress=None,
 ) -> dict[str, dict[str, dict]]:
     """Sweep ``scenarios`` x ``policies``; returns the nested result dict.
+
+    ``scenarios`` entries are library names *or* inline
+    :class:`ScenarioSpec` objects (procedurally generated drives that
+    have no library entry); results are keyed by scenario name either
+    way, and names must be unique across the sweep.
 
     ``jobs > 1`` shards scenarios over a process pool; workers reload
     the trained system from ``artifact_root`` (or inherit the parent's
@@ -422,10 +435,20 @@ def run_sweep(
     # each retraining from scratch.  ``drive_config`` selects the
     # training config (None = defaults) and rides on every shard.
     ensure_policy_gates(system, policies, config=drive_config, root=artifact_root)
-    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    items = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    resolved: list[tuple[str, ScenarioSpec | None]] = [
+        (item.name, item) if isinstance(item, ScenarioSpec) else (str(item), None)
+        for item in items
+    ]
+    names = [name for name, _ in resolved]
+    if len(set(names)) != len(names):
+        # Results (and resume files) are keyed by name; duplicates would
+        # silently collapse into one slot.
+        raise ValueError(f"duplicate scenario names in sweep: {names}")
     shards = [
         SweepShard(
             scenario=name,
+            spec=spec,
             policies=tuple(policies),
             scale=scale,
             seed=seed,
@@ -440,7 +463,7 @@ def run_sweep(
             health=health,
             chaos=chaos,
         )
-        for name in names
+        for name, spec in resolved
     ]
 
     collected: dict[str, dict[str, dict]] = {}

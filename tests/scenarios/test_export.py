@@ -1,0 +1,194 @@
+"""nuScenes-style exporter: schema, validation, byte-exact round trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.perception.detections import Detections
+from repro.scenarios import (
+    CampaignSpec,
+    build_corpus,
+    export_corpus,
+    generate_campaign,
+    load_corpus,
+    validate_corpus,
+    write_corpus,
+)
+from repro.simulation import ScenarioSpec, SegmentSpec, SensorFault
+
+TINY = CampaignSpec(name="exp", seed=2, scenarios=2, segment_frames=(4, 8))
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return list(generate_campaign(TINY).values())
+
+
+@pytest.fixture(scope="module")
+def corpus(tiny_specs):
+    return build_corpus(tiny_specs, seed=5, image_size=16, campaign=TINY)
+
+
+class TestBuild:
+    def test_tables_are_consistent_and_valid(self, corpus, tiny_specs):
+        assert validate_corpus(corpus) == []
+        total = sum(s.num_frames for s in tiny_specs)
+        assert len(corpus.scene) == len(tiny_specs)
+        assert len(corpus.sample) == total
+        assert len(corpus.sample_data) == total * 4  # one per sensor
+        assert corpus.meta["counts"]["sample"] == total
+        assert corpus.meta["campaign"]["digest"] == TINY.digest()
+
+    def test_sample_chains_and_timestamps(self, corpus):
+        by_scene: dict[str, list[dict]] = {}
+        for record in corpus.sample:
+            by_scene.setdefault(record["scene_token"], []).append(record)
+        for chain in by_scene.values():
+            chain.sort(key=lambda r: r["timestamp"])
+            assert chain[0]["prev"] == ""
+            assert chain[-1]["next"] == ""
+            # 4 Hz fusion cycle -> 250 ms between samples, in µs.
+            assert all(
+                later["timestamp"] - earlier["timestamp"] == 250_000
+                for earlier, later in zip(chain, chain[1:])
+            )
+
+    def test_fault_modes_annotate_the_degraded_channels(self):
+        spec = ScenarioSpec(
+            name="faulted",
+            description="",
+            segments=(SegmentSpec("city", 4),),
+            faults=(SensorFault("lidar", start=1, duration=2, mode="noise"),),
+        )
+        corpus = build_corpus([spec], seed=0, image_size=16)
+        lidar = [
+            d for d in corpus.sample_data if d["channel"] == "lidar"
+        ]
+        by_frame = {corpus.sample[i]["token"]: i for i in range(4)}
+        modes = {
+            by_frame[d["sample_token"]]: d["fault_modes"] for d in lidar
+        }
+        assert modes == {0: [], 1: ["noise"], 2: ["noise"], 3: []}
+
+    def test_determinism(self, tiny_specs, corpus):
+        again = build_corpus(tiny_specs, seed=5, image_size=16, campaign=TINY)
+        assert json.dumps(again.tables(), sort_keys=True) == json.dumps(
+            corpus.tables(), sort_keys=True
+        )
+
+    def test_duplicate_and_unknown_names_rejected(self, tiny_specs):
+        with pytest.raises(ValueError, match="duplicate"):
+            build_corpus([tiny_specs[0], tiny_specs[0]])
+        with pytest.raises(ValueError, match="not in corpus"):
+            build_corpus([tiny_specs[0]], traces={"nope": object()})
+
+    def test_detection_results_table(self, tiny_specs):
+        spec = tiny_specs[0]
+        per_frame = [
+            Detections(
+                boxes=np.array([[1.0, 2.0, 5.0, 6.0]], dtype=np.float32),
+                scores=np.array([0.75], dtype=np.float32),
+                labels=np.array([1], dtype=np.int64),
+            )
+            for _ in range(spec.num_frames)
+        ]
+        corpus = build_corpus(
+            [spec], seed=5, image_size=16,
+            detections={spec.name: per_frame},
+        )
+        assert validate_corpus(corpus) == []
+        results = corpus.detection["results"]
+        assert len(results) == spec.num_frames
+        det = next(iter(results.values()))[0]
+        assert det["detection_name"] == "car"
+        assert det["detection_score"] == 0.75
+        # Wrong frame count is a hard error, not a silent mismatch.
+        with pytest.raises(ValueError, match="detection"):
+            build_corpus(
+                [spec], seed=5, image_size=16,
+                detections={spec.name: per_frame[:-1]},
+            )
+
+
+class TestRoundTrip:
+    def test_write_load_rewrite_is_byte_identical(self, tiny_specs, tmp_path):
+        first = tmp_path / "corpus"
+        rewrite = tmp_path / "rewrite"
+        export_corpus(
+            first, tiny_specs, seed=5, image_size=16, campaign=TINY
+        )
+        loaded = load_corpus(first)
+        assert validate_corpus(loaded) == []
+        write_corpus(loaded, rewrite)
+        names = sorted(p.name for p in first.iterdir())
+        assert names == sorted(p.name for p in rewrite.iterdir())
+        for name in names:
+            assert (first / name).read_bytes() == (rewrite / name).read_bytes()
+
+    def test_unsupported_schema_rejected(self, tiny_specs, tmp_path):
+        out = tmp_path / "corpus"
+        corpus = export_corpus(out, tiny_specs[:1], seed=5, image_size=16)
+        meta = dict(corpus.meta, schema_version=99)
+        (out / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="unsupported corpus schema"):
+            load_corpus(out)
+
+    def test_missing_table_rejected(self, tiny_specs, tmp_path):
+        out = tmp_path / "corpus"
+        export_corpus(out, tiny_specs[:1], seed=5, image_size=16)
+        (out / "sample_data.json").unlink()
+        with pytest.raises(FileNotFoundError, match="sample_data"):
+            load_corpus(out)
+        with pytest.raises(FileNotFoundError, match="not a corpus"):
+            load_corpus(tmp_path / "nowhere")
+
+
+class TestValidateCatchesCorruption:
+    def rebuilt(self, tiny_specs):
+        return build_corpus(tiny_specs, seed=5, image_size=16)
+
+    def test_dangling_sample_reference(self, tiny_specs):
+        corpus = self.rebuilt(tiny_specs)
+        corpus.sample_annotation[0]["sample_token"] = "feedfacefeedface"
+        assert any(
+            "unknown sample" in p for p in validate_corpus(corpus)
+        )
+
+    def test_missing_sensor_channel(self, tiny_specs):
+        corpus = self.rebuilt(tiny_specs)
+        del corpus.sample_data[0]
+        problems = validate_corpus(corpus)
+        assert any("missing sensor channels" in p for p in problems)
+        assert any("meta.counts" in p for p in problems)
+
+    def test_broken_prev_next_chain(self, tiny_specs):
+        corpus = self.rebuilt(tiny_specs)
+        corpus.sample[1]["prev"] = ""
+        assert any(
+            "prev/next chain" in p for p in validate_corpus(corpus)
+        )
+
+    def test_unknown_category(self, tiny_specs):
+        corpus = self.rebuilt(tiny_specs)
+        corpus.sample_annotation[0]["category_name"] = "unicycle"
+        assert any(
+            "unknown category" in p for p in validate_corpus(corpus)
+        )
+
+    def test_out_of_range_detection_score(self, tiny_specs):
+        spec = tiny_specs[0]
+        per_frame = [Detections() for _ in range(spec.num_frames)]
+        corpus = build_corpus(
+            [spec], seed=5, image_size=16, detections={spec.name: per_frame}
+        )
+        token = corpus.sample[0]["token"]
+        corpus.detection["results"][token] = [
+            {"bbox": [0.0, 0.0, 1.0, 1.0], "detection_score": 1.5,
+             "detection_name": "car"}
+        ]
+        assert any(
+            "outside [0, 1]" in p for p in validate_corpus(corpus)
+        )

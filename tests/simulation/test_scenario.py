@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
+
+import numpy as np
 import pytest
 
 from repro.simulation import (
+    CHAOS_SCENARIOS,
+    DriveSource,
     SCENARIOS,
     ScenarioSpec,
     SegmentSpec,
@@ -99,6 +104,95 @@ class TestScaled:
     def test_invalid_factor_rejected(self):
         with pytest.raises(ValueError):
             scaled(two_segment_spec(), 0.0)
+
+    def test_overhanging_scaled_window_warns_and_clamps(self):
+        """Regression: ``scaled()`` used to pre-clamp overhanging windows
+        silently while direct spec construction warned on the identical
+        condition — the diagnostics are unified now (warn + clamp)."""
+        spec = ScenarioSpec(
+            name="overhang",
+            description="",
+            # 5x4 frames scale to 5x2=10, but the window's rounded
+            # duration is round(20*0.6)=12 — it overhangs by 2.
+            segments=tuple(SegmentSpec("city", 4) for _ in range(5)),
+            faults=(SensorFault("lidar", start=0, duration=20),),
+        )
+        with pytest.warns(UserWarning, match="overhangs"):
+            shrunk = scaled(spec, 0.6)
+        assert shrunk.num_frames == 10
+        assert shrunk.faults[0].start == 0
+        assert shrunk.faults[0].duration == 10  # clamped, same as before
+
+    def test_contained_scaled_window_does_not_warn(self):
+        spec = two_segment_spec(
+            faults=(SensorFault("lidar", start=8, duration=4),)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scaled(spec, 0.5)
+
+    def test_latency_lag_scales_with_timeline(self):
+        """Regression: ``scaled()`` left ``lag`` fixed, so a stretched
+        drive's latency fault replayed a proportionally far more recent
+        capture than the spec described."""
+        spec = two_segment_spec(
+            faults=(
+                SensorFault("lidar", start=2, duration=4, mode="latency", lag=4),
+            )
+        )
+        assert scaled(spec, 0.5).faults[0].lag == 2
+        assert scaled(spec, 4.0).faults[0].lag == 16
+        assert scaled(spec, 0.01).faults[0].lag == 1  # floor, like windows
+
+    def test_factor_one_is_bit_identical(self):
+        for spec in list(SCENARIOS.values()) + list(CHAOS_SCENARIOS.values()):
+            assert scaled(spec, 1.0) == spec
+
+
+class TestFaultOrdering:
+    """Overlapping windows must apply in an order that depends only on
+    the fault *set*, never on spec-tuple order (random generated
+    schedules overlap freely and are assembled in arbitrary order)."""
+
+    OVERLAPPING = (
+        SensorFault("lidar", start=4, duration=6, mode="noise_burst",
+                    severity=0.8),
+        SensorFault("lidar", start=2, duration=6, mode="noise"),
+        SensorFault("camera", start=3, duration=8, mode="flicker",
+                    severity=0.5),
+    )
+
+    def test_faults_at_returns_canonical_order(self):
+        spec = two_segment_spec(faults=self.OVERLAPPING)
+        active = spec.faults_at(5)  # all three windows cover frame 5
+        assert [f.start for f in active] == [2, 3, 4]
+        permuted = two_segment_spec(faults=self.OVERLAPPING[::-1])
+        assert permuted.faults_at(5) == active
+
+    def test_permuted_faults_yield_bit_identical_streams(self):
+        """The RNG-consuming modes (noise/noise_burst/flicker) draw in
+        application order, so this pins the full pipeline, not just the
+        sort: any permutation of the fault tuple renders the same bits."""
+        # image_size >= 28: the fog segment's phantom patches are
+        # vehicle-sized and must fit inside the frame.
+        base = two_segment_spec(faults=self.OVERLAPPING)
+        reference = DriveSource(base, seed=5, image_size=32).materialize()
+        for order in (
+            self.OVERLAPPING[::-1],
+            (self.OVERLAPPING[1], self.OVERLAPPING[2], self.OVERLAPPING[0]),
+        ):
+            permuted = two_segment_spec(faults=order)
+            stream = DriveSource(permuted, seed=5, image_size=32).materialize()
+            assert len(stream) == len(reference)
+            for ours, ref in zip(stream, reference):
+                assert ours.faults == ref.faults
+                np.testing.assert_array_equal(
+                    ours.sample.boxes, ref.sample.boxes
+                )
+                for sensor, array in ref.sample.sensors.items():
+                    np.testing.assert_array_equal(
+                        ours.sample.sensors[sensor], array
+                    )
 
 
 class TestLibrary:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 
 import pytest
@@ -116,6 +117,48 @@ class TestSweepEquivalence:
     def test_jobs_validation(self, tiny_system):
         with pytest.raises(ValueError):
             run_sweep(tiny_system, scenarios=NAMES, jobs=0)
+
+    def test_spec_objects_match_sequential(self, tiny_system):
+        """Inline ScenarioSpec objects (the procedural-campaign path)
+        sweep exactly like named library entries, keyed by spec name."""
+        specs = [
+            dataclasses.replace(
+                scaled(SCENARIOS[name], SCALE), name=f"gen_{name}"
+            )
+            for name in NAMES
+        ]
+        runner = ClosedLoopRunner(
+            tiny_system.model, cache=BranchOutputCache(memoize_outputs=False)
+        )
+        reference = {}
+        for spec in specs:
+            reference[spec.name] = {}
+            for policy_spec in DEFAULT_POLICIES:
+                policy = policy_spec.build(tiny_system)
+                trace = runner.run(spec, policy, seed=4, window=8)
+                reference[spec.name][policy.name] = trace.to_dict()
+        swept = run_sweep(tiny_system, scenarios=specs, seed=4, window=8, jobs=1)
+        assert strip_walls(swept) == reference
+        assert list(swept) == [spec.name for spec in specs]
+
+    def test_spec_shards_are_picklable(self):
+        spec = dataclasses.replace(
+            scaled(SCENARIOS[NAMES[0]], SCALE), name="gen_pickle"
+        )
+        shard = SweepShard(
+            scenario=spec.name, spec=spec, policies=DEFAULT_POLICIES,
+            seed=3, window=8,
+        )
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone == shard
+        assert clone.resolve_spec() == spec
+
+    def test_duplicate_scenario_names_rejected(self, tiny_system):
+        spec = dataclasses.replace(
+            scaled(SCENARIOS[NAMES[0]], SCALE), name=NAMES[0]
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(tiny_system, scenarios=[NAMES[0], spec])
 
     def test_progress_callback_sees_every_cell(self, tiny_system):
         seen = []
